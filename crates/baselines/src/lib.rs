@@ -1,0 +1,105 @@
+//! Baseline matchers from the paper's evaluation (§V).
+//!
+//! Unsupervised, trained on the corpora at hand:
+//! * [`w2vec`] — **W2VEC**: Word2Vec over serialized documents, mean
+//!   pooling;
+//! * [`d2vec`] — **D2VEC**: PV-DBOW document vectors;
+//! * [`tfidf`] — TF-IDF cosine and BM25 (classic IR references).
+//!
+//! Unsupervised, pre-trained:
+//! * [`sbe`] — **S-BE**: SentenceBERT stand-in (simulated pre-trained
+//!   sentence encoder from `tdmatch-kb`).
+//!
+//! Supervised (starred in the paper; trained with 5-fold cross-validation
+//! on the annotated pairs, as feature-based neural models — see DESIGN.md
+//! for the transformer-substitution rationale):
+//! * [`rank`] — **RANK\***: pairwise learning-to-rank \[39\];
+//! * [`supervised`] — **DITTO\***, **DEEP-M\***, **TAPAS\*** (binary
+//!   match classifiers with per-system feature sets) and **L-BE\***
+//!   (multi-label classifier over targets).
+//!
+//! Every matcher returns [`RankedMatches`]: per-query ranked target lists
+//! plus train/test wall-clock seconds (Table VII).
+
+pub mod d2vec;
+pub mod features;
+pub mod rank;
+pub mod sbe;
+pub mod serialize;
+pub mod supervised;
+pub mod tfidf;
+pub mod w2vec;
+
+/// Output of every baseline: ranked targets per query document.
+#[derive(Debug, Clone)]
+pub struct RankedMatches {
+    /// Baseline name as reported in the tables ("S-BE", "DITTO*", …).
+    pub method: String,
+    /// For each query: `(target index, score)` sorted by decreasing score,
+    /// truncated at the caller's k.
+    pub per_query: Vec<Vec<(usize, f32)>>,
+    /// Training / fine-tuning seconds (0 for pure pre-trained methods).
+    pub train_secs: f64,
+    /// Total matching seconds over all queries.
+    pub test_secs: f64,
+}
+
+impl RankedMatches {
+    /// The ranked target indices for query `q`.
+    pub fn indices(&self, q: usize) -> Vec<usize> {
+        self.per_query[q].iter().map(|&(t, _)| t).collect()
+    }
+
+    /// All ranked lists as plain index vectors.
+    pub fn all_indices(&self) -> Vec<Vec<usize>> {
+        (0..self.per_query.len()).map(|q| self.indices(q)).collect()
+    }
+}
+
+/// Ranks `targets` scored by `score(query, target)`, truncating at `k`.
+/// Ties break by target index for determinism.
+pub(crate) fn rank_all(
+    n_queries: usize,
+    n_targets: usize,
+    k: usize,
+    mut score: impl FnMut(usize, usize) -> f32,
+) -> Vec<Vec<(usize, f32)>> {
+    (0..n_queries)
+        .map(|q| {
+            let mut scored: Vec<(usize, f32)> =
+                (0..n_targets).map(|t| (t, score(q, t))).collect();
+            scored.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.0.cmp(&b.0))
+            });
+            scored.truncate(k);
+            scored
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_all_orders_and_truncates() {
+        let ranked = rank_all(2, 4, 2, |q, t| (q * 10 + t) as f32);
+        assert_eq!(ranked[0], vec![(3, 3.0), (2, 2.0)]);
+        assert_eq!(ranked[1].len(), 2);
+        assert_eq!(ranked[1][0].0, 3);
+    }
+
+    #[test]
+    fn indices_strips_scores() {
+        let rm = RankedMatches {
+            method: "test".into(),
+            per_query: vec![vec![(2, 0.9), (0, 0.1)]],
+            train_secs: 0.0,
+            test_secs: 0.0,
+        };
+        assert_eq!(rm.indices(0), vec![2, 0]);
+        assert_eq!(rm.all_indices(), vec![vec![2, 0]]);
+    }
+}

@@ -1,0 +1,97 @@
+//! Document serialization and tokenization shared by the baselines.
+//!
+//! Tuples are serialized with the `[COL] attr [VAL] value` scheme of
+//! Ditto \[2\] (§V: "we serialize every tuple to a sentence using two
+//! special tokens"). All baselines tokenize through the same
+//! pre-processor as the main pipeline so comparisons are fair.
+
+use tdmatch_core::corpus::Corpus;
+use tdmatch_text::Preprocessor;
+
+/// Marker token standing in for Ditto's `[COL]`.
+pub const COL_MARKER: &str = "colmarker";
+/// Marker token standing in for Ditto's `[VAL]`.
+pub const VAL_MARKER: &str = "valmarker";
+
+/// Serializes document `i` of `corpus` into a token sequence.
+///
+/// Tables produce `colmarker <attr tokens> valmarker <value tokens> …`;
+/// text and taxonomy documents produce their base tokens.
+pub fn serialize_doc(corpus: &Corpus, i: usize, pre: &Preprocessor) -> Vec<String> {
+    match corpus {
+        Corpus::Table(t) => {
+            let mut out = Vec::new();
+            for (col, val) in t.columns.iter().zip(&t.rows[i]) {
+                out.push(COL_MARKER.to_string());
+                out.extend(pre.base_tokens(col));
+                out.push(VAL_MARKER.to_string());
+                out.extend(pre.base_tokens(val));
+            }
+            out
+        }
+        _ => doc_tokens(corpus, i, pre),
+    }
+}
+
+/// Plain base tokens of document `i` (no markers).
+pub fn doc_tokens(corpus: &Corpus, i: usize, pre: &Preprocessor) -> Vec<String> {
+    corpus
+        .fields(i)
+        .iter()
+        .flat_map(|f| pre.base_tokens(f))
+        .collect()
+}
+
+/// Tokens per field of document `i` (for attribute-wise features).
+pub fn field_tokens(corpus: &Corpus, i: usize, pre: &Preprocessor) -> Vec<Vec<String>> {
+    corpus
+        .fields(i)
+        .iter()
+        .map(|f| pre.base_tokens(f))
+        .collect()
+}
+
+/// Serializes every document of a corpus.
+pub fn serialize_corpus(corpus: &Corpus, pre: &Preprocessor) -> Vec<Vec<String>> {
+    (0..corpus.len())
+        .map(|i| serialize_doc(corpus, i, pre))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdmatch_core::corpus::{Table, TextCorpus};
+
+    #[test]
+    fn tables_get_markers() {
+        let t = Corpus::Table(Table::new(
+            "m",
+            vec!["title".into()],
+            vec![vec!["The Sixth Sense".into()]],
+        ));
+        let toks = serialize_doc(&t, 0, &Preprocessor::default());
+        assert_eq!(toks[0], COL_MARKER);
+        assert!(toks.contains(&VAL_MARKER.to_string()));
+        assert!(toks.contains(&"sixth".to_string()));
+    }
+
+    #[test]
+    fn text_has_no_markers() {
+        let c = Corpus::Text(TextCorpus::new(vec!["a plain sentence".into()]));
+        let toks = serialize_doc(&c, 0, &Preprocessor::default());
+        assert!(!toks.contains(&COL_MARKER.to_string()));
+    }
+
+    #[test]
+    fn field_tokens_align_with_columns() {
+        let t = Corpus::Table(Table::new(
+            "m",
+            vec!["a".into(), "b".into()],
+            vec![vec!["first cell".into(), "second cell".into()]],
+        ));
+        let fields = field_tokens(&t, 0, &Preprocessor::default());
+        assert_eq!(fields.len(), 2);
+        assert!(fields[0].contains(&"first".to_string()));
+    }
+}

@@ -1,0 +1,342 @@
+//! Supervised baselines: DITTO\*, DEEP-M\*, TAPAS\* (pairwise match
+//! classifiers) and L-BE\* (multi-label classifier), trained with 5-fold
+//! cross-validation over the labeled queries as in §V ("we always report
+//! results for 5-fold cross validation").
+//!
+//! Each fold trains on the other folds' (query, positive target) pairs
+//! plus sampled negatives, then ranks the held-out fold's queries — so
+//! every labeled query is scored by a model that never saw it.
+
+use std::time::Instant;
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+use tdmatch_core::corpus::Corpus;
+use tdmatch_kb::PretrainedModel;
+use tdmatch_nn::{Mlp, TrainConfig};
+
+use crate::features::{FeatureSet, PairFeaturizer};
+use crate::RankedMatches;
+
+/// Options shared by the supervised baselines.
+#[derive(Debug, Clone)]
+pub struct SupervisedOptions {
+    /// Cross-validation folds (paper: 5).
+    pub folds: usize,
+    /// Negative pairs sampled per positive pair.
+    pub negatives_per_positive: usize,
+    /// Classifier training epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Hidden-layer width.
+    pub hidden: usize,
+    /// Seed for folds, negatives, and initialization.
+    pub seed: u64,
+}
+
+impl Default for SupervisedOptions {
+    fn default() -> Self {
+        Self {
+            folds: 5,
+            negatives_per_positive: 4,
+            epochs: 20,
+            lr: 3e-3,
+            hidden: 16,
+            seed: 42,
+        }
+    }
+}
+
+/// Splits the labeled query indices into `n_folds` disjoint folds.
+pub(crate) fn make_folds(labeled: &[usize], n_folds: usize, seed: u64) -> Vec<Vec<usize>> {
+    let mut shuffled = labeled.to_vec();
+    shuffled.shuffle(&mut SmallRng::seed_from_u64(seed));
+    let n_folds = n_folds.clamp(2, shuffled.len().max(2));
+    let mut folds = vec![Vec::new(); n_folds];
+    for (i, q) in shuffled.into_iter().enumerate() {
+        folds[i % n_folds].push(q);
+    }
+    folds
+}
+
+/// Runs a pairwise match classifier (DITTO\*/DEEP-M\*/TAPAS\* depending on
+/// `set`) and returns rankings for all queries (unlabeled queries get
+/// empty rankings; metrics skip them anyway).
+#[allow(clippy::too_many_arguments)] // mirrors the paper's per-system knobs
+pub fn run_classifier(
+    method: &str,
+    set: FeatureSet,
+    first: &Corpus,
+    second: &Corpus,
+    truth: &[Vec<usize>],
+    pretrained: &PretrainedModel,
+    opts: &SupervisedOptions,
+    k: usize,
+) -> RankedMatches {
+    let featurizer = PairFeaturizer::new(first, second, pretrained);
+    let n_targets = featurizer.n_targets();
+    let labeled: Vec<usize> = (0..second.len()).filter(|&q| !truth[q].is_empty()).collect();
+    let folds = make_folds(&labeled, opts.folds, opts.seed);
+
+    let mut per_query: Vec<Vec<(usize, f32)>> = vec![Vec::new(); second.len()];
+    let mut train_secs = 0.0;
+    let mut test_secs = 0.0;
+    let mut rng = SmallRng::seed_from_u64(opts.seed ^ 0x5E6);
+
+    for (fi, fold) in folds.iter().enumerate() {
+        // Training pairs from all other folds.
+        let t0 = Instant::now();
+        let mut data: Vec<(Vec<f32>, Vec<f32>)> = Vec::new();
+        for (fj, other) in folds.iter().enumerate() {
+            if fj == fi {
+                continue;
+            }
+            for &q in other {
+                for &pos in &truth[q] {
+                    data.push((featurizer.features(q, pos, set), vec![1.0]));
+                    for _ in 0..opts.negatives_per_positive {
+                        let neg = rng.random_range(0..n_targets);
+                        if !truth[q].contains(&neg) {
+                            data.push((featurizer.features(q, neg, set), vec![0.0]));
+                        }
+                    }
+                }
+            }
+        }
+        let mut mlp = Mlp::new(&[set.dim(), opts.hidden, 1], opts.seed ^ fi as u64);
+        mlp.fit_sigmoid(
+            &data,
+            &TrainConfig {
+                epochs: opts.epochs,
+                lr: opts.lr,
+                seed: opts.seed ^ fi as u64,
+                ..Default::default()
+            },
+        );
+        train_secs += t0.elapsed().as_secs_f64();
+
+        // Score the held-out fold.
+        let t1 = Instant::now();
+        for &q in fold {
+            let mut scored: Vec<(usize, f32)> = (0..n_targets)
+                .map(|t| (t, mlp.forward(&featurizer.features(q, t, set))[0]))
+                .collect();
+            scored.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.0.cmp(&b.0))
+            });
+            scored.truncate(k);
+            per_query[q] = scored;
+        }
+        test_secs += t1.elapsed().as_secs_f64();
+    }
+
+    RankedMatches {
+        method: method.to_string(),
+        per_query,
+        train_secs,
+        test_secs,
+    }
+}
+
+/// Runs DITTO\*: pair classifier over serialized-sequence features.
+pub fn run_ditto(
+    first: &Corpus,
+    second: &Corpus,
+    truth: &[Vec<usize>],
+    pretrained: &PretrainedModel,
+    opts: &SupervisedOptions,
+    k: usize,
+) -> RankedMatches {
+    run_classifier("DITTO*", FeatureSet::Ditto, first, second, truth, pretrained, opts, k)
+}
+
+/// Runs DEEP-M\*: pair classifier with attribute-wise comparators.
+pub fn run_deepmatcher(
+    first: &Corpus,
+    second: &Corpus,
+    truth: &[Vec<usize>],
+    pretrained: &PretrainedModel,
+    opts: &SupervisedOptions,
+    k: usize,
+) -> RankedMatches {
+    run_classifier(
+        "DEEP-M*",
+        FeatureSet::DeepMatcher,
+        first,
+        second,
+        truth,
+        pretrained,
+        opts,
+        k,
+    )
+}
+
+/// Runs TAPAS\*: pair classifier with table-aware (numeric/cell) signals.
+pub fn run_tapas(
+    first: &Corpus,
+    second: &Corpus,
+    truth: &[Vec<usize>],
+    pretrained: &PretrainedModel,
+    opts: &SupervisedOptions,
+    k: usize,
+) -> RankedMatches {
+    run_classifier("TAPAS*", FeatureSet::Tapas, first, second, truth, pretrained, opts, k)
+}
+
+/// Runs L-BE\* — the fine-tuned BERT-large multi-label classifier:
+/// input is the query's pre-trained sentence embedding, output one logit
+/// per target document/concept.
+pub fn run_lbe(
+    first: &Corpus,
+    second: &Corpus,
+    truth: &[Vec<usize>],
+    pretrained: &PretrainedModel,
+    opts: &SupervisedOptions,
+    k: usize,
+) -> RankedMatches {
+    let featurizer = PairFeaturizer::new(first, second, pretrained);
+    let n_targets = featurizer.n_targets();
+    let labeled: Vec<usize> = (0..second.len()).filter(|&q| !truth[q].is_empty()).collect();
+    let folds = make_folds(&labeled, opts.folds, opts.seed);
+
+    let mut per_query: Vec<Vec<(usize, f32)>> = vec![Vec::new(); second.len()];
+    let mut train_secs = 0.0;
+    let mut test_secs = 0.0;
+
+    for (fi, fold) in folds.iter().enumerate() {
+        let t0 = Instant::now();
+        let mut data: Vec<(Vec<f32>, Vec<f32>)> = Vec::new();
+        for (fj, other) in folds.iter().enumerate() {
+            if fj == fi {
+                continue;
+            }
+            for &q in other {
+                let mut target_vec = vec![0.0f32; n_targets];
+                for &pos in &truth[q] {
+                    target_vec[pos] = 1.0;
+                }
+                data.push((featurizer.query_embedding(q).to_vec(), target_vec));
+            }
+        }
+        let in_dim = pretrained.dim();
+        let mut mlp = Mlp::new(&[in_dim, opts.hidden.max(32), n_targets], opts.seed ^ fi as u64);
+        mlp.fit_sigmoid(
+            &data,
+            &TrainConfig {
+                epochs: opts.epochs,
+                lr: opts.lr,
+                seed: opts.seed ^ fi as u64,
+                ..Default::default()
+            },
+        );
+        train_secs += t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        for &q in fold {
+            let logits = mlp.forward(featurizer.query_embedding(q));
+            let mut scored: Vec<(usize, f32)> =
+                logits.into_iter().enumerate().collect();
+            scored.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.0.cmp(&b.0))
+            });
+            scored.truncate(k);
+            per_query[q] = scored;
+        }
+        test_secs += t1.elapsed().as_secs_f64();
+    }
+
+    RankedMatches {
+        method: "L-BE*".to_string(),
+        per_query,
+        train_secs,
+        test_secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdmatch_core::corpus::{Table, TextCorpus};
+
+    /// A trivially learnable matching task: queries repeat their target's
+    /// rare token.
+    fn easy_task(n: usize) -> (Corpus, Corpus, Vec<Vec<usize>>) {
+        let rows: Vec<Vec<String>> = (0..n)
+            .map(|i| vec![format!("entity{i} marker{i}"), format!("{}", 100 + i)])
+            .collect();
+        let first = Corpus::Table(Table::new(
+            "t",
+            vec!["name".into(), "value".into()],
+            rows,
+        ));
+        let docs: Vec<String> = (0..n)
+            .map(|i| format!("the report mentions entity{i} marker{i} value {}", 100 + i))
+            .collect();
+        let truth: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+        (first, second_of(docs), truth)
+    }
+
+    fn second_of(docs: Vec<String>) -> Corpus {
+        Corpus::Text(TextCorpus::new(docs))
+    }
+
+    fn opts() -> SupervisedOptions {
+        SupervisedOptions {
+            epochs: 12,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn ditto_learns_easy_matching() {
+        let (first, second, truth) = easy_task(20);
+        let model = PretrainedModel::standard(32, 1, 0.3);
+        let r = run_ditto(&first, &second, &truth, &model, &opts(), 5);
+        let top1_correct = (0..20)
+            .filter(|&q| r.indices(q).first() == Some(&q))
+            .count();
+        assert!(top1_correct >= 12, "top-1 correct {top1_correct}/20");
+        assert!(r.train_secs > 0.0);
+    }
+
+    #[test]
+    fn folds_partition_labeled_queries() {
+        let labeled: Vec<usize> = (0..23).collect();
+        let folds = make_folds(&labeled, 5, 7);
+        assert_eq!(folds.len(), 5);
+        let total: usize = folds.iter().map(|f| f.len()).sum();
+        assert_eq!(total, 23);
+        let mut all: Vec<usize> = folds.concat();
+        all.sort_unstable();
+        assert_eq!(all, labeled);
+    }
+
+    #[test]
+    fn lbe_ranks_seen_label_space() {
+        let (first, second, truth) = easy_task(15);
+        let model = PretrainedModel::standard(32, 1, 0.3);
+        let r = run_lbe(&first, &second, &truth, &model, &opts(), 5);
+        assert_eq!(r.per_query.len(), 15);
+        // Every labeled query got a ranking.
+        assert!(r.per_query.iter().all(|p| !p.is_empty()));
+    }
+
+    #[test]
+    fn unlabeled_queries_get_empty_rankings() {
+        let (first, mut_second, mut truth) = easy_task(10);
+        truth.push(vec![]); // an extra unlabeled query
+        let Corpus::Text(mut tc) = mut_second else { panic!() };
+        tc.docs.push("an unlabeled document".into());
+        let second = Corpus::Text(tc);
+        let model = PretrainedModel::standard(32, 1, 0.3);
+        let r = run_tapas(&first, &second, &truth, &model, &opts(), 3);
+        assert!(r.per_query[10].is_empty());
+    }
+}

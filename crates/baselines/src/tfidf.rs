@@ -1,0 +1,279 @@
+//! TF-IDF cosine and BM25 — the classic IR baselines (related work
+//! mentions fine-tuned models "outperform traditional IR approaches, such
+//! as BM25"); TF-IDF doubles as a feature for the supervised matchers.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use tdmatch_core::corpus::Corpus;
+use tdmatch_text::Preprocessor;
+
+use crate::serialize::doc_tokens;
+use crate::{rank_all, RankedMatches};
+
+/// A TF-IDF vector space fitted on one document collection (the targets).
+#[derive(Debug, Clone)]
+pub struct TfIdfIndex {
+    /// token → dense dimension
+    vocab: HashMap<String, usize>,
+    /// idf per dense dimension
+    idf: Vec<f64>,
+    /// Sparse document vectors: sorted `(dim, weight)` with L2 norm 1.
+    docs: Vec<Vec<(usize, f64)>>,
+    /// Document lengths in tokens (for BM25).
+    doc_len: Vec<usize>,
+    avg_len: f64,
+    /// Raw term frequencies per document (for BM25).
+    tf: Vec<HashMap<usize, usize>>,
+}
+
+impl TfIdfIndex {
+    /// Fits the index on all documents of `corpus`.
+    pub fn fit(corpus: &Corpus, pre: &Preprocessor) -> Self {
+        let docs_tokens: Vec<Vec<String>> = (0..corpus.len())
+            .map(|i| doc_tokens(corpus, i, pre))
+            .collect();
+        Self::fit_tokens(&docs_tokens)
+    }
+
+    /// Fits the index on pre-tokenized documents.
+    pub fn fit_tokens(docs_tokens: &[Vec<String>]) -> Self {
+        let n = docs_tokens.len().max(1);
+        // Document frequencies.
+        let mut df: HashMap<&str, usize> = HashMap::new();
+        for doc in docs_tokens {
+            let mut seen = std::collections::HashSet::new();
+            for t in doc {
+                if seen.insert(t.as_str()) {
+                    *df.entry(t).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut vocab: HashMap<String, usize> = HashMap::new();
+        let mut idf_table: Vec<f64> = Vec::with_capacity(df.len());
+        let mut sorted_terms: Vec<&&str> = df.keys().collect();
+        sorted_terms.sort();
+        for term in sorted_terms {
+            let dim = vocab.len();
+            vocab.insert(term.to_string(), dim);
+            idf_table.push(((n as f64 + 1.0) / (df[*term] as f64 + 1.0)).ln() + 1.0);
+        }
+        let mut docs = Vec::with_capacity(docs_tokens.len());
+        let mut tf_all = Vec::with_capacity(docs_tokens.len());
+        let mut doc_len = Vec::with_capacity(docs_tokens.len());
+        for doc in docs_tokens {
+            let mut tf: HashMap<usize, usize> = HashMap::new();
+            for t in doc {
+                if let Some(&dim) = vocab.get(t) {
+                    *tf.entry(dim).or_insert(0) += 1;
+                }
+            }
+            let mut vec: Vec<(usize, f64)> = tf
+                .iter()
+                .map(|(&dim, &f)| (dim, f as f64 * idf_table[dim]))
+                .collect();
+            vec.sort_unstable_by_key(|&(d, _)| d);
+            let norm: f64 = vec.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
+            if norm > 0.0 {
+                for (_, w) in &mut vec {
+                    *w /= norm;
+                }
+            }
+            doc_len.push(doc.len());
+            docs.push(vec);
+            tf_all.push(tf);
+        }
+        let avg_len = doc_len.iter().sum::<usize>() as f64 / n as f64;
+        Self {
+            vocab,
+            idf: idf_table,
+            docs,
+            doc_len,
+            avg_len,
+            tf: tf_all,
+        }
+    }
+
+    /// Encodes an arbitrary token list into the fitted space (L2
+    /// normalized sparse vector).
+    pub fn encode<S: AsRef<str>>(&self, tokens: &[S]) -> Vec<(usize, f64)> {
+        let mut tf: HashMap<usize, usize> = HashMap::new();
+        for t in tokens {
+            if let Some(&dim) = self.vocab.get(t.as_ref()) {
+                *tf.entry(dim).or_insert(0) += 1;
+            }
+        }
+        let mut vec: Vec<(usize, f64)> = tf
+            .iter()
+            .map(|(&dim, &f)| (dim, f as f64 * self.idf[dim]))
+            .collect();
+        vec.sort_unstable_by_key(|&(d, _)| d);
+        let norm: f64 = vec.iter().map(|&(_, w)| w * w).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for (_, w) in &mut vec {
+                *w /= norm;
+            }
+        }
+        vec
+    }
+
+    /// Cosine between an encoded query and indexed document `t`.
+    pub fn cosine(&self, query: &[(usize, f64)], t: usize) -> f64 {
+        sparse_dot(query, &self.docs[t])
+    }
+
+    /// Okapi BM25 score of `query_tokens` against document `t`
+    /// (k1 = 1.2, b = 0.75).
+    pub fn bm25<S: AsRef<str>>(&self, query_tokens: &[S], t: usize) -> f64 {
+        const K1: f64 = 1.2;
+        const B: f64 = 0.75;
+        let mut score = 0.0;
+        for tok in query_tokens {
+            let Some(&dim) = self.vocab.get(tok.as_ref()) else {
+                continue;
+            };
+            let idf = self.idf[dim];
+            let f = *self.tf[t].get(&dim).unwrap_or(&0) as f64;
+            if f == 0.0 {
+                continue;
+            }
+            let len_norm = 1.0 - B + B * self.doc_len[t] as f64 / self.avg_len.max(1.0);
+            score += idf * f * (K1 + 1.0) / (f + K1 * len_norm);
+        }
+        score
+    }
+
+    /// Number of indexed documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True when fitted over zero documents.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+}
+
+fn sparse_dot(a: &[(usize, f64)], b: &[(usize, f64)]) -> f64 {
+    let (mut i, mut j, mut acc) = (0usize, 0usize, 0.0);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                acc += a[i].1 * b[j].1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    acc
+}
+
+/// Runs the TF-IDF cosine baseline.
+pub fn run_tfidf(first: &Corpus, second: &Corpus, k: usize) -> RankedMatches {
+    let pre = Preprocessor::default();
+    let t0 = Instant::now();
+    let index = TfIdfIndex::fit(first, &pre);
+    let train_secs = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let queries: Vec<Vec<(usize, f64)>> = (0..second.len())
+        .map(|i| index.encode(&doc_tokens(second, i, &pre)))
+        .collect();
+    let per_query = rank_all(second.len(), first.len(), k, |q, t| {
+        index.cosine(&queries[q], t) as f32
+    });
+    RankedMatches {
+        method: "TF-IDF".to_string(),
+        per_query,
+        train_secs,
+        test_secs: t1.elapsed().as_secs_f64(),
+    }
+}
+
+/// Runs the BM25 baseline.
+pub fn run_bm25(first: &Corpus, second: &Corpus, k: usize) -> RankedMatches {
+    let pre = Preprocessor::default();
+    let t0 = Instant::now();
+    let index = TfIdfIndex::fit(first, &pre);
+    let train_secs = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let queries: Vec<Vec<String>> = (0..second.len())
+        .map(|i| doc_tokens(second, i, &pre))
+        .collect();
+    let per_query = rank_all(second.len(), first.len(), k, |q, t| {
+        index.bm25(&queries[q], t) as f32
+    });
+    RankedMatches {
+        method: "BM25".to_string(),
+        per_query,
+        train_secs,
+        test_secs: t1.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdmatch_core::corpus::TextCorpus;
+
+    fn corpora() -> (Corpus, Corpus) {
+        (
+            Corpus::Text(TextCorpus::new(vec![
+                "tarantino pulp fiction masterpiece".into(),
+                "shyamalan sixth sense thriller twist".into(),
+                "generic movie words everywhere".into(),
+            ])),
+            Corpus::Text(TextCorpus::new(vec![
+                "a twisty thriller from shyamalan".into(),
+            ])),
+        )
+    }
+
+    #[test]
+    fn tfidf_ranks_lexical_match_first() {
+        let (first, second) = corpora();
+        let r = run_tfidf(&first, &second, 3);
+        assert_eq!(r.indices(0)[0], 1);
+    }
+
+    #[test]
+    fn bm25_agrees_on_easy_case() {
+        let (first, second) = corpora();
+        let r = run_bm25(&first, &second, 3);
+        assert_eq!(r.indices(0)[0], 1);
+        assert!(r.per_query[0][0].1 > 0.0);
+    }
+
+    #[test]
+    fn rare_terms_weigh_more_than_common() {
+        let docs: Vec<Vec<String>> = vec![
+            vec!["common".into(), "rare".into()],
+            vec!["common".into(), "other".into()],
+            vec!["common".into(), "third".into()],
+        ];
+        let idx = TfIdfIndex::fit_tokens(&docs);
+        let q = idx.encode(&["rare"]);
+        assert!(idx.cosine(&q, 0) > idx.cosine(&q, 1));
+        let qc = idx.encode(&["common"]);
+        // "common" hits everything equally-ish.
+        assert!((idx.cosine(&qc, 0) - idx.cosine(&qc, 1)).abs() < 0.3);
+    }
+
+    #[test]
+    fn oov_query_scores_zero() {
+        let docs: Vec<Vec<String>> = vec![vec!["a".into()]];
+        let idx = TfIdfIndex::fit_tokens(&docs);
+        let q = idx.encode(&["zzz"]);
+        assert!(q.is_empty());
+        assert_eq!(idx.cosine(&q, 0), 0.0);
+        assert_eq!(idx.bm25(&["zzz"], 0), 0.0);
+    }
+
+    #[test]
+    fn sparse_dot_alignment() {
+        let a = vec![(0usize, 1.0), (3, 2.0)];
+        let b = vec![(1usize, 5.0), (3, 4.0)];
+        assert_eq!(sparse_dot(&a, &b), 8.0);
+    }
+}

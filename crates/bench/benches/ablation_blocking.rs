@@ -1,0 +1,61 @@
+//! Extension ablation — candidate blocking (none vs inverted-index vs
+//! LSH).
+//!
+//! The paper's conclusion names "blocking to speed up performance" as
+//! future work. This bench compares exhaustive cosine scoring against the
+//! two blockers on quality (MAP@5) and match time. Expected shape: the
+//! inverted token index is the cheapest and loses almost nothing on these
+//! lexically overlapping corpora; multiprobe LSH stays within a few MAP
+//! points of exhaustive scoring with a modest speedup at this corpus size
+//! (hash probing is a fixed per-query cost, so its advantage grows with
+//! target-corpus size — at `Small` scale it is visible but not dramatic).
+
+use tdmatch_bench::{bench_config, evaluate, run_with_config};
+use tdmatch_core::config::BlockingMode;
+use tdmatch_core::lsh::LshConfig;
+use tdmatch_datasets::corona::SentenceKind;
+use tdmatch_bench::scale_from_env;
+use tdmatch_datasets::{claims, corona, imdb, Scenario};
+
+fn modes() -> Vec<(&'static str, BlockingMode)> {
+    vec![
+        ("none", BlockingMode::None),
+        ("inverted", BlockingMode::InvertedIndex),
+        (
+            "lsh",
+            BlockingMode::Lsh(LshConfig {
+                tables: 8,
+                bits: 10,
+                probes: 2,
+                seed: 42,
+            }),
+        ),
+    ]
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let scenarios: Vec<Scenario> = vec![
+        imdb::generate(scale, 42, true),
+        corona::generate(scale, 42, SentenceKind::Generated),
+        claims::snopes(scale, 42),
+    ];
+    let modes = modes();
+    println!("\n=== Ablation — blocking (MAP@5 / match ms) ===");
+    print!("{:<12}", "scenario");
+    for (name, _) in &modes {
+        print!(" {name:>16}");
+    }
+    println!();
+    for scenario in &scenarios {
+        print!("{:<12}", scenario.name);
+        for (_, mode) in &modes {
+            let mut config = bench_config(&scenario.config);
+            config.blocking = *mode;
+            let (run, _) = run_with_config(scenario, config, 20, false);
+            let m = evaluate(&run, scenario);
+            print!(" {:>8.3}/{:<7.1}", m.map_at[1], run.test_secs * 1e3);
+        }
+        println!();
+    }
+}

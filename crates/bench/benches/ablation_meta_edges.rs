@@ -1,0 +1,38 @@
+//! §V-F2 ablation — connecting metadata nodes in structured text.
+//!
+//! Removing the taxonomy parent-child edges from the Audit graph drops the
+//! Node F-score at every K (the paper reports −.08/−.04/−.02/−.01 at
+//! K = 1/3/5/10).
+
+use tdmatch_bench::{audit_eval, bench_config, run_with_config};
+use tdmatch_datasets::{audit, Scale};
+
+const KS: [usize; 4] = [1, 3, 5, 10];
+
+fn main() {
+    let scenario = audit::generate(Scale::Small, 42);
+    println!("\n=== Ablation — taxonomy metadata edges (Audit, Node F) ===");
+    println!(
+        "{:<4} {:>12} {:>14} {:>8}",
+        "K", "with edges", "without edges", "delta"
+    );
+
+    let with_cfg = bench_config(&scenario.config);
+    let mut without_cfg = with_cfg.clone();
+    without_cfg.taxonomy_edges = false;
+
+    let (with_run, _) = run_with_config(&scenario, with_cfg, 10, false);
+    let (without_run, _) = run_with_config(&scenario, without_cfg, 10, false);
+
+    for k in KS {
+        let (_, node_with) = audit_eval(&with_run, &scenario, k);
+        let (_, node_without) = audit_eval(&without_run, &scenario, k);
+        println!(
+            "{:<4} {:>12.3} {:>14.3} {:>+8.3}",
+            k,
+            node_with.f1,
+            node_without.f1,
+            node_without.f1 - node_with.f1
+        );
+    }
+}

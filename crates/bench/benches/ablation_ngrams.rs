@@ -1,0 +1,37 @@
+//! §V-F1 ablation — number of tokens per term (n-gram order).
+//!
+//! Paper shape: MAP improves substantially from n = 1 to n = 2, less from
+//! 2 to 3, and plateaus (or regresses) beyond 3 — the basis for the
+//! default n = 3.
+
+use tdmatch_bench::{bench_config, evaluate, run_with_config};
+use tdmatch_datasets::corona::SentenceKind;
+use tdmatch_datasets::{audit, claims, corona, imdb, Scale, Scenario};
+
+const NS: [usize; 4] = [1, 2, 3, 4];
+
+fn main() {
+    let scenarios: Vec<Scenario> = vec![
+        imdb::generate(Scale::Tiny, 42, true),
+        corona::generate(Scale::Tiny, 42, SentenceKind::Generated),
+        audit::generate(Scale::Tiny, 42),
+        claims::snopes(Scale::Tiny, 42),
+    ];
+    println!("\n=== Ablation — n-gram order (MAP@5, #nodes) ===");
+    print!("{:<12}", "max_n");
+    for n in NS {
+        print!(" {n:>14}");
+    }
+    println!();
+    for scenario in &scenarios {
+        print!("{:<12}", scenario.name);
+        for n in NS {
+            let mut config = bench_config(&scenario.config);
+            config.preprocess.max_ngram = n;
+            let (run, model) = run_with_config(scenario, config, 20, false);
+            let map = evaluate(&run, scenario).map_at[1];
+            print!(" {:>7.3}/{:<6}", map, model.graph_size().0);
+        }
+        println!();
+    }
+}

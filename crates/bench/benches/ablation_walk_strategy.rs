@@ -1,0 +1,69 @@
+//! Extension ablation — walk strategy (uniform vs node2vec vs edge-typed).
+//!
+//! The paper's Alg. 4 walks uniformly; §IV-A notes that the embedding
+//! generator is pluggable and cites DeepWalk/node2vec, and the conclusion
+//! names typed edges as future work. This bench quantifies both
+//! extensions: node2vec's `p`/`q` bias and edge-kind-weighted transitions
+//! (up-weighting `Contains` edges over structural `ColumnOf`/`Hierarchy`
+//! ones). Expected shape: uniform and mild node2vec biases are close —
+//! consistent with the paper's observation that graph-native embedding
+//! alternatives bring "no clear benefit" — while extreme biases and
+//! muting structural edges hurt.
+
+use tdmatch_bench::{bench_config, evaluate, run_with_config};
+use tdmatch_datasets::corona::SentenceKind;
+use tdmatch_datasets::{audit, claims, corona, imdb, Scale, Scenario};
+use tdmatch_embed::walks::WalkStrategy;
+use tdmatch_graph::{EdgeKind, EdgeTypeWeights};
+
+fn strategies() -> Vec<(&'static str, WalkStrategy)> {
+    vec![
+        ("uniform", WalkStrategy::Uniform),
+        ("n2v-dfs", WalkStrategy::Node2Vec { p: 0.5, q: 2.0 }),
+        ("n2v-bfs", WalkStrategy::Node2Vec { p: 2.0, q: 0.5 }),
+        ("n2v-return", WalkStrategy::Node2Vec { p: 0.1, q: 1.0 }),
+        (
+            "typed-cont",
+            WalkStrategy::EdgeTyped(
+                EdgeTypeWeights::uniform()
+                    .with(EdgeKind::Contains, 2.0)
+                    .with(EdgeKind::ColumnOf, 0.5),
+            ),
+        ),
+        (
+            "typed-mute",
+            WalkStrategy::EdgeTyped(
+                EdgeTypeWeights::uniform()
+                    .with(EdgeKind::ColumnOf, 0.0)
+                    .with(EdgeKind::Hierarchy, 0.0),
+            ),
+        ),
+    ]
+}
+
+fn main() {
+    let scenarios: Vec<Scenario> = vec![
+        imdb::generate(Scale::Tiny, 42, true),
+        corona::generate(Scale::Tiny, 42, SentenceKind::Generated),
+        audit::generate(Scale::Tiny, 42),
+        claims::snopes(Scale::Tiny, 42),
+    ];
+    let strategies = strategies();
+    println!("\n=== Ablation — walk strategy (MAP@5) ===");
+    print!("{:<12}", "scenario");
+    for (name, _) in &strategies {
+        print!(" {name:>11}");
+    }
+    println!();
+    for scenario in &scenarios {
+        print!("{:<12}", scenario.name);
+        for (_, strategy) in &strategies {
+            let mut config = bench_config(&scenario.config);
+            config.walk_strategy = *strategy;
+            let (run, _) = run_with_config(scenario, config, 20, false);
+            let map = evaluate(&run, scenario).map_at[1];
+            print!(" {map:>11.3}");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,46 @@
+//! Figure 6 — mean average precision as the walk length grows
+//! (5, 10, 20, 30, 40, 50) for all five scenarios.
+//!
+//! Paper shape: quality climbs steeply up to length ≈ 20, then plateaus
+//! (larger, denser graphs keep benefiting a bit longer).
+
+use tdmatch_bench::{bench_config, evaluate, run_with_config, MethodRun};
+use tdmatch_datasets::corona::SentenceKind;
+use tdmatch_datasets::{audit, claims, corona, imdb, Scale, Scenario};
+use tdmatch_eval::ranking::RankMetrics;
+
+const LENGTHS: [usize; 6] = [5, 10, 20, 30, 40, 50];
+
+fn map5(run: &MethodRun, scenario: &Scenario) -> f64 {
+    let m: RankMetrics = evaluate(run, scenario);
+    m.map_at[1] // MAP@5
+}
+
+fn main() {
+    // Sweeps multiply the fit count; use the tiny preset per scenario.
+    let scenarios: Vec<Scenario> = vec![
+        imdb::generate(Scale::Tiny, 42, true),
+        corona::generate(Scale::Tiny, 42, SentenceKind::Generated),
+        audit::generate(Scale::Tiny, 42),
+        claims::politifact(Scale::Tiny, 42),
+        claims::snopes(Scale::Tiny, 42),
+    ];
+    println!("\n=== Figure 6 — MAP@5 vs walk length ===");
+    print!("{:<12}", "walk_len");
+    for l in LENGTHS {
+        print!(" {l:>7}");
+    }
+    println!();
+    for scenario in &scenarios {
+        print!("{:<12}", scenario.name);
+        for l in LENGTHS {
+            let config = tdmatch_core::config::TdConfig {
+                walk_len: l,
+                ..bench_config(&scenario.config)
+            };
+            let (run, _) = run_with_config(scenario, config, 20, false);
+            print!(" {:>7.3}", map5(&run, scenario));
+        }
+        println!();
+    }
+}

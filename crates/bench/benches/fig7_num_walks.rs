@@ -1,0 +1,45 @@
+//! Figure 7 — mean average precision as the number of walks per node
+//! grows (5, 10, 20, 30, 40, 50).
+//!
+//! Paper shape: more walks help with diminishing returns; sparse graphs
+//! (CoronaCheck) saturate earliest.
+
+use tdmatch_bench::{bench_config, evaluate, run_with_config, MethodRun};
+use tdmatch_datasets::corona::SentenceKind;
+use tdmatch_datasets::{audit, claims, corona, imdb, Scale, Scenario};
+use tdmatch_eval::ranking::RankMetrics;
+
+const WALKS: [usize; 6] = [5, 10, 20, 30, 40, 50];
+
+fn map5(run: &MethodRun, scenario: &Scenario) -> f64 {
+    let m: RankMetrics = evaluate(run, scenario);
+    m.map_at[1]
+}
+
+fn main() {
+    let scenarios: Vec<Scenario> = vec![
+        imdb::generate(Scale::Tiny, 42, true),
+        corona::generate(Scale::Tiny, 42, SentenceKind::Generated),
+        audit::generate(Scale::Tiny, 42),
+        claims::politifact(Scale::Tiny, 42),
+        claims::snopes(Scale::Tiny, 42),
+    ];
+    println!("\n=== Figure 7 — MAP@5 vs number of walks per node ===");
+    print!("{:<12}", "walks");
+    for w in WALKS {
+        print!(" {w:>7}");
+    }
+    println!();
+    for scenario in &scenarios {
+        print!("{:<12}", scenario.name);
+        for w in WALKS {
+            let config = tdmatch_core::config::TdConfig {
+                walks_per_node: w,
+                ..bench_config(&scenario.config)
+            };
+            let (run, _) = run_with_config(scenario, config, 20, false);
+            print!(" {:>7.3}", map5(&run, scenario));
+        }
+        println!();
+    }
+}

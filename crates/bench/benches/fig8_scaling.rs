@@ -1,0 +1,54 @@
+//! Figure 8 — execution time (random walks + Word2Vec training) as the
+//! graph grows.
+//!
+//! The paper grows STS-derived graphs (expanded with ConceptNet) from 3k
+//! to 120k nodes and reports total embedding time; the expected shape is
+//! **linear** scaling in the node count. We replicate by unioning several
+//! independently-seeded STS scenarios into one corpus pair of increasing
+//! size, building the graph, expanding it, and timing walks + training.
+
+use std::time::Instant;
+
+use tdmatch_bench::bench_config;
+use tdmatch_core::builder::build_graph;
+use tdmatch_core::corpus::{Corpus, TextCorpus};
+use tdmatch_datasets::{sts, Scale};
+use tdmatch_embed::walks::{generate_walks, walk_counts};
+use tdmatch_embed::word2vec::train_ids;
+
+fn main() {
+    println!("\n=== Figure 8 — embedding time vs graph size ===");
+    println!("{:>10} {:>10} {:>12}", "#nodes", "#edges", "time_secs");
+    for copies in [1usize, 2, 4, 8, 16] {
+        // Union `copies` STS corpora into one big text-to-text pair.
+        let mut first_docs = Vec::new();
+        let mut second_docs = Vec::new();
+        for seed in 0..copies as u64 {
+            let s = sts::generate(Scale::Small, 100 + seed, 2);
+            let Corpus::Text(f) = s.first else { unreachable!() };
+            let Corpus::Text(snd) = s.second else { unreachable!() };
+            first_docs.extend(f.docs);
+            second_docs.extend(snd.docs);
+        }
+        let first = Corpus::Text(TextCorpus::new(first_docs));
+        let second = Corpus::Text(TextCorpus::new(second_docs));
+        let base = sts::generate(Scale::Tiny, 1, 2);
+        let config = bench_config(&base.config);
+
+        let built = build_graph(&first, &second, &config, None);
+        let mut graph = built.graph;
+        tdmatch_core::expand::expand_graph(&mut graph, base.kb.as_ref(), 16);
+
+        let t0 = Instant::now();
+        let corpus = generate_walks(&graph, &config.walk_config());
+        let counts = walk_counts(&corpus, graph.id_bound(), false);
+        let _matrix = train_ids(&corpus, &counts, &config.w2v_config());
+        let secs = t0.elapsed().as_secs_f64();
+        println!(
+            "{:>10} {:>10} {:>12.3}",
+            graph.node_count(),
+            graph.edge_count(),
+            secs
+        );
+    }
+}

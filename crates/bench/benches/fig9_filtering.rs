@@ -1,0 +1,50 @@
+//! Figure 9 — impact of data-node filtering: Normal (no filtering) vs
+//! TF-IDF (best k of {3, 5, 10, 20}) vs Intersect (ours), MAP across the
+//! five scenarios.
+//!
+//! Paper shape: both summarizations beat Normal on most scenarios, and
+//! Intersect beats TF-IDF everywhere.
+
+use tdmatch_bench::{bench_config, evaluate, run_with_config};
+use tdmatch_core::config::FilterMode;
+use tdmatch_datasets::corona::SentenceKind;
+use tdmatch_datasets::{audit, claims, corona, imdb, Scale, Scenario};
+
+const TFIDF_KS: [usize; 4] = [3, 5, 10, 20];
+
+fn map5(scenario: &Scenario, filtering: FilterMode) -> f64 {
+    let config = tdmatch_core::config::TdConfig {
+        filtering,
+        ..bench_config(&scenario.config)
+    };
+    let (run, _) = run_with_config(scenario, config, 20, false);
+    evaluate(&run, scenario).map_at[1]
+}
+
+fn main() {
+    let scenarios: Vec<Scenario> = vec![
+        audit::generate(Scale::Tiny, 42),
+        claims::politifact(Scale::Tiny, 42),
+        claims::snopes(Scale::Tiny, 42),
+        imdb::generate(Scale::Tiny, 42, true),
+        corona::generate(Scale::Tiny, 42, SentenceKind::Generated),
+    ];
+    println!("\n=== Figure 9 — data-node filtering (MAP@5) ===");
+    println!(
+        "{:<12} {:>8} {:>8} {:>10}",
+        "scenario", "Normal", "TFIDF", "Intersect"
+    );
+    for scenario in &scenarios {
+        let normal = map5(scenario, FilterMode::None);
+        // TF-IDF: report the best k, as the paper does.
+        let tfidf = TFIDF_KS
+            .iter()
+            .map(|&k| map5(scenario, FilterMode::TfIdf { k }))
+            .fold(0.0f64, f64::max);
+        let intersect = map5(scenario, FilterMode::Intersect);
+        println!(
+            "{:<12} {:>8.3} {:>8.3} {:>10.3}",
+            scenario.name, normal, tfidf, intersect
+        );
+    }
+}

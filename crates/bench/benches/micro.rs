@@ -1,0 +1,128 @@
+//! Criterion micro-benchmarks for the hot components: preprocessing,
+//! graph construction, traversal, random walks, Word2Vec epochs, cosine
+//! top-k, and MSP compression.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use tdmatch_compress::{msp_compress, MspConfig};
+use tdmatch_core::builder::build_graph;
+use tdmatch_core::config::TdConfig;
+use tdmatch_datasets::{imdb, Scale};
+use tdmatch_embed::vectors::top_k_cosine;
+use tdmatch_embed::walks::{generate_walks, walk_counts, WalkConfig, WalkStrategy};
+use tdmatch_embed::word2vec::{train_ids, Word2VecConfig};
+use tdmatch_graph::traverse::{all_shortest_paths, bfs_distances};
+use tdmatch_graph::{CorpusSide, Graph};
+use tdmatch_text::Preprocessor;
+
+fn tiny_graph() -> Graph {
+    let scenario = imdb::generate(Scale::Tiny, 7, true);
+    build_graph(
+        &scenario.first,
+        &scenario.second,
+        &TdConfig::for_tests(),
+        None,
+    )
+    .graph
+}
+
+fn bench_preprocess(c: &mut Criterion) {
+    let pre = Preprocessor::default();
+    let text = "The Sixth Sense delivers a brilliant thriller full of suspense \
+                and mystery with Bruce Willis giving a subtle performance";
+    c.bench_function("preprocess/terms", |b| {
+        b.iter(|| black_box(pre.terms(black_box(text))))
+    });
+}
+
+fn bench_graph_build(c: &mut Criterion) {
+    let scenario = imdb::generate(Scale::Tiny, 7, true);
+    let config = TdConfig::for_tests();
+    c.bench_function("graph/build_imdb_tiny", |b| {
+        b.iter(|| {
+            black_box(build_graph(
+                &scenario.first,
+                &scenario.second,
+                &config,
+                None,
+            ))
+        })
+    });
+}
+
+fn bench_traversal(c: &mut Criterion) {
+    let g = tiny_graph();
+    let meta = g.matchable_nodes(CorpusSide::First);
+    let queries = g.matchable_nodes(CorpusSide::Second);
+    c.bench_function("graph/bfs_distances", |b| {
+        b.iter(|| black_box(bfs_distances(&g, meta[0])))
+    });
+    c.bench_function("graph/all_shortest_paths", |b| {
+        b.iter(|| black_box(all_shortest_paths(&g, queries[0], meta[0], 16)))
+    });
+}
+
+fn bench_walks_and_train(c: &mut Criterion) {
+    let g = tiny_graph();
+    let cfg = WalkConfig {
+        walks_per_node: 5,
+        walk_len: 10,
+        seed: 1,
+        threads: 1,
+        strategy: WalkStrategy::Uniform,
+    };
+    c.bench_function("embed/generate_walks", |b| {
+        b.iter(|| black_box(generate_walks(&g, &cfg)))
+    });
+    let corpus = generate_walks(&g, &cfg);
+    let counts = walk_counts(&corpus, g.id_bound(), false);
+    let w2v = Word2VecConfig {
+        dim: 32,
+        epochs: 1,
+        threads: 1,
+        ..Default::default()
+    };
+    c.bench_function("embed/w2v_epoch", |b| {
+        b.iter(|| black_box(train_ids(&corpus, &counts, &w2v)))
+    });
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let dim = 64;
+    let vectors: Vec<Vec<f32>> = (0..1000)
+        .map(|i| (0..dim).map(|d| ((i * d) % 97) as f32 / 97.0).collect())
+        .collect();
+    let refs: Vec<&[f32]> = vectors.iter().map(|v| v.as_slice()).collect();
+    let query: Vec<f32> = (0..dim).map(|d| d as f32 / dim as f32).collect();
+    c.bench_function("match/top_k_cosine_1000", |b| {
+        b.iter(|| black_box(top_k_cosine(&query, &refs, 20)))
+    });
+}
+
+fn bench_compression(c: &mut Criterion) {
+    let g = tiny_graph();
+    c.bench_function("compress/msp_beta_0.25", |b| {
+        b.iter_batched(
+            || g.clone(),
+            |g| {
+                black_box(msp_compress(
+                    &g,
+                    &MspConfig {
+                        beta: 0.25,
+                        ..Default::default()
+                    },
+                ))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_preprocess, bench_graph_build, bench_traversal,
+              bench_walks_and_train, bench_topk, bench_compression
+}
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Table VII — train and test execution times (seconds) per method per
+//! task, averaged over the task's scenarios.
+//!
+//! Paper shape: our method's *test* time is the fastest of all methods
+//! (embedding lookup + cosine); its train time sits between the plain
+//! embedding baselines and the fine-tuned transformers; S-BE has no
+//! training at all.
+
+use tdmatch_bench::{run_wrw, scale_from_env, supervised_options, MethodRun, TABLE_K};
+use tdmatch_datasets::{audit, claims, corona, imdb};
+use tdmatch_datasets::corona::SentenceKind;
+use tdmatch_datasets::Scenario;
+
+struct Task {
+    name: &'static str,
+    scenarios: Vec<Scenario>,
+}
+
+fn method_times(scenario: &Scenario) -> Vec<(String, f64, f64)> {
+    let opts = supervised_options(42);
+    let mut rows: Vec<(String, f64, f64)> = Vec::new();
+
+    let w2v = tdmatch_baselines::w2vec::run(
+        &scenario.first,
+        &scenario.second,
+        &tdmatch_baselines::w2vec::W2vecOptions::default(),
+        TABLE_K,
+    );
+    rows.push((w2v.method, w2v.train_secs, w2v.test_secs));
+
+    let d2v = tdmatch_baselines::d2vec::run(
+        &scenario.first,
+        &scenario.second,
+        &tdmatch_baselines::d2vec::D2vecOptions::default(),
+        TABLE_K,
+    );
+    rows.push((d2v.method, d2v.train_secs, d2v.test_secs));
+
+    let sbe = tdmatch_baselines::sbe::run(
+        &scenario.first,
+        &scenario.second,
+        &scenario.pretrained,
+        TABLE_K,
+    );
+    rows.push((sbe.method, sbe.train_secs, sbe.test_secs));
+
+    let (wrw, _): (MethodRun, _) = run_wrw(scenario, TABLE_K);
+    rows.push((wrw.method, wrw.train_secs, wrw.test_secs));
+
+    let rank = tdmatch_baselines::rank::run(
+        &scenario.first,
+        &scenario.second,
+        &scenario.ground_truth,
+        &scenario.pretrained,
+        &opts,
+        TABLE_K,
+    );
+    rows.push((rank.method, rank.train_secs, rank.test_secs));
+
+    let lbe = tdmatch_baselines::supervised::run_lbe(
+        &scenario.first,
+        &scenario.second,
+        &scenario.ground_truth,
+        &scenario.pretrained,
+        &opts,
+        TABLE_K,
+    );
+    rows.push((lbe.method, lbe.train_secs, lbe.test_secs));
+
+    let ditto = tdmatch_baselines::supervised::run_ditto(
+        &scenario.first,
+        &scenario.second,
+        &scenario.ground_truth,
+        &scenario.pretrained,
+        &opts,
+        TABLE_K,
+    );
+    rows.push((ditto.method, ditto.train_secs, ditto.test_secs));
+
+    rows
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let tasks = vec![
+        Task {
+            name: "Text to data",
+            scenarios: vec![
+                imdb::generate(scale, 42, true),
+                corona::generate(scale, 42, SentenceKind::Generated),
+            ],
+        },
+        Task {
+            name: "Structured text",
+            scenarios: vec![audit::generate(scale, 42)],
+        },
+        Task {
+            name: "Text to text",
+            scenarios: vec![claims::snopes(scale, 42), claims::politifact(scale, 42)],
+        },
+    ];
+
+    println!("\n=== Table VII — train and test execution times (sec) ===");
+    println!("{:<16} {:<10} {:>10} {:>10}", "Task", "Method", "Train", "Test");
+    println!("{}", "-".repeat(50));
+    for task in tasks {
+        // Average per method over the task's scenarios.
+        let mut agg: std::collections::BTreeMap<String, (f64, f64, usize)> =
+            std::collections::BTreeMap::new();
+        for scenario in &task.scenarios {
+            for (m, tr, te) in method_times(scenario) {
+                let e = agg.entry(m).or_insert((0.0, 0.0, 0));
+                e.0 += tr;
+                e.1 += te;
+                e.2 += 1;
+            }
+        }
+        for (m, (tr, te, n)) in agg {
+            println!(
+                "{:<16} {:<10} {:>10.3} {:>10.4}",
+                task.name,
+                m,
+                tr / n as f64,
+                te / n as f64
+            );
+        }
+        println!("{}", "-".repeat(50));
+    }
+}

@@ -1,0 +1,49 @@
+//! Table VIII — compression performance: graph size (#N, #E) and matching
+//! quality (MRR) for the original graph, the expanded graph, MSP(0.5),
+//! MSP(0.25), and SSuM(0.1) on all five scenarios.
+//!
+//! Paper shape: expansion grows the graph and improves MRR; MSP shrinks
+//! the expanded graph back below (or near) the original with little
+//! quality loss on scenarios with a relational table, a visible drop on
+//! text-only scenarios; MSP beats SSuM on quality at comparable sizes.
+
+use tdmatch_bench::{evaluate, run_pipeline, scale_from_env, TABLE_K};
+use tdmatch_core::config::Compression;
+use tdmatch_datasets::corona::SentenceKind;
+use tdmatch_datasets::{audit, claims, corona, imdb, Scenario};
+
+fn row(scenario: &Scenario, label: &str, expand: bool, compression: Option<Compression>) {
+    let (run, model) = run_pipeline(scenario, TABLE_K, expand, compression);
+    let (n, e) = model.graph_size();
+    let metrics = evaluate(&run, scenario);
+    println!(
+        "{:<12} {:<12} {:>8} {:>9} {:>7.3}",
+        scenario.name, label, n, e, metrics.mrr
+    );
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let scenarios: Vec<Scenario> = vec![
+        imdb::generate(scale, 42, false),
+        corona::generate(scale, 42, SentenceKind::Generated),
+        claims::snopes(scale, 42),
+        claims::politifact(scale, 42),
+        audit::generate(scale, 42),
+    ];
+
+    println!("\n=== Table VIII — compression: size vs matching quality ===");
+    println!(
+        "{:<12} {:<12} {:>8} {:>9} {:>7}",
+        "Dataset", "Graph", "#N", "#E", "MRR"
+    );
+    println!("{}", "-".repeat(52));
+    for scenario in &scenarios {
+        row(scenario, "Original", false, None);
+        row(scenario, "Expanded", true, None);
+        row(scenario, "MSP(0.5)", true, Some(Compression::Msp { beta: 0.5 }));
+        row(scenario, "MSP(0.25)", true, Some(Compression::Msp { beta: 0.25 }));
+        row(scenario, "SSuM(0.1)", true, Some(Compression::Ssum { ratio: 0.9 }));
+        println!("{}", "-".repeat(52));
+    }
+}

@@ -1,0 +1,25 @@
+//! Graph compression for TDmatch (§III-B).
+//!
+//! Expansion makes the graph bigger; compression prunes nodes and edges
+//! that do not contribute to the connections among metadata nodes. The
+//! paper's method, **MSP** (Metadata Shortest Path, Alg. 3), samples pairs
+//! of metadata nodes from the two corpora and keeps only the nodes/edges on
+//! their shortest paths. We also implement the baselines it is compared to:
+//!
+//! * [`ssp`] — the original SSP sampler (random node pairs, not metadata);
+//! * [`ssum`] — an SSuM-like summarizer (node grouping + edge sparsifying);
+//! * [`sampling`] — plain random node / edge sampling.
+//!
+//! All methods return a *new* graph; node identity is preserved through
+//! labels (metadata labels are unique, data nodes are interned by term).
+
+pub mod msp;
+pub mod sampling;
+pub mod ssp;
+pub mod ssum;
+pub mod subgraph;
+
+pub use msp::{msp_compress, MspConfig};
+pub use ssp::{ssp_compress, SspConfig};
+pub use ssum::{ssum_compress, SsumConfig};
+pub use subgraph::SubgraphBuilder;

@@ -1,0 +1,196 @@
+//! MSP — Metadata Shortest Path compression (the paper's Alg. 3).
+//!
+//! `L = β · |V|` iterations; each picks one random *matchable* metadata
+//! node per corpus, computes all shortest paths between them in the input
+//! graph, and adds those paths to the output. A final pass guarantees that
+//! every metadata node is connected by at least one shortest path even if
+//! it was never sampled.
+
+use rand::rngs::SmallRng;
+use rand::seq::IndexedRandom;
+use rand::SeedableRng;
+
+use tdmatch_graph::traverse::{all_shortest_paths, bfs_distances};
+use tdmatch_graph::{CorpusSide, Graph, NodeId};
+
+use crate::subgraph::SubgraphBuilder;
+
+/// MSP parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MspConfig {
+    /// Compression ratio β: iterations = `β · node_count`. The paper
+    /// evaluates 0.5 and 0.25 (Table VIII).
+    pub beta: f64,
+    /// Cap on enumerated shortest paths per sampled pair (the shortest-path
+    /// DAG can hold exponentially many).
+    pub max_paths_per_pair: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MspConfig {
+    fn default() -> Self {
+        Self {
+            beta: 0.5,
+            max_paths_per_pair: 16,
+            seed: 42,
+        }
+    }
+}
+
+/// Runs MSP compression and returns the compressed graph.
+pub fn msp_compress(g: &Graph, config: &MspConfig) -> Graph {
+    let first = g.matchable_nodes(CorpusSide::First);
+    let second = g.matchable_nodes(CorpusSide::Second);
+    let mut builder = SubgraphBuilder::new(g);
+    if first.is_empty() || second.is_empty() {
+        return builder.build();
+    }
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let iterations = (config.beta * g.node_count() as f64).ceil() as usize;
+
+    for _ in 0..iterations {
+        let &a = first.choose(&mut rng).expect("non-empty");
+        let &b = second.choose(&mut rng).expect("non-empty");
+        for path in all_shortest_paths(g, a, b, config.max_paths_per_pair) {
+            builder.add_path(&path);
+        }
+    }
+
+    // Guarantee: every metadata node keeps at least one shortest path to
+    // the other corpus (Alg. 3's post-condition).
+    connect_unsampled(g, &mut builder, &first, &second, config.max_paths_per_pair);
+    connect_unsampled(g, &mut builder, &second, &first, config.max_paths_per_pair);
+
+    builder.build()
+}
+
+/// For each metadata node of `from` missing from the subgraph, adds one
+/// shortest path to the nearest node of `to`.
+fn connect_unsampled(
+    g: &Graph,
+    builder: &mut SubgraphBuilder<'_>,
+    from: &[NodeId],
+    to: &[NodeId],
+    max_paths: usize,
+) {
+    for &m in from {
+        if builder.contains_node(m) {
+            continue;
+        }
+        // Nearest opposite-corpus metadata node by BFS.
+        let dist = bfs_distances(g, m);
+        let target = to
+            .iter()
+            .copied()
+            .filter(|t| dist[t.index()] != u32::MAX)
+            .min_by_key(|t| dist[t.index()]);
+        match target {
+            Some(t) => {
+                for path in all_shortest_paths(g, m, t, max_paths.min(2)) {
+                    builder.add_path(&path);
+                }
+            }
+            None => builder.add_node(m), // disconnected in the source too
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdmatch_graph::MetaKind;
+
+    /// Two tuples, two paragraphs, several terms; some terms are only
+    /// reachable off the shortest paths.
+    fn fixture() -> Graph {
+        let mut g = Graph::new();
+        let t0 = g.add_meta("t0", CorpusSide::First, MetaKind::Tuple, 0);
+        let t1 = g.add_meta("t1", CorpusSide::First, MetaKind::Tuple, 1);
+        let p0 = g.add_meta("p0", CorpusSide::Second, MetaKind::TextDoc, 0);
+        let p1 = g.add_meta("p1", CorpusSide::Second, MetaKind::TextDoc, 1);
+        let shared0 = g.intern_data("shared0");
+        let shared1 = g.intern_data("shared1");
+        g.add_edge(t0, shared0);
+        g.add_edge(p0, shared0);
+        g.add_edge(t1, shared1);
+        g.add_edge(p1, shared1);
+        // Off-path decorations: chains hanging off tuples.
+        for i in 0..20 {
+            let d = g.intern_data(&format!("deco{i}"));
+            let d2 = g.intern_data(&format!("deco{i}b"));
+            g.add_edge(t0, d);
+            g.add_edge(d, d2);
+        }
+        g
+    }
+
+    #[test]
+    fn compressed_graph_is_smaller() {
+        let g = fixture();
+        let cg = msp_compress(&g, &MspConfig { beta: 0.25, ..Default::default() });
+        assert!(cg.node_count() < g.node_count());
+        assert!(cg.edge_count() < g.edge_count());
+    }
+
+    #[test]
+    fn all_metadata_nodes_survive() {
+        let g = fixture();
+        let cg = msp_compress(&g, &MspConfig { beta: 0.1, ..Default::default() });
+        for label in ["t0", "t1", "p0", "p1"] {
+            assert!(cg.meta_node(label).is_some(), "{label} missing");
+        }
+    }
+
+    #[test]
+    fn metadata_stays_connected_cross_corpus() {
+        let g = fixture();
+        let cg = msp_compress(&g, &MspConfig { beta: 0.5, ..Default::default() });
+        let t0 = cg.meta_node("t0").unwrap();
+        let p0 = cg.meta_node("p0").unwrap();
+        assert!(
+            tdmatch_graph::traverse::shortest_path_len(&cg, t0, p0).is_some(),
+            "t0 must stay connected to p0"
+        );
+    }
+
+    #[test]
+    fn shortest_paths_are_preserved_in_length() {
+        let g = fixture();
+        let cg = msp_compress(&g, &MspConfig { beta: 1.0, ..Default::default() });
+        let (t0, p0) = (g.meta_node("t0").unwrap(), g.meta_node("p0").unwrap());
+        let before = tdmatch_graph::traverse::shortest_path_len(&g, t0, p0).unwrap();
+        let (ct0, cp0) = (cg.meta_node("t0").unwrap(), cg.meta_node("p0").unwrap());
+        let after = tdmatch_graph::traverse::shortest_path_len(&cg, ct0, cp0).unwrap();
+        assert_eq!(before, after, "compression must not lengthen shortest paths");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = fixture();
+        let c1 = msp_compress(&g, &MspConfig::default());
+        let c2 = msp_compress(&g, &MspConfig::default());
+        assert_eq!(c1.node_count(), c2.node_count());
+        assert_eq!(c1.edge_count(), c2.edge_count());
+    }
+
+    #[test]
+    fn empty_side_yields_empty_graph() {
+        let mut g = Graph::new();
+        g.add_meta("t0", CorpusSide::First, MetaKind::Tuple, 0);
+        let cg = msp_compress(&g, &MspConfig::default());
+        assert_eq!(cg.node_count(), 0);
+    }
+
+    #[test]
+    fn disconnected_metadata_is_kept_isolated() {
+        let mut g = Graph::new();
+        let t0 = g.add_meta("t0", CorpusSide::First, MetaKind::Tuple, 0);
+        let p0 = g.add_meta("p0", CorpusSide::Second, MetaKind::TextDoc, 0);
+        let d = g.intern_data("only-t0");
+        g.add_edge(t0, d);
+        let _ = p0;
+        let cg = msp_compress(&g, &MspConfig::default());
+        assert!(cg.meta_node("p0").is_some(), "isolated metadata still present");
+    }
+}

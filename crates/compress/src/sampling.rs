@@ -1,0 +1,105 @@
+//! Plain random node / edge sampling baselines (§III-B cites node-,
+//! edge-, and exploration-based samplers; these are the first two).
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use tdmatch_graph::{Graph, NodeId};
+
+use crate::subgraph::SubgraphBuilder;
+
+/// Keeps a uniformly random `ratio` fraction of nodes (metadata always
+/// kept) plus all edges between surviving nodes.
+pub fn random_node_sample(g: &Graph, ratio: f64, seed: u64) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut data_nodes: Vec<NodeId> = g
+        .nodes()
+        .filter(|&n| !g.kind(n).is_metadata())
+        .collect();
+    data_nodes.shuffle(&mut rng);
+    let keep = ((data_nodes.len() as f64) * ratio.clamp(0.0, 1.0)).round() as usize;
+    data_nodes.truncate(keep);
+
+    let mut kept = vec![false; g.id_bound()];
+    for &n in &data_nodes {
+        kept[n.index()] = true;
+    }
+    for m in g.metadata_nodes(None) {
+        kept[m.index()] = true;
+    }
+
+    let mut builder = SubgraphBuilder::new(g);
+    for n in g.nodes() {
+        if kept[n.index()] {
+            builder.add_node(n);
+        }
+    }
+    for (a, b) in g.edges() {
+        if kept[a.index()] && kept[b.index()] {
+            builder.add_edge(a, b);
+        }
+    }
+    builder.build()
+}
+
+/// Keeps a uniformly random `ratio` fraction of edges plus all incident
+/// nodes (metadata always kept).
+pub fn random_edge_sample(g: &Graph, ratio: f64, seed: u64) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges: Vec<(NodeId, NodeId)> = g.edges().collect();
+    edges.shuffle(&mut rng);
+    let keep = ((edges.len() as f64) * ratio.clamp(0.0, 1.0)).round() as usize;
+    edges.truncate(keep);
+
+    let mut builder = SubgraphBuilder::new(g);
+    for (a, b) in edges {
+        builder.add_edge(a, b);
+    }
+    for m in g.metadata_nodes(None) {
+        builder.add_node(m);
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdmatch_graph::{CorpusSide, MetaKind};
+
+    fn fixture() -> Graph {
+        let mut g = Graph::new();
+        let t = g.add_meta("t0", CorpusSide::First, MetaKind::Tuple, 0);
+        let mut prev = t;
+        for i in 0..40 {
+            let d = g.intern_data(&format!("d{i}"));
+            g.add_edge(prev, d);
+            prev = d;
+        }
+        g
+    }
+
+    #[test]
+    fn node_sampling_hits_target() {
+        let g = fixture();
+        let sg = random_node_sample(&g, 0.5, 3);
+        // 40 data nodes * 0.5 + 1 metadata
+        assert_eq!(sg.node_count(), 21);
+        assert!(sg.meta_node("t0").is_some());
+    }
+
+    #[test]
+    fn edge_sampling_hits_target() {
+        let g = fixture();
+        let sg = random_edge_sample(&g, 0.25, 3);
+        assert_eq!(sg.edge_count(), 10);
+        assert!(sg.meta_node("t0").is_some());
+    }
+
+    #[test]
+    fn ratio_bounds_are_clamped() {
+        let g = fixture();
+        assert_eq!(random_node_sample(&g, 2.0, 1).node_count(), g.node_count());
+        assert_eq!(random_edge_sample(&g, -1.0, 1).edge_count(), 0);
+    }
+}

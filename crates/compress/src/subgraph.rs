@@ -1,0 +1,176 @@
+//! Rebuilding a subgraph while preserving node identity via labels.
+
+use std::collections::HashSet;
+
+use tdmatch_graph::{Graph, NodeId, NodeKind};
+
+/// Accumulates nodes and edges of an input graph and materializes them as a
+/// fresh [`Graph`]. Metadata nodes keep their label/kind; data and external
+/// nodes are re-interned by label.
+pub struct SubgraphBuilder<'g> {
+    source: &'g Graph,
+    nodes: HashSet<NodeId>,
+    edges: HashSet<(NodeId, NodeId)>,
+}
+
+impl<'g> SubgraphBuilder<'g> {
+    /// Starts an empty subgraph over `source`.
+    pub fn new(source: &'g Graph) -> Self {
+        Self {
+            source,
+            nodes: HashSet::new(),
+            edges: HashSet::new(),
+        }
+    }
+
+    /// Adds a single node.
+    pub fn add_node(&mut self, n: NodeId) {
+        self.nodes.insert(n);
+    }
+
+    /// Adds an edge (and its endpoints). Order-insensitive.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) {
+        self.nodes.insert(a);
+        self.nodes.insert(b);
+        self.edges.insert(if a < b { (a, b) } else { (b, a) });
+    }
+
+    /// Adds a whole path: all its nodes and consecutive edges.
+    pub fn add_path(&mut self, path: &[NodeId]) {
+        for &n in path {
+            self.nodes.insert(n);
+        }
+        for w in path.windows(2) {
+            self.add_edge(w[0], w[1]);
+        }
+    }
+
+    /// True if the node is already in the subgraph.
+    pub fn contains_node(&self, n: NodeId) -> bool {
+        self.nodes.contains(&n)
+    }
+
+    /// Current node count.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Current edge count.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Materializes the collected nodes/edges into a fresh graph.
+    pub fn build(self) -> Graph {
+        let mut out = Graph::with_capacity(self.nodes.len());
+        // Dense id remap table sized by the source graph.
+        let mut remap: Vec<Option<NodeId>> = vec![None; self.source.id_bound()];
+        let mut ordered: Vec<NodeId> = self.nodes.into_iter().collect();
+        ordered.sort_unstable(); // deterministic construction order
+        for n in ordered {
+            let label = self.source.label(n);
+            let new_id = match self.source.kind(n) {
+                NodeKind::Data => out.intern_data(label),
+                NodeKind::External => out.intern_external(label),
+                NodeKind::Meta { side, kind, index } => out.add_meta(label, side, kind, index),
+            };
+            remap[n.index()] = Some(new_id);
+        }
+        let mut edges: Vec<(NodeId, NodeId)> = self.edges.into_iter().collect();
+        edges.sort_unstable();
+        for (a, b) in edges {
+            let (Some(na), Some(nb)) = (remap[a.index()], remap[b.index()]) else {
+                continue;
+            };
+            // Carry the edge kind over from the source graph; edges the
+            // builder invented (not in the source) stay Generic.
+            match self.source.edge_kind(a, b) {
+                Some(kind) => out.add_edge_typed(na, nb, kind),
+                None => out.add_edge(na, nb),
+            };
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdmatch_graph::{CorpusSide, MetaKind};
+
+    #[test]
+    fn rebuild_preserves_labels_kinds_and_edges() {
+        let mut g = Graph::new();
+        let t = g.add_meta("t0", CorpusSide::First, MetaKind::Tuple, 0);
+        let d = g.intern_data("willis");
+        let e = g.intern_external("pulp");
+        g.add_edge(t, d);
+        g.add_edge(d, e);
+
+        let mut sb = SubgraphBuilder::new(&g);
+        sb.add_path(&[t, d, e]);
+        let out = sb.build();
+
+        assert_eq!(out.node_count(), 3);
+        assert_eq!(out.edge_count(), 2);
+        let t2 = out.meta_node("t0").unwrap();
+        assert!(out.kind(t2).is_metadata());
+        let d2 = out.data_node("willis").unwrap();
+        assert!(out.has_edge(t2, d2));
+        assert!(matches!(out.kind(out.data_node("pulp").unwrap()), NodeKind::External));
+    }
+
+    #[test]
+    fn rebuild_preserves_edge_kinds() {
+        use tdmatch_graph::EdgeKind;
+        let mut g = Graph::new();
+        let t = g.add_meta("t0", CorpusSide::First, MetaKind::Tuple, 0);
+        let d = g.intern_data("willis");
+        let e = g.intern_external("pulp");
+        g.add_edge_typed(t, d, EdgeKind::Contains);
+        g.add_edge_typed(d, e, EdgeKind::External);
+
+        let mut sb = SubgraphBuilder::new(&g);
+        sb.add_path(&[t, d, e]);
+        let out = sb.build();
+        let (t2, d2, e2) = (
+            out.meta_node("t0").unwrap(),
+            out.data_node("willis").unwrap(),
+            out.data_node("pulp").unwrap(),
+        );
+        assert_eq!(out.edge_kind(t2, d2), Some(EdgeKind::Contains));
+        assert_eq!(out.edge_kind(d2, e2), Some(EdgeKind::External));
+    }
+
+    #[test]
+    fn partial_subgraph_drops_other_edges() {
+        let mut g = Graph::new();
+        let a = g.intern_data("a");
+        let b = g.intern_data("b");
+        let c = g.intern_data("c");
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        g.add_edge(a, c);
+
+        let mut sb = SubgraphBuilder::new(&g);
+        sb.add_edge(a, b);
+        let out = sb.build();
+        assert_eq!(out.node_count(), 2);
+        assert_eq!(out.edge_count(), 1);
+        assert!(out.data_node("c").is_none());
+    }
+
+    #[test]
+    fn duplicate_additions_are_idempotent() {
+        let mut g = Graph::new();
+        let a = g.intern_data("a");
+        let b = g.intern_data("b");
+        g.add_edge(a, b);
+        let mut sb = SubgraphBuilder::new(&g);
+        sb.add_edge(a, b);
+        sb.add_edge(b, a);
+        sb.add_path(&[a, b]);
+        assert_eq!(sb.node_count(), 2);
+        assert_eq!(sb.edge_count(), 1);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests for graph compression: every method must produce
+//! a subgraph of its input, and MSP must keep metadata nodes present and
+//! (when possible) cross-corpus connected.
+
+use proptest::prelude::*;
+
+use tdmatch_compress::sampling::{random_edge_sample, random_node_sample};
+use tdmatch_compress::{msp_compress, ssp_compress, ssum_compress, MspConfig, SspConfig, SsumConfig};
+use tdmatch_graph::traverse::shortest_path_len;
+use tdmatch_graph::{CorpusSide, Graph, MetaKind, NodeId};
+
+/// Builds a bipartite-ish matching graph: `t` tuples, `p` docs, `d` data
+/// nodes, plus arbitrary doc/tuple→term edges.
+fn build(t: usize, p: usize, d: usize, edges: &[(usize, usize)]) -> Graph {
+    let mut g = Graph::new();
+    let mut meta = Vec::new();
+    for i in 0..t {
+        meta.push(g.add_meta(&format!("t{i}"), CorpusSide::First, MetaKind::Tuple, i as u32));
+    }
+    for i in 0..p {
+        meta.push(g.add_meta(&format!("p{i}"), CorpusSide::Second, MetaKind::TextDoc, i as u32));
+    }
+    let data: Vec<NodeId> = (0..d).map(|i| g.intern_data(&format!("w{i}"))).collect();
+    for &(m, w) in edges {
+        g.add_edge(meta[m % meta.len()], data[w % data.len()]);
+    }
+    g
+}
+
+/// True if `sub`'s node labels and edges all exist in `full`.
+fn is_subgraph(sub: &Graph, full: &Graph) -> bool {
+    let resolve = |g: &Graph, n: NodeId| -> Option<NodeId> {
+        let label = g.label(n);
+        if g.kind(n).is_metadata() {
+            full.meta_node(label)
+        } else {
+            full.data_node(label)
+        }
+    };
+    for (a, b) in sub.edges() {
+        let (Some(fa), Some(fb)) = (resolve(sub, a), resolve(sub, b)) else {
+            return false;
+        };
+        if !full.has_edge(fa, fb) {
+            return false;
+        }
+    }
+    sub.nodes().all(|n| resolve(sub, n).is_some())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// MSP output is a subgraph, keeps every metadata node, and keeps
+    /// shortest cross-corpus path lengths intact for connected pairs.
+    #[test]
+    fn msp_invariants(
+        t in 1usize..5,
+        p in 1usize..5,
+        d in 1usize..8,
+        edges in prop::collection::vec((0usize..10, 0usize..8), 1..40),
+        beta in 0.1f64..1.0,
+    ) {
+        let g = build(t, p, d, &edges);
+        let cg = msp_compress(&g, &MspConfig { beta, seed: 7, ..Default::default() });
+        prop_assert!(is_subgraph(&cg, &g));
+        prop_assert!(cg.node_count() <= g.node_count());
+        // All metadata survive.
+        for i in 0..t {
+            let label = format!("t{i}");
+            prop_assert!(cg.meta_node(&label).is_some());
+        }
+        for i in 0..p {
+            let label = format!("p{i}");
+            prop_assert!(cg.meta_node(&label).is_some());
+        }
+        // Cross-corpus shortest paths never lengthen for pairs that were
+        // connected and remain connected.
+        for i in 0..t {
+            for j in 0..p {
+                let (a, b) = (
+                    g.meta_node(&format!("t{i}")).unwrap(),
+                    g.meta_node(&format!("p{j}")).unwrap(),
+                );
+                let (ca, cb) = (
+                    cg.meta_node(&format!("t{i}")).unwrap(),
+                    cg.meta_node(&format!("p{j}")).unwrap(),
+                );
+                if let (Some(orig), Some(comp)) = (
+                    shortest_path_len(&g, a, b),
+                    shortest_path_len(&cg, ca, cb),
+                ) {
+                    prop_assert!(comp >= orig, "compression cannot shorten paths");
+                }
+            }
+        }
+    }
+
+    /// SSP and the samplers produce subgraphs within size bounds.
+    #[test]
+    fn samplers_produce_subgraphs(
+        t in 1usize..4,
+        p in 1usize..4,
+        d in 1usize..8,
+        edges in prop::collection::vec((0usize..8, 0usize..8), 1..30),
+        ratio in 0.1f64..1.0,
+    ) {
+        let g = build(t, p, d, &edges);
+        let ssp = ssp_compress(&g, &SspConfig { ratio, seed: 3, ..Default::default() });
+        prop_assert!(is_subgraph(&ssp, &g));
+        let nodes = random_node_sample(&g, ratio, 3);
+        prop_assert!(is_subgraph(&nodes, &g));
+        let edges_g = random_edge_sample(&g, ratio, 3);
+        prop_assert!(is_subgraph(&edges_g, &g));
+        prop_assert!(edges_g.edge_count() <= g.edge_count());
+    }
+
+    /// SSuM keeps metadata and respects the edge budget.
+    #[test]
+    fn ssum_respects_budget(
+        t in 1usize..4,
+        p in 1usize..4,
+        d in 2usize..10,
+        edges in prop::collection::vec((0usize..8, 0usize..10), 1..40),
+        ratio in 0.2f64..1.0,
+    ) {
+        let g = build(t, p, d, &edges);
+        let sg = ssum_compress(&g, &SsumConfig { ratio, edge_ratio: ratio, seed: 5 });
+        for i in 0..t {
+            let label = format!("t{i}");
+            prop_assert!(sg.meta_node(&label).is_some());
+        }
+        prop_assert!(sg.edge_count() <= ((g.edge_count() as f64) * ratio).ceil() as usize + 1);
+    }
+}

@@ -1,0 +1,460 @@
+//! Persistent match artifacts — save a fitted model's embeddings to disk
+//! and match from them later without re-training.
+//!
+//! The paper notes that "any downstream classifier can be trained using
+//! the embeddings from our solution" (§I); that requires the embeddings
+//! to outlive the fitting process. A [`MatchArtifact`] holds everything
+//! matching needs — the term vectors and both corpora's document vectors —
+//! in a versioned, checksummed binary format:
+//!
+//! ```text
+//! magic   b"TDM1"
+//! version u32 (little-endian, currently 1)
+//! dim     u32
+//! terms   u32 count, then per term: u32 label length, UTF-8 label, dim f32s
+//! first   u32 count, then per doc: u8 present flag, dim f32s if present
+//! second  same layout as first
+//! crc32   u32 over everything before it (IEEE polynomial)
+//! ```
+//!
+//! All integers and floats are little-endian. The trailing CRC turns
+//! silent disk corruption into a load-time [`PersistError::Corrupt`].
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use tdmatch_graph::persist::{crc32, put_f32s, put_u32, ByteReader, DecodeError};
+
+use crate::matcher::{top_k_matches, MatchResult};
+
+/// Current on-disk format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+const MAGIC: [u8; 4] = *b"TDM1";
+
+/// Errors raised when saving or loading a [`MatchArtifact`].
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file does not start with the TDmatch magic bytes.
+    BadMagic,
+    /// The file's format version is not supported by this build.
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: u32,
+    },
+    /// The checksum does not match: the file is truncated or corrupt.
+    Corrupt,
+    /// A label is not valid UTF-8 (implies corruption).
+    BadLabel,
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "I/O error: {e}"),
+            PersistError::BadMagic => write!(f, "not a TDmatch artifact (bad magic)"),
+            PersistError::UnsupportedVersion { found } => {
+                write!(f, "unsupported artifact version {found} (supported: {FORMAT_VERSION})")
+            }
+            PersistError::Corrupt => write!(f, "artifact checksum mismatch (corrupt file)"),
+            PersistError::BadLabel => write!(f, "artifact contains a non-UTF-8 label"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// A self-contained, persistable matching state: term embeddings plus the
+/// document embeddings of both corpora.
+///
+/// Obtained from [`TdModel::artifact`](crate::pipeline::TdModel::artifact)
+/// or loaded from disk with [`MatchArtifact::load`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchArtifact {
+    dim: usize,
+    /// Term label → embedding, sorted by label for deterministic files.
+    terms: Vec<(String, Vec<f32>)>,
+    term_index: HashMap<String, usize>,
+    first: Vec<Option<Vec<f32>>>,
+    second: Vec<Option<Vec<f32>>>,
+}
+
+impl MatchArtifact {
+    /// Assembles an artifact from raw parts. Vectors must all have length
+    /// `dim`; term labels must be unique (later duplicates are dropped).
+    pub fn new(
+        dim: usize,
+        mut terms: Vec<(String, Vec<f32>)>,
+        first: Vec<Option<Vec<f32>>>,
+        second: Vec<Option<Vec<f32>>>,
+    ) -> Self {
+        debug_assert!(terms.iter().all(|(_, v)| v.len() == dim));
+        debug_assert!(first.iter().flatten().all(|v| v.len() == dim));
+        debug_assert!(second.iter().flatten().all(|v| v.len() == dim));
+        terms.sort_by(|a, b| a.0.cmp(&b.0));
+        terms.dedup_by(|b, a| a.0 == b.0);
+        let term_index = terms
+            .iter()
+            .enumerate()
+            .map(|(i, (label, _))| (label.clone(), i))
+            .collect();
+        Self {
+            dim,
+            terms,
+            term_index,
+            first,
+            second,
+        }
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stored term vectors.
+    pub fn term_count(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// `(first corpus size, second corpus size)`.
+    pub fn corpus_sizes(&self) -> (usize, usize) {
+        (self.first.len(), self.second.len())
+    }
+
+    /// The stored embedding of a term, if present.
+    pub fn term_vector(&self, term: &str) -> Option<&[f32]> {
+        self.term_index
+            .get(term)
+            .map(|&i| self.terms[i].1.as_slice())
+    }
+
+    /// The stored embedding of document `idx` in the first corpus.
+    pub fn first_vector(&self, idx: usize) -> Option<&[f32]> {
+        self.first.get(idx).and_then(|v| v.as_deref())
+    }
+
+    /// The stored embedding of document `idx` in the second corpus.
+    pub fn second_vector(&self, idx: usize) -> Option<&[f32]> {
+        self.second.get(idx).and_then(|v| v.as_deref())
+    }
+
+    /// Ranks the top-`k` first-corpus documents for every second-corpus
+    /// document — the same matching as
+    /// [`TdModel::match_top_k`](crate::pipeline::TdModel::match_top_k),
+    /// without the graph.
+    pub fn match_top_k(&self, k: usize) -> Vec<MatchResult> {
+        top_k_matches(&self.second, &self.first, k, None, None)
+    }
+
+    /// Embeds an *unseen* document as the mean of its known terms' vectors
+    /// (the standard aggregation the paper uses for its W2VEC baseline,
+    /// §V: "We generate embeddings for longer texts with the mean of the
+    /// vectors of their tokens"). Returns `None` when no token is in the
+    /// stored vocabulary.
+    ///
+    /// Tokens should be pre-processed the same way the model was fitted
+    /// (e.g. via `tdmatch-text`'s `Preprocessor::base_tokens`).
+    pub fn embed_tokens<S: AsRef<str>>(&self, tokens: &[S]) -> Option<Vec<f32>> {
+        let mut sum = vec![0.0f32; self.dim];
+        let mut hits = 0usize;
+        for tok in tokens {
+            if let Some(v) = self.term_vector(tok.as_ref()) {
+                for (s, x) in sum.iter_mut().zip(v) {
+                    *s += x;
+                }
+                hits += 1;
+            }
+        }
+        if hits == 0 {
+            return None;
+        }
+        let inv = 1.0 / hits as f32;
+        for s in &mut sum {
+            *s *= inv;
+        }
+        Some(sum)
+    }
+
+    /// Ranks the top-`k` first-corpus documents for one *out-of-corpus*
+    /// query given as pre-processed tokens. Queries whose tokens are all
+    /// unknown yield an empty ranking.
+    pub fn match_new_query<S: AsRef<str>>(&self, tokens: &[S], k: usize) -> MatchResult {
+        let query = vec![self.embed_tokens(tokens)];
+        let mut results = top_k_matches(&query, &self.first, k, None, None);
+        results.swap_remove(0)
+    }
+
+    /// Serializes into any writer. See the module docs for the layout.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> Result<(), PersistError> {
+        let mut buf: Vec<u8> = Vec::new();
+        buf.extend_from_slice(&MAGIC);
+        put_u32(&mut buf, FORMAT_VERSION);
+        put_u32(&mut buf, self.dim as u32);
+        put_u32(&mut buf, self.terms.len() as u32);
+        for (label, vec) in &self.terms {
+            put_u32(&mut buf, label.len() as u32);
+            buf.extend_from_slice(label.as_bytes());
+            put_f32s(&mut buf, vec);
+        }
+        for side in [&self.first, &self.second] {
+            put_u32(&mut buf, side.len() as u32);
+            for doc in side {
+                match doc {
+                    Some(v) => {
+                        buf.push(1);
+                        put_f32s(&mut buf, v);
+                    }
+                    None => buf.push(0),
+                }
+            }
+        }
+        let crc = crc32(&buf);
+        put_u32(&mut buf, crc);
+        w.write_all(&buf)?;
+        Ok(())
+    }
+
+    /// Deserializes from a reader, verifying magic, version, and checksum.
+    pub fn read_from<R: Read>(r: &mut R) -> Result<Self, PersistError> {
+        let mut buf = Vec::new();
+        r.read_to_end(&mut buf)?;
+        if buf.len() < MAGIC.len() + 8 || buf[..4] != MAGIC {
+            return Err(PersistError::BadMagic);
+        }
+        let body_len = buf.len() - 4;
+        let stored_crc = u32::from_le_bytes(buf[body_len..].try_into().unwrap());
+        if crc32(&buf[..body_len]) != stored_crc {
+            return Err(PersistError::Corrupt);
+        }
+        let mut cur = ByteReader::new(&buf[..body_len], 4);
+        let version = cur.u32()?;
+        if version != FORMAT_VERSION {
+            return Err(PersistError::UnsupportedVersion { found: version });
+        }
+        let dim = cur.u32()? as usize;
+        let n_terms = cur.u32()? as usize;
+        let mut terms = Vec::with_capacity(n_terms.min(1 << 20));
+        for _ in 0..n_terms {
+            let len = cur.u32()? as usize;
+            let label = String::from_utf8(cur.bytes(len)?.to_vec())
+                .map_err(|_| PersistError::BadLabel)?;
+            terms.push((label, cur.f32s(dim)?));
+        }
+        let mut sides: [Vec<Option<Vec<f32>>>; 2] = [Vec::new(), Vec::new()];
+        for side in &mut sides {
+            let n = cur.u32()? as usize;
+            side.reserve(n.min(1 << 20));
+            for _ in 0..n {
+                let present = cur.bytes(1)?[0];
+                side.push(if present == 1 {
+                    Some(cur.f32s(dim)?)
+                } else {
+                    None
+                });
+            }
+        }
+        let [first, second] = sides;
+        Ok(Self::new(dim, terms, first, second))
+    }
+
+    /// Saves to a file path.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), PersistError> {
+        let mut f = std::fs::File::create(path)?;
+        self.write_to(&mut f)
+    }
+
+    /// Loads from a file path.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, PersistError> {
+        let mut f = std::fs::File::open(path)?;
+        Self::read_from(&mut f)
+    }
+}
+
+/// Maps shared decode errors into artifact persistence errors.
+impl From<DecodeError> for PersistError {
+    fn from(e: DecodeError) -> Self {
+        match e {
+            DecodeError::Io(io) => PersistError::Io(io),
+            DecodeError::BadMagic => PersistError::BadMagic,
+            DecodeError::UnsupportedVersion { found } => {
+                PersistError::UnsupportedVersion { found }
+            }
+            DecodeError::Corrupt => PersistError::Corrupt,
+            DecodeError::Invalid(_) => PersistError::BadLabel,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MatchArtifact {
+        MatchArtifact::new(
+            2,
+            vec![
+                ("tarantino".into(), vec![1.0, 0.0]),
+                ("willis".into(), vec![0.5, 0.5]),
+            ],
+            vec![Some(vec![1.0, 0.0]), None, Some(vec![0.0, 1.0])],
+            vec![Some(vec![0.9, 0.1])],
+        )
+    }
+
+    fn roundtrip(a: &MatchArtifact) -> MatchArtifact {
+        let mut buf = Vec::new();
+        a.write_to(&mut buf).unwrap();
+        MatchArtifact::read_from(&mut buf.as_slice()).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let a = sample();
+        let b = roundtrip(&a);
+        assert_eq!(a, b);
+        assert_eq!(b.term_vector("tarantino"), Some(&[1.0f32, 0.0][..]));
+        assert_eq!(b.first_vector(1), None);
+        assert_eq!(b.corpus_sizes(), (3, 1));
+    }
+
+    #[test]
+    fn matching_from_artifact_ranks_by_cosine() {
+        let a = sample();
+        let r = a.match_top_k(3);
+        assert_eq!(r.len(), 1);
+        // Query [0.9, 0.1]: closest is first doc [1,0], then [0,1]; the
+        // None doc ranks last with score -1.
+        assert_eq!(r[0].target_indices(), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn embed_tokens_averages_known_vectors() {
+        let a = sample();
+        // "tarantino" = [1,0], "willis" = [0.5,0.5]; mean = [0.75, 0.25].
+        let v = a.embed_tokens(&["tarantino", "willis", "unknown"]).unwrap();
+        assert!((v[0] - 0.75).abs() < 1e-6 && (v[1] - 0.25).abs() < 1e-6);
+        // All-unknown queries embed to nothing.
+        assert!(a.embed_tokens(&["zzz", "yyy"]).is_none());
+        assert!(a.embed_tokens::<&str>(&[]).is_none());
+    }
+
+    #[test]
+    fn new_query_ranks_against_first_corpus() {
+        let a = sample();
+        // Query = "tarantino" → [1, 0]: nearest is first doc [1,0].
+        let r = a.match_new_query(&["tarantino"], 2);
+        assert_eq!(r.target_indices()[0], 0);
+        // Unknown query gets an empty ranking, not a panic.
+        let r = a.match_new_query(&["zzz"], 2);
+        assert!(r.ranked.is_empty());
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // Standard test vector: CRC32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut buf = Vec::new();
+        sample().write_to(&mut buf).unwrap();
+        buf[0] = b'X';
+        let err = MatchArtifact::read_from(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, PersistError::BadMagic));
+    }
+
+    #[test]
+    fn bit_flip_anywhere_is_detected() {
+        let mut clean = Vec::new();
+        sample().write_to(&mut clean).unwrap();
+        // Flip one bit in every byte position past the magic; each must
+        // fail (checksum, version, or structure) — never load silently
+        // wrong data equal to the original.
+        for pos in 4..clean.len() {
+            let mut buf = clean.clone();
+            buf[pos] ^= 0x01;
+            match MatchArtifact::read_from(&mut buf.as_slice()) {
+                Err(_) => {}
+                Ok(loaded) => panic!(
+                    "bit flip at {pos} loaded successfully (CRC missed it): {loaded:?}"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut buf = Vec::new();
+        sample().write_to(&mut buf).unwrap();
+        for cut in [1usize, 4, buf.len() / 2, buf.len() - 1] {
+            let short = &buf[..cut];
+            assert!(
+                MatchArtifact::read_from(&mut &short[..]).is_err(),
+                "truncated file of {cut} bytes loaded"
+            );
+        }
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let mut buf = Vec::new();
+        sample().write_to(&mut buf).unwrap();
+        // Overwrite the version field (bytes 4..8) and re-stamp the CRC.
+        buf[4..8].copy_from_slice(&99u32.to_le_bytes());
+        let body = buf.len() - 4;
+        let crc = crc32(&buf[..body]);
+        buf[body..].copy_from_slice(&crc.to_le_bytes());
+        let err = MatchArtifact::read_from(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, PersistError::UnsupportedVersion { found: 99 }));
+    }
+
+    #[test]
+    fn duplicate_terms_keep_first_occurrence_after_sort() {
+        let a = MatchArtifact::new(
+            1,
+            vec![("b".into(), vec![2.0]), ("a".into(), vec![1.0]), ("a".into(), vec![9.0])],
+            vec![],
+            vec![],
+        );
+        assert_eq!(a.term_count(), 2);
+        assert!(a.term_vector("a").is_some());
+    }
+
+    #[test]
+    fn save_and_load_via_files() {
+        let dir = std::env::temp_dir().join("tdmatch-artifact-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.tdm");
+        let a = sample();
+        a.save(&path).unwrap();
+        let b = MatchArtifact::load(&path).unwrap();
+        assert_eq!(a, b);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = MatchArtifact::load("/nonexistent/path/model.tdm").unwrap_err();
+        assert!(matches!(err, PersistError::Io(_)));
+        assert!(err.to_string().contains("I/O"));
+    }
+}

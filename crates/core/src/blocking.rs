@@ -1,0 +1,102 @@
+//! Inverted-index blocking (the paper's §VII future-work extension).
+//!
+//! Cosine matching scores every (query, target) pair — quadratic. Blocking
+//! builds an inverted index from base tokens to target documents and
+//! restricts scoring to targets sharing at least one token with the query.
+//! On corpora with any lexical overlap this changes speed, not results:
+//! candidates without shared tokens almost never rank in the top k.
+
+use std::collections::HashMap;
+
+use tdmatch_text::Preprocessor;
+
+use crate::corpus::Corpus;
+
+/// Token → target-document inverted index.
+#[derive(Debug, Clone, Default)]
+pub struct BlockIndex {
+    index: HashMap<String, Vec<u32>>,
+    n_targets: usize,
+}
+
+impl BlockIndex {
+    /// Indexes all documents of `corpus` by their base tokens.
+    pub fn build(corpus: &Corpus, pre: &Preprocessor) -> Self {
+        let mut index: HashMap<String, Vec<u32>> = HashMap::new();
+        for i in 0..corpus.len() {
+            let mut seen = std::collections::HashSet::new();
+            for field in corpus.fields(i) {
+                for tok in pre.base_tokens(field) {
+                    if seen.insert(tok.clone()) {
+                        index.entry(tok).or_default().push(i as u32);
+                    }
+                }
+            }
+        }
+        Self {
+            index,
+            n_targets: corpus.len(),
+        }
+    }
+
+    /// Candidate target documents sharing at least one token with
+    /// `query_tokens`, sorted ascending. Falls back to *all* targets when
+    /// no token matches (so matching still returns k results).
+    pub fn candidates<S: AsRef<str>>(&self, query_tokens: &[S]) -> Vec<usize> {
+        let mut hits: Vec<u32> = Vec::new();
+        for tok in query_tokens {
+            if let Some(list) = self.index.get(tok.as_ref()) {
+                hits.extend_from_slice(list);
+            }
+        }
+        if hits.is_empty() {
+            return (0..self.n_targets).collect();
+        }
+        hits.sort_unstable();
+        hits.dedup();
+        hits.into_iter().map(|x| x as usize).collect()
+    }
+
+    /// Number of indexed tokens.
+    pub fn token_count(&self) -> usize {
+        self.index.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::TextCorpus;
+
+    fn index() -> BlockIndex {
+        let corpus = Corpus::Text(TextCorpus::new(vec![
+            "tarantino pulp fiction".into(),
+            "shyamalan sixth sense".into(),
+            "willis action movie".into(),
+        ]));
+        BlockIndex::build(&corpus, &Preprocessor::default())
+    }
+
+    #[test]
+    fn candidates_share_tokens() {
+        let idx = index();
+        let c = idx.candidates(&["tarantino"]);
+        assert_eq!(c, vec![0]);
+        let c = idx.candidates(&["willi", "shyamalan"]); // stemmed willis
+        assert_eq!(c, vec![1, 2]);
+    }
+
+    #[test]
+    fn no_hits_falls_back_to_all() {
+        let idx = index();
+        let c = idx.candidates(&["zzz"]);
+        assert_eq!(c, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn duplicates_are_removed() {
+        let idx = index();
+        let c = idx.candidates(&["tarantino", "pulp", "fiction"]);
+        assert_eq!(c, vec![0]);
+    }
+}

@@ -1,0 +1,257 @@
+//! The corpus model: tables, structured text (taxonomies), and free text.
+//!
+//! A *corpus* is one of the two inputs to graph creation (§II). The
+//! *document* is the unit of matching: a tuple for tables, a node for
+//! taxonomies, and a user-chosen granularity (sentence … paragraph) for
+//! free text.
+
+use tdmatch_text::Preprocessor;
+
+/// A relational table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Table name (diagnostics only).
+    pub name: String,
+    /// Attribute names; every row must have exactly this many cells.
+    pub columns: Vec<String>,
+    /// Rows of cell values.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table, checking row arity.
+    ///
+    /// # Panics
+    /// Panics if any row's arity differs from the column count.
+    pub fn new(name: impl Into<String>, columns: Vec<String>, rows: Vec<Vec<String>>) -> Self {
+        let columns_len = columns.len();
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(
+                r.len(),
+                columns_len,
+                "row {i} has {} cells, expected {columns_len}",
+                r.len()
+            );
+        }
+        Self {
+            name: name.into(),
+            columns,
+            rows,
+        }
+    }
+
+    /// Drops the named column (used to build the paper's NT variant of
+    /// IMDb, which removes the title attribute). No-op if absent.
+    pub fn without_column(&self, column: &str) -> Table {
+        let Some(idx) = self.columns.iter().position(|c| c == column) else {
+            return self.clone();
+        };
+        let columns = self
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != idx)
+            .map(|(_, c)| c.clone())
+            .collect();
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != idx)
+                    .map(|(_, v)| v.clone())
+                    .collect()
+            })
+            .collect();
+        Table {
+            name: format!("{}-without-{column}", self.name),
+            columns,
+            rows,
+        }
+    }
+}
+
+/// A node of a structured-text document (taxonomy / concept hierarchy).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaxonomyNode {
+    /// The node's textual content (concept label).
+    pub text: String,
+    /// Index of the parent node, `None` for roots.
+    pub parent: Option<usize>,
+}
+
+/// A structured text: a forest of concept nodes (§II, Example 2).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StructuredText {
+    /// Nodes; parents must appear before children.
+    pub nodes: Vec<TaxonomyNode>,
+}
+
+impl StructuredText {
+    /// Creates a structured text, validating parent ordering.
+    ///
+    /// # Panics
+    /// Panics if a node references a parent at or after its own position.
+    pub fn new(nodes: Vec<TaxonomyNode>) -> Self {
+        for (i, n) in nodes.iter().enumerate() {
+            if let Some(p) = n.parent {
+                assert!(p < i, "node {i} references later/self parent {p}");
+            }
+        }
+        Self { nodes }
+    }
+
+    /// The root-to-node path of texts for node `i` (inclusive). Used by
+    /// the Exact/Node evaluation measures (Table III).
+    pub fn path(&self, i: usize) -> Vec<String> {
+        let mut rev = Vec::new();
+        let mut cur = Some(i);
+        while let Some(c) = cur {
+            rev.push(self.nodes[c].text.clone());
+            cur = self.nodes[c].parent;
+        }
+        rev.reverse();
+        rev
+    }
+
+    /// Depth of node `i` (roots have depth 1).
+    pub fn depth(&self, i: usize) -> usize {
+        self.path(i).len()
+    }
+}
+
+/// A free-text corpus; each entry is one document at the user's chosen
+/// granularity (sentence, paragraph, …).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TextCorpus {
+    /// The documents.
+    pub docs: Vec<String>,
+}
+
+impl TextCorpus {
+    /// Creates a text corpus.
+    pub fn new(docs: Vec<String>) -> Self {
+        Self { docs }
+    }
+}
+
+/// One of the two inputs to graph creation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Corpus {
+    /// A relational table; documents are tuples.
+    Table(Table),
+    /// A structured text; documents are taxonomy nodes.
+    Structured(StructuredText),
+    /// Free text; documents are entries.
+    Text(TextCorpus),
+}
+
+impl Corpus {
+    /// Number of documents (tuples / nodes / entries).
+    pub fn len(&self) -> usize {
+        match self {
+            Corpus::Table(t) => t.rows.len(),
+            Corpus::Structured(s) => s.nodes.len(),
+            Corpus::Text(t) => t.docs.len(),
+        }
+    }
+
+    /// True when the corpus holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The textual fields of document `i`: one per cell for tables, the
+    /// node text for taxonomies, the entry for text. N-grams never cross
+    /// field boundaries.
+    pub fn fields(&self, i: usize) -> Vec<&str> {
+        match self {
+            Corpus::Table(t) => t.rows[i].iter().map(|s| s.as_str()).collect(),
+            Corpus::Structured(s) => vec![s.nodes[i].text.as_str()],
+            Corpus::Text(t) => vec![t.docs[i].as_str()],
+        }
+    }
+
+    /// Number of *distinct* base tokens over all documents — the quantity
+    /// §II-B compares to decide which corpus seeds the term vocabulary.
+    pub fn distinct_token_count(&self, pre: &Preprocessor) -> usize {
+        let mut set = std::collections::HashSet::new();
+        for i in 0..self.len() {
+            for f in self.fields(i) {
+                for t in pre.base_tokens(f) {
+                    set.insert(t);
+                }
+            }
+        }
+        set.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table {
+        Table::new(
+            "movies",
+            vec!["title".into(), "genre".into()],
+            vec![
+                vec!["The Sixth Sense".into(), "Thriller".into()],
+                vec!["Pulp Fiction".into(), "Drama".into()],
+            ],
+        )
+    }
+
+    #[test]
+    fn table_len_and_fields() {
+        let c = Corpus::Table(table());
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.fields(0), vec!["The Sixth Sense", "Thriller"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn table_rejects_ragged_rows() {
+        Table::new("bad", vec!["a".into()], vec![vec!["x".into(), "y".into()]]);
+    }
+
+    #[test]
+    fn without_column_drops_cells() {
+        let nt = table().without_column("title");
+        assert_eq!(nt.columns, vec!["genre".to_string()]);
+        assert_eq!(nt.rows[0], vec!["Thriller".to_string()]);
+        // Unknown column: unchanged.
+        let same = table().without_column("nope");
+        assert_eq!(same.columns.len(), 2);
+    }
+
+    #[test]
+    fn taxonomy_paths() {
+        let s = StructuredText::new(vec![
+            TaxonomyNode { text: "root".into(), parent: None },
+            TaxonomyNode { text: "audit".into(), parent: Some(0) },
+            TaxonomyNode { text: "sampling".into(), parent: Some(1) },
+        ]);
+        assert_eq!(s.path(2), vec!["root", "audit", "sampling"]);
+        assert_eq!(s.depth(2), 3);
+        assert_eq!(s.path(0), vec!["root"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "parent")]
+    fn taxonomy_rejects_forward_parents() {
+        StructuredText::new(vec![TaxonomyNode { text: "x".into(), parent: Some(0) }]);
+    }
+
+    #[test]
+    fn distinct_tokens_deduplicate_across_docs() {
+        let pre = Preprocessor::default();
+        let c = Corpus::Text(TextCorpus::new(vec![
+            "the movie".into(),
+            "a movie tonight".into(),
+        ]));
+        // "movie" counted once; stopwords removed: {movi, tonight}.
+        assert_eq!(c.distinct_token_count(&pre), 2);
+    }
+}

@@ -1,0 +1,50 @@
+//! Error type for the TDmatch pipeline.
+
+/// Errors surfaced by [`crate::pipeline::TdMatch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TdError {
+    /// One of the corpora holds no documents.
+    EmptyCorpus {
+        /// Which input ("first" / "second").
+        which: &'static str,
+    },
+    /// After preprocessing/filtering no term connects the corpora, so no
+    /// embedding can relate them.
+    NoSharedTerms,
+    /// The walk corpus came out empty (e.g. all nodes isolated).
+    EmptyWalkCorpus,
+    /// `fit_prebuilt` was called with a configuration that needs the raw
+    /// corpora (inverted-index blocking tokenizes the inputs, which a
+    /// persisted graph no longer carries).
+    PrebuiltNeedsCorpora,
+}
+
+impl std::fmt::Display for TdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TdError::EmptyCorpus { which } => write!(f, "the {which} corpus has no documents"),
+            TdError::NoSharedTerms => {
+                write!(f, "no shared terms between the corpora after filtering")
+            }
+            TdError::EmptyWalkCorpus => write!(f, "random-walk corpus is empty"),
+            TdError::PrebuiltNeedsCorpora => write!(
+                f,
+                "inverted-index blocking needs the raw corpora; use BlockingMode::None or Lsh with fit_prebuilt"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = TdError::EmptyCorpus { which: "first" };
+        assert!(e.to_string().contains("first"));
+        assert!(TdError::NoSharedTerms.to_string().contains("shared"));
+    }
+}

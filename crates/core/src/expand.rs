@@ -1,0 +1,170 @@
+//! Graph expansion with external resources — the paper's Algorithm 2.
+//!
+//! For every data node, fetch its relations from the external resource and
+//! add the objects as new (or existing) nodes with connecting edges; then
+//! remove sink nodes (degree ≤ 1 non-metadata nodes), repeating to a
+//! fixpoint. Expansion creates new short paths between metadata nodes that
+//! the corpora alone cannot express — e.g. `p1 → Comedy → Tarantino → t2`
+//! after adding DBpedia's `style(Tarantino, Comedy)`.
+
+use tdmatch_graph::{EdgeKind, Graph, NodeId};
+use tdmatch_kb::KnowledgeBase;
+
+/// Statistics of one expansion pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExpandStats {
+    /// Data nodes that had at least one relation in the resource.
+    pub subjects_hit: usize,
+    /// Relations fetched (after the per-node cap).
+    pub relations_fetched: usize,
+    /// Brand-new nodes interned.
+    pub nodes_added: usize,
+    /// Edges added.
+    pub edges_added: usize,
+    /// Sink nodes removed by the cleanup pass.
+    pub sinks_removed: usize,
+}
+
+/// Expands `g` in place using `kb` (Alg. 2), capping relations per node at
+/// `max_relations_per_node`. Returns statistics.
+pub fn expand_graph(
+    g: &mut Graph,
+    kb: &dyn KnowledgeBase,
+    max_relations_per_node: usize,
+) -> ExpandStats {
+    let mut stats = ExpandStats::default();
+    // Snapshot of current non-metadata nodes: expansion is a single pass
+    // over the *original* data nodes (newly added nodes are not expanded).
+    let data_nodes: Vec<(NodeId, String)> = g
+        .nodes()
+        .filter(|&n| !g.kind(n).is_metadata())
+        .map(|n| (n, g.label(n).to_string()))
+        .collect();
+
+    let before_nodes = g.node_count();
+    for (node, label) in data_nodes {
+        let relations = kb.relations(&label);
+        if relations.is_empty() {
+            continue;
+        }
+        stats.subjects_hit += 1;
+        for rel in relations.into_iter().take(max_relations_per_node) {
+            stats.relations_fetched += 1;
+            let m = g.intern_external(&rel.object);
+            if g.add_edge_typed(node, m, EdgeKind::External) {
+                stats.edges_added += 1;
+            }
+        }
+    }
+    stats.nodes_added = g.node_count().saturating_sub(before_nodes);
+    stats.sinks_removed = g.remove_sinks();
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdmatch_graph::{CorpusSide, MetaKind};
+    use tdmatch_kb::SyntheticDbpedia;
+
+    /// The paper's Figure 4/5 setting: p1 mentions Willis and Comedy; t2 is
+    /// the Pulp Fiction tuple with Tarantino. Expansion adds
+    /// style(Tarantino, Comedy), creating the short path p1→comedy→
+    /// tarantino→t2.
+    fn fixture() -> (Graph, SyntheticDbpedia) {
+        let mut g = Graph::new();
+        let t2 = g.add_meta("t2", CorpusSide::First, MetaKind::Tuple, 1);
+        let p1 = g.add_meta("p1", CorpusSide::Second, MetaKind::TextDoc, 0);
+        let willis = g.intern_data("willi");
+        let tarantino = g.intern_data("tarantino");
+        let comedy = g.intern_data("comedi");
+        g.add_edge(t2, willis);
+        g.add_edge(t2, tarantino);
+        g.add_edge(p1, willis);
+        g.add_edge(p1, comedy);
+        let kb = SyntheticDbpedia::from_facts(&[
+            ("tarantino", "style", "comedy"),
+            ("shyamalan", "spouse", "bhavna vaswani"),
+        ]);
+        (g, kb)
+    }
+
+    #[test]
+    fn expansion_creates_new_paths() {
+        let (mut g, kb) = fixture();
+        let t2 = g.meta_node("t2").unwrap();
+        let p1 = g.meta_node("p1").unwrap();
+        let before =
+            tdmatch_graph::traverse::count_short_paths(&g, p1, t2, 3);
+        let stats = expand_graph(&mut g, &kb, 64);
+        assert!(stats.edges_added >= 1);
+        let after = tdmatch_graph::traverse::count_short_paths(&g, p1, t2, 4);
+        assert!(after > before, "expansion should add short paths");
+        // The added edge is comedy–tarantino.
+        let comedy = g.data_node("comedi").unwrap();
+        let tarantino = g.data_node("tarantino").unwrap();
+        assert!(g.has_edge(comedy, tarantino));
+    }
+
+    #[test]
+    fn sink_objects_are_cleaned_up() {
+        let (mut g, kb) = fixture();
+        // "shyamalan" is not in the graph, so its spouse fact never fires;
+        // add shyamalan connected to t2 so the spouse object appears as a
+        // sink and then gets removed (the paper's Bhavna Vaswani example).
+        let t2 = g.meta_node("t2").unwrap();
+        let shy = g.intern_data("shyamalan");
+        g.add_edge(t2, shy);
+        let stats = expand_graph(&mut g, &kb, 64);
+        assert!(stats.sinks_removed >= 1);
+        assert!(
+            g.data_node("bhavna vaswani").is_none(),
+            "degree-1 external node must be removed"
+        );
+    }
+
+    #[test]
+    fn relation_cap_limits_fetch() {
+        let mut g = Graph::new();
+        let m = g.add_meta("t0", CorpusSide::First, MetaKind::Tuple, 0);
+        let hub = g.intern_data("hub");
+        g.add_edge(m, hub);
+        let mut kb = SyntheticDbpedia::default();
+        for i in 0..100 {
+            kb.add_fact("hub", "rel", &format!("object{i}"));
+        }
+        let stats = expand_graph(&mut g, &kb, 5);
+        assert_eq!(stats.relations_fetched, 5);
+    }
+
+    #[test]
+    fn expansion_without_matches_is_noop() {
+        let mut g = Graph::new();
+        let m = g.add_meta("t0", CorpusSide::First, MetaKind::Tuple, 0);
+        let a = g.intern_data("unknown-term");
+        let b = g.intern_data("other-term");
+        g.add_edge(m, a);
+        g.add_edge(m, b);
+        g.add_edge(a, b);
+        let kb = SyntheticDbpedia::default();
+        let stats = expand_graph(&mut g, &kb, 10);
+        assert_eq!(stats.edges_added, 0);
+        assert_eq!(g.node_count(), 3);
+    }
+
+    #[test]
+    fn metadata_nodes_are_not_expanded() {
+        let mut g = Graph::new();
+        let m = g.add_meta("tarantino", CorpusSide::First, MetaKind::Tuple, 0);
+        let d = g.intern_data("dummy");
+        let d2 = g.intern_data("dummy2");
+        g.add_edge(m, d);
+        g.add_edge(m, d2);
+        g.add_edge(d, d2);
+        let kb = SyntheticDbpedia::from_facts(&[("tarantino", "style", "comedy")]);
+        // Subject "tarantino" exists only as a *metadata* label; no data
+        // node matches, so nothing is added.
+        let stats = expand_graph(&mut g, &kb, 10);
+        assert_eq!(stats.edges_added, 0);
+    }
+}

@@ -1,0 +1,46 @@
+//! # tdmatch-core
+//!
+//! The core of TDmatch — *Unsupervised Matching of Data and Text* (ICDE
+//! 2022). Matches heterogeneous corpora (relational tables, structured
+//! text / taxonomies, free text) without supervision:
+//!
+//! 1. [`builder`] jointly models both corpora as an undirected graph of
+//!    data (term) and metadata (tuple / attribute / document / taxonomy)
+//!    nodes — Algorithm 1 — with *Intersect* term filtering and the node
+//!    merging of §II-C (stemming, numeric bucketing, pre-trained-embedding
+//!    similarity);
+//! 2. [`expand`] enriches the graph from an external knowledge base and
+//!    prunes sink nodes — Algorithm 2;
+//! 3. compression (from `tdmatch-compress`) optionally shrinks the graph
+//!    while preserving metadata shortest paths — Algorithm 3;
+//! 4. [`pipeline`] generates random walks, trains Word2Vec over them —
+//!    Algorithm 4 — and exposes metadata-node embeddings;
+//! 5. [`matcher`] ranks cross-corpus documents by cosine similarity
+//!    (sequentially or query-parallel), with optional score combination
+//!    (Fig. 10) and candidate [`blocking`] — inverted token index or
+//!    multiprobe [`lsh`] (the paper's future-work extension).
+//!
+//! A fitted model exports a persistable [`artifact::MatchArtifact`]
+//! (versioned binary, CRC-checked) that matches offline and embeds
+//! out-of-corpus queries; `TdMatch::fit_prebuilt` resumes from a graph
+//! persisted with `tdmatch_graph::persist`.
+//!
+//! Entry point: [`pipeline::TdMatch`].
+
+pub mod artifact;
+pub mod blocking;
+pub mod builder;
+pub mod config;
+pub mod corpus;
+pub mod error;
+pub mod expand;
+pub mod lsh;
+pub mod matcher;
+pub mod merging;
+pub mod pipeline;
+
+pub use config::{BlockingMode, Compression, EmbedMethod, FilterMode, TdConfig};
+pub use corpus::{Corpus, StructuredText, Table, TaxonomyNode, TextCorpus};
+pub use artifact::{MatchArtifact, PersistError};
+pub use error::TdError;
+pub use pipeline::{FitOptions, TdMatch, TdModel};

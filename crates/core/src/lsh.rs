@@ -1,0 +1,302 @@
+//! Random-hyperplane LSH over metadata embeddings — approximate cosine
+//! blocking (the paper's §VII "blocking to speed up performance" future
+//! work, embedding-space variant).
+//!
+//! The inverted-index blocker ([`crate::blocking`]) prunes by *lexical*
+//! overlap and therefore cannot see matches that only the embeddings
+//! express (synonyms, expansion edges). This blocker hashes the embedding
+//! vectors themselves: each of `tables` hash tables projects a vector onto
+//! `bits` random hyperplanes and packs the signs into a signature; vectors
+//! with high cosine similarity collide in at least one table with high
+//! probability (Charikar's SimHash guarantee: collision probability per
+//! bit is `1 − θ/π`).
+
+use std::collections::HashMap;
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// Parameters of the LSH blocker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LshConfig {
+    /// Independent hash tables; more tables → higher recall, more
+    /// candidates.
+    pub tables: usize,
+    /// Hyperplanes (signature bits) per table, at most 64; more bits →
+    /// smaller buckets, fewer candidates.
+    pub bits: usize,
+    /// Multiprobe radius: also look up buckets whose signature differs
+    /// from the query's in at most this many bits. `0` probes only the
+    /// exact bucket; `1` adds `bits` extra probes per table and raises
+    /// recall substantially on mid-similarity matches at modest cost.
+    pub probes: usize,
+    /// Seed for hyperplane sampling.
+    pub seed: u64,
+}
+
+impl Default for LshConfig {
+    fn default() -> Self {
+        Self {
+            tables: 12,
+            bits: 10,
+            probes: 1,
+            seed: 42,
+        }
+    }
+}
+
+/// A fitted random-hyperplane index over one vector collection.
+#[derive(Debug, Clone)]
+pub struct LshIndex {
+    /// Flattened hyperplane normals: `tables * bits` rows of `dim`.
+    planes: Vec<f32>,
+    /// signature → target ids, one map per table.
+    buckets: Vec<HashMap<u64, Vec<u32>>>,
+    dim: usize,
+    bits: usize,
+    probes: usize,
+    n_targets: usize,
+}
+
+impl LshIndex {
+    /// Indexes `targets` (entries may be `None` for documents whose
+    /// metadata node vanished; those are never returned as candidates).
+    ///
+    /// `dim` must match the vectors' length; `bits` is clamped to 64.
+    pub fn build(targets: &[Option<Vec<f32>>], dim: usize, config: &LshConfig) -> Self {
+        let tables = config.tables.max(1);
+        let bits = config.bits.clamp(1, 64);
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        // Gaussian entries (Box–Muller) make hyperplane directions uniform
+        // on the sphere.
+        let mut planes = Vec::with_capacity(tables * bits * dim);
+        let mut gauss = || {
+            let u1: f32 = rng.random::<f32>().max(1e-12);
+            let u2: f32 = rng.random::<f32>();
+            (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+        };
+        for _ in 0..tables * bits * dim {
+            planes.push(gauss());
+        }
+
+        let mut index = Self {
+            planes,
+            buckets: vec![HashMap::new(); tables],
+            dim,
+            bits,
+            probes: config.probes,
+            n_targets: targets.len(),
+        };
+        for (i, v) in targets.iter().enumerate() {
+            let Some(v) = v else { continue };
+            for t in 0..tables {
+                let sig = index.signature(t, v);
+                index.buckets[t].entry(sig).or_default().push(i as u32);
+            }
+        }
+        index
+    }
+
+    /// The signature of `v` in table `t`: one sign bit per hyperplane.
+    fn signature(&self, t: usize, v: &[f32]) -> u64 {
+        debug_assert_eq!(v.len(), self.dim);
+        let mut sig = 0u64;
+        let base = t * self.bits * self.dim;
+        for b in 0..self.bits {
+            let row = &self.planes[base + b * self.dim..base + (b + 1) * self.dim];
+            let dot: f32 = row.iter().zip(v).map(|(p, x)| p * x).sum();
+            if dot >= 0.0 {
+                sig |= 1 << b;
+            }
+        }
+        sig
+    }
+
+    /// Candidate targets colliding with `query` in at least one probed
+    /// bucket of at least one table, sorted ascending. With `probes ≥ 1`,
+    /// buckets within that Hamming distance of the query signature are
+    /// probed too (multiprobe LSH). Falls back to *all* targets when every
+    /// probe misses, so downstream matching still returns k results.
+    pub fn candidates(&self, query: &[f32]) -> Vec<usize> {
+        let mut hits: Vec<u32> = Vec::new();
+        for (t, table) in self.buckets.iter().enumerate() {
+            let sig = self.signature(t, query);
+            if let Some(list) = table.get(&sig) {
+                hits.extend_from_slice(list);
+            }
+            if self.probes >= 1 {
+                for b in 0..self.bits {
+                    if let Some(list) = table.get(&(sig ^ (1 << b))) {
+                        hits.extend_from_slice(list);
+                    }
+                    if self.probes >= 2 {
+                        for b2 in b + 1..self.bits {
+                            if let Some(list) = table.get(&(sig ^ (1 << b) ^ (1 << b2))) {
+                                hits.extend_from_slice(list);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if hits.is_empty() {
+            return (0..self.n_targets).collect();
+        }
+        hits.sort_unstable();
+        hits.dedup();
+        hits.into_iter().map(|x| x as usize).collect()
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Mean candidate-list length over all indexed vectors — the expected
+    /// fraction of the corpus scored per query is roughly this over
+    /// [`target_count`](Self::target_count).
+    pub fn mean_bucket_size(&self) -> f64 {
+        let (mut total, mut n) = (0usize, 0usize);
+        for table in &self.buckets {
+            for list in table.values() {
+                total += list.len();
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            total as f64 / n as f64
+        }
+    }
+
+    /// Number of indexed target slots (including `None` entries).
+    pub fn target_count(&self) -> usize {
+        self.n_targets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(angle: f32) -> Option<Vec<f32>> {
+        Some(vec![angle.cos(), angle.sin()])
+    }
+
+    fn config(seed: u64) -> LshConfig {
+        LshConfig {
+            tables: 6,
+            bits: 4,
+            probes: 0,
+            seed,
+        }
+    }
+
+    #[test]
+    fn identical_vector_is_always_a_candidate() {
+        let targets: Vec<Option<Vec<f32>>> =
+            (0..20).map(|i| unit(i as f32 * 0.3)).collect();
+        let idx = LshIndex::build(&targets, 2, &config(1));
+        for (i, v) in targets.iter().enumerate() {
+            let c = idx.candidates(v.as_ref().unwrap());
+            assert!(c.contains(&i), "vector {i} missed its own bucket");
+        }
+    }
+
+    #[test]
+    fn near_duplicates_collide_far_vectors_often_do_not() {
+        // Two tight clusters on opposite sides of the circle.
+        let mut targets: Vec<Option<Vec<f32>>> = Vec::new();
+        for i in 0..10 {
+            targets.push(unit(0.01 * i as f32)); // cluster A near angle 0
+        }
+        for i in 0..10 {
+            targets.push(unit(std::f32::consts::PI + 0.01 * i as f32)); // cluster B
+        }
+        let idx = LshIndex::build(&targets, 2, &config(7));
+        let c = idx.candidates(&[1.0, 0.0]);
+        let in_a = c.iter().filter(|&&i| i < 10).count();
+        let in_b = c.iter().filter(|&&i| i >= 10).count();
+        assert!(in_a >= 8, "cluster A should almost all collide: {in_a}");
+        assert!(in_b <= 2, "cluster B should rarely collide: {in_b}");
+    }
+
+    #[test]
+    fn none_entries_are_never_candidates() {
+        let targets: Vec<Option<Vec<f32>>> = vec![unit(0.0), None, unit(0.1)];
+        let idx = LshIndex::build(&targets, 2, &config(3));
+        let c = idx.candidates(&[1.0, 0.0]);
+        assert!(!c.contains(&1));
+    }
+
+    #[test]
+    fn empty_buckets_fall_back_to_all_targets() {
+        // Index nothing but None: every query falls back.
+        let targets: Vec<Option<Vec<f32>>> = vec![None, None, None];
+        let idx = LshIndex::build(&targets, 2, &config(4));
+        assert_eq!(idx.candidates(&[1.0, 0.0]), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn candidates_are_sorted_and_deduplicated() {
+        let targets: Vec<Option<Vec<f32>>> =
+            (0..30).map(|i| unit(i as f32 * 0.05)).collect();
+        let idx = LshIndex::build(&targets, 2, &config(5));
+        let c = idx.candidates(&[1.0, 0.0]);
+        let mut sorted = c.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(c, sorted);
+    }
+
+    #[test]
+    fn bits_are_clamped_to_sixty_four() {
+        let targets: Vec<Option<Vec<f32>>> = vec![unit(0.0)];
+        let idx = LshIndex::build(
+            &targets,
+            2,
+            &LshConfig {
+                tables: 1,
+                bits: 200,
+                probes: 0,
+                seed: 1,
+            },
+        );
+        assert!(idx.candidates(&[1.0, 0.0]).contains(&0));
+    }
+
+    #[test]
+    fn stats_reflect_index_contents() {
+        let targets: Vec<Option<Vec<f32>>> =
+            (0..12).map(|i| unit(i as f32 * 0.4)).collect();
+        let idx = LshIndex::build(&targets, 2, &config(6));
+        assert_eq!(idx.table_count(), 6);
+        assert_eq!(idx.target_count(), 12);
+        assert!(idx.mean_bucket_size() >= 1.0);
+    }
+
+    #[test]
+    fn multiprobe_widens_candidates_monotonically() {
+        let targets: Vec<Option<Vec<f32>>> =
+            (0..40).map(|i| unit(i as f32 * 0.16)).collect();
+        let base = LshConfig {
+            tables: 2,
+            bits: 8,
+            probes: 0,
+            seed: 11,
+        };
+        let q = [0.95f32, 0.31];
+        let mut last = 0usize;
+        for probes in 0..=2 {
+            let idx = LshIndex::build(&targets, 2, &LshConfig { probes, ..base });
+            let c = idx.candidates(&q);
+            // Fallback-to-all can only fire at probes = 0; past that,
+            // candidate sets only grow.
+            if c.len() != idx.target_count() {
+                assert!(c.len() >= last, "probes={probes} shrank candidates");
+                last = c.len();
+            }
+        }
+    }
+}

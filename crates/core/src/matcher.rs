@@ -1,0 +1,229 @@
+//! Metadata matching (§IV-B): cosine top-k over metadata-node embeddings,
+//! optional score combination with another method (Fig. 10), with a
+//! parallel variant for large query sets.
+
+use tdmatch_embed::vectors::cosine;
+
+/// Ranked matches for one query document: `(target index, score)` sorted
+/// by decreasing score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchResult {
+    /// Index of the query document in its corpus.
+    pub query: usize,
+    /// Ranked target documents with scores.
+    pub ranked: Vec<(usize, f32)>,
+}
+
+impl MatchResult {
+    /// Just the ranked target indices.
+    pub fn target_indices(&self) -> Vec<usize> {
+        self.ranked.iter().map(|&(t, _)| t).collect()
+    }
+}
+
+/// Ranks the top-`k` targets for every query by cosine similarity.
+///
+/// * `queries[i]` / `targets[j]` may be `None` when a document's metadata
+///   node vanished (e.g. dropped by aggressive compression); missing
+///   queries yield empty rankings, missing targets score `-1`.
+/// * `extra_score`, when given, is averaged with the cosine — the Fig. 10
+///   combination with SentenceBERT.
+/// * `candidates`, when given, restricts scoring per query (blocking).
+pub fn top_k_matches(
+    queries: &[Option<Vec<f32>>],
+    targets: &[Option<Vec<f32>>],
+    k: usize,
+    extra_score: Option<&dyn Fn(usize, usize) -> f32>,
+    candidates: Option<&dyn Fn(usize) -> Vec<usize>>,
+) -> Vec<MatchResult> {
+    let mut results = Vec::with_capacity(queries.len());
+    for (qi, q) in queries.iter().enumerate() {
+        let mut scored: Vec<(usize, f32)> = Vec::new();
+        if let Some(qv) = q {
+            let cand: Vec<usize> = match candidates {
+                Some(f) => f(qi),
+                None => (0..targets.len()).collect(),
+            };
+            scored.reserve(cand.len());
+            for ti in cand {
+                let base = match &targets[ti] {
+                    Some(tv) => cosine(qv, tv),
+                    None => -1.0,
+                };
+                let score = match extra_score {
+                    Some(f) => (base + f(qi, ti)) / 2.0,
+                    None => base,
+                };
+                scored.push((ti, score));
+            }
+            scored.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then_with(|| a.0.cmp(&b.0))
+            });
+            scored.truncate(k);
+        }
+        results.push(MatchResult {
+            query: qi,
+            ranked: scored,
+        });
+    }
+    results
+}
+
+/// Parallel [`top_k_matches`]: splits the queries over `threads` workers.
+/// Output is identical to the sequential version (each query's ranking is
+/// independent and the scorers are deterministic).
+pub fn top_k_matches_parallel(
+    queries: &[Option<Vec<f32>>],
+    targets: &[Option<Vec<f32>>],
+    k: usize,
+    extra_score: Option<&(dyn Fn(usize, usize) -> f32 + Sync)>,
+    candidates: Option<&(dyn Fn(usize) -> Vec<usize> + Sync)>,
+    threads: usize,
+) -> Vec<MatchResult> {
+    let threads = threads.max(1).min(queries.len().max(1));
+    if threads <= 1 {
+        // Re-borrow the Sync trait objects as plain ones.
+        let extra = extra_score.map(|f| f as &dyn Fn(usize, usize) -> f32);
+        let cand = candidates.map(|f| f as &dyn Fn(usize) -> Vec<usize>);
+        return top_k_matches(queries, targets, k, extra, cand);
+    }
+    let chunk = queries.len().div_ceil(threads);
+    let mut results: Vec<MatchResult> = Vec::with_capacity(queries.len());
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = queries
+            .chunks(chunk)
+            .enumerate()
+            .map(|(ci, qchunk)| {
+                scope.spawn(move |_| {
+                    let offset = ci * chunk;
+                    let extra = extra_score.map(|f| {
+                        move |q: usize, t: usize| f(q + offset, t)
+                    });
+                    let cand = candidates.map(|f| move |q: usize| f(q + offset));
+                    let mut local = top_k_matches(
+                        qchunk,
+                        targets,
+                        k,
+                        extra.as_ref().map(|f| f as &dyn Fn(usize, usize) -> f32),
+                        cand.as_ref().map(|f| f as &dyn Fn(usize) -> Vec<usize>),
+                    );
+                    for r in &mut local {
+                        r.query += offset;
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            results.extend(h.join().expect("matcher worker panicked"));
+        }
+    })
+    .expect("parallel matching scope failed");
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: f32, y: f32) -> Option<Vec<f32>> {
+        Some(vec![x, y])
+    }
+
+    #[test]
+    fn ranks_by_cosine() {
+        let queries = vec![v(1.0, 0.0)];
+        let targets = vec![v(0.0, 1.0), v(1.0, 0.1), v(0.7, 0.7)];
+        let r = top_k_matches(&queries, &targets, 2, None, None);
+        assert_eq!(r[0].target_indices(), vec![1, 2]);
+        assert!(r[0].ranked[0].1 > r[0].ranked[1].1);
+    }
+
+    #[test]
+    fn missing_query_gives_empty_ranking() {
+        let queries = vec![None];
+        let targets = vec![v(1.0, 0.0)];
+        let r = top_k_matches(&queries, &targets, 5, None, None);
+        assert!(r[0].ranked.is_empty());
+    }
+
+    #[test]
+    fn missing_target_ranks_last() {
+        let queries = vec![v(1.0, 0.0)];
+        let targets = vec![None, v(1.0, 0.0)];
+        let r = top_k_matches(&queries, &targets, 2, None, None);
+        assert_eq!(r[0].target_indices(), vec![1, 0]);
+    }
+
+    #[test]
+    fn extra_score_can_flip_ranking() {
+        let queries = vec![v(1.0, 0.0)];
+        let targets = vec![v(1.0, 0.0), v(0.9, 0.1)];
+        // Without combination target 0 wins…
+        let plain = top_k_matches(&queries, &targets, 2, None, None);
+        assert_eq!(plain[0].target_indices()[0], 0);
+        // …but a strong external preference for target 1 flips it.
+        let extra = |_q: usize, t: usize| if t == 1 { 1.0 } else { -1.0 };
+        let combined = top_k_matches(&queries, &targets, 2, Some(&extra), None);
+        assert_eq!(combined[0].target_indices()[0], 1);
+    }
+
+    #[test]
+    fn candidates_restrict_scoring() {
+        let queries = vec![v(1.0, 0.0)];
+        let targets = vec![v(1.0, 0.0), v(1.0, 0.0), v(1.0, 0.0)];
+        let cand = |_q: usize| vec![2usize];
+        let r = top_k_matches(&queries, &targets, 3, None, Some(&cand));
+        assert_eq!(r[0].target_indices(), vec![2]);
+    }
+
+    #[test]
+    fn ties_break_by_index_for_determinism() {
+        let queries = vec![v(1.0, 0.0)];
+        let targets = vec![v(2.0, 0.0), v(1.0, 0.0)];
+        let r = top_k_matches(&queries, &targets, 2, None, None);
+        assert_eq!(r[0].target_indices(), vec![0, 1]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let queries: Vec<Option<Vec<f32>>> = (0..37)
+            .map(|i| v((i as f32 * 0.7).cos(), (i as f32 * 0.7).sin()))
+            .collect();
+        let targets: Vec<Option<Vec<f32>>> = (0..23)
+            .map(|i| {
+                if i % 7 == 3 {
+                    None
+                } else {
+                    v((i as f32 * 1.3).cos(), (i as f32 * 1.3).sin())
+                }
+            })
+            .collect();
+        let seq = top_k_matches(&queries, &targets, 5, None, None);
+        for threads in [1, 2, 4, 64] {
+            let par =
+                top_k_matches_parallel(&queries, &targets, 5, None, None, threads);
+            assert_eq!(seq, par, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_preserves_query_indices_and_scorers() {
+        let queries: Vec<Option<Vec<f32>>> =
+            (0..10).map(|_| v(1.0, 0.0)).collect();
+        let targets: Vec<Option<Vec<f32>>> = (0..6).map(|_| v(1.0, 0.0)).collect();
+        // Extra scorer keyed on the *global* query index: query q prefers
+        // target q % 6. Blocking restricts to two candidates.
+        let extra = |q: usize, t: usize| if t == q % 6 { 1.0 } else { 0.0 };
+        let cand = |q: usize| vec![q % 6, (q + 1) % 6];
+        let seq = top_k_matches(&queries, &targets, 1, Some(&extra), Some(&cand));
+        let par = top_k_matches_parallel(&queries, &targets, 1, Some(&extra), Some(&cand), 3);
+        assert_eq!(seq, par);
+        for (q, r) in par.iter().enumerate() {
+            assert_eq!(r.query, q);
+            assert_eq!(r.target_indices()[0], q % 6);
+        }
+    }
+}

@@ -1,0 +1,779 @@
+//! The end-to-end TDmatch pipeline (Fig. 3): graph → (expand) →
+//! (compress) → walks → Word2Vec → match.
+
+use std::time::Instant;
+
+use tdmatch_compress::{msp_compress, ssp_compress, ssum_compress, MspConfig, SspConfig, SsumConfig};
+use tdmatch_embed::walks::{generate_walks, walk_counts};
+use tdmatch_embed::word2vec::train_ids;
+use tdmatch_graph::{CorpusSide, Graph};
+use tdmatch_kb::{KnowledgeBase, PretrainedModel};
+use tdmatch_text::Preprocessor;
+
+use crate::artifact::MatchArtifact;
+use crate::blocking::BlockIndex;
+use crate::builder::{build_graph, doc_label, BuildStats};
+use crate::config::{BlockingMode, Compression, EmbedMethod, TdConfig};
+use crate::corpus::Corpus;
+use crate::error::TdError;
+use crate::expand::{expand_graph, ExpandStats};
+use crate::lsh::LshIndex;
+use crate::matcher::{top_k_matches, MatchResult};
+
+/// Fitted blocking state, matching the configured [`BlockingMode`].
+#[derive(Debug)]
+enum BlockData {
+    /// No blocking: score all pairs.
+    None,
+    /// Inverted token index over the first corpus plus the pre-tokenized
+    /// queries of the second corpus.
+    Inverted {
+        index: BlockIndex,
+        query_tokens: Vec<Vec<String>>,
+    },
+    /// LSH index over the first corpus's metadata embeddings.
+    Lsh(LshIndex),
+}
+
+/// Optional resources for a fit.
+#[derive(Default)]
+pub struct FitOptions<'a> {
+    /// External resource for graph expansion (Alg. 2). `None` = W-RW,
+    /// `Some` = W-RW-EX.
+    pub kb: Option<&'a dyn KnowledgeBase>,
+    /// Compression applied after expansion (Alg. 3 / baselines).
+    pub compression: Option<Compression>,
+    /// Pre-trained model + threshold γ for similarity merging (§II-C).
+    /// `None` skips the merge.
+    pub merge: Option<(&'a PretrainedModel, f32)>,
+}
+
+/// Wall-clock seconds spent in each pipeline stage.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimings {
+    /// Graph creation (Alg. 1 + merging).
+    pub build: f64,
+    /// Expansion (Alg. 2).
+    pub expand: f64,
+    /// Compression (Alg. 3).
+    pub compress: f64,
+    /// Random-walk generation.
+    pub walks: f64,
+    /// Word2Vec training.
+    pub train: f64,
+}
+
+impl StageTimings {
+    /// Total training-side time (everything up to matching).
+    pub fn total(&self) -> f64 {
+        self.build + self.expand + self.compress + self.walks + self.train
+    }
+}
+
+/// The TDmatch trainer. Construct with a [`TdConfig`], then [`fit`] two
+/// corpora.
+///
+/// [`fit`]: TdMatch::fit
+pub struct TdMatch {
+    config: TdConfig,
+}
+
+impl TdMatch {
+    /// Creates a trainer with the given configuration.
+    pub fn new(config: TdConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TdConfig {
+        &self.config
+    }
+
+    /// Fits the default pipeline (no expansion, no compression, no
+    /// similarity merge) — the paper's **W-RW**.
+    pub fn fit(&self, first: &Corpus, second: &Corpus) -> Result<TdModel, TdError> {
+        self.fit_with(first, second, FitOptions::default())
+    }
+
+    /// Fits with expansion — the paper's **W-RW-EX**.
+    pub fn fit_expanded(
+        &self,
+        first: &Corpus,
+        second: &Corpus,
+        kb: &dyn KnowledgeBase,
+    ) -> Result<TdModel, TdError> {
+        self.fit_with(
+            first,
+            second,
+            FitOptions {
+                kb: Some(kb),
+                ..Default::default()
+            },
+        )
+    }
+
+    /// Resumes the pipeline from a pre-built graph — e.g. one persisted
+    /// with [`tdmatch_graph::persist::save_graph`] after an expensive
+    /// expansion/compression — skipping graph creation entirely. Runs
+    /// walks, training, and vector extraction on `graph` as-is.
+    ///
+    /// Corpus sizes are recovered from the metadata nodes' document
+    /// indices. [`BlockingMode::InvertedIndex`] is rejected (it needs the
+    /// raw corpora); use `None` or `Lsh`.
+    pub fn fit_prebuilt(&self, graph: Graph) -> Result<TdModel, TdError> {
+        if matches!(self.config.blocking, BlockingMode::InvertedIndex) {
+            return Err(TdError::PrebuiltNeedsCorpora);
+        }
+        let has_terms = graph.nodes().any(|n| !graph.kind(n).is_metadata());
+        if !has_terms {
+            return Err(TdError::NoSharedTerms);
+        }
+        // Recover corpus sizes: max matchable document index + 1 per side.
+        let side_len = |side: CorpusSide| -> usize {
+            graph
+                .matchable_nodes(side)
+                .iter()
+                .filter_map(|&n| match graph.kind(n) {
+                    tdmatch_graph::NodeKind::Meta { index, .. } => Some(index as usize + 1),
+                    _ => None,
+                })
+                .max()
+                .unwrap_or(0)
+        };
+        let (first_len, second_len) = (side_len(CorpusSide::First), side_len(CorpusSide::Second));
+        if first_len == 0 {
+            return Err(TdError::EmptyCorpus { which: "first" });
+        }
+        if second_len == 0 {
+            return Err(TdError::EmptyCorpus { which: "second" });
+        }
+
+        let mut timings = StageTimings::default();
+
+        let t = Instant::now();
+        let walk_corpus = generate_walks(&graph, &self.config.walk_config());
+        timings.walks = t.elapsed().as_secs_f64();
+        if walk_corpus.is_empty() {
+            return Err(TdError::EmptyWalkCorpus);
+        }
+
+        let t = Instant::now();
+        let matrix = self.train_matrix(&graph, &walk_corpus);
+        timings.train = t.elapsed().as_secs_f64();
+
+        let dim = self.config.dim;
+        let extract = |side: CorpusSide, len: usize| -> Vec<Option<Vec<f32>>> {
+            (0..len)
+                .map(|i| {
+                    graph.meta_node(&doc_label(side, i)).map(|n| {
+                        matrix[n.index() * dim..(n.index() + 1) * dim].to_vec()
+                    })
+                })
+                .collect()
+        };
+        let first_vecs = extract(CorpusSide::First, first_len);
+        let second_vecs = extract(CorpusSide::Second, second_len);
+
+        let blocks = match self.config.blocking {
+            BlockingMode::Lsh(lsh_config) => {
+                BlockData::Lsh(LshIndex::build(&first_vecs, dim, &lsh_config))
+            }
+            _ => BlockData::None,
+        };
+
+        Ok(TdModel {
+            config: self.config.clone(),
+            graph,
+            matrix,
+            first_vecs,
+            second_vecs,
+            build_stats: BuildStats::default(),
+            expand_stats: ExpandStats::default(),
+            timings,
+            blocks,
+        })
+    }
+
+
+    /// Trains node embeddings from the walk corpus with the configured
+    /// [`EmbedMethod`], returning an `id_bound × dim` row-major matrix.
+    fn train_matrix(&self, graph: &Graph, walk_corpus: &[Vec<u32>]) -> Vec<f32> {
+        match self.config.embed_method {
+            EmbedMethod::WalkWord2Vec => {
+                let counts = walk_counts(walk_corpus, graph.id_bound(), false);
+                train_ids(walk_corpus, &counts, &self.config.w2v_config())
+            }
+            EmbedMethod::WalkDoc2Vec => {
+                // Each node's "document" is the bag of all walks starting
+                // at it; PV-DBOW then trains one vector per node.
+                let mut docs_by_node: Vec<Vec<String>> = vec![Vec::new(); graph.id_bound()];
+                for walk in walk_corpus {
+                    let Some(&start) = walk.first() else { continue };
+                    let doc = &mut docs_by_node[start as usize];
+                    doc.extend(walk.iter().map(|id| id.to_string()));
+                }
+                let d2v = tdmatch_embed::doc2vec::Doc2Vec::train(
+                    &docs_by_node,
+                    tdmatch_embed::doc2vec::Doc2VecConfig {
+                        dim: self.config.dim,
+                        negative: self.config.negative,
+                        epochs: self.config.epochs,
+                        initial_lr: 0.025,
+                        min_count: 1,
+                        seed: self.config.seed,
+                    },
+                );
+                let mut matrix = vec![0.0f32; graph.id_bound() * self.config.dim];
+                for n in graph.nodes() {
+                    let row = d2v.doc_vector(n.index());
+                    matrix[n.index() * self.config.dim..(n.index() + 1) * self.config.dim]
+                        .copy_from_slice(row);
+                }
+                matrix
+            }
+        }
+    }
+
+    /// Fits with explicit options (expansion / compression / merging).
+    pub fn fit_with(
+        &self,
+        first: &Corpus,
+        second: &Corpus,
+        options: FitOptions<'_>,
+    ) -> Result<TdModel, TdError> {
+        if first.is_empty() {
+            return Err(TdError::EmptyCorpus { which: "first" });
+        }
+        if second.is_empty() {
+            return Err(TdError::EmptyCorpus { which: "second" });
+        }
+        let mut timings = StageTimings::default();
+
+        // 1. Graph creation (Alg. 1) + merging (§II-C).
+        let t0 = Instant::now();
+        let built = build_graph(first, second, &self.config, options.merge);
+        let build_stats = built.stats;
+        let mut graph = built.graph;
+        timings.build = t0.elapsed().as_secs_f64();
+
+        // A graph with no data nodes cannot relate the corpora.
+        if build_stats.terms_created == 0 {
+            return Err(TdError::NoSharedTerms);
+        }
+
+        // 2. Expansion (Alg. 2).
+        let mut expand_stats = ExpandStats::default();
+        if let Some(kb) = options.kb {
+            let t = Instant::now();
+            expand_stats = expand_graph(&mut graph, kb, self.config.max_relations_per_node);
+            timings.expand = t.elapsed().as_secs_f64();
+        }
+
+        // 3. Compression (Alg. 3 or a baseline).
+        if let Some(compression) = options.compression {
+            let t = Instant::now();
+            graph = match compression {
+                Compression::Msp { beta } => msp_compress(
+                    &graph,
+                    &MspConfig {
+                        beta,
+                        seed: self.config.seed,
+                        ..Default::default()
+                    },
+                ),
+                Compression::Ssp { ratio } => ssp_compress(
+                    &graph,
+                    &SspConfig {
+                        ratio,
+                        seed: self.config.seed,
+                        ..Default::default()
+                    },
+                ),
+                Compression::Ssum { ratio } => ssum_compress(
+                    &graph,
+                    &SsumConfig {
+                        ratio,
+                        edge_ratio: ratio,
+                        seed: self.config.seed,
+                    },
+                ),
+            };
+            timings.compress = t.elapsed().as_secs_f64();
+        }
+
+        // 4. Random walks (Alg. 4, first half).
+        let t = Instant::now();
+        let walk_corpus = generate_walks(&graph, &self.config.walk_config());
+        timings.walks = t.elapsed().as_secs_f64();
+        if walk_corpus.is_empty() {
+            return Err(TdError::EmptyWalkCorpus);
+        }
+
+        // 5. Embedding model over walks (Alg. 4, second half).
+        let t = Instant::now();
+        let matrix = self.train_matrix(&graph, &walk_corpus);
+        timings.train = t.elapsed().as_secs_f64();
+
+        // 6. Metadata vectors per (side, document index).
+        let dim = self.config.dim;
+        let extract = |side: CorpusSide, len: usize| -> Vec<Option<Vec<f32>>> {
+            (0..len)
+                .map(|i| {
+                    graph.meta_node(&doc_label(side, i)).map(|n| {
+                        matrix[n.index() * dim..(n.index() + 1) * dim].to_vec()
+                    })
+                })
+                .collect()
+        };
+        let first_vecs = extract(CorpusSide::First, first.len());
+        let second_vecs = extract(CorpusSide::Second, second.len());
+
+        // 7. Optional blocking index (future-work extension): lexical
+        //    blocking indexes the first corpus's tokens; LSH blocking
+        //    hashes the just-trained first-corpus embeddings.
+        let blocks = match self.config.blocking {
+            BlockingMode::None => BlockData::None,
+            BlockingMode::InvertedIndex => {
+                let pre = Preprocessor::new(self.config.preprocess.clone());
+                let index = BlockIndex::build(first, &pre);
+                let query_tokens: Vec<Vec<String>> = (0..second.len())
+                    .map(|i| {
+                        second
+                            .fields(i)
+                            .iter()
+                            .flat_map(|f| pre.base_tokens(f))
+                            .collect()
+                    })
+                    .collect();
+                BlockData::Inverted {
+                    index,
+                    query_tokens,
+                }
+            }
+            BlockingMode::Lsh(lsh_config) => {
+                BlockData::Lsh(LshIndex::build(&first_vecs, dim, &lsh_config))
+            }
+        };
+
+        Ok(TdModel {
+            config: self.config.clone(),
+            graph,
+            matrix,
+            first_vecs,
+            second_vecs,
+            build_stats,
+            expand_stats,
+            timings,
+            blocks,
+        })
+    }
+}
+
+/// A fitted TDmatch model: the final graph, node embeddings, and matching
+/// entry points.
+#[derive(Debug)]
+pub struct TdModel {
+    config: TdConfig,
+    /// The graph embeddings were trained on (post expansion/compression).
+    pub graph: Graph,
+    matrix: Vec<f32>,
+    first_vecs: Vec<Option<Vec<f32>>>,
+    second_vecs: Vec<Option<Vec<f32>>>,
+    /// Graph-creation statistics.
+    pub build_stats: BuildStats,
+    /// Expansion statistics (zeroed when expansion was off).
+    pub expand_stats: ExpandStats,
+    /// Per-stage wall-clock timings.
+    pub timings: StageTimings,
+    blocks: BlockData,
+}
+
+impl TdModel {
+    /// The configuration the model was fitted with.
+    pub fn config(&self) -> &TdConfig {
+        &self.config
+    }
+
+    /// Embedding of document `idx` on `side`, if its metadata node
+    /// survived the pipeline.
+    pub fn doc_vector(&self, side: CorpusSide, idx: usize) -> Option<&[f32]> {
+        let store = match side {
+            CorpusSide::First => &self.first_vecs,
+            CorpusSide::Second => &self.second_vecs,
+        };
+        store.get(idx).and_then(|v| v.as_deref())
+    }
+
+    /// Embedding of a term (data node), if present in the final graph.
+    pub fn term_vector(&self, term: &str) -> Option<&[f32]> {
+        let n = self.graph.data_node(term)?;
+        let dim = self.config.dim;
+        Some(&self.matrix[n.index() * dim..(n.index() + 1) * dim])
+    }
+
+    /// Ranks the top-`k` first-corpus documents for every second-corpus
+    /// document (the default direction: queries are the text side).
+    pub fn match_top_k(&self, k: usize) -> Vec<MatchResult> {
+        self.match_top_k_combined(k, None)
+    }
+
+    /// Like [`match_top_k`], averaging cosine scores with an external
+    /// scorer (Fig. 10's combination with SentenceBERT).
+    ///
+    /// [`match_top_k`]: TdModel::match_top_k
+    pub fn match_top_k_combined(
+        &self,
+        k: usize,
+        extra_score: Option<&dyn Fn(usize, usize) -> f32>,
+    ) -> Vec<MatchResult> {
+        let inverted_fn;
+        let lsh_fn;
+        let candidates: Option<&dyn Fn(usize) -> Vec<usize>> = match &self.blocks {
+            BlockData::None => None,
+            BlockData::Inverted {
+                index,
+                query_tokens,
+            } => {
+                inverted_fn = move |q: usize| index.candidates(&query_tokens[q]);
+                Some(&inverted_fn)
+            }
+            BlockData::Lsh(index) => {
+                lsh_fn = move |q: usize| match &self.second_vecs[q] {
+                    Some(v) => index.candidates(v),
+                    None => Vec::new(),
+                };
+                Some(&lsh_fn)
+            }
+        };
+        top_k_matches(&self.second_vecs, &self.first_vecs, k, extra_score, candidates)
+    }
+
+    /// Ranks the top-`k` second-corpus documents for every first-corpus
+    /// document (the reverse direction; §IV-B default "start from the
+    /// larger corpus" is the caller's choice).
+    pub fn match_top_k_reverse(&self, k: usize) -> Vec<MatchResult> {
+        top_k_matches(&self.first_vecs, &self.second_vecs, k, None, None)
+    }
+
+    /// Like [`match_top_k`](TdModel::match_top_k) but splits the queries
+    /// over `threads` workers. Output is identical to the sequential
+    /// version; worthwhile when the query corpus is large.
+    pub fn match_top_k_parallel(&self, k: usize, threads: usize) -> Vec<MatchResult> {
+        let inverted_fn;
+        let lsh_fn;
+        let candidates: Option<&(dyn Fn(usize) -> Vec<usize> + Sync)> = match &self.blocks {
+            BlockData::None => None,
+            BlockData::Inverted {
+                index,
+                query_tokens,
+            } => {
+                inverted_fn = move |q: usize| index.candidates(&query_tokens[q]);
+                Some(&inverted_fn)
+            }
+            BlockData::Lsh(index) => {
+                lsh_fn = move |q: usize| match &self.second_vecs[q] {
+                    Some(v) => index.candidates(v),
+                    None => Vec::new(),
+                };
+                Some(&lsh_fn)
+            }
+        };
+        crate::matcher::top_k_matches_parallel(
+            &self.second_vecs,
+            &self.first_vecs,
+            k,
+            None,
+            candidates,
+            threads,
+        )
+    }
+
+    /// `(nodes, edges)` of the final graph (Table VIII's #N / #E).
+    pub fn graph_size(&self) -> (usize, usize) {
+        (self.graph.node_count(), self.graph.edge_count())
+    }
+
+    /// Exports the model's matching state (term vectors + both corpora's
+    /// document vectors) as a persistable [`MatchArtifact`]. The artifact
+    /// matches exactly like [`match_top_k`](TdModel::match_top_k) does
+    /// without blocking, and can be saved/loaded without re-training.
+    pub fn artifact(&self) -> MatchArtifact {
+        let dim = self.config.dim;
+        let terms: Vec<(String, Vec<f32>)> = self
+            .graph
+            .nodes()
+            .filter(|&n| !self.graph.kind(n).is_metadata())
+            .map(|n| {
+                (
+                    self.graph.label(n).to_string(),
+                    self.matrix[n.index() * dim..(n.index() + 1) * dim].to_vec(),
+                )
+            })
+            .collect();
+        MatchArtifact::new(dim, terms, self.first_vecs.clone(), self.second_vecs.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{Table, TextCorpus};
+
+    fn corpora() -> (Corpus, Corpus) {
+        let table = Table::new(
+            "movies",
+            vec!["title".into(), "director".into(), "actor".into(), "genre".into()],
+            vec![
+                vec![
+                    "The Sixth Sense".into(),
+                    "Shyamalan".into(),
+                    "Bruce Willis".into(),
+                    "Thriller".into(),
+                ],
+                vec![
+                    "Pulp Fiction".into(),
+                    "Tarantino".into(),
+                    "Samuel Jackson".into(),
+                    "Drama".into(),
+                ],
+                vec![
+                    "Dark City".into(),
+                    "Proyas".into(),
+                    "Rufus Sewell".into(),
+                    "Mystery".into(),
+                ],
+            ],
+        );
+        let reviews = TextCorpus::new(vec![
+            "shyamalan made a thriller with bruce willis and a twist".into(),
+            "tarantino directs samuel jackson in pulp fiction".into(),
+            "dark city is a mystery by proyas".into(),
+        ]);
+        (Corpus::Table(table), Corpus::Text(reviews))
+    }
+
+    #[test]
+    fn end_to_end_matches_reviews_to_tuples() {
+        let (first, second) = corpora();
+        let model = TdMatch::new(TdConfig::for_tests())
+            .fit(&first, &second)
+            .unwrap();
+        let results = model.match_top_k(3);
+        assert_eq!(results.len(), 3);
+        // Every review's top-1 should be its own tuple: the lexical
+        // overlap is strong and the graph encodes it.
+        let mut correct = 0;
+        for (i, r) in results.iter().enumerate() {
+            if r.target_indices().first() == Some(&i) {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 2, "at least 2/3 top-1 correct, got {correct}");
+    }
+
+    #[test]
+    fn empty_corpus_is_rejected() {
+        let (first, _) = corpora();
+        let empty = Corpus::Text(TextCorpus::new(vec![]));
+        let err = TdMatch::new(TdConfig::for_tests())
+            .fit(&first, &empty)
+            .unwrap_err();
+        assert_eq!(err, TdError::EmptyCorpus { which: "second" });
+    }
+
+    #[test]
+    fn timings_are_populated() {
+        let (first, second) = corpora();
+        let model = TdMatch::new(TdConfig::for_tests())
+            .fit(&first, &second)
+            .unwrap();
+        assert!(model.timings.build > 0.0);
+        assert!(model.timings.walks > 0.0);
+        assert!(model.timings.train > 0.0);
+        assert!(model.timings.total() > 0.0);
+        assert_eq!(model.timings.expand, 0.0);
+    }
+
+    #[test]
+    fn blocking_does_not_change_top1_here() {
+        let (first, second) = corpora();
+        let plain = TdMatch::new(TdConfig::for_tests())
+            .fit(&first, &second)
+            .unwrap();
+        let blocked = TdMatch::new(TdConfig {
+            blocking: BlockingMode::InvertedIndex,
+            ..TdConfig::for_tests()
+        })
+        .fit(&first, &second)
+        .unwrap();
+        for (a, b) in plain.match_top_k(1).iter().zip(blocked.match_top_k(1)) {
+            assert_eq!(a.target_indices(), b.target_indices());
+        }
+    }
+
+    #[test]
+    fn lsh_blocking_keeps_matching_usable() {
+        use crate::lsh::LshConfig;
+        let (first, second) = corpora();
+        let blocked = TdMatch::new(TdConfig {
+            // Generous parameters on a 3-document corpus: every true match
+            // should survive the hashing.
+            blocking: BlockingMode::Lsh(LshConfig {
+                tables: 12,
+                bits: 2,
+                probes: 1,
+                seed: 42,
+            }),
+            ..TdConfig::for_tests()
+        })
+        .fit(&first, &second)
+        .unwrap();
+        let results = blocked.match_top_k(3);
+        assert_eq!(results.len(), 3);
+        // Every query still gets at least one ranked target.
+        assert!(results.iter().all(|r| !r.ranked.is_empty()));
+    }
+
+    #[test]
+    fn term_vectors_are_accessible() {
+        let (first, second) = corpora();
+        let model = TdMatch::new(TdConfig::for_tests())
+            .fit(&first, &second)
+            .unwrap();
+        assert!(model.term_vector("tarantino").is_some());
+        assert!(model.term_vector("not-a-term").is_none());
+    }
+
+    #[test]
+    fn compression_keeps_model_usable() {
+        let (first, second) = corpora();
+        let model = TdMatch::new(TdConfig::for_tests())
+            .fit_with(
+                &first,
+                &second,
+                FitOptions {
+                    compression: Some(Compression::Msp { beta: 0.5 }),
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        let results = model.match_top_k(2);
+        assert_eq!(results.len(), 3);
+        let (n, e) = model.graph_size();
+        assert!(n > 0 && e > 0);
+    }
+
+    #[test]
+    fn doc2vec_embedding_method_matches_reasonably() {
+        use crate::config::EmbedMethod;
+        let (first, second) = corpora();
+        let model = TdMatch::new(TdConfig {
+            embed_method: EmbedMethod::WalkDoc2Vec,
+            ..TdConfig::for_tests()
+        })
+        .fit(&first, &second)
+        .unwrap();
+        let results = model.match_top_k(3);
+        assert_eq!(results.len(), 3);
+        let correct = results
+            .iter()
+            .enumerate()
+            .filter(|(i, r)| r.target_indices().first() == Some(i))
+            .count();
+        assert!(correct >= 2, "doc2vec embeddings collapsed: {correct}/3");
+    }
+
+    #[test]
+    fn fit_prebuilt_resumes_from_persisted_graph() {
+        let (first, second) = corpora();
+        let trainer = TdMatch::new(TdConfig::for_tests());
+        let model = trainer.fit(&first, &second).unwrap();
+
+        // Persist the fitted graph and resume from it.
+        let mut buf = Vec::new();
+        tdmatch_graph::persist::write_graph(&model.graph, &mut buf).unwrap();
+        let restored = tdmatch_graph::persist::read_graph(&mut buf.as_slice()).unwrap();
+        let resumed = trainer.fit_prebuilt(restored).unwrap();
+
+        assert_eq!(resumed.graph_size(), model.graph_size());
+        // Matching still works and mostly agrees at top-1 (walk RNG keys
+        // off node ids, which a roundtrip renumbers, so require quality,
+        // not bit-equality).
+        let results = resumed.match_top_k(3);
+        assert_eq!(results.len(), 3);
+        let correct = results
+            .iter()
+            .enumerate()
+            .filter(|(i, r)| r.target_indices().first() == Some(i))
+            .count();
+        assert!(correct >= 2, "resumed model degraded: {correct}/3");
+    }
+
+    #[test]
+    fn fit_prebuilt_rejects_inverted_blocking_and_empty_sides() {
+        let (first, second) = corpora();
+        let model = TdMatch::new(TdConfig::for_tests())
+            .fit(&first, &second)
+            .unwrap();
+        let trainer = TdMatch::new(TdConfig {
+            blocking: BlockingMode::InvertedIndex,
+            ..TdConfig::for_tests()
+        });
+        assert_eq!(
+            trainer.fit_prebuilt(model.graph.clone()).unwrap_err(),
+            TdError::PrebuiltNeedsCorpora
+        );
+        // A graph with no metadata on one side is rejected.
+        let mut g = tdmatch_graph::Graph::new();
+        let m = g.add_meta("A:doc0", CorpusSide::First, tdmatch_graph::MetaKind::Tuple, 0);
+        let d = g.intern_data("term");
+        g.add_edge(m, d);
+        assert_eq!(
+            TdMatch::new(TdConfig::for_tests()).fit_prebuilt(g).unwrap_err(),
+            TdError::EmptyCorpus { which: "second" }
+        );
+    }
+
+    #[test]
+    fn parallel_matching_equals_sequential() {
+        let (first, second) = corpora();
+        let model = TdMatch::new(TdConfig::for_tests())
+            .fit(&first, &second)
+            .unwrap();
+        let seq = model.match_top_k(3);
+        for threads in [1, 2, 8] {
+            assert_eq!(seq, model.match_top_k_parallel(3, threads));
+        }
+    }
+
+    #[test]
+    fn artifact_roundtrip_matches_like_the_model() {
+        let (first, second) = corpora();
+        let model = TdMatch::new(TdConfig::for_tests())
+            .fit(&first, &second)
+            .unwrap();
+        let mut buf = Vec::new();
+        model.artifact().write_to(&mut buf).unwrap();
+        let loaded = crate::artifact::MatchArtifact::read_from(&mut buf.as_slice()).unwrap();
+        // Same ranked indices from the artifact as from the live model.
+        for (a, b) in model.match_top_k(3).iter().zip(loaded.match_top_k(3)) {
+            assert_eq!(a.target_indices(), b.target_indices());
+        }
+        // Term vectors survive too.
+        assert_eq!(
+            model.term_vector("tarantino"),
+            loaded.term_vector("tarantino")
+        );
+    }
+
+    #[test]
+    fn reverse_direction_ranks_reviews() {
+        let (first, second) = corpora();
+        let model = TdMatch::new(TdConfig::for_tests())
+            .fit(&first, &second)
+            .unwrap();
+        let results = model.match_top_k_reverse(2);
+        assert_eq!(results.len(), 3);
+        assert!(results.iter().all(|r| r.ranked.len() == 2));
+    }
+}

@@ -1,0 +1,201 @@
+//! Property-based tests for graph creation (Alg. 1) invariants.
+
+use proptest::prelude::*;
+
+use tdmatch_core::artifact::MatchArtifact;
+use tdmatch_core::builder::{build_graph, doc_label};
+use tdmatch_core::config::{FilterMode, TdConfig};
+use tdmatch_core::corpus::{Corpus, Table, TextCorpus};
+use tdmatch_graph::CorpusSide;
+
+/// A word pool small enough to force overlap between corpora.
+fn word(i: usize) -> String {
+    format!("w{}", i % 12)
+}
+
+fn table_from(rows_spec: &[Vec<usize>]) -> Corpus {
+    let n_cols = rows_spec.iter().map(|r| r.len()).max().unwrap_or(1);
+    let columns: Vec<String> = (0..n_cols).map(|j| format!("c{j}")).collect();
+    let rows: Vec<Vec<String>> = rows_spec
+        .iter()
+        .map(|r| {
+            (0..n_cols)
+                .map(|j| word(r.get(j).copied().unwrap_or(j)))
+                .collect()
+        })
+        .collect();
+    Corpus::Table(Table::new("t", columns, rows))
+}
+
+fn text_from(docs_spec: &[Vec<usize>]) -> Corpus {
+    Corpus::Text(TextCorpus::new(
+        docs_spec
+            .iter()
+            .map(|d| {
+                d.iter()
+                    .map(|&i| word(i))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .collect(),
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Algorithm 1 invariants: every document gets a metadata node; no
+    /// metadata-metadata edges cross corpora; every term node is reachable
+    /// from at least one metadata node.
+    #[test]
+    fn builder_invariants(
+        rows in prop::collection::vec(
+            prop::collection::vec(0usize..12, 1..4),
+            1..6,
+        ),
+        docs in prop::collection::vec(
+            prop::collection::vec(0usize..12, 1..6),
+            1..6,
+        ),
+        filtering in prop::sample::select(vec![
+            FilterMode::None,
+            FilterMode::Intersect,
+            FilterMode::TfIdf { k: 3 },
+        ]),
+    ) {
+        let first = table_from(&rows);
+        let second = text_from(&docs);
+        let config = TdConfig {
+            filtering,
+            ..TdConfig::for_tests()
+        };
+        let built = build_graph(&first, &second, &config, None);
+        let g = &built.graph;
+
+        // Every document has its metadata node.
+        for i in 0..first.len() {
+            prop_assert!(g.meta_node(&doc_label(CorpusSide::First, i)).is_some());
+        }
+        for i in 0..second.len() {
+            prop_assert!(g.meta_node(&doc_label(CorpusSide::Second, i)).is_some());
+        }
+
+        // No cross-corpus metadata edges.
+        for (a, b) in g.edges() {
+            let (ka, kb) = (g.kind(a), g.kind(b));
+            if ka.is_metadata() && kb.is_metadata() {
+                prop_assert_eq!(ka.side(), kb.side());
+            }
+        }
+
+        // Data nodes all touch at least one metadata node (rows/docs are
+        // non-empty, so every term was introduced through a document).
+        for n in g.nodes() {
+            if !g.kind(n).is_metadata() {
+                prop_assert!(
+                    g.neighbors(n).iter().any(|&m| g.kind(m).is_metadata()),
+                    "orphan term {:?}",
+                    g.label(n)
+                );
+            }
+        }
+    }
+
+    /// Intersect never yields *more* term nodes than no filtering.
+    #[test]
+    fn intersect_is_a_filter(
+        rows in prop::collection::vec(prop::collection::vec(0usize..12, 1..4), 1..5),
+        docs in prop::collection::vec(prop::collection::vec(0usize..12, 1..6), 1..5),
+    ) {
+        let first = table_from(&rows);
+        let second = text_from(&docs);
+        let base = TdConfig::for_tests();
+        let none = build_graph(
+            &first,
+            &second,
+            &TdConfig { filtering: FilterMode::None, ..base.clone() },
+            None,
+        );
+        let inter = build_graph(
+            &first,
+            &second,
+            &TdConfig { filtering: FilterMode::Intersect, ..base },
+            None,
+        );
+        prop_assert!(inter.stats.terms_created <= none.stats.terms_created);
+    }
+
+    /// Graph creation is deterministic.
+    #[test]
+    fn builder_deterministic(
+        rows in prop::collection::vec(prop::collection::vec(0usize..12, 1..3), 1..4),
+        docs in prop::collection::vec(prop::collection::vec(0usize..12, 1..5), 1..4),
+    ) {
+        let first = table_from(&rows);
+        let second = text_from(&docs);
+        let config = TdConfig::for_tests();
+        let a = build_graph(&first, &second, &config, None);
+        let b = build_graph(&first, &second, &config, None);
+        prop_assert_eq!(a.graph.node_count(), b.graph.node_count());
+        prop_assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+    }
+
+    /// Any artifact survives a serialize → deserialize roundtrip exactly,
+    /// and its matching output is unchanged.
+    #[test]
+    fn artifact_roundtrip_is_lossless(
+        dim in 1usize..6,
+        n_terms in 0usize..8,
+        n_first in 1usize..6,
+        n_second in 1usize..4,
+        fill in prop::collection::vec(-1.0f32..1.0, 0..400),
+    ) {
+        let mut it = fill.into_iter().cycle();
+        let mut vec_of = |dim: usize| -> Vec<f32> {
+            (0..dim).map(|_| it.next().unwrap_or(0.5)).collect()
+        };
+        let terms: Vec<(String, Vec<f32>)> = (0..n_terms)
+            .map(|i| (format!("term{i}"), vec_of(dim)))
+            .collect();
+        let first: Vec<Option<Vec<f32>>> = (0..n_first)
+            .map(|i| if i % 3 == 2 { None } else { Some(vec_of(dim)) })
+            .collect();
+        let second: Vec<Option<Vec<f32>>> = (0..n_second)
+            .map(|_| Some(vec_of(dim)))
+            .collect();
+        let a = MatchArtifact::new(dim, terms, first, second);
+        let mut buf = Vec::new();
+        a.write_to(&mut buf).unwrap();
+        let b = MatchArtifact::read_from(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(&a, &b);
+        let (ra, rb) = (a.match_top_k(5), b.match_top_k(5));
+        for (x, y) in ra.iter().zip(&rb) {
+            prop_assert_eq!(x.target_indices(), y.target_indices());
+        }
+    }
+
+    /// Every corrupted byte of an artifact is detected at load time.
+    #[test]
+    fn artifact_corruption_never_loads_silently(
+        flip_byte in 0usize..200,
+        flip_bit in 0u8..8,
+    ) {
+        let a = MatchArtifact::new(
+            2,
+            vec![("x".to_string(), vec![0.25, -0.5])],
+            vec![Some(vec![1.0, 0.0]), None],
+            vec![Some(vec![0.0, 1.0])],
+        );
+        let mut buf = Vec::new();
+        a.write_to(&mut buf).unwrap();
+        let pos = flip_byte % buf.len();
+        buf[pos] ^= 1 << flip_bit;
+        match MatchArtifact::read_from(&mut buf.as_slice()) {
+            Err(_) => {}
+            Ok(loaded) => prop_assert!(
+                false,
+                "corrupted byte {pos} loaded silently: {loaded:?}"
+            ),
+        }
+    }
+}

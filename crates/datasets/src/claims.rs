@@ -1,0 +1,330 @@
+//! The fact-checking scenarios (§V-C): Snopes and Politifact — given an
+//! input claim, rank the verified claims that check it.
+//!
+//! Verified claims ("facts") are templated statements about people,
+//! places, and figures; each popular subject accumulates a *family* of
+//! near-duplicate facts differing in one slot (a different figure, place,
+//! or topic) — the same-speaker confusability that makes real
+//! previously-fact-checked-claim retrieval hard. Input claims paraphrase
+//! one fact with synonym substitution, name shortening, token dropout and
+//! chatter.
+//!
+//! Politifact is made harder than Snopes (matching the paper's MRR gap):
+//! more facts, larger same-subject families, lossier paraphrases.
+
+use rand::rngs::SmallRng;
+use rand::seq::IndexedRandom;
+use rand::{RngExt, SeedableRng};
+
+use tdmatch_core::config::TdConfig;
+use tdmatch_core::corpus::{Corpus, TextCorpus};
+use tdmatch_kb::{lexicon, SyntheticConceptNet};
+
+use crate::{standard_pretrained, Scale, Scenario};
+
+struct ClaimParams {
+    name: &'static str,
+    n_facts: usize,
+    n_claims: usize,
+    /// Probability a fact spawns a family of same-subject near-duplicates.
+    family: f64,
+    /// Maximum family size (siblings beyond the base fact).
+    family_size: usize,
+    /// Per-token dropout in paraphrases.
+    dropout: f64,
+}
+
+fn snopes_params(scale: Scale) -> ClaimParams {
+    let (n_facts, n_claims) = match scale {
+        Scale::Tiny => (120, 25),
+        Scale::Small => (1_000, 100),
+        Scale::Paper => (11_000, 1_000),
+    };
+    ClaimParams {
+        name: "snopes",
+        n_facts,
+        n_claims,
+        family: 0.25,
+        family_size: 2,
+        dropout: 0.25,
+    }
+}
+
+fn politifact_params(scale: Scale) -> ClaimParams {
+    let (n_facts, n_claims) = match scale {
+        Scale::Tiny => (160, 25),
+        Scale::Small => (1_500, 80),
+        Scale::Paper => (16_600, 768),
+    };
+    ClaimParams {
+        name: "politifact",
+        n_facts,
+        n_claims,
+        family: 0.6,
+        family_size: 4,
+        dropout: 0.4,
+    }
+}
+
+/// A structured fact; near-duplicates vary one slot of the same subject.
+#[derive(Debug, Clone)]
+struct FactRecord {
+    subject_first: String,
+    subject_last: String,
+    template: usize,
+    noun: String,
+    noun2: String,
+    verb: String,
+    adj: String,
+    country: String,
+    number: u64,
+}
+
+impl FactRecord {
+    fn random(rng: &mut SmallRng) -> Self {
+        Self {
+            subject_first: lexicon::FIRST_NAMES.choose(rng).expect("non-empty").to_string(),
+            subject_last: lexicon::LAST_NAMES.choose(rng).expect("non-empty").to_string(),
+            template: rng.random_range(0..5),
+            noun: lexicon::GENERIC_NOUNS.choose(rng).expect("non-empty").to_string(),
+            noun2: lexicon::GENERIC_NOUNS.choose(rng).expect("non-empty").to_string(),
+            verb: lexicon::GENERIC_VERBS.choose(rng).expect("non-empty").to_string(),
+            adj: lexicon::GENERIC_ADJS.choose(rng).expect("non-empty").to_string(),
+            country: lexicon::COUNTRIES.choose(rng).expect("non-empty").to_string(),
+            number: 10 + rng.random_range(0..99) * 10,
+        }
+    }
+
+    /// A same-subject sibling with a few slots changed — the confuser.
+    fn sibling(&self, rng: &mut SmallRng) -> Self {
+        let mut s = self.clone();
+        s.template = rng.random_range(0..5);
+        match rng.random_range(0..3) {
+            0 => s.noun = lexicon::GENERIC_NOUNS.choose(rng).expect("non-empty").to_string(),
+            1 => s.country = lexicon::COUNTRIES.choose(rng).expect("non-empty").to_string(),
+            _ => s.number = 10 + rng.random_range(0..99) * 10,
+        }
+        s.noun2 = lexicon::GENERIC_NOUNS.choose(rng).expect("non-empty").to_string();
+        s
+    }
+
+    fn subject(&self) -> String {
+        format!("{} {}", self.subject_first, self.subject_last)
+    }
+
+    /// The verified-claim text.
+    fn render(&self) -> String {
+        let s = self.subject();
+        match self.template {
+            0 => format!(
+                "{s} said the {} {} by {} percent in {}",
+                self.noun, self.verb, self.number, self.country
+            ),
+            1 => format!(
+                "a {} photo shows {s} with a {} in {}",
+                self.adj, self.noun, self.country
+            ),
+            2 => format!(
+                "{s} claimed that {} will {} the {} {}",
+                self.country, self.verb, self.noun, self.noun2
+            ),
+            3 => format!(
+                "the {} in {} {} {} {} last year",
+                self.noun, self.country, self.verb, self.number, self.noun2
+            ),
+            _ => format!(
+                "{s} never {} the {} {} about {}",
+                self.verb, self.adj, self.noun, self.noun2
+            ),
+        }
+    }
+
+    /// An input claim paraphrasing this fact: shortened name, synonym
+    /// swaps, token dropout, chatter.
+    fn paraphrase(&self, rng: &mut SmallRng, dropout: f64) -> String {
+        let subject_form = if rng.random_bool(0.5) {
+            self.subject_last.clone()
+        } else {
+            self.subject()
+        };
+        let core = match self.template {
+            0 => format!(
+                "{subject_form} says {} {} {} percent {}",
+                self.noun, self.verb, self.number, self.country
+            ),
+            1 => format!(
+                "photo of {subject_form} holding a {} in {}",
+                self.noun, self.country
+            ),
+            2 => format!(
+                "{subject_form} thinks {} would {} the {}",
+                self.country, self.verb, self.noun
+            ),
+            3 => format!(
+                "apparently the {} in {} {} {}",
+                self.noun, self.country, self.verb, self.number
+            ),
+            _ => format!(
+                "{subject_form} swears he never {} that {} {}",
+                self.verb, self.adj, self.noun
+            ),
+        };
+        let mut words: Vec<String> = core
+            .split(' ')
+            .map(|w| synonym_swap(rng, w))
+            .collect();
+        // Never drop the subject token(s); drop the rest independently.
+        let subject_tokens: std::collections::HashSet<&str> =
+            subject_form.split(' ').collect();
+        words.retain(|w| subject_tokens.contains(w.as_str()) || rng.random::<f64>() > dropout);
+        if rng.random_bool(0.5) {
+            words.insert(0, "they say".to_string());
+        }
+        if rng.random_bool(0.3) {
+            words.push("is this true".to_string());
+        }
+        words.join(" ")
+    }
+}
+
+/// Swaps a word for a random member of its synonym group.
+fn synonym_swap(rng: &mut SmallRng, token: &str) -> String {
+    for group in lexicon::SYNONYM_GROUPS {
+        if group.contains(&token) && rng.random_bool(0.6) {
+            return group.choose(rng).expect("non-empty").to_string();
+        }
+    }
+    token.to_string()
+}
+
+fn generate_with(params: ClaimParams, seed: u64) -> Scenario {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xFAC7_0000 ^ params.name.len() as u64);
+    let mut records: Vec<FactRecord> = Vec::with_capacity(params.n_facts);
+    while records.len() < params.n_facts {
+        let base = FactRecord::random(&mut rng);
+        records.push(base.clone());
+        if rng.random_bool(params.family) {
+            let size = rng.random_range(1..=params.family_size);
+            for _ in 0..size {
+                if records.len() >= params.n_facts {
+                    break;
+                }
+                records.push(base.sibling(&mut rng));
+            }
+        }
+    }
+    let facts: Vec<String> = records.iter().map(|r| r.render()).collect();
+
+    let mut claims = Vec::with_capacity(params.n_claims);
+    let mut truth = Vec::with_capacity(params.n_claims);
+    for _ in 0..params.n_claims {
+        let target = rng.random_range(0..records.len());
+        claims.push(records[target].paraphrase(&mut rng, params.dropout));
+        truth.push(vec![target]);
+    }
+
+    let (pretrained, gamma) = standard_pretrained(seed, 0.3);
+    Scenario {
+        name: params.name.to_string(),
+        first: Corpus::Text(TextCorpus::new(facts)),
+        second: Corpus::Text(TextCorpus::new(claims)),
+        ground_truth: truth,
+        kb: Box::new(SyntheticConceptNet::standard(seed, 2)),
+        pretrained,
+        gamma,
+        config: TdConfig::text_oriented(),
+    }
+}
+
+/// The Snopes scenario: 1k tweets against 11k fact-checks (scaled).
+pub fn snopes(scale: Scale, seed: u64) -> Scenario {
+    generate_with(snopes_params(scale), seed)
+}
+
+/// The Politifact scenario: politician claims against 16.6k fact-checks
+/// (scaled); harder than Snopes by construction.
+pub fn politifact(scale: Scale, seed: u64) -> Scenario {
+    generate_with(politifact_params(scale), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn politifact_has_more_facts_than_snopes() {
+        let s = snopes(Scale::Tiny, 4);
+        let p = politifact(Scale::Tiny, 4);
+        assert!(p.first.len() > s.first.len());
+    }
+
+    #[test]
+    fn claims_share_vocabulary_with_their_fact() {
+        let s = snopes(Scale::Tiny, 4);
+        let Corpus::Text(facts) = &s.first else { panic!() };
+        let Corpus::Text(claims) = &s.second else { panic!() };
+        let mut overlaps = 0;
+        for (i, claim) in claims.docs.iter().enumerate() {
+            let fact = &facts.docs[s.ground_truth[i][0]];
+            let fact_words: std::collections::HashSet<&str> = fact.split(' ').collect();
+            let shared = claim.split(' ').filter(|w| fact_words.contains(w)).count();
+            if shared >= 2 {
+                overlaps += 1;
+            }
+        }
+        assert!(
+            overlaps as f64 >= claims.docs.len() as f64 * 0.7,
+            "claims should lexically overlap their facts: {overlaps}/{}",
+            claims.docs.len()
+        );
+    }
+
+    #[test]
+    fn families_share_subjects() {
+        let p = politifact(Scale::Small, 4);
+        let Corpus::Text(facts) = &p.first else { panic!() };
+        // Count facts sharing a (first, last) subject prefix with their
+        // predecessor — families must exist.
+        let mut shared_subject = 0;
+        for w in facts.docs.windows(2) {
+            let a: Vec<&str> = w[0].split(' ').collect();
+            let b: Vec<&str> = w[1].split(' ').collect();
+            if a.len() > 1 && b.len() > 1 {
+                let subj_a = w[0].contains(&format!("{} {}", a[0], a[1]));
+                let _ = subj_a;
+                if w[1].contains(a[0]) && w[1].contains(a[1]) {
+                    shared_subject += 1;
+                }
+            }
+        }
+        assert!(shared_subject > 0, "expected same-subject fact families");
+    }
+
+    #[test]
+    fn paraphrase_keeps_subject() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let r = FactRecord::random(&mut rng);
+        for _ in 0..10 {
+            let p = r.paraphrase(&mut rng, 0.5);
+            assert!(
+                p.contains(&r.subject_last),
+                "paraphrase must keep the subject: {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn sibling_keeps_subject_changes_slot() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let r = FactRecord::random(&mut rng);
+        let s = r.sibling(&mut rng);
+        assert_eq!(r.subject(), s.subject());
+        assert_ne!(r.render(), s.render());
+    }
+
+    #[test]
+    fn scenario_names() {
+        assert_eq!(snopes(Scale::Tiny, 1).name, "snopes");
+        assert_eq!(politifact(Scale::Tiny, 1).name, "politifact");
+    }
+}

@@ -1,0 +1,288 @@
+//! The CoronaCheck scenario (§V-A): COVID-19 claims matched to official
+//! statistics tuples.
+//!
+//! A table of per-country monthly case/death statistics, and two claim
+//! corpora: **Generated** sentences templated from the data, and **User**
+//! sentences with typos in country names, rounded figures, and comparative
+//! claims that require matching *two* rows (the paper's "Number of cases
+//! in US is higher than China" example). About a quarter of data nodes are
+//! numeric — the bucketing merge's natural habitat.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use tdmatch_core::config::TdConfig;
+use tdmatch_core::corpus::{Corpus, Table, TextCorpus};
+use tdmatch_kb::{lexicon, SyntheticConceptNet};
+
+use crate::{standard_pretrained, Scale, Scenario};
+
+/// Which claim corpus to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SentenceKind {
+    /// Sentences templated directly from the data (the paper's *Gen*).
+    Generated,
+    /// Noisier user-submitted sentences (the paper's *Usr*): typos,
+    /// rounding, comparatives.
+    User,
+}
+
+static MONTHS: &[&str] = &[
+    "january", "february", "march", "april", "may", "june", "july", "august", "september",
+    "october", "november", "december",
+];
+
+fn sizes(scale: Scale) -> (usize, usize, usize) {
+    // (countries, months, sentences)
+    match scale {
+        Scale::Tiny => (12, 4, 30),
+        Scale::Small => (50, 12, 300),
+        Scale::Paper => (50, 24, 7_000),
+    }
+}
+
+/// Deterministic monthly new-case volume for (country, month).
+fn cases_for(seed: u64, country: usize, month: usize) -> u64 {
+    100 + lexicon::pick(seed ^ 0xC0F0, (country * 64 + month) as u64, 50_000) as u64
+}
+
+fn deaths_for(seed: u64, country: usize, month: usize) -> u64 {
+    1 + lexicon::pick(seed ^ 0xD0D0, (country * 64 + month) as u64, 900) as u64
+}
+
+struct World {
+    countries: Vec<&'static str>,
+    months: usize,
+    seed: u64,
+}
+
+impl World {
+    fn row_index(&self, country: usize, month: usize) -> usize {
+        country * self.months + month
+    }
+
+    fn table(&self) -> Table {
+        let columns: Vec<String> = [
+            "country", "month", "year", "new_cases", "total_cases", "new_deaths", "total_deaths",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let mut rows = Vec::new();
+        for (c, country) in self.countries.iter().enumerate() {
+            let mut total_cases = 0u64;
+            let mut total_deaths = 0u64;
+            for m in 0..self.months {
+                let new_cases = cases_for(self.seed, c, m);
+                let new_deaths = deaths_for(self.seed, c, m);
+                total_cases += new_cases;
+                total_deaths += new_deaths;
+                rows.push(vec![
+                    country.to_string(),
+                    MONTHS[m % 12].to_string(),
+                    (2020 + m / 12).to_string(),
+                    new_cases.to_string(),
+                    total_cases.to_string(),
+                    new_deaths.to_string(),
+                    total_deaths.to_string(),
+                ]);
+            }
+        }
+        Table::new("coronacheck", columns, rows)
+    }
+}
+
+/// Introduces one character-drop typo into a country name.
+fn typo(rng: &mut SmallRng, word: &str) -> String {
+    if word.len() < 4 {
+        return word.to_string();
+    }
+    let pos = rng.random_range(1..word.len() - 1);
+    let mut s = String::with_capacity(word.len() - 1);
+    for (i, ch) in word.chars().enumerate() {
+        if i != pos {
+            s.push(ch);
+        }
+    }
+    s
+}
+
+/// Rounds a figure the way people quote numbers ("about 5300").
+fn rounded(v: u64) -> u64 {
+    if v >= 10_000 {
+        (v / 1_000) * 1_000
+    } else if v >= 1_000 {
+        (v / 100) * 100
+    } else {
+        (v / 10) * 10
+    }
+}
+
+fn generate_sentence(
+    rng: &mut SmallRng,
+    world: &World,
+    kind: SentenceKind,
+) -> (String, Vec<usize>) {
+    let c = rng.random_range(0..world.countries.len());
+    let m = rng.random_range(0..world.months);
+    let country = world.countries[c];
+    let month = MONTHS[m % 12];
+    let year = 2020 + m / 12;
+    let cases = cases_for(world.seed, c, m);
+    let deaths = deaths_for(world.seed, c, m);
+    match kind {
+        SentenceKind::Generated => {
+            let (text, rows) = match rng.random_range(0..3) {
+                0 => (
+                    format!("the number of new cases in {country} in {month} {year} was {cases}"),
+                    vec![world.row_index(c, m)],
+                ),
+                1 => (
+                    format!("{country} recorded {deaths} new deaths during {month} {year}"),
+                    vec![world.row_index(c, m)],
+                ),
+                _ => (
+                    format!("in {month} {year} {country} reported {cases} confirmed cases"),
+                    vec![world.row_index(c, m)],
+                ),
+            };
+            (text, rows)
+        }
+        SentenceKind::User => {
+            let noisy_country = if rng.random_bool(0.5) {
+                typo(rng, country)
+            } else {
+                country.to_string()
+            };
+            match rng.random_range(0..3) {
+                0 => (
+                    format!(
+                        "about {} people tested positive in {noisy_country} in {month}",
+                        rounded(cases)
+                    ),
+                    vec![world.row_index(c, m)],
+                ),
+                1 => (
+                    format!(
+                        "i heard {noisy_country} had around {} deaths in {month} {year}",
+                        rounded(deaths)
+                    ),
+                    vec![world.row_index(c, m)],
+                ),
+                _ => {
+                    // Comparative claim: needs two rows (the paper's
+                    // US-vs-China example).
+                    let mut c2 = rng.random_range(0..world.countries.len());
+                    if c2 == c {
+                        c2 = (c2 + 1) % world.countries.len();
+                    }
+                    let other = world.countries[c2];
+                    (
+                        format!(
+                            "number of cases in {noisy_country} is higher than {other} in {month}"
+                        ),
+                        vec![world.row_index(c, m), world.row_index(c2, m)],
+                    )
+                }
+            }
+        }
+    }
+}
+
+/// Generates the CoronaCheck scenario for the given claim corpus kind.
+pub fn generate(scale: Scale, seed: u64, kind: SentenceKind) -> Scenario {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xC0C0_0C0C);
+    let (n_countries, n_months, n_sentences) = sizes(scale);
+    // User corpora are small in the paper (50 sentences vs 7k generated).
+    let n_sentences = match kind {
+        SentenceKind::Generated => n_sentences,
+        SentenceKind::User => (n_sentences / 6).max(10),
+    };
+    let world = World {
+        countries: lexicon::COUNTRIES[..n_countries.min(lexicon::COUNTRIES.len())].to_vec(),
+        months: n_months,
+        seed,
+    };
+
+    let mut sentences = Vec::with_capacity(n_sentences);
+    let mut truth = Vec::with_capacity(n_sentences);
+    for _ in 0..n_sentences {
+        let (text, rows) = generate_sentence(&mut rng, &world, kind);
+        sentences.push(text);
+        truth.push(rows);
+    }
+
+    let (pretrained, gamma) = standard_pretrained(seed, 0.25);
+    Scenario {
+        name: match kind {
+            SentenceKind::Generated => "corona-gen".to_string(),
+            SentenceKind::User => "corona-usr".to_string(),
+        },
+        first: Corpus::Table(world.table()),
+        second: Corpus::Text(TextCorpus::new(sentences)),
+        ground_truth: truth,
+        kb: Box::new(SyntheticConceptNet::standard(seed, 2)),
+        pretrained,
+        gamma,
+        config: TdConfig {
+            bucket_numbers: true,
+            ..TdConfig::text_to_data()
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_shape() {
+        let s = generate(Scale::Tiny, 5, SentenceKind::Generated);
+        let Corpus::Table(t) = &s.first else { panic!() };
+        assert_eq!(t.columns.len(), 7);
+        assert_eq!(t.rows.len(), 12 * 4);
+    }
+
+    #[test]
+    fn generated_sentences_quote_exact_numbers() {
+        let s = generate(Scale::Tiny, 5, SentenceKind::Generated);
+        let Corpus::Table(t) = &s.first else { panic!() };
+        let Corpus::Text(claims) = &s.second else { panic!() };
+        // Each sentence contains its row's country name.
+        for (i, claim) in claims.docs.iter().enumerate() {
+            let row = s.ground_truth[i][0];
+            assert!(
+                claim.contains(&t.rows[row][0]),
+                "claim {i} misses country: {claim}"
+            );
+        }
+    }
+
+    #[test]
+    fn user_sentences_include_comparatives() {
+        let s = generate(Scale::Small, 5, SentenceKind::User);
+        let two_row = s.ground_truth.iter().filter(|g| g.len() == 2).count();
+        assert!(two_row > 0, "expected comparative claims with 2-row truth");
+    }
+
+    #[test]
+    fn user_corpus_is_smaller() {
+        let g = generate(Scale::Small, 5, SentenceKind::Generated);
+        let u = generate(Scale::Small, 5, SentenceKind::User);
+        assert!(u.second.len() < g.second.len());
+    }
+
+    #[test]
+    fn typo_drops_one_char() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let t = typo(&mut rng, "germany");
+        assert_eq!(t.len(), "germany".len() - 1);
+        assert_eq!(typo(&mut rng, "usa"), "usa");
+    }
+
+    #[test]
+    fn config_enables_bucketing() {
+        let s = generate(Scale::Tiny, 5, SentenceKind::Generated);
+        assert!(s.config.bucket_numbers);
+    }
+}

@@ -1,0 +1,151 @@
+//! The STS scenario (§V-C): semantic-textual-similarity pairs treated as
+//! an unsupervised matching task.
+//!
+//! Sentence pairs carry a 0–5 similarity score; a pair is a true match at
+//! threshold `k` when its score ≥ k. Scores are realized by construction:
+//!
+//! * 5 — near-identical sentences;
+//! * 4 — synonym substitutions;
+//! * 3 — shared clause, divergent remainder;
+//! * 2 — same topic words, different statement;
+//! * 1/0 — unrelated sentences.
+
+use rand::rngs::SmallRng;
+use rand::seq::IndexedRandom;
+use rand::SeedableRng;
+
+use tdmatch_core::config::TdConfig;
+use tdmatch_core::corpus::{Corpus, TextCorpus};
+use tdmatch_kb::{lexicon, SyntheticConceptNet};
+
+use crate::{standard_pretrained, Scale, Scenario};
+
+fn n_pairs(scale: Scale) -> usize {
+    match scale {
+        Scale::Tiny => 40,
+        Scale::Small => 400,
+        Scale::Paper => 7_000,
+    }
+}
+
+fn base_sentence(rng: &mut SmallRng) -> Vec<String> {
+    let noun = lexicon::GENERIC_NOUNS.choose(rng).expect("non-empty");
+    let noun2 = lexicon::GENERIC_NOUNS.choose(rng).expect("non-empty");
+    let verb = lexicon::GENERIC_VERBS.choose(rng).expect("non-empty");
+    let adj = lexicon::GENERIC_ADJS.choose(rng).expect("non-empty");
+    format!("the {adj} {noun} will {verb} the {noun2} this year")
+        .split(' ')
+        .map(|s| s.to_string())
+        .collect()
+}
+
+fn swap_synonyms(rng: &mut SmallRng, words: &[String]) -> Vec<String> {
+    words
+        .iter()
+        .map(|w| {
+            for group in lexicon::SYNONYM_GROUPS {
+                if group.contains(&w.as_str()) {
+                    return group.choose(rng).expect("non-empty").to_string();
+                }
+            }
+            w.clone()
+        })
+        .collect()
+}
+
+/// Generates one `(sentence_a, sentence_b, score)` triple.
+fn make_pair(rng: &mut SmallRng, score: u8) -> (String, String, u8) {
+    let a = base_sentence(rng);
+    let b: Vec<String> = match score {
+        5 => a.clone(),
+        4 => swap_synonyms(rng, &a),
+        3 => {
+            // Keep the first half, regenerate the rest.
+            let mut b = a[..a.len() / 2].to_vec();
+            b.extend(base_sentence(rng).into_iter().skip(a.len() / 2));
+            b
+        }
+        2 => {
+            // Shuffle topic words into a fresh frame.
+            let noun = a[2].clone();
+            let mut b = base_sentence(rng);
+            let pos = b.len() - 2;
+            b[pos] = noun;
+            b
+        }
+        _ => base_sentence(rng),
+    };
+    (a.join(" "), b.join(" "), score)
+}
+
+/// Generates the STS scenario at threshold `k` (the paper reports k = 2
+/// with ~5k matching pairs and k = 3 with ~3.7k).
+pub fn generate(scale: Scale, seed: u64, k: u8) -> Scenario {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x575_0000);
+    let n = n_pairs(scale);
+    let mut first_docs = Vec::with_capacity(n);
+    let mut second_docs = Vec::with_capacity(n);
+    let mut truth = Vec::with_capacity(n);
+    for i in 0..n {
+        // Score distribution roughly uniform over 0..=5.
+        let score = (i % 6) as u8;
+        let (a, b, s) = make_pair(&mut rng, score);
+        second_docs.push(a);
+        first_docs.push(b);
+        truth.push(if s >= k { vec![i] } else { vec![] });
+    }
+    let (pretrained, gamma) = standard_pretrained(seed, 0.3);
+    Scenario {
+        name: format!("sts-k{k}"),
+        first: Corpus::Text(TextCorpus::new(first_docs)),
+        second: Corpus::Text(TextCorpus::new(second_docs)),
+        ground_truth: truth,
+        kb: Box::new(SyntheticConceptNet::standard(seed, 2)),
+        pretrained,
+        gamma,
+        config: TdConfig::text_oriented(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn higher_threshold_means_fewer_matches() {
+        let k2 = generate(Scale::Small, 6, 2);
+        let k3 = generate(Scale::Small, 6, 3);
+        assert!(k3.labeled_queries() < k2.labeled_queries());
+        assert!(k2.labeled_queries() > 0);
+    }
+
+    #[test]
+    fn score5_pairs_are_identical() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let (a, b, _) = make_pair(&mut rng, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn score0_pairs_differ() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let (a, b, _) = make_pair(&mut rng, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn score4_shares_most_words() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let (a, b, _) = make_pair(&mut rng, 4);
+        let wa: std::collections::HashSet<&str> = a.split(' ').collect();
+        let shared = b.split(' ').filter(|w| wa.contains(w)).count();
+        assert!(shared >= 5, "synonym pairs share the frame: {a} / {b}");
+    }
+
+    #[test]
+    fn corpora_are_parallel() {
+        let s = generate(Scale::Tiny, 6, 2);
+        assert_eq!(s.first.len(), s.second.len());
+        assert_eq!(s.ground_truth.len(), s.second.len());
+    }
+}

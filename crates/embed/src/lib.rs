@@ -1,0 +1,28 @@
+//! Embedding substrate for TDmatch.
+//!
+//! The paper's default embedding generator (Alg. 4) runs `n` random walks of
+//! length `l` from every graph node, treats each walk's label sequence as a
+//! sentence, and trains a Word2Vec model — Skip-gram (window 3) for the
+//! text-to-data task and CBOW (window 15) for text-oriented tasks (§V).
+//!
+//! Everything here is built from scratch:
+//!
+//! * [`vocab`] — frequency-ranked vocabulary construction;
+//! * [`word2vec`] — Skip-gram & CBOW with negative sampling, trained in
+//!   parallel Hogwild-style over a lock-free shared matrix ([`hogwild`]);
+//! * [`doc2vec`] — PV-DBOW document embeddings (the D2VEC baseline);
+//! * [`walks`] — parallel random-walk corpus generation over a
+//!   [`tdmatch_graph::Graph`];
+//! * [`vectors`] — dense embedding stores, cosine similarity, top-k search.
+
+pub mod doc2vec;
+pub mod hogwild;
+pub mod neg_table;
+pub mod vectors;
+pub mod vocab;
+pub mod walks;
+pub mod word2vec;
+
+pub use vectors::{cosine, Embeddings};
+pub use vocab::Vocab;
+pub use word2vec::{W2vMode, Word2Vec, Word2VecConfig};

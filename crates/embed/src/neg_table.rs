@@ -1,0 +1,102 @@
+//! Unigram negative-sampling table.
+//!
+//! Negative examples are drawn from the unigram distribution raised to the
+//! 3/4 power, exactly as in word2vec.c. The distribution is materialized as
+//! a fixed-size table for O(1) sampling.
+
+use rand::{Rng, RngExt};
+
+/// Power applied to unigram counts (word2vec.c constant).
+const POWER: f64 = 0.75;
+
+/// A sampled-unigram table over word ids `0..counts.len()`.
+#[derive(Debug, Clone)]
+pub struct NegativeTable {
+    table: Vec<u32>,
+}
+
+impl NegativeTable {
+    /// Builds the table; `size` trades memory for sampling resolution
+    /// (word2vec.c uses 1e8; 1e6 is ample for our vocabulary sizes).
+    pub fn new(counts: &[u64], size: usize) -> Self {
+        assert!(!counts.is_empty(), "cannot build a table over no words");
+        let size = size.max(counts.len());
+        let norm: f64 = counts.iter().map(|&c| (c as f64).powf(POWER)).sum();
+        let mut table = Vec::with_capacity(size);
+        let mut cumulative = (counts[0] as f64).powf(POWER) / norm;
+        let mut word = 0usize;
+        for i in 0..size {
+            table.push(word as u32);
+            if (i + 1) as f64 / size as f64 > cumulative {
+                if word + 1 < counts.len() {
+                    word += 1;
+                }
+                cumulative += (counts[word] as f64).powf(POWER) / norm;
+            }
+        }
+        Self { table }
+    }
+
+    /// Draws one negative word id.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        self.table[rng.random_range(0..self.table.len())]
+    }
+
+    /// Table length (for tests).
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the table is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn covers_all_words() {
+        let t = NegativeTable::new(&[10, 10, 10], 300);
+        let mut seen = [false; 3];
+        for &w in &t.table {
+            seen[w as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn frequent_words_sampled_more() {
+        let t = NegativeTable::new(&[1000, 10], 10_000);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut counts = [0usize; 2];
+        for _ in 0..20_000 {
+            counts[t.sample(&mut rng) as usize] += 1;
+        }
+        assert!(
+            counts[0] > counts[1] * 5,
+            "frequent word should dominate: {counts:?}"
+        );
+        assert!(counts[1] > 0, "rare word must still appear");
+    }
+
+    #[test]
+    fn proportions_follow_power_law() {
+        // counts 16:1 → (16^.75):(1^.75) = 8:1 sampling ratio.
+        let t = NegativeTable::new(&[16, 1], 100_000);
+        let share0 = t.table.iter().filter(|&&w| w == 0).count() as f64 / t.len() as f64;
+        assert!((share0 - 8.0 / 9.0).abs() < 0.01, "share0 = {share0}");
+    }
+
+    #[test]
+    fn single_word_vocab() {
+        let t = NegativeTable::new(&[5], 100);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(t.sample(&mut rng), 0);
+    }
+}

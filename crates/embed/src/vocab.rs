@@ -1,0 +1,148 @@
+//! Vocabulary construction for Word2Vec training.
+
+use std::collections::HashMap;
+
+/// A frequency-ranked vocabulary mapping words to dense ids.
+#[derive(Debug, Clone, Default)]
+pub struct Vocab {
+    words: Vec<String>,
+    counts: Vec<u64>,
+    index: HashMap<String, u32>,
+    total: u64,
+}
+
+impl Vocab {
+    /// Builds a vocabulary from sentences, dropping words that occur fewer
+    /// than `min_count` times. Ids are assigned by decreasing frequency
+    /// (ties broken lexicographically for determinism).
+    pub fn build<S: AsRef<str>>(sentences: &[Vec<S>], min_count: u64) -> Self {
+        let mut freq: HashMap<&str, u64> = HashMap::new();
+        for sent in sentences {
+            for w in sent {
+                *freq.entry(w.as_ref()).or_insert(0) += 1;
+            }
+        }
+        let mut items: Vec<(&str, u64)> = freq
+            .into_iter()
+            .filter(|&(_, c)| c >= min_count)
+            .collect();
+        items.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        let mut vocab = Vocab::default();
+        for (w, c) in items {
+            let id = vocab.words.len() as u32;
+            vocab.words.push(w.to_string());
+            vocab.counts.push(c);
+            vocab.index.insert(w.to_string(), id);
+            vocab.total += c;
+        }
+        vocab
+    }
+
+    /// Vocabulary size.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True if no word survived `min_count`.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// The id of `word`, if in vocabulary.
+    #[inline]
+    pub fn id(&self, word: &str) -> Option<u32> {
+        self.index.get(word).copied()
+    }
+
+    /// The word with id `id`.
+    #[inline]
+    pub fn word(&self, id: u32) -> &str {
+        &self.words[id as usize]
+    }
+
+    /// Corpus frequency of word `id`.
+    #[inline]
+    pub fn count(&self, id: u32) -> u64 {
+        self.counts[id as usize]
+    }
+
+    /// All counts, indexed by id.
+    #[inline]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total token count over the vocabulary.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// All words in id order.
+    #[inline]
+    pub fn words(&self) -> &[String] {
+        &self.words
+    }
+
+    /// Converts a sentence to in-vocabulary ids, dropping OOV words.
+    pub fn encode<S: AsRef<str>>(&self, sentence: &[S]) -> Vec<u32> {
+        sentence
+            .iter()
+            .filter_map(|w| self.id(w.as_ref()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sents(data: &[&[&str]]) -> Vec<Vec<String>> {
+        data.iter()
+            .map(|s| s.iter().map(|w| w.to_string()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn frequency_ranked_ids() {
+        let s = sents(&[&["b", "a", "a"], &["a", "b", "c"]]);
+        let v = Vocab::build(&s, 1);
+        assert_eq!(v.word(0), "a"); // 3 occurrences
+        assert_eq!(v.word(1), "b"); // 2
+        assert_eq!(v.word(2), "c"); // 1
+        assert_eq!(v.total(), 6);
+    }
+
+    #[test]
+    fn min_count_filters() {
+        let s = sents(&[&["a", "a", "b"]]);
+        let v = Vocab::build(&s, 2);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.id("b"), None);
+    }
+
+    #[test]
+    fn ties_break_lexicographically() {
+        let s = sents(&[&["z", "y", "x"]]);
+        let v = Vocab::build(&s, 1);
+        assert_eq!(v.word(0), "x");
+        assert_eq!(v.word(1), "y");
+        assert_eq!(v.word(2), "z");
+    }
+
+    #[test]
+    fn encode_drops_oov() {
+        let s = sents(&[&["a", "b"]]);
+        let v = Vocab::build(&s, 1);
+        let ids = v.encode(&["a", "zzz", "b"]);
+        assert_eq!(ids.len(), 2);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let v = Vocab::build::<String>(&[], 1);
+        assert!(v.is_empty());
+    }
+}

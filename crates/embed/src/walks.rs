@@ -1,0 +1,326 @@
+//! Random-walk corpus generation over the heterogeneous graph (Alg. 4).
+//!
+//! A walk starts from every live node; at each step the next node is chosen
+//! among the current node's neighbors according to the configured
+//! [`WalkStrategy`] — uniformly by default (the paper's Alg. 4), biased by
+//! node2vec `p`/`q` parameters, or weighted by edge kind (the typed-edge
+//! future-work extension). The resulting node-id sequences are the
+//! "sentences" Word2Vec trains on. Generation is parallel *and*
+//! deterministic: each `(seed, start node, walk index)` triple seeds its
+//! own RNG, so the corpus does not depend on thread count.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use tdmatch_graph::sample::{random_walk, random_walk_edge_typed, random_walk_node2vec};
+use tdmatch_graph::{EdgeTypeWeights, Graph, NodeId};
+
+/// How the next node of a walk is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum WalkStrategy {
+    /// Uniform neighbor choice — the paper's Algorithm 4 (DeepWalk-style).
+    #[default]
+    Uniform,
+    /// node2vec second-order bias (Grover & Leskovec): `p` is the return
+    /// parameter, `q` the in-out parameter; `p = q = 1` is equivalent to
+    /// [`Uniform`](WalkStrategy::Uniform) in distribution.
+    Node2Vec {
+        /// Return parameter (likelihood of immediately revisiting the
+        /// previous node scales with `1/p`).
+        p: f32,
+        /// In-out parameter (likelihood of moving further from the
+        /// previous node scales with `1/q`).
+        q: f32,
+    },
+    /// First-order walk where transition probability is proportional to
+    /// the edge's [`EdgeKind`](tdmatch_graph::EdgeKind) weight.
+    EdgeTyped(EdgeTypeWeights),
+}
+
+/// Parameters of walk generation. Paper defaults (§V): 100 walks of
+/// length 30 per node. Scaled-down experiment presets use fewer.
+#[derive(Debug, Clone, Copy)]
+pub struct WalkConfig {
+    /// Walks started from every node.
+    pub walks_per_node: usize,
+    /// Steps per walk (the sentence has `walk_len + 1` tokens).
+    pub walk_len: usize,
+    /// Seed for deterministic generation.
+    pub seed: u64,
+    /// Worker threads.
+    pub threads: usize,
+    /// Transition rule (uniform unless configured otherwise).
+    pub strategy: WalkStrategy,
+}
+
+impl Default for WalkConfig {
+    fn default() -> Self {
+        Self {
+            walks_per_node: 100,
+            walk_len: 30,
+            seed: 42,
+            threads: crate::word2vec::default_threads(),
+            strategy: WalkStrategy::Uniform,
+        }
+    }
+}
+
+/// Mixes the walk identity into a per-walk RNG seed.
+#[inline]
+fn walk_seed(seed: u64, node: NodeId, walk: usize) -> u64 {
+    let mut x = seed ^ (node.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= (walk as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^ (x >> 31)
+}
+
+/// Generates the full walk corpus: `walks_per_node` walks from every live
+/// node, as sentences of node-id tokens.
+pub fn generate_walks(g: &Graph, config: &WalkConfig) -> Vec<Vec<u32>> {
+    let nodes: Vec<NodeId> = g.nodes().collect();
+    let threads = config.threads.max(1).min(nodes.len().max(1));
+    let chunk_size = nodes.len().div_ceil(threads.max(1)).max(1);
+    let mut corpus = Vec::with_capacity(nodes.len() * config.walks_per_node);
+
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = nodes
+            .chunks(chunk_size)
+            .map(|chunk| {
+                scope.spawn(move |_| {
+                    let mut local =
+                        Vec::with_capacity(chunk.len() * config.walks_per_node);
+                    for &node in chunk {
+                        for w in 0..config.walks_per_node {
+                            let mut rng =
+                                SmallRng::seed_from_u64(walk_seed(config.seed, node, w));
+                            let walk = match config.strategy {
+                                WalkStrategy::Uniform => {
+                                    random_walk(g, node, config.walk_len, &mut rng)
+                                }
+                                WalkStrategy::Node2Vec { p, q } => random_walk_node2vec(
+                                    g,
+                                    node,
+                                    config.walk_len,
+                                    p,
+                                    q,
+                                    &mut rng,
+                                ),
+                                WalkStrategy::EdgeTyped(weights) => random_walk_edge_typed(
+                                    g,
+                                    node,
+                                    config.walk_len,
+                                    &weights,
+                                    &mut rng,
+                                ),
+                            };
+                            local.push(walk.into_iter().map(|n| n.0).collect::<Vec<u32>>());
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            corpus.extend(h.join().expect("walk worker panicked"));
+        }
+    })
+    .expect("walk generation scope failed");
+
+    corpus
+}
+
+/// Token frequencies over a walk corpus, sized to `id_bound` so the counts
+/// can double as a Word2Vec "vocabulary" indexed by node id. Nodes that
+/// never appear get count 0 and are excluded from negative sampling by
+/// giving them a floor of 1 only when `floor_missing` is set.
+pub fn walk_counts(corpus: &[Vec<u32>], id_bound: usize, floor_missing: bool) -> Vec<u64> {
+    let mut counts = vec![0u64; id_bound];
+    for sent in corpus {
+        for &tok in sent {
+            counts[tok as usize] += 1;
+        }
+    }
+    if floor_missing {
+        for c in &mut counts {
+            if *c == 0 {
+                *c = 1;
+            }
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize) -> Graph {
+        let mut g = Graph::new();
+        let ids: Vec<NodeId> = (0..n).map(|i| g.intern_data(&format!("n{i}"))).collect();
+        for i in 0..n {
+            g.add_edge(ids[i], ids[(i + 1) % n]);
+        }
+        g
+    }
+
+    #[test]
+    fn corpus_size_and_lengths() {
+        let g = ring(10);
+        let cfg = WalkConfig {
+            walks_per_node: 3,
+            walk_len: 5,
+            seed: 1,
+            threads: 2,
+            strategy: WalkStrategy::Uniform,
+        };
+        let corpus = generate_walks(&g, &cfg);
+        assert_eq!(corpus.len(), 30);
+        assert!(corpus.iter().all(|w| w.len() == 6));
+    }
+
+    #[test]
+    fn walks_are_thread_count_independent() {
+        let g = ring(12);
+        let mut c1 = generate_walks(
+            &g,
+            &WalkConfig {
+                walks_per_node: 2,
+                walk_len: 4,
+                seed: 9,
+                threads: 1,
+                strategy: WalkStrategy::Uniform,
+            },
+        );
+        let mut c4 = generate_walks(
+            &g,
+            &WalkConfig {
+                walks_per_node: 2,
+                walk_len: 4,
+                seed: 9,
+                threads: 4,
+                strategy: WalkStrategy::Uniform,
+            },
+        );
+        c1.sort();
+        c4.sort();
+        assert_eq!(c1, c4);
+    }
+
+    #[test]
+    fn walk_steps_follow_edges() {
+        let g = ring(6);
+        let corpus = generate_walks(
+            &g,
+            &WalkConfig {
+                walks_per_node: 1,
+                walk_len: 8,
+                seed: 2,
+                threads: 1,
+                strategy: WalkStrategy::Uniform,
+            },
+        );
+        for sent in &corpus {
+            for pair in sent.windows(2) {
+                assert!(g.has_edge(NodeId(pair[0]), NodeId(pair[1])));
+            }
+        }
+    }
+
+    #[test]
+    fn counts_cover_all_visited_nodes() {
+        let g = ring(5);
+        let corpus = generate_walks(
+            &g,
+            &WalkConfig {
+                walks_per_node: 4,
+                walk_len: 6,
+                seed: 3,
+                threads: 1,
+                strategy: WalkStrategy::Uniform,
+            },
+        );
+        let counts = walk_counts(&corpus, g.id_bound(), false);
+        let total: u64 = counts.iter().sum();
+        assert_eq!(total as usize, corpus.iter().map(|s| s.len()).sum::<usize>());
+        // Every node starts 4 walks, so every node appears.
+        assert!(counts.iter().all(|&c| c >= 4));
+    }
+
+    #[test]
+    fn floor_missing_gives_min_one() {
+        let counts = walk_counts(&[], 3, true);
+        assert_eq!(counts, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn node2vec_strategy_produces_valid_deterministic_corpus() {
+        let g = ring(10);
+        let cfg = WalkConfig {
+            walks_per_node: 2,
+            walk_len: 6,
+            seed: 5,
+            threads: 2,
+            strategy: WalkStrategy::Node2Vec { p: 0.25, q: 4.0 },
+        };
+        let c1 = generate_walks(&g, &cfg);
+        let c2 = generate_walks(&g, &cfg);
+        assert_eq!(c1, c2, "node2vec corpus must be deterministic");
+        assert_eq!(c1.len(), 20);
+        for sent in &c1 {
+            for pair in sent.windows(2) {
+                assert!(g.has_edge(NodeId(pair[0]), NodeId(pair[1])));
+            }
+        }
+    }
+
+    #[test]
+    fn edge_typed_strategy_with_uniform_weights_is_complete() {
+        use tdmatch_graph::EdgeTypeWeights;
+        let g = ring(8);
+        let cfg = WalkConfig {
+            walks_per_node: 2,
+            walk_len: 5,
+            seed: 6,
+            threads: 1,
+            strategy: WalkStrategy::EdgeTyped(EdgeTypeWeights::uniform()),
+        };
+        let corpus = generate_walks(&g, &cfg);
+        assert_eq!(corpus.len(), 16);
+        assert!(corpus.iter().all(|w| w.len() == 6));
+    }
+
+    #[test]
+    fn forbidding_all_kinds_yields_singleton_walks() {
+        use tdmatch_graph::{EdgeKind, EdgeTypeWeights};
+        let g = ring(5);
+        // Ring edges are Generic; weight 0 strands every walker at start.
+        let weights = EdgeTypeWeights::uniform().with(EdgeKind::Generic, 0.0);
+        let cfg = WalkConfig {
+            walks_per_node: 1,
+            walk_len: 5,
+            seed: 7,
+            threads: 1,
+            strategy: WalkStrategy::EdgeTyped(weights),
+        };
+        let corpus = generate_walks(&g, &cfg);
+        assert!(corpus.iter().all(|w| w.len() == 1));
+    }
+
+    #[test]
+    fn removed_nodes_do_not_start_walks() {
+        let mut g = ring(6);
+        let victim = g.data_node("n0").unwrap();
+        g.remove_node(victim);
+        let corpus = generate_walks(
+            &g,
+            &WalkConfig {
+                walks_per_node: 1,
+                walk_len: 3,
+                seed: 4,
+                threads: 1,
+                strategy: WalkStrategy::Uniform,
+            },
+        );
+        assert_eq!(corpus.len(), 5);
+        assert!(corpus.iter().all(|s| !s.contains(&victim.0)));
+    }
+}

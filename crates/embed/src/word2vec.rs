@@ -1,0 +1,529 @@
+//! Word2Vec from scratch: Skip-gram and CBOW with negative sampling.
+//!
+//! This is a faithful re-implementation of the word2vec.c / gensim training
+//! procedure: random reduced windows, unigram^0.75 negative sampling, linear
+//! learning-rate decay, and Hogwild multi-threading over a shared parameter
+//! matrix (see [`crate::hogwild`]). TDmatch trains it on random-walk
+//! "sentences" (Alg. 4); the W2VEC baseline trains it on serialized
+//! documents.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::hogwild::SharedMatrix;
+use crate::neg_table::NegativeTable;
+use crate::vectors::Embeddings;
+use crate::vocab::Vocab;
+
+/// Training objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum W2vMode {
+    /// Skip-gram: predict contexts from the center word. The paper uses
+    /// this with window 3 for the text-to-data task.
+    SkipGram,
+    /// CBOW: predict the center word from the mean of its context. The
+    /// paper uses this with window 15 for text-oriented tasks.
+    Cbow,
+}
+
+/// Hyper-parameters for Word2Vec training.
+#[derive(Debug, Clone)]
+pub struct Word2VecConfig {
+    /// Embedding dimensionality (the paper uses 300 for baselines).
+    pub dim: usize,
+    /// Maximum context window; actual windows are sampled in `1..=window`
+    /// per center word, as in word2vec.c.
+    pub window: usize,
+    /// Number of negative samples per positive pair.
+    pub negative: usize,
+    /// Passes over the corpus.
+    pub epochs: usize,
+    /// Starting learning rate; decays linearly to ~0.
+    pub initial_lr: f32,
+    /// Drop words with fewer occurrences from the vocabulary.
+    pub min_count: u64,
+    /// Skip-gram or CBOW.
+    pub mode: W2vMode,
+    /// Worker threads (1 = fully deterministic training).
+    pub threads: usize,
+    /// RNG seed (initialization is always deterministic; the training
+    /// trajectory is deterministic when `threads == 1`).
+    pub seed: u64,
+    /// Frequency subsampling threshold (`0.0` disables it). Disabled by
+    /// default: metadata nodes are deliberately frequent in walk corpora
+    /// and must not be dropped.
+    pub subsample: f64,
+}
+
+impl Default for Word2VecConfig {
+    fn default() -> Self {
+        Self {
+            dim: 100,
+            window: 5,
+            negative: 5,
+            epochs: 5,
+            initial_lr: 0.025,
+            min_count: 1,
+            mode: W2vMode::SkipGram,
+            threads: default_threads(),
+            seed: 42,
+            subsample: 0.0,
+        }
+    }
+}
+
+/// Half the available parallelism, at least 1 — training saturates memory
+/// bandwidth before cores.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| (n.get() / 2).max(1))
+        .unwrap_or(1)
+}
+
+/// Precomputed sigmoid, word2vec.c style: 512 buckets over `[-6, 6]`.
+struct SigmoidTable {
+    table: Vec<f32>,
+}
+
+const MAX_EXP: f32 = 6.0;
+const SIGMOID_BUCKETS: usize = 512;
+
+impl SigmoidTable {
+    fn new() -> Self {
+        let table = (0..SIGMOID_BUCKETS)
+            .map(|i| {
+                let x = (i as f32 / SIGMOID_BUCKETS as f32 * 2.0 - 1.0) * MAX_EXP;
+                1.0 / (1.0 + (-x).exp())
+            })
+            .collect();
+        Self { table }
+    }
+
+    #[inline]
+    fn get(&self, x: f32) -> f32 {
+        if x >= MAX_EXP {
+            1.0
+        } else if x <= -MAX_EXP {
+            0.0
+        } else {
+            let idx = ((x + MAX_EXP) / (2.0 * MAX_EXP) * SIGMOID_BUCKETS as f32) as usize;
+            self.table[idx.min(SIGMOID_BUCKETS - 1)]
+        }
+    }
+}
+
+/// A trained Word2Vec model.
+pub struct Word2Vec {
+    vocab: Vocab,
+    config: Word2VecConfig,
+    /// Input-side vectors (`syn0`), the embeddings consumers use.
+    matrix: Vec<f32>,
+}
+
+impl Word2Vec {
+    /// Builds the vocabulary from `sentences` and trains the model.
+    pub fn train<S: AsRef<str> + Sync>(sentences: &[Vec<S>], config: Word2VecConfig) -> Self {
+        let vocab = Vocab::build(sentences, config.min_count);
+        let encoded: Vec<Vec<u32>> = sentences.iter().map(|s| vocab.encode(s)).collect();
+        let matrix = train_ids(&encoded, vocab.counts(), &config);
+        Self {
+            vocab,
+            config,
+            matrix,
+        }
+    }
+
+    /// The vocabulary.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// Vector for `word`, if in vocabulary.
+    pub fn vector(&self, word: &str) -> Option<&[f32]> {
+        let id = self.vocab.id(word)? as usize;
+        Some(&self.matrix[id * self.config.dim..(id + 1) * self.config.dim])
+    }
+
+    /// Copies the model into a generic [`Embeddings`] store.
+    pub fn embeddings(&self) -> Embeddings {
+        Embeddings::from_matrix(self.vocab.words(), self.matrix.clone(), self.config.dim)
+    }
+}
+
+/// Trains over pre-encoded id sentences and returns the input matrix
+/// (`counts.len() × config.dim`, row-major).
+///
+/// This is the entry point TDmatch uses for graph walks, where token ids
+/// are node ids and no string vocabulary is needed.
+pub fn train_ids(sentences: &[Vec<u32>], counts: &[u64], config: &Word2VecConfig) -> Vec<f32> {
+    let vocab_size = counts.len();
+    if vocab_size == 0 || sentences.is_empty() {
+        return Vec::new();
+    }
+    let syn0 = SharedMatrix::uniform_init(vocab_size, config.dim, config.seed);
+    let syn1 = SharedMatrix::zeroed(vocab_size, config.dim);
+    let neg_table = NegativeTable::new(counts, (vocab_size * 32).max(1 << 20));
+    let sigmoid = SigmoidTable::new();
+    let total_tokens: u64 = sentences.iter().map(|s| s.len() as u64).sum();
+    let total_work = (total_tokens * config.epochs as u64).max(1);
+    let processed = AtomicU64::new(0);
+    let total_count: u64 = counts.iter().sum();
+
+    let threads = config.threads.max(1).min(sentences.len().max(1));
+    let chunk_size = sentences.len().div_ceil(threads);
+
+    crossbeam::thread::scope(|scope| {
+        for (tid, chunk) in sentences.chunks(chunk_size).enumerate() {
+            let syn0 = &syn0;
+            let syn1 = &syn1;
+            let neg_table = &neg_table;
+            let sigmoid = &sigmoid;
+            let processed = &processed;
+            scope.spawn(move |_| {
+                let mut rng =
+                    SmallRng::seed_from_u64(config.seed.wrapping_add(0x9E37 * (tid as u64 + 1)));
+                let mut worker = Worker::new(config, sigmoid, neg_table, syn0, syn1);
+                for epoch in 0..config.epochs {
+                    for sent in chunk {
+                        let done = processed.fetch_add(sent.len() as u64, Ordering::Relaxed);
+                        let progress = done as f32 / total_work as f32;
+                        let lr = (config.initial_lr * (1.0 - progress))
+                            .max(config.initial_lr * 1e-4);
+                        worker.train_sentence(sent, lr, counts, total_count, &mut rng);
+                    }
+                    // Stir the RNG between epochs so window draws differ.
+                    let _ = rng.random::<u64>().wrapping_add(epoch as u64);
+                }
+            });
+        }
+    })
+    .expect("word2vec worker thread panicked");
+
+    syn0.to_vec()
+}
+
+/// Per-thread training state (scratch buffers reused across pairs).
+struct Worker<'a> {
+    config: &'a Word2VecConfig,
+    sigmoid: &'a SigmoidTable,
+    neg_table: &'a NegativeTable,
+    syn0: &'a SharedMatrix,
+    syn1: &'a SharedMatrix,
+    buf_in: Vec<f32>,
+    neu1: Vec<f32>,
+    err: Vec<f32>,
+}
+
+impl<'a> Worker<'a> {
+    fn new(
+        config: &'a Word2VecConfig,
+        sigmoid: &'a SigmoidTable,
+        neg_table: &'a NegativeTable,
+        syn0: &'a SharedMatrix,
+        syn1: &'a SharedMatrix,
+    ) -> Self {
+        Self {
+            config,
+            sigmoid,
+            neg_table,
+            syn0,
+            syn1,
+            buf_in: vec![0.0; config.dim],
+            neu1: vec![0.0; config.dim],
+            err: vec![0.0; config.dim],
+        }
+    }
+
+    // Index loops: positions matter (skip `pos`) and this is the hot path.
+    #[allow(clippy::needless_range_loop)]
+    fn train_sentence(
+        &mut self,
+        sent: &[u32],
+        lr: f32,
+        counts: &[u64],
+        total_count: u64,
+        rng: &mut SmallRng,
+    ) {
+        // Frequency subsampling (word2vec.c formula), if enabled.
+        let kept: Vec<u32> = if self.config.subsample > 0.0 {
+            sent.iter()
+                .copied()
+                .filter(|&w| {
+                    let f = counts[w as usize] as f64 / total_count as f64;
+                    let keep = ((self.config.subsample / f).sqrt()
+                        + self.config.subsample / f)
+                        .min(1.0);
+                    rng.random::<f64>() < keep
+                })
+                .collect()
+        } else {
+            sent.to_vec()
+        };
+        if kept.len() < 2 {
+            return;
+        }
+        let window = self.config.window.max(1);
+        for pos in 0..kept.len() {
+            let reduced = rng.random_range(0..window);
+            let span = window - reduced;
+            let lo = pos.saturating_sub(span);
+            let hi = (pos + span).min(kept.len() - 1);
+            match self.config.mode {
+                W2vMode::SkipGram => {
+                    for ctx in lo..=hi {
+                        if ctx != pos {
+                            self.train_pair(kept[ctx] as usize, kept[pos] as usize, lr, rng);
+                        }
+                    }
+                }
+                W2vMode::Cbow => {
+                    self.train_cbow(&kept, pos, lo, hi, lr, rng);
+                }
+            }
+        }
+    }
+
+    /// One (input word, output word) update with negative sampling.
+    fn train_pair(&mut self, input: usize, output: usize, lr: f32, rng: &mut SmallRng) {
+        self.syn0.read_row(input, &mut self.buf_in);
+        self.err.fill(0.0);
+        for d in 0..=self.config.negative {
+            let (target, label) = if d == 0 {
+                (output, 1.0f32)
+            } else {
+                let t = self.neg_table.sample(rng) as usize;
+                if t == output {
+                    continue;
+                }
+                (t, 0.0)
+            };
+            let f = self.syn1.dot_with_row(target, &self.buf_in);
+            let g = (label - self.sigmoid.get(f)) * lr;
+            self.syn1.axpy_row_into(target, g, &mut self.err);
+            self.syn1.add_scaled_to_row(target, g, &self.buf_in);
+        }
+        self.syn0.add_to_row(input, &self.err);
+    }
+
+    /// One CBOW update: mean of context predicts the center word.
+    // Index loops: positions matter (skip `pos`) and this is the hot path.
+    #[allow(clippy::needless_range_loop)]
+    fn train_cbow(
+        &mut self,
+        sent: &[u32],
+        pos: usize,
+        lo: usize,
+        hi: usize,
+        lr: f32,
+        rng: &mut SmallRng,
+    ) {
+        let mut count = 0usize;
+        self.neu1.fill(0.0);
+        for ctx in lo..=hi {
+            if ctx == pos {
+                continue;
+            }
+            self.syn0.axpy_row_into(sent[ctx] as usize, 1.0, &mut self.neu1);
+            count += 1;
+        }
+        if count == 0 {
+            return;
+        }
+        let inv = 1.0 / count as f32;
+        for x in &mut self.neu1 {
+            *x *= inv;
+        }
+        let output = sent[pos] as usize;
+        self.err.fill(0.0);
+        for d in 0..=self.config.negative {
+            let (target, label) = if d == 0 {
+                (output, 1.0f32)
+            } else {
+                let t = self.neg_table.sample(rng) as usize;
+                if t == output {
+                    continue;
+                }
+                (t, 0.0)
+            };
+            let f = self.syn1.dot_with_row(target, &self.neu1);
+            let g = (label - self.sigmoid.get(f)) * lr;
+            self.syn1.axpy_row_into(target, g, &mut self.err);
+            self.syn1.add_scaled_to_row(target, g, &self.neu1);
+        }
+        for ctx in lo..=hi {
+            if ctx != pos {
+                self.syn0.add_to_row(sent[ctx] as usize, &self.err);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vectors::cosine;
+
+    /// Two disjoint "topics"; words within a topic must embed closer than
+    /// words across topics.
+    fn topic_corpus(sentences_per_topic: usize) -> Vec<Vec<String>> {
+        let topic_a = ["apple", "banana", "cherry", "date", "elder"];
+        let topic_b = ["bolt", "nut", "gear", "wrench", "screw"];
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut corpus = Vec::new();
+        for _ in 0..sentences_per_topic {
+            for topic in [&topic_a, &topic_b] {
+                let mut sent = Vec::new();
+                for _ in 0..8 {
+                    sent.push(topic[rng.random_range(0..topic.len())].to_string());
+                }
+                corpus.push(sent);
+            }
+        }
+        corpus
+    }
+
+    fn check_topics(mode: W2vMode) {
+        let corpus = topic_corpus(300);
+        let model = Word2Vec::train(
+            &corpus,
+            Word2VecConfig {
+                dim: 24,
+                window: 4,
+                negative: 5,
+                epochs: 8,
+                mode,
+                threads: 1,
+                seed: 3,
+                ..Default::default()
+            },
+        );
+        let within = model
+            .embeddings()
+            .similarity("apple", "banana")
+            .unwrap();
+        let across = model.embeddings().similarity("apple", "bolt").unwrap();
+        assert!(
+            within > across + 0.2,
+            "{mode:?}: within={within} across={across}"
+        );
+    }
+
+    #[test]
+    fn skipgram_separates_topics() {
+        check_topics(W2vMode::SkipGram);
+    }
+
+    #[test]
+    fn cbow_separates_topics() {
+        check_topics(W2vMode::Cbow);
+    }
+
+    #[test]
+    fn single_thread_training_is_deterministic() {
+        let corpus = topic_corpus(20);
+        let cfg = Word2VecConfig {
+            dim: 8,
+            epochs: 2,
+            threads: 1,
+            ..Default::default()
+        };
+        let m1 = Word2Vec::train(&corpus, cfg.clone());
+        let m2 = Word2Vec::train(&corpus, cfg);
+        assert_eq!(m1.vector("apple"), m2.vector("apple"));
+    }
+
+    #[test]
+    fn empty_corpus_yields_empty_model() {
+        let m = Word2Vec::train::<String>(&[], Word2VecConfig::default());
+        assert!(m.embeddings().is_empty());
+    }
+
+    #[test]
+    fn min_count_drops_rare_words() {
+        let corpus = vec![
+            vec!["a".to_string(), "b".to_string()],
+            vec!["a".to_string(), "b".to_string()],
+            vec!["a".to_string(), "rare".to_string()],
+        ];
+        let m = Word2Vec::train(
+            &corpus,
+            Word2VecConfig {
+                min_count: 2,
+                dim: 4,
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        assert!(m.vector("rare").is_none());
+        assert!(m.vector("a").is_some());
+    }
+
+    #[test]
+    fn multithreaded_training_runs() {
+        let corpus = topic_corpus(50);
+        let m = Word2Vec::train(
+            &corpus,
+            Word2VecConfig {
+                dim: 8,
+                epochs: 2,
+                threads: 4,
+                ..Default::default()
+            },
+        );
+        assert_eq!(m.embeddings().len(), 10);
+    }
+
+    #[test]
+    fn sigmoid_table_matches_exact() {
+        let t = SigmoidTable::new();
+        for x in [-5.5f32, -1.0, 0.0, 1.0, 5.5] {
+            let exact = 1.0 / (1.0 + (-x).exp());
+            assert!((t.get(x) - exact).abs() < 0.02, "x={x}");
+        }
+        assert_eq!(t.get(100.0), 1.0);
+        assert_eq!(t.get(-100.0), 0.0);
+    }
+
+    #[test]
+    fn subsampling_drops_ultra_frequent_words() {
+        // "the" dominates; with subsampling its influence shrinks but the
+        // model still trains.
+        let mut corpus = topic_corpus(50);
+        for sent in &mut corpus {
+            for _ in 0..4 {
+                sent.push("the".to_string());
+            }
+        }
+        let m = Word2Vec::train(
+            &corpus,
+            Word2VecConfig {
+                dim: 8,
+                epochs: 2,
+                threads: 1,
+                subsample: 1e-3,
+                ..Default::default()
+            },
+        );
+        assert!(m.vector("the").is_some());
+    }
+
+    #[test]
+    fn cosine_is_finite_after_training() {
+        let corpus = topic_corpus(30);
+        let m = Word2Vec::train(
+            &corpus,
+            Word2VecConfig {
+                dim: 16,
+                epochs: 3,
+                threads: 2,
+                ..Default::default()
+            },
+        );
+        let e = m.embeddings();
+        let v1 = e.get("apple").unwrap();
+        let v2 = e.get("gear").unwrap();
+        assert!(cosine(v1, v2).is_finite());
+    }
+}

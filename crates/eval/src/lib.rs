@@ -1,0 +1,18 @@
+//! Evaluation metrics for TDmatch experiments (§V).
+//!
+//! * [`ranking`] — Mean Reciprocal Rank, MAP@k, HasPositive@k (Tables I,
+//!   II, IV, V, VI);
+//! * [`prf`] — precision / recall / F-score over top-k assignments with
+//!   *exact* path matching (Table III);
+//! * [`mod@node_score`] — the paper's partial-path Node score, Eq. (1)
+//!   (Table III).
+
+pub mod node_score;
+pub mod prf;
+pub mod ranking;
+
+pub use node_score::{node_prf, node_score};
+pub use prf::{exact_prf, Prf};
+pub use ranking::{
+    average_precision_at_k, has_positive_at_k, mean_metrics, reciprocal_rank, RankMetrics,
+};

@@ -1,0 +1,159 @@
+//! The paper's Node score (Eq. 1) for partially overlapping taxonomy paths.
+//!
+//! Two root-to-node paths may overlap without being equal. After excluding
+//! the two most general taxonomy levels (root and the level below it), the
+//! score is `|nodes(p1') ∩ nodes(p2')| / max(|nodes(p1')|, |nodes(p2')|)`.
+//!
+//! Example from the paper: `r1: a→b→c` and `r2: a→b→c→d` reduce to
+//! `c` and `c→d`, giving Node(r1, r2) = 1/2.
+
+use std::collections::HashSet;
+
+use crate::prf::Prf;
+
+/// Number of most-general levels excluded from the comparison.
+const EXCLUDED_LEVELS: usize = 2;
+
+/// Node score between two root-to-node paths (Eq. 1).
+pub fn node_score<S: AsRef<str>>(p1: &[S], p2: &[S]) -> f64 {
+    let t1: HashSet<&str> = p1.iter().skip(EXCLUDED_LEVELS).map(|s| s.as_ref()).collect();
+    let t2: HashSet<&str> = p2.iter().skip(EXCLUDED_LEVELS).map(|s| s.as_ref()).collect();
+    let max_len = t1.len().max(t2.len());
+    if max_len == 0 {
+        // Both paths live entirely in the excluded levels; treat equal
+        // prefixes as a perfect match, different ones as a miss.
+        let e1: Vec<&str> = p1.iter().map(|s| s.as_ref()).collect();
+        let e2: Vec<&str> = p2.iter().map(|s| s.as_ref()).collect();
+        return if e1 == e2 { 1.0 } else { 0.0 };
+    }
+    t1.intersection(&t2).count() as f64 / max_len as f64
+}
+
+/// Node-score P/R/F for one document (Table III "Node Scores"):
+/// precision averages, over predicted paths, each one's best score against
+/// the ground truth; recall averages, over ground-truth paths, each one's
+/// best score against the predictions.
+pub fn node_prf_single<S: AsRef<str>>(predicted: &[Vec<S>], truth: &[Vec<S>]) -> Prf {
+    if predicted.is_empty() || truth.is_empty() {
+        return Prf::default();
+    }
+    let p: f64 = predicted
+        .iter()
+        .map(|pp| {
+            truth
+                .iter()
+                .map(|tp| node_score(pp, tp))
+                .fold(0.0, f64::max)
+        })
+        .sum::<f64>()
+        / predicted.len() as f64;
+    let r: f64 = truth
+        .iter()
+        .map(|tp| {
+            predicted
+                .iter()
+                .map(|pp| node_score(pp, tp))
+                .fold(0.0, f64::max)
+        })
+        .sum::<f64>()
+        / truth.len() as f64;
+    Prf::from_pr(p, r)
+}
+
+/// One document's `(predicted paths, ground-truth paths)` pair, each path
+/// a node-label sequence.
+pub type DocPathPair<S> = (Vec<Vec<S>>, Vec<Vec<S>>);
+
+/// Macro-averaged node-score P/R/F over documents (skipping documents with
+/// no ground truth).
+pub fn node_prf<S: AsRef<str>>(docs: &[DocPathPair<S>]) -> Prf {
+    let mut p_sum = 0.0;
+    let mut r_sum = 0.0;
+    let mut n = 0usize;
+    for (predicted, truth) in docs {
+        if truth.is_empty() {
+            continue;
+        }
+        let prf = node_prf_single(predicted, truth);
+        p_sum += prf.precision;
+        r_sum += prf.recall;
+        n += 1;
+    }
+    if n == 0 {
+        return Prf::default();
+    }
+    Prf::from_pr(p_sum / n as f64, r_sum / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(nodes: &[&str]) -> Vec<String> {
+        nodes.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn paper_worked_example() {
+        // r1: a→b→c, r2: a→b→c→d → after exclusion: {c} vs {c,d} → 0.5.
+        let r1 = path(&["a", "b", "c"]);
+        let r2 = path(&["a", "b", "c", "d"]);
+        assert!((node_score(&r1, &r2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_paths_score_one() {
+        let p = path(&["a", "b", "c", "d"]);
+        assert_eq!(node_score(&p, &p), 1.0);
+    }
+
+    #[test]
+    fn disjoint_tails_score_zero() {
+        let r1 = path(&["a", "b", "x"]);
+        let r2 = path(&["a", "b", "y"]);
+        assert_eq!(node_score(&r1, &r2), 0.0);
+    }
+
+    #[test]
+    fn short_paths_fall_back_to_exact_prefix() {
+        let r1 = path(&["a", "b"]);
+        let r2 = path(&["a", "b"]);
+        let r3 = path(&["a", "c"]);
+        assert_eq!(node_score(&r1, &r2), 1.0);
+        assert_eq!(node_score(&r1, &r3), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let r1 = path(&["a", "b", "c", "d"]);
+        let r2 = path(&["a", "b", "c", "e", "f"]);
+        assert_eq!(node_score(&r1, &r2), node_score(&r2, &r1));
+    }
+
+    #[test]
+    fn node_prf_rewards_partial_overlap() {
+        let predicted = vec![path(&["a", "b", "c", "d"])];
+        let truth = vec![path(&["a", "b", "c"])];
+        let prf = node_prf_single(&predicted, &truth);
+        assert!(prf.precision > 0.0 && prf.precision < 1.0);
+        assert_eq!(prf.precision, prf.recall); // single paths both ways
+    }
+
+    #[test]
+    fn node_prf_macro_average() {
+        let docs = vec![
+            (vec![path(&["a", "b", "c"])], vec![path(&["a", "b", "c"])]),
+            (vec![path(&["a", "b", "x"])], vec![path(&["a", "b", "y"])]),
+        ];
+        let prf = node_prf(&docs);
+        assert!((prf.precision - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exclusion_levels_ignore_general_disagreement() {
+        // Different roots but same specific tail still match fully.
+        let r1 = path(&["root1", "l1", "audit", "sampling"]);
+        let r2 = path(&["root2", "l2", "audit", "sampling"]);
+        assert_eq!(node_score(&r1, &r2), 1.0);
+    }
+}

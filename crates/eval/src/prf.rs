@@ -1,0 +1,123 @@
+//! Precision / recall / F-score with exact matching (Table III "Exact").
+//!
+//! For every document the matcher assigns top-k taxonomy paths; an
+//! assignment counts only if it is *equal* to a ground-truth path. Scores
+//! are macro-averaged over documents.
+
+use std::collections::HashSet;
+
+/// A precision/recall/F bundle.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Prf {
+    /// Precision.
+    pub precision: f64,
+    /// Recall.
+    pub recall: f64,
+    /// F1 (harmonic mean; 0 when both components are 0).
+    pub f1: f64,
+}
+
+impl Prf {
+    /// Computes F1 from P and R.
+    pub fn from_pr(precision: f64, recall: f64) -> Self {
+        let f1 = if precision + recall > 0.0 {
+            2.0 * precision * recall / (precision + recall)
+        } else {
+            0.0
+        };
+        Self {
+            precision,
+            recall,
+            f1,
+        }
+    }
+}
+
+/// Exact-match P/R/F for one document: `predicted` is the top-k list,
+/// `truth` the ground-truth set.
+pub fn exact_prf_single<T: Eq + std::hash::Hash>(predicted: &[T], truth: &HashSet<T>) -> Prf {
+    if predicted.is_empty() || truth.is_empty() {
+        return Prf::default();
+    }
+    let hits = predicted.iter().filter(|p| truth.contains(p)).count() as f64;
+    Prf::from_pr(hits / predicted.len() as f64, hits / truth.len() as f64)
+}
+
+/// Macro-averaged exact P/R/F over documents. Documents with empty ground
+/// truth are skipped.
+pub fn exact_prf<T: Eq + std::hash::Hash>(docs: &[(Vec<T>, HashSet<T>)]) -> Prf {
+    let mut p_sum = 0.0;
+    let mut r_sum = 0.0;
+    let mut n = 0usize;
+    for (predicted, truth) in docs {
+        if truth.is_empty() {
+            continue;
+        }
+        let prf = exact_prf_single(predicted, truth);
+        p_sum += prf.precision;
+        r_sum += prf.recall;
+        n += 1;
+    }
+    if n == 0 {
+        return Prf::default();
+    }
+    Prf::from_pr(p_sum / n as f64, r_sum / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(items: &[&str]) -> HashSet<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn v(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn single_doc_hand_computed() {
+        // 1 hit out of 3 predictions, 1 hit out of 2 truths.
+        let prf = exact_prf_single(&v(&["a", "b", "c"]), &set(&["a", "z"]));
+        assert!((prf.precision - 1.0 / 3.0).abs() < 1e-12);
+        assert!((prf.recall - 0.5).abs() < 1e-12);
+        let expected_f = 2.0 * (1.0 / 3.0) * 0.5 / (1.0 / 3.0 + 0.5);
+        assert!((prf.f1 - expected_f).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_and_zero() {
+        let perfect = exact_prf_single(&v(&["a"]), &set(&["a"]));
+        assert_eq!(perfect, Prf::from_pr(1.0, 1.0));
+        let zero = exact_prf_single(&v(&["x"]), &set(&["a"]));
+        assert_eq!(zero.f1, 0.0);
+    }
+
+    #[test]
+    fn macro_average_skips_empty_truth() {
+        let docs = vec![
+            (v(&["a"]), set(&["a"])),
+            (v(&["x"]), set(&["a"])),
+            (v(&["x"]), HashSet::new()),
+        ];
+        let prf = exact_prf(&docs);
+        assert!((prf.precision - 0.5).abs() < 1e-12);
+        assert!((prf.recall - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(exact_prf::<String>(&[]), Prf::default());
+        assert_eq!(exact_prf_single(&Vec::<String>::new(), &set(&["a"])), Prf::default());
+    }
+
+    #[test]
+    fn recall_grows_with_k() {
+        let truth = set(&["a", "b", "c"]);
+        let k1 = exact_prf_single(&v(&["a"]), &truth);
+        let k3 = exact_prf_single(&v(&["a", "b", "x"]), &truth);
+        assert!(k3.recall > k1.recall);
+        assert!(k3.precision < k1.precision + 1e-12);
+    }
+}

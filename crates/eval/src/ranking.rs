@@ -1,0 +1,184 @@
+//! Ranking metrics: MRR, MAP@k, HasPositive@k.
+
+use std::collections::HashSet;
+
+/// Reciprocal rank of the first relevant item in `ranked` (1-based), or 0
+/// when none appears.
+pub fn reciprocal_rank<T: Eq + std::hash::Hash>(ranked: &[T], relevant: &HashSet<T>) -> f64 {
+    for (i, item) in ranked.iter().enumerate() {
+        if relevant.contains(item) {
+            return 1.0 / (i as f64 + 1.0);
+        }
+    }
+    0.0
+}
+
+/// Average precision truncated at rank `k`:
+/// `Σ_{i≤k, ranked[i] relevant} P(i) / min(|relevant|, k)`.
+///
+/// A relevant item is credited only at its first occurrence in `ranked`;
+/// duplicates contribute nothing (standard IR convention, and required for
+/// the metric to stay within `[0, 1]`).
+pub fn average_precision_at_k<T: Eq + std::hash::Hash>(
+    ranked: &[T],
+    relevant: &HashSet<T>,
+    k: usize,
+) -> f64 {
+    if relevant.is_empty() || k == 0 {
+        return 0.0;
+    }
+    let mut seen: HashSet<&T> = HashSet::new();
+    let mut precision_sum = 0.0;
+    for (i, item) in ranked.iter().take(k).enumerate() {
+        if relevant.contains(item) && seen.insert(item) {
+            precision_sum += seen.len() as f64 / (i as f64 + 1.0);
+        }
+    }
+    precision_sum / relevant.len().min(k) as f64
+}
+
+/// 1.0 if any of the top `k` items is relevant, else 0.0.
+pub fn has_positive_at_k<T: Eq + std::hash::Hash>(
+    ranked: &[T],
+    relevant: &HashSet<T>,
+    k: usize,
+) -> f64 {
+    if ranked.iter().take(k).any(|x| relevant.contains(x)) {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// The metric bundle the paper reports per scenario (Tables I/II/IV/V/VI):
+/// MRR plus MAP@k and HasPositive@k at k ∈ {1, 5, 20}.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RankMetrics {
+    /// Mean Reciprocal Rank.
+    pub mrr: f64,
+    /// MAP truncated at 1, 5, 20.
+    pub map_at: [f64; 3],
+    /// HasPositive at 1, 5, 20.
+    pub has_positive_at: [f64; 3],
+}
+
+/// The `k` values reported in the paper's ranking tables.
+pub const REPORTED_KS: [usize; 3] = [1, 5, 20];
+
+/// Averages the metrics over queries: each query is a ranked candidate list
+/// plus its relevant set. Queries with empty relevant sets are skipped (no
+/// ground truth → nothing to score).
+pub fn mean_metrics<T: Eq + std::hash::Hash>(
+    queries: &[(Vec<T>, HashSet<T>)],
+) -> RankMetrics {
+    let mut out = RankMetrics::default();
+    let mut n = 0usize;
+    for (ranked, relevant) in queries {
+        if relevant.is_empty() {
+            continue;
+        }
+        n += 1;
+        out.mrr += reciprocal_rank(ranked, relevant);
+        for (slot, &k) in REPORTED_KS.iter().enumerate() {
+            out.map_at[slot] += average_precision_at_k(ranked, relevant, k);
+            out.has_positive_at[slot] += has_positive_at_k(ranked, relevant, k);
+        }
+    }
+    if n > 0 {
+        let inv = 1.0 / n as f64;
+        out.mrr *= inv;
+        for v in &mut out.map_at {
+            *v *= inv;
+        }
+        for v in &mut out.has_positive_at {
+            *v *= inv;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(items: &[u32]) -> HashSet<u32> {
+        items.iter().copied().collect()
+    }
+
+    #[test]
+    fn rr_positions() {
+        assert_eq!(reciprocal_rank(&[1, 2, 3], &rel(&[1])), 1.0);
+        assert_eq!(reciprocal_rank(&[9, 2, 3], &rel(&[2])), 0.5);
+        assert_eq!(reciprocal_rank(&[9, 9, 3], &rel(&[3])), 1.0 / 3.0);
+        assert_eq!(reciprocal_rank(&[9, 9, 9], &rel(&[3])), 0.0);
+        assert_eq!(reciprocal_rank::<u32>(&[], &rel(&[3])), 0.0);
+    }
+
+    #[test]
+    fn ap_at_k_hand_computed() {
+        // ranked = [R, N, R], relevant = {a, c}; AP@3 = (1/1 + 2/3)/2.
+        let ranked = vec![0u32, 1, 2];
+        let relevant = rel(&[0, 2]);
+        let ap = average_precision_at_k(&ranked, &relevant, 3);
+        assert!((ap - (1.0 + 2.0 / 3.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ap_at_k_truncates() {
+        let ranked = vec![9u32, 9, 0];
+        let relevant = rel(&[0]);
+        assert_eq!(average_precision_at_k(&ranked, &relevant, 2), 0.0);
+        assert!((average_precision_at_k(&ranked, &relevant, 3) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ap_denominator_uses_min() {
+        // One relevant item retrieved at rank 1, k=5 → AP = 1.0 (divide by
+        // min(|rel|,k)=1, not k).
+        let ranked = vec![0u32, 9, 9, 9, 9];
+        assert_eq!(average_precision_at_k(&ranked, &rel(&[0]), 5), 1.0);
+    }
+
+    #[test]
+    fn ap_ignores_duplicate_hits() {
+        // The same relevant item repeated must be credited once only, so AP
+        // stays in [0, 1] (regression for the proptest-found case [30, 30]).
+        let ranked = vec![30u32, 30];
+        let relevant = rel(&[30]);
+        assert_eq!(average_precision_at_k(&ranked, &relevant, 2), 1.0);
+        // Duplicate of an irrelevant item changes nothing.
+        let ranked = vec![9u32, 9, 30];
+        assert!((average_precision_at_k(&ranked, &relevant, 3) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn has_positive_boundaries() {
+        let ranked = vec![9u32, 0];
+        let relevant = rel(&[0]);
+        assert_eq!(has_positive_at_k(&ranked, &relevant, 1), 0.0);
+        assert_eq!(has_positive_at_k(&ranked, &relevant, 2), 1.0);
+        assert_eq!(has_positive_at_k(&ranked, &relevant, 0), 0.0);
+    }
+
+    #[test]
+    fn mean_metrics_averages_and_skips_empty() {
+        let queries = vec![
+            (vec![0u32, 1], rel(&[0])),       // rr 1.0
+            (vec![1u32, 0], rel(&[0])),       // rr 0.5
+            (vec![1u32, 0], HashSet::new()),  // skipped
+        ];
+        let m = mean_metrics(&queries);
+        assert!((m.mrr - 0.75).abs() < 1e-12);
+        assert!((m.has_positive_at[0] - 0.5).abs() < 1e-12);
+        assert!((m.has_positive_at[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_ranking_scores_one() {
+        let queries = vec![(vec![0u32, 1, 2], rel(&[0]))];
+        let m = mean_metrics(&queries);
+        assert_eq!(m.mrr, 1.0);
+        assert_eq!(m.map_at, [1.0, 1.0, 1.0]);
+        assert_eq!(m.has_positive_at, [1.0, 1.0, 1.0]);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the evaluation metrics.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use tdmatch_eval::node_score::node_score;
+use tdmatch_eval::prf::exact_prf_single;
+use tdmatch_eval::ranking::{average_precision_at_k, has_positive_at_k, reciprocal_rank};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// All ranking metrics live in [0, 1].
+    #[test]
+    fn metrics_are_bounded(
+        ranked in prop::collection::vec(0u32..50, 0..30),
+        relevant in prop::collection::hash_set(0u32..50, 0..10),
+        k in 1usize..25,
+    ) {
+        let rr = reciprocal_rank(&ranked, &relevant);
+        let ap = average_precision_at_k(&ranked, &relevant, k);
+        let hp = has_positive_at_k(&ranked, &relevant, k);
+        prop_assert!((0.0..=1.0).contains(&rr));
+        prop_assert!((0.0..=1.0).contains(&ap), "ap = {ap}");
+        prop_assert!(hp == 0.0 || hp == 1.0);
+    }
+
+    /// HasPositive@k is monotone in k; AP@k relevance hits imply HP@k.
+    #[test]
+    fn has_positive_monotone_in_k(
+        ranked in prop::collection::vec(0u32..30, 0..20),
+        relevant in prop::collection::hash_set(0u32..30, 1..8),
+        k in 1usize..15,
+    ) {
+        let hp_k = has_positive_at_k(&ranked, &relevant, k);
+        let hp_k1 = has_positive_at_k(&ranked, &relevant, k + 1);
+        prop_assert!(hp_k1 >= hp_k);
+        if average_precision_at_k(&ranked, &relevant, k) > 0.0 {
+            prop_assert_eq!(hp_k, 1.0);
+        }
+    }
+
+    /// Prepending a relevant item that is not already in the list never
+    /// hurts RR or AP. (A *duplicate* relevant item may legitimately lower
+    /// AP@k by pushing another relevant item past the cutoff.)
+    #[test]
+    fn prepending_relevant_item_improves(
+        ranked in prop::collection::vec(0u32..30, 0..15),
+        relevant in prop::collection::hash_set(0u32..30, 1..8),
+        k in 1usize..10,
+    ) {
+        let best = *relevant.iter().next().unwrap();
+        let ranked: Vec<u32> = ranked.into_iter().filter(|&x| x != best).collect();
+        let mut improved = vec![best];
+        improved.extend(ranked.iter().copied());
+        prop_assert!(
+            reciprocal_rank(&improved, &relevant) >= reciprocal_rank(&ranked, &relevant)
+        );
+        prop_assert!(
+            average_precision_at_k(&improved, &relevant, k)
+                >= average_precision_at_k(&ranked, &relevant, k) - 1e-12
+        );
+    }
+
+    /// Perfect prediction ⇒ P = R = F = 1.
+    #[test]
+    fn perfect_prediction_scores_one(
+        truth in prop::collection::hash_set("[a-c]{1,3}", 1..6),
+    ) {
+        let predicted: Vec<String> = truth.iter().cloned().collect();
+        let truth_set: HashSet<String> = truth;
+        let prf = exact_prf_single(&predicted, &truth_set);
+        prop_assert!((prf.precision - 1.0).abs() < 1e-12);
+        prop_assert!((prf.recall - 1.0).abs() < 1e-12);
+        prop_assert!((prf.f1 - 1.0).abs() < 1e-12);
+    }
+
+    /// Node score is symmetric and bounded.
+    #[test]
+    fn node_score_symmetric_bounded(
+        p1 in prop::collection::vec("[a-e]{1,2}", 1..6),
+        p2 in prop::collection::vec("[a-e]{1,2}", 1..6),
+    ) {
+        let s12 = node_score(&p1, &p2);
+        let s21 = node_score(&p2, &p1);
+        prop_assert!((s12 - s21).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&s12));
+    }
+
+    /// A path scores 1.0 against itself.
+    #[test]
+    fn node_score_reflexive(p in prop::collection::vec("[a-e]{1,2}", 1..6)) {
+        prop_assert!((node_score(&p, &p) - 1.0).abs() < 1e-12);
+    }
+}

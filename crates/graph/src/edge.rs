@@ -1,0 +1,161 @@
+//! Edge typing.
+//!
+//! The paper's graph is undirected and *unlabeled*; its conclusion names
+//! "a richer graph with typed edges" as future work. This module provides
+//! that extension: every edge carries an [`EdgeKind`] describing the
+//! relationship it represents. The default pipeline ignores the labels
+//! (walks stay uniform, preserving the paper's behaviour exactly), but the
+//! biased walk strategies in `tdmatch-embed` can weight transitions by
+//! edge kind, and downstream users can query provenance of any edge.
+
+/// The relationship an edge represents.
+///
+/// Kinds mirror the edge-creating steps of the pipeline:
+///
+/// * Algorithm 1 creates [`Contains`](EdgeKind::Contains) edges
+///   (document/tuple → term), [`ColumnOf`](EdgeKind::ColumnOf) edges
+///   (attribute → term from its active domain), and
+///   [`Hierarchy`](EdgeKind::Hierarchy) edges (taxonomy parent ↔ child);
+/// * Algorithm 2 (expansion) creates [`External`](EdgeKind::External)
+///   edges from knowledge-base relations;
+/// * anything else (tests, user-constructed graphs) defaults to
+///   [`Generic`](EdgeKind::Generic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EdgeKind {
+    /// A metadata document node contains the term (Alg. 1 lines 21, 32).
+    Contains,
+    /// A table attribute's active domain contains the term (Alg. 1
+    /// line 23).
+    ColumnOf,
+    /// Hierarchical relation between taxonomy / structured-text metadata
+    /// nodes of the *same* corpus (Alg. 1 line 15, §II-A).
+    Hierarchy,
+    /// Relation fetched from an external resource during expansion
+    /// (Alg. 2 line 9).
+    External,
+    /// Unclassified edge (user graphs, default for untyped `add_edge`).
+    #[default]
+    Generic,
+}
+
+impl EdgeKind {
+    /// All kinds, in declaration order; useful for weight tables and
+    /// exhaustive reporting.
+    pub const ALL: [EdgeKind; 5] = [
+        EdgeKind::Contains,
+        EdgeKind::ColumnOf,
+        EdgeKind::Hierarchy,
+        EdgeKind::External,
+        EdgeKind::Generic,
+    ];
+
+    /// A compact index in `0..EdgeKind::ALL.len()`, stable across runs;
+    /// used to key per-kind weight tables without a `HashMap`.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            EdgeKind::Contains => 0,
+            EdgeKind::ColumnOf => 1,
+            EdgeKind::Hierarchy => 2,
+            EdgeKind::External => 3,
+            EdgeKind::Generic => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for EdgeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            EdgeKind::Contains => "contains",
+            EdgeKind::ColumnOf => "column-of",
+            EdgeKind::Hierarchy => "hierarchy",
+            EdgeKind::External => "external",
+            EdgeKind::Generic => "generic",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-[`EdgeKind`] transition weights for biased random walks.
+///
+/// A weight of `1.0` for every kind reproduces the paper's uniform walk.
+/// Raising a kind's weight makes the walker prefer those edges; `0.0`
+/// forbids them entirely (the walker never crosses such an edge, even if
+/// that strands it).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeTypeWeights {
+    weights: [f32; EdgeKind::ALL.len()],
+}
+
+impl Default for EdgeTypeWeights {
+    fn default() -> Self {
+        Self::uniform()
+    }
+}
+
+impl EdgeTypeWeights {
+    /// All kinds weighted `1.0` — identical to an unbiased walk.
+    pub fn uniform() -> Self {
+        Self {
+            weights: [1.0; EdgeKind::ALL.len()],
+        }
+    }
+
+    /// Sets the weight for one kind (builder style). Negative weights are
+    /// clamped to `0.0`.
+    #[must_use]
+    pub fn with(mut self, kind: EdgeKind, weight: f32) -> Self {
+        self.weights[kind.index()] = weight.max(0.0);
+        self
+    }
+
+    /// The weight for one kind.
+    #[inline]
+    pub fn get(&self, kind: EdgeKind) -> f32 {
+        self.weights[kind.index()]
+    }
+
+    /// True when every kind has weight `1.0` (walks can skip the weighted
+    /// sampling path entirely).
+    pub fn is_uniform(&self) -> bool {
+        self.weights.iter().all(|&w| w == 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexes_are_dense_and_match_all() {
+        for (i, kind) in EdgeKind::ALL.iter().enumerate() {
+            assert_eq!(kind.index(), i);
+        }
+    }
+
+    #[test]
+    fn default_kind_is_generic() {
+        assert_eq!(EdgeKind::default(), EdgeKind::Generic);
+    }
+
+    #[test]
+    fn display_is_kebab_case() {
+        assert_eq!(EdgeKind::ColumnOf.to_string(), "column-of");
+        assert_eq!(EdgeKind::Contains.to_string(), "contains");
+    }
+
+    #[test]
+    fn uniform_weights_detected() {
+        assert!(EdgeTypeWeights::uniform().is_uniform());
+        let w = EdgeTypeWeights::uniform().with(EdgeKind::External, 2.0);
+        assert!(!w.is_uniform());
+        assert_eq!(w.get(EdgeKind::External), 2.0);
+        assert_eq!(w.get(EdgeKind::Contains), 1.0);
+    }
+
+    #[test]
+    fn negative_weights_clamp_to_zero() {
+        let w = EdgeTypeWeights::uniform().with(EdgeKind::Generic, -3.0);
+        assert_eq!(w.get(EdgeKind::Generic), 0.0);
+    }
+}

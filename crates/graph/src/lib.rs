@@ -1,0 +1,26 @@
+//! Undirected typed graph substrate for TDmatch.
+//!
+//! The paper models heterogeneous corpora as one undirected, unweighted
+//! graph with two node families (§II):
+//!
+//! * **data nodes** — pre-processed terms, interned so that a term shared by
+//!   several documents is a single node;
+//! * **metadata nodes** — tuples, attributes (columns), free-text documents
+//!   and taxonomy nodes.
+//!
+//! This crate provides the graph itself ([`Graph`]), breadth-first search
+//! and all-shortest-path enumeration ([`traverse`]), and random-neighbor
+//! sampling used by the walk generator ([`sample`]).
+
+pub mod edge;
+pub mod graph;
+pub mod node;
+pub mod persist;
+pub mod sample;
+pub mod stats;
+pub mod traverse;
+
+pub use edge::{EdgeKind, EdgeTypeWeights};
+pub use graph::Graph;
+pub use node::{CorpusSide, MetaKind, NodeId, NodeKind};
+pub use stats::GraphStats;

@@ -1,0 +1,144 @@
+//! Node identity and typing.
+
+/// Compact node identifier: index into the graph's node tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node's index as `usize`, for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Which of the two input corpora a metadata node belongs to.
+///
+/// Algorithm 1 never connects metadata nodes from *different* corpora —
+/// those connections are exactly what the downstream matching must produce —
+/// so the side is part of every metadata node's identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CorpusSide {
+    /// The first corpus handed to graph creation.
+    First,
+    /// The second corpus.
+    Second,
+}
+
+impl CorpusSide {
+    /// The opposite side.
+    #[inline]
+    pub fn other(self) -> Self {
+        match self {
+            CorpusSide::First => CorpusSide::Second,
+            CorpusSide::Second => CorpusSide::First,
+        }
+    }
+}
+
+/// The specific role of a metadata node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MetaKind {
+    /// A relational tuple (row); `index` is the row number in its corpus.
+    Tuple,
+    /// A table attribute (column); adds 2-hop paths across the column's
+    /// active domain (§II).
+    Attribute,
+    /// A free-text document (sentence or paragraph, user-defined).
+    TextDoc,
+    /// A node of a structured-text taxonomy; connected to its parent.
+    Taxonomy,
+}
+
+/// The type of a graph node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// A term node produced by pre-processing.
+    Data,
+    /// A node brought in by graph expansion (Alg. 2) from an external
+    /// resource; behaves as data for walks but never participates in
+    /// matching.
+    External,
+    /// A metadata node: the objects we ultimately match.
+    Meta {
+        /// Which corpus the document belongs to.
+        side: CorpusSide,
+        /// What the node represents.
+        kind: MetaKind,
+        /// Document / column index within its corpus.
+        index: u32,
+    },
+}
+
+impl NodeKind {
+    /// True for metadata nodes (tuples, attributes, documents, taxonomy).
+    #[inline]
+    pub fn is_metadata(&self) -> bool {
+        matches!(self, NodeKind::Meta { .. })
+    }
+
+    /// True for document-level metadata (matchable objects): tuples, text
+    /// documents and taxonomy nodes — attributes are structural helpers and
+    /// are not matched.
+    #[inline]
+    pub fn is_matchable(&self) -> bool {
+        matches!(
+            self,
+            NodeKind::Meta {
+                kind: MetaKind::Tuple | MetaKind::TextDoc | MetaKind::Taxonomy,
+                ..
+            }
+        )
+    }
+
+    /// The corpus side, if this is a metadata node.
+    #[inline]
+    pub fn side(&self) -> Option<CorpusSide> {
+        match self {
+            NodeKind::Meta { side, .. } => Some(*side),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metadata_classification() {
+        assert!(!NodeKind::Data.is_metadata());
+        assert!(!NodeKind::External.is_metadata());
+        let tup = NodeKind::Meta {
+            side: CorpusSide::First,
+            kind: MetaKind::Tuple,
+            index: 0,
+        };
+        assert!(tup.is_metadata());
+        assert!(tup.is_matchable());
+        let attr = NodeKind::Meta {
+            side: CorpusSide::First,
+            kind: MetaKind::Attribute,
+            index: 0,
+        };
+        assert!(attr.is_metadata());
+        assert!(!attr.is_matchable());
+    }
+
+    #[test]
+    fn sides_flip() {
+        assert_eq!(CorpusSide::First.other(), CorpusSide::Second);
+        assert_eq!(CorpusSide::Second.other(), CorpusSide::First);
+    }
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(NodeId(7).to_string(), "n7");
+    }
+}

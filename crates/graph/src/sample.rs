@@ -1,0 +1,310 @@
+//! Random sampling over the graph: neighbors and random walks (Alg. 4),
+//! plus the biased variants (node2vec second-order walks, edge-type
+//! weighted walks) that plug into the embedding generator.
+
+use rand::seq::IndexedRandom;
+use rand::{Rng, RngExt};
+
+use crate::edge::EdgeTypeWeights;
+use crate::graph::Graph;
+use crate::node::NodeId;
+
+/// Picks a uniformly random neighbor of `node`, or `None` for isolated /
+/// removed nodes.
+#[inline]
+pub fn random_neighbor<R: Rng + ?Sized>(g: &Graph, node: NodeId, rng: &mut R) -> Option<NodeId> {
+    g.neighbors(node).choose(rng).copied()
+}
+
+/// Generates one random walk of exactly `len` *steps* starting at `start`
+/// (the paper's Alg. 4 appends `len` randomly chosen neighbors). The walk
+/// includes the start node followed by up to `len` sampled nodes; it stops
+/// early only if it reaches an isolated node.
+pub fn random_walk<R: Rng + ?Sized>(
+    g: &Graph,
+    start: NodeId,
+    len: usize,
+    rng: &mut R,
+) -> Vec<NodeId> {
+    let mut walk = Vec::with_capacity(len + 1);
+    walk.push(start);
+    let mut cur = start;
+    for _ in 0..len {
+        match random_neighbor(g, cur, rng) {
+            Some(next) => {
+                walk.push(next);
+                cur = next;
+            }
+            None => break,
+        }
+    }
+    walk
+}
+
+/// Picks a uniformly random element of `items`.
+pub fn choose<'a, T, R: Rng + ?Sized>(items: &'a [T], rng: &mut R) -> Option<&'a T> {
+    items.choose(rng)
+}
+
+/// Samples an index from unnormalized non-negative `weights` by cumulative
+/// sum. Returns `None` when all weights are zero (or the slice is empty).
+fn sample_weighted<R: Rng + ?Sized>(weights: &[f32], rng: &mut R) -> Option<usize> {
+    let total: f32 = weights.iter().sum();
+    if total <= 0.0 || total.is_nan() {
+        return None;
+    }
+    // Reborrow: `Rng::random` needs `Self: Sized`, and `&mut R` is.
+    let mut target = (*rng).random::<f32>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        target -= w;
+        if target < 0.0 {
+            return Some(i);
+        }
+    }
+    // Float round-off can leave target at ~0; fall back to the last
+    // positive-weight index.
+    weights.iter().rposition(|&w| w > 0.0)
+}
+
+/// One random walk where each transition is weighted by the edge's
+/// [`EdgeKind`](crate::edge::EdgeKind) via `weights`. With uniform weights
+/// this is exactly [`random_walk`]. Edges whose kind has weight `0.0` are
+/// never crossed; the walk stops early if no crossable edge remains.
+pub fn random_walk_edge_typed<R: Rng + ?Sized>(
+    g: &Graph,
+    start: NodeId,
+    len: usize,
+    weights: &EdgeTypeWeights,
+    rng: &mut R,
+) -> Vec<NodeId> {
+    let mut walk = Vec::with_capacity(len + 1);
+    walk.push(start);
+    let mut cur = start;
+    let mut buf: Vec<f32> = Vec::new();
+    for _ in 0..len {
+        let neighbors = g.neighbors(cur);
+        if neighbors.is_empty() {
+            break;
+        }
+        buf.clear();
+        buf.extend(g.neighbor_kinds(cur).iter().map(|&k| weights.get(k)));
+        match sample_weighted(&buf, rng) {
+            Some(i) => {
+                cur = neighbors[i];
+                walk.push(cur);
+            }
+            None => break,
+        }
+    }
+    walk
+}
+
+/// One node2vec-style second-order random walk (Grover & Leskovec, KDD'16
+/// — cited by the paper as an alternative embedding generator, §IV-A).
+///
+/// Given the previous node `t` and current node `v`, the unnormalized
+/// probability of stepping to neighbor `x` is:
+///
+/// * `1/p` when `x == t` (return),
+/// * `1`   when `x` is a neighbor of `t` (stay close),
+/// * `1/q` otherwise (explore).
+///
+/// `p` is the *return* parameter, `q` the *in-out* parameter; `p = q = 1`
+/// reduces to the paper's uniform walk. Both must be positive.
+pub fn random_walk_node2vec<R: Rng + ?Sized>(
+    g: &Graph,
+    start: NodeId,
+    len: usize,
+    p: f32,
+    q: f32,
+    rng: &mut R,
+) -> Vec<NodeId> {
+    debug_assert!(p > 0.0 && q > 0.0, "node2vec parameters must be positive");
+    let mut walk = Vec::with_capacity(len + 1);
+    walk.push(start);
+    // First step has no history: uniform.
+    let Some(first) = random_neighbor(g, start, rng) else {
+        return walk;
+    };
+    walk.push(first);
+    let (mut prev, mut cur) = (start, first);
+    let (inv_p, inv_q) = (1.0 / p, 1.0 / q);
+    let mut buf: Vec<f32> = Vec::new();
+    for _ in 1..len {
+        let neighbors = g.neighbors(cur);
+        if neighbors.is_empty() {
+            break;
+        }
+        buf.clear();
+        buf.extend(neighbors.iter().map(|&x| {
+            if x == prev {
+                inv_p
+            } else if g.has_edge(prev, x) {
+                1.0
+            } else {
+                inv_q
+            }
+        }));
+        match sample_weighted(&buf, rng) {
+            Some(i) => {
+                prev = cur;
+                cur = neighbors[i];
+                walk.push(cur);
+            }
+            None => break,
+        }
+    }
+    walk
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn walk_has_expected_length_and_valid_edges() {
+        let mut g = Graph::new();
+        let nodes: Vec<NodeId> = (0..10).map(|i| g.intern_data(&format!("n{i}"))).collect();
+        for w in nodes.windows(2) {
+            g.add_edge(w[0], w[1]);
+        }
+        let mut rng = SmallRng::seed_from_u64(7);
+        let walk = random_walk(&g, nodes[0], 20, &mut rng);
+        assert_eq!(walk.len(), 21);
+        for pair in walk.windows(2) {
+            assert!(g.has_edge(pair[0], pair[1]));
+        }
+    }
+
+    #[test]
+    fn walk_from_isolated_node_is_singleton() {
+        let mut g = Graph::new();
+        let a = g.intern_data("a");
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(random_walk(&g, a, 5, &mut rng), vec![a]);
+        assert_eq!(random_neighbor(&g, a, &mut rng), None);
+    }
+
+    #[test]
+    fn walks_are_deterministic_under_seed() {
+        let mut g = Graph::new();
+        let a = g.intern_data("a");
+        let b = g.intern_data("b");
+        let c = g.intern_data("c");
+        g.add_edge(a, b);
+        g.add_edge(a, c);
+        g.add_edge(b, c);
+        let w1 = random_walk(&g, a, 10, &mut SmallRng::seed_from_u64(42));
+        let w2 = random_walk(&g, a, 10, &mut SmallRng::seed_from_u64(42));
+        assert_eq!(w1, w2);
+    }
+
+    #[test]
+    fn weighted_sampler_respects_zero_and_point_masses() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert_eq!(sample_weighted(&[], &mut rng), None);
+        assert_eq!(sample_weighted(&[0.0, 0.0], &mut rng), None);
+        for _ in 0..20 {
+            assert_eq!(sample_weighted(&[0.0, 1.0, 0.0], &mut rng), Some(1));
+        }
+    }
+
+    #[test]
+    fn edge_typed_walk_never_crosses_zero_weight_edges() {
+        use crate::edge::EdgeKind;
+        // a —Contains— b —External— c. Forbidding External traps the walk
+        // on {a, b}.
+        let mut g = Graph::new();
+        let a = g.intern_data("a");
+        let b = g.intern_data("b");
+        let c = g.intern_data("c");
+        g.add_edge_typed(a, b, EdgeKind::Contains);
+        g.add_edge_typed(b, c, EdgeKind::External);
+        let weights = EdgeTypeWeights::uniform().with(EdgeKind::External, 0.0);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let walk = random_walk_edge_typed(&g, a, 12, &weights, &mut rng);
+            assert!(!walk.contains(&c), "walk crossed a zero-weight edge");
+        }
+    }
+
+    #[test]
+    fn edge_typed_walk_with_uniform_weights_matches_plain_walk() {
+        let mut g = Graph::new();
+        let ids: Vec<NodeId> = (0..8).map(|i| g.intern_data(&format!("n{i}"))).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1]);
+        }
+        let weights = EdgeTypeWeights::uniform();
+        let walk = random_walk_edge_typed(&g, ids[0], 15, &weights, &mut SmallRng::seed_from_u64(11));
+        assert_eq!(walk.len(), 16);
+        for pair in walk.windows(2) {
+            assert!(g.has_edge(pair[0], pair[1]));
+        }
+    }
+
+    #[test]
+    fn node2vec_walk_follows_edges_and_is_deterministic() {
+        let mut g = Graph::new();
+        let ids: Vec<NodeId> = (0..10).map(|i| g.intern_data(&format!("n{i}"))).collect();
+        for i in 0..10 {
+            g.add_edge(ids[i], ids[(i + 1) % 10]);
+            g.add_edge(ids[i], ids[(i + 3) % 10]);
+        }
+        let w1 = random_walk_node2vec(&g, ids[0], 20, 0.5, 2.0, &mut SmallRng::seed_from_u64(7));
+        let w2 = random_walk_node2vec(&g, ids[0], 20, 0.5, 2.0, &mut SmallRng::seed_from_u64(7));
+        assert_eq!(w1, w2);
+        assert_eq!(w1.len(), 21);
+        for pair in w1.windows(2) {
+            assert!(g.has_edge(pair[0], pair[1]));
+        }
+    }
+
+    #[test]
+    fn node2vec_low_p_returns_more_often() {
+        // On a path graph, the middle node's walker either returns (weight
+        // 1/p) or moves on (weight 1/q since endpoints of a path share no
+        // neighbors). With p tiny, returning dominates.
+        let mut g = Graph::new();
+        let ids: Vec<NodeId> = (0..30).map(|i| g.intern_data(&format!("n{i}"))).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1]);
+        }
+        let count_returns = |p: f32, q: f32, seed: u64| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut returns = 0usize;
+            let mut steps = 0usize;
+            for _ in 0..50 {
+                let walk = random_walk_node2vec(&g, ids[15], 10, p, q, &mut rng);
+                for win in walk.windows(3) {
+                    steps += 1;
+                    if win[0] == win[2] {
+                        returns += 1;
+                    }
+                }
+            }
+            returns as f64 / steps.max(1) as f64
+        };
+        let returny = count_returns(0.05, 1.0, 9);
+        let explorey = count_returns(20.0, 1.0, 9);
+        assert!(
+            returny > explorey + 0.2,
+            "low p should return far more often: {returny} vs {explorey}"
+        );
+    }
+
+    #[test]
+    fn node2vec_from_isolated_node_is_singleton() {
+        let mut g = Graph::new();
+        let a = g.intern_data("a");
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(random_walk_node2vec(&g, a, 5, 1.0, 1.0, &mut rng), vec![a]);
+        let weights = EdgeTypeWeights::uniform();
+        assert_eq!(
+            random_walk_edge_typed(&g, a, 5, &weights, &mut rng),
+            vec![a]
+        );
+    }
+}

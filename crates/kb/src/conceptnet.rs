@@ -1,0 +1,191 @@
+//! Synthetic ConceptNet: general-knowledge relations among common words.
+//!
+//! The paper uses ConceptNet as the default expansion resource (§V):
+//! relating concepts, generic nouns and verbs — e.g. expanding *management*
+//! connects it with *planning* in the matching paragraph. Our synthetic
+//! version contains:
+//!
+//! * `synonym` edges from the shared synonym groups;
+//! * `relatedTo` edges within thematic clusters (health, politics, cinema,
+//!   process management, …);
+//! * deterministic noise relations, so expansion also *bloats* the graph —
+//!   which is exactly what compression (§III-B) is evaluated against.
+
+use std::collections::HashMap;
+
+use tdmatch_text::stem::stem;
+
+use crate::lexicon;
+use crate::{KnowledgeBase, Relation};
+
+/// Thematic clusters of mutually `relatedTo` words.
+static THEMES: &[&[&str]] = &[
+    &[
+        "virus", "pandemic", "outbreak", "infection", "vaccine", "patient", "hospital",
+        "doctor", "health", "mask", "lockdown", "quarantine",
+    ],
+    &[
+        "election", "vote", "politician", "campaign", "senator", "president", "governor",
+        "policy", "government",
+    ],
+    &[
+        "movie", "film", "cinema", "actor", "director", "screen", "scene", "script",
+        "audience", "review",
+    ],
+    &[
+        "plan", "process", "step", "check", "act", "manage", "planning", "management",
+        "improve", "goal", "measure", "monitor", "evaluate",
+    ],
+    &[
+        "tax", "budget", "economy", "job", "wage", "price", "market", "money", "dollar",
+        "business",
+    ],
+    &[
+        "claim", "fact", "evidence", "source", "statement", "verify", "debunk", "hoax",
+        "rumor", "news",
+    ],
+    &[
+        "rise", "increase", "surge", "peak", "fall", "decrease", "decline", "drop", "rate",
+        "level", "record", "total",
+    ],
+];
+
+/// A deterministic synthetic ConceptNet.
+#[derive(Debug, Clone, Default)]
+pub struct SyntheticConceptNet {
+    relations: HashMap<String, Vec<Relation>>,
+}
+
+impl SyntheticConceptNet {
+    /// Builds the standard resource: synonym groups + themes + `noise`
+    /// random relations per subject (deterministic in `seed`).
+    pub fn standard(seed: u64, noise: usize) -> Self {
+        let mut cn = SyntheticConceptNet::default();
+        // Synonym groups.
+        for group in lexicon::SYNONYM_GROUPS {
+            for &a in *group {
+                for &b in *group {
+                    if a != b {
+                        cn.add(a, "synonym", b);
+                    }
+                }
+            }
+        }
+        // Thematic relatedTo clusters (sparser than cliques: ring + chords,
+        // so expansion adds paths without trivially collapsing distances).
+        for theme in THEMES {
+            let n = theme.len();
+            for i in 0..n {
+                cn.add(theme[i], "relatedTo", theme[(i + 1) % n]);
+                cn.add(theme[(i + 1) % n], "relatedTo", theme[i]);
+                if i + 3 < n {
+                    cn.add(theme[i], "relatedTo", theme[i + 3]);
+                }
+            }
+        }
+        // Genre colloquialisms: a reviewer's "funny" relates to "comedy".
+        for (genre, colloquial) in lexicon::GENRES {
+            cn.add(genre, "relatedTo", colloquial);
+            cn.add(colloquial, "relatedTo", genre);
+        }
+        // Deterministic noise: sprinkle spurious relations over the general
+        // vocabulary so the expanded graph has something to prune.
+        if noise > 0 {
+            let pool: Vec<&str> = lexicon::GENERIC_NOUNS
+                .iter()
+                .chain(lexicon::GENERIC_VERBS)
+                .chain(lexicon::GENERIC_ADJS)
+                .copied()
+                .collect();
+            for (i, &word) in pool.iter().enumerate() {
+                for k in 0..noise {
+                    let j = lexicon::pick(seed, (i * noise + k) as u64, pool.len());
+                    if pool[j] != word {
+                        cn.add(word, "noiseRelatedTo", pool[j]);
+                    }
+                }
+            }
+        }
+        cn
+    }
+
+    fn add(&mut self, subject: &str, predicate: &str, object: &str) {
+        let key = stem(subject);
+        let obj = stem(object);
+        if key == obj {
+            return;
+        }
+        let rels = self.relations.entry(key).or_default();
+        let rel = Relation::new(predicate, obj);
+        if !rels.contains(&rel) {
+            rels.push(rel);
+        }
+    }
+}
+
+impl KnowledgeBase for SyntheticConceptNet {
+    fn relations(&self, term: &str) -> Vec<Relation> {
+        self.relations
+            .get(term)
+            .or_else(|| self.relations.get(&stem(term)))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    fn subject_count(&self) -> usize {
+        self.relations.len()
+    }
+
+    fn name(&self) -> &str {
+        "conceptnet"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn management_relates_to_planning() {
+        // The paper's §III-A example for concept expansion.
+        let cn = SyntheticConceptNet::standard(7, 0);
+        let rels = cn.relations("manage"); // stem of "management"
+        assert!(
+            rels.iter().any(|r| r.object == stem("planning") || r.object == stem("plan")),
+            "expected plan-related object in {rels:?}"
+        );
+    }
+
+    #[test]
+    fn genre_colloquialisms_are_linked() {
+        let cn = SyntheticConceptNet::standard(7, 0);
+        let rels = cn.relations("comedy");
+        assert!(rels.iter().any(|r| r.object == stem("funny")));
+    }
+
+    #[test]
+    fn noise_increases_relation_count() {
+        let quiet = SyntheticConceptNet::standard(7, 0);
+        let noisy = SyntheticConceptNet::standard(7, 3);
+        let q: usize = quiet.relations.values().map(|v| v.len()).sum();
+        let n: usize = noisy.relations.values().map(|v| v.len()).sum();
+        assert!(n > q * 2, "noise should add many relations: {q} -> {n}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = SyntheticConceptNet::standard(9, 2);
+        let b = SyntheticConceptNet::standard(9, 2);
+        assert_eq!(a.relations("movi"), b.relations("movi"));
+    }
+
+    #[test]
+    fn no_self_relations() {
+        let cn = SyntheticConceptNet::standard(3, 2);
+        for (subj, rels) in &cn.relations {
+            for r in rels {
+                assert_ne!(&r.object, subj, "self-relation on {subj}");
+            }
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Synthetic DBpedia: an entity-centric knowledge base.
+//!
+//! The IMDb scenario expands with DBpedia (§V), which knows facts about
+//! named entities — `starringOf(Willis, Pulp Fiction)`,
+//! `spouse(Shyamalan, Bhavna Vaswani)`, and hundreds of irrelevant
+//! relations per popular entity (the paper counts >800 for Tarantino).
+//!
+//! Since the movie world itself is synthetic, the KB is built *from* the
+//! generated world: the dataset generator emits `(subject, predicate,
+//! object)` facts (useful ones connecting co-workers and works, plus
+//! deterministic filler facts standing in for DBpedia's bulk) and
+//! constructs the KB with [`SyntheticDbpedia::from_facts`].
+
+use std::collections::HashMap;
+
+use tdmatch_text::stem::stem;
+
+use crate::{KnowledgeBase, Relation};
+
+/// An entity-centric KB keyed by stemmed entity label.
+#[derive(Debug, Clone, Default)]
+pub struct SyntheticDbpedia {
+    relations: HashMap<String, Vec<Relation>>,
+    fact_count: usize,
+}
+
+impl SyntheticDbpedia {
+    /// Builds the KB from `(subject, predicate, object)` triples. Subjects
+    /// and objects are stemmed token-wise so they line up with graph node
+    /// labels.
+    pub fn from_facts<S: AsRef<str>>(facts: &[(S, S, S)]) -> Self {
+        let mut kb = SyntheticDbpedia::default();
+        for (s, p, o) in facts {
+            kb.add_fact(s.as_ref(), p.as_ref(), o.as_ref());
+        }
+        kb
+    }
+
+    /// Adds one triple.
+    pub fn add_fact(&mut self, subject: &str, predicate: &str, object: &str) {
+        let key = stem_phrase(subject);
+        let obj = stem_phrase(object);
+        if key == obj || key.is_empty() || obj.is_empty() {
+            return;
+        }
+        let rels = self.relations.entry(key).or_default();
+        let rel = Relation::new(predicate, obj);
+        if !rels.contains(&rel) {
+            rels.push(rel);
+            self.fact_count += 1;
+        }
+    }
+
+    /// Total stored facts.
+    pub fn fact_count(&self) -> usize {
+        self.fact_count
+    }
+}
+
+/// Stems every token of a (possibly multi-token) label.
+pub fn stem_phrase(phrase: &str) -> String {
+    phrase
+        .split_whitespace()
+        .map(|t| stem(&t.to_lowercase()))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+impl KnowledgeBase for SyntheticDbpedia {
+    fn relations(&self, term: &str) -> Vec<Relation> {
+        self.relations
+            .get(term)
+            .or_else(|| self.relations.get(&stem_phrase(term)))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    fn subject_count(&self) -> usize {
+        self.relations.len()
+    }
+
+    fn name(&self) -> &str {
+        "dbpedia"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_facts() {
+        let kb = SyntheticDbpedia::from_facts(&[
+            ("willis", "starringOf", "pulp fiction"),
+            ("shyamalan", "spouse", "bhavna vaswani"),
+            ("tarantino", "style", "comedy"),
+        ]);
+        let rels = kb.relations("tarantino");
+        assert_eq!(rels.len(), 1);
+        assert_eq!(rels[0].object, "comedi"); // stemmed
+        assert_eq!(kb.fact_count(), 3);
+    }
+
+    #[test]
+    fn multi_token_subjects_are_stemmed() {
+        let kb = SyntheticDbpedia::from_facts(&[("Pulp Fiction", "directedBy", "tarantino")]);
+        assert!(!kb.relations("pulp fiction").is_empty());
+        // Already-stemmed lookup also works.
+        assert!(!kb.relations(&stem_phrase("Pulp Fiction")).is_empty());
+    }
+
+    #[test]
+    fn duplicate_facts_are_ignored() {
+        let mut kb = SyntheticDbpedia::default();
+        kb.add_fact("a", "p", "b");
+        kb.add_fact("a", "p", "b");
+        assert_eq!(kb.fact_count(), 1);
+    }
+
+    #[test]
+    fn self_facts_rejected() {
+        let mut kb = SyntheticDbpedia::default();
+        kb.add_fact("willis", "sameAs", "willis");
+        assert_eq!(kb.fact_count(), 0);
+    }
+
+    #[test]
+    fn unknown_entity_is_empty() {
+        let kb = SyntheticDbpedia::default();
+        assert!(kb.relations("nobody").is_empty());
+        assert_eq!(kb.subject_count(), 0);
+    }
+}

@@ -1,0 +1,272 @@
+//! Shared lexicons.
+//!
+//! Every synthetic component — dataset generators, knowledge bases, and the
+//! simulated pre-trained model — draws from these word pools. Keeping them
+//! in one place guarantees the pieces line up: the review generator
+//! mentions the same genre synonyms ConceptNet knows about, and the
+//! pre-trained model's lexicon covers general words but *not* the audit
+//! domain terms.
+
+/// Common English nouns the pre-trained model knows well.
+pub static GENERIC_NOUNS: &[&str] = &[
+    "movie", "film", "story", "scene", "actor", "actress", "director", "plot", "character",
+    "review", "audience", "performance", "screen", "cinema", "sequel", "script", "dialogue",
+    "ending", "beginning", "masterpiece", "classic", "cast", "star", "role", "hero", "villain",
+    "music", "score", "effect", "picture", "camera", "moment", "minute", "hour", "year", "world",
+    "country", "city", "people", "family", "friend", "man", "woman", "child", "life", "death",
+    "case", "number", "report", "day", "week", "month", "total", "record", "rate", "level",
+    "government", "health", "hospital", "virus", "pandemic", "outbreak", "infection", "vaccine",
+    "test", "patient", "doctor", "population", "region", "border", "travel", "lockdown", "mask",
+    "wave", "spread", "peak", "decline", "surge", "claim", "fact", "statement", "source",
+    "evidence", "photo", "video", "quote", "rumor", "hoax", "news", "article", "website",
+    "politician", "senator", "president", "governor", "campaign", "election", "vote", "policy",
+    "tax", "budget", "economy", "job", "wage", "price", "market", "company", "business", "money",
+    "dollar", "percent", "billion", "million", "plan", "process", "system", "standard", "check",
+    "action", "step", "goal", "result", "value", "quality", "service", "product", "customer",
+    "team", "project", "document", "manual", "guide", "section", "chapter", "page", "table",
+    "data", "information", "analysis", "summary", "detail", "example", "problem", "solution",
+];
+
+/// Common verbs (infinitive form).
+pub static GENERIC_VERBS: &[&str] = &[
+    "play", "direct", "watch", "love", "hate", "enjoy", "recommend", "star", "act", "write",
+    "film", "release", "produce", "cast", "rise", "fall", "increase", "decrease", "grow",
+    "drop", "report", "confirm", "record", "reach", "exceed", "surpass", "double", "claim",
+    "state", "say", "deny", "verify", "debunk", "share", "post", "spread", "allege", "suggest",
+    "show", "prove", "plan", "check", "review", "assess", "manage", "control", "improve",
+    "measure", "define", "document", "implement", "monitor", "evaluate", "perform", "execute",
+    "approve", "reject", "identify", "ensure", "require", "follow",
+];
+
+/// Common adjectives.
+pub static GENERIC_ADJS: &[&str] = &[
+    "great", "terrible", "brilliant", "awful", "amazing", "boring", "slow", "fast", "dark",
+    "light", "high", "low", "many", "new", "old", "young", "long", "short", "good", "bad",
+    "best", "worst", "famous", "unknown", "popular", "rare", "daily", "total", "confirmed",
+    "official", "false", "true", "misleading", "accurate", "viral", "recent", "early", "late",
+    "strong", "weak", "major", "minor", "annual", "monthly", "internal", "external", "critical",
+    "effective", "efficient", "formal", "informal", "relevant", "significant",
+];
+
+/// First names for synthetic people (actors, directors, politicians).
+pub static FIRST_NAMES: &[&str] = &[
+    "bruce", "quentin", "samuel", "uma", "john", "mary", "james", "patricia", "robert",
+    "jennifer", "michael", "linda", "william", "elizabeth", "david", "barbara", "richard",
+    "susan", "joseph", "jessica", "thomas", "sarah", "charles", "karen", "christopher",
+    "nancy", "daniel", "lisa", "matthew", "betty", "anthony", "margaret", "mark", "sandra",
+    "donald", "ashley", "steven", "kimberly", "paul", "emily", "andrew", "donna", "joshua",
+    "michelle", "kenneth", "dorothy", "kevin", "carol", "brian", "amanda", "george", "melissa",
+    "edward", "deborah", "ronald", "stephanie", "timothy", "rebecca", "jason", "sharon",
+];
+
+/// Last names for synthetic people.
+pub static LAST_NAMES: &[&str] = &[
+    "willis", "tarantino", "shyamalan", "jackson", "thurman", "smith", "johnson", "williams",
+    "brown", "jones", "garcia", "miller", "davis", "rodriguez", "martinez", "hernandez",
+    "lopez", "gonzalez", "wilson", "anderson", "thomas", "taylor", "moore", "martin", "lee",
+    "perez", "thompson", "white", "harris", "sanchez", "clark", "ramirez", "lewis", "robinson",
+    "walker", "young", "allen", "king", "wright", "scott", "torres", "nguyen", "hill", "flores",
+    "green", "adams", "nelson", "baker", "hall", "rivera", "campbell", "mitchell", "carter",
+    "roberts", "gomez", "phillips", "evans", "turner", "diaz", "parker", "cruz", "edwards",
+    "collins", "reyes", "stewart", "morris", "morales", "murphy", "cook", "rogers", "gutierrez",
+    "ortiz", "morgan", "cooper", "peterson", "bailey", "reed", "kelly", "howard", "ramos",
+];
+
+/// Words movie titles are assembled from.
+pub static TITLE_WORDS: &[&str] = &[
+    "dark", "night", "return", "king", "sense", "story", "dream", "city", "ghost", "shadow",
+    "last", "first", "lost", "hidden", "silent", "broken", "golden", "iron", "crimson", "frozen",
+    "eternal", "forgotten", "sacred", "wild", "empire", "legend", "secret", "journey", "edge",
+    "fall", "rise", "dawn", "dusk", "fire", "water", "stone", "glass", "paper", "steel",
+    "crown", "throne", "blade", "arrow", "storm", "thunder", "river", "mountain", "ocean",
+    "desert", "forest", "garden", "tower", "bridge", "road", "door", "window", "mirror",
+    "clock", "letter", "song", "dance", "game", "war", "peace", "love", "heart", "soul",
+    "mind", "memory", "truth", "lie", "promise", "betrayal", "revenge", "redemption", "escape",
+    "hunt", "chase", "trial",
+];
+
+/// Movie genres. The second member of each pair is a colloquial synonym a
+/// reviewer might use instead (the paper's Pulp-Fiction-is-a-comedy case).
+pub static GENRES: &[(&str, &str)] = &[
+    ("drama", "dramatic"),
+    ("comedy", "funny"),
+    ("thriller", "suspense"),
+    ("horror", "scary"),
+    ("romance", "romantic"),
+    ("action", "explosive"),
+    ("mystery", "puzzling"),
+    ("fantasy", "magical"),
+    ("western", "frontier"),
+    ("biography", "biographical"),
+];
+
+/// Country names for the CoronaCheck scenario.
+pub static COUNTRIES: &[&str] = &[
+    "china", "italy", "spain", "germany", "france", "iran", "korea", "japan", "singapore",
+    "brazil", "india", "russia", "mexico", "canada", "australia", "sweden", "norway", "denmark",
+    "finland", "poland", "austria", "belgium", "portugal", "greece", "turkey", "egypt",
+    "nigeria", "kenya", "argentina", "chile", "peru", "colombia", "vietnam", "thailand",
+    "indonesia", "malaysia", "philippines", "pakistan", "bangladesh", "ukraine", "romania",
+    "hungary", "ireland", "scotland", "netherlands", "switzerland", "israel", "jordan",
+    "morocco", "algeria",
+];
+
+/// Audit-domain concept terms. These are deliberately **absent** from the
+/// pre-trained model's lexicon (or carry a different general meaning),
+/// reproducing the paper's §V-F2 finding that Wikipedia2Vec similarity
+/// misleads on audit vocabulary.
+pub static AUDIT_TERMS: &[&str] = &[
+    "audit", "auditor", "auditee", "compliance", "assurance", "attestation", "materiality",
+    "reconciliation", "ledger", "journal", "voucher", "invoice", "procurement", "payables",
+    "receivables", "inventory", "valuation", "impairment", "depreciation", "amortization",
+    "accrual", "provision", "disclosure", "misstatement", "fraud", "sampling", "substantive",
+    "walkthrough", "workpaper", "fieldwork", "engagement", "independence", "objectivity",
+    "skepticism", "governance", "oversight", "segregation", "authorization", "custody",
+    "reconcile", "vouching", "tracing", "confirmation", "observation", "inquiry",
+    "recalculation", "reperformance", "benchmark", "threshold", "tolerance", "deficiency",
+    "remediation", "escalation", "mitigation", "residual", "inherent", "detective",
+    "preventive", "corrective", "taxonomy", "framework", "criteria", "scoping", "rollforward",
+    "interim", "yearend", "subledger", "checklist", "certification", "accreditation",
+    "nonconformity", "conformity", "surveillance", "recertification", "competence",
+    "traceability", "calibration", "validation", "qualification", "documentation",
+];
+
+/// Audit acronyms and their expansions — the paper's PDCA example (§I).
+pub static AUDIT_ACRONYMS: &[(&str, &str)] = &[
+    ("pdca", "plan do check act"),
+    ("ics", "internal control system"),
+    ("sox", "sarbanes oxley act"),
+    ("gaap", "generally accepted accounting principles"),
+    ("ifrs", "international financial reporting standards"),
+    ("kpi", "key performance indicator"),
+    ("coso", "committee of sponsoring organizations"),
+    ("cia", "certified internal auditor"),
+    ("erm", "enterprise risk management"),
+    ("itgc", "information technology general controls"),
+    ("soc", "service organization control"),
+    ("qms", "quality management system"),
+];
+
+/// General-purpose synonym groups the simulated WordNet / pre-trained
+/// model agree on. Each group's members embed close to each other.
+pub static SYNONYM_GROUPS: &[&[&str]] = &[
+    &["big", "large", "huge"],
+    &["movie", "film", "picture"],
+    &["rise", "increase", "grow"],
+    &["fall", "decrease", "drop", "decline"],
+    &["great", "excellent", "superb"],
+    &["terrible", "awful", "horrible"],
+    &["fast", "quick", "rapid"],
+    &["slow", "sluggish"],
+    &["famous", "renowned", "celebrated"],
+    &["begin", "start", "commence"],
+    &["end", "finish", "conclude"],
+    &["show", "display", "exhibit"],
+    &["say", "state", "declare"],
+    &["wrong", "false", "incorrect"],
+    &["right", "true", "correct"],
+    &["sick", "ill", "unwell"],
+    &["doctor", "physician"],
+    &["country", "nation"],
+    &["city", "town"],
+    &["money", "cash", "funds"],
+    &["job", "work", "employment"],
+    &["house", "home", "residence"],
+    &["car", "automobile", "vehicle"],
+    &["child", "kid", "youngster"],
+    &["old", "ancient", "aged"],
+    &["new", "recent", "modern"],
+    &["happy", "glad", "joyful"],
+    &["sad", "unhappy", "sorrowful"],
+    &["angry", "furious", "mad"],
+    &["scared", "afraid", "frightened"],
+    &["smart", "clever", "intelligent"],
+    &["funny", "humorous", "comical"],
+    &["scary", "frightening", "terrifying"],
+    &["love", "adore", "cherish"],
+    &["hate", "despise", "loathe"],
+    &["check", "verify", "examine"],
+    &["plan", "scheme", "blueprint"],
+    &["report", "account", "statement"],
+    &["number", "figure", "count"],
+    &["death", "fatality", "demise"],
+];
+
+/// Deterministic pseudo-random index helper used by the synthetic
+/// generators: hashes `(seed, i)` into `0..bound`.
+pub fn pick(seed: u64, i: u64, bound: usize) -> usize {
+    debug_assert!(bound > 0);
+    let mut x = seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    ((x ^ (x >> 31)) % bound as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn pools_are_nonempty_and_unique() {
+        for (name, pool) in [
+            ("nouns", GENERIC_NOUNS),
+            ("verbs", GENERIC_VERBS),
+            ("adjs", GENERIC_ADJS),
+            ("first", FIRST_NAMES),
+            ("last", LAST_NAMES),
+            ("titles", TITLE_WORDS),
+            ("countries", COUNTRIES),
+            ("audit", AUDIT_TERMS),
+        ] {
+            assert!(pool.len() >= 40, "{name} too small: {}", pool.len());
+            let set: HashSet<_> = pool.iter().collect();
+            assert_eq!(set.len(), pool.len(), "{name} has duplicates");
+        }
+    }
+
+    #[test]
+    fn all_words_lowercase_single_token() {
+        for pool in [GENERIC_NOUNS, FIRST_NAMES, LAST_NAMES, AUDIT_TERMS, COUNTRIES] {
+            for w in pool {
+                assert!(
+                    w.chars().all(|c| c.is_ascii_lowercase()),
+                    "{w} must be lowercase single token"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn synonym_groups_are_disjoint() {
+        let mut seen = HashSet::new();
+        for group in SYNONYM_GROUPS {
+            assert!(group.len() >= 2);
+            for w in *group {
+                assert!(seen.insert(*w), "{w} appears in two synonym groups");
+            }
+        }
+    }
+
+    #[test]
+    fn acronyms_expand_to_multiword() {
+        for (a, exp) in AUDIT_ACRONYMS {
+            assert!(a.len() <= 5);
+            assert!(exp.split(' ').count() >= 2, "{a} expansion too short");
+        }
+    }
+
+    #[test]
+    fn pick_is_deterministic_and_in_bounds() {
+        for i in 0..100 {
+            let a = pick(42, i, 7);
+            let b = pick(42, i, 7);
+            assert_eq!(a, b);
+            assert!(a < 7);
+        }
+        // Different seeds give different sequences (overwhelmingly likely).
+        let s1: Vec<usize> = (0..20).map(|i| pick(1, i, 1000)).collect();
+        let s2: Vec<usize> = (0..20).map(|i| pick(2, i, 1000)).collect();
+        assert_ne!(s1, s2);
+    }
+}

@@ -1,0 +1,135 @@
+//! Synthetic WordNet: synonym sets over the shared lexicon.
+//!
+//! Used (a) as an expansion resource for concept-heavy corpora and (b) as
+//! the synonym dictionary that calibrates the merging threshold γ (§II-C:
+//! "we use a list of 17K synonym terms from WordNet and define γ as the
+//! average cosine similarity between their vectors").
+
+use std::collections::HashMap;
+
+use tdmatch_text::stem::stem;
+
+use crate::{KnowledgeBase, Relation};
+
+/// A synonym dictionary keyed by stemmed surface form (graph node labels
+/// are stemmed, so lookups must be too).
+#[derive(Debug, Clone, Default)]
+pub struct SyntheticWordNet {
+    /// stemmed word → stemmed synonyms (excluding itself).
+    synonyms: HashMap<String, Vec<String>>,
+    /// Unstemmed synonym pairs, for γ calibration.
+    pairs: Vec<(String, String)>,
+}
+
+impl SyntheticWordNet {
+    /// Builds a WordNet from explicit synonym groups.
+    pub fn from_groups<S: AsRef<str>>(groups: &[Vec<S>]) -> Self {
+        let mut wn = SyntheticWordNet::default();
+        for group in groups {
+            let stems: Vec<String> = group.iter().map(|w| stem(w.as_ref())).collect();
+            for (i, s) in stems.iter().enumerate() {
+                let others: Vec<String> = stems
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, o)| j != i && o != s)
+                    .map(|(_, o)| o.clone())
+                    .collect();
+                wn.synonyms.entry(s.clone()).or_default().extend(others);
+            }
+            for i in 0..group.len() {
+                for j in i + 1..group.len() {
+                    wn.pairs.push((
+                        group[i].as_ref().to_string(),
+                        group[j].as_ref().to_string(),
+                    ));
+                }
+            }
+        }
+        for syns in wn.synonyms.values_mut() {
+            syns.sort();
+            syns.dedup();
+        }
+        wn
+    }
+
+    /// The standard WordNet over [`crate::lexicon::SYNONYM_GROUPS`].
+    pub fn standard() -> Self {
+        let groups: Vec<Vec<&str>> = crate::lexicon::SYNONYM_GROUPS
+            .iter()
+            .map(|g| g.to_vec())
+            .collect();
+        Self::from_groups(&groups)
+    }
+
+    /// Stemmed synonyms of a (stemmed or raw) word.
+    pub fn synonyms(&self, word: &str) -> &[String] {
+        self.synonyms
+            .get(word)
+            .or_else(|| self.synonyms.get(&stem(word)))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// All unstemmed synonym pairs, for threshold calibration.
+    pub fn synonym_pairs(&self) -> &[(String, String)] {
+        &self.pairs
+    }
+}
+
+impl KnowledgeBase for SyntheticWordNet {
+    fn relations(&self, term: &str) -> Vec<Relation> {
+        self.synonyms(term)
+            .iter()
+            .map(|s| Relation::new("synonym", s.clone()))
+            .collect()
+    }
+
+    fn subject_count(&self) -> usize {
+        self.synonyms.len()
+    }
+
+    fn name(&self) -> &str {
+        "wordnet"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_covers_lexicon_groups() {
+        let wn = SyntheticWordNet::standard();
+        assert!(!wn.synonyms("big").is_empty());
+        assert!(wn.synonyms("big").contains(&"larg".to_string())); // stemmed "large"
+    }
+
+    #[test]
+    fn lookup_works_on_raw_and_stemmed_forms() {
+        let wn = SyntheticWordNet::from_groups(&[vec!["increase", "grow"]]);
+        // "increase" stems to "increas".
+        assert!(!wn.synonyms("increas").is_empty());
+        assert!(!wn.synonyms("increase").is_empty());
+    }
+
+    #[test]
+    fn pairs_enumerate_group_combinations() {
+        let wn = SyntheticWordNet::from_groups(&[vec!["a1", "a2", "a3"]]);
+        assert_eq!(wn.synonym_pairs().len(), 3);
+    }
+
+    #[test]
+    fn unknown_word_has_no_synonyms() {
+        let wn = SyntheticWordNet::standard();
+        assert!(wn.synonyms("zzzzz").is_empty());
+        assert!(wn.relations("zzzzz").is_empty());
+    }
+
+    #[test]
+    fn kb_interface_reports_relations() {
+        let wn = SyntheticWordNet::from_groups(&[vec!["movie", "film"]]);
+        let rels = wn.relations("movie");
+        assert_eq!(rels.len(), 1);
+        assert_eq!(rels[0].predicate, "synonym");
+    }
+}

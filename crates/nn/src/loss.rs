@@ -1,0 +1,71 @@
+//! Loss helpers.
+
+/// Numerically stable sigmoid.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Sigmoid cross-entropy loss for one logit/target pair (target ∈ {0,1}).
+#[inline]
+pub fn bce_with_logits(logit: f32, target: f32) -> f32 {
+    // max(x,0) - x*z + ln(1 + e^{-|x|})  (TensorFlow's stable form)
+    logit.max(0.0) - logit * target + (1.0 + (-logit.abs()).exp()).ln()
+}
+
+/// Gradient of [`bce_with_logits`] w.r.t. the logit: `σ(x) − z`.
+#[inline]
+pub fn bce_grad(logit: f32, target: f32) -> f32 {
+    sigmoid(logit) - target
+}
+
+/// Softmax over logits (stable), returning probabilities.
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&x| (x - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum.max(f32::MIN_POSITIVE)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_symmetry_and_bounds() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-6);
+        assert!((sigmoid(10.0) - 1.0).abs() < 1e-4);
+        assert!(sigmoid(-10.0) < 1e-4);
+        assert!((sigmoid(3.0) + sigmoid(-3.0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bce_matches_naive_formula() {
+        for (x, z) in [(0.5f32, 1.0f32), (-2.0, 0.0), (3.0, 1.0), (-1.0, 1.0)] {
+            let p = sigmoid(x);
+            let naive = -(z * p.ln() + (1.0 - z) * (1.0 - p).ln());
+            assert!((bce_with_logits(x, z) - naive).abs() < 1e-5, "x={x} z={z}");
+        }
+    }
+
+    #[test]
+    fn bce_grad_sign() {
+        assert!(bce_grad(2.0, 0.0) > 0.0);
+        assert!(bce_grad(-2.0, 1.0) < 0.0);
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+        // Stability under large logits.
+        let p = softmax(&[1000.0, 1000.0]);
+        assert!((p[0] - 0.5).abs() < 1e-6);
+    }
+}

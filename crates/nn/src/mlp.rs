@@ -1,0 +1,356 @@
+//! Multi-layer perceptron with ReLU hidden layers and Adam training.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+use crate::loss::{bce_grad, sigmoid};
+
+/// One fully-connected layer with Adam moment buffers.
+#[derive(Debug, Clone)]
+struct Dense {
+    in_dim: usize,
+    out_dim: usize,
+    w: Vec<f32>,
+    b: Vec<f32>,
+    // Adam state.
+    mw: Vec<f32>,
+    vw: Vec<f32>,
+    mb: Vec<f32>,
+    vb: Vec<f32>,
+}
+
+impl Dense {
+    fn new(in_dim: usize, out_dim: usize, rng: &mut SmallRng) -> Self {
+        // He initialization for ReLU nets.
+        let scale = (2.0 / in_dim as f32).sqrt();
+        let w = (0..in_dim * out_dim)
+            .map(|_| (rng.random::<f32>() * 2.0 - 1.0) * scale)
+            .collect();
+        Self {
+            in_dim,
+            out_dim,
+            w,
+            b: vec![0.0; out_dim],
+            mw: vec![0.0; in_dim * out_dim],
+            vw: vec![0.0; in_dim * out_dim],
+            mb: vec![0.0; out_dim],
+            vb: vec![0.0; out_dim],
+        }
+    }
+
+    /// `out = W·x + b`.
+    fn forward(&self, x: &[f32], out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(self.out_dim);
+        for o in 0..self.out_dim {
+            let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
+            let mut acc = self.b[o];
+            for (wi, xi) in row.iter().zip(x) {
+                acc += wi * xi;
+            }
+            out.push(acc);
+        }
+    }
+}
+
+/// Adam hyper-parameters and step counter.
+#[derive(Debug, Clone)]
+struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+}
+
+impl Adam {
+    fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+        }
+    }
+
+    #[inline]
+    fn update(&self, p: &mut f32, m: &mut f32, v: &mut f32, g: f32) {
+        *m = self.beta1 * *m + (1.0 - self.beta1) * g;
+        *v = self.beta2 * *v + (1.0 - self.beta2) * g * g;
+        let mh = *m / (1.0 - self.beta1.powi(self.t as i32));
+        let vh = *v / (1.0 - self.beta2.powi(self.t as i32));
+        *p -= self.lr * mh / (vh.sqrt() + self.eps);
+    }
+}
+
+/// Training configuration for [`Mlp::fit_sigmoid`].
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Passes over the training set.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Shuffle/ init seed.
+    pub seed: u64,
+    /// L2 weight decay (applied to weights, not biases).
+    pub l2: f32,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 30,
+            lr: 1e-3,
+            seed: 42,
+            l2: 1e-5,
+        }
+    }
+}
+
+/// A ReLU MLP with linear output logits.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+    adam: Adam,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer sizes, e.g. `[in, hidden, out]`.
+    pub fn new(dims: &[usize], seed: u64) -> Self {
+        assert!(dims.len() >= 2, "need at least input and output dims");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let layers = dims
+            .windows(2)
+            .map(|w| Dense::new(w[0], w[1], &mut rng))
+            .collect();
+        Self {
+            layers,
+            adam: Adam::new(1e-3),
+        }
+    }
+
+    /// Output (logit) dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.layers.first().expect("non-empty").in_dim
+    }
+
+    /// Forward pass returning raw logits.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        let mut cur = x.to_vec();
+        let mut next = Vec::new();
+        for (li, layer) in self.layers.iter().enumerate() {
+            layer.forward(&cur, &mut next);
+            if li + 1 < self.layers.len() {
+                for v in &mut next {
+                    *v = v.max(0.0); // ReLU on hidden layers
+                }
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+        cur
+    }
+
+    /// Forward pass keeping every layer's post-activation output (the
+    /// first entry is the input itself).
+    fn forward_cached(&self, x: &[f32]) -> Vec<Vec<f32>> {
+        let mut acts = Vec::with_capacity(self.layers.len() + 1);
+        acts.push(x.to_vec());
+        for (li, layer) in self.layers.iter().enumerate() {
+            let mut out = Vec::new();
+            layer.forward(acts.last().expect("non-empty"), &mut out);
+            if li + 1 < self.layers.len() {
+                for v in &mut out {
+                    *v = v.max(0.0);
+                }
+            }
+            acts.push(out);
+        }
+        acts
+    }
+
+    /// One backpropagation + Adam step given the gradient of the loss
+    /// w.r.t. the output logits. Returns nothing; updates parameters.
+    // Index loops: rows are manual `o * in_dim` slices of flat weight
+    // buffers; iterator chains here obscure the addressing.
+    #[allow(clippy::needless_range_loop)]
+    pub fn train_step(&mut self, x: &[f32], dlogits: &[f32], lr: f32, l2: f32) {
+        self.adam.lr = lr;
+        self.adam.t += 1;
+        let acts = self.forward_cached(x);
+        let mut delta = dlogits.to_vec();
+        for li in (0..self.layers.len()).rev() {
+            let input = &acts[li];
+            // Propagate first (needs current weights), then update.
+            let mut dinput = vec![0.0f32; self.layers[li].in_dim];
+            {
+                let layer = &self.layers[li];
+                for o in 0..layer.out_dim {
+                    let row = &layer.w[o * layer.in_dim..(o + 1) * layer.in_dim];
+                    let d = delta[o];
+                    for (di, wi) in dinput.iter_mut().zip(row) {
+                        *di += d * wi;
+                    }
+                }
+            }
+            // ReLU derivative for hidden layers: gradient flows only where
+            // the activation was positive.
+            if li > 0 {
+                for (di, &a) in dinput.iter_mut().zip(&acts[li]) {
+                    if a <= 0.0 {
+                        *di = 0.0;
+                    }
+                }
+            }
+            let layer = &mut self.layers[li];
+            for o in 0..layer.out_dim {
+                let d = delta[o];
+                let base = o * layer.in_dim;
+                for i in 0..layer.in_dim {
+                    let g = d * input[i] + l2 * layer.w[base + i];
+                    self.adam.update(
+                        &mut layer.w[base + i],
+                        &mut layer.mw[base + i],
+                        &mut layer.vw[base + i],
+                        g,
+                    );
+                }
+                self.adam
+                    .update(&mut layer.b[o], &mut layer.mb[o], &mut layer.vb[o], d);
+            }
+            delta = dinput;
+        }
+    }
+
+    /// Trains with sigmoid cross-entropy on (multi-)binary targets.
+    /// `data` pairs each input with a target vector of the output arity.
+    pub fn fit_sigmoid(&mut self, data: &[(Vec<f32>, Vec<f32>)], cfg: &TrainConfig) {
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        for _ in 0..cfg.epochs {
+            order.shuffle(&mut rng);
+            for &i in &order {
+                let (x, y) = &data[i];
+                let logits = self.forward(x);
+                let dlogits: Vec<f32> = logits
+                    .iter()
+                    .zip(y)
+                    .map(|(&l, &t)| bce_grad(l, t))
+                    .collect();
+                self.train_step(x, &dlogits, cfg.lr, cfg.l2);
+            }
+        }
+    }
+
+    /// Sigmoid probabilities for each output.
+    pub fn predict_sigmoid(&self, x: &[f32]) -> Vec<f32> {
+        self.forward(x).into_iter().map(sigmoid).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// XOR — the classic non-linear sanity check.
+    #[test]
+    fn learns_xor() {
+        let data: Vec<(Vec<f32>, Vec<f32>)> = vec![
+            (vec![0.0, 0.0], vec![0.0]),
+            (vec![0.0, 1.0], vec![1.0]),
+            (vec![1.0, 0.0], vec![1.0]),
+            (vec![1.0, 1.0], vec![0.0]),
+        ];
+        let mut mlp = Mlp::new(&[2, 16, 1], 7);
+        mlp.fit_sigmoid(
+            &data,
+            &TrainConfig {
+                epochs: 800,
+                lr: 5e-3,
+                ..Default::default()
+            },
+        );
+        for (x, y) in &data {
+            let p = mlp.predict_sigmoid(x)[0];
+            assert!(
+                (p - y[0]).abs() < 0.3,
+                "xor({x:?}) predicted {p}, want {}",
+                y[0]
+            );
+        }
+    }
+
+    #[test]
+    fn learns_linear_separation_fast() {
+        // y = 1 iff x0 > x1.
+        let mut data = Vec::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let a = rng.random::<f32>();
+            let b = rng.random::<f32>();
+            data.push((vec![a, b], vec![if a > b { 1.0 } else { 0.0 }]));
+        }
+        let mut mlp = Mlp::new(&[2, 8, 1], 3);
+        mlp.fit_sigmoid(
+            &data,
+            &TrainConfig {
+                epochs: 60,
+                lr: 5e-3,
+                ..Default::default()
+            },
+        );
+        let correct = data
+            .iter()
+            .filter(|(x, y)| (mlp.predict_sigmoid(x)[0] > 0.5) == (y[0] > 0.5))
+            .count();
+        assert!(correct >= 180, "accuracy {correct}/200");
+    }
+
+    #[test]
+    fn multilabel_outputs_are_independent() {
+        // Output 0 mirrors x0; output 1 mirrors x1.
+        let mut data = Vec::new();
+        for a in [0.0f32, 1.0] {
+            for b in [0.0f32, 1.0] {
+                data.push((vec![a, b], vec![a, b]));
+            }
+        }
+        let mut mlp = Mlp::new(&[2, 12, 2], 5);
+        mlp.fit_sigmoid(
+            &data,
+            &TrainConfig {
+                epochs: 500,
+                lr: 5e-3,
+                ..Default::default()
+            },
+        );
+        let p = mlp.predict_sigmoid(&[1.0, 0.0]);
+        assert!(p[0] > 0.6 && p[1] < 0.4, "p = {p:?}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let data = vec![(vec![0.3, 0.7], vec![1.0])];
+        let mut a = Mlp::new(&[2, 4, 1], 9);
+        let mut b = Mlp::new(&[2, 4, 1], 9);
+        let cfg = TrainConfig {
+            epochs: 5,
+            ..Default::default()
+        };
+        a.fit_sigmoid(&data, &cfg);
+        b.fit_sigmoid(&data, &cfg);
+        assert_eq!(a.forward(&[0.1, 0.2]), b.forward(&[0.1, 0.2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn rejects_degenerate_shape() {
+        let _ = Mlp::new(&[3], 0);
+    }
+}

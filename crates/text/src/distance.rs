@@ -1,0 +1,93 @@
+//! String similarity measures.
+//!
+//! Used by the typo-oriented merging ablation (CoronaCheck user sentences
+//! contain misspelled country names, §V-F2) and extensively in tests.
+
+/// Levenshtein edit distance between two strings (character-level).
+///
+/// ```
+/// use tdmatch_text::distance::levenshtein;
+/// assert_eq!(levenshtein("kitten", "sitting"), 3);
+/// assert_eq!(levenshtein("", "abc"), 3);
+/// ```
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    // Single-row DP; prev = row for a[..i], cur built for a[..i+1].
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Normalized Levenshtein similarity in `[0, 1]`: `1 - d / max_len`.
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+/// Jaccard similarity between two token sets.
+pub fn jaccard<'a, I, J>(a: I, b: J) -> f64
+where
+    I: IntoIterator<Item = &'a str>,
+    J: IntoIterator<Item = &'a str>,
+{
+    use std::collections::HashSet;
+    let sa: HashSet<&str> = a.into_iter().collect();
+    let sb: HashSet<&str> = b.into_iter().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    let union = sa.len() + sb.len() - inter;
+    inter as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("abc", "abd"), 1);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("", ""), 0);
+    }
+
+    #[test]
+    fn levenshtein_symmetry() {
+        assert_eq!(levenshtein("spain", "sapin"), levenshtein("sapin", "spain"));
+    }
+
+    #[test]
+    fn similarity_bounds() {
+        let s = levenshtein_similarity("germany", "germny");
+        assert!(s > 0.8 && s < 1.0, "typo similarity {s}");
+        assert_eq!(levenshtein_similarity("", ""), 1.0);
+        assert_eq!(levenshtein_similarity("a", "b"), 0.0);
+    }
+
+    #[test]
+    fn jaccard_basics() {
+        assert_eq!(jaccard(["a", "b"], ["a", "b"]), 1.0);
+        assert_eq!(jaccard(["a"], ["b"]), 0.0);
+        assert!((jaccard(["a", "b", "c"], ["b", "c", "d"]) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,28 @@
+//! Text preprocessing substrate for TDmatch.
+//!
+//! The paper (§II) pre-processes every corpus before graph creation:
+//! tokenization, stop-word removal and stemming turn raw cell values and
+//! sentences into *terms*; a term may span several tokens (§II-D handles
+//! multi-token terms with n-grams up to `n = 3`).
+//!
+//! This crate provides all of those pieces from scratch:
+//!
+//! * [`mod@tokenize`] — lower-casing, punctuation-aware word splitting;
+//! * [`stopwords`] — a built-in English stop-word list;
+//! * [`stem`] — a full Porter stemmer;
+//! * [`ngrams`] — contiguous n-gram term generation;
+//! * [`normalize`] — numeric detection/parsing used by the bucketing merge;
+//! * [`distance`] — Levenshtein and Jaccard similarities used in tests and
+//!   typo-oriented merging;
+//! * [`preprocess`] — the end-to-end [`preprocess::Preprocessor`] pipeline.
+
+pub mod distance;
+pub mod ngrams;
+pub mod normalize;
+pub mod preprocess;
+pub mod stem;
+pub mod stopwords;
+pub mod tokenize;
+
+pub use preprocess::{PreprocessOptions, Preprocessor};
+pub use tokenize::tokenize;

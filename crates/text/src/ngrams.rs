@@ -1,0 +1,96 @@
+//! Contiguous n-gram term generation (§II-D).
+//!
+//! A cell value such as *The Sixth Sense* must not be lost by splitting it
+//! into single-word nodes, nor be kept only as a monolithic value that never
+//! overlaps with review text. The paper's solution generates all n-grams
+//! for `n = 1..=max_n` so that *The Sixth Sense* yields `Six`, `Sense`,
+//! `The Six`, `Six Sense`, and `The Six Sense` as data nodes. The default
+//! `max_n = 3` was chosen by profiling Wikipedia titles (99 % have at most
+//! three tokens).
+
+/// Default maximum n-gram order, per §II-D.
+pub const DEFAULT_MAX_N: usize = 3;
+
+/// Generates all contiguous n-grams of `tokens` for `n = 1..=max_n`,
+/// joining tokens with a single space.
+///
+/// ```
+/// use tdmatch_text::ngrams::ngrams;
+/// let toks = vec!["six".into(), "sense".into()];
+/// assert_eq!(ngrams(&toks, 2), vec!["six", "sense", "six sense"]);
+/// ```
+pub fn ngrams(tokens: &[String], max_n: usize) -> Vec<String> {
+    let max_n = max_n.max(1);
+    let mut out = Vec::with_capacity(tokens.len() * max_n);
+    for n in 1..=max_n {
+        if n > tokens.len() {
+            break;
+        }
+        for window in tokens.windows(n) {
+            out.push(window.join(" "));
+        }
+    }
+    out
+}
+
+/// Exact number of n-grams [`ngrams`] will produce without generating them.
+pub fn ngram_count(token_count: usize, max_n: usize) -> usize {
+    let max_n = max_n.max(1).min(token_count);
+    (1..=max_n).map(|n| token_count + 1 - n).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(words: &[&str]) -> Vec<String> {
+        words.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn paper_example_trigram_expansion() {
+        // "The Sixth Sense" stems to ["the","sixth","sense"]; the paper's
+        // running example uses "The Six Sense" after stemming — five nodes
+        // once "the" survives pre-stop-word removal. We check the counts.
+        let t = toks(&["the", "six", "sense"]);
+        let grams = ngrams(&t, 3);
+        assert_eq!(
+            grams,
+            vec!["the", "six", "sense", "the six", "six sense", "the six sense"]
+        );
+    }
+
+    #[test]
+    fn unigrams_only() {
+        let t = toks(&["a", "b", "c"]);
+        assert_eq!(ngrams(&t, 1), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn max_n_longer_than_input() {
+        let t = toks(&["solo"]);
+        assert_eq!(ngrams(&t, 5), vec!["solo"]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(ngrams(&[], 3).is_empty());
+        assert_eq!(ngram_count(0, 3), 0);
+    }
+
+    #[test]
+    fn count_matches_generation() {
+        for len in 0..6 {
+            for n in 1..5 {
+                let t: Vec<String> = (0..len).map(|i| format!("w{i}")).collect();
+                assert_eq!(ngrams(&t, n).len(), ngram_count(len, n), "len={len} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_max_n_behaves_as_one() {
+        let t = toks(&["a", "b"]);
+        assert_eq!(ngrams(&t, 0), vec!["a", "b"]);
+    }
+}

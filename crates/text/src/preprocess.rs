@@ -1,0 +1,142 @@
+//! End-to-end pre-processing pipeline (§II).
+//!
+//! Turns raw text (a sentence, a paragraph, a cell value) into the list of
+//! *terms* that become data nodes: tokenize → drop stop words → stem →
+//! generate n-grams. Stemming is applied per token *before* n-gram
+//! formation so that multi-token terms are built over stemmed forms
+//! ("The Sixth Sense" → "the six sens" n-grams), maximizing overlap across
+//! corpora.
+
+use crate::ngrams::{ngrams, DEFAULT_MAX_N};
+use crate::stem::stem;
+use crate::stopwords::is_stopword;
+use crate::tokenize::tokenize;
+
+/// Configuration of the pre-processing pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PreprocessOptions {
+    /// Remove stop words before stemming. Paper default: on.
+    pub remove_stopwords: bool,
+    /// Apply Porter stemming (one of the §II-C merge techniques). Default on.
+    pub stem: bool,
+    /// Maximum n-gram order for multi-token terms (§II-D). Default 3.
+    pub max_ngram: usize,
+}
+
+impl Default for PreprocessOptions {
+    fn default() -> Self {
+        Self {
+            remove_stopwords: true,
+            stem: true,
+            max_ngram: DEFAULT_MAX_N,
+        }
+    }
+}
+
+/// A reusable pre-processor. Stateless; cheap to clone.
+#[derive(Debug, Clone, Default)]
+pub struct Preprocessor {
+    options: PreprocessOptions,
+}
+
+impl Preprocessor {
+    /// Creates a pre-processor with the given options.
+    pub fn new(options: PreprocessOptions) -> Self {
+        Self { options }
+    }
+
+    /// The options this pre-processor was built with.
+    pub fn options(&self) -> &PreprocessOptions {
+        &self.options
+    }
+
+    /// Produces the base (unigram) tokens of `text` after stop-word removal
+    /// and stemming. This is the token stream used for filtering decisions.
+    pub fn base_tokens(&self, text: &str) -> Vec<String> {
+        let mut toks = tokenize(text);
+        if self.options.remove_stopwords {
+            toks.retain(|t| !is_stopword(t));
+        }
+        if self.options.stem {
+            for t in &mut toks {
+                *t = stem(t);
+            }
+        }
+        toks
+    }
+
+    /// Produces all terms (n-grams over the base tokens) of `text`.
+    ///
+    /// ```
+    /// use tdmatch_text::{Preprocessor, PreprocessOptions};
+    /// let p = Preprocessor::new(PreprocessOptions { max_ngram: 2, ..Default::default() });
+    /// let terms = p.terms("The Sixth Sense");
+    /// assert!(terms.contains(&"sixth sens".to_string()));
+    /// ```
+    pub fn terms(&self, text: &str) -> Vec<String> {
+        let base = self.base_tokens(text);
+        ngrams(&base, self.options.max_ngram)
+    }
+
+    /// Terms of a whole document given as multiple fields (e.g. a tuple's
+    /// cells): n-grams never cross field boundaries.
+    pub fn terms_of_fields<'a, I: IntoIterator<Item = &'a str>>(&self, fields: I) -> Vec<String> {
+        let mut out = Vec::new();
+        for field in fields {
+            out.extend(self.terms(field));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_pipeline_stems_and_filters() {
+        let p = Preprocessor::default();
+        let toks = p.base_tokens("The planning of the audits");
+        assert_eq!(toks, vec!["plan", "audit"]);
+    }
+
+    #[test]
+    fn stopword_removal_can_be_disabled() {
+        let p = Preprocessor::new(PreprocessOptions {
+            remove_stopwords: false,
+            stem: false,
+            max_ngram: 1,
+        });
+        assert_eq!(p.terms("the cat"), vec!["the", "cat"]);
+    }
+
+    #[test]
+    fn ngrams_do_not_cross_fields() {
+        let p = Preprocessor::new(PreprocessOptions {
+            remove_stopwords: false,
+            stem: false,
+            max_ngram: 2,
+        });
+        let terms = p.terms_of_fields(["alpha", "beta"]);
+        assert_eq!(terms, vec!["alpha", "beta"]);
+        let joined = p.terms("alpha beta");
+        assert!(joined.contains(&"alpha beta".to_string()));
+    }
+
+    #[test]
+    fn paper_merge_example() {
+        // §II-C: stemming merges "planning" (paragraph) with "Plan"
+        // (taxonomy node "Plan Do Check Act Steps").
+        let p = Preprocessor::default();
+        let a = p.base_tokens("planning");
+        let b = p.base_tokens("Plan Do Check Act Steps");
+        assert!(b.contains(&a[0]));
+    }
+
+    #[test]
+    fn empty_text() {
+        let p = Preprocessor::default();
+        assert!(p.terms("").is_empty());
+        assert!(p.terms("the of and").is_empty());
+    }
+}

@@ -1,0 +1,375 @@
+//! Porter stemming algorithm (Porter, 1980), implemented from scratch.
+//!
+//! Stemming is one of TDmatch's node-merging techniques (§II-C): it merges
+//! different forms of a word — e.g. *planning* from a paragraph with *Plan*
+//! from the taxonomy node "Plan Do Check Act Steps" — so that both documents
+//! share a single data node in the graph.
+//!
+//! This is a faithful implementation of the original five-step algorithm,
+//! operating on ASCII lower-case words; non-ASCII words are returned
+//! unchanged (the synthetic corpora are ASCII).
+
+/// Stems a single lower-case word with the Porter algorithm.
+///
+/// ```
+/// use tdmatch_text::stem::stem;
+/// assert_eq!(stem("planning"), "plan");
+/// assert_eq!(stem("relational"), "relat");
+/// assert_eq!(stem("caresses"), "caress");
+/// ```
+pub fn stem(word: &str) -> String {
+    if word.len() <= 2 || !word.bytes().all(|b| b.is_ascii_lowercase()) {
+        return word.to_string();
+    }
+    let mut w: Vec<u8> = word.as_bytes().to_vec();
+    step1a(&mut w);
+    step1b(&mut w);
+    step1c(&mut w);
+    step2(&mut w);
+    step3(&mut w);
+    step4(&mut w);
+    step5a(&mut w);
+    step5b(&mut w);
+    // SAFETY-free: built from ASCII bytes only.
+    String::from_utf8(w).expect("porter stemmer operates on ascii")
+}
+
+/// True if `w[i]` acts as a consonant in Porter's definition.
+fn is_consonant(w: &[u8], i: usize) -> bool {
+    match w[i] {
+        b'a' | b'e' | b'i' | b'o' | b'u' => false,
+        b'y' => {
+            if i == 0 {
+                true
+            } else {
+                !is_consonant(w, i - 1)
+            }
+        }
+        _ => true,
+    }
+}
+
+/// Porter's *measure* m of the stem `w[..len]`: the number of VC sequences.
+fn measure(w: &[u8], len: usize) -> usize {
+    let mut m = 0;
+    let mut i = 0;
+    // Skip initial consonants.
+    while i < len && is_consonant(w, i) {
+        i += 1;
+    }
+    loop {
+        // Skip vowels.
+        while i < len && !is_consonant(w, i) {
+            i += 1;
+        }
+        if i >= len {
+            return m;
+        }
+        // Skip consonants — one full VC block seen.
+        while i < len && is_consonant(w, i) {
+            i += 1;
+        }
+        m += 1;
+    }
+}
+
+/// True if the stem `w[..len]` contains a vowel.
+fn has_vowel(w: &[u8], len: usize) -> bool {
+    (0..len).any(|i| !is_consonant(w, i))
+}
+
+/// True if `w[..len]` ends with a double consonant.
+fn ends_double_consonant(w: &[u8], len: usize) -> bool {
+    len >= 2 && w[len - 1] == w[len - 2] && is_consonant(w, len - 1)
+}
+
+/// True if `w[..len]` ends consonant-vowel-consonant where the final
+/// consonant is not `w`, `x` or `y` (Porter's *o condition).
+fn ends_cvc(w: &[u8], len: usize) -> bool {
+    len >= 3
+        && is_consonant(w, len - 3)
+        && !is_consonant(w, len - 2)
+        && is_consonant(w, len - 1)
+        && !matches!(w[len - 1], b'w' | b'x' | b'y')
+}
+
+fn ends_with(w: &[u8], suffix: &str) -> bool {
+    w.len() >= suffix.len() && &w[w.len() - suffix.len()..] == suffix.as_bytes()
+}
+
+/// Replaces `suffix` with `repl` if the remaining stem has measure > `min_m`.
+/// Returns true if the suffix matched (even when the measure test failed).
+fn replace_if_m(w: &mut Vec<u8>, suffix: &str, repl: &str, min_m: usize) -> bool {
+    if !ends_with(w, suffix) {
+        return false;
+    }
+    let stem_len = w.len() - suffix.len();
+    if measure(w, stem_len) > min_m {
+        w.truncate(stem_len);
+        w.extend_from_slice(repl.as_bytes());
+    }
+    true
+}
+
+/// Step 1a: plurals. SSES→SS, IES→I, SS→SS, S→"".
+fn step1a(w: &mut Vec<u8>) {
+    if ends_with(w, "sses") || ends_with(w, "ies") {
+        let keep = w.len() - 2;
+        w.truncate(keep);
+    } else if ends_with(w, "s") && !ends_with(w, "ss") {
+        w.pop();
+    }
+}
+
+/// Step 1b: -ED and -ING, with cleanup of the exposed stem.
+fn step1b(w: &mut Vec<u8>) {
+    if ends_with(w, "eed") {
+        let stem_len = w.len() - 3;
+        if measure(w, stem_len) > 0 {
+            w.pop();
+        }
+        return;
+    }
+    let stripped = if ends_with(w, "ed") && has_vowel(w, w.len() - 2) {
+        w.truncate(w.len() - 2);
+        true
+    } else if ends_with(w, "ing") && has_vowel(w, w.len() - 3) {
+        w.truncate(w.len() - 3);
+        true
+    } else {
+        false
+    };
+    if stripped {
+        if ends_with(w, "at") || ends_with(w, "bl") || ends_with(w, "iz") {
+            w.push(b'e');
+        } else if ends_double_consonant(w, w.len())
+            && !matches!(w[w.len() - 1], b'l' | b's' | b'z')
+        {
+            w.pop();
+        } else if measure(w, w.len()) == 1 && ends_cvc(w, w.len()) {
+            w.push(b'e');
+        }
+    }
+}
+
+/// Step 1c: Y→I when the stem contains a vowel.
+fn step1c(w: &mut [u8]) {
+    let n = w.len();
+    if n > 1 && w[n - 1] == b'y' && has_vowel(w, n - 1) {
+        w[n - 1] = b'i';
+    }
+}
+
+/// Step 2: double→single suffixes when m > 0 (ational→ate, iveness→ive, …).
+fn step2(w: &mut Vec<u8>) {
+    const RULES: &[(&str, &str)] = &[
+        ("ational", "ate"),
+        ("tional", "tion"),
+        ("enci", "ence"),
+        ("anci", "ance"),
+        ("izer", "ize"),
+        ("abli", "able"),
+        ("alli", "al"),
+        ("entli", "ent"),
+        ("eli", "e"),
+        ("ousli", "ous"),
+        ("ization", "ize"),
+        ("ation", "ate"),
+        ("ator", "ate"),
+        ("alism", "al"),
+        ("iveness", "ive"),
+        ("fulness", "ful"),
+        ("ousness", "ous"),
+        ("aliti", "al"),
+        ("iviti", "ive"),
+        ("biliti", "ble"),
+    ];
+    for (suf, rep) in RULES {
+        if replace_if_m(w, suf, rep, 0) {
+            return;
+        }
+    }
+}
+
+/// Step 3: icate→ic, ative→"", alize→al, … when m > 0.
+fn step3(w: &mut Vec<u8>) {
+    const RULES: &[(&str, &str)] = &[
+        ("icate", "ic"),
+        ("ative", ""),
+        ("alize", "al"),
+        ("iciti", "ic"),
+        ("ical", "ic"),
+        ("ful", ""),
+        ("ness", ""),
+    ];
+    for (suf, rep) in RULES {
+        if replace_if_m(w, suf, rep, 0) {
+            return;
+        }
+    }
+}
+
+/// Step 4: drop derivational suffixes when m > 1.
+fn step4(w: &mut Vec<u8>) {
+    const RULES: &[&str] = &[
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent", "ou",
+        "ism", "ate", "iti", "ous", "ive", "ize",
+    ];
+    // "ion" needs the stem to end in s or t.
+    if ends_with(w, "ion") {
+        let stem_len = w.len() - 3;
+        if stem_len > 0
+            && matches!(w[stem_len - 1], b's' | b't')
+            && measure(w, stem_len) > 1
+        {
+            w.truncate(stem_len);
+            return;
+        }
+    }
+    for suf in RULES {
+        if ends_with(w, suf) {
+            let stem_len = w.len() - suf.len();
+            if measure(w, stem_len) > 1 {
+                w.truncate(stem_len);
+            }
+            return;
+        }
+    }
+}
+
+/// Step 5a: drop final E when m > 1, or m == 1 and not *o.
+fn step5a(w: &mut Vec<u8>) {
+    if ends_with(w, "e") {
+        let stem_len = w.len() - 1;
+        let m = measure(w, stem_len);
+        if m > 1 || (m == 1 && !ends_cvc(w, stem_len)) {
+            w.pop();
+        }
+    }
+}
+
+/// Step 5b: LL→L when m > 1.
+fn step5b(w: &mut Vec<u8>) {
+    if measure(w, w.len()) > 1 && ends_double_consonant(w, w.len()) && w[w.len() - 1] == b'l' {
+        w.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference vectors from Porter's published examples.
+    #[test]
+    fn porter_reference_vectors() {
+        let cases = [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            ("happy", "happi"),
+            ("sky", "sky"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("hesitanci", "hesit"),
+            ("digitizer", "digit"),
+            ("conformabli", "conform"),
+            ("radicalli", "radic"),
+            ("differentli", "differ"),
+            ("vileli", "vile"),
+            ("analogousli", "analog"),
+            ("vietnamization", "vietnam"),
+            ("predication", "predic"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("sensibiliti", "sensibl"),
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("gyroscopic", "gyroscop"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("homologou", "homolog"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ];
+        for (input, expected) in cases {
+            assert_eq!(stem(input), expected, "stem({input:?})");
+        }
+    }
+
+    #[test]
+    fn planning_merges_with_plan() {
+        // The paper's §II-C example.
+        assert_eq!(stem("planning"), stem("plan"));
+    }
+
+    #[test]
+    fn short_words_untouched() {
+        assert_eq!(stem("a"), "a");
+        assert_eq!(stem("be"), "be");
+    }
+
+    #[test]
+    fn non_ascii_untouched() {
+        assert_eq!(stem("café"), "café");
+        assert_eq!(stem("covid-19"), "covid-19");
+    }
+
+    #[test]
+    fn idempotent_on_many_words() {
+        for w in ["running", "relational", "audit", "auditing", "matches"] {
+            let once = stem(w);
+            let twice = stem(&once);
+            // Porter is not guaranteed idempotent in general, but it is on
+            // these everyday words — a regression canary.
+            assert_eq!(once, twice, "{w}");
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Built-in English stop-word list.
+//!
+//! The paper removes stop-words during pre-processing (§II). The list below
+//! is the classic Van Rijsbergen / SMART-style core set; it is compiled into
+//! a perfect-lookup sorted table so membership checks are allocation-free.
+
+/// Sorted list of stop words. Keep sorted: membership uses binary search.
+static STOPWORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "am", "an", "and", "any", "are",
+    "aren't", "as", "at", "be", "because", "been", "before", "being", "below", "between", "both",
+    "but", "by", "can", "cannot", "could", "couldn't", "did", "didn't", "do", "does", "doesn't",
+    "doing", "don't", "down", "during", "each", "few", "for", "from", "further", "had", "hadn't",
+    "has", "hasn't", "have", "haven't", "having", "he", "he'd", "he'll", "he's", "her", "here",
+    "here's", "hers", "herself", "him", "himself", "his", "how", "how's", "i", "i'd", "i'll",
+    "i'm", "i've", "if", "in", "into", "is", "isn't", "it", "it's", "its", "itself", "let's",
+    "me", "more", "most", "mustn't", "my", "myself", "no", "nor", "not", "of", "off", "on",
+    "once", "only", "or", "other", "ought", "our", "ours", "ourselves", "out", "over", "own",
+    "same", "shan't", "she", "she'd", "she'll", "she's", "should", "shouldn't", "so", "some",
+    "such", "than", "that", "that's", "the", "their", "theirs", "them", "themselves", "then",
+    "there", "there's", "these", "they", "they'd", "they'll", "they're", "they've", "this",
+    "those", "through", "to", "too", "under", "until", "up", "very", "was", "wasn't", "we",
+    "we'd", "we'll", "we're", "we've", "were", "weren't", "what", "what's", "when", "when's",
+    "where", "where's", "which", "while", "who", "who's", "whom", "why", "why's", "with",
+    "won't", "would", "wouldn't", "you", "you'd", "you'll", "you're", "you've", "your", "yours",
+    "yourself", "yourselves",
+];
+
+/// Returns `true` if `word` (already lower-cased) is an English stop word.
+///
+/// ```
+/// use tdmatch_text::stopwords::is_stopword;
+/// assert!(is_stopword("the"));
+/// assert!(!is_stopword("willis"));
+/// ```
+#[inline]
+pub fn is_stopword(word: &str) -> bool {
+    STOPWORDS.binary_search(&word).is_ok()
+}
+
+/// Removes stop words from a token sequence, preserving order.
+pub fn remove_stopwords(tokens: &mut Vec<String>) {
+    tokens.retain(|t| !is_stopword(t));
+}
+
+/// Number of stop words in the built-in list (for diagnostics).
+pub fn stopword_count() -> usize {
+    STOPWORDS.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_is_sorted_and_unique() {
+        for w in STOPWORDS.windows(2) {
+            assert!(w[0] < w[1], "{} !< {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn common_words_are_stopwords() {
+        for w in ["the", "a", "and", "is", "of", "with"] {
+            assert!(is_stopword(w), "{w} should be a stopword");
+        }
+    }
+
+    #[test]
+    fn content_words_are_not() {
+        for w in ["movie", "audit", "tarantino", "pulp", "fiction"] {
+            assert!(!is_stopword(w));
+        }
+    }
+
+    #[test]
+    fn removal_preserves_order() {
+        let mut toks: Vec<String> = ["the", "sixth", "sense", "is", "great"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        remove_stopwords(&mut toks);
+        assert_eq!(toks, vec!["sixth", "sense", "great"]);
+    }
+}

@@ -1,0 +1,171 @@
+//! Word tokenization.
+//!
+//! TDmatch treats tokens as the atoms of data nodes. Tokenization is
+//! deliberately simple and deterministic: lower-case everything, split on
+//! any character that is neither alphanumeric nor an in-word connector.
+//! Apostrophes and hyphens inside a word are treated as connectors so that
+//! `"o'brien"` and `"covid-19"` stay single tokens, matching how cell
+//! values such as identifiers typically behave in tables.
+
+/// Returns `true` for characters that glue a single token together when they
+/// appear *between* alphanumeric characters.
+#[inline]
+fn is_connector(c: char) -> bool {
+    c == '\'' || c == '-' || c == '_' || c == '.'
+}
+
+/// Splits `text` into lower-cased word tokens.
+///
+/// Rules:
+/// * alphanumeric runs form tokens;
+/// * `'`, `-`, `_` and `.` are kept when surrounded by alphanumerics
+///   (`b. willis` → `["b", "willis"]` but `covid-19` → `["covid-19"]`);
+/// * everything else separates tokens;
+/// * output is lower-cased.
+///
+/// ```
+/// use tdmatch_text::tokenize;
+/// assert_eq!(tokenize("The Sixth Sense!"), vec!["the", "sixth", "sense"]);
+/// assert_eq!(tokenize("COVID-19 cases"), vec!["covid-19", "cases"]);
+/// ```
+pub fn tokenize(text: &str) -> Vec<String> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for (i, &c) in chars.iter().enumerate() {
+        if c.is_alphanumeric() {
+            current.extend(c.to_lowercase());
+        } else if is_connector(c)
+            && !current.is_empty()
+            && chars.get(i + 1).is_some_and(|n| n.is_alphanumeric())
+        {
+            current.push(c);
+        } else if !current.is_empty() {
+            tokens.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// Tokenizes and keeps the byte offsets `(start, end)` of every token in the
+/// original string. Offsets are useful for highlighting matched spans.
+pub fn tokenize_with_spans(text: &str) -> Vec<(String, usize, usize)> {
+    let mut out = Vec::new();
+    let mut start = None;
+    let mut current = String::new();
+    let bytes_indices: Vec<(usize, char)> = text.char_indices().collect();
+    for (pos, &(bi, c)) in bytes_indices.iter().enumerate() {
+        let next_alnum = bytes_indices
+            .get(pos + 1)
+            .is_some_and(|&(_, n)| n.is_alphanumeric());
+        if c.is_alphanumeric() || (is_connector(c) && !current.is_empty() && next_alnum) {
+            if start.is_none() {
+                start = Some(bi);
+            }
+            current.extend(c.to_lowercase());
+        } else if let Some(s) = start.take() {
+            out.push((std::mem::take(&mut current), s, bi));
+        }
+    }
+    if let Some(s) = start {
+        out.push((current, s, text.len()));
+    }
+    out
+}
+
+/// Splits a text into sentences on `.`, `!` and `?` boundaries, trimming
+/// whitespace. Decimal points inside numbers do not split.
+pub fn split_sentences(text: &str) -> Vec<String> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut sentences = Vec::new();
+    let mut current = String::new();
+    for (i, &c) in chars.iter().enumerate() {
+        current.push(c);
+        let is_end = matches!(c, '!' | '?')
+            || (c == '.'
+                && !(chars.get(i + 1).is_some_and(|n| n.is_ascii_digit())
+                    && chars.get(i.wrapping_sub(1)).is_some_and(|p| p.is_ascii_digit())));
+        if is_end {
+            let s = current.trim();
+            if !s.is_empty() {
+                sentences.push(s.to_string());
+            }
+            current.clear();
+        }
+    }
+    let s = current.trim();
+    if !s.is_empty() {
+        sentences.push(s.to_string());
+    }
+    sentences
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokenization() {
+        assert_eq!(tokenize("Hello, World"), vec!["hello", "world"]);
+    }
+
+    #[test]
+    fn empty_and_punct_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("...!!!  ,,").is_empty());
+    }
+
+    #[test]
+    fn connectors_inside_words() {
+        assert_eq!(tokenize("covid-19"), vec!["covid-19"]);
+        assert_eq!(tokenize("o'brien"), vec!["o'brien"]);
+        assert_eq!(tokenize("snake_case"), vec!["snake_case"]);
+    }
+
+    #[test]
+    fn trailing_connector_is_dropped() {
+        assert_eq!(tokenize("end-"), vec!["end"]);
+        assert_eq!(tokenize("end- start"), vec!["end", "start"]);
+    }
+
+    #[test]
+    fn initials_split() {
+        // "B. Willis" — the dot is followed by a space, so it terminates.
+        assert_eq!(tokenize("B. Willis"), vec!["b", "willis"]);
+    }
+
+    #[test]
+    fn numbers_kept() {
+        assert_eq!(tokenize("1999 cases: 1.5"), vec!["1999", "cases", "1.5"]);
+    }
+
+    #[test]
+    fn unicode_lowercasing() {
+        assert_eq!(tokenize("Ärger Über"), vec!["ärger", "über"]);
+    }
+
+    #[test]
+    fn spans_cover_tokens() {
+        let text = "The Sixth Sense";
+        let spans = tokenize_with_spans(text);
+        assert_eq!(spans.len(), 3);
+        for (tok, s, e) in &spans {
+            assert_eq!(&text[*s..*e].to_lowercase(), tok);
+        }
+    }
+
+    #[test]
+    fn sentence_splitting() {
+        let s = split_sentences("One. Two! Three? Done");
+        assert_eq!(s, vec!["One.", "Two!", "Three?", "Done"]);
+    }
+
+    #[test]
+    fn sentence_splitting_decimal_safe() {
+        let s = split_sentences("Rate is 1.5 today. Yes.");
+        assert_eq!(s, vec!["Rate is 1.5 today.", "Yes."]);
+    }
+}

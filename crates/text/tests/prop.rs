@@ -1,0 +1,133 @@
+//! Property-based tests for text preprocessing.
+
+use proptest::prelude::*;
+
+use tdmatch_text::distance::{jaccard, levenshtein, levenshtein_similarity};
+use tdmatch_text::ngrams::{ngram_count, ngrams};
+use tdmatch_text::normalize::{bucket_index, freedman_diaconis_width, parse_number};
+use tdmatch_text::stem::stem;
+use tdmatch_text::tokenize::{split_sentences, tokenize, tokenize_with_spans};
+use tdmatch_text::{PreprocessOptions, Preprocessor};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Tokenization output is lower-case and free of whitespace.
+    #[test]
+    fn tokens_are_normalized(text in ".{0,80}") {
+        for tok in tokenize(&text) {
+            prop_assert!(!tok.is_empty());
+            prop_assert!(!tok.chars().any(char::is_whitespace));
+            prop_assert_eq!(tok.to_lowercase(), tok.clone());
+        }
+    }
+
+    /// Token spans index back into the original string.
+    #[test]
+    fn spans_are_consistent(text in "[a-zA-Z0-9 ,.!-]{0,60}") {
+        for (tok, s, e) in tokenize_with_spans(&text) {
+            prop_assert!(s < e && e <= text.len());
+            prop_assert_eq!(text[s..e].to_lowercase(), tok);
+        }
+    }
+
+    /// Tokenization is idempotent: re-tokenizing the joined tokens yields
+    /// the same sequence.
+    #[test]
+    fn tokenize_idempotent(text in "[a-zA-Z ,.]{0,60}") {
+        let once = tokenize(&text);
+        let again = tokenize(&once.join(" "));
+        prop_assert_eq!(once, again);
+    }
+
+    /// Stemming never lengthens an ASCII word and is deterministic.
+    #[test]
+    fn stem_shrinks(word in "[a-z]{1,15}") {
+        let s = stem(&word);
+        prop_assert!(s.len() <= word.len());
+        prop_assert_eq!(stem(&word), s);
+    }
+
+    /// n-gram generation matches its count formula and every n-gram's
+    /// token arity is within bounds.
+    #[test]
+    fn ngram_invariants(
+        tokens in prop::collection::vec("[a-z]{1,6}", 0..8),
+        max_n in 1usize..5,
+    ) {
+        let grams = ngrams(&tokens, max_n);
+        prop_assert_eq!(grams.len(), ngram_count(tokens.len(), max_n));
+        for g in &grams {
+            let arity = g.split(' ').count();
+            prop_assert!((1..=max_n).contains(&arity));
+        }
+    }
+
+    /// Levenshtein is a metric: identity, symmetry, triangle inequality.
+    #[test]
+    fn levenshtein_is_a_metric(
+        a in "[a-c]{0,8}",
+        b in "[a-c]{0,8}",
+        c in "[a-c]{0,8}",
+    ) {
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+        let sim = levenshtein_similarity(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&sim));
+    }
+
+    /// Jaccard similarity is bounded and reflexive.
+    #[test]
+    fn jaccard_bounds(
+        a in prop::collection::vec("[a-c]{1,3}", 0..6),
+        b in prop::collection::vec("[a-c]{1,3}", 0..6),
+    ) {
+        let av: Vec<&str> = a.iter().map(|s| s.as_str()).collect();
+        let bv: Vec<&str> = b.iter().map(|s| s.as_str()).collect();
+        let j = jaccard(av.iter().copied(), bv.iter().copied());
+        prop_assert!((0.0..=1.0).contains(&j));
+        let jr = jaccard(av.iter().copied(), av.iter().copied());
+        prop_assert!(av.is_empty() || (jr - 1.0).abs() < 1e-12);
+    }
+
+    /// Numbers round-trip through parse_number.
+    #[test]
+    fn numbers_parse(v in -1_000_000i64..1_000_000) {
+        let parsed = parse_number(&v.to_string());
+        prop_assert_eq!(parsed, Some(v as f64));
+    }
+
+    /// Bucket indices are monotone in the value.
+    #[test]
+    fn buckets_monotone(
+        mut values in prop::collection::vec(-1000.0f64..1000.0, 3..40),
+        a in -1000.0f64..1000.0,
+        b in -1000.0f64..1000.0,
+    ) {
+        values.push(a);
+        values.push(b);
+        if let Some(width) = freedman_diaconis_width(&values) {
+            let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(bucket_index(lo, min, width) <= bucket_index(hi, min, width));
+        }
+    }
+
+    /// The full preprocessor never emits stop words when filtering is on.
+    #[test]
+    fn preprocessor_removes_stopwords(text in "[a-z ]{0,60}") {
+        let pre = Preprocessor::new(PreprocessOptions { stem: false, ..Default::default() });
+        for tok in pre.base_tokens(&text) {
+            prop_assert!(!tdmatch_text::stopwords::is_stopword(&tok), "{tok}");
+        }
+    }
+
+    /// Sentence splitting loses no non-whitespace content.
+    #[test]
+    fn sentences_preserve_content(text in "[a-z .!?]{0,80}") {
+        let joined: String = split_sentences(&text).join(" ");
+        let strip = |s: &str| s.chars().filter(|c| !c.is_whitespace()).collect::<String>();
+        prop_assert_eq!(strip(&joined), strip(&text));
+    }
+}

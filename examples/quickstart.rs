@@ -1,0 +1,47 @@
+//! Quickstart: match free-text reviews to relational tuples in ~30 lines.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use tdmatch::core::config::TdConfig;
+use tdmatch::core::corpus::{Corpus, Table, TextCorpus};
+use tdmatch::core::pipeline::TdMatch;
+
+fn main() {
+    // The paper's running example (Fig. 1): a movie table…
+    let movies = Table::new(
+        "movies",
+        vec!["title".into(), "director".into(), "actor".into(), "genre".into()],
+        vec![
+            vec!["The Sixth Sense".into(), "Shyamalan".into(), "Bruce Willis".into(), "Thriller".into()],
+            vec!["Pulp Fiction".into(), "Tarantino".into(), "Samuel Jackson".into(), "Drama".into()],
+            vec!["Dark City".into(), "Proyas".into(), "Rufus Sewell".into(), "Mystery".into()],
+        ],
+    );
+    // …and reviews with no identifiers.
+    let reviews = TextCorpus::new(vec![
+        "a tarantino movie with samuel jackson that is really a comedy".into(),
+        "shyamalan directs bruce willis in a thriller with a twist".into(),
+        "proyas builds a dark mystery city".into(),
+    ]);
+
+    // Fit the unsupervised pipeline: joint graph → random walks →
+    // Word2Vec → cosine matching.
+    let model = TdMatch::new(TdConfig::for_tests())
+        .fit(&Corpus::Table(movies.clone()), &Corpus::Text(reviews.clone()))
+        .expect("corpora are non-empty and share terms");
+
+    println!("graph: {} nodes, {} edges", model.graph_size().0, model.graph_size().1);
+    for result in model.match_top_k(3) {
+        println!("\nreview: {:?}", reviews.docs[result.query]);
+        for (rank, (tuple, score)) in result.ranked.iter().enumerate() {
+            println!(
+                "  #{} {:<18} (score {:.3})",
+                rank + 1,
+                movies.rows[*tuple][0],
+                score
+            );
+        }
+    }
+}

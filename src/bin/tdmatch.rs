@@ -1,0 +1,359 @@
+//! `tdmatch` — command-line front end for the TDmatch pipeline.
+//!
+//! ```sh
+//! # Fit a scenario, print the paper's ranking metrics, save the model:
+//! tdmatch run --scenario imdb-wt --scale tiny --expand --save model.tdm
+//!
+//! # Match again later from the saved artifact (no re-training):
+//! tdmatch match --artifact model.tdm --k 5
+//!
+//! # Inspect an artifact:
+//! tdmatch info --artifact model.tdm
+//! ```
+//!
+//! Flag parsing is hand-rolled (`--flag value` / boolean `--flag`): five
+//! subcommands and a dozen flags do not justify an argument-parsing
+//! dependency (see DESIGN.md §dependencies).
+
+use std::collections::HashSet;
+use std::process::ExitCode;
+
+use tdmatch::core::artifact::MatchArtifact;
+use tdmatch::core::config::TdConfig;
+use tdmatch::core::pipeline::{FitOptions, TdMatch};
+use tdmatch::datasets::{audit, claims, corona, imdb, sts, Scale, Scenario};
+use tdmatch::eval::ranking::mean_metrics;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().map(String::as_str) else {
+        print_usage();
+        return ExitCode::FAILURE;
+    };
+    let result = match command {
+        "run" => cmd_run(&args[1..]),
+        "resume" => cmd_resume(&args[1..]),
+        "match" => cmd_match(&args[1..]),
+        "query" => cmd_query(&args[1..]),
+        "info" => cmd_info(&args[1..]),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}` (try `tdmatch help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "tdmatch — unsupervised matching of data and text (ICDE 2022 reproduction)
+
+USAGE:
+    tdmatch run   --scenario NAME [options]   fit a synthetic scenario, report metrics
+    tdmatch resume --graph PATH [options]     re-embed + match from a persisted graph
+    tdmatch match --artifact PATH [--k N]     rank matches from a saved artifact
+    tdmatch query --artifact PATH --text \"…\"  match one new document against the artifact
+    tdmatch info  --artifact PATH             print artifact statistics
+    tdmatch help                              show this message
+
+RUN OPTIONS:
+    --scenario NAME    imdb-wt | imdb-nt | corona-gen | corona-usr | audit
+                       | snopes | politifact | sts2 | sts3
+    --scale SCALE      tiny | small (default) | paper
+    --seed N           scenario + pipeline seed (default 42)
+    --k N              ranked matches per query (default 20)
+    --expand           enable graph expansion (W-RW-EX)
+    --walks N          random walks per node
+    --walk-len N       steps per walk
+    --dim N            embedding dimensionality
+    --epochs N         Word2Vec epochs
+    --threads N        worker threads
+    --save PATH        write the fitted match artifact to PATH
+    --save-graph PATH  write the fitted joint graph to PATH (reusable via `resume`)
+    --stats            print graph composition (node/edge kinds, degrees, components)"
+    );
+}
+
+/// Minimal `--flag [value]` parser: returns the value after `name`, if any.
+fn flag_value<'a>(args: &'a [String], name: &str) -> Result<Option<&'a str>, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => Ok(Some(v)),
+            _ => Err(format!("flag {name} expects a value")),
+        },
+    }
+}
+
+fn flag_present(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("invalid {what}: `{s}`"))
+}
+
+fn build_scenario(name: &str, scale: Scale, seed: u64) -> Result<Scenario, String> {
+    Ok(match name {
+        "imdb-wt" => imdb::generate(scale, seed, true),
+        "imdb-nt" => imdb::generate(scale, seed, false),
+        "corona-gen" => corona::generate(scale, seed, corona::SentenceKind::Generated),
+        "corona-usr" => corona::generate(scale, seed, corona::SentenceKind::User),
+        "audit" => audit::generate(scale, seed),
+        "snopes" => claims::snopes(scale, seed),
+        "politifact" => claims::politifact(scale, seed),
+        "sts2" => sts::generate(scale, seed, 2),
+        "sts3" => sts::generate(scale, seed, 3),
+        other => return Err(format!("unknown scenario `{other}`")),
+    })
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let scenario_name = flag_value(args, "--scenario")?
+        .ok_or("run requires --scenario (try `tdmatch help`)")?;
+    let scale = match flag_value(args, "--scale")?.unwrap_or("small") {
+        "tiny" => Scale::Tiny,
+        "small" => Scale::Small,
+        "paper" => Scale::Paper,
+        other => return Err(format!("unknown scale `{other}`")),
+    };
+    let seed: u64 = match flag_value(args, "--seed")? {
+        Some(s) => parse_num(s, "seed")?,
+        None => 42,
+    };
+    let k: usize = match flag_value(args, "--k")? {
+        Some(s) => parse_num(s, "k")?,
+        None => 20,
+    };
+    let expand = flag_present(args, "--expand");
+
+    let scenario = build_scenario(scenario_name, scale, seed)?;
+    let mut config: TdConfig = scenario.config.clone();
+    config.seed = seed;
+    // Scale the pipeline with the corpora (same presets as the bench
+    // harness); explicit flags below override.
+    (config.walks_per_node, config.walk_len, config.dim, config.epochs) = match scale {
+        Scale::Tiny => (10, 10, 48, 3),
+        Scale::Small => (30, 18, 80, 4),
+        Scale::Paper => (100, 30, 300, 5),
+    };
+    let usize_flag = |name: &str, default: usize| -> Result<usize, String> {
+        match flag_value(args, name)? {
+            Some(v) => parse_num(v, name),
+            None => Ok(default),
+        }
+    };
+    config.walks_per_node = usize_flag("--walks", config.walks_per_node)?;
+    config.walk_len = usize_flag("--walk-len", config.walk_len)?;
+    config.dim = usize_flag("--dim", config.dim)?;
+    config.epochs = usize_flag("--epochs", config.epochs)?;
+    config.threads = usize_flag("--threads", config.threads)?;
+
+    eprintln!(
+        "fitting {} ({} targets, {} queries){}…",
+        scenario.name,
+        scenario.first.len(),
+        scenario.second.len(),
+        if expand { " with expansion" } else { "" },
+    );
+    let trainer = TdMatch::new(config);
+    let options = FitOptions {
+        kb: if expand { Some(scenario.kb.as_ref()) } else { None },
+        compression: None,
+        merge: Some((&scenario.pretrained, scenario.gamma)),
+    };
+    let model = trainer
+        .fit_with(&scenario.first, &scenario.second, options)
+        .map_err(|e| e.to_string())?;
+
+    let (nodes, edges) = model.graph_size();
+    eprintln!(
+        "graph: {nodes} nodes, {edges} edges — train {:.2}s",
+        model.timings.total()
+    );
+    if flag_present(args, "--stats") {
+        eprintln!("{}", tdmatch::graph::GraphStats::of(&model.graph));
+    }
+
+    let results = model.match_top_k(k);
+    let queries: Vec<(Vec<usize>, HashSet<usize>)> = results
+        .iter()
+        .map(|r| r.target_indices())
+        .zip(scenario.truth_sets())
+        .collect();
+    let m = mean_metrics(&queries);
+    println!(
+        "{:<12} MRR {:.3} | MAP@1 {:.3} MAP@5 {:.3} MAP@20 {:.3} | HP@1 {:.3} HP@5 {:.3} HP@20 {:.3}",
+        scenario.name,
+        m.mrr,
+        m.map_at[0],
+        m.map_at[1],
+        m.map_at[2],
+        m.has_positive_at[0],
+        m.has_positive_at[1],
+        m.has_positive_at[2],
+    );
+
+    if let Some(path) = flag_value(args, "--save")? {
+        model
+            .artifact()
+            .save(path)
+            .map_err(|e| format!("saving artifact: {e}"))?;
+        eprintln!("artifact written to {path}");
+    }
+    if let Some(path) = flag_value(args, "--save-graph")? {
+        tdmatch::graph::persist::save_graph(&model.graph, path)
+            .map_err(|e| format!("saving graph: {e}"))?;
+        eprintln!("graph written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_resume(args: &[String]) -> Result<(), String> {
+    let path = flag_value(args, "--graph")?.ok_or("resume requires --graph PATH")?;
+    let k: usize = match flag_value(args, "--k")? {
+        Some(s) => parse_num(s, "k")?,
+        None => 5,
+    };
+    let graph = tdmatch::graph::persist::load_graph(path).map_err(|e| e.to_string())?;
+    eprintln!(
+        "loaded graph: {} nodes, {} edges",
+        graph.node_count(),
+        graph.edge_count()
+    );
+    let mut config = TdConfig::text_to_data();
+    (config.walks_per_node, config.walk_len, config.dim, config.epochs) = (30, 18, 80, 4);
+    let usize_flag = |name: &str, default: usize| -> Result<usize, String> {
+        match flag_value(args, name)? {
+            Some(v) => parse_num(v, name),
+            None => Ok(default),
+        }
+    };
+    config.walks_per_node = usize_flag("--walks", config.walks_per_node)?;
+    config.walk_len = usize_flag("--walk-len", config.walk_len)?;
+    config.dim = usize_flag("--dim", config.dim)?;
+    config.epochs = usize_flag("--epochs", config.epochs)?;
+    let model = TdMatch::new(config)
+        .fit_prebuilt(graph)
+        .map_err(|e| e.to_string())?;
+    eprintln!("re-embedded in {:.2}s", model.timings.total());
+    for result in model.match_top_k(k) {
+        let ranked: Vec<String> = result
+            .ranked
+            .iter()
+            .map(|(t, s)| format!("{t}:{s:.3}"))
+            .collect();
+        println!("query {:<5} -> {}", result.query, ranked.join(" "));
+    }
+    if let Some(out) = flag_value(args, "--save")? {
+        model
+            .artifact()
+            .save(out)
+            .map_err(|e| format!("saving artifact: {e}"))?;
+        eprintln!("artifact written to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_match(args: &[String]) -> Result<(), String> {
+    let path = flag_value(args, "--artifact")?.ok_or("match requires --artifact PATH")?;
+    let k: usize = match flag_value(args, "--k")? {
+        Some(s) => parse_num(s, "k")?,
+        None => 5,
+    };
+    let artifact = MatchArtifact::load(path).map_err(|e| e.to_string())?;
+    for result in artifact.match_top_k(k) {
+        let ranked: Vec<String> = result
+            .ranked
+            .iter()
+            .map(|(t, s)| format!("{t}:{s:.3}"))
+            .collect();
+        println!("query {:<5} -> {}", result.query, ranked.join(" "));
+    }
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let path = flag_value(args, "--artifact")?.ok_or("query requires --artifact PATH")?;
+    let text = flag_value(args, "--text")?.ok_or("query requires --text \"…\"")?;
+    let k: usize = match flag_value(args, "--k")? {
+        Some(s) => parse_num(s, "k")?,
+        None => 5,
+    };
+    let artifact = MatchArtifact::load(path).map_err(|e| e.to_string())?;
+    let tokens = tdmatch::text::Preprocessor::default().base_tokens(text);
+    let result = artifact.match_new_query(&tokens, k);
+    if result.ranked.is_empty() {
+        return Err("no query token is in the model vocabulary".into());
+    }
+    for (rank, (target, score)) in result.ranked.iter().enumerate() {
+        println!("#{:<3} target {:<6} score {score:.3}", rank + 1, target);
+    }
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> Result<(), String> {
+    let path = flag_value(args, "--artifact")?.ok_or("info requires --artifact PATH")?;
+    let artifact = MatchArtifact::load(path).map_err(|e| e.to_string())?;
+    let (first, second) = artifact.corpus_sizes();
+    println!("dim:     {}", artifact.dim());
+    println!("terms:   {}", artifact.term_count());
+    println!("targets: {first}");
+    println!("queries: {second}");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_value_finds_values_and_rejects_missing() {
+        let a = args(&["--k", "5", "--expand", "--scale", "tiny"]);
+        assert_eq!(flag_value(&a, "--k").unwrap(), Some("5"));
+        assert_eq!(flag_value(&a, "--scale").unwrap(), Some("tiny"));
+        assert_eq!(flag_value(&a, "--seed").unwrap(), None);
+        // A flag followed by another flag has no value.
+        assert!(flag_value(&a, "--expand").is_err());
+        // A flag at the end of the list has no value either.
+        let b = args(&["--save"]);
+        assert!(flag_value(&b, "--save").is_err());
+    }
+
+    #[test]
+    fn flag_present_detects_booleans() {
+        let a = args(&["--expand", "--k", "3"]);
+        assert!(flag_present(&a, "--expand"));
+        assert!(!flag_present(&a, "--stats"));
+    }
+
+    #[test]
+    fn parse_num_reports_the_field_name() {
+        assert_eq!(parse_num::<usize>("12", "k").unwrap(), 12);
+        let err = parse_num::<usize>("abc", "walks").unwrap_err();
+        assert!(err.contains("walks") && err.contains("abc"));
+    }
+
+    #[test]
+    fn every_documented_scenario_builds() {
+        for name in [
+            "imdb-wt", "imdb-nt", "corona-gen", "corona-usr", "audit",
+            "snopes", "politifact", "sts2", "sts3",
+        ] {
+            let s = build_scenario(name, Scale::Tiny, 1).unwrap();
+            assert!(!s.first.is_empty(), "{name}");
+        }
+        assert!(build_scenario("nope", Scale::Tiny, 1).is_err());
+    }
+}

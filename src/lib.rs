@@ -1,0 +1,55 @@
+//! # tdmatch
+//!
+//! A complete Rust reproduction of **"Unsupervised Matching of Data and
+//! Text"** (Ahmadi, Sand, Papotti — ICDE 2022): unsupervised matching of
+//! relational tuples, taxonomy nodes, and free-text documents through a
+//! joint graph representation, random-walk embeddings, and cosine matching.
+//!
+//! This facade crate re-exports the public API of the workspace:
+//!
+//! * [`core`] — the TDmatch pipeline (graph creation, expansion,
+//!   compression hooks, embedding, matching);
+//! * [`text`] — preprocessing (tokenizer, Porter stemmer, n-grams);
+//! * [`graph`] — the heterogeneous graph substrate;
+//! * [`embed`] — from-scratch Word2Vec / Doc2Vec and random walks;
+//! * [`kb`] — external resources (synthetic ConceptNet / DBpedia / WordNet,
+//!   simulated pre-trained embeddings);
+//! * [`compress`] — MSP / SSP / SSuM graph compression;
+//! * [`baselines`] — the paper's baseline matchers;
+//! * [`datasets`] — seeded synthetic versions of the paper's six scenarios;
+//! * [`eval`] — MRR, MAP@k, HasPositive@k, exact/Node P-R-F.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tdmatch::core::{corpus::{Corpus, Table, TextCorpus}, config::TdConfig, pipeline::TdMatch};
+//!
+//! let movies = Table::new(
+//!     "movies",
+//!     vec!["title".into(), "director".into(), "genre".into()],
+//!     vec![
+//!         vec!["The Sixth Sense".into(), "Shyamalan".into(), "Thriller".into()],
+//!         vec!["Pulp Fiction".into(), "Tarantino".into(), "Drama".into()],
+//!     ],
+//! );
+//! let reviews = TextCorpus::new(vec![
+//!     "A Tarantino movie with Willis that is really a comedy".into(),
+//! ]);
+//!
+//! let model = TdMatch::new(TdConfig::for_tests())
+//!     .fit(&Corpus::Table(movies), &Corpus::Text(reviews))
+//!     .unwrap();
+//! let matches = model.match_top_k(2);
+//! assert_eq!(matches.len(), 1); // one review, ranked tuples
+//! ```
+
+pub use tdmatch_baselines as baselines;
+pub use tdmatch_compress as compress;
+pub use tdmatch_core as core;
+pub use tdmatch_datasets as datasets;
+pub use tdmatch_embed as embed;
+pub use tdmatch_eval as eval;
+pub use tdmatch_graph as graph;
+pub use tdmatch_kb as kb;
+pub use tdmatch_nn as nn;
+pub use tdmatch_text as text;

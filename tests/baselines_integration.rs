@@ -1,0 +1,76 @@
+//! Integration tests for the baseline matchers on generated scenarios:
+//! every baseline runs end-to-end, and the headline quality orderings of
+//! the paper hold at test scale.
+
+use std::collections::HashSet;
+
+use tdmatch::baselines::supervised::SupervisedOptions;
+use tdmatch::baselines::{d2vec, rank, sbe, supervised, tfidf, w2vec, RankedMatches};
+use tdmatch::datasets::{claims, imdb, Scale, Scenario};
+use tdmatch::eval::ranking::mean_metrics;
+
+fn mrr(run: &RankedMatches, scenario: &Scenario) -> f64 {
+    let truth = scenario.truth_sets();
+    let queries: Vec<(Vec<usize>, HashSet<usize>)> =
+        run.all_indices().into_iter().zip(truth).collect();
+    mean_metrics(&queries).mrr
+}
+
+fn opts() -> SupervisedOptions {
+    SupervisedOptions {
+        epochs: 10,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn every_baseline_runs_on_imdb() {
+    let s = imdb::generate(Scale::Tiny, 31, true);
+    let k = 10;
+    let runs = vec![
+        sbe::run(&s.first, &s.second, &s.pretrained, k),
+        w2vec::run(&s.first, &s.second, &w2vec::W2vecOptions::default(), k),
+        d2vec::run(&s.first, &s.second, &d2vec::D2vecOptions::default(), k),
+        tfidf::run_tfidf(&s.first, &s.second, k),
+        tfidf::run_bm25(&s.first, &s.second, k),
+        rank::run(&s.first, &s.second, &s.ground_truth, &s.pretrained, &opts(), k),
+        supervised::run_ditto(&s.first, &s.second, &s.ground_truth, &s.pretrained, &opts(), k),
+        supervised::run_deepmatcher(&s.first, &s.second, &s.ground_truth, &s.pretrained, &opts(), k),
+        supervised::run_tapas(&s.first, &s.second, &s.ground_truth, &s.pretrained, &opts(), k),
+        supervised::run_lbe(&s.first, &s.second, &s.ground_truth, &s.pretrained, &opts(), k),
+    ];
+    for run in &runs {
+        assert_eq!(run.per_query.len(), s.second.len(), "{}", run.method);
+        let m = mrr(run, &s);
+        assert!(m.is_finite() && m >= 0.0, "{}: mrr {m}", run.method);
+    }
+}
+
+#[test]
+fn supervised_rankers_beat_random_on_claims() {
+    let s = claims::snopes(Scale::Tiny, 32);
+    let k = 10;
+    let random_mrr = 1.0 / s.first.len() as f64 * (1.0 + (s.first.len() as f64).ln());
+    let rank_run = rank::run(&s.first, &s.second, &s.ground_truth, &s.pretrained, &opts(), k);
+    assert!(
+        mrr(&rank_run, &s) > random_mrr * 3.0,
+        "RANK* should clearly beat random"
+    );
+}
+
+#[test]
+fn timing_fields_are_consistent() {
+    let s = imdb::generate(Scale::Tiny, 33, true);
+    let run = sbe::run(&s.first, &s.second, &s.pretrained, 5);
+    assert_eq!(run.train_secs, 0.0, "S-BE has no training (Table VII)");
+    assert!(run.test_secs > 0.0);
+    let run = w2vec::run(&s.first, &s.second, &w2vec::W2vecOptions::default(), 5);
+    assert!(run.train_secs > 0.0);
+}
+
+#[test]
+fn rankings_are_truncated_to_k() {
+    let s = imdb::generate(Scale::Tiny, 34, true);
+    let run = tfidf::run_tfidf(&s.first, &s.second, 7);
+    assert!(run.per_query.iter().all(|p| p.len() <= 7));
+}
