@@ -1,0 +1,256 @@
+//! Walk-generation throughput recorder: times the legacy nested path
+//! (`generate_walks` over `Graph`) against the CSR + flat-arena hot path
+//! (`generate_walk_corpus` over `CsrGraph`) on a `fig8_scaling`-sized
+//! graph, counts heap allocations with an instrumented global allocator,
+//! and writes `BENCH_walks.json` at the repository root so the perf
+//! trajectory is tracked from PR to PR.
+//!
+//! Run with `cargo bench -p tdmatch-bench --bench bench_walks`.
+//! `TDMATCH_BENCH_COPIES` (default 4) scales the graph like Figure 8's
+//! union-of-scenarios construction.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use tdmatch_bench::bench_config;
+use tdmatch_core::builder::build_graph;
+use tdmatch_core::corpus::{Corpus, TextCorpus};
+use tdmatch_datasets::{sts, Scale};
+use tdmatch_embed::walks::{generate_walk_corpus, generate_walks, WalkConfig};
+use tdmatch_graph::CsrGraph;
+
+/// System allocator wrapper counting calls and tracking peak live bytes.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        let live = LIVE_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed)
+            + layout.size() as u64;
+        PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE_BYTES.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        let old = layout.size() as u64;
+        let delta_up = (new_size as u64).saturating_sub(old);
+        let live = LIVE_BYTES.fetch_add(delta_up, Ordering::Relaxed) + delta_up;
+        PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+        LIVE_BYTES.fetch_sub(old.saturating_sub(new_size as u64), Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Allocation counters over one measured phase.
+struct AllocProbe {
+    calls_before: u64,
+}
+
+impl AllocProbe {
+    fn start() -> Self {
+        // Reset the peak to the current live level so the phase's own high
+        // water mark is what gets reported.
+        PEAK_BYTES.store(LIVE_BYTES.load(Ordering::Relaxed), Ordering::Relaxed);
+        Self {
+            calls_before: ALLOC_CALLS.load(Ordering::Relaxed),
+        }
+    }
+
+    /// `(allocation calls, peak live bytes during the phase)`.
+    fn finish(self) -> (u64, u64) {
+        (
+            ALLOC_CALLS.load(Ordering::Relaxed) - self.calls_before,
+            PEAK_BYTES.load(Ordering::Relaxed),
+        )
+    }
+}
+
+struct PathStats {
+    secs: f64,
+    nodes_per_sec: f64,
+    tokens_per_sec: f64,
+    allocations: u64,
+    peak_bytes: u64,
+    iter_tokens_per_sec: f64,
+}
+
+fn json_path_stats(s: &PathStats) -> String {
+    format!(
+        concat!(
+            "{{\"secs\": {:.6}, \"nodes_per_sec\": {:.1}, \"tokens_per_sec\": {:.1}, ",
+            "\"allocations\": {}, \"peak_bytes\": {}, \"corpus_iter_tokens_per_sec\": {:.1}}}"
+        ),
+        s.secs, s.nodes_per_sec, s.tokens_per_sec, s.allocations, s.peak_bytes,
+        s.iter_tokens_per_sec,
+    )
+}
+
+fn main() {
+    let copies: usize = std::env::var("TDMATCH_BENCH_COPIES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+
+    // Figure-8-style graph: a union of independently seeded STS corpora,
+    // built and expanded like the scaling experiment.
+    let mut first_docs = Vec::new();
+    let mut second_docs = Vec::new();
+    for seed in 0..copies as u64 {
+        let s = sts::generate(Scale::Small, 100 + seed, 2);
+        let Corpus::Text(f) = s.first else { unreachable!() };
+        let Corpus::Text(snd) = s.second else { unreachable!() };
+        first_docs.extend(f.docs);
+        second_docs.extend(snd.docs);
+    }
+    let first = Corpus::Text(TextCorpus::new(first_docs));
+    let second = Corpus::Text(TextCorpus::new(second_docs));
+    let base = sts::generate(Scale::Tiny, 1, 2);
+    let config = bench_config(&base.config);
+    let built = build_graph(&first, &second, &config, None);
+    let mut graph = built.graph;
+    tdmatch_core::expand::expand_graph(&mut graph, base.kb.as_ref(), 16);
+
+    let walk_config = WalkConfig {
+        walks_per_node: 20,
+        walk_len: 30,
+        ..config.walk_config()
+    };
+    let n_nodes = graph.node_count() as f64;
+    println!(
+        "graph: {} nodes, {} edges; {} walks/node × len {} on {} threads",
+        graph.node_count(),
+        graph.edge_count(),
+        walk_config.walks_per_node,
+        walk_config.walk_len,
+        walk_config.threads,
+    );
+
+    // Best-of-N wall times: the box this runs on is noisy, and min-time is
+    // the standard de-noised estimator for deterministic workloads.
+    const REPS: usize = 3;
+
+    // --- Legacy nested path -------------------------------------------
+    let probe = AllocProbe::start();
+    let t = Instant::now();
+    let nested = generate_walks(&graph, &walk_config);
+    let mut nested_secs = t.elapsed().as_secs_f64();
+    let (nested_allocs, nested_peak) = probe.finish();
+    for _ in 1..REPS {
+        let t = Instant::now();
+        std::hint::black_box(generate_walks(&graph, &walk_config));
+        nested_secs = nested_secs.min(t.elapsed().as_secs_f64());
+    }
+    let nested_tokens: usize = nested.iter().map(Vec::len).sum();
+
+    let t = Instant::now();
+    let mut checksum = 0u64;
+    for sent in &nested {
+        for &tok in sent {
+            checksum = checksum.wrapping_add(tok as u64);
+        }
+    }
+    let nested_iter_secs = t.elapsed().as_secs_f64();
+    std::hint::black_box(checksum);
+
+    let nested_stats = PathStats {
+        secs: nested_secs,
+        nodes_per_sec: n_nodes / nested_secs,
+        tokens_per_sec: nested_tokens as f64 / nested_secs,
+        allocations: nested_allocs,
+        peak_bytes: nested_peak,
+        iter_tokens_per_sec: nested_tokens as f64 / nested_iter_secs,
+    };
+    drop(nested);
+
+    // --- CSR + flat arena path ----------------------------------------
+    let t = Instant::now();
+    let csr = CsrGraph::from_graph(&graph);
+    let snapshot_secs = t.elapsed().as_secs_f64();
+
+    let probe = AllocProbe::start();
+    let t = Instant::now();
+    let flat = generate_walk_corpus(&csr, &walk_config);
+    let mut flat_secs = t.elapsed().as_secs_f64();
+    let (flat_allocs, flat_peak) = probe.finish();
+    for _ in 1..REPS {
+        let t = Instant::now();
+        std::hint::black_box(generate_walk_corpus(&csr, &walk_config));
+        flat_secs = flat_secs.min(t.elapsed().as_secs_f64());
+    }
+
+    let t = Instant::now();
+    let mut checksum = 0u64;
+    for sent in flat.sentences() {
+        for &tok in sent {
+            checksum = checksum.wrapping_add(tok as u64);
+        }
+    }
+    let flat_iter_secs = t.elapsed().as_secs_f64();
+    std::hint::black_box(checksum);
+
+    let flat_stats = PathStats {
+        secs: flat_secs,
+        nodes_per_sec: n_nodes / flat_secs,
+        tokens_per_sec: flat.total_tokens() as f64 / flat_secs,
+        allocations: flat_allocs,
+        peak_bytes: flat_peak,
+        iter_tokens_per_sec: flat.total_tokens() as f64 / flat_iter_secs,
+    };
+    assert_eq!(
+        flat.total_tokens(),
+        nested_tokens,
+        "flat and nested corpora must cover the same tokens"
+    );
+
+    let speedup = nested_stats.secs / flat_stats.secs;
+    let alloc_ratio = nested_stats.allocations as f64 / flat_stats.allocations.max(1) as f64;
+    println!(
+        "nested: {:.3}s, {} allocs | flat: {:.3}s, {} allocs | speedup {:.2}x, {:.0}x fewer allocs",
+        nested_stats.secs, nested_stats.allocations, flat_stats.secs, flat_stats.allocations,
+        speedup, alloc_ratio,
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"walk_generation\",\n",
+            "  \"graph\": {{\"nodes\": {}, \"edges\": {}, \"copies\": {}}},\n",
+            "  \"walk_config\": {{\"walks_per_node\": {}, \"walk_len\": {}, \"threads\": {}, \"seed\": {}}},\n",
+            "  \"snapshot_build_secs\": {:.6},\n",
+            "  \"nested\": {},\n",
+            "  \"flat\": {},\n",
+            "  \"speedup\": {:.3},\n",
+            "  \"alloc_ratio\": {:.1}\n",
+            "}}\n"
+        ),
+        graph.node_count(),
+        graph.edge_count(),
+        copies,
+        walk_config.walks_per_node,
+        walk_config.walk_len,
+        walk_config.threads,
+        walk_config.seed,
+        snapshot_secs,
+        json_path_stats(&nested_stats),
+        json_path_stats(&flat_stats),
+        speedup,
+        alloc_ratio,
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_walks.json");
+    std::fs::write(out, &json).expect("write BENCH_walks.json");
+    println!("wrote {out}");
+}

@@ -13,8 +13,9 @@ use tdmatch_bench::bench_config;
 use tdmatch_core::builder::build_graph;
 use tdmatch_core::corpus::{Corpus, TextCorpus};
 use tdmatch_datasets::{sts, Scale};
-use tdmatch_embed::walks::{generate_walks, walk_counts};
-use tdmatch_embed::word2vec::train_ids;
+use tdmatch_embed::walks::generate_walk_corpus;
+use tdmatch_embed::word2vec::train_corpus;
+use tdmatch_graph::CsrGraph;
 
 fn main() {
     println!("\n=== Figure 8 — embedding time vs graph size ===");
@@ -40,9 +41,10 @@ fn main() {
         tdmatch_core::expand::expand_graph(&mut graph, base.kb.as_ref(), 16);
 
         let t0 = Instant::now();
-        let corpus = generate_walks(&graph, &config.walk_config());
-        let counts = walk_counts(&corpus, graph.id_bound(), false);
-        let _matrix = train_ids(&corpus, &counts, &config.w2v_config());
+        let csr = CsrGraph::from_graph(&graph);
+        let corpus = generate_walk_corpus(&csr, &config.walk_config());
+        let counts = corpus.token_counts(graph.id_bound(), false);
+        let _matrix = train_corpus(&corpus, &counts, &config.w2v_config());
         let secs = t0.elapsed().as_secs_f64();
         println!(
             "{:>10} {:>10} {:>12.3}",

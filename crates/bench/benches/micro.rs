@@ -9,11 +9,14 @@ use tdmatch_compress::{msp_compress, MspConfig};
 use tdmatch_core::builder::build_graph;
 use tdmatch_core::config::TdConfig;
 use tdmatch_datasets::{imdb, Scale};
+use tdmatch_embed::corpus::FlatCorpus;
 use tdmatch_embed::vectors::top_k_cosine;
-use tdmatch_embed::walks::{generate_walks, walk_counts, WalkConfig, WalkStrategy};
-use tdmatch_embed::word2vec::{train_ids, Word2VecConfig};
+use tdmatch_embed::walks::{
+    generate_walk_corpus, generate_walks, walk_counts, WalkConfig, WalkStrategy,
+};
+use tdmatch_embed::word2vec::{train_corpus, train_ids, Word2VecConfig};
 use tdmatch_graph::traverse::{all_shortest_paths, bfs_distances};
-use tdmatch_graph::{CorpusSide, Graph};
+use tdmatch_graph::{CorpusSide, CsrGraph, EdgeTypeWeights, Graph};
 use tdmatch_text::Preprocessor;
 
 fn tiny_graph() -> Graph {
@@ -86,6 +89,78 @@ fn bench_walks_and_train(c: &mut Criterion) {
     c.bench_function("embed/w2v_epoch", |b| {
         b.iter(|| black_box(train_ids(&corpus, &counts, &w2v)))
     });
+    let flat = FlatCorpus::from_nested(&corpus);
+    c.bench_function("embed/w2v_epoch_flat", |b| {
+        b.iter(|| black_box(train_corpus(&flat, &counts, &w2v)))
+    });
+}
+
+/// Walk generation and corpus iteration over both graph representations:
+/// nested `Vec<Vec<u32>>` over `Graph` vs flat arena over `CsrGraph`.
+fn bench_walk_representations(c: &mut Criterion) {
+    let g = tiny_graph();
+    let csr = CsrGraph::from_graph(&g);
+    for (tag, strategy) in [
+        ("uniform", WalkStrategy::Uniform),
+        ("node2vec", WalkStrategy::Node2Vec { p: 0.5, q: 2.0 }),
+        ("edge_typed", WalkStrategy::EdgeTyped(EdgeTypeWeights::uniform())),
+    ] {
+        let cfg = WalkConfig {
+            walks_per_node: 5,
+            walk_len: 10,
+            seed: 1,
+            threads: 1,
+            strategy,
+        };
+        c.bench_function(&format!("walks/{tag}/nested_graph"), |b| {
+            b.iter(|| black_box(generate_walks(&g, &cfg)))
+        });
+        c.bench_function(&format!("walks/{tag}/flat_csr"), |b| {
+            b.iter(|| black_box(generate_walk_corpus(&csr, &cfg)))
+        });
+    }
+
+    c.bench_function("graph/csr_snapshot_build", |b| {
+        b.iter(|| black_box(CsrGraph::from_graph(&g)))
+    });
+
+    let cfg = WalkConfig {
+        walks_per_node: 5,
+        walk_len: 10,
+        seed: 1,
+        threads: 1,
+        strategy: WalkStrategy::Uniform,
+    };
+    let nested = generate_walks(&g, &cfg);
+    let flat = generate_walk_corpus(&csr, &cfg);
+    c.bench_function("corpus/iterate_nested", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for sent in &nested {
+                for &tok in sent {
+                    acc = acc.wrapping_add(tok as u64);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("corpus/iterate_flat", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for sent in flat.sentences() {
+                for &tok in sent {
+                    acc = acc.wrapping_add(tok as u64);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("corpus/counts_nested", |b| {
+        b.iter(|| black_box(walk_counts(&nested, g.id_bound(), false)))
+    });
+    c.bench_function("corpus/counts_flat", |b| {
+        b.iter(|| black_box(flat.token_counts(g.id_bound(), false)))
+    });
 }
 
 fn bench_topk(c: &mut Criterion) {
@@ -123,6 +198,7 @@ criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_preprocess, bench_graph_build, bench_traversal,
-              bench_walks_and_train, bench_topk, bench_compression
+              bench_walks_and_train, bench_walk_representations, bench_topk,
+              bench_compression
 }
 criterion_main!(benches);

@@ -169,8 +169,17 @@ pub fn similarity_merge(
     }
 
     // Apply best-first; a node participates in at most one merge round but
-    // chains resolve because merge_nodes tolerates removed nodes.
-    scored.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap_or(std::cmp::Ordering::Equal));
+    // chains resolve because merge_nodes tolerates removed nodes. The
+    // (a, b) tie-break matters: candidates arrive in HashMap-bucket order,
+    // which varies per process, and equal-similarity merges are not
+    // commutative — without the tie-break the final graph differs from
+    // run to run.
+    scored.sort_by(|x, y| {
+        y.0
+            .partial_cmp(&x.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| (x.1, x.2).cmp(&(y.1, y.2)))
+    });
     for (_, a, b) in scored {
         let (na, nb) = (data_nodes[a].0, data_nodes[b].0);
         if g.is_removed(na) || g.is_removed(nb) {

@@ -4,9 +4,10 @@
 use std::time::Instant;
 
 use tdmatch_compress::{msp_compress, ssp_compress, ssum_compress, MspConfig, SspConfig, SsumConfig};
-use tdmatch_embed::walks::{generate_walks, walk_counts};
-use tdmatch_embed::word2vec::train_ids;
-use tdmatch_graph::{CorpusSide, Graph};
+use tdmatch_embed::corpus::FlatCorpus;
+use tdmatch_embed::walks::generate_walk_corpus;
+use tdmatch_embed::word2vec::train_corpus;
+use tdmatch_graph::{CorpusSide, CsrGraph, Graph};
 use tdmatch_kb::{KnowledgeBase, PretrainedModel};
 use tdmatch_text::Preprocessor;
 
@@ -150,8 +151,10 @@ impl TdMatch {
 
         let mut timings = StageTimings::default();
 
+        // Freeze once: all walk generation runs against the CSR snapshot.
         let t = Instant::now();
-        let walk_corpus = generate_walks(&graph, &self.config.walk_config());
+        let csr = CsrGraph::from_graph(&graph);
+        let walk_corpus = generate_walk_corpus(&csr, &self.config.walk_config());
         timings.walks = t.elapsed().as_secs_f64();
         if walk_corpus.is_empty() {
             return Err(TdError::EmptyWalkCorpus);
@@ -197,24 +200,46 @@ impl TdMatch {
 
     /// Trains node embeddings from the walk corpus with the configured
     /// [`EmbedMethod`], returning an `id_bound × dim` row-major matrix.
-    fn train_matrix(&self, graph: &Graph, walk_corpus: &[Vec<u32>]) -> Vec<f32> {
+    fn train_matrix(&self, graph: &Graph, walk_corpus: &FlatCorpus) -> Vec<f32> {
         match self.config.embed_method {
             EmbedMethod::WalkWord2Vec => {
-                let counts = walk_counts(walk_corpus, graph.id_bound(), false);
-                train_ids(walk_corpus, &counts, &self.config.w2v_config())
+                let counts = walk_corpus.token_counts(graph.id_bound(), false);
+                train_corpus(walk_corpus, &counts, &self.config.w2v_config())
             }
             EmbedMethod::WalkDoc2Vec => {
                 // Each node's "document" is the bag of all walks starting
-                // at it; PV-DBOW then trains one vector per node.
-                let mut docs_by_node: Vec<Vec<String>> = vec![Vec::new(); graph.id_bound()];
-                for walk in walk_corpus {
-                    let Some(&start) = walk.first() else { continue };
-                    let doc = &mut docs_by_node[start as usize];
-                    doc.extend(walk.iter().map(|id| id.to_string()));
+                // at it; PV-DBOW then trains one vector per node. Walks
+                // from one start node are contiguous in the corpus arena,
+                // so each document is a zero-copy token range over it —
+                // ids without walks (tombstones) get empty documents.
+                let id_bound = graph.id_bound();
+                let mut ranges: Vec<Option<(usize, usize)>> = vec![None; id_bound];
+                let mut pos = 0usize;
+                for sent in walk_corpus.sentences() {
+                    let next = pos + sent.len();
+                    if let Some(&start) = sent.first() {
+                        let r = ranges[start as usize].get_or_insert((pos, pos));
+                        assert_eq!(
+                            r.1, pos,
+                            "walk corpus no longer contiguous per start node"
+                        );
+                        r.1 = next;
+                    }
+                    pos = next;
                 }
-                let d2v = tdmatch_embed::doc2vec::Doc2Vec::train(
-                    &docs_by_node,
-                    tdmatch_embed::doc2vec::Doc2VecConfig {
+                let arena = walk_corpus.tokens();
+                let docs: Vec<&[u32]> = ranges
+                    .iter()
+                    .map(|r| match *r {
+                        Some((lo, hi)) => &arena[lo..hi],
+                        None => &[][..],
+                    })
+                    .collect();
+                let counts = walk_corpus.token_counts(id_bound, false);
+                tdmatch_embed::doc2vec::train_pv_dbow_docs(
+                    &docs,
+                    &counts,
+                    &tdmatch_embed::doc2vec::Doc2VecConfig {
                         dim: self.config.dim,
                         negative: self.config.negative,
                         epochs: self.config.epochs,
@@ -222,14 +247,7 @@ impl TdMatch {
                         min_count: 1,
                         seed: self.config.seed,
                     },
-                );
-                let mut matrix = vec![0.0f32; graph.id_bound() * self.config.dim];
-                for n in graph.nodes() {
-                    let row = d2v.doc_vector(n.index());
-                    matrix[n.index() * self.config.dim..(n.index() + 1) * self.config.dim]
-                        .copy_from_slice(row);
-                }
-                matrix
+                )
             }
         }
     }
@@ -301,9 +319,11 @@ impl TdMatch {
             timings.compress = t.elapsed().as_secs_f64();
         }
 
-        // 4. Random walks (Alg. 4, first half).
+        // 4. Random walks (Alg. 4, first half). The graph is final now:
+        //    freeze it once and run walk generation on the CSR snapshot.
         let t = Instant::now();
-        let walk_corpus = generate_walks(&graph, &self.config.walk_config());
+        let csr = CsrGraph::from_graph(&graph);
+        let walk_corpus = generate_walk_corpus(&csr, &self.config.walk_config());
         timings.walks = t.elapsed().as_secs_f64();
         if walk_corpus.is_empty() {
             return Err(TdError::EmptyWalkCorpus);

@@ -7,6 +7,7 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
+use crate::corpus::FlatCorpus;
 use crate::hogwild::SharedMatrix;
 use crate::neg_table::NegativeTable;
 use crate::vocab::Vocab;
@@ -60,51 +61,17 @@ impl Doc2Vec {
                 vocab,
             };
         }
-        let encoded: Vec<Vec<u32>> = documents.iter().map(|d| vocab.encode(d)).collect();
-        let docs_mat = SharedMatrix::uniform_init(n_docs, config.dim, config.seed);
-        let words_mat = SharedMatrix::zeroed(vocab.len(), config.dim);
-        let neg_table = NegativeTable::new(vocab.counts(), (vocab.len() * 32).max(1 << 18));
-        let mut rng = SmallRng::seed_from_u64(config.seed);
-
-        let total_pairs: u64 = encoded.iter().map(|d| d.len() as u64).sum::<u64>()
-            * config.epochs as u64;
-        let mut done = 0u64;
-        let mut buf = vec![0.0f32; config.dim];
-        let mut err = vec![0.0f32; config.dim];
-
-        for _ in 0..config.epochs {
-            for (doc_id, words) in encoded.iter().enumerate() {
-                for &word in words {
-                    let lr = (config.initial_lr
-                        * (1.0 - done as f32 / total_pairs.max(1) as f32))
-                        .max(config.initial_lr * 1e-4);
-                    done += 1;
-                    docs_mat.read_row(doc_id, &mut buf);
-                    err.fill(0.0);
-                    for d in 0..=config.negative {
-                        let (target, label) = if d == 0 {
-                            (word as usize, 1.0f32)
-                        } else {
-                            let t = neg_table.sample(&mut rng) as usize;
-                            if t == word as usize {
-                                continue;
-                            }
-                            (t, 0.0)
-                        };
-                        let f = words_mat.dot_with_row(target, &buf);
-                        let sig = 1.0 / (1.0 + (-f).exp());
-                        let g = (label - sig) * lr;
-                        words_mat.axpy_row_into(target, g, &mut err);
-                        words_mat.add_scaled_to_row(target, g, &buf);
-                    }
-                    docs_mat.add_to_row(doc_id, &err);
-                }
-            }
+        let mut encoded = FlatCorpus::with_capacity(
+            n_docs,
+            documents.iter().map(Vec::len).sum(),
+        );
+        for d in documents {
+            encoded.push(&vocab.encode(d));
         }
-
+        let doc_vectors = train_pv_dbow(&encoded, vocab.counts(), &config);
         Self {
             dim: config.dim,
-            doc_vectors: docs_mat.to_vec(),
+            doc_vectors,
             vocab,
         }
     }
@@ -139,6 +106,77 @@ impl Doc2Vec {
         // fallback) rather than pretend at precision.
         vec![0.0; self.dim]
     }
+}
+
+/// PV-DBOW core over pre-encoded id documents in a flat arena: document
+/// `i` is `docs.sentence(i)`, token values index `counts`. Returns the
+/// trained `docs.len() × config.dim` row-major document matrix.
+pub fn train_pv_dbow(docs: &FlatCorpus, counts: &[u64], config: &Doc2VecConfig) -> Vec<f32> {
+    let slices: Vec<&[u32]> = docs.sentences().collect();
+    train_pv_dbow_docs(&slices, counts, config)
+}
+
+/// PV-DBOW core over document token slices (which may be zero-copy views
+/// into a shared arena): document `i` is `docs[i]`, token values index
+/// `counts`. Returns the trained `docs.len() × config.dim` row-major
+/// document matrix; rows of empty documents are zero, not noise.
+///
+/// This is the entry point the pipeline's `WalkDoc2Vec` method uses, with
+/// node ids as tokens — no string vocabulary round-trip.
+pub fn train_pv_dbow_docs(docs: &[&[u32]], counts: &[u64], config: &Doc2VecConfig) -> Vec<f32> {
+    let n_docs = docs.len();
+    let total_tokens: usize = docs.iter().map(|d| d.len()).sum();
+    if n_docs == 0 || counts.is_empty() || total_tokens == 0 {
+        return vec![0.0; n_docs * config.dim];
+    }
+    let docs_mat = SharedMatrix::uniform_init(n_docs, config.dim, config.seed);
+    let words_mat = SharedMatrix::zeroed(counts.len(), config.dim);
+    let neg_table = NegativeTable::new(counts, (counts.len() * 32).max(1 << 18));
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+
+    let total_pairs: u64 = total_tokens as u64 * config.epochs as u64;
+    let mut done = 0u64;
+    let mut buf = vec![0.0f32; config.dim];
+    let mut err = vec![0.0f32; config.dim];
+
+    for _ in 0..config.epochs {
+        for (doc_id, &words) in docs.iter().enumerate() {
+            for &word in words {
+                let lr = (config.initial_lr
+                    * (1.0 - done as f32 / total_pairs.max(1) as f32))
+                    .max(config.initial_lr * 1e-4);
+                done += 1;
+                docs_mat.read_row(doc_id, &mut buf);
+                err.fill(0.0);
+                for d in 0..=config.negative {
+                    let (target, label) = if d == 0 {
+                        (word as usize, 1.0f32)
+                    } else {
+                        let t = neg_table.sample(&mut rng) as usize;
+                        if t == word as usize {
+                            continue;
+                        }
+                        (t, 0.0)
+                    };
+                    let f = words_mat.dot_with_row(target, &buf);
+                    let sig = 1.0 / (1.0 + (-f).exp());
+                    let g = (label - sig) * lr;
+                    words_mat.axpy_row_into(target, g, &mut err);
+                    words_mat.add_scaled_to_row(target, g, &buf);
+                }
+                docs_mat.add_to_row(doc_id, &err);
+            }
+        }
+    }
+    let mut out = docs_mat.to_vec();
+    // Empty documents never trained: return zeros, not the random init
+    // (consumers reading the full matrix must not see noise rows).
+    for (doc_id, &words) in docs.iter().enumerate() {
+        if words.is_empty() {
+            out[doc_id * config.dim..(doc_id + 1) * config.dim].fill(0.0);
+        }
+    }
+    out
 }
 
 #[cfg(test)]

@@ -8,13 +8,31 @@
 //! Everything here is built from scratch:
 //!
 //! * [`vocab`] — frequency-ranked vocabulary construction;
+//! * [`corpus`] — the [`FlatCorpus`] token arena all trainers consume;
 //! * [`word2vec`] — Skip-gram & CBOW with negative sampling, trained in
 //!   parallel Hogwild-style over a lock-free shared matrix ([`hogwild`]);
 //! * [`doc2vec`] — PV-DBOW document embeddings (the D2VEC baseline);
 //! * [`walks`] — parallel random-walk corpus generation over a
-//!   [`tdmatch_graph::Graph`];
+//!   [`tdmatch_graph::Graph`] or its [`tdmatch_graph::CsrGraph`] snapshot;
 //! * [`vectors`] — dense embedding stores, cosine similarity, top-k search.
+//!
+//! # Snapshot lifecycle (the hot path)
+//!
+//! The embedding phase is read-only over the graph, so the pipeline
+//! freezes the built/expanded/merged [`tdmatch_graph::Graph`] into a
+//! [`tdmatch_graph::CsrGraph`] once and then:
+//!
+//! 1. [`walks::generate_walk_corpus`] streams all random walks into one
+//!    [`FlatCorpus`] arena (two allocations, any thread count, corpus
+//!    byte-identical to the legacy nested path);
+//! 2. [`word2vec::train_corpus`] / [`doc2vec::train_pv_dbow`] train
+//!    straight off the arena via sentence-slice iterators.
+//!
+//! The nested `Vec<Vec<u32>>` entry points ([`walks::generate_walks`],
+//! [`word2vec::train_ids`]) remain as compatibility shims for baselines
+//! and as equivalence oracles in tests.
 
+pub mod corpus;
 pub mod doc2vec;
 pub mod hogwild;
 pub mod neg_table;
@@ -23,6 +41,7 @@ pub mod vocab;
 pub mod walks;
 pub mod word2vec;
 
+pub use corpus::FlatCorpus;
 pub use vectors::{cosine, Embeddings};
 pub use vocab::Vocab;
 pub use word2vec::{W2vMode, Word2Vec, Word2VecConfig};

@@ -12,6 +12,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
+use crate::corpus::FlatCorpus;
 use crate::hogwild::SharedMatrix;
 use crate::neg_table::NegativeTable;
 use crate::vectors::Embeddings;
@@ -126,8 +127,14 @@ impl Word2Vec {
     /// Builds the vocabulary from `sentences` and trains the model.
     pub fn train<S: AsRef<str> + Sync>(sentences: &[Vec<S>], config: Word2VecConfig) -> Self {
         let vocab = Vocab::build(sentences, config.min_count);
-        let encoded: Vec<Vec<u32>> = sentences.iter().map(|s| vocab.encode(s)).collect();
-        let matrix = train_ids(&encoded, vocab.counts(), &config);
+        let mut encoded = FlatCorpus::with_capacity(
+            sentences.len(),
+            sentences.iter().map(Vec::len).sum(),
+        );
+        for s in sentences {
+            encoded.push(&vocab.encode(s));
+        }
+        let matrix = train_corpus(&encoded, vocab.counts(), &config);
         Self {
             vocab,
             config,
@@ -153,29 +160,44 @@ impl Word2Vec {
 }
 
 /// Trains over pre-encoded id sentences and returns the input matrix
+/// (`counts.len() × config.dim`, row-major). Compatibility wrapper around
+/// [`train_corpus`] for callers still holding `Vec<Vec<u32>>`.
+pub fn train_ids(sentences: &[Vec<u32>], counts: &[u64], config: &Word2VecConfig) -> Vec<f32> {
+    train_corpus(&FlatCorpus::from_nested(sentences), counts, config)
+}
+
+/// Trains over a flat token arena and returns the input matrix
 /// (`counts.len() × config.dim`, row-major).
 ///
 /// This is the entry point TDmatch uses for graph walks, where token ids
-/// are node ids and no string vocabulary is needed.
-pub fn train_ids(sentences: &[Vec<u32>], counts: &[u64], config: &Word2VecConfig) -> Vec<f32> {
+/// are node ids and no string vocabulary is needed. Workers stream
+/// contiguous sentence ranges straight out of the arena — no per-sentence
+/// pointer chasing.
+pub fn train_corpus(corpus: &FlatCorpus, counts: &[u64], config: &Word2VecConfig) -> Vec<f32> {
     let vocab_size = counts.len();
-    if vocab_size == 0 || sentences.is_empty() {
+    if vocab_size == 0 || corpus.is_empty() {
         return Vec::new();
     }
     let syn0 = SharedMatrix::uniform_init(vocab_size, config.dim, config.seed);
     let syn1 = SharedMatrix::zeroed(vocab_size, config.dim);
     let neg_table = NegativeTable::new(counts, (vocab_size * 32).max(1 << 20));
     let sigmoid = SigmoidTable::new();
-    let total_tokens: u64 = sentences.iter().map(|s| s.len() as u64).sum();
-    let total_work = (total_tokens * config.epochs as u64).max(1);
+    let total_work = ((corpus.total_tokens() as u64) * config.epochs as u64).max(1);
     let processed = AtomicU64::new(0);
     let total_count: u64 = counts.iter().sum();
 
-    let threads = config.threads.max(1).min(sentences.len().max(1));
-    let chunk_size = sentences.len().div_ceil(threads);
+    let threads = config.threads.max(1).min(corpus.len().max(1));
+    let chunk_size = corpus.len().div_ceil(threads);
 
     crossbeam::thread::scope(|scope| {
-        for (tid, chunk) in sentences.chunks(chunk_size).enumerate() {
+        for tid in 0..threads {
+            let (lo, hi) = (
+                tid * chunk_size,
+                ((tid + 1) * chunk_size).min(corpus.len()),
+            );
+            if lo >= hi {
+                continue;
+            }
             let syn0 = &syn0;
             let syn1 = &syn1;
             let neg_table = &neg_table;
@@ -186,7 +208,7 @@ pub fn train_ids(sentences: &[Vec<u32>], counts: &[u64], config: &Word2VecConfig
                     SmallRng::seed_from_u64(config.seed.wrapping_add(0x9E37 * (tid as u64 + 1)));
                 let mut worker = Worker::new(config, sigmoid, neg_table, syn0, syn1);
                 for epoch in 0..config.epochs {
-                    for sent in chunk {
+                    for sent in corpus.sentences_range(lo, hi) {
                         let done = processed.fetch_add(sent.len() as u64, Ordering::Relaxed);
                         let progress = done as f32 / total_work as f32;
                         let lr = (config.initial_lr * (1.0 - progress))
@@ -246,9 +268,13 @@ impl<'a> Worker<'a> {
         total_count: u64,
         rng: &mut SmallRng,
     ) {
-        // Frequency subsampling (word2vec.c formula), if enabled.
-        let kept: Vec<u32> = if self.config.subsample > 0.0 {
-            sent.iter()
+        // Frequency subsampling (word2vec.c formula), if enabled. The
+        // common no-subsampling path borrows the sentence straight from
+        // the corpus arena — no per-sentence copy in the training loop.
+        let subsampled: Vec<u32>;
+        let kept: &[u32] = if self.config.subsample > 0.0 {
+            subsampled = sent
+                .iter()
                 .copied()
                 .filter(|&w| {
                     let f = counts[w as usize] as f64 / total_count as f64;
@@ -257,9 +283,10 @@ impl<'a> Worker<'a> {
                         .min(1.0);
                     rng.random::<f64>() < keep
                 })
-                .collect()
+                .collect();
+            &subsampled
         } else {
-            sent.to_vec()
+            sent
         };
         if kept.len() < 2 {
             return;
@@ -279,7 +306,7 @@ impl<'a> Worker<'a> {
                     }
                 }
                 W2vMode::Cbow => {
-                    self.train_cbow(&kept, pos, lo, hi, lr, rng);
+                    self.train_cbow(kept, pos, lo, hi, lr, rng);
                 }
             }
         }

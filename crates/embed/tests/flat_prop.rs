@@ -1,0 +1,98 @@
+//! Property tests pinning the flat CSR-backed walk generator to the seed
+//! nested implementation: same seed ⇒ byte-identical corpus, for every
+//! strategy, at any thread count.
+
+use proptest::prelude::*;
+
+use tdmatch_embed::corpus::FlatCorpus;
+use tdmatch_embed::walks::{generate_walk_corpus, generate_walks, WalkConfig, WalkStrategy};
+use tdmatch_graph::{CsrGraph, EdgeKind, EdgeTypeWeights, Graph, NodeId};
+
+fn build(n: usize, edges: &[(usize, usize, u8)], removals: &[usize]) -> Graph {
+    let mut g = Graph::new();
+    let ids: Vec<NodeId> = (0..n).map(|i| g.intern_data(&format!("n{i}"))).collect();
+    for &(a, b, k) in edges {
+        let kind = EdgeKind::ALL[k as usize % EdgeKind::ALL.len()];
+        g.add_edge_typed(ids[a % n], ids[b % n], kind);
+    }
+    for &r in removals {
+        g.remove_node(ids[r % n]);
+    }
+    g
+}
+
+fn strategy_from(tag: u8, w_ext: f32) -> WalkStrategy {
+    match tag % 3 {
+        0 => WalkStrategy::Uniform,
+        1 => WalkStrategy::Node2Vec { p: 0.35, q: 1.8 },
+        _ => WalkStrategy::EdgeTyped(EdgeTypeWeights::uniform().with(EdgeKind::External, w_ext)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// CSR-backed generation is corpus-identical to the seed path and
+    /// independent of thread count.
+    #[test]
+    fn flat_corpus_is_byte_identical_to_nested(
+        n in 2usize..12,
+        edges in prop::collection::vec((0usize..12, 0usize..12, 0u8..8), 1..30),
+        removals in prop::collection::vec(0usize..12, 0..3),
+        seed in 0u64..500,
+        // Above WALK_LANES (8) so the interleaved uniform fast path runs
+        // full batches plus a partial tail batch, not just one batch.
+        walks_per_node in 1usize..12,
+        walk_len in 1usize..8,
+        strategy_tag in 0u8..3,
+        w_ext in 0.0f32..2.5,
+    ) {
+        let g = build(n, &edges, &removals);
+        let csr = CsrGraph::from_graph(&g);
+        let strategy = strategy_from(strategy_tag, w_ext);
+        let base = WalkConfig {
+            walks_per_node,
+            walk_len,
+            seed,
+            threads: 1,
+            strategy,
+        };
+        let nested = generate_walks(&g, &base);
+        let reference = FlatCorpus::from_nested(&nested);
+        for threads in [1usize, 2, 3, 7] {
+            let flat = generate_walk_corpus(&csr, &WalkConfig { threads, ..base });
+            prop_assert_eq!(
+                &flat, &reference,
+                "strategy {:?} threads {}", strategy, threads
+            );
+        }
+    }
+
+    /// Flat token counts agree with the nested `walk_counts` oracle.
+    #[test]
+    fn token_counts_match_nested_oracle(
+        n in 2usize..10,
+        edges in prop::collection::vec((0usize..10, 0usize..10, 0u8..8), 1..25),
+        seed in 0u64..200,
+    ) {
+        use tdmatch_embed::walks::walk_counts;
+        let g = build(n, &edges, &[]);
+        let cfg = WalkConfig {
+            walks_per_node: 2,
+            walk_len: 5,
+            seed,
+            threads: 3,
+            strategy: WalkStrategy::Uniform,
+        };
+        let nested = generate_walks(&g, &cfg);
+        let flat = generate_walk_corpus(&CsrGraph::from_graph(&g), &cfg);
+        prop_assert_eq!(
+            flat.token_counts(g.id_bound(), false),
+            walk_counts(&nested, g.id_bound(), false)
+        );
+        prop_assert_eq!(
+            flat.token_counts(g.id_bound(), true),
+            walk_counts(&nested, g.id_bound(), true)
+        );
+    }
+}

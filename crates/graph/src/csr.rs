@@ -1,0 +1,349 @@
+//! Immutable compressed-sparse-row snapshot of a [`Graph`].
+//!
+//! The walk generator reads adjacency hundreds of times per node
+//! (§IV-A / Alg. 4: 100 walks × length 30 from *every* node), which makes
+//! the mutable graph's `Vec<Vec<NodeId>>` representation — one heap
+//! allocation per node, pointer-chasing per step — the wrong layout for
+//! the read phase. [`CsrGraph`] freezes a built graph into three flat
+//! arrays (`offsets` / `targets` / `kinds`) built in one pass, so every
+//! neighbor scan is a contiguous slice read.
+//!
+//! Two extra structures make the biased walks cheap:
+//!
+//! * a per-node **sorted neighbor index** turns [`has_edge`] into a binary
+//!   search — node2vec's second-order bias probes `has_edge(prev, x)` for
+//!   every candidate `x`, which was an O(degree) scan per candidate on the
+//!   mutable graph;
+//! * a per-node **cumulative edge-type weight table** ([`edge_type_cum`])
+//!   lets edge-typed transitions sample in O(log degree) by binary search
+//!   over prefix sums instead of rebuilding a weight buffer per step.
+//!
+//! `targets` deliberately preserves the mutable graph's insertion order
+//! (the sorted copy is a *separate* index): random walks pick neighbors by
+//! index, so keeping the order identical is what makes CSR-backed walks
+//! byte-identical to walks over the original [`Graph`] under the same
+//! seed. The property tests in `tests/csr_prop.rs` pin both guarantees.
+//!
+//! Lifecycle: mutate [`Graph`] (build → expand → merge → compress), then
+//! freeze once via [`CsrGraph::from_graph`] and run all read-heavy work
+//! (walk generation, embedding) against the snapshot. The snapshot does
+//! not observe later mutations — re-freeze after further changes.
+//!
+//! [`has_edge`]: CsrGraph::has_edge
+//! [`edge_type_cum`]: CsrGraph::edge_type_cum
+
+use crate::edge::{EdgeKind, EdgeTypeWeights};
+use crate::graph::Graph;
+use crate::node::{CorpusSide, NodeId, NodeKind};
+
+/// An immutable CSR view of a [`Graph`], sharing its node ids.
+///
+/// Tombstoned nodes keep their id slot (with an empty adjacency range), so
+/// any table indexed by [`NodeId`] works unchanged against the snapshot.
+#[derive(Debug, Clone)]
+pub struct CsrGraph {
+    /// `offsets[u] .. offsets[u + 1]` is node `u`'s range in `targets`,
+    /// `kinds`, and the sorted index. Length `id_bound + 1`.
+    offsets: Vec<u32>,
+    /// Neighbor ids in the *insertion order* of the source graph (walk
+    /// compatibility; see module docs).
+    targets: Vec<NodeId>,
+    /// Edge kinds parallel to `targets`.
+    kinds: Vec<EdgeKind>,
+    /// Neighbor ids sorted ascending within each node's range, for binary
+    /// search in [`has_edge`](CsrGraph::has_edge).
+    sorted_targets: Vec<NodeId>,
+    /// Edge kinds parallel to `sorted_targets`.
+    sorted_kinds: Vec<EdgeKind>,
+    /// Node kinds, indexed by id (tombstones keep their last kind).
+    node_kinds: Vec<NodeKind>,
+    /// Tombstone flags, indexed by id.
+    removed: Vec<bool>,
+    live_nodes: usize,
+    edge_count: usize,
+}
+
+impl CsrGraph {
+    /// Freezes `g` into a CSR snapshot in one pass over its adjacency.
+    pub fn from_graph(g: &Graph) -> Self {
+        let n = g.id_bound();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut total = 0u64;
+        for id in 0..n {
+            total += g.neighbors(NodeId(id as u32)).len() as u64;
+            assert!(
+                total <= u32::MAX as u64,
+                "graph too large for u32 CSR offsets ({total} directed edges)"
+            );
+            offsets.push(total as u32);
+        }
+        let mut targets = Vec::with_capacity(total as usize);
+        let mut kinds = Vec::with_capacity(total as usize);
+        let mut node_kinds = Vec::with_capacity(n);
+        let mut removed = Vec::with_capacity(n);
+        for id in 0..n {
+            let id = NodeId(id as u32);
+            targets.extend_from_slice(g.neighbors(id));
+            kinds.extend_from_slice(g.neighbor_kinds(id));
+            node_kinds.push(g.kind(id));
+            removed.push(g.is_removed(id));
+        }
+
+        // Sorted index: per-node (target, kind) pairs ordered by target.
+        let mut sorted_targets = targets.clone();
+        let mut sorted_kinds = kinds.clone();
+        let mut pairs: Vec<(NodeId, EdgeKind)> = Vec::new();
+        for u in 0..n {
+            let (lo, hi) = (offsets[u] as usize, offsets[u + 1] as usize);
+            pairs.clear();
+            pairs.extend(targets[lo..hi].iter().copied().zip(kinds[lo..hi].iter().copied()));
+            pairs.sort_unstable_by_key(|&(t, _)| t);
+            for (i, &(t, k)) in pairs.iter().enumerate() {
+                sorted_targets[lo + i] = t;
+                sorted_kinds[lo + i] = k;
+            }
+        }
+
+        Self {
+            offsets,
+            targets,
+            kinds,
+            sorted_targets,
+            sorted_kinds,
+            node_kinds,
+            removed,
+            live_nodes: g.node_count(),
+            edge_count: g.edge_count(),
+        }
+    }
+
+    /// Upper bound of node ids (including tombstones), as in
+    /// [`Graph::id_bound`].
+    #[inline]
+    pub fn id_bound(&self) -> usize {
+        self.node_kinds.len()
+    }
+
+    /// Number of live nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.live_nodes
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// True if the node was tombstoned at snapshot time.
+    #[inline]
+    pub fn is_removed(&self, id: NodeId) -> bool {
+        self.removed[id.index()]
+    }
+
+    /// The kind of a node.
+    #[inline]
+    pub fn kind(&self, id: NodeId) -> NodeKind {
+        self.node_kinds[id.index()]
+    }
+
+    /// Iterates over live node ids in ascending order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.id_bound() as u32)
+            .map(NodeId)
+            .filter(move |id| !self.removed[id.index()])
+    }
+
+    /// The node's adjacency range in the flat arrays.
+    #[inline]
+    fn range(&self, id: NodeId) -> (usize, usize) {
+        (
+            self.offsets[id.index()] as usize,
+            self.offsets[id.index() + 1] as usize,
+        )
+    }
+
+    /// Neighbors in source-graph insertion order. Empty for removed nodes.
+    #[inline]
+    pub fn neighbors(&self, id: NodeId) -> &[NodeId] {
+        let (lo, hi) = self.range(id);
+        &self.targets[lo..hi]
+    }
+
+    /// Edge kinds parallel to [`neighbors`](CsrGraph::neighbors).
+    #[inline]
+    pub fn neighbor_kinds(&self, id: NodeId) -> &[EdgeKind] {
+        let (lo, hi) = self.range(id);
+        &self.kinds[lo..hi]
+    }
+
+    /// Degree of a node (0 for removed nodes).
+    #[inline]
+    pub fn degree(&self, id: NodeId) -> usize {
+        let (lo, hi) = self.range(id);
+        hi - lo
+    }
+
+    /// True if the undirected edge `{a, b}` exists — a binary search over
+    /// the smaller endpoint's sorted neighbor index.
+    #[inline]
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        let probe = if self.degree(a) <= self.degree(b) { a } else { b };
+        let other = if probe == a { b } else { a };
+        let (lo, hi) = self.range(probe);
+        self.sorted_targets[lo..hi].binary_search(&other).is_ok()
+    }
+
+    /// The kind of the undirected edge `{a, b}`, or `None` when absent.
+    pub fn edge_kind(&self, a: NodeId, b: NodeId) -> Option<EdgeKind> {
+        let probe = if self.degree(a) <= self.degree(b) { a } else { b };
+        let other = if probe == a { b } else { a };
+        let (lo, hi) = self.range(probe);
+        self.sorted_targets[lo..hi]
+            .binary_search(&other)
+            .ok()
+            .map(|pos| self.sorted_kinds[lo + pos])
+    }
+
+    /// All live metadata nodes, optionally restricted to one corpus side
+    /// (mirrors [`Graph::metadata_nodes`]).
+    pub fn metadata_nodes(&self, side: Option<CorpusSide>) -> Vec<NodeId> {
+        self.nodes()
+            .filter(|&id| {
+                let k = self.node_kinds[id.index()];
+                k.is_metadata() && (side.is_none() || k.side() == side)
+            })
+            .collect()
+    }
+
+    /// Per-edge cumulative transition weights for one [`EdgeTypeWeights`]
+    /// configuration, aligned with [`neighbors`](CsrGraph::neighbors).
+    ///
+    /// For each node the table holds the running prefix sum of its
+    /// incident edges' kind weights, accumulated in insertion order with
+    /// plain `f32` addition — the *same* fold the per-step sampler used to
+    /// recompute, so sampling from the table is bit-identical to the
+    /// recomputing path while costing O(log degree) per step.
+    pub fn edge_type_cum(&self, weights: &EdgeTypeWeights) -> EdgeTypeCum {
+        let mut cum = Vec::with_capacity(self.kinds.len());
+        for u in 0..self.id_bound() {
+            let (lo, hi) = (self.offsets[u] as usize, self.offsets[u + 1] as usize);
+            let mut running = 0.0f32;
+            for &kind in &self.kinds[lo..hi] {
+                running += weights.get(kind);
+                cum.push(running);
+            }
+        }
+        EdgeTypeCum { cum }
+    }
+
+    /// The slice of an [`EdgeTypeCum`] table covering node `id`.
+    #[inline]
+    pub fn cum_slice<'a>(&self, cum: &'a EdgeTypeCum, id: NodeId) -> &'a [f32] {
+        let (lo, hi) = self.range(id);
+        &cum.cum[lo..hi]
+    }
+}
+
+/// Precomputed per-node cumulative edge-type weights; build once per
+/// (snapshot, weight table) pair via [`CsrGraph::edge_type_cum`].
+#[derive(Debug, Clone)]
+pub struct EdgeTypeCum {
+    cum: Vec<f32>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::MetaKind;
+
+    fn diamond() -> (Graph, NodeId, NodeId, NodeId, NodeId) {
+        let mut g = Graph::new();
+        let a = g.intern_data("a");
+        let b = g.intern_data("b");
+        let c = g.intern_data("c");
+        let d = g.intern_data("d");
+        g.add_edge_typed(a, b, EdgeKind::Contains);
+        g.add_edge_typed(a, c, EdgeKind::External);
+        g.add_edge_typed(b, d, EdgeKind::Hierarchy);
+        g.add_edge_typed(c, d, EdgeKind::Generic);
+        (g, a, b, c, d)
+    }
+
+    #[test]
+    fn snapshot_mirrors_neighbors_and_kinds() {
+        let (g, a, b, c, d) = diamond();
+        let csr = CsrGraph::from_graph(&g);
+        assert_eq!(csr.node_count(), 4);
+        assert_eq!(csr.edge_count(), 4);
+        for id in [a, b, c, d] {
+            assert_eq!(csr.neighbors(id), g.neighbors(id));
+            assert_eq!(csr.neighbor_kinds(id), g.neighbor_kinds(id));
+            assert_eq!(csr.degree(id), g.degree(id));
+            assert_eq!(csr.kind(id), g.kind(id));
+        }
+    }
+
+    #[test]
+    fn has_edge_and_kind_agree_with_source() {
+        let (g, a, b, c, d) = diamond();
+        let csr = CsrGraph::from_graph(&g);
+        for x in [a, b, c, d] {
+            for y in [a, b, c, d] {
+                assert_eq!(csr.has_edge(x, y), g.has_edge(x, y), "{x} {y}");
+                assert_eq!(csr.edge_kind(x, y), g.edge_kind(x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn tombstones_keep_id_slots() {
+        let (mut g, a, b, _, d) = diamond();
+        g.remove_node(b);
+        let csr = CsrGraph::from_graph(&g);
+        assert_eq!(csr.id_bound(), 4);
+        assert_eq!(csr.node_count(), 3);
+        assert!(csr.is_removed(b));
+        assert!(csr.neighbors(b).is_empty());
+        assert!(!csr.has_edge(a, b));
+        assert!(csr.nodes().all(|n| n != b));
+        assert_eq!(csr.degree(d), 1);
+    }
+
+    #[test]
+    fn metadata_queries_match_source() {
+        let mut g = Graph::new();
+        let t = g.add_meta("t1", CorpusSide::First, MetaKind::Tuple, 0);
+        let p = g.add_meta("p1", CorpusSide::Second, MetaKind::TextDoc, 0);
+        let term = g.intern_data("term");
+        g.add_edge(t, term);
+        g.add_edge(p, term);
+        let csr = CsrGraph::from_graph(&g);
+        assert_eq!(csr.metadata_nodes(None), g.metadata_nodes(None));
+        assert_eq!(
+            csr.metadata_nodes(Some(CorpusSide::First)),
+            g.metadata_nodes(Some(CorpusSide::First))
+        );
+    }
+
+    #[test]
+    fn cum_table_is_per_node_prefix_sums() {
+        let (g, a, ..) = diamond();
+        let csr = CsrGraph::from_graph(&g);
+        let weights = EdgeTypeWeights::uniform().with(EdgeKind::External, 3.0);
+        let cum = csr.edge_type_cum(&weights);
+        // a's edges in insertion order: Contains (1.0), External (3.0).
+        assert_eq!(csr.cum_slice(&cum, a), &[1.0, 4.0]);
+    }
+
+    #[test]
+    fn empty_graph_snapshots() {
+        let g = Graph::new();
+        let csr = CsrGraph::from_graph(&g);
+        assert_eq!(csr.node_count(), 0);
+        assert_eq!(csr.id_bound(), 0);
+        assert_eq!(csr.nodes().count(), 0);
+    }
+}

@@ -1,9 +1,17 @@
 //! The undirected graph with label interning and tombstone removal.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crate::edge::EdgeKind;
 use crate::node::{CorpusSide, MetaKind, NodeId, NodeKind};
+
+/// Packs an undirected pair into one key (smaller id in the high half),
+/// for the O(1) edge-membership set.
+#[inline]
+fn edge_key(a: NodeId, b: NodeId) -> u64 {
+    let (lo, hi) = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+    ((lo as u64) << 32) | hi as u64
+}
 
 /// An undirected, unweighted graph over data and metadata nodes.
 ///
@@ -31,6 +39,11 @@ pub struct Graph {
     /// label → id for metadata nodes (kept separate: a metadata label may
     /// coincide with a term).
     meta_index: HashMap<String, NodeId>,
+    /// Packed undirected pairs of every live edge. Makes the duplicate
+    /// probe in [`add_edge_typed`](Graph::add_edge_typed) and
+    /// [`has_edge`](Graph::has_edge) O(1): the old adjacency-list
+    /// `contains` scan made construction quadratic around hub terms.
+    edge_set: HashSet<u64>,
     edge_count: usize,
     live_nodes: usize,
 }
@@ -51,6 +64,7 @@ impl Graph {
             removed: Vec::with_capacity(nodes),
             data_index: HashMap::with_capacity(nodes),
             meta_index: HashMap::new(),
+            edge_set: HashSet::new(),
             edge_count: 0,
             live_nodes: 0,
         }
@@ -142,13 +156,8 @@ impl Graph {
         if a == b || self.removed[a.index()] || self.removed[b.index()] {
             return false;
         }
-        // Containment check on the smaller adjacency list.
-        let (probe, other) = if self.adj[a.index()].len() <= self.adj[b.index()].len() {
-            (a, b)
-        } else {
-            (b, a)
-        };
-        if self.adj[probe.index()].contains(&other) {
+        // O(1) duplicate probe; `insert` also registers the new edge.
+        if !self.edge_set.insert(edge_key(a, b)) {
             return false;
         }
         self.adj[a.index()].push(b);
@@ -159,11 +168,11 @@ impl Graph {
         true
     }
 
-    /// True if the undirected edge `{a, b}` exists.
+    /// True if the undirected edge `{a, b}` exists (O(1)).
     pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
         !self.removed[a.index()]
             && !self.removed[b.index()]
-            && self.adj[a.index()].contains(&b)
+            && self.edge_set.contains(&edge_key(a, b))
     }
 
     /// Removes a node and all its incident edges.
@@ -175,6 +184,7 @@ impl Graph {
         self.akind[id.index()].clear();
         self.edge_count -= neighbors.len();
         for n in neighbors {
+            self.edge_set.remove(&edge_key(id, n));
             // `adj` and `akind` are parallel; remove the same position from
             // both (swap_remove keeps them parallel and is O(1)).
             if let Some(pos) = self.adj[n.index()].iter().position(|&x| x == id) {
@@ -340,23 +350,39 @@ impl Graph {
     }
 
     /// Removes every *non-metadata* node whose degree is ≤ 1 (the sink
-    /// cleanup of Alg. 2), repeating until fixpoint since removals can
-    /// create new sinks. Returns the number of removed nodes.
+    /// cleanup of Alg. 2), cascading since removals can create new sinks.
+    /// Returns the number of removed nodes.
+    ///
+    /// Runs off a worklist seeded with the nodes currently at degree ≤ 1;
+    /// each removal enqueues only the neighbors it just demoted. Total
+    /// cost is O(removed + their degrees) — the previous implementation
+    /// rescanned every live node per cascade round, which was quadratic on
+    /// long chains. The fixpoint is order-independent (degree peeling is
+    /// confluent), so the surviving graph is identical.
     pub fn remove_sinks(&mut self) -> usize {
+        let is_sink = |g: &Self, id: NodeId| {
+            !g.removed[id.index()]
+                && !g.kinds[id.index()].is_metadata()
+                && g.adj[id.index()].len() <= 1
+        };
+        let mut worklist: Vec<NodeId> = self.nodes().filter(|&id| is_sink(self, id)).collect();
         let mut removed_total = 0;
-        loop {
-            let sinks: Vec<NodeId> = self
-                .nodes()
-                .filter(|&id| !self.kinds[id.index()].is_metadata() && self.degree(id) <= 1)
-                .collect();
-            if sinks.is_empty() {
-                return removed_total;
+        while let Some(id) = worklist.pop() {
+            // A queued node may have been removed since enqueueing (as the
+            // sole neighbor of another sink); re-check before removing.
+            if !is_sink(self, id) {
+                continue;
             }
-            for id in sinks {
-                self.remove_node(id);
-                removed_total += 1;
+            let neighbors = self.adj[id.index()].clone();
+            self.remove_node(id);
+            removed_total += 1;
+            for n in neighbors {
+                if is_sink(self, n) {
+                    worklist.push(n);
+                }
             }
         }
+        removed_total
     }
 }
 
@@ -468,6 +494,45 @@ mod tests {
         g.add_edge(m2, hub);
         assert_eq!(g.remove_sinks(), 0);
         assert_eq!(g.node_count(), 3);
+    }
+
+    #[test]
+    fn edge_membership_survives_remove_and_readd() {
+        let mut g = Graph::new();
+        let a = g.intern_data("a");
+        let b = g.intern_data("b");
+        let c = g.intern_data("c");
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        g.remove_node(b);
+        assert!(!g.has_edge(a, b));
+        // Revive b and re-add one edge: the stale pair must be gone from
+        // the membership set, the new one present.
+        let b2 = g.intern_data("b");
+        assert_eq!(b, b2);
+        assert!(!g.has_edge(b, c));
+        assert!(g.add_edge(b, c));
+        assert!(g.has_edge(b, c));
+        assert!(!g.add_edge(c, b));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn sink_removal_clears_long_chain() {
+        // A 500-node chain hanging off a metadata anchor: the worklist
+        // must peel the whole chain in one pass.
+        let mut g = Graph::new();
+        let m = meta(&mut g, "m", CorpusSide::First);
+        let mut prev = g.intern_data("c0");
+        g.add_edge(m, prev);
+        for i in 1..500 {
+            let next = g.intern_data(&format!("c{i}"));
+            g.add_edge(prev, next);
+            prev = next;
+        }
+        assert_eq!(g.remove_sinks(), 500);
+        assert_eq!(g.node_count(), 1);
+        assert!(!g.is_removed(m));
     }
 
     #[test]

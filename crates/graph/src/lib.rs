@@ -8,10 +8,26 @@
 //! * **metadata nodes** — tuples, attributes (columns), free-text documents
 //!   and taxonomy nodes.
 //!
-//! This crate provides the graph itself ([`Graph`]), breadth-first search
-//! and all-shortest-path enumeration ([`traverse`]), and random-neighbor
-//! sampling used by the walk generator ([`sample`]).
+//! This crate provides the graph itself ([`Graph`]), an immutable
+//! compressed-sparse-row snapshot for read-heavy phases ([`CsrGraph`]),
+//! breadth-first search and all-shortest-path enumeration ([`traverse`]),
+//! and random-neighbor sampling used by the walk generator ([`sample`]).
+//!
+//! # Snapshot lifecycle
+//!
+//! The intended flow separates the *mutation* phase from the *read* phase:
+//!
+//! 1. build the [`Graph`] (Alg. 1), then expand (Alg. 2), merge (§II-C)
+//!    and/or compress (Alg. 3) it — all mutating operations;
+//! 2. freeze the result once with [`CsrGraph::from_graph`];
+//! 3. run all read-heavy work — random-walk generation, `has_edge`-heavy
+//!    biased walks, embedding training — against the snapshot.
+//!
+//! The snapshot is immutable: further `Graph` mutations require a fresh
+//! freeze. Walks over the snapshot are byte-identical to walks over the
+//! source graph under the same seed (see [`csr`] for why).
 
+pub mod csr;
 pub mod edge;
 pub mod graph;
 pub mod node;
@@ -20,6 +36,7 @@ pub mod sample;
 pub mod stats;
 pub mod traverse;
 
+pub use csr::{CsrGraph, EdgeTypeCum};
 pub use edge::{EdgeKind, EdgeTypeWeights};
 pub use graph::Graph;
 pub use node::{CorpusSide, MetaKind, NodeId, NodeKind};

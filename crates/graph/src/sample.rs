@@ -5,6 +5,7 @@
 use rand::seq::IndexedRandom;
 use rand::{Rng, RngExt};
 
+use crate::csr::{CsrGraph, EdgeTypeCum};
 use crate::edge::EdgeTypeWeights;
 use crate::graph::Graph;
 use crate::node::NodeId;
@@ -48,22 +49,53 @@ pub fn choose<'a, T, R: Rng + ?Sized>(items: &'a [T], rng: &mut R) -> Option<&'a
 
 /// Samples an index from unnormalized non-negative `weights` by cumulative
 /// sum. Returns `None` when all weights are zero (or the slice is empty).
+///
+/// The selection rule is "first index whose running prefix sum exceeds
+/// `r · total`", with the prefix accumulated by sequential `f32` addition.
+/// [`sample_cumulative`] applies the same rule to a *precomputed* prefix
+/// table; keeping both on one arithmetic definition is what makes walks
+/// over a [`CsrGraph`] byte-identical to walks over the mutable graph.
 fn sample_weighted<R: Rng + ?Sized>(weights: &[f32], rng: &mut R) -> Option<usize> {
-    let total: f32 = weights.iter().sum();
+    let mut total = 0.0f32;
+    for &w in weights {
+        total += w;
+    }
     if total <= 0.0 || total.is_nan() {
         return None;
     }
     // Reborrow: `Rng::random` needs `Self: Sized`, and `&mut R` is.
-    let mut target = (*rng).random::<f32>() * total;
+    let target = (*rng).random::<f32>() * total;
+    let mut running = 0.0f32;
     for (i, &w) in weights.iter().enumerate() {
-        target -= w;
-        if target < 0.0 {
+        running += w;
+        if running > target {
             return Some(i);
         }
     }
-    // Float round-off can leave target at ~0; fall back to the last
-    // positive-weight index.
+    // Float round-off can leave the prefix at ~target; fall back to the
+    // last positive-weight index.
     weights.iter().rposition(|&w| w > 0.0)
+}
+
+/// [`sample_weighted`] over a precomputed prefix-sum table: binary search
+/// for the first entry exceeding `r · total` (O(log n) instead of O(n)).
+/// `positive` reports whether the weight at an index is positive, for the
+/// round-off fallback. Draws from `rng` exactly like [`sample_weighted`].
+fn sample_cumulative<R: Rng + ?Sized>(
+    cum: &[f32],
+    positive: impl Fn(usize) -> bool,
+    rng: &mut R,
+) -> Option<usize> {
+    let total = *cum.last()?;
+    if total <= 0.0 || total.is_nan() {
+        return None;
+    }
+    let target = (*rng).random::<f32>() * total;
+    let idx = cum.partition_point(|&c| c <= target);
+    if idx < cum.len() {
+        return Some(idx);
+    }
+    (0..cum.len()).rev().find(|&i| positive(i))
 }
 
 /// One random walk where each transition is weighted by the edge's
@@ -155,6 +187,114 @@ pub fn random_walk_node2vec<R: Rng + ?Sized>(
         }
     }
     walk
+}
+
+/// One uniform random walk over a CSR snapshot, appended to `out` as raw
+/// `u32` tokens (no per-walk allocation). Byte-identical to
+/// [`random_walk`] over the source graph under the same RNG stream.
+pub fn random_walk_csr_into<R: Rng + ?Sized>(
+    g: &CsrGraph,
+    start: NodeId,
+    len: usize,
+    rng: &mut R,
+    out: &mut Vec<u32>,
+) {
+    out.push(start.0);
+    let mut cur = start;
+    for _ in 0..len {
+        match g.neighbors(cur).choose(rng) {
+            Some(&next) => {
+                out.push(next.0);
+                cur = next;
+            }
+            None => break,
+        }
+    }
+}
+
+/// One edge-type-weighted walk over a CSR snapshot using a precomputed
+/// cumulative weight table ([`CsrGraph::edge_type_cum`]): each transition
+/// samples by binary search over the node's prefix sums, O(log degree).
+/// Byte-identical to [`random_walk_edge_typed`] under the same RNG stream.
+pub fn random_walk_edge_typed_csr_into<R: Rng + ?Sized>(
+    g: &CsrGraph,
+    start: NodeId,
+    len: usize,
+    weights: &EdgeTypeWeights,
+    cum: &EdgeTypeCum,
+    rng: &mut R,
+    out: &mut Vec<u32>,
+) {
+    out.push(start.0);
+    let mut cur = start;
+    for _ in 0..len {
+        let neighbors = g.neighbors(cur);
+        if neighbors.is_empty() {
+            break;
+        }
+        let kinds = g.neighbor_kinds(cur);
+        let slice = g.cum_slice(cum, cur);
+        match sample_cumulative(slice, |i| weights.get(kinds[i]) > 0.0, rng) {
+            Some(i) => {
+                cur = neighbors[i];
+                out.push(cur.0);
+            }
+            None => break,
+        }
+    }
+}
+
+/// One node2vec second-order walk over a CSR snapshot. The `prev`-neighbor
+/// probe uses the snapshot's binary-search [`has_edge`], so each step costs
+/// O(degree · log degree) instead of O(degree²); `buf` is caller-provided
+/// scratch reused across walks. Byte-identical to [`random_walk_node2vec`]
+/// under the same RNG stream.
+///
+/// [`has_edge`]: CsrGraph::has_edge
+#[allow(clippy::too_many_arguments)] // mirrors the walk-primitive family's flat signatures
+pub fn random_walk_node2vec_csr_into<R: Rng + ?Sized>(
+    g: &CsrGraph,
+    start: NodeId,
+    len: usize,
+    p: f32,
+    q: f32,
+    rng: &mut R,
+    buf: &mut Vec<f32>,
+    out: &mut Vec<u32>,
+) {
+    debug_assert!(p > 0.0 && q > 0.0, "node2vec parameters must be positive");
+    out.push(start.0);
+    // First step has no history: uniform.
+    let Some(&first) = g.neighbors(start).choose(rng) else {
+        return;
+    };
+    out.push(first.0);
+    let (mut prev, mut cur) = (start, first);
+    let (inv_p, inv_q) = (1.0 / p, 1.0 / q);
+    for _ in 1..len {
+        let neighbors = g.neighbors(cur);
+        if neighbors.is_empty() {
+            break;
+        }
+        buf.clear();
+        buf.extend(neighbors.iter().map(|&x| {
+            if x == prev {
+                inv_p
+            } else if g.has_edge(prev, x) {
+                1.0
+            } else {
+                inv_q
+            }
+        }));
+        match sample_weighted(buf, rng) {
+            Some(i) => {
+                prev = cur;
+                cur = neighbors[i];
+                out.push(cur.0);
+            }
+            None => break,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -293,6 +433,102 @@ mod tests {
             returny > explorey + 0.2,
             "low p should return far more often: {returny} vs {explorey}"
         );
+    }
+
+    #[test]
+    fn csr_walks_match_graph_walks_token_for_token() {
+        use crate::csr::CsrGraph;
+        use crate::edge::EdgeKind;
+        // A messy graph: ring + chords + typed edges + a tombstone.
+        let mut g = Graph::new();
+        let ids: Vec<NodeId> = (0..12).map(|i| g.intern_data(&format!("n{i}"))).collect();
+        for i in 0..12 {
+            g.add_edge_typed(
+                ids[i],
+                ids[(i + 1) % 12],
+                if i % 2 == 0 { EdgeKind::Contains } else { EdgeKind::External },
+            );
+            g.add_edge_typed(ids[i], ids[(i + 5) % 12], EdgeKind::Hierarchy);
+        }
+        g.remove_node(ids[7]);
+        let csr = CsrGraph::from_graph(&g);
+        let weights = EdgeTypeWeights::uniform()
+            .with(EdgeKind::External, 2.5)
+            .with(EdgeKind::Hierarchy, 0.5);
+        let cum = csr.edge_type_cum(&weights);
+        let mut buf = Vec::new();
+        for seed in 0..40u64 {
+            let start = ids[(seed % 12) as usize];
+            if g.is_removed(start) {
+                continue;
+            }
+            let reference: Vec<u32> = random_walk(&g, start, 9, &mut SmallRng::seed_from_u64(seed))
+                .into_iter()
+                .map(|n| n.0)
+                .collect();
+            let mut flat = Vec::new();
+            random_walk_csr_into(&csr, start, 9, &mut SmallRng::seed_from_u64(seed), &mut flat);
+            assert_eq!(flat, reference, "uniform seed {seed}");
+
+            let reference: Vec<u32> =
+                random_walk_edge_typed(&g, start, 9, &weights, &mut SmallRng::seed_from_u64(seed))
+                    .into_iter()
+                    .map(|n| n.0)
+                    .collect();
+            let mut flat = Vec::new();
+            random_walk_edge_typed_csr_into(
+                &csr,
+                start,
+                9,
+                &weights,
+                &cum,
+                &mut SmallRng::seed_from_u64(seed),
+                &mut flat,
+            );
+            assert_eq!(flat, reference, "edge-typed seed {seed}");
+
+            let reference: Vec<u32> =
+                random_walk_node2vec(&g, start, 9, 0.3, 2.0, &mut SmallRng::seed_from_u64(seed))
+                    .into_iter()
+                    .map(|n| n.0)
+                    .collect();
+            let mut flat = Vec::new();
+            random_walk_node2vec_csr_into(
+                &csr,
+                start,
+                9,
+                0.3,
+                2.0,
+                &mut SmallRng::seed_from_u64(seed),
+                &mut buf,
+                &mut flat,
+            );
+            assert_eq!(flat, reference, "node2vec seed {seed}");
+        }
+    }
+
+    #[test]
+    fn csr_zero_weight_edges_strand_walkers() {
+        use crate::csr::CsrGraph;
+        use crate::edge::EdgeKind;
+        let mut g = Graph::new();
+        let a = g.intern_data("a");
+        let b = g.intern_data("b");
+        g.add_edge_typed(a, b, EdgeKind::Generic);
+        let weights = EdgeTypeWeights::uniform().with(EdgeKind::Generic, 0.0);
+        let csr = CsrGraph::from_graph(&g);
+        let cum = csr.edge_type_cum(&weights);
+        let mut out = Vec::new();
+        random_walk_edge_typed_csr_into(
+            &csr,
+            a,
+            5,
+            &weights,
+            &cum,
+            &mut SmallRng::seed_from_u64(1),
+            &mut out,
+        );
+        assert_eq!(out, vec![a.0]);
     }
 
     #[test]

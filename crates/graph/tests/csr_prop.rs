@@ -1,0 +1,115 @@
+//! Property tests pinning the [`CsrGraph`] snapshot to its source
+//! [`Graph`]: edge-for-edge structural equivalence, and RNG-stream
+//! equivalence of every walk primitive.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use tdmatch_graph::sample::{
+    random_walk, random_walk_csr_into, random_walk_edge_typed, random_walk_edge_typed_csr_into,
+    random_walk_node2vec, random_walk_node2vec_csr_into,
+};
+use tdmatch_graph::{CsrGraph, EdgeKind, EdgeTypeWeights, Graph, NodeId};
+
+/// Builds a graph from arbitrary typed edge pairs (mod `n`), optionally
+/// tombstoning some nodes afterwards.
+fn build(n: usize, edges: &[(usize, usize, u8)], removals: &[usize]) -> Graph {
+    let mut g = Graph::new();
+    let ids: Vec<NodeId> = (0..n).map(|i| g.intern_data(&format!("n{i}"))).collect();
+    for &(a, b, k) in edges {
+        let kind = EdgeKind::ALL[k as usize % EdgeKind::ALL.len()];
+        g.add_edge_typed(ids[a % n], ids[b % n], kind);
+    }
+    for &r in removals {
+        g.remove_node(ids[r % n]);
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The snapshot reproduces neighbors, kinds, degrees, node kinds,
+    /// liveness, and the edge relation exactly.
+    #[test]
+    fn snapshot_is_edge_for_edge_equivalent(
+        n in 2usize..16,
+        edges in prop::collection::vec((0usize..16, 0usize..16, 0u8..8), 0..50),
+        removals in prop::collection::vec(0usize..16, 0..4),
+    ) {
+        let g = build(n, &edges, &removals);
+        let csr = CsrGraph::from_graph(&g);
+
+        prop_assert_eq!(csr.id_bound(), g.id_bound());
+        prop_assert_eq!(csr.node_count(), g.node_count());
+        prop_assert_eq!(csr.edge_count(), g.edge_count());
+        prop_assert_eq!(
+            csr.nodes().collect::<Vec<_>>(),
+            g.nodes().collect::<Vec<_>>()
+        );
+        for id in 0..g.id_bound() as u32 {
+            let id = NodeId(id);
+            prop_assert_eq!(csr.is_removed(id), g.is_removed(id));
+            prop_assert_eq!(csr.kind(id), g.kind(id));
+            prop_assert_eq!(csr.degree(id), g.degree(id));
+            prop_assert_eq!(csr.neighbors(id), g.neighbors(id));
+            prop_assert_eq!(csr.neighbor_kinds(id), g.neighbor_kinds(id));
+        }
+        for a in 0..g.id_bound() as u32 {
+            for b in 0..g.id_bound() as u32 {
+                let (a, b) = (NodeId(a), NodeId(b));
+                prop_assert_eq!(csr.has_edge(a, b), g.has_edge(a, b));
+                prop_assert_eq!(csr.edge_kind(a, b), g.edge_kind(a, b));
+            }
+        }
+        prop_assert_eq!(csr.metadata_nodes(None), g.metadata_nodes(None));
+    }
+
+    /// Every walk primitive over the snapshot emits the same token stream
+    /// as its mutable-graph reference under the same RNG seed.
+    #[test]
+    fn csr_walk_primitives_match_reference(
+        n in 2usize..14,
+        edges in prop::collection::vec((0usize..14, 0usize..14, 0u8..8), 1..40),
+        removals in prop::collection::vec(0usize..14, 0..3),
+        seed in 0u64..1000,
+        len in 1usize..12,
+        w_ext in 0.0f32..3.0,
+    ) {
+        let g = build(n, &edges, &removals);
+        let csr = CsrGraph::from_graph(&g);
+        let weights = EdgeTypeWeights::uniform().with(EdgeKind::External, w_ext);
+        let cum = csr.edge_type_cum(&weights);
+        let mut scratch = Vec::new();
+
+        for start in g.nodes() {
+            let reference: Vec<u32> =
+                random_walk(&g, start, len, &mut SmallRng::seed_from_u64(seed))
+                    .into_iter().map(|x| x.0).collect();
+            let mut flat = Vec::new();
+            random_walk_csr_into(&csr, start, len, &mut SmallRng::seed_from_u64(seed), &mut flat);
+            prop_assert_eq!(&flat, &reference, "uniform from {}", start);
+
+            let reference: Vec<u32> =
+                random_walk_edge_typed(&g, start, len, &weights, &mut SmallRng::seed_from_u64(seed))
+                    .into_iter().map(|x| x.0).collect();
+            let mut flat = Vec::new();
+            random_walk_edge_typed_csr_into(
+                &csr, start, len, &weights, &cum,
+                &mut SmallRng::seed_from_u64(seed), &mut flat,
+            );
+            prop_assert_eq!(&flat, &reference, "edge-typed from {}", start);
+
+            let reference: Vec<u32> =
+                random_walk_node2vec(&g, start, len, 0.4, 1.7, &mut SmallRng::seed_from_u64(seed))
+                    .into_iter().map(|x| x.0).collect();
+            let mut flat = Vec::new();
+            random_walk_node2vec_csr_into(
+                &csr, start, len, 0.4, 1.7,
+                &mut SmallRng::seed_from_u64(seed), &mut scratch, &mut flat,
+            );
+            prop_assert_eq!(&flat, &reference, "node2vec from {}", start);
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Vendored, dependency-free stand-in for the `crossbeam` crate.
+//!
+//! Only [`thread::scope`] is provided — the single API this workspace
+//! uses — implemented over `std::thread::scope` (stable since Rust 1.63),
+//! with crossbeam's calling convention: the scope closure and every spawn
+//! closure receive a [`thread::Scope`] handle, and `scope` returns a
+//! `Result` so call sites can `.expect()` it.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Handle for spawning threads tied to the enclosing scope.
+    ///
+    /// `Copy`, so closures can capture it by value and spawn nested work.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Owned handle to a scoped thread; join before the scope ends or let
+    /// the scope join it implicitly.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result (`Err` holds the
+        /// panic payload, as with `std::thread::JoinHandle::join`).
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope handle so
+        /// it can spawn further threads, mirroring crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope handle; all spawned threads are joined before
+    /// this returns. Child panics propagate as panics (the std behaviour),
+    /// so the `Ok` wrapper exists purely for crossbeam API compatibility.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_locals() {
+        let counter = AtomicUsize::new(0);
+        let counter = &counter;
+        let data = [1usize, 2, 3, 4];
+        super::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| {
+                    scope.spawn(move |_| {
+                        counter.fetch_add(chunk.iter().sum::<usize>(), Ordering::Relaxed);
+                        chunk.len()
+                    })
+                })
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().expect("worker panicked"), 2);
+            }
+        })
+        .expect("scope failed");
+        assert_eq!(counter.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_the_handle() {
+        let hit = AtomicUsize::new(0);
+        super::thread::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| hit.fetch_add(1, Ordering::Relaxed));
+            });
+        })
+        .expect("scope failed");
+        assert_eq!(hit.load(Ordering::Relaxed), 1);
+    }
+}

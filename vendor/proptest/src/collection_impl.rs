@@ -1,0 +1,106 @@
+//! `prop::collection` strategies: sized `Vec` and `HashSet`.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::hash::Hash;
+
+use crate::{Strategy, TestRng};
+
+/// A size specification: inclusive lower bound, exclusive upper bound
+/// (matching the `lo..hi` ranges test files pass).
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        assert!(self.lo < self.hi, "empty size range");
+        self.lo + rng.below((self.hi - self.lo) as u64) as usize
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        Self {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        Self {
+            lo: *r.start(),
+            hi: r.end() + 1,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n + 1 }
+    }
+}
+
+/// Strategy for vectors with element strategy `S` and a sampled length.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.size.sample(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `prop::collection::vec(element, size)`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy for hash sets; duplicates are retried so the sampled size is
+/// met whenever the element domain allows it.
+#[derive(Debug, Clone)]
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for HashSetStrategy<S>
+where
+    S::Value: Eq + Hash + fmt::Debug,
+{
+    type Value = HashSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.size.sample(rng);
+        let mut set = HashSet::with_capacity(n);
+        // Bounded retries: tiny domains (e.g. "[a-c]{1,1}") can saturate
+        // below the requested size.
+        let mut attempts = 0usize;
+        while set.len() < n && attempts < n * 20 + 100 {
+            set.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        set
+    }
+}
+
+/// `prop::collection::hash_set(element, size)`.
+pub fn hash_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S> {
+    HashSetStrategy {
+        element,
+        size: size.into(),
+    }
+}

@@ -1,0 +1,312 @@
+//! Vendored, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so this crate reimplements
+//! the slice of proptest this workspace uses:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(...)]` headers);
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`];
+//! * strategies: integer/float ranges, string patterns of the shape
+//!   `"[class]{lo,hi}"` / `".{lo,hi}"`, [`Just`], tuples,
+//!   `prop::collection::{vec, hash_set}`, and `prop::sample::select`;
+//! * [`ProptestConfig::with_cases`].
+//!
+//! Generation is deterministic: case `i` of test `t` derives its RNG from
+//! a hash of `(t, i)`, so failures reproduce across runs. There is no
+//! shrinking — a failing case reports its exact inputs instead.
+
+use std::fmt;
+
+pub mod collection_impl;
+pub mod sample_impl;
+pub mod string_impl;
+
+/// Namespace mirror of upstream's `prop::` paths.
+pub mod prop {
+    /// `prop::collection::{vec, hash_set}`.
+    pub mod collection {
+        pub use crate::collection_impl::{hash_set, vec};
+    }
+    /// `prop::sample::select`.
+    pub mod sample {
+        pub use crate::sample_impl::select;
+    }
+}
+
+/// The prelude glob test files import.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Runner configuration (only the knob this workspace uses).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Deterministic generator used by strategies (SplitMix64 core).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from an arbitrary 64-bit value.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed ^ 0x5851_F42D_4C95_7F2D,
+        }
+    }
+
+    /// Next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be positive.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A generator of test-case values.
+///
+/// Unlike upstream there is no value tree / shrinking: `generate` returns
+/// the final value directly.
+pub trait Strategy {
+    /// The generated type.
+    type Value: fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// A strategy producing a constant.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_strategy_for_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u64;
+                (lo as i128 + rng.below(span.saturating_add(1)) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_for_float_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + rng.unit_f64() as $t * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_float_range!(f32, f64);
+
+macro_rules! impl_strategy_for_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_strategy_for_tuple!(A: 0);
+impl_strategy_for_tuple!(A: 0, B: 1);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7, I: 8, J: 9);
+
+/// Runs `config.cases` cases of property `name`: generates inputs from
+/// `strategy`, then calls `f`. On panic, the failing inputs are printed
+/// and the panic is propagated (no shrinking).
+pub fn run_cases<S, F>(config: ProptestConfig, name: &str, strategy: S, f: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) + std::panic::RefUnwindSafe,
+    S::Value: std::panic::UnwindSafe,
+{
+    // FNV-1a over the test name keeps seeds stable per property.
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x100_0000_01b3);
+    }
+    for case in 0..config.cases {
+        let mut rng = TestRng::new(seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let value = strategy.generate(&mut rng);
+        let shown = format!("{value:?}");
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(value)));
+        if let Err(payload) = result {
+            eprintln!("proptest: property `{name}` failed at case {case} with input: {shown}");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running [`run_cases`] over the tupled strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal muncher for [`proptest!`]; one test function per round.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr); ) => {};
+    (cfg = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_cases(
+                $cfg,
+                stringify!($name),
+                ($($strat,)+),
+                |($($arg,)+): _| $body,
+            );
+        }
+        $crate::__proptest_impl!{ cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property (panics like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges respect their bounds.
+        #[test]
+        fn ranges_in_bounds(x in 3usize..17, y in -5i64..=5, f in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        /// Collections respect their size ranges; strings their patterns.
+        #[test]
+        fn collections_and_strings(
+            v in prop::collection::vec((0usize..10, 0usize..10), 2..6),
+            s in prop::collection::hash_set(0u32..50, 1..8),
+            text in "[a-c]{1,3}",
+            pick in prop::sample::select(vec![10, 20, 30]),
+            k in Just(7usize),
+        ) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(!s.is_empty() && s.len() < 8);
+            prop_assert!((1..=3).contains(&text.len()));
+            prop_assert!(text.chars().all(|c| ('a'..='c').contains(&c)));
+            prop_assert!([10, 20, 30].contains(&pick));
+            prop_assert_eq!(k, 7);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = prop::collection::vec(0u32..100, 5..10);
+        let a = strat.generate(&mut crate::TestRng::new(9));
+        let b = strat.generate(&mut crate::TestRng::new(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dot_pattern_generates_printable_ascii() {
+        let strat = ".{0,80}";
+        let s = Strategy::generate(&strat, &mut crate::TestRng::new(3));
+        assert!(s.len() <= 80);
+        assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+    }
+}

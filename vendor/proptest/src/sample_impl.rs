@@ -1,0 +1,25 @@
+//! `prop::sample` strategies.
+
+use std::fmt;
+
+use crate::{Strategy, TestRng};
+
+/// Strategy choosing uniformly from a fixed list.
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone + fmt::Debug> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(!self.options.is_empty(), "select() over an empty list");
+        self.options[rng.below(self.options.len() as u64) as usize].clone()
+    }
+}
+
+/// `prop::sample::select(options)`: one uniformly chosen element.
+pub fn select<T: Clone + fmt::Debug>(options: Vec<T>) -> Select<T> {
+    Select { options }
+}

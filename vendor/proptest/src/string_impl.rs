@@ -1,0 +1,153 @@
+//! String strategies from regex-like patterns.
+//!
+//! Supports the pattern subset this workspace's tests use: a sequence of
+//! atoms, each an explicit character class `[...]` (literal characters and
+//! `a-z` ranges; `-` is literal when first or last) or `.` (any printable
+//! ASCII character), followed by an optional `{n}` / `{lo,hi}` / `+` / `*`
+//! quantifier. Unquantified atoms emit exactly one character.
+
+use crate::{Strategy, TestRng};
+
+#[derive(Debug, Clone)]
+struct Atom {
+    /// Candidate characters, pre-expanded.
+    chars: Vec<char>,
+    /// Inclusive repetition bounds.
+    lo: usize,
+    hi: usize,
+}
+
+/// Parses the supported pattern subset; panics on anything else so a test
+/// using an unsupported feature fails loudly rather than silently drifting.
+fn parse(pattern: &str) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let set: Vec<char> = match chars[i] {
+            '.' => {
+                i += 1;
+                (' '..='~').collect()
+            }
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed class in pattern {pattern:?}"))
+                    + i;
+                let class = &chars[i + 1..close];
+                i = close + 1;
+                expand_class(class, pattern)
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (lo, hi) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unclosed quantifier in pattern {pattern:?}"))
+                    + i;
+                let spec: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad quantifier lower bound"),
+                        hi.trim().parse().expect("bad quantifier upper bound"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("bad quantifier count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            _ => (1, 1),
+        };
+        assert!(lo <= hi, "inverted quantifier in pattern {pattern:?}");
+        atoms.push(Atom {
+            chars: set,
+            lo,
+            hi,
+        });
+    }
+    atoms
+}
+
+fn expand_class(class: &[char], pattern: &str) -> Vec<char> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        // `a-z` range (not when `-` is first or last).
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (lo, hi) = (class[i], class[i + 2]);
+            assert!(lo <= hi, "inverted char range in pattern {pattern:?}");
+            for c in lo..=hi {
+                out.push(c);
+            }
+            i += 3;
+        } else {
+            out.push(class[i]);
+            i += 1;
+        }
+    }
+    assert!(!out.is_empty(), "empty char class in pattern {pattern:?}");
+    out
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse(self);
+        let mut s = String::new();
+        for atom in &atoms {
+            let n = atom.lo + rng.below((atom.hi - atom.lo + 1) as u64) as usize;
+            for _ in 0..n {
+                s.push(atom.chars[rng.below(atom.chars.len() as u64) as usize]);
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_trailing_hyphen_is_literal() {
+        let atoms = parse("[a-c!-]{2,4}");
+        assert!(atoms[0].chars.contains(&'-'));
+        assert!(atoms[0].chars.contains(&'!'));
+        assert_eq!(atoms[0].lo, 2);
+        assert_eq!(atoms[0].hi, 4);
+    }
+
+    #[test]
+    fn pattern_lengths_respect_quantifiers() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..50 {
+            let s = Strategy::generate(&"[a-z ]{0,60}", &mut rng);
+            assert!(s.len() <= 60);
+            assert!(s.chars().all(|c| c == ' ' || c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn exact_count_quantifier() {
+        let mut rng = TestRng::new(2);
+        let s = Strategy::generate(&"[0-9]{5}", &mut rng);
+        assert_eq!(s.len(), 5);
+    }
+}

@@ -1,0 +1,268 @@
+//! Vendored, dependency-free stand-in for the `rand` crate.
+//!
+//! The build environment has no network access and no registry cache, so
+//! this workspace vendors the exact API subset it consumes: [`Rng`] /
+//! [`RngExt`] / [`SeedableRng`], the [`rngs::SmallRng`] generator
+//! (xoshiro256++ seeded via SplitMix64), and the slice helpers in [`seq`].
+//! Distribution quality matches the upstream crate for every use in this
+//! repository (uniform integers, floats in `[0, 1)`, Bernoulli, slice
+//! choice and Fisher–Yates shuffling); streams are deterministic per seed
+//! but are not bit-compatible with upstream `rand`.
+
+pub mod rngs;
+pub mod seq;
+
+/// Core random-number source: everything derives from `next_u64`.
+///
+/// Object-safe; generic helpers live in [`RngExt`], which is blanket
+/// implemented (mirroring upstream's `RngCore` / `Rng` split).
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits (upper half of [`next_u64`]).
+    ///
+    /// [`next_u64`]: Rng::next_u64
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types samplable uniformly over their full domain via
+/// [`RngExt::random`].
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 24 high bits → [0, 1) with full float precision.
+        (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Types with uniform sampling over a half-open `[lo, hi)` interval.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// One uniform draw from `[lo, hi)`. Callers guarantee `lo < hi`.
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// The value immediately after `self`, for inclusive-range support;
+    /// `None` at the domain maximum (floats return `self`).
+    fn successor(self) -> Option<Self>;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as i128 - lo as i128) as u128;
+                // Multiply-shift keeps the draw unbiased enough for every
+                // span this workspace uses (all far below 2^64).
+                let r = (rng.next_u64() as u128 * span) >> 64;
+                (lo as i128 + r as i128) as $t
+            }
+            #[inline]
+            fn successor(self) -> Option<Self> {
+                self.checked_add(1)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let unit = <$t as Standard>::sample(rng);
+                lo + unit * (hi - lo)
+            }
+            #[inline]
+            fn successor(self) -> Option<Self> {
+                Some(self)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// Range shapes accepted by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// One uniform draw; panics on an empty range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    #[inline]
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    #[inline]
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample from empty range");
+        match hi.successor() {
+            Some(hi_excl) => T::sample_range(rng, lo, hi_excl),
+            // hi is the domain maximum; fold the (negligible) edge in.
+            None => T::sample_range(rng, lo, hi),
+        }
+    }
+}
+
+/// Convenience sampling methods over any [`Rng`] (blanket-implemented).
+pub trait RngExt: Rng {
+    /// A uniform draw over `T`'s standard domain (`[0, 1)` for floats).
+    #[inline]
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniform draw from `range` (half-open or inclusive).
+    #[inline]
+    fn random_range<T: SampleUniform, Sr: SampleRange<T>>(&mut self, range: Sr) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Construction of deterministic generators from integer seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::seq::{IndexedRandom, SliceRandom};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn random_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: usize = rng.random_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: i32 = rng.random_range(-5..=5);
+            assert!((-5..=5).contains(&y));
+            let f: f64 = rng.random_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_endpoints_are_reachable() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[rng.random_range(0usize..3)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn floats_are_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let f = rng.random::<f32>();
+            assert!((0.0..1.0).contains(&f));
+            let d = rng.random::<f64>();
+            assert!((0.0..1.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn unsized_rng_is_usable_through_references() {
+        fn takes_dyn_ish<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+            // The reborrow pattern the workspace relies on.
+            (*rng).random::<f32>()
+        }
+        let mut rng = SmallRng::seed_from_u64(5);
+        let f = takes_dyn_ish(&mut rng);
+        assert!((0.0..1.0).contains(&f));
+    }
+
+    #[test]
+    fn choose_and_shuffle_cover_elements() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let items = [10, 20, 30];
+        assert!(items.choose(&mut rng).is_some());
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+    }
+}

@@ -1,0 +1,41 @@
+//! Random selection and permutation over slices.
+
+use crate::Rng;
+
+/// Uniform selection of one element by index.
+pub trait IndexedRandom {
+    /// Element type.
+    type Item;
+
+    /// A uniformly random element, or `None` when empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> IndexedRandom for [T] {
+    type Item = T;
+
+    #[inline]
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            let i = ((rng.next_u64() as u128 * self.len() as u128) >> 64) as usize;
+            Some(&self[i])
+        }
+    }
+}
+
+/// In-place random permutation.
+pub trait SliceRandom {
+    /// Fisher–Yates shuffle.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = ((rng.next_u64() as u128 * (i as u128 + 1)) >> 64) as usize;
+            self.swap(i, j);
+        }
+    }
+}
