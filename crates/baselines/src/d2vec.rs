@@ -8,11 +8,10 @@ use std::time::Instant;
 
 use tdmatch_core::corpus::Corpus;
 use tdmatch_embed::doc2vec::{Doc2Vec, Doc2VecConfig};
-use tdmatch_embed::vectors::cosine;
 use tdmatch_text::Preprocessor;
 
 use crate::serialize::serialize_corpus;
-use crate::{rank_all, RankedMatches};
+use crate::{rank_dense, RankedMatches};
 
 /// Options for the D2VEC baseline.
 #[derive(Debug, Clone)]
@@ -58,9 +57,9 @@ pub fn run(first: &Corpus, second: &Corpus, opts: &D2vecOptions, k: usize) -> Ra
 
     let t1 = Instant::now();
     let n_second = all_docs.len() - n_first;
-    let per_query = rank_all(n_second, n_first, k, |q, t| {
-        cosine(model.doc_vector(n_first + q), model.doc_vector(t))
-    });
+    let queries: Vec<&[f32]> = (0..n_second).map(|q| model.doc_vector(n_first + q)).collect();
+    let targets: Vec<&[f32]> = (0..n_first).map(|t| model.doc_vector(t)).collect();
+    let per_query = rank_dense(&queries, &targets, opts.dim, k);
     RankedMatches {
         method: "D2VEC".to_string(),
         per_query,

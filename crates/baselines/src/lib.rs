@@ -21,6 +21,8 @@
 //! Every matcher returns [`RankedMatches`]: per-query ranked target lists
 //! plus train/test wall-clock seconds (Table VII).
 
+use tdmatch_embed::score::{batch_top_k_seq, ScoreMatrix, TopK};
+
 pub mod d2vec;
 pub mod features;
 pub mod rank;
@@ -57,26 +59,39 @@ impl RankedMatches {
 }
 
 /// Ranks `targets` scored by `score(query, target)`, truncating at `k`.
-/// Ties break by target index for determinism.
+/// Ties break by target index for determinism. Selection runs through the
+/// engine's bounded [`TopK`] heap (`O(T log k)`, no full sort).
 pub(crate) fn rank_all(
     n_queries: usize,
     n_targets: usize,
     k: usize,
     mut score: impl FnMut(usize, usize) -> f32,
 ) -> Vec<Vec<(usize, f32)>> {
+    let mut top = TopK::new(k);
     (0..n_queries)
         .map(|q| {
-            let mut scored: Vec<(usize, f32)> =
-                (0..n_targets).map(|t| (t, score(q, t))).collect();
-            scored.sort_by(|a, b| {
-                b.1.partial_cmp(&a.1)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then_with(|| a.0.cmp(&b.0))
-            });
-            scored.truncate(k);
-            scored
+            top.clear();
+            for t in 0..n_targets {
+                top.push(t, score(q, t));
+            }
+            top.drain_sorted()
         })
         .collect()
+}
+
+/// Ranks dense embedding rows by cosine through the flat similarity
+/// engine: both sides are packed into pre-normalized [`ScoreMatrix`]es
+/// once, then batch-scored with the tiled dot kernels — the §IV-B match
+/// path the W2VEC / D2VEC / S-BE baselines share with the main method.
+pub(crate) fn rank_dense<R: AsRef<[f32]>>(
+    queries: &[R],
+    targets: &[R],
+    dim: usize,
+    k: usize,
+) -> Vec<Vec<(usize, f32)>> {
+    let q = ScoreMatrix::from_rows(queries.iter().map(AsRef::as_ref), dim);
+    let t = ScoreMatrix::from_rows(targets.iter().map(AsRef::as_ref), dim);
+    batch_top_k_seq(&q, &t, k, None, None)
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@ use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
 use tdmatch_core::corpus::Corpus;
+use tdmatch_embed::score::select_top_k;
 use tdmatch_kb::PretrainedModel;
 use tdmatch_nn::{PairwiseRanker, TrainConfig};
 
@@ -71,16 +72,11 @@ pub fn run(
 
         let t1 = Instant::now();
         for &q in fold {
-            let mut scored: Vec<(usize, f32)> = (0..n_targets)
-                .map(|t| (t, ranker.score(&featurizer.features(q, t, FeatureSet::Rank))))
-                .collect();
-            scored.sort_by(|a, b| {
-                b.1.partial_cmp(&a.1)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then_with(|| a.0.cmp(&b.0))
-            });
-            scored.truncate(k);
-            per_query[q] = scored;
+            per_query[q] = select_top_k(
+                (0..n_targets)
+                    .map(|t| (t, ranker.score(&featurizer.features(q, t, FeatureSet::Rank)))),
+                k,
+            );
         }
         test_secs += t1.elapsed().as_secs_f64();
     }

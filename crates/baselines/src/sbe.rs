@@ -8,12 +8,11 @@
 use std::time::Instant;
 
 use tdmatch_core::corpus::Corpus;
-use tdmatch_embed::vectors::cosine;
 use tdmatch_kb::PretrainedModel;
 use tdmatch_text::Preprocessor;
 
 use crate::serialize::doc_tokens;
-use crate::{rank_all, RankedMatches};
+use crate::{rank_dense, RankedMatches};
 
 /// Encodes every document of a corpus with the pre-trained model.
 pub fn encode_corpus(
@@ -38,9 +37,7 @@ pub fn run(
     let t0 = Instant::now();
     let targets = encode_corpus(first, model, &pre);
     let queries = encode_corpus(second, model, &pre);
-    let per_query = rank_all(queries.len(), targets.len(), k, |q, t| {
-        cosine(&queries[q], &targets[t])
-    });
+    let per_query = rank_dense(&queries, &targets, model.dim(), k);
     RankedMatches {
         method: "S-BE".to_string(),
         per_query,

@@ -14,6 +14,7 @@ use rand::seq::SliceRandom;
 use rand::{RngExt, SeedableRng};
 
 use tdmatch_core::corpus::Corpus;
+use tdmatch_embed::score::select_top_k;
 use tdmatch_kb::PretrainedModel;
 use tdmatch_nn::{Mlp, TrainConfig};
 
@@ -121,16 +122,10 @@ pub fn run_classifier(
         // Score the held-out fold.
         let t1 = Instant::now();
         for &q in fold {
-            let mut scored: Vec<(usize, f32)> = (0..n_targets)
-                .map(|t| (t, mlp.forward(&featurizer.features(q, t, set))[0]))
-                .collect();
-            scored.sort_by(|a, b| {
-                b.1.partial_cmp(&a.1)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then_with(|| a.0.cmp(&b.0))
-            });
-            scored.truncate(k);
-            per_query[q] = scored;
+            per_query[q] = select_top_k(
+                (0..n_targets).map(|t| (t, mlp.forward(&featurizer.features(q, t, set))[0])),
+                k,
+            );
         }
         test_secs += t1.elapsed().as_secs_f64();
     }
@@ -239,15 +234,7 @@ pub fn run_lbe(
         let t1 = Instant::now();
         for &q in fold {
             let logits = mlp.forward(featurizer.query_embedding(q));
-            let mut scored: Vec<(usize, f32)> =
-                logits.into_iter().enumerate().collect();
-            scored.sort_by(|a, b| {
-                b.1.partial_cmp(&a.1)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then_with(|| a.0.cmp(&b.0))
-            });
-            scored.truncate(k);
-            per_query[q] = scored;
+            per_query[q] = select_top_k(logits.into_iter().enumerate(), k);
         }
         test_secs += t1.elapsed().as_secs_f64();
     }

@@ -8,12 +8,11 @@
 use std::time::Instant;
 
 use tdmatch_core::corpus::Corpus;
-use tdmatch_embed::vectors::cosine;
 use tdmatch_embed::word2vec::{W2vMode, Word2Vec, Word2VecConfig};
 use tdmatch_text::Preprocessor;
 
 use crate::serialize::serialize_corpus;
-use crate::{rank_all, RankedMatches};
+use crate::{rank_dense, RankedMatches};
 
 /// Options for the W2VEC baseline.
 #[derive(Debug, Clone)]
@@ -72,9 +71,7 @@ pub fn run(first: &Corpus, second: &Corpus, opts: &W2vecOptions, k: usize) -> Ra
     };
     let targets = embed_docs(&docs_first);
     let queries = embed_docs(&docs_second);
-    let per_query = rank_all(queries.len(), targets.len(), k, |q, t| {
-        cosine(&queries[q], &targets[t])
-    });
+    let per_query = rank_dense(&queries, &targets, opts.dim, k);
     RankedMatches {
         method: "W2VEC".to_string(),
         per_query,

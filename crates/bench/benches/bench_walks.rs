@@ -9,10 +9,9 @@
 //! `TDMATCH_BENCH_COPIES` (default 4) scales the graph like Figure 8's
 //! union-of-scenarios construction.
 
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
+use tdmatch_bench::alloc_probe::{AllocProbe, CountingAlloc};
 use tdmatch_bench::bench_config;
 use tdmatch_core::builder::build_graph;
 use tdmatch_core::corpus::{Corpus, TextCorpus};
@@ -20,64 +19,8 @@ use tdmatch_datasets::{sts, Scale};
 use tdmatch_embed::walks::{generate_walk_corpus, generate_walks, WalkConfig};
 use tdmatch_graph::CsrGraph;
 
-/// System allocator wrapper counting calls and tracking peak live bytes.
-struct CountingAlloc;
-
-static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
-static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
-static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
-        let live = LIVE_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed)
-            + layout.size() as u64;
-        PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
-        unsafe { System.alloc(layout) }
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        LIVE_BYTES.fetch_sub(layout.size() as u64, Ordering::Relaxed);
-        unsafe { System.dealloc(ptr, layout) }
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
-        let old = layout.size() as u64;
-        let delta_up = (new_size as u64).saturating_sub(old);
-        let live = LIVE_BYTES.fetch_add(delta_up, Ordering::Relaxed) + delta_up;
-        PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
-        LIVE_BYTES.fetch_sub(old.saturating_sub(new_size as u64), Ordering::Relaxed);
-        unsafe { System.realloc(ptr, layout, new_size) }
-    }
-}
-
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc;
-
-/// Allocation counters over one measured phase.
-struct AllocProbe {
-    calls_before: u64,
-}
-
-impl AllocProbe {
-    fn start() -> Self {
-        // Reset the peak to the current live level so the phase's own high
-        // water mark is what gets reported.
-        PEAK_BYTES.store(LIVE_BYTES.load(Ordering::Relaxed), Ordering::Relaxed);
-        Self {
-            calls_before: ALLOC_CALLS.load(Ordering::Relaxed),
-        }
-    }
-
-    /// `(allocation calls, peak live bytes during the phase)`.
-    fn finish(self) -> (u64, u64) {
-        (
-            ALLOC_CALLS.load(Ordering::Relaxed) - self.calls_before,
-            PEAK_BYTES.load(Ordering::Relaxed),
-        )
-    }
-}
 
 struct PathStats {
     secs: f64,

@@ -10,6 +10,8 @@ use tdmatch_core::builder::build_graph;
 use tdmatch_core::config::TdConfig;
 use tdmatch_datasets::{imdb, Scale};
 use tdmatch_embed::corpus::FlatCorpus;
+use tdmatch_embed::hogwild::SharedMatrix;
+use tdmatch_embed::score::{batch_top_k_seq, dot_unrolled, ScoreMatrix};
 use tdmatch_embed::vectors::top_k_cosine;
 use tdmatch_embed::walks::{
     generate_walk_corpus, generate_walks, walk_counts, WalkConfig, WalkStrategy,
@@ -173,6 +175,44 @@ fn bench_topk(c: &mut Criterion) {
     c.bench_function("match/top_k_cosine_1000", |b| {
         b.iter(|| black_box(top_k_cosine(&query, &refs, 20)))
     });
+
+    // The flat engine on the same workload: one-off matrix build vs the
+    // normalize-once / dot-many steady state.
+    let tm = ScoreMatrix::from_rows(refs.iter().copied(), dim);
+    let qm = ScoreMatrix::from_rows(std::iter::once(query.as_slice()), dim);
+    c.bench_function("match/score_matrix_build_1000", |b| {
+        b.iter(|| black_box(ScoreMatrix::from_rows(refs.iter().copied(), dim)))
+    });
+    c.bench_function("match/engine_top_k_1000", |b| {
+        b.iter(|| black_box(batch_top_k_seq(&qm, &tm, 20, None, None)))
+    });
+}
+
+/// The SharedMatrix row kernels Word2Vec hammers: unrolled 4-wide chunked
+/// loops over the atomic cells (relaxed loads are plain movs).
+fn bench_hogwild(c: &mut Criterion) {
+    let dim = 128;
+    let m = SharedMatrix::uniform_init(64, dim, 7);
+    let buf: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.37).sin()).collect();
+    let mut acc = vec![0.0f32; dim];
+    c.bench_function("hogwild/dot_with_row_128", |b| {
+        b.iter(|| black_box(m.dot_with_row(5, &buf)))
+    });
+    c.bench_function("hogwild/axpy_row_into_128", |b| {
+        b.iter(|| {
+            m.axpy_row_into(5, 0.5, &mut acc);
+            black_box(acc[0]);
+        })
+    });
+    c.bench_function("hogwild/add_scaled_to_row_128", |b| {
+        b.iter(|| m.add_scaled_to_row(9, 1e-6, &buf))
+    });
+    c.bench_function("hogwild/add_to_row_128", |b| {
+        b.iter(|| m.add_to_row(9, &buf))
+    });
+    c.bench_function("score/dot_unrolled_128", |b| {
+        b.iter(|| black_box(dot_unrolled(&buf, &buf)))
+    });
 }
 
 fn bench_compression(c: &mut Criterion) {
@@ -199,6 +239,6 @@ criterion_group! {
     config = Criterion::default().sample_size(10);
     targets = bench_preprocess, bench_graph_build, bench_traversal,
               bench_walks_and_train, bench_walk_representations, bench_topk,
-              bench_compression
+              bench_hogwild, bench_compression
 }
 criterion_main!(benches);

@@ -15,10 +15,12 @@
 use std::collections::HashSet;
 
 use tdmatch_baselines::RankedMatches;
+
+pub mod alloc_probe;
 use tdmatch_core::config::TdConfig;
 use tdmatch_core::pipeline::{FitOptions, TdMatch, TdModel};
 use tdmatch_datasets::{Scale, Scenario};
-use tdmatch_eval::ranking::{mean_metrics, RankMetrics};
+use tdmatch_eval::ranking::{mean_metrics_over, RankMetrics};
 
 /// A uniform view over one method's output on one scenario.
 #[derive(Debug, Clone)]
@@ -158,16 +160,16 @@ pub fn run_with_config(
 }
 
 /// Evaluates a run against the scenario's ground truth (queries without
-/// truth are skipped inside the metrics).
+/// truth are skipped inside the metrics). Ranked lists are borrowed
+/// straight from the run — no per-query clone.
 pub fn evaluate(run: &MethodRun, scenario: &Scenario) -> RankMetrics {
     let truth = scenario.truth_sets();
-    let queries: Vec<(Vec<usize>, HashSet<usize>)> = run
-        .ranked
-        .iter()
-        .cloned()
-        .zip(truth)
-        .collect();
-    mean_metrics(&queries)
+    mean_metrics_over(
+        run.ranked
+            .iter()
+            .zip(&truth)
+            .map(|(r, rel)| (r.as_slice(), rel)),
+    )
 }
 
 /// Prints the header of a ranking table (Tables I/II/IV/V/VI layout).

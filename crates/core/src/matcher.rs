@@ -1,7 +1,30 @@
 //! Metadata matching (§IV-B): cosine top-k over metadata-node embeddings,
 //! optional score combination with another method (Fig. 10), with a
 //! parallel variant for large query sets.
+//!
+//! # Engine-backed since PR 2
+//!
+//! All entry points are thin wrappers over the flat similarity engine in
+//! [`tdmatch_embed::score`]: query/target rows are packed into
+//! L2-pre-normalized [`ScoreMatrix`]es once (normalize-once / dot-many),
+//! scored with unrolled dot kernels, and ranked with a bounded top-k heap
+//! instead of a full sort. Missing-row semantics are unchanged from the
+//! nested-`Option` days:
+//!
+//! * a missing (`None`) **query** yields an empty ranking;
+//! * a missing **target** scores exactly `-1.0` (before any `extra_score`
+//!   averaging), ranking behind every reachable cosine;
+//! * ties break by ascending target index, at any thread count.
+//!
+//! The slice-based [`top_k_matches`] / [`top_k_matches_parallel`] build
+//! throwaway matrices per call; long-lived callers (the fitted
+//! [`crate::pipeline::TdModel`]) pre-normalize once and use
+//! [`top_k_matches_matrix`] / [`top_k_matches_matrix_parallel`].
+//! [`top_k_matches_naive`] preserves the legacy cosine-per-pair + full
+//! sort path as the equivalence oracle for property tests and the
+//! `bench_matcher` recorder.
 
+use tdmatch_embed::score::{batch_top_k, batch_top_k_seq, ScoreMatrix};
 use tdmatch_embed::vectors::cosine;
 
 /// Ranked matches for one query document: `(target index, score)` sorted
@@ -21,15 +44,89 @@ impl MatchResult {
     }
 }
 
+fn wrap_results(ranked: Vec<Vec<(usize, f32)>>) -> Vec<MatchResult> {
+    ranked
+        .into_iter()
+        .enumerate()
+        .map(|(query, ranked)| MatchResult { query, ranked })
+        .collect()
+}
+
+/// Ranks the top-`k` targets for every query row of a pre-normalized
+/// matrix pair — the normalize-once / dot-many entry point.
+///
+/// * `extra_score`, when given, is averaged with the cosine over the full
+///   candidate pool — the Fig. 10 combination with SentenceBERT.
+/// * `candidates`, when given, restricts scoring per query (blocking).
+pub fn top_k_matches_matrix(
+    queries: &ScoreMatrix,
+    targets: &ScoreMatrix,
+    k: usize,
+    extra_score: Option<&dyn Fn(usize, usize) -> f32>,
+    candidates: Option<&dyn Fn(usize) -> Vec<usize>>,
+) -> Vec<MatchResult> {
+    wrap_results(batch_top_k_seq(queries, targets, k, extra_score, candidates))
+}
+
+/// Parallel [`top_k_matches_matrix`]: splits the queries over `threads`
+/// workers. Output is bit-identical to the sequential version at any
+/// thread count.
+pub fn top_k_matches_matrix_parallel(
+    queries: &ScoreMatrix,
+    targets: &ScoreMatrix,
+    k: usize,
+    extra_score: Option<&(dyn Fn(usize, usize) -> f32 + Sync)>,
+    candidates: Option<&(dyn Fn(usize) -> Vec<usize> + Sync)>,
+    threads: usize,
+) -> Vec<MatchResult> {
+    wrap_results(batch_top_k(
+        queries,
+        targets,
+        k,
+        extra_score,
+        candidates,
+        threads,
+    ))
+}
+
 /// Ranks the top-`k` targets for every query by cosine similarity.
 ///
-/// * `queries[i]` / `targets[j]` may be `None` when a document's metadata
-///   node vanished (e.g. dropped by aggressive compression); missing
-///   queries yield empty rankings, missing targets score `-1`.
-/// * `extra_score`, when given, is averaged with the cosine — the Fig. 10
-///   combination with SentenceBERT.
-/// * `candidates`, when given, restricts scoring per query (blocking).
+/// Compatibility wrapper over [`top_k_matches_matrix`] for callers still
+/// holding `Option<Vec<f32>>` rows; packs both sides into throwaway
+/// [`ScoreMatrix`]es per call.
 pub fn top_k_matches(
+    queries: &[Option<Vec<f32>>],
+    targets: &[Option<Vec<f32>>],
+    k: usize,
+    extra_score: Option<&dyn Fn(usize, usize) -> f32>,
+    candidates: Option<&dyn Fn(usize) -> Vec<usize>>,
+) -> Vec<MatchResult> {
+    let q = ScoreMatrix::from_options(queries);
+    let t = ScoreMatrix::from_options(targets);
+    top_k_matches_matrix(&q, &t, k, extra_score, candidates)
+}
+
+/// Parallel [`top_k_matches`]: splits the queries over `threads` workers.
+/// Output is identical to the sequential version (each query's ranking is
+/// independent and the scorers are deterministic).
+pub fn top_k_matches_parallel(
+    queries: &[Option<Vec<f32>>],
+    targets: &[Option<Vec<f32>>],
+    k: usize,
+    extra_score: Option<&(dyn Fn(usize, usize) -> f32 + Sync)>,
+    candidates: Option<&(dyn Fn(usize) -> Vec<usize> + Sync)>,
+    threads: usize,
+) -> Vec<MatchResult> {
+    let q = ScoreMatrix::from_options(queries);
+    let t = ScoreMatrix::from_options(targets);
+    top_k_matches_matrix_parallel(&q, &t, k, extra_score, candidates, threads)
+}
+
+/// The seed implementation — cosine recomputed per pair over nested
+/// `Option` rows, full sort, truncate — kept verbatim as the equivalence
+/// oracle for property tests and the `bench_matcher` baseline. Not a hot
+/// path; do not use in new code.
+pub fn top_k_matches_naive(
     queries: &[Option<Vec<f32>>],
     targets: &[Option<Vec<f32>>],
     k: usize,
@@ -71,59 +168,6 @@ pub fn top_k_matches(
     results
 }
 
-/// Parallel [`top_k_matches`]: splits the queries over `threads` workers.
-/// Output is identical to the sequential version (each query's ranking is
-/// independent and the scorers are deterministic).
-pub fn top_k_matches_parallel(
-    queries: &[Option<Vec<f32>>],
-    targets: &[Option<Vec<f32>>],
-    k: usize,
-    extra_score: Option<&(dyn Fn(usize, usize) -> f32 + Sync)>,
-    candidates: Option<&(dyn Fn(usize) -> Vec<usize> + Sync)>,
-    threads: usize,
-) -> Vec<MatchResult> {
-    let threads = threads.max(1).min(queries.len().max(1));
-    if threads <= 1 {
-        // Re-borrow the Sync trait objects as plain ones.
-        let extra = extra_score.map(|f| f as &dyn Fn(usize, usize) -> f32);
-        let cand = candidates.map(|f| f as &dyn Fn(usize) -> Vec<usize>);
-        return top_k_matches(queries, targets, k, extra, cand);
-    }
-    let chunk = queries.len().div_ceil(threads);
-    let mut results: Vec<MatchResult> = Vec::with_capacity(queries.len());
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = queries
-            .chunks(chunk)
-            .enumerate()
-            .map(|(ci, qchunk)| {
-                scope.spawn(move |_| {
-                    let offset = ci * chunk;
-                    let extra = extra_score.map(|f| {
-                        move |q: usize, t: usize| f(q + offset, t)
-                    });
-                    let cand = candidates.map(|f| move |q: usize| f(q + offset));
-                    let mut local = top_k_matches(
-                        qchunk,
-                        targets,
-                        k,
-                        extra.as_ref().map(|f| f as &dyn Fn(usize, usize) -> f32),
-                        cand.as_ref().map(|f| f as &dyn Fn(usize) -> Vec<usize>),
-                    );
-                    for r in &mut local {
-                        r.query += offset;
-                    }
-                    local
-                })
-            })
-            .collect();
-        for h in handles {
-            results.extend(h.join().expect("matcher worker panicked"));
-        }
-    })
-    .expect("parallel matching scope failed");
-    results
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,6 +202,19 @@ mod tests {
     }
 
     #[test]
+    fn all_targets_missing_still_rank_like_the_seed_path() {
+        // Regression: every target None (e.g. aggressive compression
+        // dropped all metadata nodes) infers a dim-0 target matrix; the
+        // engine must score them all -1.0 like the seed path, not panic.
+        let queries = vec![v(1.0, 0.0)];
+        let targets: Vec<Option<Vec<f32>>> = vec![None, None];
+        let naive = top_k_matches_naive(&queries, &targets, 2, None, None);
+        let engine = top_k_matches(&queries, &targets, 2, None, None);
+        assert_eq!(naive, engine);
+        assert_eq!(engine[0].ranked, vec![(0, -1.0), (1, -1.0)]);
+    }
+
+    #[test]
     fn extra_score_can_flip_ranking() {
         let queries = vec![v(1.0, 0.0)];
         let targets = vec![v(1.0, 0.0), v(0.9, 0.1)];
@@ -185,6 +242,34 @@ mod tests {
         let targets = vec![v(2.0, 0.0), v(1.0, 0.0)];
         let r = top_k_matches(&queries, &targets, 2, None, None);
         assert_eq!(r[0].target_indices(), vec![0, 1]);
+    }
+
+    #[test]
+    fn matrix_entry_point_equals_slice_wrapper() {
+        let queries: Vec<Option<Vec<f32>>> = (0..9)
+            .map(|i| {
+                if i % 4 == 1 {
+                    None
+                } else {
+                    v((i as f32 * 0.9).cos(), (i as f32 * 0.9).sin())
+                }
+            })
+            .collect();
+        let targets: Vec<Option<Vec<f32>>> = (0..15)
+            .map(|i| {
+                if i % 5 == 2 {
+                    None
+                } else {
+                    v((i as f32 * 1.7).cos(), (i as f32 * 1.7).sin())
+                }
+            })
+            .collect();
+        let qm = ScoreMatrix::from_options(&queries);
+        let tm = ScoreMatrix::from_options(&targets);
+        assert_eq!(
+            top_k_matches(&queries, &targets, 4, None, None),
+            top_k_matches_matrix(&qm, &tm, 4, None, None),
+        );
     }
 
     #[test]
@@ -224,6 +309,44 @@ mod tests {
         for (q, r) in par.iter().enumerate() {
             assert_eq!(r.query, q);
             assert_eq!(r.target_indices()[0], q % 6);
+        }
+    }
+
+    #[test]
+    fn engine_agrees_with_naive_oracle() {
+        let queries: Vec<Option<Vec<f32>>> = (0..19)
+            .map(|i| {
+                if i % 6 == 5 {
+                    None
+                } else {
+                    Some(vec![
+                        (i as f32 * 0.61).sin(),
+                        (i as f32 * 1.27).cos(),
+                        0.1 * i as f32 - 0.9,
+                    ])
+                }
+            })
+            .collect();
+        let targets: Vec<Option<Vec<f32>>> = (0..31)
+            .map(|i| {
+                if i % 9 == 4 {
+                    None
+                } else {
+                    Some(vec![
+                        (i as f32 * 1.91).sin(),
+                        (i as f32 * 0.43).cos(),
+                        0.05 * i as f32 - 0.7,
+                    ])
+                }
+            })
+            .collect();
+        let naive = top_k_matches_naive(&queries, &targets, 7, None, None);
+        let engine = top_k_matches(&queries, &targets, 7, None, None);
+        for (n, e) in naive.iter().zip(&engine) {
+            assert_eq!(n.target_indices(), e.target_indices());
+            for (a, b) in n.ranked.iter().zip(&e.ranked) {
+                assert!((a.1 - b.1).abs() < 1e-5);
+            }
         }
     }
 }

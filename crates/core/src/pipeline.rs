@@ -18,8 +18,10 @@ use crate::config::{BlockingMode, Compression, EmbedMethod, TdConfig};
 use crate::corpus::Corpus;
 use crate::error::TdError;
 use crate::expand::{expand_graph, ExpandStats};
+use tdmatch_embed::score::ScoreMatrix;
+
 use crate::lsh::LshIndex;
-use crate::matcher::{top_k_matches, MatchResult};
+use crate::matcher::{top_k_matches_matrix, top_k_matches_matrix_parallel, MatchResult};
 
 /// Fitted blocking state, matching the configured [`BlockingMode`].
 #[derive(Debug)]
@@ -184,12 +186,19 @@ impl TdMatch {
             _ => BlockData::None,
         };
 
+        // Normalize once: every subsequent match call is dot-many over
+        // these pre-normalized matrices.
+        let first_norm = ScoreMatrix::from_options_dim(&first_vecs, dim);
+        let second_norm = ScoreMatrix::from_options_dim(&second_vecs, dim);
+
         Ok(TdModel {
             config: self.config.clone(),
             graph,
             matrix,
             first_vecs,
             second_vecs,
+            first_norm,
+            second_norm,
             build_stats: BuildStats::default(),
             expand_stats: ExpandStats::default(),
             timings,
@@ -375,12 +384,19 @@ impl TdMatch {
             }
         };
 
+        // Normalize once: every subsequent match call is dot-many over
+        // these pre-normalized matrices.
+        let first_norm = ScoreMatrix::from_options_dim(&first_vecs, dim);
+        let second_norm = ScoreMatrix::from_options_dim(&second_vecs, dim);
+
         Ok(TdModel {
             config: self.config.clone(),
             graph,
             matrix,
             first_vecs,
             second_vecs,
+            first_norm,
+            second_norm,
             build_stats,
             expand_stats,
             timings,
@@ -399,6 +415,12 @@ pub struct TdModel {
     matrix: Vec<f32>,
     first_vecs: Vec<Option<Vec<f32>>>,
     second_vecs: Vec<Option<Vec<f32>>>,
+    /// Pre-normalized first-corpus rows (targets in the default match
+    /// direction); built once at fit time, scored many times.
+    first_norm: ScoreMatrix,
+    /// Pre-normalized second-corpus rows (queries in the default match
+    /// direction).
+    second_norm: ScoreMatrix,
     /// Graph-creation statistics.
     pub build_stats: BuildStats,
     /// Expansion statistics (zeroed when expansion was off).
@@ -465,14 +487,14 @@ impl TdModel {
                 Some(&lsh_fn)
             }
         };
-        top_k_matches(&self.second_vecs, &self.first_vecs, k, extra_score, candidates)
+        top_k_matches_matrix(&self.second_norm, &self.first_norm, k, extra_score, candidates)
     }
 
     /// Ranks the top-`k` second-corpus documents for every first-corpus
     /// document (the reverse direction; §IV-B default "start from the
     /// larger corpus" is the caller's choice).
     pub fn match_top_k_reverse(&self, k: usize) -> Vec<MatchResult> {
-        top_k_matches(&self.first_vecs, &self.second_vecs, k, None, None)
+        top_k_matches_matrix(&self.first_norm, &self.second_norm, k, None, None)
     }
 
     /// Like [`match_top_k`](TdModel::match_top_k) but splits the queries
@@ -498,9 +520,9 @@ impl TdModel {
                 Some(&lsh_fn)
             }
         };
-        crate::matcher::top_k_matches_parallel(
-            &self.second_vecs,
-            &self.first_vecs,
+        top_k_matches_matrix_parallel(
+            &self.second_norm,
+            &self.first_norm,
             k,
             None,
             candidates,

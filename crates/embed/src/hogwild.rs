@@ -52,24 +52,43 @@ impl SharedMatrix {
         self.dim
     }
 
+    /// The atomic cells of row `r`.
+    #[inline]
+    fn row_cells(&self, r: usize) -> &[AtomicU32] {
+        &self.data[r * self.dim..(r + 1) * self.dim]
+    }
+
     /// Copies row `r` into `buf` (`buf.len() == dim`).
     #[inline]
     pub fn read_row(&self, r: usize, buf: &mut [f32]) {
         debug_assert_eq!(buf.len(), self.dim);
-        let base = r * self.dim;
-        for (i, b) in buf.iter_mut().enumerate() {
-            *b = f32::from_bits(self.data[base + i].load(Ordering::Relaxed));
+        for (b, cell) in buf.iter_mut().zip(self.row_cells(r)) {
+            *b = f32::from_bits(cell.load(Ordering::Relaxed));
         }
     }
+
+    // The row kernels below are unrolled into chunked loops over the
+    // atomic cells (4-wide for the store kernels, 8 accumulator lanes for
+    // the dot): relaxed atomic loads/stores compile to plain `mov`s, so
+    // exposing independent element operations per iteration lets the
+    // compiler keep them in vector registers instead of a serial
+    // one-element loop.
 
     /// Adds `delta` element-wise into row `r` (racy read-modify-write:
     /// concurrent updates may occasionally be lost — Hogwild semantics).
     #[inline]
     pub fn add_to_row(&self, r: usize, delta: &[f32]) {
         debug_assert_eq!(delta.len(), self.dim);
-        let base = r * self.dim;
-        for (i, &d) in delta.iter().enumerate() {
-            let cell = &self.data[base + i];
+        let row = self.row_cells(r);
+        let mut cells = row.chunks_exact(4);
+        let mut ds = delta.chunks_exact(4);
+        for (cell4, d4) in (&mut cells).zip(&mut ds) {
+            for l in 0..4 {
+                let cur = f32::from_bits(cell4[l].load(Ordering::Relaxed));
+                cell4[l].store((cur + d4[l]).to_bits(), Ordering::Relaxed);
+            }
+        }
+        for (cell, &d) in cells.remainder().iter().zip(ds.remainder()) {
             let cur = f32::from_bits(cell.load(Ordering::Relaxed));
             cell.store((cur + d).to_bits(), Ordering::Relaxed);
         }
@@ -79,10 +98,19 @@ impl SharedMatrix {
     #[inline]
     pub fn dot_with_row(&self, r: usize, buf: &[f32]) -> f32 {
         debug_assert_eq!(buf.len(), self.dim);
-        let base = r * self.dim;
-        let mut acc = 0.0f32;
-        for (i, &b) in buf.iter().enumerate() {
-            acc += b * f32::from_bits(self.data[base + i].load(Ordering::Relaxed));
+        let row = self.row_cells(r);
+        let mut lanes = [0.0f32; 8];
+        let mut cells = row.chunks_exact(8);
+        let mut bs = buf.chunks_exact(8);
+        for (cell8, b8) in (&mut cells).zip(&mut bs) {
+            for l in 0..8 {
+                lanes[l] += b8[l] * f32::from_bits(cell8[l].load(Ordering::Relaxed));
+            }
+        }
+        let mut acc = ((lanes[0] + lanes[4]) + (lanes[1] + lanes[5]))
+            + ((lanes[2] + lanes[6]) + (lanes[3] + lanes[7]));
+        for (cell, &b) in cells.remainder().iter().zip(bs.remainder()) {
+            acc += b * f32::from_bits(cell.load(Ordering::Relaxed));
         }
         acc
     }
@@ -91,9 +119,16 @@ impl SharedMatrix {
     #[inline]
     pub fn axpy_row_into(&self, r: usize, g: f32, acc: &mut [f32]) {
         debug_assert_eq!(acc.len(), self.dim);
-        let base = r * self.dim;
-        for (i, a) in acc.iter_mut().enumerate() {
-            *a += g * f32::from_bits(self.data[base + i].load(Ordering::Relaxed));
+        let row = self.row_cells(r);
+        let mut cells = row.chunks_exact(4);
+        let mut accs = acc.chunks_exact_mut(4);
+        for (cell4, a4) in (&mut cells).zip(&mut accs) {
+            for l in 0..4 {
+                a4[l] += g * f32::from_bits(cell4[l].load(Ordering::Relaxed));
+            }
+        }
+        for (cell, a) in cells.remainder().iter().zip(accs.into_remainder()) {
+            *a += g * f32::from_bits(cell.load(Ordering::Relaxed));
         }
     }
 
@@ -101,9 +136,16 @@ impl SharedMatrix {
     #[inline]
     pub fn add_scaled_to_row(&self, r: usize, g: f32, buf: &[f32]) {
         debug_assert_eq!(buf.len(), self.dim);
-        let base = r * self.dim;
-        for (i, &b) in buf.iter().enumerate() {
-            let cell = &self.data[base + i];
+        let row = self.row_cells(r);
+        let mut cells = row.chunks_exact(4);
+        let mut bs = buf.chunks_exact(4);
+        for (cell4, b4) in (&mut cells).zip(&mut bs) {
+            for l in 0..4 {
+                let cur = f32::from_bits(cell4[l].load(Ordering::Relaxed));
+                cell4[l].store((cur + g * b4[l]).to_bits(), Ordering::Relaxed);
+            }
+        }
+        for (cell, &b) in cells.remainder().iter().zip(bs.remainder()) {
             let cur = f32::from_bits(cell.load(Ordering::Relaxed));
             cell.store((cur + g * b).to_bits(), Ordering::Relaxed);
         }

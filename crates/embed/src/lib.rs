@@ -14,7 +14,10 @@
 //! * [`doc2vec`] — PV-DBOW document embeddings (the D2VEC baseline);
 //! * [`walks`] — parallel random-walk corpus generation over a
 //!   [`tdmatch_graph::Graph`] or its [`tdmatch_graph::CsrGraph`] snapshot;
-//! * [`vectors`] — dense embedding stores, cosine similarity, top-k search.
+//! * [`vectors`] — dense embedding stores, cosine similarity, top-k search;
+//! * [`score`] — the flat similarity engine: pre-normalized
+//!   [`ScoreMatrix`] rows, unrolled dot kernels, and bounded top-k batch
+//!   matching (the §IV-B hot path).
 //!
 //! # Snapshot lifecycle (the hot path)
 //!
@@ -36,12 +39,14 @@ pub mod corpus;
 pub mod doc2vec;
 pub mod hogwild;
 pub mod neg_table;
+pub mod score;
 pub mod vectors;
 pub mod vocab;
 pub mod walks;
 pub mod word2vec;
 
 pub use corpus::FlatCorpus;
+pub use score::ScoreMatrix;
 pub use vectors::{cosine, Embeddings};
 pub use vocab::Vocab;
 pub use word2vec::{W2vMode, Word2Vec, Word2VecConfig};

@@ -1,0 +1,677 @@
+//! Flat similarity engine for the matching phase (§IV-B): pre-normalized
+//! score matrices, unrolled dot kernels, and bounded top-k selection.
+//!
+//! # The normalize-once / dot-many contract
+//!
+//! Every scoring call in the matching phase is a cosine between a query
+//! row and a target row. Cosine is scale-invariant, so the engine
+//! L2-normalizes each row **once** at [`ScoreMatrix`] construction and
+//! afterwards scores pairs with a plain dot product — one fused
+//! multiply-add stream per element instead of the three (dot, ‖a‖², ‖b‖²)
+//! that a from-scratch cosine needs. Rows are stored in one flat,
+//! row-major `Vec<f32>` so a batch scan streams targets linearly through
+//! the cache instead of chasing `Option<Vec<f32>>` pointers.
+//!
+//! # Missing-row semantics
+//!
+//! A document's metadata node can vanish (e.g. dropped by aggressive
+//! compression), which the legacy API modelled as `None` rows. The engine
+//! keeps a validity bitmap instead of nested options:
+//!
+//! * a **missing query** row produces an *empty* ranking;
+//! * a **missing target** row scores exactly `-1.0` (ranking last, below
+//!   any reachable cosine), before any `extra_score` combination;
+//! * a **present but all-zero** row stays a zero vector after
+//!   normalization and therefore scores `0.0` against everything,
+//!   matching `cosine`'s zero-vector convention.
+//!
+//! # Ranking semantics
+//!
+//! Top-k selection uses a bounded binary heap ([`TopK`]) — `O(T log k)`
+//! per query instead of the `O(T log T)` full sort — with the same
+//! ordering as the historical sort-and-truncate path: decreasing score,
+//! ties broken by ascending target index. `-0.0` scores are canonicalized
+//! to `+0.0` on push so the tie-break agrees with IEEE `==` comparisons.
+//! Scores must be non-NaN (guaranteed for finite inputs; an `extra_score`
+//! callback returning NaN gets an unspecified, but still deterministic,
+//! rank).
+//!
+//! # Batch scoring
+//!
+//! [`batch_top_k`] / [`batch_top_k_seq`] walk query blocks × target
+//! blocks: a block of target rows (sized to fit L1/L2) is scored against
+//! up to [`QUERY_BLOCK`] queries before moving on, so hot target rows are
+//! reused from cache across the query block. Query blocks are
+//! independent, which makes the parallel variant (crossbeam scoped
+//! threads over disjoint output chunks) bit-identical to the sequential
+//! one at any thread count.
+
+use crate::vectors::cosine;
+
+/// Queries scored together against one cached target block.
+pub const QUERY_BLOCK: usize = 8;
+
+/// Bytes of target rows to keep resident per block (~L1d sized).
+const TARGET_BLOCK_BYTES: usize = 32 * 1024;
+
+/// `Σ a[i] * b[i]` over equal-length slices, unrolled into 8 independent
+/// accumulator lanes so the compiler can keep the loop in vector
+/// registers (plain `mul`+`add`, auto-vectorizable without `-C
+/// target-feature=+fma`).
+#[inline]
+pub fn dot_unrolled(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut lanes = [0.0f32; 8];
+    let mut ca = a.chunks_exact(8);
+    let mut cb = b.chunks_exact(8);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for l in 0..8 {
+            lanes[l] += xa[l] * xb[l];
+        }
+    }
+    let mut acc = ((lanes[0] + lanes[4]) + (lanes[1] + lanes[5]))
+        + ((lanes[2] + lanes[6]) + (lanes[3] + lanes[7]));
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// A flat, row-major, L2-pre-normalized `rows × dim` f32 matrix with a
+/// validity bitmap for missing rows — the engine-side replacement for
+/// `Vec<Option<Vec<f32>>>` wherever vectors are *scored*.
+///
+/// Invalid (missing) rows are stored as zeros and flagged in the bitmap;
+/// see the [module docs](self) for their scoring semantics.
+#[derive(Debug, Clone, Default)]
+pub struct ScoreMatrix {
+    /// Row-major normalized rows; invalid rows are all-zero.
+    data: Vec<f32>,
+    /// Bit `i` set ⇔ row `i` is present.
+    valid: Vec<u64>,
+    rows: usize,
+    dim: usize,
+}
+
+impl ScoreMatrix {
+    /// An all-invalid matrix of the given shape.
+    pub fn invalid(rows: usize, dim: usize) -> Self {
+        Self {
+            data: vec![0.0; rows * dim],
+            valid: vec![0; rows.div_ceil(64)],
+            rows,
+            dim,
+        }
+    }
+
+    /// Builds from legacy optional rows, inferring `dim` from the first
+    /// present row (0 when every row is missing).
+    pub fn from_options(rows: &[Option<Vec<f32>>]) -> Self {
+        let dim = rows
+            .iter()
+            .find_map(|r| r.as_ref().map(Vec::len))
+            .unwrap_or(0);
+        Self::from_options_dim(rows, dim)
+    }
+
+    /// Builds from legacy optional rows with an explicit dimensionality
+    /// (every present row must have length `dim`).
+    pub fn from_options_dim(rows: &[Option<Vec<f32>>], dim: usize) -> Self {
+        let mut m = Self::invalid(rows.len(), dim);
+        for (i, r) in rows.iter().enumerate() {
+            if let Some(v) = r {
+                m.set_row(i, v);
+            }
+        }
+        m
+    }
+
+    /// Builds an all-valid matrix from row slices of length `dim`.
+    pub fn from_rows<'a, I>(rows: I, dim: usize) -> Self
+    where
+        I: IntoIterator<Item = &'a [f32]>,
+        I::IntoIter: ExactSizeIterator,
+    {
+        let iter = rows.into_iter();
+        let mut m = Self::invalid(iter.len(), dim);
+        for (i, r) in iter.enumerate() {
+            m.set_row(i, r);
+        }
+        m
+    }
+
+    /// Installs row `i` (copied, then L2-normalized in place) and marks it
+    /// valid. Zero vectors stay zero.
+    pub fn set_row(&mut self, i: usize, v: &[f32]) {
+        assert_eq!(v.len(), self.dim, "row length must equal matrix dim");
+        let row = &mut self.data[i * self.dim..(i + 1) * self.dim];
+        row.copy_from_slice(v);
+        let norm = dot_unrolled(row, row).sqrt();
+        if norm > 0.0 {
+            // True division, not multiply-by-reciprocal: `x / |x|` is
+            // exactly ±1.0 in IEEE, which keeps degenerate (collinear)
+            // rows tie-broken identically to the cosine oracle.
+            for x in row.iter_mut() {
+                *x /= norm;
+            }
+        }
+        self.valid[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Number of rows (valid or not).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Row dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// True when the matrix has no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Whether row `i` is present.
+    #[inline]
+    pub fn is_valid(&self, i: usize) -> bool {
+        (self.valid[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of present rows.
+    pub fn valid_rows(&self) -> usize {
+        self.valid.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The normalized row `i` (all-zero when invalid).
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+}
+
+/// `(score, index)` entry ordering: `a` strictly better than `b`.
+/// IEEE `==`/`<` comparisons keep `-0.0 == 0.0` ties index-broken.
+#[inline]
+fn better(a: (f32, u32), b: (f32, u32)) -> bool {
+    a.0 > b.0 || (a.0 == b.0 && a.1 < b.1)
+}
+
+/// A bounded top-k accumulator: a binary max-heap *on badness*, so the
+/// root is always the worst kept entry and a full push is one comparison
+/// in the common (rejected) case. `O(T log k)` for a T-candidate scan,
+/// with the same ordering as sort-by-score-desc / tie-break-by-index-asc
+/// / truncate-at-k.
+#[derive(Debug, Clone)]
+pub struct TopK {
+    k: usize,
+    /// `heap[0]` is the worst kept `(score, index)` entry.
+    heap: Vec<(f32, u32)>,
+}
+
+impl TopK {
+    /// An empty accumulator keeping at most `k` entries.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            heap: Vec::with_capacity(k.min(4096)),
+        }
+    }
+
+    /// Drops all entries, keeping `k` and the allocation.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    /// Entries currently kept.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing has been kept yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Offers `(idx, score)`; kept iff it beats the current worst (or the
+    /// accumulator is not full). Duplicate offers are kept as duplicates,
+    /// like the sort-based path did.
+    #[inline]
+    pub fn push(&mut self, idx: usize, score: f32) {
+        // `+ 0.0` canonicalizes -0.0 so tie-breaks match IEEE equality.
+        let entry = (score + 0.0, idx as u32);
+        if self.heap.len() < self.k {
+            self.heap.push(entry);
+            self.sift_up(self.heap.len() - 1);
+        } else if self.k > 0 && better(entry, self.heap[0]) {
+            self.heap[0] = entry;
+            self.sift_down();
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            // Max-heap on badness: a worse child bubbles above its parent.
+            if better(self.heap[parent], self.heap[i]) {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self) {
+        let n = self.heap.len();
+        let mut i = 0;
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut worst = i;
+            if l < n && better(self.heap[worst], self.heap[l]) {
+                worst = l;
+            }
+            if r < n && better(self.heap[worst], self.heap[r]) {
+                worst = r;
+            }
+            if worst == i {
+                break;
+            }
+            self.heap.swap(i, worst);
+            i = worst;
+        }
+    }
+
+    /// Empties the accumulator into a ranked `(index, score)` list:
+    /// decreasing score, ties by ascending index.
+    pub fn drain_sorted(&mut self) -> Vec<(usize, f32)> {
+        let mut out: Vec<(usize, f32)> = self
+            .heap
+            .drain(..)
+            .map(|(s, i)| (i as usize, s))
+            .collect();
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        out
+    }
+}
+
+/// Ranks the top `k` of an arbitrary `(index, score)` stream — the
+/// bounded-heap replacement for collect / sort / truncate in scorers that
+/// are not dot products (TF-IDF, MLP rankers, …).
+pub fn select_top_k(scores: impl IntoIterator<Item = (usize, f32)>, k: usize) -> Vec<(usize, f32)> {
+    let mut top = TopK::new(k);
+    for (i, s) in scores {
+        top.push(i, s);
+    }
+    top.drain_sorted()
+}
+
+/// Per-block target-row count: sized so one block of rows fits in
+/// ~[`TARGET_BLOCK_BYTES`] of cache.
+#[inline]
+fn target_block_len(dim: usize) -> usize {
+    (TARGET_BLOCK_BYTES / (dim.max(1) * std::mem::size_of::<f32>())).clamp(16, 1024)
+}
+
+/// Sequential batch scorer over pre-normalized matrices; results land in
+/// `out[i]` for global query `q_lo + i`. Closures receive *global* query
+/// indices.
+fn score_queries_into(
+    queries: &ScoreMatrix,
+    targets: &ScoreMatrix,
+    k: usize,
+    q_lo: usize,
+    extra: Option<&dyn Fn(usize, usize) -> f32>,
+    candidates: Option<&dyn Fn(usize) -> Vec<usize>>,
+    out: &mut [Vec<(usize, f32)>],
+) {
+    if extra.is_none() && candidates.is_none() {
+        return score_dense_into(queries, targets, k, q_lo, out);
+    }
+    let mut top = TopK::new(k);
+    for (oi, slot) in out.iter_mut().enumerate() {
+        let q = q_lo + oi;
+        if !queries.is_valid(q) {
+            continue; // missing query ⇒ empty ranking
+        }
+        let qrow = queries.row(q);
+        top.clear();
+        let mut offer = |t: usize| {
+            let base = if targets.is_valid(t) {
+                dot_unrolled(qrow, targets.row(t))
+            } else {
+                -1.0
+            };
+            let score = match extra {
+                Some(f) => (base + f(q, t)) / 2.0,
+                None => base,
+            };
+            top.push(t, score);
+        };
+        match candidates {
+            Some(f) => {
+                for t in f(q) {
+                    offer(t);
+                }
+            }
+            None => {
+                for t in 0..targets.rows() {
+                    offer(t);
+                }
+            }
+        }
+        *slot = top.drain_sorted();
+    }
+}
+
+/// The tiled hot path (no blocking, no score combination): query blocks ×
+/// target blocks, so each cache-resident target block is scored against
+/// up to [`QUERY_BLOCK`] queries before the next block streams in.
+fn score_dense_into(
+    queries: &ScoreMatrix,
+    targets: &ScoreMatrix,
+    k: usize,
+    q_lo: usize,
+    out: &mut [Vec<(usize, f32)>],
+) {
+    let t_rows = targets.rows();
+    let block = target_block_len(targets.dim());
+    let mut scores = vec![0.0f32; block.min(t_rows.max(1))];
+    let mut tops: Vec<TopK> = (0..QUERY_BLOCK.min(out.len())).map(|_| TopK::new(k)).collect();
+
+    let mut qb = 0;
+    while qb < out.len() {
+        let qe = (qb + QUERY_BLOCK).min(out.len());
+        for top in &mut tops[..qe - qb] {
+            top.clear();
+        }
+        let mut tb = 0;
+        while tb < t_rows {
+            let te = (tb + block).min(t_rows);
+            for (qi, top) in tops[..qe - qb].iter_mut().enumerate() {
+                let q = q_lo + qb + qi;
+                if !queries.is_valid(q) {
+                    continue;
+                }
+                let qrow = queries.row(q);
+                let tile = &mut scores[..te - tb];
+                // Fill the score tile, then feed the heap. The validity
+                // branch is per-row (well-predicted) and must gate the
+                // dot itself: an invalid row may belong to a matrix whose
+                // inferred dim is 0 (every row missing), where a dot
+                // against a nonzero-dim query would be a length mismatch.
+                for (j, s) in tile.iter_mut().enumerate() {
+                    let t = tb + j;
+                    *s = if targets.is_valid(t) {
+                        dot_unrolled(qrow, targets.row(t))
+                    } else {
+                        -1.0
+                    };
+                }
+                for (j, &s) in tile.iter().enumerate() {
+                    top.push(tb + j, s);
+                }
+            }
+            tb = te;
+        }
+        for (qi, top) in tops[..qe - qb].iter_mut().enumerate() {
+            let q = q_lo + qb + qi;
+            if queries.is_valid(q) {
+                out[qb + qi] = top.drain_sorted();
+            }
+        }
+        qb = qe;
+    }
+}
+
+/// Sequential batch top-k: for every query row, the `k` best targets by
+/// normalized dot product (= cosine of the original vectors), with the
+/// missing-row and ranking semantics described in the [module
+/// docs](self). `extra`, when given, is averaged with the base score over
+/// the full candidate pool; `candidates` restricts scoring per query
+/// (blocking).
+pub fn batch_top_k_seq(
+    queries: &ScoreMatrix,
+    targets: &ScoreMatrix,
+    k: usize,
+    extra: Option<&dyn Fn(usize, usize) -> f32>,
+    candidates: Option<&dyn Fn(usize) -> Vec<usize>>,
+) -> Vec<Vec<(usize, f32)>> {
+    let mut out = vec![Vec::new(); queries.rows()];
+    score_queries_into(queries, targets, k, 0, extra, candidates, &mut out);
+    out
+}
+
+/// Parallel [`batch_top_k_seq`]: splits the queries over `threads`
+/// workers (crossbeam scoped threads over disjoint output chunks). Every
+/// query's ranking is computed by the same deterministic code path, so
+/// the output is bit-identical to the sequential scorer at any thread
+/// count.
+pub fn batch_top_k(
+    queries: &ScoreMatrix,
+    targets: &ScoreMatrix,
+    k: usize,
+    extra: Option<&(dyn Fn(usize, usize) -> f32 + Sync)>,
+    candidates: Option<&(dyn Fn(usize) -> Vec<usize> + Sync)>,
+    threads: usize,
+) -> Vec<Vec<(usize, f32)>> {
+    let n = queries.rows();
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 {
+        return batch_top_k_seq(
+            queries,
+            targets,
+            k,
+            extra.map(|f| f as &dyn Fn(usize, usize) -> f32),
+            candidates.map(|f| f as &dyn Fn(usize) -> Vec<usize>),
+        );
+    }
+    let mut out = vec![Vec::new(); n];
+    let chunk = n.div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (ci, out_chunk) in out.chunks_mut(chunk).enumerate() {
+            scope.spawn(move |_| {
+                score_queries_into(
+                    queries,
+                    targets,
+                    k,
+                    ci * chunk,
+                    extra.map(|f| f as &dyn Fn(usize, usize) -> f32),
+                    candidates.map(|f| f as &dyn Fn(usize) -> Vec<usize>),
+                    out_chunk,
+                );
+            });
+        }
+    })
+    .expect("batch scorer worker panicked");
+    out
+}
+
+/// Reference scorer for one query against optional target rows — the
+/// legacy cosine-per-pair path, kept as the property-test oracle.
+#[doc(hidden)]
+pub fn naive_rank(
+    query: &[f32],
+    targets: &[Option<Vec<f32>>],
+    k: usize,
+) -> Vec<(usize, f32)> {
+    let mut scored: Vec<(usize, f32)> = targets
+        .iter()
+        .enumerate()
+        .map(|(t, tv)| (t, tv.as_ref().map_or(-1.0, |tv| cosine(query, tv))))
+        .collect();
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    scored.truncate(k);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: f32, y: f32) -> Option<Vec<f32>> {
+        Some(vec![x, y])
+    }
+
+    #[test]
+    fn dot_unrolled_matches_naive() {
+        for len in [0usize, 1, 3, 7, 8, 9, 16, 31, 64, 100] {
+            let a: Vec<f32> = (0..len).map(|i| (i as f32 * 0.7).sin()).collect();
+            let b: Vec<f32> = (0..len).map(|i| (i as f32 * 1.3).cos()).collect();
+            let naive: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            let fast = dot_unrolled(&a, &b);
+            assert!((naive - fast).abs() < 1e-4, "len {len}: {naive} vs {fast}");
+        }
+    }
+
+    #[test]
+    fn matrix_normalizes_and_tracks_validity() {
+        let rows = vec![v(3.0, 4.0), None, v(0.0, 0.0)];
+        let m = ScoreMatrix::from_options(&rows);
+        assert_eq!((m.rows(), m.dim()), (3, 2));
+        assert_eq!(m.valid_rows(), 2);
+        assert!(m.is_valid(0) && !m.is_valid(1) && m.is_valid(2));
+        assert!((m.row(0)[0] - 0.6).abs() < 1e-6 && (m.row(0)[1] - 0.8).abs() < 1e-6);
+        assert_eq!(m.row(1), &[0.0, 0.0]); // invalid rows are zeroed
+        assert_eq!(m.row(2), &[0.0, 0.0]); // zero rows stay zero
+    }
+
+    #[test]
+    fn all_missing_matrix_has_zero_dim() {
+        let m = ScoreMatrix::from_options(&[None, None]);
+        assert_eq!((m.rows(), m.dim(), m.valid_rows()), (2, 0, 0));
+    }
+
+    #[test]
+    fn all_missing_targets_rank_by_index_without_dotting() {
+        // Regression: an all-None target side infers dim 0; the dense
+        // tile path must not dot a dim-0 row against a dim-2 query.
+        let qm = ScoreMatrix::from_options(&[v(1.0, 0.0)]);
+        let tm = ScoreMatrix::from_options(&[None, None]);
+        let got = batch_top_k_seq(&qm, &tm, 5, None, None);
+        assert_eq!(got[0], vec![(0, -1.0), (1, -1.0)]);
+    }
+
+    #[test]
+    fn top_k_keeps_best_with_index_tiebreak() {
+        let mut top = TopK::new(3);
+        for (i, s) in [(0, 0.5), (1, 0.9), (2, 0.5), (3, 0.1), (4, 0.9)] {
+            top.push(i, s);
+        }
+        // 0.9@1, 0.9@4, then the 0.5 tie keeps the lower index 0.
+        assert_eq!(top.drain_sorted(), vec![(1, 0.9), (4, 0.9), (0, 0.5)]);
+    }
+
+    #[test]
+    fn top_k_zero_capacity_keeps_nothing() {
+        let mut top = TopK::new(0);
+        top.push(0, 1.0);
+        assert!(top.drain_sorted().is_empty());
+    }
+
+    #[test]
+    fn negative_zero_ties_break_by_index() {
+        let mut top = TopK::new(2);
+        top.push(0, -0.0);
+        top.push(1, 0.0);
+        top.push(2, 0.0);
+        assert_eq!(top.drain_sorted(), vec![(0, 0.0), (1, 0.0)]);
+    }
+
+    #[test]
+    fn select_top_k_equals_sort_truncate() {
+        let scores: Vec<(usize, f32)> =
+            (0..50).map(|i| (i, ((i * 37) % 11) as f32 / 11.0)).collect();
+        let mut sorted = scores.clone();
+        sorted.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap()
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        sorted.truncate(7);
+        assert_eq!(select_top_k(scores, 7), sorted);
+    }
+
+    #[test]
+    fn batch_matches_naive_oracle() {
+        let queries: Vec<Option<Vec<f32>>> = (0..13)
+            .map(|i| {
+                if i % 5 == 4 {
+                    None
+                } else {
+                    Some(vec![(i as f32 * 0.7).cos(), (i as f32 * 0.7).sin(), 0.3])
+                }
+            })
+            .collect();
+        let targets: Vec<Option<Vec<f32>>> = (0..37)
+            .map(|i| {
+                if i % 7 == 3 {
+                    None
+                } else {
+                    Some(vec![(i as f32 * 1.3).cos(), (i as f32 * 1.3).sin(), -0.2])
+                }
+            })
+            .collect();
+        let qm = ScoreMatrix::from_options(&queries);
+        let tm = ScoreMatrix::from_options(&targets);
+        for k in [0usize, 1, 5, 37, 64] {
+            let got = batch_top_k_seq(&qm, &tm, k, None, None);
+            for (q, ranked) in got.iter().enumerate() {
+                match &queries[q] {
+                    None => assert!(ranked.is_empty()),
+                    Some(qv) => {
+                        let want = naive_rank(qv, &targets, k);
+                        let got_idx: Vec<usize> = ranked.iter().map(|&(t, _)| t).collect();
+                        let want_idx: Vec<usize> = want.iter().map(|&(t, _)| t).collect();
+                        assert_eq!(got_idx, want_idx, "q={q} k={k}");
+                        for (g, w) in ranked.iter().zip(&want) {
+                            assert!((g.1 - w.1).abs() < 1e-5);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_sequential() {
+        let rows: Vec<Option<Vec<f32>>> = (0..41)
+            .map(|i| Some(vec![(i as f32).sin(), (i as f32).cos(), 0.1 * i as f32]))
+            .collect();
+        let m = ScoreMatrix::from_options(&rows);
+        let extra = |q: usize, t: usize| ((q * 7 + t) % 5) as f32 / 5.0 - 0.4;
+        let cand = |q: usize| (0..41).filter(|t| !(q + t).is_multiple_of(3)).collect::<Vec<_>>();
+        let seq = batch_top_k(&m, &m, 6, Some(&extra), Some(&cand), 1);
+        for threads in [2, 3, 8, 64] {
+            let par = batch_top_k(&m, &m, 6, Some(&extra), Some(&cand), threads);
+            assert_eq!(seq, par, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn extra_score_averages_and_missing_target_ranks_last() {
+        let queries = vec![v(1.0, 0.0)];
+        let targets = vec![None, v(1.0, 0.0)];
+        let qm = ScoreMatrix::from_options(&queries);
+        let tm = ScoreMatrix::from_options(&targets);
+        let extra = |_q: usize, _t: usize| 1.0f32;
+        let got = batch_top_k_seq(&qm, &tm, 2, Some(&extra), None);
+        // Target 1: (1 + 1)/2 = 1; target 0 (missing): (-1 + 1)/2 = 0.
+        assert_eq!(got[0][0], (1, 1.0));
+        assert_eq!(got[0][1], (0, 0.0));
+    }
+}

@@ -56,16 +56,18 @@ pub fn mean_of<'a, I: IntoIterator<Item = &'a [f32]>>(vectors: I) -> Option<Vec<
 }
 
 /// Indices and scores of the `k` highest-cosine `candidates` w.r.t.
-/// `query`, sorted by decreasing score (stable wrt candidate order on ties).
+/// `query`, sorted by decreasing score (ties keep candidate order).
+///
+/// Compatibility shim over the flat engine: builds a one-off
+/// [`crate::score::ScoreMatrix`] per call. Callers scoring the same
+/// candidate set repeatedly should build the matrix once and use
+/// [`crate::score::batch_top_k`] directly (normalize once, dot many).
 pub fn top_k_cosine(query: &[f32], candidates: &[&[f32]], k: usize) -> Vec<(usize, f32)> {
-    let mut scored: Vec<(usize, f32)> = candidates
-        .iter()
-        .enumerate()
-        .map(|(i, c)| (i, cosine(query, c)))
-        .collect();
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-    scored.truncate(k);
-    scored
+    let targets = crate::score::ScoreMatrix::from_rows(candidates.iter().copied(), query.len());
+    let queries = crate::score::ScoreMatrix::from_rows(std::iter::once(query), query.len());
+    crate::score::batch_top_k_seq(&queries, &targets, k, None, None)
+        .pop()
+        .unwrap_or_default()
 }
 
 /// A word → vector store, the output of Word2Vec / Doc2Vec training.

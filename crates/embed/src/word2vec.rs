@@ -91,6 +91,9 @@ struct SigmoidTable {
 const MAX_EXP: f32 = 6.0;
 const SIGMOID_BUCKETS: usize = 512;
 
+/// Tokens a worker trains between flushes of the shared progress counter.
+const PROGRESS_FLUSH_TOKENS: u64 = 10_000;
+
 impl SigmoidTable {
     fn new() -> Self {
         let table = (0..SIGMOID_BUCKETS)
@@ -207,16 +210,32 @@ pub fn train_corpus(corpus: &FlatCorpus, counts: &[u64], config: &Word2VecConfig
                 let mut rng =
                     SmallRng::seed_from_u64(config.seed.wrapping_add(0x9E37 * (tid as u64 + 1)));
                 let mut worker = Worker::new(config, sigmoid, neg_table, syn0, syn1);
+                // Batched progress accounting (word2vec.c style): a
+                // contended fetch_add per sentence would bounce the
+                // counter's cache line between workers, so each thread
+                // accumulates locally and flushes every ~10k tokens.
+                // `base + local` never decreases (the global counter only
+                // grows, and a flush folds `local` into `base`), so the
+                // lr-decay schedule stays monotone per worker.
+                let mut base = processed.load(Ordering::Relaxed);
+                let mut local: u64 = 0;
                 for epoch in 0..config.epochs {
                     for sent in corpus.sentences_range(lo, hi) {
-                        let done = processed.fetch_add(sent.len() as u64, Ordering::Relaxed);
-                        let progress = done as f32 / total_work as f32;
+                        let progress = (base + local) as f32 / total_work as f32;
                         let lr = (config.initial_lr * (1.0 - progress))
                             .max(config.initial_lr * 1e-4);
                         worker.train_sentence(sent, lr, counts, total_count, &mut rng);
+                        local += sent.len() as u64;
+                        if local >= PROGRESS_FLUSH_TOKENS {
+                            base = processed.fetch_add(local, Ordering::Relaxed) + local;
+                            local = 0;
+                        }
                     }
                     // Stir the RNG between epochs so window draws differ.
                     let _ = rng.random::<u64>().wrapping_add(epoch as u64);
+                }
+                if local > 0 {
+                    processed.fetch_add(local, Ordering::Relaxed);
                 }
             });
         }

@@ -14,5 +14,6 @@ pub mod ranking;
 pub use node_score::{node_prf, node_score};
 pub use prf::{exact_prf, Prf};
 pub use ranking::{
-    average_precision_at_k, has_positive_at_k, mean_metrics, reciprocal_rank, RankMetrics,
+    average_precision_at_k, has_positive_at_k, mean_metrics, mean_metrics_over,
+    reciprocal_rank, RankMetrics,
 };

@@ -71,6 +71,16 @@ pub const REPORTED_KS: [usize; 3] = [1, 5, 20];
 pub fn mean_metrics<T: Eq + std::hash::Hash>(
     queries: &[(Vec<T>, HashSet<T>)],
 ) -> RankMetrics {
+    mean_metrics_over(queries.iter().map(|(r, rel)| (r.as_slice(), rel)))
+}
+
+/// Borrowing [`mean_metrics`]: consumes `(ranked slice, relevant set)`
+/// pairs directly, so callers evaluating an existing matcher output (e.g.
+/// the engine's per-query rankings) don't have to clone every ranked list
+/// into an owned pair first.
+pub fn mean_metrics_over<'a, T: Eq + std::hash::Hash + 'a>(
+    queries: impl IntoIterator<Item = (&'a [T], &'a HashSet<T>)>,
+) -> RankMetrics {
     let mut out = RankMetrics::default();
     let mut n = 0usize;
     for (ranked, relevant) in queries {
@@ -171,6 +181,9 @@ mod tests {
         assert!((m.mrr - 0.75).abs() < 1e-12);
         assert!((m.has_positive_at[0] - 0.5).abs() < 1e-12);
         assert!((m.has_positive_at[1] - 1.0).abs() < 1e-12);
+        // The borrowing variant computes the same bundle.
+        let b = mean_metrics_over(queries.iter().map(|(r, rel)| (r.as_slice(), rel)));
+        assert_eq!(m, b);
     }
 
     #[test]
