@@ -1,0 +1,169 @@
+//! Property tests for the flat similarity engine: the pre-normalized
+//! [`ScoreMatrix`] + bounded [`TopK`] batch path must rank exactly like
+//! the naive cosine + full-sort oracle (indices and tie-breaks; scores
+//! within 1e-5), at any thread count.
+
+use proptest::prelude::*;
+
+use tdmatch_embed::score::{
+    batch_top_k, batch_top_k_seq, dot_unrolled, naive_rank, select_top_k, ScoreMatrix,
+};
+
+/// SplitMix64 — deterministic vector material from a proptest seed.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform f32 in [-1, 1).
+fn unit(state: &mut u64) -> f32 {
+    (splitmix(state) >> 40) as f32 / (1u64 << 23) as f32 - 1.0
+}
+
+/// Optional rows: ~1/5 missing, ~1/7 all-zero (valid but degenerate).
+fn gen_rows(n: usize, dim: usize, state: &mut u64) -> Vec<Option<Vec<f32>>> {
+    (0..n)
+        .map(|_| {
+            let marker = splitmix(state) % 35;
+            if marker % 5 == 4 {
+                None
+            } else if marker % 7 == 3 {
+                Some(vec![0.0; dim])
+            } else {
+                Some((0..dim).map(|_| unit(state)).collect())
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The bounded heap ranks exactly like sort-desc / tie-idx-asc /
+    /// truncate — exercised on a coarse score grid so exact ties are
+    /// common.
+    #[test]
+    fn topk_equals_sort_truncate(
+        grid in prop::collection::vec(0i32..6, 0..48),
+        k in 0usize..14,
+    ) {
+        let scored: Vec<(usize, f32)> = grid
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| (i, g as f32 / 4.0 - 0.5))
+            .collect();
+        let mut oracle = scored.clone();
+        oracle.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap()
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        oracle.truncate(k);
+        prop_assert_eq!(select_top_k(scored, k), oracle);
+    }
+
+    /// The unrolled kernel agrees with a scalar dot product.
+    #[test]
+    fn dot_unrolled_matches_scalar(
+        a in prop::collection::vec(-4.0f32..4.0, 0..40),
+        b in prop::collection::vec(-4.0f32..4.0, 0..40),
+    ) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let scalar: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        let fast = dot_unrolled(a, b);
+        let tol = 1e-4 * (1.0 + scalar.abs());
+        prop_assert!((scalar - fast).abs() < tol, "{scalar} vs {fast}");
+    }
+
+    /// Matrix rows are unit-norm (or zero), and validity mirrors `Some`.
+    #[test]
+    fn matrix_rows_are_normalized(
+        n in 0usize..70,
+        dim in 0usize..10,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut state = seed;
+        let rows = gen_rows(n, dim, &mut state);
+        let m = ScoreMatrix::from_options_dim(&rows, dim);
+        prop_assert_eq!((m.rows(), m.dim()), (n, dim));
+        prop_assert_eq!(m.valid_rows(), rows.iter().filter(|r| r.is_some()).count());
+        for (i, r) in rows.iter().enumerate() {
+            prop_assert_eq!(m.is_valid(i), r.is_some());
+            let norm = dot_unrolled(m.row(i), m.row(i)).sqrt();
+            prop_assert!(
+                norm == 0.0 || (norm - 1.0).abs() < 1e-4,
+                "row {i} norm {norm}"
+            );
+        }
+    }
+
+    /// The batch path equals the naive cosine + sort oracle per query:
+    /// identical indices and tie-breaks, scores within 1e-5 — across
+    /// random dims, missing rows, and k above/below the target count.
+    #[test]
+    fn batch_matches_naive_oracle(
+        dim in 1usize..12,
+        n_queries in 0usize..10,
+        n_targets in 0usize..20,
+        k in 0usize..26,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut state = seed ^ 0xABCD;
+        let queries = gen_rows(n_queries, dim, &mut state);
+        let targets = gen_rows(n_targets, dim, &mut state);
+        let qm = ScoreMatrix::from_options_dim(&queries, dim);
+        let tm = ScoreMatrix::from_options_dim(&targets, dim);
+        let got = batch_top_k_seq(&qm, &tm, k, None, None);
+        prop_assert_eq!(got.len(), n_queries);
+        for (q, ranked) in got.iter().enumerate() {
+            match &queries[q] {
+                None => prop_assert!(ranked.is_empty(), "missing query {q} ranked"),
+                Some(qv) => {
+                    let want = naive_rank(qv, &targets, k);
+                    let got_idx: Vec<usize> = ranked.iter().map(|&(t, _)| t).collect();
+                    let want_idx: Vec<usize> = want.iter().map(|&(t, _)| t).collect();
+                    prop_assert_eq!(&got_idx, &want_idx, "q={} k={}", q, k);
+                    for (g, w) in ranked.iter().zip(&want) {
+                        prop_assert!((g.1 - w.1).abs() < 1e-5, "q={} {:?} vs {:?}", q, g, w);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The parallel scorer is bit-identical to the sequential one at any
+    /// thread count, including with blocking and extra-score closures.
+    #[test]
+    fn parallel_is_thread_count_invariant(
+        dim in 1usize..10,
+        n_queries in 0usize..14,
+        n_targets in 0usize..20,
+        k in 0usize..12,
+        seed in 0u64..1_000_000,
+        use_extra in 0u8..2,
+        use_cand in 0u8..2,
+    ) {
+        let mut state = seed ^ 0x5A5A;
+        let queries = gen_rows(n_queries, dim, &mut state);
+        let targets = gen_rows(n_targets, dim, &mut state);
+        let qm = ScoreMatrix::from_options_dim(&queries, dim);
+        let tm = ScoreMatrix::from_options_dim(&targets, dim);
+        let extra_fn = |q: usize, t: usize| ((q * 31 + t * 17) % 13) as f32 / 13.0 - 0.5;
+        let cand_fn = |q: usize| {
+            (0..n_targets).filter(|t| !(t * 7 + q * 3).is_multiple_of(3)).collect::<Vec<_>>()
+        };
+        let extra: Option<&(dyn Fn(usize, usize) -> f32 + Sync)> =
+            if use_extra == 1 { Some(&extra_fn) } else { None };
+        let cand: Option<&(dyn Fn(usize) -> Vec<usize> + Sync)> =
+            if use_cand == 1 { Some(&cand_fn) } else { None };
+        let seq = batch_top_k(&qm, &tm, k, extra, cand, 1);
+        for threads in [2usize, 3, 5, 16] {
+            let par = batch_top_k(&qm, &tm, k, extra, cand, threads);
+            prop_assert_eq!(&seq, &par, "threads = {}", threads);
+        }
+    }
+}
