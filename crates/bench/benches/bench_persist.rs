@@ -1,0 +1,219 @@
+//! Persistence recorder: cold pipeline fit vs warm artifact load.
+//!
+//! The pipeline is fit-once / match-many, so the number that matters for
+//! serving is not how fast a fit is but how fast a *saved* fit comes
+//! back. This recorder measures, on a `fig8_scaling`-sized STS workload:
+//!
+//! * **cold** — graph build + walks + Word2Vec training + normalization
+//!   (`TdMatch::fit`), the price of not having a snapshot;
+//! * **warm** — `TDZ1` container bytes → zero-copy `MatchArtifact`
+//!   (`from_storage`: borrowed matrices, no re-normalization), plus the
+//!   legacy `TDM1` decode-and-upgrade path for comparison;
+//! * **load-then-match** — warm load followed by a full `match_top_k`
+//!   sweep, i.e. end-to-end time-to-first-ranking from bytes;
+//! * **CSR snapshot** — freeze-from-graph vs zero-copy snapshot load.
+//!
+//! The warm rankings are asserted identical to the live model's before
+//! anything is recorded. Results land in `BENCH_persist.json` at the
+//! repository root so the warm-start trajectory is tracked from PR to PR.
+//!
+//! Run with `cargo bench -p tdmatch-bench --bench bench_persist`.
+//! `TDMATCH_BENCH_COPIES` (default 2) scales the corpus pair like
+//! Figure 8's union-of-scenarios construction; `TDMATCH_SCALE` /
+//! `TDMATCH_DIM` / … behave as in the other recorders.
+
+use std::time::Instant;
+
+use tdmatch_bench::alloc_probe::{AllocProbe, CountingAlloc};
+use tdmatch_bench::bench_config;
+use tdmatch_core::artifact::MatchArtifact;
+use tdmatch_core::corpus::{Corpus, TextCorpus};
+use tdmatch_core::pipeline::TdMatch;
+use tdmatch_datasets::{sts, Scale};
+use tdmatch_graph::container::Storage;
+use tdmatch_graph::{ContainerWriter, CsrGraph};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+struct LoadStats {
+    secs: f64,
+    allocations: u64,
+    peak_bytes: u64,
+}
+
+fn json_load_stats(s: &LoadStats) -> String {
+    format!(
+        "{{\"secs\": {:.6}, \"allocations\": {}, \"peak_bytes\": {}}}",
+        s.secs, s.allocations, s.peak_bytes,
+    )
+}
+
+/// Best-of-N wall time + first-run allocation counters.
+fn measure<T, F: FnMut() -> T>(reps: usize, mut f: F) -> (T, LoadStats) {
+    let probe = AllocProbe::start();
+    let t = Instant::now();
+    let out = f();
+    let mut secs = t.elapsed().as_secs_f64();
+    let (allocations, peak_bytes) = probe.finish();
+    for _ in 1..reps {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        secs = secs.min(t.elapsed().as_secs_f64());
+    }
+    (
+        out,
+        LoadStats {
+            secs,
+            allocations,
+            peak_bytes,
+        },
+    )
+}
+
+fn main() {
+    let copies: usize = std::env::var("TDMATCH_BENCH_COPIES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let k = 20usize;
+    const REPS: usize = 5;
+
+    // Figure-8-sized corpus pair: a union of independently seeded STS
+    // corpora, exactly like fig8_scaling / bench_walks build theirs.
+    let mut first_docs = Vec::new();
+    let mut second_docs = Vec::new();
+    for seed in 0..copies as u64 {
+        let s = sts::generate(Scale::Small, 100 + seed, 2);
+        let Corpus::Text(f) = s.first else { unreachable!() };
+        let Corpus::Text(snd) = s.second else { unreachable!() };
+        first_docs.extend(f.docs);
+        second_docs.extend(snd.docs);
+    }
+    let first = Corpus::Text(TextCorpus::new(first_docs));
+    let second = Corpus::Text(TextCorpus::new(second_docs));
+    let base = sts::generate(Scale::Tiny, 1, 2);
+    let config = bench_config(&base.config);
+    let dim = config.dim;
+    println!(
+        "persist workload: {} targets × {} queries, dim {dim}, k {k} ({copies} copies)",
+        first.len(),
+        second.len(),
+    );
+
+    // --- Cold: the full fit (build + walks + train + normalize) --------
+    let trainer = TdMatch::new(config);
+    let t = Instant::now();
+    let model = trainer.fit(&first, &second).expect("pipeline fit failed");
+    let cold_secs = t.elapsed().as_secs_f64();
+    let live = model.match_top_k(k);
+
+    // --- Artifact save (v2 container + legacy v1 stream) ---------------
+    let artifact = model.artifact();
+    let t = Instant::now();
+    let mut v2_bytes = Vec::new();
+    artifact.write_to(&mut v2_bytes).unwrap();
+    let save_secs = t.elapsed().as_secs_f64();
+    let mut v1_bytes = Vec::new();
+    artifact.write_to_v1(&mut v1_bytes).unwrap();
+
+    // --- Warm: zero-copy container load vs legacy decode --------------
+    let (warm, v2_load) = measure(REPS, || {
+        let storage = Storage::from_bytes(&v2_bytes);
+        MatchArtifact::from_storage(&storage).unwrap()
+    });
+    assert!(warm.is_zero_copy(), "v2 load fell off the zero-copy path");
+    let (_, v1_load) = measure(REPS, || {
+        MatchArtifact::read_from(&mut v1_bytes.as_slice()).unwrap()
+    });
+
+    // The warm artifact must rank exactly like the live model.
+    let warm_results = warm.match_top_k(k);
+    assert_eq!(live, warm_results, "warm artifact diverged from the live model");
+
+    // --- Load-then-match: time-to-first-ranking from bytes -------------
+    let pairs = (first.len() * second.len()) as f64;
+    let (_, load_match) = measure(REPS, || {
+        let storage = Storage::from_bytes(&v2_bytes);
+        let a = MatchArtifact::from_storage(&storage).unwrap();
+        a.match_top_k(k)
+    });
+
+    // --- CSR snapshot: cold (build graph + freeze) vs zero-copy load ----
+    // The cold path to a walkable CsrGraph from scratch is graph
+    // creation plus the freeze; the snapshot replaces both.
+    let (csr, csr_cold) = measure(1, || {
+        let built =
+            tdmatch_core::builder::build_graph(&first, &second, trainer.config(), None);
+        CsrGraph::from_graph(&built.graph)
+    });
+    let mut w = ContainerWriter::new();
+    csr.write_sections(&mut w);
+    let csr_bytes = w.finish();
+    let (_, csr_load) = measure(REPS, || {
+        let storage = Storage::from_bytes(&csr_bytes);
+        let c = storage.container().unwrap();
+        CsrGraph::from_sections(&storage, &c).unwrap()
+    });
+
+    let speedup_warm_vs_cold = cold_secs / v2_load.secs;
+    let speedup_v2_vs_v1 = v1_load.secs / v2_load.secs;
+    let speedup_csr = csr_cold.secs / csr_load.secs;
+    println!(
+        "cold fit: {cold_secs:.3}s | warm v2 load: {:.6}s ({speedup_warm_vs_cold:.0}x) | \
+         v1 load: {:.6}s (v2 is {speedup_v2_vs_v1:.1}x) | load+match: {:.4}s \
+         ({:.1}M pairs/s) | csr build+freeze {:.4}s vs load {:.6}s ({speedup_csr:.1}x)",
+        v2_load.secs,
+        v1_load.secs,
+        load_match.secs,
+        pairs / load_match.secs / 1e6,
+        csr_cold.secs,
+        csr_load.secs,
+    );
+    assert!(
+        speedup_warm_vs_cold >= 10.0,
+        "warm load regressed: only {speedup_warm_vs_cold:.1}x faster than the cold fit"
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"persistence\",\n",
+            "  \"workload\": {{\"targets\": {}, \"queries\": {}, \"dim\": {}, \"k\": {}, ",
+            "\"copies\": {}}},\n",
+            "  \"cold_fit_secs\": {:.6},\n",
+            "  \"artifact_bytes\": {},\n",
+            "  \"artifact_save_secs\": {:.6},\n",
+            "  \"warm_load_v2\": {},\n",
+            "  \"warm_load_v1_legacy\": {},\n",
+            "  \"load_then_match\": {{\"secs\": {:.6}, \"pairs_per_sec\": {:.1}}},\n",
+            "  \"csr_snapshot\": {{\"bytes\": {}, \"build_freeze_secs\": {:.6}, ",
+            "\"load_secs\": {:.6}}},\n",
+            "  \"speedup_warm_vs_cold\": {:.1},\n",
+            "  \"speedup_v2_vs_v1_load\": {:.2},\n",
+            "  \"speedup_csr_load_vs_build\": {:.2}\n",
+            "}}\n"
+        ),
+        first.len(),
+        second.len(),
+        dim,
+        k,
+        copies,
+        cold_secs,
+        v2_bytes.len(),
+        save_secs,
+        json_load_stats(&v2_load),
+        json_load_stats(&v1_load),
+        load_match.secs,
+        pairs / load_match.secs,
+        csr_bytes.len(),
+        csr_cold.secs,
+        csr_load.secs,
+        speedup_warm_vs_cold,
+        speedup_v2_vs_v1,
+        speedup_csr,
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_persist.json");
+    std::fs::write(out, &json).expect("write BENCH_persist.json");
+    println!("wrote {out}");
+}

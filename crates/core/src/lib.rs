@@ -20,10 +20,34 @@
 //!    (Fig. 10) and candidate [`blocking`] — inverted token index or
 //!    multiprobe [`lsh`] (the paper's future-work extension).
 //!
-//! A fitted model exports a persistable [`artifact::MatchArtifact`]
-//! (versioned binary, CRC-checked) that matches offline and embeds
-//! out-of-corpus queries; `TdMatch::fit_prebuilt` resumes from a graph
-//! persisted with `tdmatch_graph::persist`.
+//! # Persistence lifecycle
+//!
+//! The pipeline is **fit-once / match-many**, and persistence follows
+//! that shape end to end:
+//!
+//! 1. **Fit** — [`pipeline::TdMatch::fit`] builds the graph, runs walks,
+//!    trains embeddings, and L2-normalizes both corpora's document
+//!    vectors *once* into flat `ScoreMatrix`es (`tdmatch_embed::score`).
+//! 2. **Export** — [`pipeline::TdModel::artifact`] packages term vectors
+//!    plus those pre-normalized matrices into a
+//!    [`artifact::MatchArtifact`] without re-copying rows.
+//! 3. **Save** — [`artifact::MatchArtifact::save`] writes a versioned
+//!    `TDZ1` container (`tdmatch_graph::container`): 64-byte-aligned
+//!    little-endian sections, each CRC-32 sealed.
+//! 4. **Warm start** — [`artifact::MatchArtifact::from_storage`] maps
+//!    the container back *zero-copy*: the document matrices are borrowed
+//!    views into the shared storage buffer, so time-to-first-ranking is
+//!    load + dot-many — no graph rebuild, no re-normalization, no
+//!    per-row allocation (`BENCH_persist.json` tracks the warm/cold
+//!    ratio). Legacy `TDM1` streams load through the same entry points
+//!    and are upgraded into the flat layout once, at load time.
+//!
+//! Two heavier warm-start paths complement the artifact: a mutable
+//! graph persisted with `tdmatch_graph::persist` resumes the *training*
+//! side via [`pipeline::TdMatch::fit_prebuilt`] (walks + training, no
+//! graph build), and a frozen `CsrGraph` snapshot
+//! (`tdmatch_graph::csr::CsrGraph::save_snapshot`) maps the walk
+//! substrate back without even re-freezing.
 //!
 //! Entry point: [`pipeline::TdMatch`].
 

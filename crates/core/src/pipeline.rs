@@ -539,6 +539,11 @@ impl TdModel {
     /// document vectors) as a persistable [`MatchArtifact`]. The artifact
     /// matches exactly like [`match_top_k`](TdModel::match_top_k) does
     /// without blocking, and can be saved/loaded without re-training.
+    ///
+    /// The document sides are taken from the model's pre-normalized
+    /// score matrices — two flat memcpy-style clones, not a per-row
+    /// `Option<Vec<f32>>` copy — so the artifact scores without ever
+    /// re-normalizing.
     pub fn artifact(&self) -> MatchArtifact {
         let dim = self.config.dim;
         let terms: Vec<(String, Vec<f32>)> = self
@@ -552,7 +557,12 @@ impl TdModel {
                 )
             })
             .collect();
-        MatchArtifact::new(dim, terms, self.first_vecs.clone(), self.second_vecs.clone())
+        MatchArtifact::from_matrices(
+            dim,
+            terms,
+            self.first_norm.clone(),
+            self.second_norm.clone(),
+        )
     }
 }
 
@@ -796,11 +806,13 @@ mod tests {
             .unwrap();
         let mut buf = Vec::new();
         model.artifact().write_to(&mut buf).unwrap();
-        let loaded = crate::artifact::MatchArtifact::read_from(&mut buf.as_slice()).unwrap();
-        // Same ranked indices from the artifact as from the live model.
-        for (a, b) in model.match_top_k(3).iter().zip(loaded.match_top_k(3)) {
-            assert_eq!(a.target_indices(), b.target_indices());
-        }
+        // Reload from bytes on the borrowed (zero-copy) path.
+        let storage = tdmatch_graph::container::Storage::from_bytes(&buf);
+        let loaded = crate::artifact::MatchArtifact::from_storage(&storage).unwrap();
+        assert!(loaded.is_zero_copy());
+        // The warm artifact ranks *identically* to the live model — same
+        // indices, same scores, no per-call normalization on either side.
+        assert_eq!(model.match_top_k(3), loaded.match_top_k(3));
         // Term vectors survive too.
         assert_eq!(
             model.term_vector("tarantino"),

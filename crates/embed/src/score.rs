@@ -46,6 +46,9 @@
 //! threads over disjoint output chunks) bit-identical to the sequential
 //! one at any thread count.
 
+use tdmatch_graph::container::{Container, ContainerWriter, FlatBuf, SectionTag, Storage};
+use tdmatch_graph::DecodeError;
+
 use crate::vectors::cosine;
 
 /// Queries scored together against one cached target block.
@@ -83,22 +86,44 @@ pub fn dot_unrolled(a: &[f32], b: &[f32]) -> f32 {
 ///
 /// Invalid (missing) rows are stored as zeros and flagged in the bitmap;
 /// see the [module docs](self) for their scoring semantics.
+///
+/// Both arrays are [`FlatBuf`]s: owned when the matrix is built row by
+/// row, zero-copy views into `TDZ1` container [`Storage`] when loaded by
+/// [`from_sections`](ScoreMatrix::from_sections) — a persisted matrix
+/// maps back at normalize-once speed with no per-row copies and no
+/// re-normalization.
 #[derive(Debug, Clone, Default)]
 pub struct ScoreMatrix {
     /// Row-major normalized rows; invalid rows are all-zero.
-    data: Vec<f32>,
+    data: FlatBuf<f32>,
     /// Bit `i` set ⇔ row `i` is present.
-    valid: Vec<u64>,
+    valid: FlatBuf<u64>,
     rows: usize,
     dim: usize,
+}
+
+impl PartialEq for ScoreMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        // Bitwise comparison (f32 bits, not IEEE ==): persistence
+        // round-trips must be exact, including NaN payloads and -0.0.
+        self.rows == other.rows
+            && self.dim == other.dim
+            && self.valid[..] == other.valid[..]
+            && self.data.len() == other.data.len()
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
 }
 
 impl ScoreMatrix {
     /// An all-invalid matrix of the given shape.
     pub fn invalid(rows: usize, dim: usize) -> Self {
         Self {
-            data: vec![0.0; rows * dim],
-            valid: vec![0; rows.div_ceil(64)],
+            data: vec![0.0; rows * dim].into(),
+            valid: vec![0; rows.div_ceil(64)].into(),
             rows,
             dim,
         }
@@ -141,10 +166,12 @@ impl ScoreMatrix {
     }
 
     /// Installs row `i` (copied, then L2-normalized in place) and marks it
-    /// valid. Zero vectors stay zero.
+    /// valid. Zero vectors stay zero. A zero-copy matrix is first
+    /// detached from its storage (copy-on-write).
     pub fn set_row(&mut self, i: usize, v: &[f32]) {
         assert_eq!(v.len(), self.dim, "row length must equal matrix dim");
-        let row = &mut self.data[i * self.dim..(i + 1) * self.dim];
+        let dim = self.dim;
+        let row = &mut self.data.make_mut()[i * dim..(i + 1) * dim];
         row.copy_from_slice(v);
         let norm = dot_unrolled(row, row).sqrt();
         if norm > 0.0 {
@@ -155,7 +182,7 @@ impl ScoreMatrix {
                 *x /= norm;
             }
         }
-        self.valid[i / 64] |= 1 << (i % 64);
+        self.valid.make_mut()[i / 64] |= 1 << (i % 64);
     }
 
     /// Number of rows (valid or not).
@@ -191,6 +218,87 @@ impl ScoreMatrix {
     #[inline]
     pub fn row(&self, i: usize) -> &[f32] {
         &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Tag of this matrix's header section under `slot`.
+    pub fn header_tag(slot: u8) -> SectionTag {
+        [b'S', b'M', b'H', slot]
+    }
+
+    /// Tag of this matrix's row-data section under `slot`.
+    pub fn data_tag(slot: u8) -> SectionTag {
+        [b'S', b'M', b'D', slot]
+    }
+
+    /// Tag of this matrix's validity-bitmap section under `slot`.
+    pub fn valid_tag(slot: u8) -> SectionTag {
+        [b'S', b'M', b'V', slot]
+    }
+
+    /// Serializes the pre-normalized matrix into `TDZ1` container
+    /// sections under `slot` (so several matrices — e.g. both corpus
+    /// sides of an artifact — coexist in one container). The rows are
+    /// written exactly as stored — loading never re-normalizes — and the
+    /// writer *borrows* them, so saving streams without a second copy.
+    pub fn write_sections<'a>(&'a self, slot: u8, w: &mut ContainerWriter<'a>) {
+        w.add(
+            Self::header_tag(slot),
+            tdmatch_graph::container::pod_bytes(&[self.rows as u64, self.dim as u64]),
+        );
+        w.add_pod(Self::data_tag(slot), &self.data);
+        w.add_pod(Self::valid_tag(slot), &self.valid);
+    }
+
+    /// Reassembles a matrix from container sections under `slot`,
+    /// zero-copy: `data` and the validity bitmap are views into
+    /// `storage`'s buffer (kept alive by the matrix). `container` must
+    /// have been parsed from the same storage.
+    pub fn from_sections(
+        storage: &Storage,
+        container: &Container<'_>,
+        slot: u8,
+    ) -> Result<Self, DecodeError> {
+        let header = container.require(Self::header_tag(slot))?.as_u64s()?;
+        let &[rows, dim] = header else {
+            return Err(DecodeError::Invalid("score matrix header shape"));
+        };
+        let rows = usize::try_from(rows).map_err(|_| DecodeError::Corrupt)?;
+        let dim = usize::try_from(dim).map_err(|_| DecodeError::Corrupt)?;
+        let data = FlatBuf::<f32>::from_section(storage, container.require(Self::data_tag(slot))?)?;
+        let expect = rows
+            .checked_mul(dim)
+            .ok_or(DecodeError::Invalid("score matrix shape overflows"))?;
+        if data.len() != expect {
+            return Err(DecodeError::Invalid("score matrix data length mismatch"));
+        }
+        let valid =
+            FlatBuf::<u64>::from_section(storage, container.require(Self::valid_tag(slot))?)?;
+        if valid.len() != rows.div_ceil(64) {
+            return Err(DecodeError::Invalid("score matrix bitmap length mismatch"));
+        }
+        let tail_bits = rows % 64;
+        if tail_bits != 0 && valid.last().copied().unwrap_or(0) >> tail_bits != 0 {
+            return Err(DecodeError::Invalid("score matrix bitmap trailing bits"));
+        }
+        Ok(Self {
+            data,
+            valid,
+            rows,
+            dim,
+        })
+    }
+
+    /// Converts both arrays into owned `Vec`s, detaching the matrix from
+    /// container storage. No-op for built matrices.
+    pub fn into_owned(mut self) -> Self {
+        self.data.make_mut();
+        self.valid.make_mut();
+        self
+    }
+
+    /// True when the matrix still borrows container storage.
+    pub fn is_zero_copy(&self) -> bool {
+        self.data.is_shared() || self.valid.is_shared()
     }
 }
 
@@ -660,6 +768,43 @@ mod tests {
             let par = batch_top_k(&m, &m, 6, Some(&extra), Some(&cand), threads);
             assert_eq!(seq, par, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn matrix_roundtrips_through_container_zero_copy() {
+        let rows: Vec<Option<Vec<f32>>> = (0..70)
+            .map(|i| {
+                if i % 9 == 5 {
+                    None
+                } else {
+                    Some(vec![(i as f32).sin(), (i as f32).cos(), 0.1 * i as f32])
+                }
+            })
+            .collect();
+        let m = ScoreMatrix::from_options(&rows);
+        let mut w = ContainerWriter::new();
+        m.write_sections(3, &mut w);
+        let storage = Storage::from_bytes(&w.finish());
+        let c = storage.container().unwrap();
+        let loaded = ScoreMatrix::from_sections(&storage, &c, 3).unwrap();
+        assert!(loaded.is_zero_copy());
+        assert_eq!(m, loaded);
+        // Missing slot is an error, not a panic.
+        assert!(ScoreMatrix::from_sections(&storage, &c, 4).is_err());
+        // Rankings from the loaded matrix are bit-identical.
+        assert_eq!(
+            batch_top_k_seq(&m, &m, 7, None, None),
+            batch_top_k_seq(&loaded, &loaded, 7, None, None),
+        );
+        // A mutated copy detaches from storage without touching the view.
+        let mut cow = loaded.clone();
+        cow.set_row(5, &[1.0, 0.0, 0.0]);
+        assert!(!cow.is_zero_copy());
+        assert!(loaded.is_zero_copy());
+        assert_ne!(m.row(5), cow.row(5));
+        let owned = loaded.clone().into_owned();
+        assert!(!owned.is_zero_copy());
+        assert_eq!(m, owned);
     }
 
     #[test]

@@ -166,4 +166,50 @@ proptest! {
             prop_assert_eq!(&seq, &par, "threads = {}", threads);
         }
     }
+
+    /// A matrix round-trips through `TDZ1` container sections losslessly
+    /// — borrowed (zero-copy) and owned loads are both bit-identical to
+    /// the original, and rankings computed from the loaded matrices are
+    /// exactly the in-memory rankings, at any thread count.
+    #[test]
+    fn matrix_container_roundtrip_is_lossless(
+        dim in 0usize..10,
+        n_queries in 0usize..14,
+        n_targets in 0usize..24,
+        k in 0usize..12,
+        seed in 0u64..1_000_000,
+    ) {
+        use tdmatch_graph::container::{ContainerWriter, Storage};
+
+        let mut state = seed ^ 0xC0FFEE;
+        let queries = gen_rows(n_queries, dim, &mut state);
+        let targets = gen_rows(n_targets, dim, &mut state);
+        let qm = ScoreMatrix::from_options_dim(&queries, dim);
+        let tm = ScoreMatrix::from_options_dim(&targets, dim);
+
+        let mut w = ContainerWriter::new();
+        qm.write_sections(0, &mut w);
+        tm.write_sections(1, &mut w);
+        let storage = Storage::from_bytes(&w.finish());
+        let container = storage.container().unwrap();
+
+        let qb = ScoreMatrix::from_sections(&storage, &container, 0).unwrap();
+        let tb = ScoreMatrix::from_sections(&storage, &container, 1).unwrap();
+        prop_assert!(qb.is_zero_copy() && tb.is_zero_copy());
+        prop_assert_eq!(&qm, &qb);
+        prop_assert_eq!(&tm, &tb);
+
+        let qo = qb.clone().into_owned();
+        let to = tb.clone().into_owned();
+        prop_assert!(!qo.is_zero_copy());
+        prop_assert_eq!(&qm, &qo);
+        prop_assert_eq!(&tm, &to);
+
+        let want = batch_top_k_seq(&qm, &tm, k, None, None);
+        prop_assert_eq!(&want, &batch_top_k_seq(&qb, &tb, k, None, None));
+        prop_assert_eq!(&want, &batch_top_k_seq(&qo, &to, k, None, None));
+        for threads in [2usize, 7] {
+            prop_assert_eq!(&want, &batch_top_k(&qb, &tb, k, None, None, threads));
+        }
+    }
 }

@@ -1,0 +1,181 @@
+//! Low-level binary codec shared by every persisted format in the
+//! workspace: the legacy `TDG1` graph stream, the legacy `TDM1` match
+//! artifact, and the `TDZ1` zero-copy container.
+//!
+//! One copy of the CRC-32 table, the little-endian integer writers, and
+//! the bounds-checked [`ByteReader`] lives here; `tdmatch_graph::persist`
+//! re-exports everything for backwards compatibility, and
+//! [`crate::container`] builds the section-table format on top.
+
+use std::io;
+
+/// Errors raised when encoding or decoding persisted state.
+#[derive(Debug)]
+pub enum DecodeError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Wrong magic bytes — not this format.
+    BadMagic,
+    /// Unsupported format version.
+    UnsupportedVersion {
+        /// Version found in the input.
+        found: u32,
+    },
+    /// Checksum mismatch or truncation.
+    Corrupt,
+    /// Structurally invalid content (bad enum tag, non-UTF-8 label,
+    /// out-of-range reference, implausible header field).
+    Invalid(&'static str),
+}
+
+impl From<io::Error> for DecodeError {
+    fn from(e: io::Error) -> Self {
+        DecodeError::Io(e)
+    }
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Io(e) => write!(f, "I/O error: {e}"),
+            DecodeError::BadMagic => write!(f, "bad magic (not a persisted TDmatch format)"),
+            DecodeError::UnsupportedVersion { found } => {
+                write!(f, "unsupported format version {found}")
+            }
+            DecodeError::Corrupt => write!(f, "checksum mismatch or truncated input"),
+            DecodeError::Invalid(what) => write!(f, "invalid content: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DecodeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// CRC-32 (IEEE 802.3), table-driven; the table is built on first use.
+pub fn crc32(data: &[u8]) -> u32 {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *entry = c;
+        }
+        t
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+/// Appends a little-endian `u32`.
+pub fn put_u32(buf: &mut Vec<u8>, x: u32) {
+    buf.extend_from_slice(&x.to_le_bytes());
+}
+
+/// Appends a little-endian `u64`.
+pub fn put_u64(buf: &mut Vec<u8>, x: u64) {
+    buf.extend_from_slice(&x.to_le_bytes());
+}
+
+/// Appends little-endian `f32`s.
+pub fn put_f32s(buf: &mut Vec<u8>, v: &[f32]) {
+    for x in v {
+        buf.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+/// Bounds-checked reader over a byte slice; any overrun yields
+/// [`DecodeError::Corrupt`].
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Starts reading `buf` at `pos`.
+    pub fn new(buf: &'a [u8], pos: usize) -> Self {
+        Self { buf, pos }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    /// The next `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self.pos.checked_add(n).ok_or(DecodeError::Corrupt)?;
+        if end > self.buf.len() {
+            return Err(DecodeError::Corrupt);
+        }
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    /// One byte.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// A little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    /// A little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    /// `n` little-endian `f32`s.
+    pub fn f32s(&mut self, n: usize) -> Result<Vec<f32>, DecodeError> {
+        let raw = self.bytes(n.checked_mul(4).ok_or(DecodeError::Corrupt)?)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    /// A `u32`-length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String, DecodeError> {
+        let len = self.u32()? as usize;
+        String::from_utf8(self.bytes(len)?.to_vec())
+            .map_err(|_| DecodeError::Invalid("non-UTF-8 label"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn reader_is_bounds_checked() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 7);
+        put_u64(&mut buf, u64::MAX);
+        let mut r = ByteReader::new(&buf, 0);
+        assert_eq!(r.u32().unwrap(), 7);
+        assert_eq!(r.remaining(), 8);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert!(matches!(r.u8(), Err(DecodeError::Corrupt)));
+    }
+}

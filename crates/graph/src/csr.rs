@@ -29,36 +29,182 @@
 //! (walk generation, embedding) against the snapshot. The snapshot does
 //! not observe later mutations — re-freeze after further changes.
 //!
+//! # Persistence
+//!
+//! Every array in the snapshot is flat and typed, so the snapshot
+//! serializes *as-is* into the `TDZ1` container
+//! ([`write_sections`] / [`save_snapshot`]) and loads back zero-copy
+//! ([`from_sections`] / [`load_snapshot`]): the loaded snapshot's arrays
+//! are views into the shared [`Storage`] buffer, so a warm start skips
+//! graph creation and the freeze entirely — one linear validation +
+//! checksum scan, no per-element copies or allocation.
+//! Node *labels* are not part of the snapshot (walks and sampling never
+//! touch them); a warm start that also needs label lookups persists the
+//! mutable graph via [`crate::persist`] alongside.
+//!
 //! [`has_edge`]: CsrGraph::has_edge
 //! [`edge_type_cum`]: CsrGraph::edge_type_cum
+//! [`write_sections`]: CsrGraph::write_sections
+//! [`from_sections`]: CsrGraph::from_sections
+//! [`save_snapshot`]: CsrGraph::save_snapshot
+//! [`load_snapshot`]: CsrGraph::load_snapshot
 
+use std::path::Path;
+
+use crate::codec::DecodeError;
+use crate::container::{Container, ContainerWriter, FlatBuf, Pod, SectionTag, Storage};
 use crate::edge::{EdgeKind, EdgeTypeWeights};
 use crate::graph::Graph;
-use crate::node::{CorpusSide, NodeId, NodeKind};
+use crate::node::{CorpusSide, MetaKind, NodeId, NodeKind};
+
+/// Section: `[id_bound, live_nodes, edge_count]` as `u64`s.
+pub const SEC_CSR_HEADER: SectionTag = *b"CSRH";
+/// Section: CSR `offsets` (`u32`, length `id_bound + 1`).
+pub const SEC_CSR_OFFSETS: SectionTag = *b"COFF";
+/// Section: neighbor ids in insertion order (`u32`).
+pub const SEC_CSR_TARGETS: SectionTag = *b"CTGT";
+/// Section: edge kinds parallel to targets (`u8`).
+pub const SEC_CSR_KINDS: SectionTag = *b"CKND";
+/// Section: per-node sorted neighbor ids (`u32`).
+pub const SEC_CSR_SORTED_TARGETS: SectionTag = *b"CSTG";
+/// Section: edge kinds parallel to the sorted ids (`u8`).
+pub const SEC_CSR_SORTED_KINDS: SectionTag = *b"CSKD";
+/// Section: packed node kinds (`u64`, length `id_bound`).
+pub const SEC_CSR_NODE_KINDS: SectionTag = *b"CNKD";
+/// Section: tombstone bitmap (`u64` words, bit `i` set ⇔ node `i` removed).
+pub const SEC_CSR_REMOVED: SectionTag = *b"CRMV";
+
+/// Tag for a persisted cumulative edge-type weight table in `slot`.
+pub fn cum_section_tag(slot: u8) -> SectionTag {
+    [b'W', b'C', b'M', slot]
+}
+
+/// A [`NodeKind`] packed into one `u64` for flat, zero-copy storage:
+/// byte 0 = tag (0 data / 1 external / 2 meta), byte 1 = corpus side,
+/// byte 2 = meta kind, bytes 4..8 = document index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(transparent)]
+struct PackedNodeKind(u64);
+
+// Safety: repr(transparent) over u64; every bit pattern is storable (the
+// decoder validates semantics separately).
+unsafe impl Pod for PackedNodeKind {}
+
+impl PackedNodeKind {
+    fn pack(kind: NodeKind) -> Self {
+        PackedNodeKind(match kind {
+            NodeKind::Data => 0,
+            NodeKind::External => 1,
+            NodeKind::Meta { side, kind, index } => {
+                let side = match side {
+                    CorpusSide::First => 0u64,
+                    CorpusSide::Second => 1,
+                };
+                let kind = match kind {
+                    MetaKind::Tuple => 0u64,
+                    MetaKind::Attribute => 1,
+                    MetaKind::TextDoc => 2,
+                    MetaKind::Taxonomy => 3,
+                };
+                2 | (side << 8) | (kind << 16) | ((index as u64) << 32)
+            }
+        })
+    }
+
+    #[inline]
+    fn unpack(self) -> NodeKind {
+        match self.0 & 0xFF {
+            0 => NodeKind::Data,
+            1 => NodeKind::External,
+            _ => NodeKind::Meta {
+                side: if (self.0 >> 8) & 0xFF == 0 {
+                    CorpusSide::First
+                } else {
+                    CorpusSide::Second
+                },
+                kind: match (self.0 >> 16) & 0xFF {
+                    0 => MetaKind::Tuple,
+                    1 => MetaKind::Attribute,
+                    2 => MetaKind::TextDoc,
+                    _ => MetaKind::Taxonomy,
+                },
+                index: (self.0 >> 32) as u32,
+            },
+        }
+    }
+
+    /// Validates a loaded value: known tags, no stray bits.
+    fn validate(self) -> Result<(), DecodeError> {
+        let tag = self.0 & 0xFF;
+        let valid = match tag {
+            0 | 1 => self.0 == tag,
+            2 => {
+                (self.0 >> 8) & 0xFF < 2
+                    && (self.0 >> 16) & 0xFF < 4
+                    && (self.0 >> 24) & 0xFF == 0
+            }
+            _ => false,
+        };
+        if valid {
+            Ok(())
+        } else {
+            Err(DecodeError::Invalid("packed node kind"))
+        }
+    }
+}
+
+/// Reinterprets edge kinds as raw bytes (sound: `EdgeKind` is a fieldless
+/// `repr(u8)` enum).
+fn edge_kinds_as_bytes(kinds: &[EdgeKind]) -> &[u8] {
+    unsafe { std::slice::from_raw_parts(kinds.as_ptr() as *const u8, kinds.len()) }
+}
+
+/// Zero-copy `FlatBuf<EdgeKind>` over a `u8` section, validating every
+/// byte is a known kind tag first.
+fn edge_kinds_from_section(
+    storage: &Storage,
+    view: crate::container::SectionView<'_>,
+) -> Result<FlatBuf<EdgeKind>, DecodeError> {
+    let bytes = FlatBuf::<u8>::from_section(storage, view)?;
+    if bytes.iter().any(|&b| b as usize >= EdgeKind::ALL.len()) {
+        return Err(DecodeError::Invalid("edge kind tag out of range"));
+    }
+    let (ptr, len) = (bytes.as_ptr(), bytes.len());
+    // Safety: every byte was just validated as a legal EdgeKind
+    // discriminant, and EdgeKind is repr(u8); the storage Arc keeps the
+    // buffer alive.
+    Ok(unsafe {
+        FlatBuf::from_raw_shared(std::sync::Arc::clone(storage.arc()), ptr as *const EdgeKind, len)
+    })
+}
 
 /// An immutable CSR view of a [`Graph`], sharing its node ids.
 ///
 /// Tombstoned nodes keep their id slot (with an empty adjacency range), so
 /// any table indexed by [`NodeId`] works unchanged against the snapshot.
+///
+/// The flat arrays are [`FlatBuf`]s: owned when built by
+/// [`from_graph`](CsrGraph::from_graph), zero-copy views into container
+/// [`Storage`] when loaded by [`from_sections`](CsrGraph::from_sections).
 #[derive(Debug, Clone)]
 pub struct CsrGraph {
     /// `offsets[u] .. offsets[u + 1]` is node `u`'s range in `targets`,
     /// `kinds`, and the sorted index. Length `id_bound + 1`.
-    offsets: Vec<u32>,
+    offsets: FlatBuf<u32>,
     /// Neighbor ids in the *insertion order* of the source graph (walk
     /// compatibility; see module docs).
-    targets: Vec<NodeId>,
+    targets: FlatBuf<NodeId>,
     /// Edge kinds parallel to `targets`.
-    kinds: Vec<EdgeKind>,
+    kinds: FlatBuf<EdgeKind>,
     /// Neighbor ids sorted ascending within each node's range, for binary
     /// search in [`has_edge`](CsrGraph::has_edge).
-    sorted_targets: Vec<NodeId>,
+    sorted_targets: FlatBuf<NodeId>,
     /// Edge kinds parallel to `sorted_targets`.
-    sorted_kinds: Vec<EdgeKind>,
-    /// Node kinds, indexed by id (tombstones keep their last kind).
-    node_kinds: Vec<NodeKind>,
-    /// Tombstone flags, indexed by id.
-    removed: Vec<bool>,
+    sorted_kinds: FlatBuf<EdgeKind>,
+    /// Packed node kinds, indexed by id (tombstones keep their last kind).
+    node_kinds: FlatBuf<PackedNodeKind>,
+    /// Tombstone bitmap: bit `i` set ⇔ node `i` was removed.
+    removed: FlatBuf<u64>,
     live_nodes: usize,
     edge_count: usize,
 }
@@ -81,13 +227,15 @@ impl CsrGraph {
         let mut targets = Vec::with_capacity(total as usize);
         let mut kinds = Vec::with_capacity(total as usize);
         let mut node_kinds = Vec::with_capacity(n);
-        let mut removed = Vec::with_capacity(n);
+        let mut removed = vec![0u64; n.div_ceil(64)];
         for id in 0..n {
             let id = NodeId(id as u32);
             targets.extend_from_slice(g.neighbors(id));
             kinds.extend_from_slice(g.neighbor_kinds(id));
-            node_kinds.push(g.kind(id));
-            removed.push(g.is_removed(id));
+            node_kinds.push(PackedNodeKind::pack(g.kind(id)));
+            if g.is_removed(id) {
+                removed[id.index() / 64] |= 1 << (id.index() % 64);
+            }
         }
 
         // Sorted index: per-node (target, kind) pairs ordered by target.
@@ -106,13 +254,13 @@ impl CsrGraph {
         }
 
         Self {
-            offsets,
-            targets,
-            kinds,
-            sorted_targets,
-            sorted_kinds,
-            node_kinds,
-            removed,
+            offsets: offsets.into(),
+            targets: targets.into(),
+            kinds: kinds.into(),
+            sorted_targets: sorted_targets.into(),
+            sorted_kinds: sorted_kinds.into(),
+            node_kinds: node_kinds.into(),
+            removed: removed.into(),
             live_nodes: g.node_count(),
             edge_count: g.edge_count(),
         }
@@ -140,20 +288,20 @@ impl CsrGraph {
     /// True if the node was tombstoned at snapshot time.
     #[inline]
     pub fn is_removed(&self, id: NodeId) -> bool {
-        self.removed[id.index()]
+        (self.removed[id.index() / 64] >> (id.index() % 64)) & 1 == 1
     }
 
     /// The kind of a node.
     #[inline]
     pub fn kind(&self, id: NodeId) -> NodeKind {
-        self.node_kinds[id.index()]
+        self.node_kinds[id.index()].unpack()
     }
 
     /// Iterates over live node ids in ascending order.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
         (0..self.id_bound() as u32)
             .map(NodeId)
-            .filter(move |id| !self.removed[id.index()])
+            .filter(move |&id| !self.is_removed(id))
     }
 
     /// The node's adjacency range in the flat arrays.
@@ -212,7 +360,7 @@ impl CsrGraph {
     pub fn metadata_nodes(&self, side: Option<CorpusSide>) -> Vec<NodeId> {
         self.nodes()
             .filter(|&id| {
-                let k = self.node_kinds[id.index()];
+                let k = self.kind(id);
                 k.is_metadata() && (side.is_none() || k.side() == side)
             })
             .collect()
@@ -236,7 +384,7 @@ impl CsrGraph {
                 cum.push(running);
             }
         }
-        EdgeTypeCum { cum }
+        EdgeTypeCum { cum: cum.into() }
     }
 
     /// The slice of an [`EdgeTypeCum`] table covering node `id`.
@@ -245,13 +393,213 @@ impl CsrGraph {
         let (lo, hi) = self.range(id);
         &cum.cum[lo..hi]
     }
+
+    /// Serializes the snapshot's flat arrays as `TDZ1` container
+    /// sections. The large arrays are *borrowed* by the writer — saving
+    /// streams them out without a second in-memory copy.
+    pub fn write_sections<'a>(&'a self, w: &mut ContainerWriter<'a>) {
+        w.add(
+            SEC_CSR_HEADER,
+            crate::container::pod_bytes(&[
+                self.id_bound() as u64,
+                self.live_nodes as u64,
+                self.edge_count as u64,
+            ]),
+        );
+        w.add_pod(SEC_CSR_OFFSETS, &self.offsets);
+        w.add_pod(SEC_CSR_TARGETS, &self.targets);
+        w.add(SEC_CSR_KINDS, edge_kinds_as_bytes(&self.kinds));
+        w.add_pod(SEC_CSR_SORTED_TARGETS, &self.sorted_targets);
+        w.add(SEC_CSR_SORTED_KINDS, edge_kinds_as_bytes(&self.sorted_kinds));
+        w.add_pod(SEC_CSR_NODE_KINDS, &self.node_kinds);
+        w.add_pod(SEC_CSR_REMOVED, &self.removed);
+    }
+
+    /// Serializes a cumulative weight table into the container under
+    /// `slot` (so several weight configurations can coexist in one file).
+    /// The table must have been built by
+    /// [`edge_type_cum`](CsrGraph::edge_type_cum) on this snapshot.
+    pub fn write_cum_section<'a>(
+        &self,
+        cum: &'a EdgeTypeCum,
+        slot: u8,
+        w: &mut ContainerWriter<'a>,
+    ) {
+        assert_eq!(cum.cum.len(), self.targets.len(), "cum table shape mismatch");
+        w.add_pod(cum_section_tag(slot), &cum.cum);
+    }
+
+    /// Loads a cumulative weight table persisted under `slot`, zero-copy.
+    /// Returns `Ok(None)` when the container has no such section.
+    pub fn cum_from_sections(
+        &self,
+        storage: &Storage,
+        container: &Container<'_>,
+        slot: u8,
+    ) -> Result<Option<EdgeTypeCum>, DecodeError> {
+        let Some(view) = container.section(cum_section_tag(slot)) else {
+            return Ok(None);
+        };
+        let cum = FlatBuf::<f32>::from_section(storage, view)?;
+        if cum.len() != self.targets.len() {
+            return Err(DecodeError::Invalid("cum table length mismatch"));
+        }
+        Ok(Some(EdgeTypeCum { cum }))
+    }
+
+    /// Reassembles a snapshot from container sections, zero-copy: every
+    /// array is a validated view into `storage`'s buffer. `container`
+    /// must have been parsed from the same storage
+    /// (`storage.container()`).
+    ///
+    /// Validation is one O(V + E) pass (monotone offsets, in-range
+    /// target ids, per-node sortedness of the sorted index, legal kind
+    /// tags, bitmap consistency) so that later indexing is panic-free on
+    /// any input that parses.
+    pub fn from_sections(
+        storage: &Storage,
+        container: &Container<'_>,
+    ) -> Result<Self, DecodeError> {
+        let header = container.require(SEC_CSR_HEADER)?.as_u64s()?;
+        let &[id_bound, live_nodes, edge_count] = header else {
+            return Err(DecodeError::Invalid("CSR header shape"));
+        };
+        // Bound the header fields before any arithmetic on them: node ids
+        // are u32, so a larger id bound (or a live count beyond it) can
+        // only be hostile — reject it instead of risking overflow.
+        if id_bound > u32::MAX as u64 {
+            return Err(DecodeError::Invalid("CSR id bound exceeds u32 node ids"));
+        }
+        if live_nodes > id_bound {
+            return Err(DecodeError::Invalid("CSR live count exceeds id bound"));
+        }
+        let id_bound = id_bound as usize;
+
+        let offsets = FlatBuf::<u32>::from_section(storage, container.require(SEC_CSR_OFFSETS)?)?;
+        if offsets.len() != id_bound + 1 || offsets.first() != Some(&0) {
+            return Err(DecodeError::Invalid("CSR offsets shape"));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(DecodeError::Invalid("CSR offsets not monotone"));
+        }
+        let n_edges_directed = *offsets.last().unwrap() as usize;
+
+        let targets =
+            FlatBuf::<NodeId>::from_section(storage, container.require(SEC_CSR_TARGETS)?)?;
+        let kinds = edge_kinds_from_section(storage, container.require(SEC_CSR_KINDS)?)?;
+        let sorted_targets =
+            FlatBuf::<NodeId>::from_section(storage, container.require(SEC_CSR_SORTED_TARGETS)?)?;
+        let sorted_kinds =
+            edge_kinds_from_section(storage, container.require(SEC_CSR_SORTED_KINDS)?)?;
+        if targets.len() != n_edges_directed
+            || kinds.len() != n_edges_directed
+            || sorted_targets.len() != n_edges_directed
+            || sorted_kinds.len() != n_edges_directed
+        {
+            return Err(DecodeError::Invalid("CSR adjacency array length mismatch"));
+        }
+        if targets.iter().any(|t| t.index() >= id_bound)
+            || sorted_targets.iter().any(|t| t.index() >= id_bound)
+        {
+            return Err(DecodeError::Invalid("CSR target id out of range"));
+        }
+        for u in 0..id_bound {
+            let (lo, hi) = (offsets[u] as usize, offsets[u + 1] as usize);
+            if sorted_targets[lo..hi].windows(2).any(|w| w[0] > w[1]) {
+                return Err(DecodeError::Invalid("CSR sorted index not sorted"));
+            }
+        }
+
+        let node_kinds = FlatBuf::<PackedNodeKind>::from_section(
+            storage,
+            container.require(SEC_CSR_NODE_KINDS)?,
+        )?;
+        if node_kinds.len() != id_bound {
+            return Err(DecodeError::Invalid("CSR node kind length mismatch"));
+        }
+        for &packed in node_kinds.iter() {
+            packed.validate()?;
+        }
+
+        let removed = FlatBuf::<u64>::from_section(storage, container.require(SEC_CSR_REMOVED)?)?;
+        if removed.len() != id_bound.div_ceil(64) {
+            return Err(DecodeError::Invalid("CSR removed bitmap length mismatch"));
+        }
+        let tail_bits = id_bound % 64;
+        if tail_bits != 0 {
+            let last = removed.last().copied().unwrap_or(0);
+            if last >> tail_bits != 0 {
+                return Err(DecodeError::Invalid("CSR removed bitmap trailing bits"));
+            }
+        }
+        // Both operands are ≤ id_bound ≤ u32::MAX: the sum cannot overflow.
+        let removed_count: usize = removed.iter().map(|w| w.count_ones() as usize).sum();
+        if removed_count + live_nodes as usize != id_bound {
+            return Err(DecodeError::Invalid("CSR live node count mismatch"));
+        }
+
+        Ok(Self {
+            offsets,
+            targets,
+            kinds,
+            sorted_targets,
+            sorted_kinds,
+            node_kinds,
+            removed,
+            live_nodes: live_nodes as usize,
+            edge_count: usize::try_from(edge_count).map_err(|_| DecodeError::Corrupt)?,
+        })
+    }
+
+    /// Converts every zero-copy array into an owned `Vec`, detaching the
+    /// snapshot from its container storage. No-op for built snapshots.
+    pub fn into_owned(self) -> Self {
+        Self {
+            offsets: self.offsets.into_owned(),
+            targets: self.targets.into_owned(),
+            kinds: self.kinds.into_owned(),
+            sorted_targets: self.sorted_targets.into_owned(),
+            sorted_kinds: self.sorted_kinds.into_owned(),
+            node_kinds: self.node_kinds.into_owned(),
+            removed: self.removed.into_owned(),
+            ..self
+        }
+    }
+
+    /// True when any array still borrows container storage.
+    pub fn is_zero_copy(&self) -> bool {
+        self.offsets.is_shared()
+            || self.targets.is_shared()
+            || self.kinds.is_shared()
+            || self.sorted_targets.is_shared()
+            || self.sorted_kinds.is_shared()
+            || self.node_kinds.is_shared()
+            || self.removed.is_shared()
+    }
+
+    /// Writes a one-snapshot container file.
+    pub fn save_snapshot<P: AsRef<Path>>(&self, path: P) -> Result<(), DecodeError> {
+        let mut w = ContainerWriter::new();
+        self.write_sections(&mut w);
+        let mut f = std::fs::File::create(path)?;
+        w.write_to(&mut f)
+    }
+
+    /// Loads a snapshot saved by [`save_snapshot`](CsrGraph::save_snapshot)
+    /// (zero-copy; the file's storage stays alive inside the snapshot).
+    pub fn load_snapshot<P: AsRef<Path>>(path: P) -> Result<Self, DecodeError> {
+        let storage = Storage::read_file(path)?;
+        let container = storage.container()?;
+        Self::from_sections(&storage, &container)
+    }
 }
 
 /// Precomputed per-node cumulative edge-type weights; build once per
-/// (snapshot, weight table) pair via [`CsrGraph::edge_type_cum`].
+/// (snapshot, weight table) pair via [`CsrGraph::edge_type_cum`], or load
+/// a persisted one via [`CsrGraph::cum_from_sections`].
 #[derive(Debug, Clone)]
 pub struct EdgeTypeCum {
-    cum: Vec<f32>,
+    cum: FlatBuf<f32>,
 }
 
 #[cfg(test)]
@@ -345,5 +693,124 @@ mod tests {
         assert_eq!(csr.node_count(), 0);
         assert_eq!(csr.id_bound(), 0);
         assert_eq!(csr.nodes().count(), 0);
+    }
+
+    #[test]
+    fn packed_node_kind_roundtrips_and_validates() {
+        let kinds = [
+            NodeKind::Data,
+            NodeKind::External,
+            NodeKind::Meta {
+                side: CorpusSide::Second,
+                kind: MetaKind::Taxonomy,
+                index: u32::MAX,
+            },
+        ];
+        for k in kinds {
+            let p = PackedNodeKind::pack(k);
+            p.validate().unwrap();
+            assert_eq!(p.unpack(), k);
+        }
+        assert!(PackedNodeKind(3).validate().is_err()); // unknown tag
+        assert!(PackedNodeKind(2 | (2 << 8)).validate().is_err()); // bad side
+        assert!(PackedNodeKind(1 | (1 << 8)).validate().is_err()); // stray bits
+    }
+
+    fn snapshot_eq(a: &CsrGraph, b: &CsrGraph) {
+        assert_eq!(a.id_bound(), b.id_bound());
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+        for id in 0..a.id_bound() as u32 {
+            let id = NodeId(id);
+            assert_eq!(a.is_removed(id), b.is_removed(id));
+            assert_eq!(a.kind(id), b.kind(id));
+            assert_eq!(a.neighbors(id), b.neighbors(id));
+            assert_eq!(a.neighbor_kinds(id), b.neighbor_kinds(id));
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_container() {
+        let (mut g, _, b, ..) = diamond();
+        g.add_meta("m", CorpusSide::First, MetaKind::Tuple, 3);
+        g.remove_node(b);
+        let csr = CsrGraph::from_graph(&g);
+        let mut w = ContainerWriter::new();
+        csr.write_sections(&mut w);
+        let weights = EdgeTypeWeights::uniform().with(EdgeKind::External, 2.5);
+        let cum = csr.edge_type_cum(&weights);
+        csr.write_cum_section(&cum, 0, &mut w);
+
+        let storage = Storage::from_bytes(&w.finish());
+        let container = storage.container().unwrap();
+        let loaded = CsrGraph::from_sections(&storage, &container).unwrap();
+        assert!(loaded.is_zero_copy());
+        snapshot_eq(&csr, &loaded);
+
+        let loaded_cum = loaded
+            .cum_from_sections(&storage, &container, 0)
+            .unwrap()
+            .unwrap();
+        for id in csr.nodes() {
+            assert_eq!(csr.cum_slice(&cum, id), loaded.cum_slice(&loaded_cum, id));
+        }
+        assert!(loaded
+            .cum_from_sections(&storage, &container, 1)
+            .unwrap()
+            .is_none());
+
+        let owned = loaded.clone().into_owned();
+        assert!(!owned.is_zero_copy());
+        snapshot_eq(&csr, &owned);
+    }
+
+    #[test]
+    fn hostile_csr_header_is_rejected_not_panicking() {
+        // A container whose CRCs are all valid (an attacker stamps them)
+        // but whose CSRH header claims absurd counts must come back as a
+        // decode error — in debug builds too, where unchecked arithmetic
+        // on the header fields would panic on overflow.
+        let (g, ..) = diamond();
+        let csr = CsrGraph::from_graph(&g);
+        for header in [
+            [u64::MAX, 0, 0],          // id bound beyond u32 ids
+            [4, 5, 4],                 // more live nodes than ids
+            [u64::MAX, u64::MAX, 0],   // both hostile
+        ] {
+            let mut w = ContainerWriter::new();
+            csr.write_sections(&mut w); // valid sections…
+            let valid_storage = Storage::from_bytes(&w.finish());
+            let valid = valid_storage.container().unwrap();
+            let mut w2 = ContainerWriter::new();
+            w2.add_pod(SEC_CSR_HEADER, &header); // …but a hostile header
+            for tag in [
+                SEC_CSR_OFFSETS,
+                SEC_CSR_TARGETS,
+                SEC_CSR_KINDS,
+                SEC_CSR_SORTED_TARGETS,
+                SEC_CSR_SORTED_KINDS,
+                SEC_CSR_NODE_KINDS,
+                SEC_CSR_REMOVED,
+            ] {
+                w2.add(tag, valid.section(tag).unwrap().bytes().to_vec());
+            }
+            let storage = Storage::from_bytes(&w2.finish());
+            let c = storage.container().unwrap();
+            assert!(
+                CsrGraph::from_sections(&storage, &c).is_err(),
+                "hostile header {header:?} loaded"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_file_save_and_load() {
+        let (g, ..) = diamond();
+        let csr = CsrGraph::from_graph(&g);
+        let path = std::env::temp_dir().join("tdmatch-csr-snapshot-test.tdz");
+        csr.save_snapshot(&path).unwrap();
+        let loaded = CsrGraph::load_snapshot(&path).unwrap();
+        snapshot_eq(&csr, &loaded);
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -21,6 +21,7 @@
 /// * anything else (tests, user-constructed graphs) defaults to
 ///   [`Generic`](EdgeKind::Generic).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[repr(u8)]
 pub enum EdgeKind {
     /// A metadata document node contains the term (Alg. 1 lines 21, 32).
     Contains,

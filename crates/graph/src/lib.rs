@@ -27,6 +27,18 @@
 //! freeze. Walks over the snapshot are byte-identical to walks over the
 //! source graph under the same seed (see [`csr`] for why).
 
+//!
+//! # Persistence
+//!
+//! Two on-disk formats live here. [`persist`] is the legacy `TDG1`
+//! stream for the *mutable* [`Graph`] (labels included, ids renumbered).
+//! [`container`] is the `TDZ1` zero-copy section container shared by the
+//! whole workspace; a frozen [`CsrGraph`] serializes its flat arrays
+//! straight into it ([`CsrGraph::write_sections`]) and a warm start maps
+//! them back without rebuilding ([`CsrGraph::from_sections`]).
+
+pub mod codec;
+pub mod container;
 pub mod csr;
 pub mod edge;
 pub mod graph;
@@ -36,6 +48,8 @@ pub mod sample;
 pub mod stats;
 pub mod traverse;
 
+pub use codec::DecodeError;
+pub use container::{Container, ContainerWriter, FlatBuf, SectionTag, Storage};
 pub use csr::{CsrGraph, EdgeTypeCum};
 pub use edge::{EdgeKind, EdgeTypeWeights};
 pub use graph::Graph;

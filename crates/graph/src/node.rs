@@ -1,7 +1,11 @@
 //! Node identity and typing.
 
 /// Compact node identifier: index into the graph's node tables.
+///
+/// `repr(transparent)` over `u32` so CSR snapshot sections can be viewed
+/// zero-copy as `&[NodeId]` (see `tdmatch_graph::container`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
