@@ -31,6 +31,16 @@
 //! is still readable — [`read_from`](MatchArtifact::read_from) detects
 //! the magic and upgrades v1 payloads into the flat layout on load
 //! (normalizing once, at load time instead of per match call).
+//!
+//! # Cross-process serving
+//!
+//! [`MatchArtifact::load`] opens the file through
+//! `tdmatch_graph::container::Storage::open`, which memory-maps it on
+//! 64-bit unix: N serving processes loading the same artifact share
+//! **one** physical copy of the matrices through the OS page cache
+//! (private heap copies appear only on platforms without mmap, or when
+//! mapping fails). The byte-level container spec lives in
+//! `docs/FORMAT.md` at the repository root.
 
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
@@ -346,9 +356,14 @@ impl MatchArtifact {
     }
 
     /// Dispatches on the magic bytes of fully-loaded storage: `TDZ1`
-    /// containers take the zero-copy path, legacy `TDM1` streams are
-    /// decoded and upgraded into the flat layout.
-    fn dispatch(storage: &Storage) -> Result<Self, PersistError> {
+    /// containers take the zero-copy path
+    /// ([`from_storage`](MatchArtifact::from_storage)), legacy `TDM1`
+    /// streams are decoded and upgraded into the flat layout. This is
+    /// the format-agnostic entry point [`load`](MatchArtifact::load) and
+    /// [`read_from`](MatchArtifact::read_from) route through; use it
+    /// directly when you already hold a [`Storage`] (e.g. to report its
+    /// backing alongside the artifact).
+    pub fn from_storage_any(storage: &Storage) -> Result<Self, PersistError> {
         let bytes = storage.as_bytes();
         if bytes.len() >= 4 && bytes[..4] == MAGIC_CONTAINER {
             return Self::from_storage(storage);
@@ -365,7 +380,7 @@ impl MatchArtifact {
     pub fn read_from<R: Read>(r: &mut R) -> Result<Self, PersistError> {
         let mut buf = Vec::new();
         r.read_to_end(&mut buf)?;
-        Self::dispatch(&Storage::from_bytes(&buf))
+        Self::from_storage_any(&Storage::from_bytes(&buf))
     }
 
     /// Loads from container storage, zero-copy: both document matrices
@@ -397,7 +412,7 @@ impl MatchArtifact {
         if vecs.len() != expect {
             return Err(PersistError::Invalid("term vector length mismatch"));
         }
-        let mut labels = container.require(SEC_TERM_LABELS)?.reader();
+        let mut labels = container.require(SEC_TERM_LABELS)?.reader()?;
         let mut terms = Vec::with_capacity(n_terms.min(1 << 20));
         for i in 0..n_terms {
             let label = labels.string().map_err(|e| match e {
@@ -525,11 +540,41 @@ impl MatchArtifact {
         self.write_to(&mut f)
     }
 
-    /// Loads from a file path (v2 zero-copy, or legacy v1 upgraded). The
-    /// file is read once, straight into aligned storage — no
-    /// intermediate buffer.
+    /// Loads from a file path (v2 zero-copy, or legacy v1 upgraded).
+    ///
+    /// v2 containers are **memory-mapped** where the platform allows
+    /// ([`Storage::open`]; heap read elsewhere or when mapping fails):
+    /// every serving process that loads the same artifact file shares one
+    /// physical copy of the matrices through the OS page cache, and the
+    /// mapping stays alive for as long as the artifact does. Section
+    /// CRCs are checked lazily, on each section's first access — which
+    /// for an artifact means during this call, since loading touches
+    /// every artifact section; corruption anywhere still fails the load.
+    /// Set `TDMATCH_EAGER_CRC=1` to force the historical
+    /// verify-everything-at-open behaviour.
+    ///
+    /// ```
+    /// use tdmatch_core::artifact::MatchArtifact;
+    ///
+    /// let artifact = MatchArtifact::new(
+    ///     2,
+    ///     vec![("tarantino".into(), vec![1.0, 0.0])],
+    ///     vec![Some(vec![1.0, 0.0]), Some(vec![0.0, 1.0])], // targets
+    ///     vec![Some(vec![0.9, 0.1])],                       // queries
+    /// );
+    /// let path = std::env::temp_dir().join("tdmatch-doc-artifact.tdm");
+    /// artifact.save(&path)?;
+    ///
+    /// // A serving process maps the file and matches immediately:
+    /// let served = MatchArtifact::load(&path)?;
+    /// assert!(served.is_zero_copy());
+    /// let top = served.match_top_k(1);
+    /// assert_eq!(top[0].ranked[0].0, 0); // query [0.9, 0.1] → target 0
+    /// # std::fs::remove_file(&path).ok();
+    /// # Ok::<(), tdmatch_core::artifact::PersistError>(())
+    /// ```
     pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, PersistError> {
-        Self::dispatch(&Storage::read_file(path)?)
+        Self::from_storage_any(&Storage::open(path)?)
     }
 }
 

@@ -564,6 +564,18 @@ impl TdModel {
             self.second_norm.clone(),
         )
     }
+
+    /// Exports the match artifact and writes it straight to `path` —
+    /// fit-once / match-many in one call. The saved `TDZ1` container is
+    /// what serving processes later memory-map with
+    /// [`MatchArtifact::load`]: every reader of the same file shares one
+    /// physical copy of the matrices through the OS page cache.
+    pub fn save_artifact<P: AsRef<std::path::Path>>(
+        &self,
+        path: P,
+    ) -> Result<(), crate::artifact::PersistError> {
+        self.artifact().save(path)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,159 @@
+//! Cross-process serving smoke test: two reader processes map the same
+//! artifact file and both serve correct top-k rankings from it.
+//!
+//! The test re-executes its own binary (filtered to this test with
+//! `--exact`) with `TDMATCH_SERVING_CHILD_PATH` set; in child mode the
+//! test body opens the artifact, matches, and prints a deterministic
+//! digest of the rankings that the parent compares against its own.
+
+use std::process::{Command, Stdio};
+
+use tdmatch_core::artifact::MatchArtifact;
+use tdmatch_core::matcher::MatchResult;
+use tdmatch_graph::container::Storage;
+
+const CHILD_ENV: &str = "TDMATCH_SERVING_CHILD_PATH";
+
+/// Bit-exact digest of a ranking set: same artifact + same binary must
+/// produce the same digest in every process.
+fn digest(results: &[MatchResult]) -> String {
+    let mut out = String::new();
+    for r in results {
+        out.push_str(&format!("q{}[", r.query));
+        for (idx, score) in &r.ranked {
+            out.push_str(&format!("{}:{:08x};", idx, score.to_bits()));
+        }
+        out.push(']');
+    }
+    out
+}
+
+fn sample_artifact() -> MatchArtifact {
+    MatchArtifact::new(
+        3,
+        vec![
+            ("tarantino".into(), vec![1.0, 0.0, 0.0]),
+            ("thriller".into(), vec![0.0, 1.0, 0.0]),
+        ],
+        vec![
+            Some(vec![1.0, 0.0, 0.0]),
+            Some(vec![0.0, 1.0, 0.0]),
+            Some(vec![0.0, 0.0, 1.0]),
+            None,
+            Some(vec![0.7, 0.7, 0.1]),
+        ],
+        vec![
+            Some(vec![0.9, 0.1, 0.0]),
+            Some(vec![0.1, 0.2, 0.9]),
+            Some(vec![0.6, 0.6, 0.0]),
+        ],
+    )
+}
+
+fn child_main(path: &str) {
+    let storage = Storage::open(path).expect("child: open artifact storage");
+    let artifact = MatchArtifact::from_storage(&storage).expect("child: load artifact");
+    let results = artifact.match_top_k(3);
+    println!(
+        "CHILD mapped={} digest={}",
+        storage.is_mapped(),
+        digest(&results)
+    );
+}
+
+#[test]
+fn two_processes_serve_one_mapped_snapshot() {
+    // Child mode: serve from the file the parent points us at.
+    if let Ok(path) = std::env::var(CHILD_ENV) {
+        child_main(&path);
+        return;
+    }
+
+    let artifact = sample_artifact();
+    let path = std::env::temp_dir().join(format!(
+        "tdmatch-serving-smoke-{}.tdm",
+        std::process::id()
+    ));
+    artifact.save(&path).unwrap();
+    let expected = digest(&artifact.match_top_k(3));
+
+    // Spawn both readers first so they are alive (and mapped)
+    // concurrently, then collect.
+    let exe = std::env::current_exe().unwrap();
+    let spawn = || {
+        Command::new(&exe)
+            .args(["--exact", "two_processes_serve_one_mapped_snapshot", "--nocapture"])
+            .env(CHILD_ENV, path.to_str().unwrap())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn reader process")
+    };
+    let readers = [spawn(), spawn()];
+
+    for (i, child) in readers.into_iter().enumerate() {
+        let out = child.wait_with_output().expect("reader process exited");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            out.status.success(),
+            "reader {i} failed: {stdout}\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        // With --nocapture the digest may share a line with libtest's
+        // own progress output, so match by substring.
+        let line = stdout
+            .lines()
+            .find(|l| l.contains("CHILD "))
+            .unwrap_or_else(|| panic!("reader {i} printed no digest: {stdout}"));
+        assert!(
+            line.contains(&format!("digest={expected}")),
+            "reader {i} ranked differently:\n  got      {line}\n  expected {expected}"
+        );
+        // On platforms with mmap support the readers must actually be
+        // serving from a mapping (one shared physical copy), not a
+        // private heap buffer.
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        assert!(
+            line.contains("mapped=true"),
+            "reader {i} fell off the mmap path: {line}"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// The `TDMATCH_EAGER_CRC` escape hatch flips `Storage::open` onto the
+/// eager path — checked in a child process so the env var can't race
+/// other tests in this one.
+#[test]
+fn eager_crc_env_forces_eager_verification() {
+    if let Ok(path) = std::env::var("TDMATCH_EAGER_CHILD_PATH") {
+        let storage = Storage::open(&path).expect("child: open");
+        println!("EAGER lazy={}", storage.lazy_verification());
+        return;
+    }
+
+    let path = std::env::temp_dir().join(format!(
+        "tdmatch-eager-env-{}.tdm",
+        std::process::id()
+    ));
+    sample_artifact().save(&path).unwrap();
+
+    let exe = std::env::current_exe().unwrap();
+    let run = |eager: Option<&str>| {
+        let mut cmd = Command::new(&exe);
+        cmd.args(["--exact", "eager_crc_env_forces_eager_verification", "--nocapture"])
+            .env("TDMATCH_EAGER_CHILD_PATH", path.to_str().unwrap())
+            .env_remove("TDMATCH_EAGER_CRC");
+        if let Some(v) = eager {
+            cmd.env("TDMATCH_EAGER_CRC", v);
+        }
+        let out = cmd.output().expect("spawn env-hatch child");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+
+    assert!(run(None).contains("EAGER lazy=true"), "default open must be lazy");
+    assert!(run(Some("1")).contains("EAGER lazy=false"), "env hatch ignored");
+    assert!(run(Some("0")).contains("EAGER lazy=true"), "'0' must not enable it");
+    std::fs::remove_file(&path).ok();
+}

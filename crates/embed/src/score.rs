@@ -253,6 +253,12 @@ impl ScoreMatrix {
     /// zero-copy: `data` and the validity bitmap are views into
     /// `storage`'s buffer (kept alive by the matrix). `container` must
     /// have been parsed from the same storage.
+    ///
+    /// With storage opened through `Storage::open`, the views point
+    /// straight into a read-only file mapping — serving processes
+    /// loading the same matrix share one physical copy of its rows —
+    /// and the three sections' CRCs are verified here, on first access
+    /// (the lazy-CRC contract in `tdmatch_graph::container`).
     pub fn from_sections(
         storage: &Storage,
         container: &Container<'_>,

@@ -151,9 +151,9 @@ fn uniform_walks_interleaved(
 /// seeded from `(seed, start node, walk index)`, the corpus is *identical*
 /// for any thread count, and byte-identical to [`generate_walks`] over the
 /// graph the snapshot was frozen from. Uniform walks additionally step
-/// [`WALK_LANES`] independent walks per node in lockstep to overlap their
-/// memory latencies — the corpus is unchanged because walk RNG streams
-/// never interact.
+/// `WALK_LANES` (8) independent walks per node in lockstep to overlap
+/// their memory latencies — the corpus is unchanged because walk RNG
+/// streams never interact.
 pub fn generate_walk_corpus(g: &CsrGraph, config: &WalkConfig) -> FlatCorpus {
     let nodes: Vec<NodeId> = g.nodes().collect();
     let threads = config.threads.max(1).min(nodes.len().max(1));

@@ -10,8 +10,10 @@
 //!
 //! # Layout
 //!
-//! All integers are little-endian; section payloads start at 64-byte
-//! aligned offsets from the start of the container:
+//! The full byte-level specification lives in `docs/FORMAT.md` at the
+//! repository root. In short — all integers are little-endian; section
+//! payloads start at 64-byte aligned offsets from the start of the
+//! container:
 //!
 //! ```text
 //! 0..4    magic   b"TDZ1"
@@ -28,29 +30,92 @@
 //! ```
 //!
 //! Every byte is covered: the header CRC seals the table, per-section
-//! CRCs seal the payloads, and [`Container::parse`] rejects non-zero
-//! padding and trailing garbage — a flipped bit anywhere is a load-time
-//! error, never silent corruption.
+//! CRCs seal the payloads, and parsing rejects non-zero padding and
+//! trailing garbage — a flipped bit anywhere is an error, never silent
+//! corruption.
 //!
-//! # Zero-copy loading
+//! # Zero-copy loading and cross-process sharing
 //!
-//! [`Storage`] holds the whole container in one 8-byte-aligned,
-//! reference-counted buffer ([`AlignedBytes`]). Loaded structures do not
-//! copy their payloads out: they hold [`FlatBuf`]s — either owned `Vec`s
-//! (freshly built state) or borrowed views into the shared storage
-//! (`Arc`-kept, so a loaded `CsrGraph` or `ScoreMatrix` is `'static`,
-//! `Send + Sync`, and materializes without copying any payload —
-//! [`Container::parse`] does one linear CRC pass over the buffer, and
-//! everything after is pointer work). Typed views
-//! ([`SectionView::as_u32s`] etc.) check
-//! alignment and element size before casting; the 64-byte section
-//! alignment plus the 8-byte storage alignment guarantee the checks pass
-//! for buffers loaded through [`Storage`]. Replacing [`AlignedBytes`]
-//! with an OS `mmap` region is the planned cross-process sharing step
-//! (see ROADMAP) — the format already permits it.
+//! [`Storage`] holds the whole container in one shared, reference-counted
+//! buffer. Two backings exist behind the same API:
+//!
+//! * **heap** ([`Storage::from_bytes`] / [`Storage::read_file`]) — an
+//!   8-byte-aligned private buffer ([`AlignedBytes`]), read in one pass;
+//! * **mapped** ([`Storage::open`] / [`Storage::open_verified`]) — a
+//!   read-only OS memory map of the file ([`crate::mmap::MmapRegion`],
+//!   64-bit unix targets). Every process that opens the same snapshot
+//!   shares **one** physical copy of its pages through the OS page
+//!   cache; opening falls back to the heap read when mapping is
+//!   unavailable (non-unix, empty file, mmap-refusing filesystem).
+//!
+//! Loaded structures do not copy their payloads out: they hold
+//! [`FlatBuf`]s — either owned `Vec`s (freshly built state) or borrowed
+//! views into the shared storage (kept alive by the storage handle, so a
+//! loaded `CsrGraph` or `ScoreMatrix` is `'static`, `Send + Sync`, and
+//! materializes without copying any payload). Typed views
+//! ([`SectionView::as_u32s`] etc.) check alignment and element size
+//! before casting; the 64-byte section alignment plus the backing
+//! alignment (8-byte heap, page-aligned map) guarantee the checks pass
+//! for buffers loaded through [`Storage`].
+//!
+//! # Lazy, per-section CRC verification
+//!
+//! [`Container::parse`] verifies everything up front — one linear CRC
+//! pass over the whole buffer. That is the right trade for a one-shot
+//! load, but wrong for serving: opening a multi-GB artifact should not
+//! touch every page before the first query. [`Storage::open`] therefore
+//! parses **lazily**: the header and section table are verified
+//! immediately (O(sections), independent of payload bytes), while each
+//! payload CRC is checked on the section's *first access* and remembered
+//! in a once-per-section atomic bitmap shared by every handle cloned
+//! from the same storage.
+//!
+//! The safety contract, precisely:
+//!
+//! * every accessor that **interprets** payload bytes —
+//!   [`SectionView::as_pod`] and the typed views over it,
+//!   [`SectionView::reader`], [`SectionView::payload`], and
+//!   [`FlatBuf::from_section`] — verifies the section's CRC before
+//!   returning (a no-op after the first time); corruption surfaces as
+//!   [`DecodeError::Corrupt`] at that call, *not* at open;
+//! * [`SectionView::bytes`] is the raw escape hatch: it returns the
+//!   payload **without** triggering verification (call
+//!   [`SectionView::verify`] first when it matters);
+//! * verification is per *section*: bytes are checked before the first
+//!   typed access hands them out, but a mapped file mutated in place
+//!   *after* a section verified is outside the CRC's protection (see
+//!   [`crate::mmap`] — treat published snapshots as immutable,
+//!   rename-into-place on update).
+//!
+//! [`Storage::open_verified`] keeps the eager behaviour for mapped
+//! files, and the `TDMATCH_EAGER_CRC` environment variable forces every
+//! [`Storage::open`] in the process onto the eager path — an operational
+//! escape hatch when a storage layer is suspected of corrupting files.
+//!
+//! # Example: save → map → read back
+//!
+//! ```
+//! use tdmatch_graph::container::{ContainerWriter, Storage};
+//!
+//! // Write a container with one typed section…
+//! let mut w = ContainerWriter::new();
+//! w.add_pod(*b"DEMO", &[1u32, 2, 3]);
+//! let path = std::env::temp_dir().join("tdmatch-doc-container.tdz");
+//! w.write_to(&mut std::fs::File::create(&path)?)?;
+//!
+//! // …and map it back: O(1) in the payload size, shared page-cache
+//! // pages across processes, CRC checked on first access.
+//! let storage = Storage::open(&path)?;
+//! let container = storage.container()?;
+//! let section = container.require(*b"DEMO")?;
+//! assert_eq!(section.as_u32s()?, &[1, 2, 3]);
+//! # std::fs::remove_file(&path).ok();
+//! # Ok::<(), tdmatch_graph::DecodeError>(())
+//! ```
 
 use std::io::{Read, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::codec::{crc32, put_u32, put_u64, ByteReader, DecodeError};
@@ -72,6 +137,11 @@ pub const SECTION_ALIGN: usize = 64;
 /// Hard cap on the section count — far above any real container, small
 /// enough that a hostile header cannot request a huge table allocation.
 pub const MAX_SECTIONS: usize = 4096;
+
+/// Environment variable forcing [`Storage::open`] onto the eager
+/// (verify-everything-at-open) path. Any value other than `0` or the
+/// empty string enables it.
+pub const EAGER_CRC_ENV: &str = "TDMATCH_EAGER_CRC";
 
 const HEADER_LEN: usize = 16;
 const ENTRY_LEN: usize = 24;
@@ -122,7 +192,8 @@ impl AlignedBytes {
 
     /// Reads a whole stream into an aligned buffer (one intermediate
     /// copy; prefer [`Storage::read_file`] for files, which reads
-    /// straight into the aligned buffer).
+    /// straight into the aligned buffer, or [`Storage::open`], which
+    /// maps the file without reading it at all).
     pub fn from_reader<R: Read>(r: &mut R) -> std::io::Result<Self> {
         let mut bytes = Vec::new();
         r.read_to_end(&mut bytes)?;
@@ -163,23 +234,135 @@ impl std::ops::Deref for AlignedBytes {
     }
 }
 
-/// Reference-counted container storage: one aligned buffer shared by
-/// every structure loaded from it. Cloning is an `Arc` bump.
-#[derive(Debug, Clone)]
-pub struct Storage {
-    bytes: Arc<AlignedBytes>,
+/// How [`Storage`] schedules payload CRC verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verification {
+    /// Check each section's CRC on its first access (recorded in a
+    /// shared atomic bitmap); opening is O(sections), not O(bytes).
+    Lazy,
+    /// Check every payload CRC up front, at open / parse time — the
+    /// historical behaviour of [`Storage::read_file`].
+    Eager,
 }
 
-impl Storage {
-    /// Wraps a byte slice (copied once into aligned storage).
-    pub fn from_bytes(bytes: &[u8]) -> Self {
+/// The bytes behind a [`Storage`]: a private heap buffer or a shared
+/// read-only file mapping.
+#[derive(Debug)]
+enum Backing {
+    Heap(AlignedBytes),
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    Mapped(crate::mmap::MmapRegion),
+}
+
+impl Backing {
+    #[inline]
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Backing::Heap(b) => b.as_slice(),
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            Backing::Mapped(m) => m.as_slice(),
+        }
+    }
+}
+
+/// Once-per-section "payload CRC already checked" bitmap, shared by
+/// every [`Storage`] clone (and every structure loaded from it).
+#[derive(Debug)]
+pub(crate) struct LazyCrcs {
+    bits: Box<[AtomicU64]>,
+}
+
+impl LazyCrcs {
+    /// Sizes the bitmap from the (untrusted) header's section count.
+    /// A garbage count is clamped to [`MAX_SECTIONS`]; if the count byte
+    /// disagrees with what parsing later finds, out-of-range sections
+    /// simply never memoize (they re-verify on every access).
+    fn for_buffer(buf: &[u8]) -> Self {
+        let count = if buf.len() >= 12 {
+            u32::from_le_bytes(buf[8..12].try_into().unwrap()) as usize
+        } else {
+            0
+        };
+        let words = count.min(MAX_SECTIONS).div_ceil(64);
+        let mut bits = Vec::with_capacity(words);
+        bits.resize_with(words, || AtomicU64::new(0));
         Self {
-            bytes: Arc::new(AlignedBytes::from_bytes(bytes)),
+            bits: bits.into_boxed_slice(),
         }
     }
 
-    /// Reads a container file into storage — straight into the aligned
-    /// buffer (sized from file metadata), with no intermediate copy.
+    #[inline]
+    fn is_verified(&self, index: usize) -> bool {
+        self.bits
+            .get(index / 64)
+            .is_some_and(|w| (w.load(Ordering::Acquire) >> (index % 64)) & 1 == 1)
+    }
+
+    #[inline]
+    fn mark_verified(&self, index: usize) {
+        if let Some(w) = self.bits.get(index / 64) {
+            w.fetch_or(1 << (index % 64), Ordering::Release);
+        }
+    }
+
+    /// Marks every section verified — used after an eager open's full
+    /// verifying parse, so later `container()` calls skip the payload
+    /// pass instead of repeating it.
+    fn mark_all(&self) {
+        for w in &self.bits {
+            w.store(u64::MAX, Ordering::Release);
+        }
+    }
+}
+
+#[derive(Debug)]
+struct StorageInner {
+    backing: Backing,
+    /// `Some` ⇔ payload CRC state is tracked per section in this shared
+    /// bitmap (unset bits are checked by [`SectionGuard`] on access)
+    /// rather than re-checked on every [`Storage::container`] parse.
+    crcs: Option<LazyCrcs>,
+    /// True ⇔ verification is deferred to first access (as opposed to
+    /// having been completed at open).
+    lazy: bool,
+}
+
+/// Reference-counted container storage: one shared buffer (heap or
+/// memory-mapped) behind every structure loaded from it. Cloning is an
+/// `Arc` bump; the lazy-verification bitmap is part of the shared state,
+/// so a section verified through one handle stays verified for all.
+///
+/// | constructor | backing | verification |
+/// |---|---|---|
+/// | [`from_bytes`](Storage::from_bytes) | heap copy | eager (at [`container`](Storage::container)) |
+/// | [`read_file`](Storage::read_file) | heap read | eager (at [`container`](Storage::container)) |
+/// | [`open`](Storage::open) | mmap, heap fallback | lazy (or eager via `TDMATCH_EAGER_CRC`) |
+/// | [`open_verified`](Storage::open_verified) | mmap, heap fallback | eager, checked at open |
+///
+/// See the [module docs](self) for the lazy-CRC safety contract.
+#[derive(Debug, Clone)]
+pub struct Storage {
+    inner: Arc<StorageInner>,
+}
+
+impl Storage {
+    /// Wraps a byte slice (copied once into aligned heap storage);
+    /// verification stays eager, as with [`read_file`](Storage::read_file).
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        Self {
+            inner: Arc::new(StorageInner {
+                backing: Backing::Heap(AlignedBytes::from_bytes(bytes)),
+                crcs: None,
+                lazy: false,
+            }),
+        }
+    }
+
+    /// Reads a container file into a private heap buffer — straight into
+    /// the aligned buffer (sized from file metadata), with no
+    /// intermediate copy. Verification stays eager. Prefer
+    /// [`open`](Storage::open) for serving: it shares one physical copy
+    /// across processes and defers payload CRCs.
     pub fn read_file<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
         let mut f = std::fs::File::open(path)?;
         let len = usize::try_from(f.metadata()?.len())
@@ -187,25 +370,117 @@ impl Storage {
         let mut bytes = AlignedBytes::zeroed(len);
         f.read_exact(bytes.as_mut_slice())?;
         Ok(Self {
-            bytes: Arc::new(bytes),
+            inner: Arc::new(StorageInner {
+                backing: Backing::Heap(bytes),
+                crcs: None,
+                lazy: false,
+            }),
         })
+    }
+
+    /// Opens a container file for serving: memory-mapped read-only where
+    /// the platform supports it (64-bit unix; heap read elsewhere or
+    /// when mapping fails), with **lazy** per-section CRC verification —
+    /// opening is O(sections), independent of payload size, and N
+    /// processes opening the same file share one physical copy of its
+    /// pages.
+    ///
+    /// Setting the `TDMATCH_EAGER_CRC` environment variable (to anything
+    /// but `0` or the empty string) forces the eager path,
+    /// [`open_verified`](Storage::open_verified).
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, DecodeError> {
+        let eager = std::env::var(EAGER_CRC_ENV).is_ok_and(|v| !v.is_empty() && v != "0");
+        Self::open_with(path, if eager { Verification::Eager } else { Verification::Lazy })
+    }
+
+    /// Opens a container file (mapped where possible, like
+    /// [`open`](Storage::open)) and verifies **every** payload CRC before
+    /// returning. The whole file is touched — O(bytes) — so corruption
+    /// anywhere fails here rather than at first access.
+    pub fn open_verified<P: AsRef<Path>>(path: P) -> Result<Self, DecodeError> {
+        Self::open_with(path, Verification::Eager)
+    }
+
+    /// Opens a container file with an explicit [`Verification`] mode —
+    /// the env-independent form of [`open`](Storage::open) /
+    /// [`open_verified`](Storage::open_verified).
+    pub fn open_with<P: AsRef<Path>>(
+        path: P,
+        mode: Verification,
+    ) -> Result<Self, DecodeError> {
+        let backing = Self::open_backing(path.as_ref())?;
+        let (crcs, lazy) = match mode {
+            Verification::Lazy => (Some(LazyCrcs::for_buffer(backing.as_slice())), true),
+            Verification::Eager if backing.as_slice().starts_with(&CONTAINER_MAGIC) => {
+                // Fail fast: one full verifying parse up front, memoized
+                // in a fully-marked bitmap so later `container()` calls
+                // (and section accesses) never repeat the payload pass.
+                Container::parse(backing.as_slice())?;
+                let crcs = LazyCrcs::for_buffer(backing.as_slice());
+                crcs.mark_all();
+                (Some(crcs), false)
+            }
+            // Non-TDZ1 bytes (e.g. a legacy TDM1 stream loaded through
+            // the same storage) are the caller's to validate.
+            Verification::Eager => (None, false),
+        };
+        Ok(Self {
+            inner: Arc::new(StorageInner { backing, crcs, lazy }),
+        })
+    }
+
+    /// Maps the file if the platform allows, else reads it onto the heap.
+    fn open_backing(path: &Path) -> std::io::Result<Backing> {
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        if let Ok(f) = std::fs::File::open(path) {
+            if let Ok(region) = crate::mmap::MmapRegion::map_file(&f) {
+                return Ok(Backing::Mapped(region));
+            }
+        }
+        // Fallback: empty files, mmap-refusing filesystems, non-unix
+        // targets — and genuine open errors, which surface here.
+        let storage = Self::read_file(path)?;
+        let inner = Arc::try_unwrap(storage.inner).expect("freshly built storage is unshared");
+        Ok(inner.backing)
+    }
+
+    /// True when the storage is an OS memory mapping (shared page-cache
+    /// pages) rather than a private heap buffer.
+    pub fn is_mapped(&self) -> bool {
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        {
+            matches!(self.inner.backing, Backing::Mapped(_))
+        }
+        #[cfg(not(all(unix, target_pointer_width = "64")))]
+        {
+            false
+        }
+    }
+
+    /// True when payload CRCs are verified lazily, on first section
+    /// access (see the [module docs](self) for the exact contract).
+    /// False for eagerly-opened storage, whose payloads were all
+    /// verified at open.
+    pub fn lazy_verification(&self) -> bool {
+        self.inner.lazy
     }
 
     /// The raw container bytes.
     #[inline]
     pub fn as_bytes(&self) -> &[u8] {
-        self.bytes.as_slice()
+        self.inner.backing.as_slice()
     }
 
-    /// Parses (and fully checksums) the container held in this storage.
+    /// Parses the container held in this storage. Heap storage from
+    /// [`from_bytes`](Storage::from_bytes) /
+    /// [`read_file`](Storage::read_file) gets a full checksum pass;
+    /// storage from [`open`](Storage::open) /
+    /// [`open_verified`](Storage::open_verified) gets the O(sections)
+    /// structural parse, with payload CRCs tracked in the shared
+    /// bitmap — deferred to first access for lazy opens, already marked
+    /// done for eager ones.
     pub fn container(&self) -> Result<Container<'_>, DecodeError> {
-        Container::parse(self.as_bytes())
-    }
-
-    /// The shared backing buffer.
-    #[inline]
-    pub fn arc(&self) -> &Arc<AlignedBytes> {
-        &self.bytes
+        Container::parse_inner(self.as_bytes(), self.inner.crcs.as_ref())
     }
 
     /// True when `slice` lies inside this storage's buffer.
@@ -216,11 +491,39 @@ impl Storage {
     }
 }
 
-/// One parsed section: a borrowed, CRC-verified payload.
+/// Verify-on-first-access handle for one lazily-checked section: the
+/// shared atomic bitmap plus the section's table CRC. Copied into every
+/// [`SectionView`] handed out by a lazily-parsed [`Container`].
+#[derive(Debug, Clone, Copy)]
+pub struct SectionGuard<'a> {
+    crcs: &'a LazyCrcs,
+    index: usize,
+    crc: u32,
+}
+
+impl SectionGuard<'_> {
+    /// Checks `payload`'s CRC unless this section already verified;
+    /// memoizes success in the shared bitmap.
+    fn ensure(&self, payload: &[u8]) -> Result<(), DecodeError> {
+        if self.crcs.is_verified(self.index) {
+            return Ok(());
+        }
+        if crc32(payload) != self.crc {
+            return Err(DecodeError::Corrupt);
+        }
+        self.crcs.mark_verified(self.index);
+        Ok(())
+    }
+}
+
+/// One parsed section: a borrowed payload, CRC-verified either at parse
+/// time (eager) or on first interpreting access (lazy; see the
+/// [module docs](self)).
 #[derive(Debug, Clone, Copy)]
 pub struct SectionView<'a> {
     tag: SectionTag,
     bytes: &'a [u8],
+    guard: Option<SectionGuard<'a>>,
 }
 
 impl<'a> SectionView<'a> {
@@ -230,10 +533,28 @@ impl<'a> SectionView<'a> {
         self.tag
     }
 
-    /// The raw payload.
+    /// The raw payload, **without** triggering lazy verification — the
+    /// escape hatch for code that wants the bytes regardless (tooling,
+    /// forwarding). Call [`verify`](SectionView::verify) first, or use
+    /// [`payload`](SectionView::payload), when integrity matters.
     #[inline]
     pub fn bytes(&self) -> &'a [u8] {
         self.bytes
+    }
+
+    /// Ensures this section's payload CRC has been checked (a no-op for
+    /// eagerly-parsed containers and on every access after the first).
+    pub fn verify(&self) -> Result<(), DecodeError> {
+        match &self.guard {
+            Some(g) => g.ensure(self.bytes),
+            None => Ok(()),
+        }
+    }
+
+    /// The verified payload.
+    pub fn payload(&self) -> Result<&'a [u8], DecodeError> {
+        self.verify()?;
+        Ok(self.bytes)
     }
 
     /// Payload length in bytes.
@@ -248,17 +569,20 @@ impl<'a> SectionView<'a> {
         self.bytes.is_empty()
     }
 
-    /// A [`ByteReader`] over the payload, for variable-length encodings
-    /// (length-prefixed labels etc.).
-    pub fn reader(&self) -> ByteReader<'a> {
-        ByteReader::new(self.bytes, 0)
+    /// A [`ByteReader`] over the verified payload, for variable-length
+    /// encodings (length-prefixed labels etc.).
+    pub fn reader(&self) -> Result<ByteReader<'a>, DecodeError> {
+        self.verify()?;
+        Ok(ByteReader::new(self.bytes, 0))
     }
 
-    /// Zero-copy typed view over the payload. Errors when the payload
-    /// length is not a multiple of the element size or the base pointer
-    /// is misaligned (can only happen for buffers not loaded through
-    /// [`Storage`]).
+    /// Zero-copy typed view over the verified payload. Errors when the
+    /// payload length is not a multiple of the element size, the base
+    /// pointer is misaligned (can only happen for buffers not loaded
+    /// through [`Storage`]), or lazy verification finds a corrupt
+    /// payload.
     pub fn as_pod<T: Pod>(&self) -> Result<&'a [T], DecodeError> {
+        self.verify()?;
         let size = std::mem::size_of::<T>();
         if size == 0 || !self.bytes.len().is_multiple_of(size) {
             return Err(DecodeError::Invalid("section length not a multiple of element size"));
@@ -289,21 +613,41 @@ impl<'a> SectionView<'a> {
     }
 }
 
+/// Table-entry metadata for one parsed section.
+#[derive(Debug, Clone, Copy)]
+struct SectionMeta {
+    tag: SectionTag,
+    offset: usize,
+    len: usize,
+    crc: u32,
+}
+
 /// A parsed `TDZ1` container: the section table over a borrowed buffer.
 ///
 /// [`parse`](Container::parse) validates everything up front — magic,
 /// version, header CRC, section bounds, per-section payload CRCs, zero
 /// padding, and exact total length — so section access is infallible
-/// afterwards.
+/// afterwards. Containers obtained from a lazily-verified [`Storage`]
+/// (via [`Storage::container`]) defer the payload CRCs to each section's
+/// first access instead; see the [module docs](self).
 #[derive(Debug)]
 pub struct Container<'a> {
     buf: &'a [u8],
-    sections: Vec<(SectionTag, usize, usize)>, // (tag, offset, len)
+    sections: Vec<SectionMeta>,
+    lazy: Option<&'a LazyCrcs>,
 }
 
 impl<'a> Container<'a> {
-    /// Parses and fully verifies a container.
+    /// Parses and fully verifies a container (every payload CRC checked
+    /// here, in one linear pass).
     pub fn parse(buf: &'a [u8]) -> Result<Self, DecodeError> {
+        Self::parse_inner(buf, None)
+    }
+
+    /// Structural parse; `lazy = Some` defers payload CRCs to first
+    /// section access (guarded by the shared bitmap), `None` checks them
+    /// all here.
+    fn parse_inner(buf: &'a [u8], lazy: Option<&'a LazyCrcs>) -> Result<Self, DecodeError> {
         if buf.len() < HEADER_LEN || buf[..4] != CONTAINER_MAGIC {
             return Err(DecodeError::BadMagic);
         }
@@ -348,31 +692,42 @@ impl<'a> Container<'a> {
             if end > buf.len() {
                 return Err(DecodeError::Corrupt);
             }
-            if crc32(&buf[offset..end]) != stored_crc {
+            if lazy.is_none() && crc32(&buf[offset..end]) != stored_crc {
                 return Err(DecodeError::Corrupt);
             }
-            sections.push((tag, offset, len));
+            sections.push(SectionMeta {
+                tag,
+                offset,
+                len,
+                crc: stored_crc,
+            });
             expected_offset = align_up(end);
         }
 
         // The container ends exactly at the last section's aligned end
-        // (or the aligned table end when empty): no trailing bytes.
-        let content_end = sections.last().map_or(table_end, |&(_, o, l)| o + l);
+        // (or the aligned table end when empty): no trailing bytes. The
+        // padding zones are each < SECTION_ALIGN bytes, so checking them
+        // stays O(sections) on the lazy path too.
+        let content_end = sections.last().map_or(table_end, |m| m.offset + m.len);
         if buf.len() != align_up(content_end) {
             return Err(DecodeError::Corrupt);
         }
         let mut prev_end = table_end;
-        for &(_, offset, len) in &sections {
-            if buf[prev_end..offset].iter().any(|&b| b != 0) {
+        for m in &sections {
+            if buf[prev_end..m.offset].iter().any(|&b| b != 0) {
                 return Err(DecodeError::Corrupt);
             }
-            prev_end = offset + len;
+            prev_end = m.offset + m.len;
         }
         if buf[prev_end..].iter().any(|&b| b != 0) {
             return Err(DecodeError::Corrupt);
         }
 
-        Ok(Self { buf, sections })
+        Ok(Self {
+            buf,
+            sections,
+            lazy,
+        })
     }
 
     /// Number of sections.
@@ -382,17 +737,25 @@ impl<'a> Container<'a> {
 
     /// All section tags, in table order.
     pub fn tags(&self) -> impl Iterator<Item = SectionTag> + '_ {
-        self.sections.iter().map(|&(tag, ..)| tag)
+        self.sections.iter().map(|m| m.tag)
     }
 
-    /// The first section with `tag`, if present.
+    /// The first section with `tag`, if present. The view's payload is
+    /// CRC-verified lazily, at its first interpreting access (eager
+    /// containers verified everything at parse already).
     pub fn section(&self, tag: SectionTag) -> Option<SectionView<'a>> {
         self.sections
             .iter()
-            .find(|&&(t, ..)| t == tag)
-            .map(|&(tag, offset, len)| SectionView {
-                tag,
-                bytes: &self.buf[offset..offset + len],
+            .enumerate()
+            .find(|(_, m)| m.tag == tag)
+            .map(|(index, m)| SectionView {
+                tag: m.tag,
+                bytes: &self.buf[m.offset..m.offset + m.len],
+                guard: self.lazy.map(|crcs| SectionGuard {
+                    crcs,
+                    index,
+                    crc: m.crc,
+                }),
             })
     }
 
@@ -414,6 +777,19 @@ fn align_up(n: usize) -> usize {
 /// *borrowed* (`Cow`), and [`write_to`](ContainerWriter::write_to)
 /// streams header, table, and payloads directly to the writer — saving a
 /// structure never buffers a second copy of its large arrays.
+///
+/// ```
+/// use tdmatch_graph::container::{Container, ContainerWriter};
+///
+/// let big = vec![0.5f32; 1024];
+/// let mut w = ContainerWriter::new();
+/// w.add_pod(*b"ROWS", &big); // borrowed, not copied
+/// w.add(*b"NOTE", b"freeform bytes".to_vec());
+/// let bytes = w.finish();
+/// let parsed = Container::parse(&bytes)?;
+/// assert_eq!(parsed.require(*b"ROWS")?.as_f32s()?.len(), 1024);
+/// # Ok::<(), tdmatch_graph::DecodeError>(())
+/// ```
 #[derive(Debug, Default)]
 pub struct ContainerWriter<'a> {
     sections: Vec<(SectionTag, std::borrow::Cow<'a, [u8]>)>,
@@ -509,7 +885,23 @@ pub fn pod_bytes<T: Pod>(values: &[T]) -> Vec<u8> {
 ///
 /// Dereferences to `&[T]` either way, so data structures keep one field
 /// type for both lifecycles. The shared variant keeps the storage alive
-/// via `Arc`, making loaded structures `'static`.
+/// (heap buffer or file mapping — the map is not unmapped until the last
+/// `FlatBuf` into it drops), making loaded structures `'static`.
+///
+/// ```
+/// use tdmatch_graph::container::{ContainerWriter, FlatBuf, Storage};
+///
+/// let mut w = ContainerWriter::new();
+/// w.add_pod(*b"DATA", &[1u32, 2, 3]);
+/// let storage = Storage::from_bytes(&w.finish());
+/// let container = storage.container()?;
+/// let mut buf = FlatBuf::<u32>::from_section(&storage, container.require(*b"DATA")?)?;
+/// assert!(buf.is_shared());          // borrowed view, no copy
+/// assert_eq!(&*buf, &[1, 2, 3]);
+/// buf.make_mut()[0] = 9;             // copy-on-write detaches it
+/// assert!(!buf.is_shared());
+/// # Ok::<(), tdmatch_graph::DecodeError>(())
+/// ```
 pub struct FlatBuf<T> {
     repr: Repr<T>,
 }
@@ -517,13 +909,13 @@ pub struct FlatBuf<T> {
 enum Repr<T> {
     Owned(Vec<T>),
     Shared {
-        _storage: Arc<AlignedBytes>,
+        _storage: Storage,
         ptr: *const T,
         len: usize,
     },
 }
 
-// Safety: the shared variant is an immutable view into an Arc-kept
+// Safety: the shared variant is an immutable view into a storage-kept
 // buffer; it is exactly as thread-safe as `&[T]`.
 unsafe impl<T: Send + Sync> Send for FlatBuf<T> {}
 unsafe impl<T: Send + Sync> Sync for FlatBuf<T> {}
@@ -545,7 +937,7 @@ impl<T> FlatBuf<T> {
         match &self.repr {
             Repr::Owned(v) => v,
             // Safety: ptr/len were validated against the storage buffer
-            // at construction and the Arc keeps it alive.
+            // at construction and the storage handle keeps it alive.
             Repr::Shared { ptr, len, .. } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
         }
     }
@@ -556,11 +948,7 @@ impl<T> FlatBuf<T> {
     ///
     /// `ptr..ptr+len` must be a valid, aligned `[T]` inside `storage`'s
     /// buffer, and every bit pattern in it must be a valid `T`.
-    pub(crate) unsafe fn from_raw_shared(
-        storage: Arc<AlignedBytes>,
-        ptr: *const T,
-        len: usize,
-    ) -> Self {
+    pub(crate) unsafe fn from_raw_shared(storage: Storage, ptr: *const T, len: usize) -> Self {
         Self {
             repr: Repr::Shared {
                 _storage: storage,
@@ -573,17 +961,18 @@ impl<T> FlatBuf<T> {
 
 impl<T: Pod> FlatBuf<T> {
     /// A zero-copy view of `view`'s payload, kept alive by `storage`.
-    /// `view` must have been obtained from `storage.container()`.
+    /// `view` must have been obtained from `storage.container()`. The
+    /// section is CRC-verified here if the storage is lazily verified
+    /// (see the [module docs](self)).
     pub fn from_section(storage: &Storage, view: SectionView<'_>) -> Result<Self, DecodeError> {
         if !storage.contains(view.bytes()) {
             return Err(DecodeError::Invalid("section view does not belong to this storage"));
         }
         let typed = view.as_pod::<T>()?;
-        // Safety: as_pod checked alignment/size; containment checked
-        // above; the Arc clone keeps the buffer alive.
-        Ok(unsafe {
-            Self::from_raw_shared(Arc::clone(storage.arc()), typed.as_ptr(), typed.len())
-        })
+        // Safety: as_pod checked alignment/size (and the payload CRC);
+        // containment checked above; the storage clone keeps the buffer
+        // alive.
+        Ok(unsafe { Self::from_raw_shared(storage.clone(), typed.as_ptr(), typed.len()) })
     }
 }
 
@@ -639,7 +1028,7 @@ impl<T: Clone> Clone for FlatBuf<T> {
                 len,
             } => Self {
                 repr: Repr::Shared {
-                    _storage: Arc::clone(_storage),
+                    _storage: _storage.clone(),
                     ptr: *ptr,
                     len: *len,
                 },
@@ -702,6 +1091,7 @@ mod tests {
         assert_eq!(c.section(tag(b"F32S")).unwrap().as_f32s().unwrap(), &[0.5, -1.5]);
         assert_eq!(c.section(tag(b"U64S")).unwrap().as_u64s().unwrap(), &[u64::MAX]);
         assert_eq!(c.section(tag(b"RAWB")).unwrap().bytes(), &[9, 8, 7]);
+        assert_eq!(c.section(tag(b"RAWB")).unwrap().payload().unwrap(), &[9, 8, 7]);
         // Wrong element size is rejected.
         assert!(c.section(tag(b"RAWB")).unwrap().as_u32s().is_err());
     }
@@ -775,8 +1165,127 @@ mod tests {
         let path = std::env::temp_dir().join("tdmatch-container-test.tdz");
         std::fs::write(&path, &bytes).unwrap();
         let storage = Storage::read_file(&path).unwrap();
+        assert!(!storage.is_mapped());
+        assert!(!storage.lazy_verification());
         let c = storage.container().unwrap();
         assert_eq!(c.section(tag(b"DATA")).unwrap().as_u64s().unwrap(), &[42]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    fn write_temp(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(name);
+        std::fs::write(&path, bytes).unwrap();
+        path
+    }
+
+    #[test]
+    fn open_maps_and_defers_payload_crcs() {
+        let mut w = ContainerWriter::new();
+        w.add_pod(tag(b"GOOD"), &[1u32, 2, 3]);
+        w.add_pod(tag(b"ALSO"), &[4u64]);
+        let path = write_temp("tdmatch-container-open.tdz", &w.finish());
+        let storage = Storage::open_with(&path, Verification::Lazy).unwrap();
+        assert!(storage.lazy_verification());
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        assert!(storage.is_mapped());
+        let c = storage.container().unwrap();
+        assert_eq!(c.section(tag(b"GOOD")).unwrap().as_u32s().unwrap(), &[1, 2, 3]);
+        assert_eq!(c.section(tag(b"ALSO")).unwrap().as_u64s().unwrap(), &[4]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lazy_open_detects_corruption_on_first_access_not_open() {
+        let mut w = ContainerWriter::new();
+        w.add_pod(tag(b"GOOD"), &[1u32, 2, 3]);
+        w.add_pod(tag(b"EVIL"), &[7u32; 64]);
+        let mut bytes = w.finish();
+        // Corrupt one payload byte inside EVIL (the second section).
+        let c = Container::parse(&bytes).unwrap();
+        let base = bytes.as_ptr() as usize;
+        let evil_off = c.section(tag(b"EVIL")).unwrap().bytes().as_ptr() as usize - base;
+        drop(c);
+        bytes[evil_off + 5] ^= 0xFF;
+
+        let path = write_temp("tdmatch-container-lazy-corrupt.tdz", &bytes);
+        // Eager open refuses the file outright…
+        assert!(Storage::open_verified(&path).is_err());
+        // …while the lazy open succeeds (header + table are intact)…
+        let storage = Storage::open_with(&path, Verification::Lazy).unwrap();
+        let container = storage.container().unwrap();
+        // …the clean section serves…
+        assert_eq!(
+            container.require(tag(b"GOOD")).unwrap().as_u32s().unwrap(),
+            &[1, 2, 3]
+        );
+        // …and the corrupt one fails at first (and every later) access,
+        // through every interpreting accessor.
+        let evil = container.require(tag(b"EVIL")).unwrap();
+        assert!(matches!(evil.as_u32s(), Err(DecodeError::Corrupt)));
+        assert!(matches!(evil.verify(), Err(DecodeError::Corrupt)));
+        assert!(matches!(evil.payload(), Err(DecodeError::Corrupt)));
+        assert!(matches!(evil.reader(), Err(DecodeError::Corrupt)));
+        assert!(FlatBuf::<u32>::from_section(&storage, evil).is_err());
+        // The raw escape hatch stays raw.
+        assert_eq!(evil.bytes().len(), 256);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lazy_verification_memoizes_per_section() {
+        let mut w = ContainerWriter::new();
+        w.add_pod(tag(b"DATA"), &[9u32; 16]);
+        let path = write_temp("tdmatch-container-lazy-memo.tdz", &w.finish());
+        let storage = Storage::open_with(&path, Verification::Lazy).unwrap();
+        // Two containers parsed from the same storage share the bitmap:
+        // verification through the first is visible to the second.
+        let c1 = storage.container().unwrap();
+        c1.require(tag(b"DATA")).unwrap().verify().unwrap();
+        let c2 = storage.container().unwrap();
+        c2.require(tag(b"DATA")).unwrap().verify().unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mapped_and_heap_storage_are_bit_identical() {
+        let mut w = ContainerWriter::new();
+        w.add_pod(tag(b"U32S"), &[3u32, 1, 4, 1, 5]);
+        w.add_pod(tag(b"F32S"), &[-0.0f32, f32::MIN_POSITIVE, 2.5]);
+        let bytes = w.finish();
+        let path = write_temp("tdmatch-container-equiv.tdz", &bytes);
+        let mapped = Storage::open_with(&path, Verification::Lazy).unwrap();
+        let heap = Storage::read_file(&path).unwrap();
+        assert_eq!(mapped.as_bytes(), heap.as_bytes());
+        assert_eq!(mapped.as_bytes(), &bytes[..]);
+        let (cm, ch) = (mapped.container().unwrap(), heap.container().unwrap());
+        for t in [tag(b"U32S"), tag(b"F32S")] {
+            assert_eq!(
+                cm.require(t).unwrap().payload().unwrap(),
+                ch.require(t).unwrap().payload().unwrap()
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_missing_file_is_io_error() {
+        let err = Storage::open("/nonexistent/tdmatch/container.tdz").unwrap_err();
+        assert!(matches!(err, DecodeError::Io(_)));
+    }
+
+    #[test]
+    fn open_verified_accepts_clean_files_and_non_containers() {
+        let mut w = ContainerWriter::new();
+        w.add_pod(tag(b"DATA"), &[1u32]);
+        let path = write_temp("tdmatch-container-verified.tdz", &w.finish());
+        let storage = Storage::open_verified(&path).unwrap();
+        assert!(!storage.lazy_verification());
+        storage.container().unwrap();
+        std::fs::remove_file(&path).ok();
+        // Non-TDZ1 bytes (e.g. a legacy stream) open fine — magic
+        // dispatch and validation are the caller's job.
+        let path = write_temp("tdmatch-container-legacy.bin", b"TDM1 something else");
+        assert!(Storage::open_verified(&path).is_ok());
         std::fs::remove_file(&path).ok();
     }
 }

@@ -35,9 +35,11 @@
 //! serializes *as-is* into the `TDZ1` container
 //! ([`write_sections`] / [`save_snapshot`]) and loads back zero-copy
 //! ([`from_sections`] / [`load_snapshot`]): the loaded snapshot's arrays
-//! are views into the shared [`Storage`] buffer, so a warm start skips
-//! graph creation and the freeze entirely — one linear validation +
-//! checksum scan, no per-element copies or allocation.
+//! are views into the shared [`Storage`] buffer — memory-mapped by
+//! [`load_snapshot`], so concurrent serving processes share one physical
+//! copy — and a warm start skips graph creation and the freeze entirely:
+//! one linear validation + checksum scan, no per-element copies or
+//! allocation.
 //! Node *labels* are not part of the snapshot (walks and sampling never
 //! touch them); a warm start that also needs label lookups persists the
 //! mutable graph via [`crate::persist`] alongside.
@@ -171,11 +173,9 @@ fn edge_kinds_from_section(
     }
     let (ptr, len) = (bytes.as_ptr(), bytes.len());
     // Safety: every byte was just validated as a legal EdgeKind
-    // discriminant, and EdgeKind is repr(u8); the storage Arc keeps the
-    // buffer alive.
-    Ok(unsafe {
-        FlatBuf::from_raw_shared(std::sync::Arc::clone(storage.arc()), ptr as *const EdgeKind, len)
-    })
+    // discriminant, and EdgeKind is repr(u8); the storage handle keeps
+    // the buffer alive.
+    Ok(unsafe { FlatBuf::from_raw_shared(storage.clone(), ptr as *const EdgeKind, len) })
 }
 
 /// An immutable CSR view of a [`Graph`], sharing its node ids.
@@ -585,10 +585,32 @@ impl CsrGraph {
         w.write_to(&mut f)
     }
 
-    /// Loads a snapshot saved by [`save_snapshot`](CsrGraph::save_snapshot)
-    /// (zero-copy; the file's storage stays alive inside the snapshot).
+    /// Loads a snapshot saved by [`save_snapshot`](CsrGraph::save_snapshot),
+    /// zero-copy: the file is memory-mapped where the platform allows
+    /// ([`Storage::open`] — heap read elsewhere), so every process
+    /// loading the same snapshot shares one physical copy of the arrays
+    /// through the OS page cache, and the mapping stays alive inside the
+    /// snapshot for as long as any of its arrays does.
+    ///
+    /// ```
+    /// use tdmatch_graph::{CsrGraph, Graph};
+    ///
+    /// let mut g = Graph::new();
+    /// let a = g.intern_data("tarantino");
+    /// let b = g.intern_data("thriller");
+    /// g.add_edge(a, b);
+    /// let csr = CsrGraph::from_graph(&g);
+    ///
+    /// let path = std::env::temp_dir().join("tdmatch-doc-csr.tdz");
+    /// csr.save_snapshot(&path)?;
+    /// let warm = CsrGraph::load_snapshot(&path)?;   // mapped, no rebuild
+    /// assert!(warm.is_zero_copy());
+    /// assert_eq!(warm.neighbors(a), csr.neighbors(a));
+    /// # std::fs::remove_file(&path).ok();
+    /// # Ok::<(), tdmatch_graph::DecodeError>(())
+    /// ```
     pub fn load_snapshot<P: AsRef<Path>>(path: P) -> Result<Self, DecodeError> {
-        let storage = Storage::read_file(path)?;
+        let storage = Storage::open(path)?;
         let container = storage.container()?;
         Self::from_sections(&storage, &container)
     }

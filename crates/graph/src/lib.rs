@@ -33,13 +33,19 @@
 //! Two on-disk formats live here. [`persist`] is the legacy `TDG1`
 //! stream for the *mutable* [`Graph`] (labels included, ids renumbered).
 //! [`container`] is the `TDZ1` zero-copy section container shared by the
-//! whole workspace; a frozen [`CsrGraph`] serializes its flat arrays
-//! straight into it ([`CsrGraph::write_sections`]) and a warm start maps
-//! them back without rebuilding ([`CsrGraph::from_sections`]).
+//! whole workspace (byte-level spec: `docs/FORMAT.md` at the repository
+//! root); a frozen [`CsrGraph`] serializes its flat arrays straight into
+//! it ([`CsrGraph::write_sections`]) and a warm start maps them back
+//! without rebuilding ([`CsrGraph::from_sections`]). Serving processes
+//! open snapshots through [`container::Storage::open`], which
+//! memory-maps the file ([`mmap`]) so N processes share one physical
+//! copy through the OS page cache and defers per-section CRC checks to
+//! first access.
 
 pub mod codec;
 pub mod container;
 pub mod csr;
+pub mod mmap;
 pub mod edge;
 pub mod graph;
 pub mod node;
@@ -49,7 +55,7 @@ pub mod stats;
 pub mod traverse;
 
 pub use codec::DecodeError;
-pub use container::{Container, ContainerWriter, FlatBuf, SectionTag, Storage};
+pub use container::{Container, ContainerWriter, FlatBuf, SectionTag, Storage, Verification};
 pub use csr::{CsrGraph, EdgeTypeCum};
 pub use edge::{EdgeKind, EdgeTypeWeights};
 pub use graph::Graph;

@@ -22,6 +22,14 @@
 //! Node ids are *not* preserved: tombstones are skipped and live nodes are
 //! renumbered densely. All label-based lookups (`data_node`, `meta_node`)
 //! behave identically after a round-trip.
+//!
+//! `TDG1` is a *decode* format — it rebuilds the mutable [`Graph`] for
+//! resumed training, so there is nothing to map in place. The zero-copy,
+//! mmap-served path for read-only warm starts is the `TDZ1` container
+//! ([`crate::container`], spec in `docs/FORMAT.md`): frozen
+//! [`CsrGraph`](crate::CsrGraph) snapshots and match artifacts go
+//! through [`crate::container::Storage::open`], which shares one
+//! physical copy across serving processes.
 
 use std::io::{Read, Write};
 use std::path::Path;

@@ -1,0 +1,151 @@
+//! Integration tests for the cross-process mmap serving path: mapping
+//! lifetime (unmap exactly when the last view drops), heap-fallback
+//! equivalence, and lazy CRC behaviour through a real consumer
+//! (`CsrGraph`).
+
+use tdmatch_graph::container::{ContainerWriter, Storage, Verification};
+use tdmatch_graph::{CsrGraph, DecodeError, Graph};
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(name)
+}
+
+fn sample_graph() -> Graph {
+    let mut g = Graph::new();
+    let a = g.intern_data("tarantino");
+    let b = g.intern_data("thriller");
+    let c = g.intern_data("willis");
+    g.add_edge(a, b);
+    g.add_edge(b, c);
+    g.add_edge(a, c);
+    g
+}
+
+/// True when `/proc/self/maps` has a mapping starting at `addr`.
+#[cfg(target_os = "linux")]
+fn is_mapped_at(addr: usize) -> bool {
+    std::fs::read_to_string("/proc/self/maps")
+        .unwrap()
+        .lines()
+        .any(|l| l.starts_with(&format!("{addr:x}-")))
+}
+
+#[test]
+fn mapped_and_heap_snapshots_are_bit_identical() {
+    let csr = CsrGraph::from_graph(&sample_graph());
+    let path = temp_path("tdmatch-mmap-equiv.tdz");
+    csr.save_snapshot(&path).unwrap();
+
+    let mapped = Storage::open_with(&path, Verification::Lazy).unwrap();
+    let heap = Storage::read_file(&path).unwrap();
+    assert!(!heap.is_mapped());
+    // Identical raw bytes…
+    assert_eq!(mapped.as_bytes(), heap.as_bytes());
+    // …and identical loaded views through a real consumer.
+    let from_mapped =
+        CsrGraph::from_sections(&mapped, &mapped.container().unwrap()).unwrap();
+    let from_heap = CsrGraph::from_sections(&heap, &heap.container().unwrap()).unwrap();
+    assert_eq!(from_mapped.id_bound(), from_heap.id_bound());
+    assert_eq!(from_mapped.edge_count(), from_heap.edge_count());
+    for id in from_mapped.nodes() {
+        assert_eq!(from_mapped.neighbors(id), from_heap.neighbors(id));
+        assert_eq!(from_mapped.neighbor_kinds(id), from_heap.neighbor_kinds(id));
+        assert_eq!(from_mapped.kind(id), from_heap.kind(id));
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[cfg(all(unix, target_pointer_width = "64"))]
+#[test]
+fn load_snapshot_serves_from_a_mapping() {
+    let csr = CsrGraph::from_graph(&sample_graph());
+    let path = temp_path("tdmatch-mmap-load-snapshot.tdz");
+    csr.save_snapshot(&path).unwrap();
+    let storage = Storage::open(&path).unwrap();
+    assert!(storage.is_mapped(), "snapshot open fell off the mmap path");
+    let warm = CsrGraph::load_snapshot(&path).unwrap();
+    assert!(warm.is_zero_copy());
+    for id in csr.nodes() {
+        assert_eq!(warm.neighbors(id), csr.neighbors(id));
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// The mapping must stay alive while *any* loaded view borrows it —
+/// dropping the `Storage` handle is not enough — and must be unmapped
+/// when the last one goes.
+#[cfg(target_os = "linux")]
+#[test]
+fn mapping_unmaps_only_after_the_last_view_drops() {
+    let csr = CsrGraph::from_graph(&sample_graph());
+    let path = temp_path("tdmatch-mmap-lifetime.tdz");
+    csr.save_snapshot(&path).unwrap();
+
+    let storage = Storage::open_with(&path, Verification::Lazy).unwrap();
+    assert!(storage.is_mapped());
+    let addr = storage.as_bytes().as_ptr() as usize;
+    assert!(is_mapped_at(addr), "mapping missing while storage is alive");
+
+    let loaded = {
+        let container = storage.container().unwrap();
+        CsrGraph::from_sections(&storage, &container).unwrap()
+    };
+    drop(storage);
+    // The loaded graph's FlatBufs keep the mapping alive.
+    assert!(
+        is_mapped_at(addr),
+        "mapping vanished while a loaded snapshot still borrows it"
+    );
+    assert_eq!(loaded.edge_count(), 3);
+
+    drop(loaded);
+    assert!(
+        !is_mapped_at(addr),
+        "mapping leaked after the last view dropped"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+/// Corruption in a section a consumer never touches is invisible to a
+/// lazy open (O(1) open does not scan payloads) — but the moment the
+/// corrupt section is accessed, it fails, on every access path.
+#[test]
+fn corrupt_unused_section_does_not_block_open_but_fails_on_access() {
+    let csr = CsrGraph::from_graph(&sample_graph());
+    let mut w = ContainerWriter::new();
+    csr.write_sections(&mut w);
+    // An extra optional section (cum table slot 0) that loading the bare
+    // snapshot never touches.
+    let weights = tdmatch_graph::EdgeTypeWeights::uniform();
+    let cum = csr.edge_type_cum(&weights);
+    csr.write_cum_section(&cum, 0, &mut w);
+    let mut bytes = w.finish();
+
+    // Corrupt the *last* payload byte region (the cum table payload sits
+    // last in the container).
+    let container = tdmatch_graph::Container::parse(&bytes).unwrap();
+    let base = bytes.as_ptr() as usize;
+    let cum_view = container.section(tdmatch_graph::csr::cum_section_tag(0)).unwrap();
+    let off = cum_view.bytes().as_ptr() as usize - base;
+    drop(container);
+    bytes[off] ^= 0x40;
+
+    let path = temp_path("tdmatch-mmap-lazy-cum.tdz");
+    std::fs::write(&path, &bytes).unwrap();
+
+    // Eager modes refuse the whole file…
+    assert!(Storage::open_verified(&path).is_err());
+    assert!(Storage::read_file(&path).unwrap().container().is_err());
+
+    // …lazy open + snapshot load succeed (the snapshot sections are
+    // clean and verified on access during from_sections)…
+    let storage = Storage::open_with(&path, Verification::Lazy).unwrap();
+    let c = storage.container().unwrap();
+    let loaded = CsrGraph::from_sections(&storage, &c).unwrap();
+    assert_eq!(loaded.edge_count(), 3);
+
+    // …and the corrupt optional section fails exactly when requested.
+    let err = loaded.cum_from_sections(&storage, &c, 0).unwrap_err();
+    assert!(matches!(err, DecodeError::Corrupt), "got {err:?}");
+    std::fs::remove_file(&path).ok();
+}

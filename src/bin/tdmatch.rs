@@ -77,7 +77,14 @@ RUN OPTIONS:
     --threads N        worker threads
     --save PATH        write the fitted match artifact to PATH
     --save-graph PATH  write the fitted joint graph to PATH (reusable via `resume`)
-    --stats            print graph composition (node/edge kinds, degrees, components)"
+    --stats            print graph composition (node/edge kinds, degrees, components)
+
+SERVING:
+    `match`, `query`, and `info` memory-map TDZ1 artifacts read-only, so
+    concurrent tdmatch processes serving one artifact file share a single
+    physical copy via the OS page cache. Section checksums are verified
+    lazily on first access; set TDMATCH_EAGER_CRC=1 to verify the whole
+    file at open instead."
     );
 }
 
@@ -301,12 +308,35 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
 
 fn cmd_info(args: &[String]) -> Result<(), String> {
     let path = flag_value(args, "--artifact")?.ok_or("info requires --artifact PATH")?;
-    let artifact = MatchArtifact::load(path).map_err(|e| e.to_string())?;
+    // Open the storage explicitly (rather than through
+    // MatchArtifact::load) so the serving backing can be reported:
+    // mapped storage shares one physical copy across processes.
+    let storage =
+        tdmatch::graph::container::Storage::open(path).map_err(|e| e.to_string())?;
+    let backing = if storage.is_mapped() { "mmap (shared)" } else { "heap (private)" };
+    let is_container = storage
+        .as_bytes()
+        .starts_with(&tdmatch::graph::container::CONTAINER_MAGIC);
+    // The CRC schedule is a property of the format actually decoded:
+    // legacy TDM1 streams are always whole-stream-checked during decode,
+    // whatever the storage wrapper's mode says.
+    let verify = if !is_container {
+        "eager (legacy whole-stream)"
+    } else if storage.lazy_verification() {
+        "lazy (per-section, on first access)"
+    } else {
+        "eager"
+    };
+    let bytes = storage.as_bytes().len();
+    let artifact = MatchArtifact::from_storage_any(&storage).map_err(|e| e.to_string())?;
     let (first, second) = artifact.corpus_sizes();
     println!("dim:     {}", artifact.dim());
     println!("terms:   {}", artifact.term_count());
     println!("targets: {first}");
     println!("queries: {second}");
+    println!("bytes:   {bytes}");
+    println!("backing: {backing}");
+    println!("crc:     {verify}");
     Ok(())
 }
 
