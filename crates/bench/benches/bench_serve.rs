@@ -1,0 +1,335 @@
+//! Serving recorder: coalesced batch scans vs serial per-request scans,
+//! in-process and over the daemon's socket.
+//!
+//! The `tdmatch serve` daemon exists so that N concurrent clients ride
+//! **one** tiled batch top-k call per coalescing window instead of
+//! issuing N scalar scans. This recorder measures, on the
+//! `bench_persist`-sized STS workload:
+//!
+//! * **engine** — the scheduler's inner loop without any socket: every
+//!   query scored one-per-call (`Matcher::query_by_id`, the serial
+//!   baseline) vs coalesced through a reused `QueryBlock` in batches of
+//!   8 (`Matcher::query_batch_with`, what the daemon's scheduler runs).
+//!   Both paths are asserted bit-identical to `match_top_k` before
+//!   anything is timed. Measured twice: on the fitted workload (target
+//!   matrix is cache-resident, so coalescing only amortizes per-call
+//!   fixed costs) and on a cache-exceeding synthetic serving tier,
+//!   where a serial scan re-streams the whole target matrix per request
+//!   while a coalesced batch streams it once per 8 — the memory-traffic
+//!   regime the tiled kernel is built for;
+//! * **daemon** — a live daemon on a temp socket under an 8-client
+//!   lockstep workload, once with batching disabled (`max_batch 1`,
+//!   zero window — the serial per-request daemon) and once with the
+//!   default coalescing policy (`max_batch 8`): wall-clock throughput,
+//!   per-request latency (mean/p50/p99), and the achieved batch shape
+//!   from the daemon's own counters.
+//!
+//! Results land in `BENCH_serve.json` at the repository root. Run with
+//! `cargo bench -p tdmatch-bench --bench bench_serve`;
+//! `TDMATCH_BENCH_COPIES` / `TDMATCH_SCALE` / `TDMATCH_DIM` / … scale
+//! the workload as in the other recorders.
+
+use std::time::{Duration, Instant};
+
+use tdmatch_bench::bench_config;
+use tdmatch_core::artifact::MatchArtifact;
+use tdmatch_core::corpus::{Corpus, TextCorpus};
+use tdmatch_core::pipeline::TdMatch;
+use tdmatch_core::serving::{Matcher, Query};
+use tdmatch_datasets::{sts, Scale};
+use tdmatch_serve::batch::BatchOptions;
+use tdmatch_serve::client::Client;
+use tdmatch_serve::server::{ServeOptions, Server};
+
+const CLIENTS: usize = 8;
+const REQUESTS_PER_CLIENT: usize = 150;
+const ENGINE_ROUNDS: usize = 5;
+
+struct DaemonRun {
+    wall_secs: f64,
+    requests: usize,
+    latencies_us: Vec<f64>,
+    mean_batch: f64,
+    max_batch: u64,
+    coalesced: u64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn json_daemon(run: &DaemonRun) -> String {
+    let mut lat = run.latencies_us.clone();
+    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mean = lat.iter().sum::<f64>() / lat.len().max(1) as f64;
+    format!(
+        "{{\"clients\": {}, \"requests\": {}, \"wall_secs\": {:.6}, \
+         \"requests_per_sec\": {:.1}, \
+         \"latency_us\": {{\"mean\": {:.1}, \"p50\": {:.1}, \"p99\": {:.1}}}, \
+         \"mean_batch\": {:.2}, \"max_batch\": {}, \"coalesced_requests\": {}}}",
+        CLIENTS,
+        run.requests,
+        run.wall_secs,
+        run.requests as f64 / run.wall_secs,
+        mean,
+        percentile(&lat, 0.50),
+        percentile(&lat, 0.99),
+        run.mean_batch,
+        run.max_batch,
+        run.coalesced,
+    )
+}
+
+/// Runs the 8-client lockstep workload against a daemon with the given
+/// batching policy and collects client-side latencies + server counters.
+fn daemon_run(matcher: &Matcher, tag: &str, batch: BatchOptions, k: usize) -> DaemonRun {
+    let socket = std::env::temp_dir().join(format!(
+        "tdmatch-bench-serve-{tag}-{}.sock",
+        std::process::id()
+    ));
+    std::fs::remove_file(&socket).ok();
+    let server = Server::start(
+        matcher.clone(),
+        ServeOptions {
+            socket: socket.clone(),
+            batch,
+        },
+    )
+    .expect("daemon start");
+
+    let queries = matcher.queries();
+    let wall = Instant::now();
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let socket = socket.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&socket).expect("connect");
+                let mut latencies = Vec::with_capacity(REQUESTS_PER_CLIENT);
+                for r in 0..REQUESTS_PER_CLIENT {
+                    let doc = (c * REQUESTS_PER_CLIENT + r) % queries;
+                    let t = Instant::now();
+                    let (ranked, _batch) = client.query_id(doc, k).expect("query");
+                    latencies.push(t.elapsed().as_secs_f64() * 1e6);
+                    assert!(ranked.len() <= k);
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies_us = Vec::with_capacity(CLIENTS * REQUESTS_PER_CLIENT);
+    for w in workers {
+        latencies_us.extend(w.join().expect("client thread"));
+    }
+    let wall_secs = wall.elapsed().as_secs_f64();
+    let stats = server.stats();
+    drop(server);
+    std::fs::remove_file(&socket).ok();
+    assert_eq!(stats.requests as usize, CLIENTS * REQUESTS_PER_CLIENT);
+    DaemonRun {
+        wall_secs,
+        requests: CLIENTS * REQUESTS_PER_CLIENT,
+        latencies_us,
+        mean_batch: stats.mean_batch(),
+        max_batch: stats.max_batch,
+        coalesced: stats.coalesced,
+    }
+}
+
+/// Times serial `query_by_id` scans vs 8-wide coalesced batches over
+/// `matcher`'s full query corpus, `rounds` times each. Returns
+/// `(serial_secs, batched_secs)`.
+fn engine_pass(matcher: &Matcher, k: usize, rounds: usize) -> (f64, f64) {
+    let queries = matcher.queries();
+    let all_ids: Vec<Query> = (0..queries).map(Query::ById).collect();
+
+    let t = Instant::now();
+    for _ in 0..rounds {
+        for id in 0..queries {
+            std::hint::black_box(matcher.query_by_id(id, k).unwrap());
+        }
+    }
+    let serial_secs = t.elapsed().as_secs_f64();
+
+    let mut block = matcher.query_block();
+    let t = Instant::now();
+    for _ in 0..rounds {
+        for chunk in all_ids.chunks(block.capacity()) {
+            std::hint::black_box(matcher.query_batch_with(&mut block, chunk, k));
+        }
+    }
+    (serial_secs, t.elapsed().as_secs_f64())
+}
+
+/// A synthetic serving-tier matcher whose target matrix exceeds every
+/// cache level: `targets × dim` pseudo-random rows (~tens of MiB), a
+/// small resident query set. No fitting — this matrix stands in for a
+/// production-sized index, isolating the scan's memory behaviour.
+fn synthetic_matcher(targets: usize, queries: usize, dim: usize) -> Matcher {
+    let mut state = 0x2545F4914F6CDD1Du64;
+    let mut next = move || {
+        // xorshift*: cheap, deterministic, good enough to defeat any
+        // similarity structure between rows.
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        (state.wrapping_mul(0x2545F4914F6CDD1D) >> 40) as f32 / (1 << 24) as f32 - 0.5
+    };
+    let mut row = |_: usize| Some((0..dim).map(|_| next()).collect::<Vec<f32>>());
+    let target_rows: Vec<Option<Vec<f32>>> = (0..targets).map(&mut row).collect();
+    let query_rows: Vec<Option<Vec<f32>>> = (0..queries).map(&mut row).collect();
+    Matcher::new(MatchArtifact::new(dim, Vec::new(), target_rows, query_rows))
+}
+
+fn main() {
+    let copies: usize = std::env::var("TDMATCH_BENCH_COPIES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let k = 20usize;
+
+    // The bench_persist workload: a union of independently seeded STS
+    // corpora at the env-controlled scale.
+    let mut first_docs = Vec::new();
+    let mut second_docs = Vec::new();
+    for seed in 0..copies as u64 {
+        let s = sts::generate(Scale::Small, 100 + seed, 2);
+        let Corpus::Text(f) = s.first else { unreachable!() };
+        let Corpus::Text(snd) = s.second else { unreachable!() };
+        first_docs.extend(f.docs);
+        second_docs.extend(snd.docs);
+    }
+    let first = Corpus::Text(TextCorpus::new(first_docs));
+    let second = Corpus::Text(TextCorpus::new(second_docs));
+    let base = sts::generate(Scale::Tiny, 1, 2);
+    let config = bench_config(&base.config);
+    let dim = config.dim;
+    let (targets, queries) = (first.len(), second.len());
+    println!(
+        "serve workload: {targets} targets × {queries} queries, dim {dim}, k {k} \
+         ({copies} copies, {CLIENTS} clients × {REQUESTS_PER_CLIENT} requests)"
+    );
+
+    let model = TdMatch::new(config).fit(&first, &second).expect("pipeline fit");
+    let matcher = Matcher::new(model.artifact());
+
+    // --- Correctness gate: both serving paths ≡ the one-shot ranking ---
+    let oracle = matcher.artifact().match_top_k(k);
+    let all_ids: Vec<Query> = (0..queries).map(Query::ById).collect();
+    let batched_all = matcher.query_batch(&all_ids, k);
+    for (id, want) in oracle.iter().enumerate() {
+        let serial = matcher.query_by_id(id, k).expect("id in range");
+        let batched = batched_all[id].as_ref().expect("id in range");
+        assert_eq!(&serial, &want.ranked, "serial diverged at {id}");
+        assert_eq!(batched, &want.ranked, "batched diverged at {id}");
+        for (b, w) in batched.iter().zip(&want.ranked) {
+            assert_eq!(b.1.to_bits(), w.1.to_bits(), "score bits at {id}");
+        }
+    }
+
+    // --- Engine: serial per-request scans vs coalesced batches ---------
+    let (serial_secs, batched_secs) = engine_pass(&matcher, k, ENGINE_ROUNDS);
+    let pairs = (targets * queries * ENGINE_ROUNDS) as f64;
+    let engine_speedup = serial_secs / batched_secs;
+    println!(
+        "engine (fitted): serial {serial_secs:.4}s ({:.1}M pairs/s) vs coalesced \
+         {batched_secs:.4}s ({:.1}M pairs/s) -> {engine_speedup:.2}x",
+        pairs / serial_secs / 1e6,
+        pairs / batched_secs / 1e6,
+    );
+
+    // --- Engine on a cache-exceeding serving tier ----------------------
+    let (l_targets, l_queries, l_dim) = (65_536usize, 128usize, 96usize);
+    let large = synthetic_matcher(l_targets, l_queries, l_dim);
+    let (l_serial, l_batched) = engine_pass(&large, k, 1);
+    let l_pairs = (l_targets * l_queries) as f64;
+    let large_speedup = l_serial / l_batched;
+    println!(
+        "engine ({}MiB target matrix): serial {l_serial:.4}s ({:.1}M pairs/s) vs coalesced \
+         {l_batched:.4}s ({:.1}M pairs/s) -> {large_speedup:.2}x",
+        (l_targets * l_dim * 4) >> 20,
+        l_pairs / l_serial / 1e6,
+        l_pairs / l_batched / 1e6,
+    );
+    assert!(
+        large_speedup > 1.0,
+        "coalesced batches must beat serial per-request scans (got {large_speedup:.2}x)"
+    );
+
+    // --- Daemon: serial per-request policy vs coalescing policy --------
+    let serial_daemon = daemon_run(
+        &matcher,
+        "serial",
+        BatchOptions {
+            window: Duration::ZERO,
+            max_batch: 1,
+        },
+        k,
+    );
+    let batched_daemon = daemon_run(&matcher, "batched", BatchOptions::default(), k);
+    let daemon_speedup = serial_daemon.wall_secs / batched_daemon.wall_secs;
+    println!(
+        "daemon (8 clients): serial {:.3}s ({:.0} req/s, mean batch {:.2}) vs \
+         coalesced {:.3}s ({:.0} req/s, mean batch {:.2}, max {}) -> {daemon_speedup:.2}x",
+        serial_daemon.wall_secs,
+        serial_daemon.requests as f64 / serial_daemon.wall_secs,
+        serial_daemon.mean_batch,
+        batched_daemon.wall_secs,
+        batched_daemon.requests as f64 / batched_daemon.wall_secs,
+        batched_daemon.mean_batch,
+        batched_daemon.max_batch,
+    );
+    assert!(
+        batched_daemon.max_batch >= 2,
+        "the coalescing daemon never batched concurrent clients"
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"serve\",\n",
+            "  \"workload\": {{\"targets\": {}, \"queries\": {}, \"dim\": {}, \"k\": {}, ",
+            "\"copies\": {}}},\n",
+            "  \"engine_fitted\": {{\"rounds\": {}, \"serial_secs\": {:.6}, ",
+            "\"batched_secs\": {:.6}, ",
+            "\"serial_pairs_per_sec\": {:.1}, \"batched_pairs_per_sec\": {:.1}, ",
+            "\"speedup\": {:.2}}},\n",
+            "  \"engine_large\": {{\"targets\": {}, \"queries\": {}, \"dim\": {}, ",
+            "\"serial_secs\": {:.6}, \"batched_secs\": {:.6}, ",
+            "\"serial_pairs_per_sec\": {:.1}, \"batched_pairs_per_sec\": {:.1}, ",
+            "\"speedup\": {:.2}}},\n",
+            "  \"daemon_serial\": {},\n",
+            "  \"daemon_batched\": {},\n",
+            "  \"daemon_speedup\": {:.2}\n",
+            "}}\n"
+        ),
+        targets,
+        queries,
+        dim,
+        k,
+        copies,
+        ENGINE_ROUNDS,
+        serial_secs,
+        batched_secs,
+        pairs / serial_secs,
+        pairs / batched_secs,
+        engine_speedup,
+        l_targets,
+        l_queries,
+        l_dim,
+        l_serial,
+        l_batched,
+        l_pairs / l_serial,
+        l_pairs / l_batched,
+        large_speedup,
+        json_daemon(&serial_daemon),
+        json_daemon(&batched_daemon),
+        daemon_speedup,
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(out, &json).expect("write BENCH_serve.json");
+    println!("wrote {out}");
+}

@@ -62,9 +62,11 @@ pub mod lsh;
 pub mod matcher;
 pub mod merging;
 pub mod pipeline;
+pub mod serving;
 
 pub use config::{BlockingMode, Compression, EmbedMethod, FilterMode, TdConfig};
 pub use corpus::{Corpus, StructuredText, Table, TaxonomyNode, TextCorpus};
 pub use artifact::{MatchArtifact, PersistError};
 pub use error::TdError;
 pub use pipeline::{FitOptions, TdMatch, TdModel};
+pub use serving::Matcher;

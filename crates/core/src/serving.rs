@@ -1,0 +1,380 @@
+//! Serving facade: a long-lived, thread-safe matcher over a loaded
+//! [`MatchArtifact`].
+//!
+//! The pipeline is fit-once / match-many, and on the "many" side a
+//! resident process (the `tdmatch serve` daemon, or any embedding
+//! application) answers a *stream* of requests against one artifact. The
+//! [`Matcher`] wraps the artifact behind exactly the request shapes a
+//! server needs:
+//!
+//! * **query-by-id** — rank targets for a document already in the
+//!   artifact's query corpus ([`Matcher::query_by_id`]);
+//! * **query-by-vector** — rank targets for an out-of-corpus embedding
+//!   ([`Matcher::query_by_vector`]);
+//! * **query-by-tokens** — embed pre-processed tokens first
+//!   ([`Matcher::query_by_tokens`]), the same aggregation as
+//!   [`MatchArtifact::embed_tokens`];
+//! * **batches** — several concurrent requests coalesced into **one**
+//!   scoring call over the pre-normalized matrices
+//!   ([`Matcher::query_batch`] / [`Matcher::query_batch_with`]), so N
+//!   clients ride the tiled batch kernel instead of issuing N scalar
+//!   scans.
+//!
+//! # Bit-identical batching
+//!
+//! By-id queries are gathered **verbatim** out of the artifact's
+//! pre-normalized query matrix
+//! ([`QueryBlock::push_unit`]), and every query's
+//! ranking in the tiled kernel is computed independently of its batch
+//! neighbours — so a batched response is *bit-identical* to the serial
+//! [`MatchArtifact::match_top_k`] ranking for the same document, at any
+//! batch composition. The protocol tests in `crates/serve` pin this.
+
+use tdmatch_embed::score::QueryBlock;
+
+use crate::artifact::{MatchArtifact, PersistError};
+use crate::matcher::top_k_matches_matrix;
+
+/// One serving request: which query row to rank against the artifact's
+/// target corpus.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// A document of the artifact's query (second) corpus, by index.
+    ById(usize),
+    /// An out-of-corpus raw (un-normalized) embedding of the artifact's
+    /// dimensionality.
+    ByVector(Vec<f32>),
+}
+
+/// Why a single request inside a batch could not be scored. The rest of
+/// the batch is unaffected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// A [`Query::ById`] index at or beyond the query-corpus size.
+    UnknownId {
+        /// The requested document index.
+        id: usize,
+        /// Number of documents in the query corpus.
+        rows: usize,
+    },
+    /// A [`Query::ByVector`] whose length is not the artifact dim.
+    DimMismatch {
+        /// The vector length received.
+        got: usize,
+        /// The artifact's embedding dimensionality.
+        want: usize,
+    },
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::UnknownId { id, rows } => {
+                write!(f, "unknown query id {id} (corpus holds {rows} documents)")
+            }
+            QueryError::DimMismatch { got, want } => {
+                write!(f, "query vector has dim {got}, artifact expects {want}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// A ranked answer: `(target index, score)` by decreasing score, ties by
+/// ascending index — the engine's standard ordering.
+pub type Ranked = Vec<(usize, f32)>;
+
+/// A long-lived matcher over one loaded artifact.
+///
+/// `Matcher` is `Send + Sync` and interior-mutability-free: any number
+/// of threads can query it concurrently; batch state lives in a
+/// caller-owned [`QueryBlock`] (see
+/// [`query_batch_with`](Matcher::query_batch_with)).
+///
+/// ```
+/// use tdmatch_core::artifact::MatchArtifact;
+/// use tdmatch_core::serving::{Matcher, Query};
+///
+/// let artifact = MatchArtifact::new(
+///     2,
+///     vec![("tarantino".into(), vec![1.0, 0.0])],
+///     vec![Some(vec![1.0, 0.0]), Some(vec![0.0, 1.0])], // targets
+///     vec![Some(vec![0.9, 0.1]), Some(vec![0.2, 0.8])], // queries
+/// );
+/// let matcher = Matcher::new(artifact);
+///
+/// // Two concurrent requests coalesce into one batched kernel call…
+/// let batch = matcher.query_batch(
+///     &[Query::ById(0), Query::ByVector(vec![0.0, 3.0])],
+///     1,
+/// );
+/// assert_eq!(batch[0].as_ref().unwrap()[0].0, 0); // [0.9,0.1] → target 0
+/// assert_eq!(batch[1].as_ref().unwrap()[0].0, 1); // [0,3]    → target 1
+///
+/// // …and a by-id answer is bit-identical to the one-shot path.
+/// let serial = matcher.artifact().match_top_k(1);
+/// assert_eq!(batch[0].as_ref().unwrap(), &serial[0].ranked);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Matcher {
+    artifact: MatchArtifact,
+}
+
+impl Matcher {
+    /// Wraps a loaded (or freshly exported) artifact.
+    pub fn new(artifact: MatchArtifact) -> Self {
+        Self { artifact }
+    }
+
+    /// Loads an artifact file and wraps it — the daemon's startup path.
+    /// Mapped zero-copy where the platform allows, exactly like
+    /// [`MatchArtifact::load`].
+    pub fn load<P: AsRef<std::path::Path>>(path: P) -> Result<Self, PersistError> {
+        Ok(Self::new(MatchArtifact::load(path)?))
+    }
+
+    /// The wrapped artifact.
+    pub fn artifact(&self) -> &MatchArtifact {
+        &self.artifact
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.artifact.dim()
+    }
+
+    /// Number of target (first-corpus) documents answers rank over.
+    pub fn targets(&self) -> usize {
+        self.artifact.first_matrix().rows()
+    }
+
+    /// Number of query (second-corpus) documents addressable by id.
+    pub fn queries(&self) -> usize {
+        self.artifact.second_matrix().rows()
+    }
+
+    /// A [`QueryBlock`] of the artifact's dimensionality at the engine's
+    /// default coalescing width — allocate once per scheduler, reuse via
+    /// [`query_batch_with`](Matcher::query_batch_with).
+    pub fn query_block(&self) -> QueryBlock {
+        QueryBlock::new(self.dim())
+    }
+
+    /// Ranks the top-`k` targets for query document `id`. A present id
+    /// whose embedding is missing yields an empty ranking (the engine's
+    /// missing-query semantics); an out-of-range id is an error.
+    pub fn query_by_id(&self, id: usize, k: usize) -> Result<Ranked, QueryError> {
+        let mut out = self.query_batch(&[Query::ById(id)], k);
+        out.pop().expect("one query in, one answer out")
+    }
+
+    /// Ranks the top-`k` targets for a raw out-of-corpus vector
+    /// (normalized on entry, like every scored row).
+    pub fn query_by_vector(&self, v: &[f32], k: usize) -> Result<Ranked, QueryError> {
+        let mut out = self.query_batch(&[Query::ByVector(v.to_vec())], k);
+        out.pop().expect("one query in, one answer out")
+    }
+
+    /// Embeds pre-processed tokens (mean of known term vectors, as in
+    /// [`MatchArtifact::embed_tokens`]) and ranks the top-`k` targets.
+    /// All-unknown tokens yield an empty ranking. Tokenize with
+    /// `tdmatch-text`'s `Preprocessor::base_tokens` to match the fitted
+    /// vocabulary.
+    pub fn query_by_tokens<S: AsRef<str>>(&self, tokens: &[S], k: usize) -> Ranked {
+        match self.artifact.embed_tokens(tokens) {
+            Some(v) => self
+                .query_by_vector(&v, k)
+                .expect("embed_tokens returns artifact-dim vectors"),
+            None => Vec::new(),
+        }
+    }
+
+    /// Scores a coalesced batch with a fresh block; see
+    /// [`query_batch_with`](Matcher::query_batch_with).
+    pub fn query_batch(&self, queries: &[Query], k: usize) -> Vec<Result<Ranked, QueryError>> {
+        self.query_batch_with(&mut self.query_block(), queries, k)
+    }
+
+    /// Scores a coalesced batch of requests through a caller-owned
+    /// (reusable) [`QueryBlock`], chunking by the block's capacity.
+    /// Each chunk is **one** call into the tiled batch kernel: the
+    /// per-scan fixed costs and every streamed target block are shared
+    /// by the whole chunk.
+    ///
+    /// Results come back in request order. A request that fails
+    /// validation gets its `Err` slot; the others are unaffected.
+    pub fn query_batch_with(
+        &self,
+        block: &mut QueryBlock,
+        queries: &[Query],
+        k: usize,
+    ) -> Vec<Result<Ranked, QueryError>> {
+        let second = self.artifact.second_matrix();
+        let mut out: Vec<Result<Ranked, QueryError>> = Vec::with_capacity(queries.len());
+        for chunk in queries.chunks(block.capacity().max(1)) {
+            block.clear();
+            let mut errs: Vec<Option<QueryError>> = Vec::with_capacity(chunk.len());
+            for q in chunk {
+                let err = match q {
+                    Query::ById(id) => {
+                        if *id >= second.rows() {
+                            block.push_missing();
+                            Some(QueryError::UnknownId {
+                                id: *id,
+                                rows: second.rows(),
+                            })
+                        } else {
+                            if second.is_valid(*id) {
+                                // Verbatim gather: batched scores stay
+                                // bit-identical to the one-shot path.
+                                block.push_unit(second.row(*id));
+                            } else {
+                                block.push_missing();
+                            }
+                            None
+                        }
+                    }
+                    Query::ByVector(v) => {
+                        if v.len() != self.dim() {
+                            block.push_missing();
+                            Some(QueryError::DimMismatch {
+                                got: v.len(),
+                                want: self.dim(),
+                            })
+                        } else {
+                            block.push_raw(v);
+                            None
+                        }
+                    }
+                };
+                errs.push(err);
+            }
+            let ranked =
+                top_k_matches_matrix(block.matrix(), self.artifact.first_matrix(), k, None, None);
+            for (result, err) in ranked.into_iter().take(chunk.len()).zip(errs) {
+                out.push(match err {
+                    Some(e) => Err(e),
+                    None => Ok(result.ranked),
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact() -> MatchArtifact {
+        let targets: Vec<Option<Vec<f32>>> = (0..17)
+            .map(|i| {
+                if i % 5 == 3 {
+                    None
+                } else {
+                    Some(vec![(i as f32 * 1.3).cos(), (i as f32 * 1.3).sin()])
+                }
+            })
+            .collect();
+        let queries: Vec<Option<Vec<f32>>> = (0..11)
+            .map(|i| {
+                if i == 4 {
+                    None
+                } else {
+                    Some(vec![(i as f32 * 0.7).cos(), (i as f32 * 0.7).sin()])
+                }
+            })
+            .collect();
+        MatchArtifact::new(
+            2,
+            vec![("term".into(), vec![1.0, 0.0])],
+            targets,
+            queries,
+        )
+    }
+
+    #[test]
+    fn by_id_is_bit_identical_to_one_shot_matching() {
+        let m = Matcher::new(artifact());
+        let serial = m.artifact().match_top_k(6);
+        for (id, want) in serial.iter().enumerate() {
+            let got = m.query_by_id(id, 6).unwrap();
+            assert_eq!(got.len(), want.ranked.len());
+            for (g, w) in got.iter().zip(&want.ranked) {
+                assert_eq!(g.0, w.0);
+                assert_eq!(g.1.to_bits(), w.1.to_bits(), "id {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn batches_of_any_shape_equal_serial_answers() {
+        let m = Matcher::new(artifact());
+        let serial = m.artifact().match_top_k(4);
+        // 11 queries through a capacity-8 block: two kernel calls, mixed
+        // with an out-of-corpus vector and two error slots.
+        let mut batch: Vec<Query> = (0..m.queries()).map(Query::ById).collect();
+        batch.push(Query::ByVector(vec![0.5, 0.5]));
+        batch.push(Query::ById(999));
+        batch.push(Query::ByVector(vec![1.0])); // wrong dim
+        let got = m.query_batch(&batch, 4);
+        for id in 0..m.queries() {
+            let ranked = got[id].as_ref().unwrap();
+            assert_eq!(ranked.len(), serial[id].ranked.len(), "id {id}");
+            for (g, w) in ranked.iter().zip(&serial[id].ranked) {
+                assert_eq!((g.0, g.1.to_bits()), (w.0, w.1.to_bits()));
+            }
+        }
+        let vec_answer = got[m.queries()].as_ref().unwrap();
+        let direct = m.query_by_vector(&[0.5, 0.5], 4).unwrap();
+        assert_eq!(vec_answer, &direct);
+        assert_eq!(
+            got[m.queries() + 1],
+            Err(QueryError::UnknownId { id: 999, rows: 11 })
+        );
+        assert_eq!(
+            got[m.queries() + 2],
+            Err(QueryError::DimMismatch { got: 1, want: 2 })
+        );
+    }
+
+    #[test]
+    fn missing_query_embedding_ranks_empty_not_error() {
+        let m = Matcher::new(artifact());
+        assert_eq!(m.query_by_id(4, 5), Ok(Vec::new()));
+    }
+
+    #[test]
+    fn tokens_route_through_embed_tokens() {
+        let m = Matcher::new(artifact());
+        let direct = {
+            let v = m.artifact().embed_tokens(&["term"]).unwrap();
+            m.query_by_vector(&v, 3).unwrap()
+        };
+        assert_eq!(m.query_by_tokens(&["term"], 3), direct);
+        assert!(m.query_by_tokens(&["nope"], 3).is_empty());
+    }
+
+    #[test]
+    fn reused_block_does_not_leak_state_between_batches() {
+        let m = Matcher::new(artifact());
+        let mut block = m.query_block();
+        let full: Vec<Query> = (0..8).map(Query::ById).collect();
+        let first = m.query_batch_with(&mut block, &full, 3);
+        // A smaller second batch through the same block must not see the
+        // first batch's rows.
+        let second = m.query_batch_with(&mut block, &[Query::ById(0)], 3);
+        assert_eq!(second[0], first[0]);
+        let errs = m.query_batch_with(&mut block, &[Query::ById(usize::MAX)], 3);
+        assert!(errs[0].is_err());
+    }
+
+    #[test]
+    fn query_errors_format_usefully() {
+        let e = QueryError::UnknownId { id: 9, rows: 2 }.to_string();
+        assert!(e.contains('9') && e.contains('2'));
+        let e = QueryError::DimMismatch { got: 3, want: 80 }.to_string();
+        assert!(e.contains('3') && e.contains("80"));
+    }
+}

@@ -46,7 +46,7 @@ pub mod walks;
 pub mod word2vec;
 
 pub use corpus::FlatCorpus;
-pub use score::ScoreMatrix;
+pub use score::{QueryBlock, ScoreMatrix};
 pub use vectors::{cosine, Embeddings};
 pub use vocab::Vocab;
 pub use word2vec::{W2vMode, Word2Vec, Word2VecConfig};

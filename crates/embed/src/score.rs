@@ -185,6 +185,20 @@ impl ScoreMatrix {
         self.valid.make_mut()[i / 64] |= 1 << (i % 64);
     }
 
+    /// Installs row `i` **verbatim** (no normalization) and marks it
+    /// valid. For rows that are *already* unit-length — e.g. gathered out
+    /// of another `ScoreMatrix` — this preserves every bit, so scores
+    /// computed against the copy are bit-identical to scores against the
+    /// source row. Passing a non-normalized row silently breaks the
+    /// cosine semantics; use [`set_row`](ScoreMatrix::set_row) for raw
+    /// vectors.
+    pub fn set_row_prenormalized(&mut self, i: usize, v: &[f32]) {
+        assert_eq!(v.len(), self.dim, "row length must equal matrix dim");
+        let dim = self.dim;
+        self.data.make_mut()[i * dim..(i + 1) * dim].copy_from_slice(v);
+        self.valid.make_mut()[i / 64] |= 1 << (i % 64);
+    }
+
     /// Number of rows (valid or not).
     #[inline]
     pub fn rows(&self) -> usize {
@@ -305,6 +319,138 @@ impl ScoreMatrix {
     /// True when the matrix still borrows container storage.
     pub fn is_zero_copy(&self) -> bool {
         self.data.is_shared() || self.valid.is_shared()
+    }
+}
+
+/// A reusable query-gathering buffer sized for batch scoring — the
+/// serving-side entry point to the tiled kernel.
+///
+/// A long-lived matcher (the `tdmatch serve` daemon) coalesces requests
+/// arriving within its batching window into one scoring call. This
+/// buffer is the coalescing surface: a small owned [`ScoreMatrix`] of
+/// [`QUERY_BLOCK`] rows (the tile width [`batch_top_k`] scores against
+/// one cache-resident target block) that queries are pushed into and
+/// that is [`clear`](QueryBlock::clear)ed and refilled batch after batch
+/// without reallocating.
+///
+/// Rows enter three ways, matching the serving request kinds:
+///
+/// * [`push_unit`](QueryBlock::push_unit) — an already-normalized row
+///   (e.g. gathered from a loaded artifact's query matrix), installed
+///   verbatim so batched scores stay **bit-identical** to scoring the
+///   source row directly;
+/// * [`push_raw`](QueryBlock::push_raw) — an un-normalized vector (e.g.
+///   an out-of-corpus query embedding), L2-normalized on entry exactly
+///   like [`ScoreMatrix::set_row`];
+/// * [`push_missing`](QueryBlock::push_missing) — a placeholder slot
+///   that yields an empty ranking (used to keep batch positions aligned
+///   with request order when a request fails validation).
+///
+/// ```
+/// use tdmatch_embed::score::{batch_top_k_seq, QueryBlock, ScoreMatrix};
+///
+/// let targets = ScoreMatrix::from_rows([&[1.0f32, 0.0][..], &[0.0, 1.0]], 2);
+/// let mut block = QueryBlock::new(2);
+/// block.push_raw(&[2.0, 0.0]); // client A's query
+/// block.push_raw(&[0.0, 5.0]); // client B's, coalesced into the same batch
+/// let ranked = batch_top_k_seq(block.matrix(), &targets, 1, None, None);
+/// assert_eq!(ranked[0][0].0, 0); // A matches target 0
+/// assert_eq!(ranked[1][0].0, 1); // B matches target 1
+/// block.clear(); // ready for the next batch, no reallocation
+/// assert!(block.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct QueryBlock {
+    m: ScoreMatrix,
+    len: usize,
+}
+
+impl QueryBlock {
+    /// An empty block of [`QUERY_BLOCK`] rows — the daemon's default
+    /// coalescing width.
+    pub fn new(dim: usize) -> Self {
+        Self::with_capacity(QUERY_BLOCK, dim)
+    }
+
+    /// An empty block of `cap` rows (`cap ≥ 1`).
+    pub fn with_capacity(cap: usize, dim: usize) -> Self {
+        assert!(cap >= 1, "query block capacity must be at least 1");
+        Self {
+            m: ScoreMatrix::invalid(cap, dim),
+            len: 0,
+        }
+    }
+
+    /// Maximum number of queries one batch can hold.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.m.rows()
+    }
+
+    /// Queries pushed since the last [`clear`](QueryBlock::clear).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no query has been pushed yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when the block holds `capacity()` queries — time to score.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.len == self.capacity()
+    }
+
+    /// Row dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.m.dim()
+    }
+
+    /// Resets the block for the next batch, keeping the allocation.
+    /// All rows are re-zeroed and marked missing.
+    pub fn clear(&mut self) {
+        self.m.data.make_mut().fill(0.0);
+        self.m.valid.make_mut().fill(0);
+        self.len = 0;
+    }
+
+    /// Pushes an **already-normalized** row verbatim; returns its slot.
+    /// Panics when full or on a length mismatch.
+    pub fn push_unit(&mut self, row: &[f32]) -> usize {
+        assert!(!self.is_full(), "query block is full");
+        self.m.set_row_prenormalized(self.len, row);
+        self.len += 1;
+        self.len - 1
+    }
+
+    /// Pushes a raw vector, L2-normalizing it on entry; returns its slot.
+    /// Panics when full or on a length mismatch.
+    pub fn push_raw(&mut self, v: &[f32]) -> usize {
+        assert!(!self.is_full(), "query block is full");
+        self.m.set_row(self.len, v);
+        self.len += 1;
+        self.len - 1
+    }
+
+    /// Pushes a missing query (empty ranking); returns its slot.
+    /// Panics when full.
+    pub fn push_missing(&mut self) -> usize {
+        assert!(!self.is_full(), "query block is full");
+        self.len += 1;
+        self.len - 1
+    }
+
+    /// The block as a scoring matrix: `capacity()` rows, of which the
+    /// first [`len`](QueryBlock::len) are this batch's queries and the
+    /// rest are missing (they rank empty and cost nothing to skip).
+    #[inline]
+    pub fn matrix(&self) -> &ScoreMatrix {
+        &self.m
     }
 }
 
@@ -811,6 +957,76 @@ mod tests {
         let owned = loaded.clone().into_owned();
         assert!(!owned.is_zero_copy());
         assert_eq!(m, owned);
+    }
+
+    #[test]
+    fn prenormalized_rows_install_verbatim() {
+        let src = ScoreMatrix::from_options(&[v(3.0, 4.0)]);
+        let mut dst = ScoreMatrix::invalid(1, 2);
+        dst.set_row_prenormalized(0, src.row(0));
+        assert!(dst.is_valid(0));
+        // Bit-for-bit: no second normalization happened.
+        for (a, b) in src.row(0).iter().zip(dst.row(0)) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn query_block_batches_score_bit_identical_to_direct_rows() {
+        let queries: Vec<Option<Vec<f32>>> = (0..5)
+            .map(|i| v((i as f32 * 0.7).cos(), (i as f32 * 0.7).sin()))
+            .collect();
+        let targets: Vec<Option<Vec<f32>>> = (0..29)
+            .map(|i| {
+                if i % 7 == 3 {
+                    None
+                } else {
+                    v((i as f32 * 1.3).cos(), (i as f32 * 1.3).sin())
+                }
+            })
+            .collect();
+        let qm = ScoreMatrix::from_options(&queries);
+        let tm = ScoreMatrix::from_options(&targets);
+        let direct = batch_top_k_seq(&qm, &tm, 4, None, None);
+
+        // Gather the same queries through a reused block, two batches.
+        let mut block = QueryBlock::with_capacity(3, 2);
+        let mut gathered: Vec<Vec<(usize, f32)>> = Vec::new();
+        for chunk in (0..qm.rows()).collect::<Vec<_>>().chunks(block.capacity()) {
+            block.clear();
+            for &q in chunk {
+                block.push_unit(qm.row(q));
+            }
+            let ranked = batch_top_k_seq(block.matrix(), &tm, 4, None, None);
+            gathered.extend(ranked.into_iter().take(chunk.len()));
+        }
+        assert_eq!(gathered.len(), direct.len());
+        for (g, d) in gathered.iter().zip(&direct) {
+            assert_eq!(g.len(), d.len());
+            for (a, b) in g.iter().zip(d) {
+                assert_eq!(a.0, b.0);
+                assert_eq!(a.1.to_bits(), b.1.to_bits(), "scores must be bit-identical");
+            }
+        }
+    }
+
+    #[test]
+    fn query_block_missing_and_unused_slots_rank_empty() {
+        let tm = ScoreMatrix::from_options(&[v(1.0, 0.0)]);
+        let mut block = QueryBlock::new(2);
+        assert_eq!(block.capacity(), QUERY_BLOCK);
+        block.push_raw(&[1.0, 0.0]);
+        block.push_missing();
+        assert_eq!(block.len(), 2);
+        let ranked = batch_top_k_seq(block.matrix(), &tm, 3, None, None);
+        assert_eq!(ranked.len(), QUERY_BLOCK);
+        assert_eq!(ranked[0], vec![(0, 1.0)]);
+        assert!(ranked[1].is_empty()); // pushed missing
+        assert!(ranked[2..].iter().all(Vec::is_empty)); // never pushed
+        // Clearing re-arms every slot.
+        block.clear();
+        assert!(block.is_empty() && !block.is_full());
+        assert_eq!(block.matrix().valid_rows(), 0);
     }
 
     #[test]

@@ -1,0 +1,251 @@
+//! The batching scheduler's core: a closable queue that coalesces items
+//! into bounded batches within a time window.
+//!
+//! The daemon's whole point is that concurrent clients should ride the
+//! engine's tiled batch kernel instead of issuing N scalar scans. The
+//! policy lives here, free of sockets so it is directly testable:
+//!
+//! * the scheduler blocks until at least one item is queued;
+//! * from the moment the first item of a batch is taken, it waits at
+//!   most `window` for more, leaving early once `max_batch` items are
+//!   in hand (`max_batch` defaults to the engine's [`QUERY_BLOCK`] —
+//!   the number of queries one cache-resident target block is scored
+//!   against);
+//! * a zero window disables coalescing-by-waiting: the batch is
+//!   whatever is *already* queued (still up to `max_batch` — bursty
+//!   arrivals batch even without waiting);
+//! * closing the queue wakes the scheduler; remaining items are still
+//!   drained in batches, then [`BatchQueue::next_batch`] returns `None`
+//!   — the graceful-shutdown path: accepted queries are answered, new
+//!   ones are refused at the door.
+//!
+//! [`QUERY_BLOCK`]: tdmatch_embed::score::QUERY_BLOCK
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use tdmatch_embed::score::QUERY_BLOCK;
+
+/// Coalescing policy: how long to hold a batch open, and how large it
+/// may grow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchOptions {
+    /// How long the scheduler waits for companions after the first item
+    /// of a batch arrives.
+    pub window: Duration,
+    /// Maximum items per batch (≥ 1).
+    pub max_batch: usize,
+}
+
+impl Default for BatchOptions {
+    /// 500 µs window, [`QUERY_BLOCK`]-wide batches.
+    fn default() -> Self {
+        BatchOptions {
+            window: Duration::from_micros(500),
+            max_batch: QUERY_BLOCK,
+        }
+    }
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    open: bool,
+}
+
+/// A multi-producer, single-consumer coalescing queue.
+///
+/// Producers [`push`](BatchQueue::push) items from any thread; one
+/// scheduler thread repeatedly calls [`next_batch`](BatchQueue::next_batch).
+pub struct BatchQueue<T> {
+    state: Mutex<QueueState<T>>,
+    cv: Condvar,
+}
+
+impl<T> Default for BatchQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> BatchQueue<T> {
+    /// An open, empty queue.
+    pub fn new() -> Self {
+        BatchQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                open: true,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Enqueues an item. Returns `false` (dropping the item) when the
+    /// queue is closed — the caller should answer `shutting_down`.
+    pub fn push(&self, item: T) -> bool {
+        let mut state = self.state.lock().expect("batch queue poisoned");
+        if !state.open {
+            return false;
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.cv.notify_all();
+        true
+    }
+
+    /// Closes the queue: future pushes fail, and once the remaining
+    /// items are drained, `next_batch` returns `None`.
+    pub fn close(&self) {
+        self.state.lock().expect("batch queue poisoned").open = false;
+        self.cv.notify_all();
+    }
+
+    /// Items currently queued (for stats/introspection).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("batch queue poisoned").items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Blocks for the next batch: at least one item, at most
+    /// `opts.max_batch`, coalesced within `opts.window` of the first
+    /// item being taken. Returns `None` when the queue is closed and
+    /// drained.
+    pub fn next_batch(&self, opts: &BatchOptions) -> Option<Vec<T>> {
+        let max = opts.max_batch.max(1);
+        let mut state = self.state.lock().expect("batch queue poisoned");
+        // Phase 1: wait for the first item (or close-and-drained).
+        loop {
+            if !state.items.is_empty() {
+                break;
+            }
+            if !state.open {
+                return None;
+            }
+            state = self.cv.wait(state).expect("batch queue poisoned");
+        }
+        let mut batch: Vec<T> = Vec::with_capacity(max.min(state.items.len()));
+        while batch.len() < max {
+            match state.items.pop_front() {
+                Some(item) => batch.push(item),
+                None => break,
+            }
+        }
+        // Phase 2: hold the batch open for companions.
+        if !opts.window.is_zero() {
+            let deadline = Instant::now() + opts.window;
+            while batch.len() < max && state.open {
+                let now = Instant::now();
+                let Some(left) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+                else {
+                    break;
+                };
+                let (guard, timeout) = self
+                    .cv
+                    .wait_timeout(state, left)
+                    .expect("batch queue poisoned");
+                state = guard;
+                while batch.len() < max {
+                    match state.items.pop_front() {
+                        Some(item) => batch.push(item),
+                        None => break,
+                    }
+                }
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+        }
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn opts(window: Duration, max_batch: usize) -> BatchOptions {
+        BatchOptions { window, max_batch }
+    }
+
+    #[test]
+    fn defaults_follow_the_engine_block_width() {
+        let d = BatchOptions::default();
+        assert_eq!(d.max_batch, QUERY_BLOCK);
+        assert!(!d.window.is_zero());
+    }
+
+    #[test]
+    fn burst_coalesces_without_waiting() {
+        let q = BatchQueue::new();
+        for i in 0..5 {
+            assert!(q.push(i));
+        }
+        // Zero window: batch = what is already there, capped at max.
+        let batch = q.next_batch(&opts(Duration::ZERO, 3)).unwrap();
+        assert_eq!(batch, vec![0, 1, 2]);
+        let batch = q.next_batch(&opts(Duration::ZERO, 3)).unwrap();
+        assert_eq!(batch, vec![3, 4]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn window_coalesces_late_arrivals() {
+        let q = Arc::new(BatchQueue::new());
+        q.push(0u32);
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                // Arrives well inside the scheduler's window.
+                std::thread::sleep(Duration::from_millis(20));
+                assert!(q.push(1));
+            })
+        };
+        let batch = q.next_batch(&opts(Duration::from_secs(5), 2)).unwrap();
+        producer.join().unwrap();
+        // The late item joined the batch; full batch ended the window
+        // early (this test would time out at 5s otherwise).
+        assert_eq!(batch, vec![0, 1]);
+    }
+
+    #[test]
+    fn window_expires_without_companions() {
+        let q: BatchQueue<u32> = BatchQueue::new();
+        q.push(7);
+        let t = Instant::now();
+        let batch = q.next_batch(&opts(Duration::from_millis(30), 8)).unwrap();
+        assert_eq!(batch, vec![7]);
+        assert!(t.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BatchQueue::new();
+        q.push(1);
+        q.push(2);
+        q.push(3);
+        q.close();
+        assert!(!q.push(4), "closed queue must refuse pushes");
+        let o = opts(Duration::from_millis(5), 2);
+        assert_eq!(q.next_batch(&o), Some(vec![1, 2]));
+        assert_eq!(q.next_batch(&o), Some(vec![3]));
+        assert_eq!(q.next_batch(&o), None);
+        assert_eq!(q.next_batch(&o), None); // stays closed
+    }
+
+    #[test]
+    fn close_wakes_a_blocked_scheduler() {
+        let q: Arc<BatchQueue<u32>> = Arc::new(BatchQueue::new());
+        let waiter = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.next_batch(&BatchOptions::default()))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+}

@@ -1,0 +1,167 @@
+//! Synchronous client for the daemon's socket protocol — used by
+//! `tdmatch query --socket`, the protocol tests, and the bench recorder.
+
+use std::io::BufReader;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, FrameError, Request, RequestBody, Response, ResponseBody,
+    StatsSnapshot,
+};
+
+/// Why a request could not be completed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connecting or talking to the socket failed.
+    Io(std::io::Error),
+    /// A response frame was unreadable.
+    Frame(FrameError),
+    /// The server closed the stream before answering.
+    Disconnected,
+    /// The response decoded but made no protocol sense.
+    Protocol(String),
+    /// The server answered with an error response.
+    Server {
+        /// Machine-readable failure class.
+        code: ErrorCode,
+        /// Server-provided detail.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "I/O error: {e}"),
+            ClientError::Frame(e) => write!(f, "bad response frame: {e}"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server { code, message } => write!(f, "server error [{code}]: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+/// One connection to a running daemon. Requests are synchronous:
+/// [`request`](Client::request) writes a frame and blocks for the
+/// matching response.
+pub struct Client {
+    writer: UnixStream,
+    reader: BufReader<UnixStream>,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to the daemon's socket.
+    pub fn connect<P: AsRef<Path>>(socket: P) -> Result<Self, ClientError> {
+        let writer = UnixStream::connect(socket)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client {
+            writer,
+            reader,
+            next_id: 1,
+        })
+    }
+
+    /// Sends one request and blocks for its response. Error *responses*
+    /// come back as [`ClientError::Server`]; the id echo is verified.
+    pub fn request(&mut self, body: RequestBody) -> Result<ResponseBody, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let request = Request { id, body };
+        write_frame(&mut self.writer, &request.encode())?;
+        let payload = read_frame(&mut self.reader)?.ok_or(ClientError::Disconnected)?;
+        let response = Response::decode(&payload).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        if response.id != id {
+            return Err(ClientError::Protocol(format!(
+                "response id {} does not match request id {id}",
+                response.id
+            )));
+        }
+        match response.body {
+            ResponseBody::Error { code, message } => Err(ClientError::Server { code, message }),
+            body => Ok(body),
+        }
+    }
+
+    fn expect_matches(
+        &mut self,
+        body: RequestBody,
+    ) -> Result<(Vec<(usize, f32)>, usize), ClientError> {
+        match self.request(body)? {
+            ResponseBody::Matches { matches, batch } => Ok((matches, batch)),
+            other => Err(ClientError::Protocol(format!(
+                "expected a matches response, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Ranks targets for query-corpus document `doc`. Returns the
+    /// ranked `(target, score)` list and the size of the batch the
+    /// request was coalesced into.
+    pub fn query_id(&mut self, doc: usize, k: usize) -> Result<(Vec<(usize, f32)>, usize), ClientError> {
+        self.expect_matches(RequestBody::QueryId { doc, k })
+    }
+
+    /// Ranks targets for a free-text query (tokenized server-side).
+    pub fn query_text(
+        &mut self,
+        text: &str,
+        k: usize,
+    ) -> Result<(Vec<(usize, f32)>, usize), ClientError> {
+        self.expect_matches(RequestBody::QueryText {
+            text: text.to_string(),
+            k,
+        })
+    }
+
+    /// Ranks targets for a raw embedding vector.
+    pub fn query_vector(
+        &mut self,
+        vector: Vec<f32>,
+        k: usize,
+    ) -> Result<(Vec<(usize, f32)>, usize), ClientError> {
+        self.expect_matches(RequestBody::QueryVector { vector, k })
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.request(RequestBody::Ping)? {
+            ResponseBody::Pong => Ok(()),
+            other => Err(ClientError::Protocol(format!("expected pong, got {other:?}"))),
+        }
+    }
+
+    /// Fetches the daemon's counters.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        match self.request(RequestBody::Stats)? {
+            ResponseBody::Stats(s) => Ok(s),
+            other => Err(ClientError::Protocol(format!("expected stats, got {other:?}"))),
+        }
+    }
+
+    /// Asks the daemon to drain and exit. `Ok` means the daemon
+    /// acknowledged and will stop.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.request(RequestBody::Shutdown)? {
+            ResponseBody::Stopping => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "expected stopping, got {other:?}"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,720 @@
+//! The wire protocol: length-prefixed JSON frames over a byte stream.
+//!
+//! Full operator-facing specification in `docs/SERVING.md`; this module
+//! is the single implementation both ends share (daemon, client, tests).
+//!
+//! # Framing
+//!
+//! ```text
+//! +----------------+---------------------------+
+//! | length u32 LE  | payload (length bytes)    |
+//! +----------------+---------------------------+
+//! ```
+//!
+//! The payload is one UTF-8 JSON object, conventionally terminated by a
+//! newline (writers append it, parsers ignore surrounding whitespace) so
+//! captured traffic reads as JSON-lines. A length of zero or above
+//! [`MAX_FRAME`] is a framing error; the receiver reports
+//! [`ErrorCode::Oversized`] / [`ErrorCode::BadFrame`] and closes the
+//! connection, since the stream can no longer be trusted.
+//!
+//! # Score fidelity
+//!
+//! Scores are `f32`s widened to `f64` before encoding (exact) and
+//! printed shortest-round-trip, so a client narrowing them back to
+//! `f32` recovers the server's scores **bit-for-bit** — the protocol
+//! never degrades the engine's bit-identical batching guarantee.
+
+use std::io::{self, Read, Write};
+
+use crate::json::{obj, parse, Json};
+
+/// Hard ceiling on a frame's payload size (1 MiB). A `query_vector`
+/// request for the largest supported artifact dim fits comfortably;
+/// anything bigger is hostile or a desynchronized stream.
+pub const MAX_FRAME: u32 = 1 << 20;
+
+/// Default `k` when a query request omits it.
+pub const DEFAULT_K: usize = 5;
+
+/// Machine-readable failure classes, carried in the `code` field of
+/// error responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The frame itself was unreadable (truncated payload, zero length).
+    BadFrame,
+    /// The length prefix exceeds [`MAX_FRAME`].
+    Oversized,
+    /// The payload is not valid JSON.
+    BadJson,
+    /// The payload is JSON but not a valid request (missing/ill-typed
+    /// fields).
+    BadRequest,
+    /// The `op` field names no known operation.
+    UnknownOp,
+    /// A `query_id` document index at or beyond the query corpus.
+    UnknownId,
+    /// A `query_vector` vector whose length is not the artifact dim.
+    BadVector,
+    /// The daemon is draining and no longer accepts queries.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    /// The wire spelling of this code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadFrame => "bad_frame",
+            ErrorCode::Oversized => "oversized",
+            ErrorCode::BadJson => "bad_json",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::UnknownOp => "unknown_op",
+            ErrorCode::UnknownId => "unknown_id",
+            ErrorCode::BadVector => "bad_vector",
+            ErrorCode::ShuttingDown => "shutting_down",
+        }
+    }
+
+    /// Parses the wire spelling.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "bad_frame" => ErrorCode::BadFrame,
+            "oversized" => ErrorCode::Oversized,
+            "bad_json" => ErrorCode::BadJson,
+            "bad_request" => ErrorCode::BadRequest,
+            "unknown_op" => ErrorCode::UnknownOp,
+            "unknown_id" => ErrorCode::UnknownId,
+            "bad_vector" => ErrorCode::BadVector,
+            "shutting_down" => ErrorCode::ShuttingDown,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// What a client asks the daemon to do.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestBody {
+    /// Rank targets for query-corpus document `doc`.
+    QueryId {
+        /// Index into the artifact's query (second) corpus.
+        doc: usize,
+        /// How many ranked targets to return.
+        k: usize,
+    },
+    /// Tokenize + embed `text` server-side, then rank targets.
+    QueryText {
+        /// Raw query text (pre-processed with the standard tokenizer).
+        text: String,
+        /// How many ranked targets to return.
+        k: usize,
+    },
+    /// Rank targets for a raw (un-normalized) embedding vector.
+    QueryVector {
+        /// The vector; must have the artifact's dimensionality.
+        vector: Vec<f32>,
+        /// How many ranked targets to return.
+        k: usize,
+    },
+    /// Liveness probe.
+    Ping,
+    /// Request a [`StatsSnapshot`].
+    Stats,
+    /// Ask the daemon to drain and exit.
+    Shutdown,
+}
+
+/// One request frame: a client-chosen correlation id plus the body.
+/// The id is echoed verbatim in the response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id (0 if omitted). Must stay below
+    /// 2^53: ids travel as JSON numbers, so larger values lose
+    /// precision in any standards-conforming peer.
+    pub id: u64,
+    /// The operation.
+    pub body: RequestBody,
+}
+
+/// Aggregate serving counters, as returned by [`RequestBody::Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StatsSnapshot {
+    /// Query requests answered (all kinds, including error answers).
+    pub requests: u64,
+    /// Queries that went through the batching scheduler.
+    pub batched_requests: u64,
+    /// Scoring batches executed.
+    pub batches: u64,
+    /// Requests that shared their batch with at least one other request.
+    pub coalesced: u64,
+    /// Error responses sent.
+    pub errors: u64,
+    /// Largest batch executed.
+    pub max_batch: u64,
+    /// Seconds since the daemon started.
+    pub uptime_secs: f64,
+}
+
+impl StatsSnapshot {
+    /// Mean queries per executed batch (0 when nothing ran yet).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_requests as f64 / self.batches as f64
+        }
+    }
+}
+
+/// What the daemon answers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResponseBody {
+    /// A ranked answer to any `query_*` request.
+    Matches {
+        /// `(target index, score)` by decreasing score.
+        matches: Vec<(usize, f32)>,
+        /// Number of queries coalesced into the scoring call that
+        /// answered this request (0 when answered without scoring, e.g.
+        /// a text query with no known token).
+        batch: usize,
+    },
+    /// Answer to `ping`.
+    Pong,
+    /// Answer to `stats`.
+    Stats(StatsSnapshot),
+    /// Acknowledgement of `shutdown`; the daemon drains and exits.
+    Stopping,
+    /// The request failed.
+    Error {
+        /// Machine-readable failure class.
+        code: ErrorCode,
+        /// Human-oriented detail.
+        message: String,
+    },
+}
+
+/// One response frame: the echoed request id plus the body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The request's correlation id (0 when the request was unreadable).
+    pub id: u64,
+    /// The answer.
+    pub body: ResponseBody,
+}
+
+impl Response {
+    /// Shorthand for an error response.
+    pub fn error(id: u64, code: ErrorCode, message: impl Into<String>) -> Self {
+        Response {
+            id,
+            body: ResponseBody::Error {
+                code,
+                message: message.into(),
+            },
+        }
+    }
+}
+
+/// Why a frame could not be read off the stream.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The length prefix exceeds [`MAX_FRAME`] (or is zero).
+    Oversized {
+        /// The length the prefix claimed.
+        len: u32,
+    },
+    /// The stream ended mid-frame.
+    Truncated,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "I/O error: {e}"),
+            FrameError::Oversized { len } => {
+                write!(f, "frame of {len} bytes exceeds the {MAX_FRAME}-byte limit")
+            }
+            FrameError::Truncated => write!(f, "stream ended mid-frame"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Reads one frame's payload. `Ok(None)` is a clean end-of-stream (the
+/// peer closed between frames); ending *inside* a frame is
+/// [`FrameError::Truncated`].
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut prefix = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut prefix[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => return Err(FrameError::Truncated),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_le_bytes(prefix);
+    if len == 0 || len > MAX_FRAME {
+        return Err(FrameError::Oversized { len });
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            FrameError::Truncated
+        } else {
+            FrameError::Io(e)
+        }
+    })?;
+    Ok(Some(payload))
+}
+
+/// Writes one frame: length prefix, the JSON text, a closing newline
+/// (included in the length).
+pub fn write_frame<W: Write>(w: &mut W, json_text: &str) -> io::Result<()> {
+    let len = json_text.len() + 1; // + trailing newline
+    let len = u32::try_from(len).map_err(|_| {
+        io::Error::new(io::ErrorKind::InvalidInput, "frame exceeds u32 length")
+    })?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(json_text.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+/// A payload that parsed as JSON but is not a valid message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MalformedMessage {
+    /// The closest protocol error class ([`ErrorCode::BadJson`],
+    /// [`ErrorCode::BadRequest`] or [`ErrorCode::UnknownOp`]).
+    pub code: ErrorCode,
+    /// The request id, when one could still be extracted (so the error
+    /// response can be correlated).
+    pub id: u64,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for MalformedMessage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for MalformedMessage {}
+
+fn malformed(code: ErrorCode, id: u64, message: impl Into<String>) -> MalformedMessage {
+    MalformedMessage {
+        code,
+        id,
+        message: message.into(),
+    }
+}
+
+/// Extracts `id` (default 0) from a JSON message, if it is an object.
+fn message_id(v: &Json) -> u64 {
+    v.get("id").and_then(Json::as_u64).unwrap_or(0)
+}
+
+fn parse_payload(payload: &[u8]) -> Result<Json, MalformedMessage> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| malformed(ErrorCode::BadJson, 0, "payload is not UTF-8"))?;
+    parse(text).map_err(|e| malformed(ErrorCode::BadJson, 0, e.to_string()))
+}
+
+fn field_k(v: &Json, id: u64) -> Result<usize, MalformedMessage> {
+    match v.get("k") {
+        None => Ok(DEFAULT_K),
+        Some(k) => k
+            .as_usize()
+            .ok_or_else(|| malformed(ErrorCode::BadRequest, id, "k must be a non-negative integer")),
+    }
+}
+
+impl Request {
+    /// Encodes to the wire JSON text.
+    pub fn encode(&self) -> String {
+        let mut members = vec![("id", Json::Num(self.id as f64))];
+        match &self.body {
+            RequestBody::QueryId { doc, k } => {
+                members.push(("op", Json::Str("query_id".into())));
+                members.push(("doc", Json::Num(*doc as f64)));
+                members.push(("k", Json::Num(*k as f64)));
+            }
+            RequestBody::QueryText { text, k } => {
+                members.push(("op", Json::Str("query_text".into())));
+                members.push(("text", Json::Str(text.clone())));
+                members.push(("k", Json::Num(*k as f64)));
+            }
+            RequestBody::QueryVector { vector, k } => {
+                members.push(("op", Json::Str("query_vector".into())));
+                members.push((
+                    "vector",
+                    Json::Arr(vector.iter().map(|&x| Json::Num(x as f64)).collect()),
+                ));
+                members.push(("k", Json::Num(*k as f64)));
+            }
+            RequestBody::Ping => members.push(("op", Json::Str("ping".into()))),
+            RequestBody::Stats => members.push(("op", Json::Str("stats".into()))),
+            RequestBody::Shutdown => members.push(("op", Json::Str("shutdown".into()))),
+        }
+        Json::Obj(members.into_iter().map(|(k, v)| (k.to_string(), v)).collect()).encode()
+    }
+
+    /// Decodes a request payload. On failure the error carries the best
+    /// available correlation id and the protocol error class to answer
+    /// with.
+    pub fn decode(payload: &[u8]) -> Result<Self, MalformedMessage> {
+        let v = parse_payload(payload)?;
+        if !matches!(v, Json::Obj(_)) {
+            return Err(malformed(ErrorCode::BadRequest, 0, "request must be an object"));
+        }
+        let id = message_id(&v);
+        let op = v
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| malformed(ErrorCode::BadRequest, id, "missing op field"))?;
+        let body = match op {
+            "query_id" => RequestBody::QueryId {
+                doc: v
+                    .get("doc")
+                    .and_then(Json::as_usize)
+                    .ok_or_else(|| malformed(ErrorCode::BadRequest, id, "query_id requires a doc index"))?,
+                k: field_k(&v, id)?,
+            },
+            "query_text" => RequestBody::QueryText {
+                text: v
+                    .get("text")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| malformed(ErrorCode::BadRequest, id, "query_text requires a text string"))?
+                    .to_string(),
+                k: field_k(&v, id)?,
+            },
+            "query_vector" => {
+                let arr = v
+                    .get("vector")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| malformed(ErrorCode::BadRequest, id, "query_vector requires a vector array"))?;
+                let mut vector = Vec::with_capacity(arr.len());
+                for x in arr {
+                    vector.push(x.as_num().ok_or_else(|| {
+                        malformed(ErrorCode::BadRequest, id, "vector elements must be numbers")
+                    })? as f32);
+                }
+                RequestBody::QueryVector {
+                    vector,
+                    k: field_k(&v, id)?,
+                }
+            }
+            "ping" => RequestBody::Ping,
+            "stats" => RequestBody::Stats,
+            "shutdown" => RequestBody::Shutdown,
+            other => {
+                return Err(malformed(
+                    ErrorCode::UnknownOp,
+                    id,
+                    format!("unknown op `{other}`"),
+                ))
+            }
+        };
+        Ok(Request { id, body })
+    }
+}
+
+impl StatsSnapshot {
+    fn to_json(self) -> Json {
+        obj([
+            ("requests", Json::Num(self.requests as f64)),
+            ("batched_requests", Json::Num(self.batched_requests as f64)),
+            ("batches", Json::Num(self.batches as f64)),
+            ("coalesced", Json::Num(self.coalesced as f64)),
+            ("errors", Json::Num(self.errors as f64)),
+            ("max_batch", Json::Num(self.max_batch as f64)),
+            ("mean_batch", Json::Num(self.mean_batch())),
+            ("uptime_secs", Json::Num(self.uptime_secs)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Option<Self> {
+        Some(StatsSnapshot {
+            requests: v.get("requests")?.as_u64()?,
+            batched_requests: v.get("batched_requests")?.as_u64()?,
+            batches: v.get("batches")?.as_u64()?,
+            coalesced: v.get("coalesced")?.as_u64()?,
+            errors: v.get("errors")?.as_u64()?,
+            max_batch: v.get("max_batch")?.as_u64()?,
+            uptime_secs: v.get("uptime_secs")?.as_num()?,
+        })
+    }
+}
+
+impl Response {
+    /// Encodes to the wire JSON text.
+    pub fn encode(&self) -> String {
+        let mut members = vec![("id", Json::Num(self.id as f64))];
+        match &self.body {
+            ResponseBody::Matches { matches, batch } => {
+                members.push(("ok", Json::Bool(true)));
+                members.push((
+                    "matches",
+                    Json::Arr(
+                        matches
+                            .iter()
+                            .map(|&(t, s)| {
+                                Json::Arr(vec![Json::Num(t as f64), Json::Num(s as f64)])
+                            })
+                            .collect(),
+                    ),
+                ));
+                members.push(("batch", Json::Num(*batch as f64)));
+            }
+            ResponseBody::Pong => {
+                members.push(("ok", Json::Bool(true)));
+                members.push(("pong", Json::Bool(true)));
+            }
+            ResponseBody::Stats(stats) => {
+                members.push(("ok", Json::Bool(true)));
+                members.push(("stats", stats.to_json()));
+            }
+            ResponseBody::Stopping => {
+                members.push(("ok", Json::Bool(true)));
+                members.push(("stopping", Json::Bool(true)));
+            }
+            ResponseBody::Error { code, message } => {
+                members.push(("ok", Json::Bool(false)));
+                members.push(("code", Json::Str(code.as_str().into())));
+                members.push(("error", Json::Str(message.clone())));
+            }
+        }
+        Json::Obj(members.into_iter().map(|(k, v)| (k.to_string(), v)).collect()).encode()
+    }
+
+    /// Decodes a response payload (the client side).
+    pub fn decode(payload: &[u8]) -> Result<Self, MalformedMessage> {
+        let v = parse_payload(payload)?;
+        let id = message_id(&v);
+        let bad = |msg: &str| malformed(ErrorCode::BadRequest, id, msg);
+        let ok = v
+            .get("ok")
+            .and_then(|b| match b {
+                Json::Bool(b) => Some(*b),
+                _ => None,
+            })
+            .ok_or_else(|| bad("missing ok field"))?;
+        if !ok {
+            let code = v
+                .get("code")
+                .and_then(Json::as_str)
+                .and_then(ErrorCode::parse)
+                .ok_or_else(|| bad("error response without a known code"))?;
+            let message = v
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string();
+            return Ok(Response {
+                id,
+                body: ResponseBody::Error { code, message },
+            });
+        }
+        if let Some(arr) = v.get("matches").and_then(Json::as_arr) {
+            let mut matches = Vec::with_capacity(arr.len());
+            for pair in arr {
+                let pair = pair.as_arr().filter(|p| p.len() == 2).ok_or_else(|| {
+                    bad("matches entries must be [target, score] pairs")
+                })?;
+                let t = pair[0].as_usize().ok_or_else(|| bad("bad target index"))?;
+                let s = pair[1].as_num().ok_or_else(|| bad("bad score"))? as f32;
+                matches.push((t, s));
+            }
+            let batch = v
+                .get("batch")
+                .and_then(Json::as_usize)
+                .ok_or_else(|| bad("matches response without batch size"))?;
+            return Ok(Response {
+                id,
+                body: ResponseBody::Matches { matches, batch },
+            });
+        }
+        if v.get("pong").is_some() {
+            return Ok(Response {
+                id,
+                body: ResponseBody::Pong,
+            });
+        }
+        if let Some(stats) = v.get("stats") {
+            let stats = StatsSnapshot::from_json(stats).ok_or_else(|| bad("bad stats object"))?;
+            return Ok(Response {
+                id,
+                body: ResponseBody::Stats(stats),
+            });
+        }
+        if v.get("stopping").is_some() {
+            return Ok(Response {
+                id,
+                body: ResponseBody::Stopping,
+            });
+        }
+        Err(bad("unrecognized response shape"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(r: Request) {
+        let text = r.encode();
+        let back = Request::decode(text.as_bytes()).unwrap();
+        assert_eq!(r, back, "{text}");
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request {
+            id: 7,
+            body: RequestBody::QueryId { doc: 3, k: 20 },
+        });
+        roundtrip_request(Request {
+            id: u64::MAX >> 12,
+            body: RequestBody::QueryText {
+                text: "tarantino \"pulp\"\n".into(),
+                k: 1,
+            },
+        });
+        roundtrip_request(Request {
+            id: 0,
+            body: RequestBody::QueryVector {
+                vector: vec![0.25, -1.5, 0.0],
+                k: 5,
+            },
+        });
+        for body in [RequestBody::Ping, RequestBody::Stats, RequestBody::Shutdown] {
+            roundtrip_request(Request { id: 1, body });
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip_with_bitexact_scores() {
+        let scores: Vec<(usize, f32)> = (0..40)
+            .map(|i| (i * 3, ((i as f32) * 0.37).sin()))
+            .collect();
+        let r = Response {
+            id: 12,
+            body: ResponseBody::Matches {
+                matches: scores.clone(),
+                batch: 8,
+            },
+        };
+        let back = Response::decode(r.encode().as_bytes()).unwrap();
+        let ResponseBody::Matches { matches, batch } = back.body else {
+            panic!("wrong shape");
+        };
+        assert_eq!(batch, 8);
+        for ((t, s), (bt, bs)) in scores.iter().zip(&matches) {
+            assert_eq!(t, bt);
+            assert_eq!(s.to_bits(), bs.to_bits());
+        }
+
+        for body in [
+            ResponseBody::Pong,
+            ResponseBody::Stopping,
+            ResponseBody::Stats(StatsSnapshot {
+                requests: 100,
+                batched_requests: 90,
+                batches: 20,
+                coalesced: 72,
+                errors: 3,
+                max_batch: 8,
+                uptime_secs: 12.5,
+            }),
+            ResponseBody::Error {
+                code: ErrorCode::UnknownId,
+                message: "unknown query id 99".into(),
+            },
+        ] {
+            let r = Response { id: 4, body };
+            assert_eq!(Response::decode(r.encode().as_bytes()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn request_default_k_applies() {
+        let r = Request::decode(br#"{"op":"query_id","doc":0}"#).unwrap();
+        assert_eq!(r.body, RequestBody::QueryId { doc: 0, k: DEFAULT_K });
+        assert_eq!(r.id, 0);
+    }
+
+    #[test]
+    fn malformed_requests_classify_precisely() {
+        let cases: [(&[u8], ErrorCode, u64); 7] = [
+            (b"not json", ErrorCode::BadJson, 0),
+            (b"[1,2]", ErrorCode::BadRequest, 0),
+            (br#"{"id":9}"#, ErrorCode::BadRequest, 9),
+            (br#"{"id":9,"op":"warp"}"#, ErrorCode::UnknownOp, 9),
+            (br#"{"id":2,"op":"query_id"}"#, ErrorCode::BadRequest, 2),
+            (br#"{"id":2,"op":"query_id","doc":-1}"#, ErrorCode::BadRequest, 2),
+            (
+                br#"{"id":3,"op":"query_vector","vector":[1,"x"]}"#,
+                ErrorCode::BadRequest,
+                3,
+            ),
+        ];
+        for (payload, code, id) in cases {
+            let err = Request::decode(payload).unwrap_err();
+            assert_eq!((err.code, err.id), (code, id), "{payload:?}");
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip_and_reject_garbage() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, r#"{"op":"ping"}"#).unwrap();
+        write_frame(&mut buf, r#"{"op":"stats"}"#).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(
+            read_frame(&mut r).unwrap().unwrap(),
+            b"{\"op\":\"ping\"}\n"
+        );
+        assert_eq!(
+            read_frame(&mut r).unwrap().unwrap(),
+            b"{\"op\":\"stats\"}\n"
+        );
+        assert!(read_frame(&mut r).unwrap().is_none()); // clean EOF
+
+        // Oversized length prefix.
+        let bad = (MAX_FRAME + 1).to_le_bytes();
+        assert!(matches!(
+            read_frame(&mut &bad[..]),
+            Err(FrameError::Oversized { .. })
+        ));
+        // Zero-length frame.
+        let zero = 0u32.to_le_bytes();
+        assert!(matches!(
+            read_frame(&mut &zero[..]),
+            Err(FrameError::Oversized { len: 0 })
+        ));
+        // Truncated payload.
+        let mut t = 10u32.to_le_bytes().to_vec();
+        t.extend_from_slice(b"abc");
+        assert!(matches!(read_frame(&mut &t[..]), Err(FrameError::Truncated)));
+        // Truncated prefix.
+        let p = [1u8, 0];
+        assert!(matches!(read_frame(&mut &p[..]), Err(FrameError::Truncated)));
+    }
+}

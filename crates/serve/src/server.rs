@@ -1,0 +1,456 @@
+//! The `tdmatch serve` daemon: a Unix-domain-socket front end over a
+//! long-lived [`Matcher`].
+//!
+//! # Architecture
+//!
+//! ```text
+//! clients ──► listener thread ──► reader thread per connection
+//!                                   │ decode + validate + tokenize
+//!                                   ▼
+//!                             BatchQueue (window / QUERY_BLOCK coalescing)
+//!                                   │
+//!                                   ▼
+//!                          scheduler thread: one Matcher::query_batch_with
+//!                          call per batch ──► responses written back
+//! ```
+//!
+//! Reader threads do the cheap per-request work (framing, JSON,
+//! tokenizing text queries) so the scheduler's only job is riding the
+//! tiled kernel: every batch is **one** scoring call over the
+//! pre-normalized matrices, regardless of how many clients contributed
+//! queries to it. Responses are written back under a per-connection
+//! lock, so one slow client never blocks scoring.
+//!
+//! # Lifecycle
+//!
+//! [`Server::start`] binds the socket and spawns the threads;
+//! [`Server::join`] parks the caller until the daemon stops. Shutdown —
+//! via a `shutdown` request or [`Server::shutdown`] — is *draining*:
+//! the listener stops accepting and removes the socket file, queued
+//! queries are still answered, then connections are closed. Requests
+//! arriving after the drain began get a `shutting_down` error.
+//!
+//! Requests within one batch may ask for different `k`; the scheduler
+//! scores at the largest and truncates per request, which by the
+//! engine's total order (score desc, index asc) returns exactly each
+//! request's own top-k.
+
+use std::io::BufReader;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use tdmatch_core::serving::{Matcher, Query, QueryError};
+use tdmatch_embed::score::QueryBlock;
+use tdmatch_text::Preprocessor;
+
+use crate::batch::{BatchOptions, BatchQueue};
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, FrameError, Request, RequestBody, Response, ResponseBody,
+    StatsSnapshot,
+};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Filesystem path the Unix socket is bound at. Must not exist yet;
+    /// the daemon unlinks it on shutdown.
+    pub socket: PathBuf,
+    /// Request-coalescing policy.
+    pub batch: BatchOptions,
+}
+
+impl ServeOptions {
+    /// Default policy at the given socket path.
+    pub fn at<P: Into<PathBuf>>(socket: P) -> Self {
+        ServeOptions {
+            socket: socket.into(),
+            batch: BatchOptions::default(),
+        }
+    }
+}
+
+/// One query waiting for the scheduler.
+struct Pending {
+    req_id: u64,
+    query: Query,
+    k: usize,
+    conn: Arc<Conn>,
+}
+
+/// A connection's write half, shared by its reader thread and the
+/// scheduler.
+struct Conn {
+    stream: Mutex<UnixStream>,
+}
+
+impl Conn {
+    /// Writes a response frame; errors (peer gone) are swallowed — the
+    /// reader thread notices the hangup on its side.
+    fn send(&self, response: &Response) {
+        let mut stream = self.stream.lock().expect("connection writer poisoned");
+        let _ = write_frame(&mut *stream, &response.encode());
+    }
+
+    fn hang_up(&self) {
+        let stream = self.stream.lock().expect("connection writer poisoned");
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    batched_requests: AtomicU64,
+    batches: AtomicU64,
+    coalesced: AtomicU64,
+    errors: AtomicU64,
+    max_batch: AtomicU64,
+}
+
+struct ServerInner {
+    matcher: Matcher,
+    queue: BatchQueue<Pending>,
+    running: AtomicBool,
+    counters: Counters,
+    started: Instant,
+    conns: Mutex<Vec<Weak<Conn>>>,
+    options: ServeOptions,
+    preprocessor: Preprocessor,
+}
+
+impl ServerInner {
+    fn stats(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            batched_requests: self.counters.batched_requests.load(Ordering::Relaxed),
+            batches: self.counters.batches.load(Ordering::Relaxed),
+            coalesced: self.counters.coalesced.load(Ordering::Relaxed),
+            errors: self.counters.errors.load(Ordering::Relaxed),
+            max_batch: self.counters.max_batch.load(Ordering::Relaxed),
+            uptime_secs: self.started.elapsed().as_secs_f64(),
+        }
+    }
+
+    fn count_error(&self) {
+        self.counters.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Begins the drain: stop accepting, refuse new queries, answer the
+    /// queued ones. Idempotent.
+    fn begin_shutdown(&self) {
+        if self.running.swap(false, Ordering::SeqCst) {
+            self.queue.close();
+        }
+    }
+
+    /// Severs every live connection (after the drain), unblocking their
+    /// reader threads.
+    fn close_connections(&self) {
+        let conns = self.conns.lock().expect("connection registry poisoned");
+        for conn in conns.iter().filter_map(Weak::upgrade) {
+            conn.hang_up();
+        }
+    }
+}
+
+/// A running daemon. See the [module docs](self) for the architecture.
+///
+/// Dropping the handle shuts the daemon down and waits for its threads.
+pub struct Server {
+    inner: Arc<ServerInner>,
+    listener: Option<JoinHandle<()>>,
+    scheduler: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("socket", &self.inner.options.socket)
+            .field("running", &self.inner.running.load(Ordering::SeqCst))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Binds `options.socket` and starts serving `matcher`.
+    ///
+    /// Fails when the socket path already exists (a previous daemon may
+    /// still own it — remove the file only if you know it is stale).
+    pub fn start(matcher: Matcher, options: ServeOptions) -> std::io::Result<Server> {
+        if options.socket.exists() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::AddrInUse,
+                format!(
+                    "socket path {} already exists (stale daemon? remove it to reuse)",
+                    options.socket.display()
+                ),
+            ));
+        }
+        let listener = UnixListener::bind(&options.socket)?;
+        listener.set_nonblocking(true)?;
+        let inner = Arc::new(ServerInner {
+            matcher,
+            queue: BatchQueue::new(),
+            running: AtomicBool::new(true),
+            counters: Counters::default(),
+            started: Instant::now(),
+            conns: Mutex::new(Vec::new()),
+            options,
+            preprocessor: Preprocessor::default(),
+        });
+
+        let listener_thread = {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || listen_loop(&inner, listener))
+        };
+        let scheduler_thread = {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || schedule_loop(&inner))
+        };
+        Ok(Server {
+            inner,
+            listener: Some(listener_thread),
+            scheduler: Some(scheduler_thread),
+        })
+    }
+
+    /// The socket path clients connect to.
+    pub fn socket_path(&self) -> &Path {
+        &self.inner.options.socket
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.stats()
+    }
+
+    /// Triggers the drain from outside the protocol (e.g. a signal
+    /// handler). Idempotent; returns immediately.
+    pub fn shutdown(&self) {
+        self.inner.begin_shutdown();
+    }
+
+    /// Parks until the daemon has stopped (a `shutdown` request arrived
+    /// or [`shutdown`](Server::shutdown) was called) and both service
+    /// threads have exited. Returns the final counters.
+    pub fn join(mut self) -> StatsSnapshot {
+        self.join_threads();
+        self.inner.stats()
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(t) = self.listener.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.scheduler.take() {
+            let _ = t.join();
+        }
+        // Sever connections only now: the scheduler has drained (every
+        // accepted query is answered) AND the listener has stopped, so
+        // no connection can register after this sweep — a registration
+        // racing an earlier sweep would leak a blocked reader thread.
+        self.inner.close_connections();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.inner.begin_shutdown();
+        self.join_threads();
+    }
+}
+
+fn listen_loop(inner: &Arc<ServerInner>, listener: UnixListener) {
+    while inner.running.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                let conn = Arc::new(Conn {
+                    stream: Mutex::new(stream),
+                });
+                {
+                    let mut conns = inner.conns.lock().expect("connection registry poisoned");
+                    conns.retain(|w| w.strong_count() > 0);
+                    conns.push(Arc::downgrade(&conn));
+                }
+                let inner = Arc::clone(inner);
+                std::thread::spawn(move || serve_connection(&inner, &conn));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+    // Unbind before the drain finishes so late connectors fail fast.
+    drop(listener);
+    let _ = std::fs::remove_file(&inner.options.socket);
+}
+
+/// Reader-side request handling: framing, decoding, validation, and the
+/// immediate (non-scored) answers. Scored queries go to the queue.
+fn serve_connection(inner: &Arc<ServerInner>, conn: &Arc<Conn>) {
+    let read_half = match conn.stream.lock().expect("connection writer poisoned").try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(read_half);
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => break, // clean hangup
+            Err(FrameError::Oversized { len }) => {
+                inner.count_error();
+                conn.send(&Response::error(
+                    0,
+                    ErrorCode::Oversized,
+                    format!("frame length {len} outside (0, {}]", crate::protocol::MAX_FRAME),
+                ));
+                break; // stream is desynchronized beyond repair
+            }
+            Err(FrameError::Truncated) => {
+                inner.count_error();
+                conn.send(&Response::error(0, ErrorCode::BadFrame, "stream ended mid-frame"));
+                break;
+            }
+            Err(FrameError::Io(_)) => break,
+        };
+        let request = match Request::decode(&payload) {
+            Ok(request) => request,
+            Err(bad) => {
+                // The frame boundary held, so the connection survives a
+                // malformed payload; only framing errors are fatal.
+                inner.count_error();
+                conn.send(&Response::error(bad.id, bad.code, bad.message));
+                continue;
+            }
+        };
+        let id = request.id;
+        let (query, k) = match request.body {
+            RequestBody::Ping => {
+                conn.send(&Response {
+                    id,
+                    body: ResponseBody::Pong,
+                });
+                continue;
+            }
+            RequestBody::Stats => {
+                conn.send(&Response {
+                    id,
+                    body: ResponseBody::Stats(inner.stats()),
+                });
+                continue;
+            }
+            RequestBody::Shutdown => {
+                conn.send(&Response {
+                    id,
+                    body: ResponseBody::Stopping,
+                });
+                inner.begin_shutdown();
+                continue; // the drain will sever this connection
+            }
+            RequestBody::QueryId { doc, k } => (Query::ById(doc), k),
+            RequestBody::QueryVector { vector, k } => (Query::ByVector(vector), k),
+            RequestBody::QueryText { text, k } => {
+                inner.counters.requests.fetch_add(1, Ordering::Relaxed);
+                let tokens = inner.preprocessor.base_tokens(&text);
+                match inner.matcher.artifact().embed_tokens(&tokens) {
+                    Some(vector) => {
+                        enqueue(inner, conn, id, Query::ByVector(vector), k);
+                    }
+                    None => {
+                        // No token in the vocabulary: the engine's
+                        // missing-query semantics, answered inline.
+                        conn.send(&Response {
+                            id,
+                            body: ResponseBody::Matches {
+                                matches: Vec::new(),
+                                batch: 0,
+                            },
+                        });
+                    }
+                }
+                continue;
+            }
+        };
+        inner.counters.requests.fetch_add(1, Ordering::Relaxed);
+        enqueue(inner, conn, id, query, k);
+    }
+}
+
+fn enqueue(inner: &Arc<ServerInner>, conn: &Arc<Conn>, req_id: u64, query: Query, k: usize) {
+    let accepted = inner.queue.push(Pending {
+        req_id,
+        query,
+        k,
+        conn: Arc::clone(conn),
+    });
+    if !accepted {
+        inner.count_error();
+        conn.send(&Response::error(
+            req_id,
+            ErrorCode::ShuttingDown,
+            "daemon is draining",
+        ));
+    }
+}
+
+/// Scheduler: one engine call per coalesced batch.
+fn schedule_loop(inner: &Arc<ServerInner>) {
+    let mut block = QueryBlock::with_capacity(
+        inner.options.batch.max_batch.max(1),
+        inner.matcher.dim(),
+    );
+    while let Some(batch) = inner.queue.next_batch(&inner.options.batch) {
+        let n = batch.len();
+        inner.counters.batches.fetch_add(1, Ordering::Relaxed);
+        inner
+            .counters
+            .batched_requests
+            .fetch_add(n as u64, Ordering::Relaxed);
+        if n >= 2 {
+            inner.counters.coalesced.fetch_add(n as u64, Ordering::Relaxed);
+        }
+        inner.counters.max_batch.fetch_max(n as u64, Ordering::Relaxed);
+
+        // Score at the batch's largest k and truncate per request: the
+        // engine's total order makes the prefix exactly each request's
+        // own top-k.
+        let k_max = batch.iter().map(|p| p.k).max().unwrap_or(0);
+        let mut routes = Vec::with_capacity(n);
+        let mut queries = Vec::with_capacity(n);
+        for pending in batch {
+            routes.push((pending.req_id, pending.k, pending.conn));
+            queries.push(pending.query);
+        }
+        let results = inner.matcher.query_batch_with(&mut block, &queries, k_max);
+        for ((req_id, k, conn), result) in routes.into_iter().zip(results) {
+            let body = match result {
+                Ok(mut ranked) => {
+                    ranked.truncate(k);
+                    ResponseBody::Matches {
+                        matches: ranked,
+                        batch: n,
+                    }
+                }
+                Err(e) => {
+                    inner.count_error();
+                    ResponseBody::Error {
+                        code: match e {
+                            QueryError::UnknownId { .. } => ErrorCode::UnknownId,
+                            QueryError::DimMismatch { .. } => ErrorCode::BadVector,
+                        },
+                        message: e.to_string(),
+                    }
+                }
+            };
+            conn.send(&Response { id: req_id, body });
+        }
+    }
+}

@@ -7,12 +7,17 @@
 //! # Match again later from the saved artifact (no re-training):
 //! tdmatch match --artifact model.tdm --k 5
 //!
+//! # Or keep a daemon resident and query it over its socket:
+//! tdmatch serve --artifact model.tdm --socket /run/tdmatch.sock &
+//! tdmatch query --socket /run/tdmatch.sock --text "tarantino thriller"
+//! tdmatch query --socket /run/tdmatch.sock --shutdown
+//!
 //! # Inspect an artifact:
 //! tdmatch info --artifact model.tdm
 //! ```
 //!
-//! Flag parsing is hand-rolled (`--flag value` / boolean `--flag`): five
-//! subcommands and a dozen flags do not justify an argument-parsing
+//! Flag parsing is hand-rolled (`--flag value` / boolean `--flag`): a
+//! handful of subcommands and flags do not justify an argument-parsing
 //! dependency (see DESIGN.md §dependencies).
 
 use std::collections::HashSet;
@@ -35,6 +40,7 @@ fn main() -> ExitCode {
         "resume" => cmd_resume(&args[1..]),
         "match" => cmd_match(&args[1..]),
         "query" => cmd_query(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         "info" => cmd_info(&args[1..]),
         "help" | "--help" | "-h" => {
             print_usage();
@@ -60,6 +66,8 @@ USAGE:
     tdmatch resume --graph PATH [options]     re-embed + match from a persisted graph
     tdmatch match --artifact PATH [--k N]     rank matches from a saved artifact
     tdmatch query --artifact PATH --text \"…\"  match one new document against the artifact
+    tdmatch query --socket PATH [op]          send one request to a running daemon
+    tdmatch serve --artifact PATH [options]   run the batch-matching daemon
     tdmatch info  --artifact PATH             print artifact statistics
     tdmatch help                              show this message
 
@@ -79,12 +87,32 @@ RUN OPTIONS:
     --save-graph PATH  write the fitted joint graph to PATH (reusable via `resume`)
     --stats            print graph composition (node/edge kinds, degrees, components)
 
+SERVE OPTIONS:
+    --artifact PATH    TDZ1/TDM1 artifact to serve (memory-mapped)
+    --socket PATH      Unix socket to listen on (default tdmatch.sock;
+                       must not exist — the daemon unlinks it on exit)
+    --window-us N      batching window in microseconds (default 500):
+                       requests arriving within the window coalesce into
+                       one batched top-k scan
+    --batch-max N      max queries per batch (default 8, the engine's
+                       query-block width)
+
+QUERY OPTIONS (daemon mode, with --socket):
+    --text \"…\"         match one new document (tokenized by the daemon)
+    --id N             match query-corpus document N
+    --k N              ranked matches to return (default 5)
+    --ping             liveness probe
+    --stats            print the daemon's serving counters
+    --shutdown         ask the daemon to drain and exit
+
 SERVING:
-    `match`, `query`, and `info` memory-map TDZ1 artifacts read-only, so
-    concurrent tdmatch processes serving one artifact file share a single
-    physical copy via the OS page cache. Section checksums are verified
-    lazily on first access; set TDMATCH_EAGER_CRC=1 to verify the whole
-    file at open instead."
+    `match`, `query`, `serve`, and `info` memory-map TDZ1 artifacts
+    read-only, so concurrent tdmatch processes (or N daemons) serving one
+    artifact file share a single physical copy via the OS page cache.
+    Section checksums are verified lazily on first access — for the
+    daemon that means once, at startup, since loading touches every
+    artifact section; set TDMATCH_EAGER_CRC=1 to verify the whole file
+    at open instead. Protocol and operations guide: docs/SERVING.md."
     );
 }
 
@@ -288,7 +316,11 @@ fn cmd_match(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_query(args: &[String]) -> Result<(), String> {
-    let path = flag_value(args, "--artifact")?.ok_or("query requires --artifact PATH")?;
+    if flag_value(args, "--socket")?.is_some() {
+        return cmd_query_socket(args);
+    }
+    let path = flag_value(args, "--artifact")?
+        .ok_or("query requires --artifact PATH (one-shot) or --socket PATH (daemon)")?;
     let text = flag_value(args, "--text")?.ok_or("query requires --text \"…\"")?;
     let k: usize = match flag_value(args, "--k")? {
         Some(s) => parse_num(s, "k")?,
@@ -304,6 +336,120 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         println!("#{:<3} target {:<6} score {score:.3}", rank + 1, target);
     }
     Ok(())
+}
+
+/// `query --socket`: one request against a running daemon.
+#[cfg(unix)]
+fn cmd_query_socket(args: &[String]) -> Result<(), String> {
+    use tdmatch::serve::client::Client;
+
+    let socket = flag_value(args, "--socket")?.expect("checked by caller");
+    let k: usize = match flag_value(args, "--k")? {
+        Some(s) => parse_num(s, "k")?,
+        None => 5,
+    };
+    let mut client =
+        Client::connect(socket).map_err(|e| format!("connecting to {socket}: {e}"))?;
+    if flag_present(args, "--ping") {
+        client.ping().map_err(|e| e.to_string())?;
+        println!("pong");
+        return Ok(());
+    }
+    if flag_present(args, "--stats") {
+        let s = client.stats().map_err(|e| e.to_string())?;
+        println!("requests:   {}", s.requests);
+        println!("batches:    {}", s.batches);
+        println!("coalesced:  {}", s.coalesced);
+        println!("mean batch: {:.2}", s.mean_batch());
+        println!("max batch:  {}", s.max_batch);
+        println!("errors:     {}", s.errors);
+        println!("uptime:     {:.1}s", s.uptime_secs);
+        return Ok(());
+    }
+    if flag_present(args, "--shutdown") {
+        client.shutdown().map_err(|e| e.to_string())?;
+        eprintln!("daemon acknowledged shutdown");
+        return Ok(());
+    }
+    let (ranked, batch) = if let Some(text) = flag_value(args, "--text")? {
+        client.query_text(text, k).map_err(|e| e.to_string())?
+    } else if let Some(id) = flag_value(args, "--id")? {
+        let doc: usize = parse_num(id, "id")?;
+        client.query_id(doc, k).map_err(|e| e.to_string())?
+    } else {
+        return Err("daemon query needs --text, --id, --ping, --stats, or --shutdown".into());
+    };
+    if ranked.is_empty() {
+        return Err("no match (query unknown to the model)".into());
+    }
+    for (rank, (target, score)) in ranked.iter().enumerate() {
+        println!("#{:<3} target {:<6} score {score:.3}", rank + 1, target);
+    }
+    eprintln!("(answered in a batch of {batch})");
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn cmd_query_socket(_args: &[String]) -> Result<(), String> {
+    Err("daemon queries need Unix-domain sockets (unsupported on this platform)".into())
+}
+
+/// `serve`: the long-lived batch-matching daemon. Maps the artifact
+/// once, then answers socket queries until a shutdown request arrives.
+#[cfg(unix)]
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use std::time::Duration;
+    use tdmatch::core::serving::Matcher;
+    use tdmatch::serve::batch::BatchOptions;
+    use tdmatch::serve::server::{ServeOptions, Server};
+
+    let path = flag_value(args, "--artifact")?.ok_or("serve requires --artifact PATH")?;
+    let socket = flag_value(args, "--socket")?.unwrap_or("tdmatch.sock");
+    let window_us: u64 = match flag_value(args, "--window-us")? {
+        Some(s) => parse_num(s, "window-us")?,
+        None => 500,
+    };
+    let batch_max: usize = match flag_value(args, "--batch-max")? {
+        Some(s) => parse_num(s, "batch-max")?,
+        None => tdmatch::embed::score::QUERY_BLOCK,
+    };
+    if batch_max == 0 {
+        return Err("--batch-max must be at least 1".into());
+    }
+
+    let matcher = Matcher::load(path).map_err(|e| format!("loading artifact: {e}"))?;
+    let (targets, queries) = (matcher.targets(), matcher.queries());
+    let server = Server::start(
+        matcher,
+        ServeOptions {
+            socket: socket.into(),
+            batch: BatchOptions {
+                window: Duration::from_micros(window_us),
+                max_batch: batch_max,
+            },
+        },
+    )
+    .map_err(|e| format!("starting daemon: {e}"))?;
+    eprintln!(
+        "serving {path} ({targets} targets, {queries} queries) on {socket} \
+         [window {window_us}µs, batch ≤{batch_max}]"
+    );
+    eprintln!("stop with: tdmatch query --socket {socket} --shutdown");
+    let stats = server.join();
+    eprintln!(
+        "daemon stopped: {} requests in {} batches (mean {:.2}, max {}), {} errors",
+        stats.requests,
+        stats.batches,
+        stats.mean_batch(),
+        stats.max_batch,
+        stats.errors,
+    );
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn cmd_serve(_args: &[String]) -> Result<(), String> {
+    Err("the daemon needs Unix-domain sockets (unsupported on this platform)".into())
 }
 
 fn cmd_info(args: &[String]) -> Result<(), String> {
@@ -337,6 +483,7 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     println!("bytes:   {bytes}");
     println!("backing: {backing}");
     println!("crc:     {verify}");
+    println!("serve:   tdmatch serve --artifact {path}   (then: tdmatch query --socket …)");
     Ok(())
 }
 

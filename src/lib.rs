@@ -17,7 +17,9 @@
 //! * [`compress`] — MSP / SSP / SSuM graph compression;
 //! * [`baselines`] — the paper's baseline matchers;
 //! * [`datasets`] — seeded synthetic versions of the paper's six scenarios;
-//! * [`eval`] — MRR, MAP@k, HasPositive@k, exact/Node P-R-F.
+//! * [`eval`] — MRR, MAP@k, HasPositive@k, exact/Node P-R-F;
+//! * [`serve`] — the long-lived batch-matching daemon (`tdmatch serve`)
+//!   and its socket protocol/client.
 //!
 //! ## Quickstart
 //!
@@ -52,4 +54,5 @@ pub use tdmatch_eval as eval;
 pub use tdmatch_graph as graph;
 pub use tdmatch_kb as kb;
 pub use tdmatch_nn as nn;
+pub use tdmatch_serve as serve;
 pub use tdmatch_text as text;
