@@ -22,7 +22,12 @@
 //!   zero window — the serial per-request daemon) and once with the
 //!   default coalescing policy (`max_batch 8`): wall-clock throughput,
 //!   per-request latency (mean/p50/p99), and the achieved batch shape
-//!   from the daemon's own counters.
+//!   from the daemon's own counters;
+//! * **degraded** — the coalescing daemon again, with the same 8
+//!   healthy clients plus one client stalled mid-frame holding its
+//!   connection open. The daemon must evict the stall (50 ms deadline)
+//!   and the healthy clients' p99 must stay within 2× of the
+//!   all-healthy tier — one broken peer cannot poison the fleet.
 //!
 //! Results land in `BENCH_serve.json` at the repository root. Run with
 //! `cargo bench -p tdmatch-bench --bench bench_serve`;
@@ -52,6 +57,15 @@ struct DaemonRun {
     mean_batch: f64,
     max_batch: u64,
     coalesced: u64,
+    evicted: u64,
+}
+
+impl DaemonRun {
+    fn p99_us(&self) -> f64 {
+        let mut lat = self.latencies_us.clone();
+        lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        percentile(&lat, 0.99)
+    }
 }
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
@@ -70,7 +84,8 @@ fn json_daemon(run: &DaemonRun) -> String {
         "{{\"clients\": {}, \"requests\": {}, \"wall_secs\": {:.6}, \
          \"requests_per_sec\": {:.1}, \
          \"latency_us\": {{\"mean\": {:.1}, \"p50\": {:.1}, \"p99\": {:.1}}}, \
-         \"mean_batch\": {:.2}, \"max_batch\": {}, \"coalesced_requests\": {}}}",
+         \"mean_batch\": {:.2}, \"max_batch\": {}, \"coalesced_requests\": {}, \
+         \"evicted\": {}}}",
         CLIENTS,
         run.requests,
         run.wall_secs,
@@ -81,25 +96,40 @@ fn json_daemon(run: &DaemonRun) -> String {
         run.mean_batch,
         run.max_batch,
         run.coalesced,
+        run.evicted,
     )
 }
 
 /// Runs the 8-client lockstep workload against a daemon with the given
 /// batching policy and collects client-side latencies + server counters.
-fn daemon_run(matcher: &Matcher, tag: &str, batch: BatchOptions, k: usize) -> DaemonRun {
+/// With `stalled_peer`, one extra client stalls mid-frame for the whole
+/// run (and must be evicted by the daemon's 50 ms deadline) while the
+/// healthy clients proceed.
+fn daemon_run(matcher: &Matcher, tag: &str, batch: BatchOptions, k: usize, stalled_peer: bool) -> DaemonRun {
+    use std::io::Write;
+
     let socket = std::env::temp_dir().join(format!(
         "tdmatch-bench-serve-{tag}-{}.sock",
         std::process::id()
     ));
     std::fs::remove_file(&socket).ok();
-    let server = Server::start(
-        matcher.clone(),
-        ServeOptions {
-            socket: socket.clone(),
-            batch,
-        },
-    )
-    .expect("daemon start");
+    let mut options = ServeOptions {
+        batch,
+        ..ServeOptions::at(socket.clone())
+    };
+    if stalled_peer {
+        options.io_timeout = Duration::from_millis(50);
+    }
+    let server = Server::start(matcher.clone(), options).expect("daemon start");
+
+    // The stalled peer claims a 64-byte frame, delivers 4 bytes, and
+    // holds the connection for the whole run.
+    let _stalled = stalled_peer.then(|| {
+        let mut s = std::os::unix::net::UnixStream::connect(&socket).expect("stalled connect");
+        s.write_all(&64u32.to_le_bytes()).expect("stall prefix");
+        s.write_all(b"{\"op").expect("stall partial payload");
+        s
+    });
 
     let queries = matcher.queries();
     let wall = Instant::now();
@@ -125,10 +155,22 @@ fn daemon_run(matcher: &Matcher, tag: &str, batch: BatchOptions, k: usize) -> Da
         latencies_us.extend(w.join().expect("client thread"));
     }
     let wall_secs = wall.elapsed().as_secs_f64();
+    if stalled_peer {
+        // Give the read deadline room to fire even if the healthy
+        // workload finished inside the 50 ms window.
+        std::thread::sleep(Duration::from_millis(150));
+    }
     let stats = server.stats();
     drop(server);
     std::fs::remove_file(&socket).ok();
     assert_eq!(stats.requests as usize, CLIENTS * REQUESTS_PER_CLIENT);
+    if stalled_peer {
+        assert!(
+            stats.evicted >= 1,
+            "the stalled peer was never evicted (evicted={})",
+            stats.evicted
+        );
+    }
     DaemonRun {
         wall_secs,
         requests: CLIENTS * REQUESTS_PER_CLIENT,
@@ -136,6 +178,7 @@ fn daemon_run(matcher: &Matcher, tag: &str, batch: BatchOptions, k: usize) -> Da
         mean_batch: stats.mean_batch(),
         max_batch: stats.max_batch,
         coalesced: stats.coalesced,
+        evicted: stats.evicted,
     }
 }
 
@@ -268,8 +311,9 @@ fn main() {
             max_batch: 1,
         },
         k,
+        false,
     );
-    let batched_daemon = daemon_run(&matcher, "batched", BatchOptions::default(), k);
+    let batched_daemon = daemon_run(&matcher, "batched", BatchOptions::default(), k, false);
     let daemon_speedup = serial_daemon.wall_secs / batched_daemon.wall_secs;
     println!(
         "daemon (8 clients): serial {:.3}s ({:.0} req/s, mean batch {:.2}) vs \
@@ -285,6 +329,24 @@ fn main() {
     assert!(
         batched_daemon.max_batch >= 2,
         "the coalescing daemon never batched concurrent clients"
+    );
+
+    // --- Degraded mode: 8 healthy clients + 1 stalled mid-frame --------
+    let degraded_daemon = daemon_run(&matcher, "degraded", BatchOptions::default(), k, true);
+    let healthy_p99 = batched_daemon.p99_us();
+    let degraded_p99 = degraded_daemon.p99_us();
+    let degraded_ratio = degraded_p99 / healthy_p99.max(f64::EPSILON);
+    println!(
+        "daemon (degraded, +1 stalled client): {:.3}s ({:.0} req/s), healthy p99 \
+         {degraded_p99:.1}µs vs all-healthy p99 {healthy_p99:.1}µs -> {degraded_ratio:.2}x, \
+         {} evicted",
+        degraded_daemon.wall_secs,
+        degraded_daemon.requests as f64 / degraded_daemon.wall_secs,
+        degraded_daemon.evicted,
+    );
+    assert!(
+        degraded_ratio <= 2.0,
+        "one stalled client poisoned healthy p99 ({degraded_ratio:.2}x > 2x)"
     );
 
     let json = format!(
@@ -303,7 +365,9 @@ fn main() {
             "\"speedup\": {:.2}}},\n",
             "  \"daemon_serial\": {},\n",
             "  \"daemon_batched\": {},\n",
-            "  \"daemon_speedup\": {:.2}\n",
+            "  \"daemon_speedup\": {:.2},\n",
+            "  \"daemon_degraded\": {},\n",
+            "  \"degraded_p99_ratio\": {:.2}\n",
             "}}\n"
         ),
         targets,
@@ -328,6 +392,8 @@ fn main() {
         json_daemon(&serial_daemon),
         json_daemon(&batched_daemon),
         daemon_speedup,
+        json_daemon(&degraded_daemon),
+        degraded_ratio,
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
     std::fs::write(out, &json).expect("write BENCH_serve.json");

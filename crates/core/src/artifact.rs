@@ -534,10 +534,16 @@ impl MatchArtifact {
         Ok(())
     }
 
-    /// Saves to a file path (format v2).
+    /// Saves to a file path (format v2), crash-safely: the container is
+    /// written to a same-directory temp file, fsynced, and renamed over
+    /// `path` ([`publish_atomic`](tdmatch_graph::publish::publish_atomic)).
+    /// A publisher killed at any byte offset — `kill -9` included —
+    /// leaves `path` pointing at the previous complete artifact (or
+    /// still absent), never at a torn file; daemons mapping the old
+    /// inode keep serving it untouched. This *is* the rename-to-publish
+    /// discipline `docs/SERVING.md` specifies.
     pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), PersistError> {
-        let mut f = std::fs::File::create(path)?;
-        self.write_to(&mut f)
+        tdmatch_graph::publish::publish_atomic(path.as_ref(), |f| self.write_to(f))
     }
 
     /// Loads from a file path (v2 zero-copy, or legacy v1 upgraded).

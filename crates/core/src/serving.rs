@@ -263,6 +263,75 @@ impl Matcher {
     }
 }
 
+/// A hot-swappable [`Matcher`] slot: the daemon's current snapshot.
+///
+/// Long-lived servers need to pick up a newly published artifact without
+/// restarting. `MatcherCell` holds the *current* matcher behind an
+/// [`Arc`](std::sync::Arc); readers grab a clone
+/// ([`get`](MatcherCell::get)) and use it
+/// for the whole of one request or batch, while a publisher installs a
+/// replacement ([`replace`](MatcherCell::replace) /
+/// [`reload_from`](MatcherCell::reload_from)) at any time. Consequences:
+///
+/// * every in-flight batch is answered **entirely** by the snapshot it
+///   started with — queries never straddle two snapshots;
+/// * the old artifact (and its memory mapping, for zero-copy loads) is
+///   dropped — and unmapped — only when the last outstanding clone
+///   drops, so a swap never invalidates memory a reader still scores
+///   against;
+/// * a **failed** reload changes nothing: the old snapshot keeps
+///   serving ([`reload_from`](MatcherCell::reload_from) returns the
+///   error and leaves the cell untouched) — a bad artifact on disk must
+///   never take a healthy daemon down.
+///
+/// [`generation`](MatcherCell::generation) counts successful installs,
+/// so observers can tell *which* snapshot answered.
+#[derive(Debug)]
+pub struct MatcherCell {
+    current: std::sync::RwLock<std::sync::Arc<Matcher>>,
+    generation: std::sync::atomic::AtomicU64,
+}
+
+impl MatcherCell {
+    /// A cell serving `matcher` (generation 0).
+    pub fn new(matcher: Matcher) -> Self {
+        MatcherCell {
+            current: std::sync::RwLock::new(std::sync::Arc::new(matcher)),
+            generation: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// The current snapshot. The returned handle stays valid (and its
+    /// backing storage mapped) across any number of subsequent swaps.
+    pub fn get(&self) -> std::sync::Arc<Matcher> {
+        std::sync::Arc::clone(&self.current.read().expect("matcher cell poisoned"))
+    }
+
+    /// Installs `matcher` as the current snapshot and returns the
+    /// previous one (still alive for any reader that grabbed it).
+    pub fn replace(&self, matcher: Matcher) -> std::sync::Arc<Matcher> {
+        let mut slot = self.current.write().expect("matcher cell poisoned");
+        let old = std::mem::replace(&mut *slot, std::sync::Arc::new(matcher));
+        self.generation
+            .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        old
+    }
+
+    /// Loads an artifact file and installs it. On error the cell is
+    /// **unchanged** — the previous snapshot keeps serving — making this
+    /// the safe reload primitive for a live daemon.
+    pub fn reload_from<P: AsRef<std::path::Path>>(&self, path: P) -> Result<(), PersistError> {
+        let fresh = Matcher::load(path)?;
+        drop(self.replace(fresh));
+        Ok(())
+    }
+
+    /// Number of successful installs since construction.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(std::sync::atomic::Ordering::SeqCst)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -368,6 +437,61 @@ mod tests {
         assert_eq!(second[0], first[0]);
         let errs = m.query_batch_with(&mut block, &[Query::ById(usize::MAX)], 3);
         assert!(errs[0].is_err());
+    }
+
+    #[test]
+    fn matcher_cell_swaps_without_touching_outstanding_handles() {
+        let cell = MatcherCell::new(Matcher::new(artifact()));
+        assert_eq!(cell.generation(), 0);
+        let before = cell.get();
+        let answer_before = before.query_by_id(0, 3).unwrap();
+
+        // Install a different snapshot (same corpus shape, scaled rows —
+        // different scores) while `before` is still in use.
+        let swapped = MatchArtifact::new(
+            2,
+            vec![("term".into(), vec![0.0, 1.0])],
+            vec![Some(vec![0.0, 1.0]), Some(vec![1.0, 0.0])],
+            vec![Some(vec![0.2, 0.8])],
+        );
+        let old = cell.replace(Matcher::new(swapped));
+        assert_eq!(cell.generation(), 1);
+
+        // The outstanding handle still answers from the old snapshot,
+        // bit-identically.
+        let again = before.query_by_id(0, 3).unwrap();
+        assert_eq!(answer_before, again);
+        assert_eq!(old.queries(), before.queries());
+
+        // New readers see the new snapshot.
+        assert_eq!(cell.get().queries(), 1);
+    }
+
+    #[test]
+    fn failed_reload_leaves_the_cell_serving_the_old_snapshot() {
+        let dir = std::env::temp_dir();
+        let good = dir.join(format!("tdmatch-cell-good-{}.tdz", std::process::id()));
+        let bad = dir.join(format!("tdmatch-cell-bad-{}.tdz", std::process::id()));
+        artifact().save(&good).unwrap();
+        std::fs::write(&bad, b"TDZ1 this is not a container").unwrap();
+
+        let cell = MatcherCell::new(Matcher::load(&good).unwrap());
+        let baseline = cell.get().query_by_id(0, 4).unwrap();
+
+        assert!(cell.reload_from(&bad).is_err());
+        assert_eq!(cell.generation(), 0, "failed reload must not bump the generation");
+        assert_eq!(cell.get().query_by_id(0, 4).unwrap(), baseline);
+
+        // A missing file is equally harmless.
+        assert!(cell.reload_from(dir.join("tdmatch-cell-nope.tdz")).is_err());
+        assert_eq!(cell.get().query_by_id(0, 4).unwrap(), baseline);
+
+        // And a successful reload still works afterwards.
+        cell.reload_from(&good).unwrap();
+        assert_eq!(cell.generation(), 1);
+        assert_eq!(cell.get().query_by_id(0, 4).unwrap(), baseline);
+        std::fs::remove_file(&good).ok();
+        std::fs::remove_file(&bad).ok();
     }
 
     #[test]

@@ -577,12 +577,15 @@ impl CsrGraph {
             || self.removed.is_shared()
     }
 
-    /// Writes a one-snapshot container file.
+    /// Writes a one-snapshot container file, crash-safely: the container
+    /// is assembled in a same-directory temp file, fsynced, and renamed
+    /// over `path` ([`publish_atomic`](crate::publish::publish_atomic)) —
+    /// a writer killed mid-save leaves the old snapshot intact, never a
+    /// torn file.
     pub fn save_snapshot<P: AsRef<Path>>(&self, path: P) -> Result<(), DecodeError> {
         let mut w = ContainerWriter::new();
         self.write_sections(&mut w);
-        let mut f = std::fs::File::create(path)?;
-        w.write_to(&mut f)
+        crate::publish::publish_atomic(path.as_ref(), |f| w.write_to(f))
     }
 
     /// Loads a snapshot saved by [`save_snapshot`](CsrGraph::save_snapshot),

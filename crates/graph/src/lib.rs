@@ -40,7 +40,10 @@
 //! open snapshots through [`container::Storage::open`], which
 //! memory-maps the file ([`mmap`]) so N processes share one physical
 //! copy through the OS page cache and defers per-section CRC checks to
-//! first access.
+//! first access. Snapshot files are published crash-safely via
+//! [`publish::publish_atomic`] (same-directory temp file, fsync,
+//! rename): a writer killed mid-save can never leave a torn file at a
+//! published path.
 
 pub mod codec;
 pub mod container;
@@ -50,6 +53,7 @@ pub mod edge;
 pub mod graph;
 pub mod node;
 pub mod persist;
+pub mod publish;
 pub mod sample;
 pub mod stats;
 pub mod traverse;
@@ -60,4 +64,5 @@ pub use csr::{CsrGraph, EdgeTypeCum};
 pub use edge::{EdgeKind, EdgeTypeWeights};
 pub use graph::Graph;
 pub use node::{CorpusSide, MetaKind, NodeId, NodeKind};
+pub use publish::publish_atomic;
 pub use stats::GraphStats;

@@ -1,9 +1,19 @@
 //! Synchronous client for the daemon's socket protocol — used by
 //! `tdmatch query --socket`, the protocol tests, and the bench recorder.
+//!
+//! The client is resilient by configuration: give it a [`RetryPolicy`]
+//! and it transparently retries *retryable* failures — the daemon's
+//! `overloaded`/`shutting_down` shed responses, a dropped connection
+//! (daemon restarted), a refused/missing socket (daemon still coming
+//! back up) — with capped exponential backoff plus jitter, reconnecting
+//! when the failure broke the stream. Non-retryable errors (`bad_json`,
+//! `unknown_id`, …) surface immediately. The default policy is
+//! [`RetryPolicy::none`], which preserves exact one-shot semantics.
 
 use std::io::BufReader;
 use std::os::unix::net::UnixStream;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 use crate::protocol::{
     read_frame, write_frame, ErrorCode, FrameError, Request, RequestBody, Response, ResponseBody,
@@ -56,30 +66,172 @@ impl From<FrameError> for ClientError {
     }
 }
 
+/// Transient I/O kinds worth another attempt: the signatures of a
+/// daemon that died, is restarting, or shed us under load.
+fn transient_io(kind: std::io::ErrorKind) -> bool {
+    use std::io::ErrorKind::*;
+    matches!(
+        kind,
+        ConnectionRefused | ConnectionReset | ConnectionAborted | BrokenPipe | NotFound
+            | WouldBlock | TimedOut | Interrupted
+    )
+}
+
+impl ClientError {
+    /// True when resending (possibly after reconnecting) may succeed
+    /// without operator action.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            ClientError::Server { code, .. } => code.is_retryable(),
+            ClientError::Disconnected => true,
+            ClientError::Io(e) => transient_io(e.kind()),
+            ClientError::Frame(FrameError::Io(e)) => transient_io(e.kind()),
+            // The daemon died mid-response; a restarted one can answer.
+            ClientError::Frame(FrameError::Truncated) => true,
+            _ => false,
+        }
+    }
+
+    /// True when the failure leaves the stream unusable (a retry must
+    /// reconnect first). Error *responses* keep the connection healthy.
+    fn breaks_connection(&self) -> bool {
+        !matches!(self, ClientError::Server { .. })
+    }
+}
+
+/// Capped exponential backoff with jitter for retryable failures.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first (0 = never retry).
+    pub retries: u32,
+    /// Delay before the first retry; doubles per attempt.
+    pub base_delay: Duration,
+    /// Ceiling on the (pre-jitter) delay.
+    pub max_delay: Duration,
+}
+
+impl RetryPolicy {
+    /// Never retry — exact one-shot semantics (the default).
+    pub fn none() -> Self {
+        RetryPolicy {
+            retries: 0,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+        }
+    }
+
+    /// `retries` attempts with 10 ms base delay capped at 500 ms.
+    pub fn with_retries(retries: u32) -> Self {
+        RetryPolicy {
+            retries,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(500),
+        }
+    }
+
+    /// The sleep before retry number `attempt` (0-based): doubled per
+    /// attempt, capped, then jittered into `[d/2, d]` ("equal jitter")
+    /// so a herd of shed clients does not resynchronize.
+    fn delay(&self, attempt: u32, jitter: &mut Jitter) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.max_delay)
+            .max(self.base_delay);
+        if exp.is_zero() {
+            return exp;
+        }
+        let half = exp / 2;
+        let spread = exp - half;
+        let offset_nanos = jitter.next() % (spread.as_nanos().max(1) as u64 + 1);
+        half + Duration::from_nanos(offset_nanos)
+    }
+}
+
+/// A tiny xorshift64* generator — enough entropy to decorrelate backoff
+/// sleeps without pulling in a randomness dependency.
+#[derive(Debug)]
+struct Jitter(u64);
+
+impl Jitter {
+    fn new() -> Self {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos() as u64)
+            .unwrap_or(0x9e37_79b9);
+        Jitter((nanos | 1) ^ ((std::process::id() as u64) << 32))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
 /// One connection to a running daemon. Requests are synchronous:
 /// [`request`](Client::request) writes a frame and blocks for the
-/// matching response.
+/// matching response, retrying per the configured [`RetryPolicy`].
 pub struct Client {
+    socket: PathBuf,
     writer: UnixStream,
     reader: BufReader<UnixStream>,
     next_id: u64,
+    retry: RetryPolicy,
+    io_timeout: Option<Duration>,
+    jitter: Jitter,
 }
 
 impl Client {
-    /// Connects to the daemon's socket.
+    /// Connects to the daemon's socket (no retries; see
+    /// [`set_retry_policy`](Client::set_retry_policy)).
     pub fn connect<P: AsRef<Path>>(socket: P) -> Result<Self, ClientError> {
-        let writer = UnixStream::connect(socket)?;
+        let socket = socket.as_ref().to_path_buf();
+        let writer = UnixStream::connect(&socket)?;
         let reader = BufReader::new(writer.try_clone()?);
         Ok(Client {
+            socket,
             writer,
             reader,
             next_id: 1,
+            retry: RetryPolicy::none(),
+            io_timeout: None,
+            jitter: Jitter::new(),
         })
     }
 
-    /// Sends one request and blocks for its response. Error *responses*
-    /// come back as [`ClientError::Server`]; the id echo is verified.
-    pub fn request(&mut self, body: RequestBody) -> Result<ResponseBody, ClientError> {
+    /// Sets the retry policy for subsequent requests.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// Arms (or clears) read/write deadlines on the connection, so a
+    /// hung daemon surfaces as a retryable timeout instead of blocking
+    /// forever. Persists across reconnects.
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.writer.set_read_timeout(timeout)?;
+        self.writer.set_write_timeout(timeout)?;
+        self.io_timeout = timeout;
+        Ok(())
+    }
+
+    /// Re-establishes the connection after a broken stream.
+    fn reconnect(&mut self) -> Result<(), ClientError> {
+        let writer = UnixStream::connect(&self.socket)?;
+        if self.io_timeout.is_some() {
+            writer.set_read_timeout(self.io_timeout)?;
+            writer.set_write_timeout(self.io_timeout)?;
+        }
+        self.reader = BufReader::new(writer.try_clone()?);
+        self.writer = writer;
+        Ok(())
+    }
+
+    /// One request/response exchange, no retries.
+    fn exchange(&mut self, body: RequestBody) -> Result<ResponseBody, ClientError> {
         let id = self.next_id;
         self.next_id += 1;
         let request = Request { id, body };
@@ -95,6 +247,29 @@ impl Client {
         match response.body {
             ResponseBody::Error { code, message } => Err(ClientError::Server { code, message }),
             body => Ok(body),
+        }
+    }
+
+    /// Sends one request and blocks for its response, retrying
+    /// retryable failures per the policy. Error *responses* come back
+    /// as [`ClientError::Server`]; the id echo is verified.
+    pub fn request(&mut self, body: RequestBody) -> Result<ResponseBody, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.exchange(body.clone()) {
+                Ok(response) => return Ok(response),
+                Err(e) if attempt < self.retry.retries && e.is_retryable() => {
+                    std::thread::sleep(self.retry.delay(attempt, &mut self.jitter));
+                    if e.breaks_connection() {
+                        // A failed reconnect is itself retryable (the
+                        // next exchange fails fast with the same I/O
+                        // error and re-enters this arm).
+                        let _ = self.reconnect();
+                    }
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
         }
     }
 
@@ -154,6 +329,18 @@ impl Client {
         }
     }
 
+    /// Asks the daemon to swap in a freshly published artifact. Returns
+    /// the new snapshot generation; on failure the daemon keeps serving
+    /// the old snapshot and this returns the `reload_failed` error.
+    pub fn reload(&mut self) -> Result<u64, ClientError> {
+        match self.request(RequestBody::Reload)? {
+            ResponseBody::Reloaded { generation } => Ok(generation),
+            other => Err(ClientError::Protocol(format!(
+                "expected reloaded, got {other:?}"
+            ))),
+        }
+    }
+
     /// Asks the daemon to drain and exit. `Ok` means the daemon
     /// acknowledged and will stop.
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
@@ -163,5 +350,71 @@ impl Client {
                 "expected stopping, got {other:?}"
             ))),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_caps_and_stays_within_the_jitter_band() {
+        let policy = RetryPolicy::with_retries(8);
+        let mut jitter = Jitter::new();
+        let mut last_cap = Duration::ZERO;
+        for attempt in 0..8 {
+            let pre_jitter = policy
+                .base_delay
+                .saturating_mul(1u32 << attempt)
+                .min(policy.max_delay);
+            let d = policy.delay(attempt, &mut jitter);
+            assert!(d >= pre_jitter / 2, "attempt {attempt}: {d:?} below half band");
+            assert!(d <= pre_jitter, "attempt {attempt}: {d:?} above cap");
+            assert!(pre_jitter >= last_cap, "caps must be monotone");
+            last_cap = pre_jitter;
+        }
+        // Deep attempts are pinned at the cap's band, not overflowing.
+        let deep = policy.delay(31, &mut jitter);
+        assert!(deep <= policy.max_delay);
+        assert!(deep >= policy.max_delay / 2);
+    }
+
+    #[test]
+    fn zero_policy_never_sleeps() {
+        let policy = RetryPolicy::none();
+        let mut jitter = Jitter::new();
+        assert_eq!(policy.delay(0, &mut jitter), Duration::ZERO);
+        assert_eq!(policy.delay(5, &mut jitter), Duration::ZERO);
+    }
+
+    #[test]
+    fn retryability_matches_the_failure_class() {
+        assert!(ClientError::Disconnected.is_retryable());
+        assert!(ClientError::Server {
+            code: ErrorCode::Overloaded,
+            message: String::new()
+        }
+        .is_retryable());
+        assert!(ClientError::Server {
+            code: ErrorCode::ShuttingDown,
+            message: String::new()
+        }
+        .is_retryable());
+        assert!(!ClientError::Server {
+            code: ErrorCode::UnknownId,
+            message: String::new()
+        }
+        .is_retryable());
+        assert!(
+            ClientError::Io(std::io::Error::from(std::io::ErrorKind::ConnectionRefused))
+                .is_retryable()
+        );
+        assert!(
+            !ClientError::Io(std::io::Error::from(std::io::ErrorKind::PermissionDenied))
+                .is_retryable()
+        );
+        assert!(!ClientError::Protocol("nope".into()).is_retryable());
+        assert!(ClientError::Frame(FrameError::Truncated).is_retryable());
+        assert!(!ClientError::Frame(FrameError::Oversized { len: 9 }).is_retryable());
     }
 }

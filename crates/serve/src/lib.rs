@@ -19,7 +19,9 @@
 //! * [`batch`] — the coalescing queue (window / max-batch policy);
 //! * [`server`] — the daemon: listener, per-connection readers, the
 //!   scheduler (Unix only);
-//! * [`client`] — the synchronous client (`tdmatch query --socket`).
+//! * [`client`] — the synchronous client (`tdmatch query --socket`),
+//!   with capped-backoff retries for retryable errors;
+//! * [`signals`] — `SIGHUP` → hot-swap reload trigger (Unix only).
 //!
 //! Batched answers are **bit-identical** to the one-shot
 //! `MatchArtifact::match_top_k` path: by-id queries are gathered
@@ -67,11 +69,13 @@ pub mod protocol;
 pub mod client;
 #[cfg(unix)]
 pub mod server;
+#[cfg(unix)]
+pub mod signals;
 
 pub use batch::{BatchOptions, BatchQueue};
 pub use protocol::{ErrorCode, Request, RequestBody, Response, ResponseBody, StatsSnapshot};
 
 #[cfg(unix)]
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, RetryPolicy};
 #[cfg(unix)]
 pub use server::{ServeOptions, Server};

@@ -58,6 +58,15 @@ pub enum ErrorCode {
     BadVector,
     /// The daemon is draining and no longer accepts queries.
     ShuttingDown,
+    /// The daemon is at its max-inflight limit and shed this request
+    /// instead of queueing it. **Retryable**: back off and resend —
+    /// [`Client`](crate::client::Client) does so automatically when
+    /// given a retry policy.
+    Overloaded,
+    /// A `reload` request found no loadable artifact (no `--artifact`
+    /// path, or the file is missing/torn/corrupt). The daemon keeps
+    /// serving the previous snapshot.
+    ReloadFailed,
 }
 
 impl ErrorCode {
@@ -72,7 +81,15 @@ impl ErrorCode {
             ErrorCode::UnknownId => "unknown_id",
             ErrorCode::BadVector => "bad_vector",
             ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::ReloadFailed => "reload_failed",
         }
+    }
+
+    /// True when resending the same request later may succeed without
+    /// any operator action — the client retry policy's gate.
+    pub fn is_retryable(self) -> bool {
+        matches!(self, ErrorCode::Overloaded | ErrorCode::ShuttingDown)
     }
 
     /// Parses the wire spelling.
@@ -86,6 +103,8 @@ impl ErrorCode {
             "unknown_id" => ErrorCode::UnknownId,
             "bad_vector" => ErrorCode::BadVector,
             "shutting_down" => ErrorCode::ShuttingDown,
+            "overloaded" => ErrorCode::Overloaded,
+            "reload_failed" => ErrorCode::ReloadFailed,
             _ => return None,
         })
     }
@@ -125,6 +144,11 @@ pub enum RequestBody {
     Ping,
     /// Request a [`StatsSnapshot`].
     Stats,
+    /// Ask the daemon to hot-swap in the artifact currently at its
+    /// configured path (rename-to-publish makes that path always a
+    /// complete snapshot). In-flight queries finish against the old
+    /// snapshot; a failed load keeps the old snapshot serving.
+    Reload,
     /// Ask the daemon to drain and exit.
     Shutdown,
 }
@@ -156,6 +180,16 @@ pub struct StatsSnapshot {
     pub errors: u64,
     /// Largest batch executed.
     pub max_batch: u64,
+    /// Requests shed with `overloaded` at the max-inflight limit.
+    pub shed: u64,
+    /// Connections evicted for stalling past the I/O deadline.
+    pub evicted: u64,
+    /// Successful hot swaps since startup.
+    pub reloads: u64,
+    /// Reload attempts that failed (old snapshot kept serving).
+    pub reload_failures: u64,
+    /// Snapshot generation currently serving (counts successful swaps).
+    pub generation: u64,
     /// Seconds since the daemon started.
     pub uptime_secs: f64,
 }
@@ -187,6 +221,11 @@ pub enum ResponseBody {
     Pong,
     /// Answer to `stats`.
     Stats(StatsSnapshot),
+    /// Answer to a successful `reload`: the generation now serving.
+    Reloaded {
+        /// Snapshot generation after the swap.
+        generation: u64,
+    },
     /// Acknowledgement of `shutdown`; the daemon drains and exits.
     Stopping,
     /// The request failed.
@@ -284,6 +323,80 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, FrameError> {
     Ok(Some(payload))
 }
 
+/// A *resumable* frame decoder for sockets with read deadlines.
+///
+/// [`read_frame`] assumes a blocking reader: a timeout mid-prefix would
+/// lose the bytes already consumed and desynchronize the stream.
+/// `FrameReader` keeps the partial state across calls instead, so a
+/// server can read with `SO_RCVTIMEO` armed and distinguish the two
+/// timeout cases:
+///
+/// * timeout **between** frames ([`in_frame`](FrameReader::in_frame) is
+///   `false`) — an idle client; keep waiting;
+/// * timeout **inside** a frame (`in_frame` is `true`) — a stalled or
+///   half-dead client holding a reader thread hostage; evict it.
+///
+/// A successful [`next`](FrameReader::next) resets the state for the
+/// following frame. Timeouts surface as [`FrameError::Io`] with kind
+/// `WouldBlock` or `TimedOut` (platforms differ); every other error is
+/// terminal exactly as with [`read_frame`].
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    prefix: [u8; 4],
+    prefix_got: usize,
+    payload: Vec<u8>,
+    payload_got: usize,
+}
+
+impl FrameReader {
+    /// A decoder at a frame boundary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when some bytes of the current frame have been consumed but
+    /// the frame is not complete — the eviction signal on timeout.
+    pub fn in_frame(&self) -> bool {
+        self.prefix_got > 0
+    }
+
+    /// Reads (or resumes reading) one frame. Same contract as
+    /// [`read_frame`], except that `WouldBlock`/`TimedOut` I/O errors
+    /// leave the decoder resumable: call `next` again to continue the
+    /// same frame.
+    pub fn next<R: Read>(&mut self, r: &mut R) -> Result<Option<Vec<u8>>, FrameError> {
+        while self.prefix_got < 4 {
+            match r.read(&mut self.prefix[self.prefix_got..]) {
+                Ok(0) if self.prefix_got == 0 => return Ok(None),
+                Ok(0) => return Err(FrameError::Truncated),
+                Ok(n) => {
+                    self.prefix_got += n;
+                    if self.prefix_got == 4 {
+                        let len = u32::from_le_bytes(self.prefix);
+                        if len == 0 || len > MAX_FRAME {
+                            return Err(FrameError::Oversized { len });
+                        }
+                        self.payload = vec![0u8; len as usize];
+                        self.payload_got = 0;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        while self.payload_got < self.payload.len() {
+            match r.read(&mut self.payload[self.payload_got..]) {
+                Ok(0) => return Err(FrameError::Truncated),
+                Ok(n) => self.payload_got += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        self.prefix_got = 0;
+        Ok(Some(std::mem::take(&mut self.payload)))
+    }
+}
+
 /// Writes one frame: length prefix, the JSON text, a closing newline
 /// (included in the length).
 pub fn write_frame<W: Write>(w: &mut W, json_text: &str) -> io::Result<()> {
@@ -371,6 +484,7 @@ impl Request {
             }
             RequestBody::Ping => members.push(("op", Json::Str("ping".into()))),
             RequestBody::Stats => members.push(("op", Json::Str("stats".into()))),
+            RequestBody::Reload => members.push(("op", Json::Str("reload".into()))),
             RequestBody::Shutdown => members.push(("op", Json::Str("shutdown".into()))),
         }
         Json::Obj(members.into_iter().map(|(k, v)| (k.to_string(), v)).collect()).encode()
@@ -423,6 +537,7 @@ impl Request {
             }
             "ping" => RequestBody::Ping,
             "stats" => RequestBody::Stats,
+            "reload" => RequestBody::Reload,
             "shutdown" => RequestBody::Shutdown,
             other => {
                 return Err(malformed(
@@ -446,6 +561,11 @@ impl StatsSnapshot {
             ("errors", Json::Num(self.errors as f64)),
             ("max_batch", Json::Num(self.max_batch as f64)),
             ("mean_batch", Json::Num(self.mean_batch())),
+            ("shed", Json::Num(self.shed as f64)),
+            ("evicted", Json::Num(self.evicted as f64)),
+            ("reloads", Json::Num(self.reloads as f64)),
+            ("reload_failures", Json::Num(self.reload_failures as f64)),
+            ("generation", Json::Num(self.generation as f64)),
             ("uptime_secs", Json::Num(self.uptime_secs)),
         ])
     }
@@ -458,6 +578,11 @@ impl StatsSnapshot {
             coalesced: v.get("coalesced")?.as_u64()?,
             errors: v.get("errors")?.as_u64()?,
             max_batch: v.get("max_batch")?.as_u64()?,
+            shed: v.get("shed")?.as_u64()?,
+            evicted: v.get("evicted")?.as_u64()?,
+            reloads: v.get("reloads")?.as_u64()?,
+            reload_failures: v.get("reload_failures")?.as_u64()?,
+            generation: v.get("generation")?.as_u64()?,
             uptime_secs: v.get("uptime_secs")?.as_num()?,
         })
     }
@@ -490,6 +615,11 @@ impl Response {
             ResponseBody::Stats(stats) => {
                 members.push(("ok", Json::Bool(true)));
                 members.push(("stats", stats.to_json()));
+            }
+            ResponseBody::Reloaded { generation } => {
+                members.push(("ok", Json::Bool(true)));
+                members.push(("reloaded", Json::Bool(true)));
+                members.push(("generation", Json::Num(*generation as f64)));
             }
             ResponseBody::Stopping => {
                 members.push(("ok", Json::Bool(true)));
@@ -564,6 +694,16 @@ impl Response {
                 body: ResponseBody::Stats(stats),
             });
         }
+        if v.get("reloaded").is_some() {
+            let generation = v
+                .get("generation")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad("reloaded response without a generation"))?;
+            return Ok(Response {
+                id,
+                body: ResponseBody::Reloaded { generation },
+            });
+        }
         if v.get("stopping").is_some() {
             return Ok(Response {
                 id,
@@ -604,7 +744,12 @@ mod tests {
                 k: 5,
             },
         });
-        for body in [RequestBody::Ping, RequestBody::Stats, RequestBody::Shutdown] {
+        for body in [
+            RequestBody::Ping,
+            RequestBody::Stats,
+            RequestBody::Reload,
+            RequestBody::Shutdown,
+        ] {
             roundtrip_request(Request { id: 1, body });
         }
     }
@@ -634,6 +779,7 @@ mod tests {
         for body in [
             ResponseBody::Pong,
             ResponseBody::Stopping,
+            ResponseBody::Reloaded { generation: 3 },
             ResponseBody::Stats(StatsSnapshot {
                 requests: 100,
                 batched_requests: 90,
@@ -641,6 +787,11 @@ mod tests {
                 coalesced: 72,
                 errors: 3,
                 max_batch: 8,
+                shed: 11,
+                evicted: 2,
+                reloads: 4,
+                reload_failures: 1,
+                generation: 4,
                 uptime_secs: 12.5,
             }),
             ResponseBody::Error {
@@ -716,5 +867,125 @@ mod tests {
         // Truncated prefix.
         let p = [1u8, 0];
         assert!(matches!(read_frame(&mut &p[..]), Err(FrameError::Truncated)));
+    }
+
+    /// A reader yielding its bytes in timed-out dribbles, to exercise
+    /// FrameReader resumption at every split point.
+    struct Dribble<'a> {
+        chunks: Vec<&'a [u8]>,
+        timeout_first: bool,
+    }
+
+    impl Read for Dribble<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.timeout_first {
+                self.timeout_first = false;
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "rcvtimeo"));
+            }
+            self.timeout_first = true;
+            match self.chunks.first().copied() {
+                None => Ok(0),
+                Some(chunk) => {
+                    let n = chunk.len().min(buf.len()).min(3);
+                    buf[..n].copy_from_slice(&chunk[..n]);
+                    if n == chunk.len() {
+                        self.chunks.remove(0);
+                    } else {
+                        self.chunks[0] = &chunk[n..];
+                    }
+                    Ok(n)
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frame_reader_resumes_across_timeouts_and_tracks_frame_state() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, r#"{"op":"ping"}"#).unwrap();
+        write_frame(&mut wire, r#"{"op":"stats"}"#).unwrap();
+        let mut src = Dribble {
+            chunks: vec![&wire],
+            timeout_first: false,
+        };
+        let mut fr = FrameReader::new();
+        let mut frames = Vec::new();
+        let mut timeouts = 0;
+        loop {
+            match fr.next(&mut src) {
+                Ok(Some(p)) => frames.push(p),
+                Ok(None) => break,
+                Err(FrameError::Io(e)) if e.kind() == io::ErrorKind::WouldBlock => {
+                    timeouts += 1;
+                    assert!(timeouts < 1000, "no progress");
+                }
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0], b"{\"op\":\"ping\"}\n");
+        assert_eq!(frames[1], b"{\"op\":\"stats\"}\n");
+        assert!(timeouts > 0, "the dribbler should have timed out plenty");
+        assert!(!fr.in_frame());
+
+        // Mid-frame state is visible: feed half a frame, then time out.
+        let mut partial = Dribble {
+            chunks: vec![&wire[..7]],
+            timeout_first: false,
+        };
+        let mut fr = FrameReader::new();
+        loop {
+            match fr.next(&mut partial) {
+                Err(FrameError::Io(e)) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if partial.chunks.is_empty() {
+                        break;
+                    }
+                }
+                Err(FrameError::Truncated) => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(fr.in_frame(), "a half-read frame must report in_frame");
+
+        // Framing errors behave exactly like read_frame's.
+        let bad = (MAX_FRAME + 1).to_le_bytes();
+        assert!(matches!(
+            FrameReader::new().next(&mut &bad[..]),
+            Err(FrameError::Oversized { .. })
+        ));
+        assert!(FrameReader::new().next(&mut &[][..]).unwrap().is_none());
+    }
+
+    #[test]
+    fn retryable_codes_are_exactly_overloaded_and_shutting_down() {
+        for code in [
+            ErrorCode::BadFrame,
+            ErrorCode::Oversized,
+            ErrorCode::BadJson,
+            ErrorCode::BadRequest,
+            ErrorCode::UnknownOp,
+            ErrorCode::UnknownId,
+            ErrorCode::BadVector,
+            ErrorCode::ReloadFailed,
+        ] {
+            assert!(!code.is_retryable(), "{code}");
+        }
+        assert!(ErrorCode::Overloaded.is_retryable());
+        assert!(ErrorCode::ShuttingDown.is_retryable());
+        // Every code's wire spelling round-trips.
+        for code in [
+            ErrorCode::BadFrame,
+            ErrorCode::Oversized,
+            ErrorCode::BadJson,
+            ErrorCode::BadRequest,
+            ErrorCode::UnknownOp,
+            ErrorCode::UnknownId,
+            ErrorCode::BadVector,
+            ErrorCode::ShuttingDown,
+            ErrorCode::Overloaded,
+            ErrorCode::ReloadFailed,
+        ] {
+            assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
+        }
     }
 }

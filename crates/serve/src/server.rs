@@ -19,64 +19,139 @@
 //! tiled kernel: every batch is **one** scoring call over the
 //! pre-normalized matrices, regardless of how many clients contributed
 //! queries to it. Responses are written back under a per-connection
-//! lock, so one slow client never blocks scoring.
+//! lock with a write deadline, so one stalled client is evicted rather
+//! than blocking scoring indefinitely.
+//!
+//! # Snapshot rotation (hot swap)
+//!
+//! The daemon serves an [`Arc<Matcher>`] held in a
+//! [`MatcherCell`]; a `reload` request (or a `SIGHUP`, when
+//! [`ServeOptions::reload_signal`] is wired up) re-opens
+//! [`ServeOptions::artifact`] and swaps the cell. The scheduler clones
+//! the `Arc` **once per batch**, so every batch — including batches
+//! straddling the swap — is answered entirely by one snapshot, and the
+//! old mapping is unmapped only when the last in-flight batch drops its
+//! handle. A failed reload (torn file, wrong dimension, missing path)
+//! leaves the old snapshot serving and bumps the `reload_failures`
+//! counter; it never crashes the daemon.
+//!
+//! # Degradation under faults
+//!
+//! Every connection carries a read *and* write deadline
+//! ([`ServeOptions::io_timeout`]). A client that stalls mid-frame, or
+//! that stops draining its responses, is evicted (counted in
+//! `evicted`); idle-but-healthy connections are unaffected because a
+//! read timeout *between* frames just keeps waiting. When more than
+//! [`ServeOptions::max_inflight`] queries are admitted-but-unanswered,
+//! new queries are shed with the retryable `overloaded` error (counted
+//! in `shed`) instead of growing the queue without bound.
 //!
 //! # Lifecycle
 //!
 //! [`Server::start`] binds the socket and spawns the threads;
-//! [`Server::join`] parks the caller until the daemon stops. Shutdown —
-//! via a `shutdown` request or [`Server::shutdown`] — is *draining*:
-//! the listener stops accepting and removes the socket file, queued
-//! queries are still answered, then connections are closed. Requests
-//! arriving after the drain began get a `shutting_down` error.
+//! [`Server::join`] parks the caller until the daemon stops. A stale
+//! socket file left by a SIGKILLed predecessor is unlinked and rebound
+//! (detected by a refused connection); a *live* daemon's socket is
+//! refused with `AddrInUse`. Shutdown — via a `shutdown` request or
+//! [`Server::shutdown`] — is *draining*: the listener stops accepting
+//! and removes the socket file, queued queries are still answered, then
+//! connections are closed. Requests arriving after the drain began get
+//! a `shutting_down` error.
 //!
 //! Requests within one batch may ask for different `k`; the scheduler
 //! scores at the largest and truncates per request, which by the
 //! engine's total order (score desc, index asc) returns exactly each
 //! request's own top-k.
+//!
+//! [`MatcherCell`]: tdmatch_core::serving::MatcherCell
 
-use std::io::BufReader;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use tdmatch_core::serving::{Matcher, Query, QueryError};
+use tdmatch_core::serving::{Matcher, MatcherCell, Query, QueryError};
 use tdmatch_embed::score::QueryBlock;
 use tdmatch_text::Preprocessor;
 
 use crate::batch::{BatchOptions, BatchQueue};
 use crate::protocol::{
-    read_frame, write_frame, ErrorCode, FrameError, Request, RequestBody, Response, ResponseBody,
+    write_frame, ErrorCode, FrameError, FrameReader, Request, RequestBody, Response, ResponseBody,
     StatsSnapshot,
 };
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
 pub struct ServeOptions {
-    /// Filesystem path the Unix socket is bound at. Must not exist yet;
-    /// the daemon unlinks it on shutdown.
+    /// Filesystem path the Unix socket is bound at. A stale socket file
+    /// (no daemon answering) is unlinked and reused; a live one is
+    /// refused. The daemon unlinks the path on shutdown.
     pub socket: PathBuf,
     /// Request-coalescing policy.
     pub batch: BatchOptions,
+    /// Artifact path `reload` re-opens. `None` disables reloading (the
+    /// request gets a `reload_failed` error).
+    pub artifact: Option<PathBuf>,
+    /// Per-connection read/write deadline. A connection stalled
+    /// mid-frame, or not draining its responses, for longer than this
+    /// is evicted. Zero disables the deadlines.
+    pub io_timeout: Duration,
+    /// Maximum admitted-but-unanswered queries before new ones are shed
+    /// with `overloaded`. Zero means unlimited.
+    pub max_inflight: usize,
+    /// External reload trigger: when the flag flips to `true` (e.g.
+    /// from the [`signals`](crate::signals) SIGHUP handler), the
+    /// listener swaps it back and reloads the artifact.
+    pub reload_signal: Option<&'static AtomicBool>,
 }
 
 impl ServeOptions {
-    /// Default policy at the given socket path.
+    /// Default policy at the given socket path: 30 s I/O deadlines, no
+    /// inflight cap, reload disabled.
     pub fn at<P: Into<PathBuf>>(socket: P) -> Self {
         ServeOptions {
             socket: socket.into(),
             batch: BatchOptions::default(),
+            artifact: None,
+            io_timeout: Duration::from_secs(30),
+            max_inflight: 0,
+            reload_signal: None,
         }
     }
+
+    /// Sets the artifact path `reload` re-opens.
+    pub fn artifact<P: Into<PathBuf>>(mut self, path: P) -> Self {
+        self.artifact = Some(path.into());
+        self
+    }
+
+    /// Sets the per-connection read/write deadline.
+    pub fn io_timeout(mut self, deadline: Duration) -> Self {
+        self.io_timeout = deadline;
+        self
+    }
+
+    /// Sets the inflight cap (0 = unlimited).
+    pub fn max_inflight(mut self, cap: usize) -> Self {
+        self.max_inflight = cap;
+        self
+    }
+}
+
+/// A queued query: either engine-ready, or text tokens the scheduler
+/// embeds against the *batch's* snapshot (embedding in the reader would
+/// let a hot swap mix vocabularies between embed and score).
+enum PendingQuery {
+    Ready(Query),
+    Text(Vec<String>),
 }
 
 /// One query waiting for the scheduler.
 struct Pending {
     req_id: u64,
-    query: Query,
+    query: PendingQuery,
     k: usize,
     conn: Arc<Conn>,
 }
@@ -85,17 +160,32 @@ struct Pending {
 /// scheduler.
 struct Conn {
     stream: Mutex<UnixStream>,
+    /// Set once the connection is evicted or hung up; later sends are
+    /// skipped instead of re-blocking on a dead peer.
+    dead: AtomicBool,
 }
 
 impl Conn {
-    /// Writes a response frame; errors (peer gone) are swallowed — the
-    /// reader thread notices the hangup on its side.
-    fn send(&self, response: &Response) {
+    /// Writes a response frame. On failure the connection is marked
+    /// dead and severed; the error kind is returned so the caller can
+    /// distinguish a deadline eviction from an ordinary hangup.
+    fn send(&self, response: &Response) -> Result<(), std::io::ErrorKind> {
+        if self.dead.load(Ordering::Relaxed) {
+            return Err(std::io::ErrorKind::NotConnected);
+        }
         let mut stream = self.stream.lock().expect("connection writer poisoned");
-        let _ = write_frame(&mut *stream, &response.encode());
+        match write_frame(&mut *stream, &response.encode()) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.dead.store(true, Ordering::Relaxed);
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+                Err(e.kind())
+            }
+        }
     }
 
     fn hang_up(&self) {
+        self.dead.store(true, Ordering::Relaxed);
         let stream = self.stream.lock().expect("connection writer poisoned");
         let _ = stream.shutdown(std::net::Shutdown::Both);
     }
@@ -109,13 +199,18 @@ struct Counters {
     coalesced: AtomicU64,
     errors: AtomicU64,
     max_batch: AtomicU64,
+    shed: AtomicU64,
+    evicted: AtomicU64,
+    reloads: AtomicU64,
+    reload_failures: AtomicU64,
 }
 
 struct ServerInner {
-    matcher: Matcher,
+    matcher: MatcherCell,
     queue: BatchQueue<Pending>,
     running: AtomicBool,
     counters: Counters,
+    inflight: AtomicUsize,
     started: Instant,
     conns: Mutex<Vec<Weak<Conn>>>,
     options: ServeOptions,
@@ -131,12 +226,58 @@ impl ServerInner {
             coalesced: self.counters.coalesced.load(Ordering::Relaxed),
             errors: self.counters.errors.load(Ordering::Relaxed),
             max_batch: self.counters.max_batch.load(Ordering::Relaxed),
+            shed: self.counters.shed.load(Ordering::Relaxed),
+            evicted: self.counters.evicted.load(Ordering::Relaxed),
+            reloads: self.counters.reloads.load(Ordering::Relaxed),
+            reload_failures: self.counters.reload_failures.load(Ordering::Relaxed),
+            generation: self.matcher.generation(),
             uptime_secs: self.started.elapsed().as_secs_f64(),
         }
     }
 
     fn count_error(&self) {
         self.counters.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sends a response, counting an eviction when the write deadline
+    /// fired (as opposed to the peer simply having gone away).
+    fn send_to(&self, conn: &Conn, response: &Response) {
+        match conn.send(response) {
+            Ok(()) => {}
+            Err(std::io::ErrorKind::WouldBlock) | Err(std::io::ErrorKind::TimedOut) => {
+                self.counters.evicted.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {}
+        }
+    }
+
+    /// Reloads the artifact into the cell. On any failure the old
+    /// snapshot keeps serving; the failure is counted and logged, never
+    /// propagated as a panic.
+    fn reload(&self) -> Result<u64, String> {
+        let Some(path) = self.options.artifact.as_deref() else {
+            self.counters.reload_failures.fetch_add(1, Ordering::Relaxed);
+            return Err("daemon was started without an artifact path; reload unavailable".into());
+        };
+        match self.matcher.reload_from(path) {
+            Ok(()) => {
+                self.counters.reloads.fetch_add(1, Ordering::Relaxed);
+                let generation = self.matcher.generation();
+                eprintln!(
+                    "tdmatch serve: reloaded {} (generation {generation})",
+                    path.display()
+                );
+                Ok(generation)
+            }
+            Err(e) => {
+                self.counters.reload_failures.fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "tdmatch serve: reload of {} failed, keeping current snapshot: {e}",
+                    path.display()
+                );
+                Err(e.to_string())
+            }
+        }
     }
 
     /// Begins the drain: stop accepting, refuse new queries, answer the
@@ -178,25 +319,23 @@ impl std::fmt::Debug for Server {
 impl Server {
     /// Binds `options.socket` and starts serving `matcher`.
     ///
-    /// Fails when the socket path already exists (a previous daemon may
-    /// still own it — remove the file only if you know it is stale).
+    /// If the socket path already exists it is reclaimed only when it
+    /// is actually stale: a socket file nobody answers on (the
+    /// signature a SIGKILLed daemon leaves behind) is unlinked and
+    /// rebound. A path that is not a socket, or one a live daemon still
+    /// answers on, fails with `AddrInUse`.
     pub fn start(matcher: Matcher, options: ServeOptions) -> std::io::Result<Server> {
         if options.socket.exists() {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::AddrInUse,
-                format!(
-                    "socket path {} already exists (stale daemon? remove it to reuse)",
-                    options.socket.display()
-                ),
-            ));
+            reclaim_stale_socket(&options.socket)?;
         }
         let listener = UnixListener::bind(&options.socket)?;
         listener.set_nonblocking(true)?;
         let inner = Arc::new(ServerInner {
-            matcher,
+            matcher: MatcherCell::new(matcher),
             queue: BatchQueue::new(),
             running: AtomicBool::new(true),
             counters: Counters::default(),
+            inflight: AtomicUsize::new(0),
             started: Instant::now(),
             conns: Mutex::new(Vec::new()),
             options,
@@ -226,6 +365,19 @@ impl Server {
     /// Current counters.
     pub fn stats(&self) -> StatsSnapshot {
         self.inner.stats()
+    }
+
+    /// The serving snapshot's generation (0 = the one the daemon
+    /// started with; bumped by each successful reload).
+    pub fn generation(&self) -> u64 {
+        self.inner.matcher.generation()
+    }
+
+    /// Reloads the artifact in-process (same path as the `reload`
+    /// request). Returns the new generation, or the reload error; the
+    /// old snapshot keeps serving on failure.
+    pub fn reload(&self) -> Result<u64, String> {
+        self.inner.reload()
     }
 
     /// Triggers the drain from outside the protocol (e.g. a signal
@@ -264,15 +416,62 @@ impl Drop for Server {
     }
 }
 
+/// Decides whether an existing socket path may be unlinked and rebound.
+fn reclaim_stale_socket(path: &Path) -> std::io::Result<()> {
+    use std::os::unix::fs::FileTypeExt;
+    let meta = std::fs::symlink_metadata(path)?;
+    if !meta.file_type().is_socket() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::AddrInUse,
+            format!(
+                "socket path {} already exists and is not a socket; refusing to remove it",
+                path.display()
+            ),
+        ));
+    }
+    match UnixStream::connect(path) {
+        Ok(_) => Err(std::io::Error::new(
+            std::io::ErrorKind::AddrInUse,
+            format!("a live daemon is answering on {}", path.display()),
+        )),
+        Err(e) if e.kind() == std::io::ErrorKind::ConnectionRefused => {
+            // A bound-but-unaccepted socket file: the daemon that owned
+            // it is gone (SIGKILL leaves exactly this behind).
+            std::fs::remove_file(path)?;
+            Ok(())
+        }
+        Err(e) => Err(std::io::Error::new(
+            std::io::ErrorKind::AddrInUse,
+            format!(
+                "socket path {} exists and probing it failed ({e}); refusing to remove it",
+                path.display()
+            ),
+        )),
+    }
+}
+
 fn listen_loop(inner: &Arc<ServerInner>, listener: UnixListener) {
     while inner.running.load(Ordering::SeqCst) {
+        if let Some(flag) = inner.options.reload_signal {
+            if flag.swap(false, Ordering::Relaxed) {
+                let _ = inner.reload();
+            }
+        }
         match listener.accept() {
             Ok((stream, _addr)) => {
                 if stream.set_nonblocking(false).is_err() {
                     continue;
                 }
+                let deadline = inner.options.io_timeout;
+                if !deadline.is_zero() {
+                    // Both halves share the socket, so this arms the
+                    // read AND write deadlines for the connection.
+                    let _ = stream.set_read_timeout(Some(deadline));
+                    let _ = stream.set_write_timeout(Some(deadline));
+                }
                 let conn = Arc::new(Conn {
                     stream: Mutex::new(stream),
+                    dead: AtomicBool::new(false),
                 });
                 {
                     let mut conns = inner.conns.lock().expect("connection registry poisoned");
@@ -296,27 +495,54 @@ fn listen_loop(inner: &Arc<ServerInner>, listener: UnixListener) {
 /// Reader-side request handling: framing, decoding, validation, and the
 /// immediate (non-scored) answers. Scored queries go to the queue.
 fn serve_connection(inner: &Arc<ServerInner>, conn: &Arc<Conn>) {
-    let read_half = match conn.stream.lock().expect("connection writer poisoned").try_clone() {
+    let mut read_half = match conn.stream.lock().expect("connection writer poisoned").try_clone() {
         Ok(s) => s,
         Err(_) => return,
     };
-    let mut reader = BufReader::new(read_half);
+    let mut frames = FrameReader::new();
     loop {
-        let payload = match read_frame(&mut reader) {
+        if conn.dead.load(Ordering::Relaxed) {
+            break; // evicted on the write side
+        }
+        let payload = match frames.next(&mut read_half) {
             Ok(Some(payload)) => payload,
             Ok(None) => break, // clean hangup
+            Err(FrameError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if frames.in_frame() {
+                    // Stalled mid-frame: the client claimed a length it
+                    // never delivered. Evict.
+                    inner.counters.evicted.fetch_add(1, Ordering::Relaxed);
+                    conn.hang_up();
+                    break;
+                }
+                if !inner.running.load(Ordering::SeqCst) {
+                    break; // draining; leave without waiting to be severed
+                }
+                continue; // idle between frames: keep waiting
+            }
             Err(FrameError::Oversized { len }) => {
                 inner.count_error();
-                conn.send(&Response::error(
-                    0,
-                    ErrorCode::Oversized,
-                    format!("frame length {len} outside (0, {}]", crate::protocol::MAX_FRAME),
-                ));
+                inner.send_to(
+                    conn,
+                    &Response::error(
+                        0,
+                        ErrorCode::Oversized,
+                        format!("frame length {len} outside (0, {}]", crate::protocol::MAX_FRAME),
+                    ),
+                );
                 break; // stream is desynchronized beyond repair
             }
             Err(FrameError::Truncated) => {
                 inner.count_error();
-                conn.send(&Response::error(0, ErrorCode::BadFrame, "stream ended mid-frame"));
+                inner.send_to(
+                    conn,
+                    &Response::error(0, ErrorCode::BadFrame, "stream ended mid-frame"),
+                );
                 break;
             }
             Err(FrameError::Io(_)) => break,
@@ -327,56 +553,63 @@ fn serve_connection(inner: &Arc<ServerInner>, conn: &Arc<Conn>) {
                 // The frame boundary held, so the connection survives a
                 // malformed payload; only framing errors are fatal.
                 inner.count_error();
-                conn.send(&Response::error(bad.id, bad.code, bad.message));
+                inner.send_to(conn, &Response::error(bad.id, bad.code, bad.message));
                 continue;
             }
         };
         let id = request.id;
         let (query, k) = match request.body {
             RequestBody::Ping => {
-                conn.send(&Response {
-                    id,
-                    body: ResponseBody::Pong,
-                });
+                inner.send_to(
+                    conn,
+                    &Response {
+                        id,
+                        body: ResponseBody::Pong,
+                    },
+                );
                 continue;
             }
             RequestBody::Stats => {
-                conn.send(&Response {
-                    id,
-                    body: ResponseBody::Stats(inner.stats()),
-                });
+                inner.send_to(
+                    conn,
+                    &Response {
+                        id,
+                        body: ResponseBody::Stats(inner.stats()),
+                    },
+                );
+                continue;
+            }
+            RequestBody::Reload => {
+                let body = match inner.reload() {
+                    Ok(generation) => ResponseBody::Reloaded { generation },
+                    Err(message) => ResponseBody::Error {
+                        code: ErrorCode::ReloadFailed,
+                        message,
+                    },
+                };
+                inner.send_to(conn, &Response { id, body });
                 continue;
             }
             RequestBody::Shutdown => {
-                conn.send(&Response {
-                    id,
-                    body: ResponseBody::Stopping,
-                });
+                inner.send_to(
+                    conn,
+                    &Response {
+                        id,
+                        body: ResponseBody::Stopping,
+                    },
+                );
                 inner.begin_shutdown();
                 continue; // the drain will sever this connection
             }
-            RequestBody::QueryId { doc, k } => (Query::ById(doc), k),
-            RequestBody::QueryVector { vector, k } => (Query::ByVector(vector), k),
+            RequestBody::QueryId { doc, k } => (PendingQuery::Ready(Query::ById(doc)), k),
+            RequestBody::QueryVector { vector, k } => {
+                (PendingQuery::Ready(Query::ByVector(vector)), k)
+            }
             RequestBody::QueryText { text, k } => {
-                inner.counters.requests.fetch_add(1, Ordering::Relaxed);
-                let tokens = inner.preprocessor.base_tokens(&text);
-                match inner.matcher.artifact().embed_tokens(&tokens) {
-                    Some(vector) => {
-                        enqueue(inner, conn, id, Query::ByVector(vector), k);
-                    }
-                    None => {
-                        // No token in the vocabulary: the engine's
-                        // missing-query semantics, answered inline.
-                        conn.send(&Response {
-                            id,
-                            body: ResponseBody::Matches {
-                                matches: Vec::new(),
-                                batch: 0,
-                            },
-                        });
-                    }
-                }
-                continue;
+                // Tokenize here (cheap, snapshot-independent); embedding
+                // waits for the scheduler so it uses the same snapshot
+                // that scores the batch.
+                (PendingQuery::Text(inner.preprocessor.base_tokens(&text)), k)
             }
         };
         inner.counters.requests.fetch_add(1, Ordering::Relaxed);
@@ -384,7 +617,24 @@ fn serve_connection(inner: &Arc<ServerInner>, conn: &Arc<Conn>) {
     }
 }
 
-fn enqueue(inner: &Arc<ServerInner>, conn: &Arc<Conn>, req_id: u64, query: Query, k: usize) {
+fn enqueue(inner: &Arc<ServerInner>, conn: &Arc<Conn>, req_id: u64, query: PendingQuery, k: usize) {
+    // Admission control: count the query inflight, shedding it when the
+    // cap is hit. The count drops when its response is written.
+    let cap = inner.options.max_inflight;
+    let admitted = inner.inflight.fetch_add(1, Ordering::SeqCst);
+    if cap > 0 && admitted >= cap {
+        inner.inflight.fetch_sub(1, Ordering::SeqCst);
+        inner.counters.shed.fetch_add(1, Ordering::Relaxed);
+        inner.send_to(
+            conn,
+            &Response::error(
+                req_id,
+                ErrorCode::Overloaded,
+                format!("inflight limit {cap} reached; retry with backoff"),
+            ),
+        );
+        return;
+    }
     let accepted = inner.queue.push(Pending {
         req_id,
         query,
@@ -392,22 +642,32 @@ fn enqueue(inner: &Arc<ServerInner>, conn: &Arc<Conn>, req_id: u64, query: Query
         conn: Arc::clone(conn),
     });
     if !accepted {
+        inner.inflight.fetch_sub(1, Ordering::SeqCst);
         inner.count_error();
-        conn.send(&Response::error(
-            req_id,
-            ErrorCode::ShuttingDown,
-            "daemon is draining",
-        ));
+        inner.send_to(
+            conn,
+            &Response::error(req_id, ErrorCode::ShuttingDown, "daemon is draining"),
+        );
     }
 }
 
-/// Scheduler: one engine call per coalesced batch.
+/// Scheduler: one engine call per coalesced batch, each batch served
+/// entirely by one snapshot.
 fn schedule_loop(inner: &Arc<ServerInner>) {
-    let mut block = QueryBlock::with_capacity(
-        inner.options.batch.max_batch.max(1),
-        inner.matcher.dim(),
-    );
+    let mut block: Option<QueryBlock> = None;
     while let Some(batch) = inner.queue.next_batch(&inner.options.batch) {
+        // One snapshot per batch: the hot swap can land at any time,
+        // but every query in this batch sees exactly this snapshot.
+        let matcher = inner.matcher.get();
+        let dim = matcher.dim();
+        if block.as_ref().is_none_or(|b| b.dim() != dim) {
+            block = Some(QueryBlock::with_capacity(
+                inner.options.batch.max_batch.max(1),
+                dim,
+            ));
+        }
+        let block = block.as_mut().expect("query block just ensured");
+
         let n = batch.len();
         inner.counters.batches.fetch_add(1, Ordering::Relaxed);
         inner
@@ -419,24 +679,52 @@ fn schedule_loop(inner: &Arc<ServerInner>) {
         }
         inner.counters.max_batch.fetch_max(n as u64, Ordering::Relaxed);
 
-        // Score at the batch's largest k and truncate per request: the
-        // engine's total order makes the prefix exactly each request's
-        // own top-k.
-        let k_max = batch.iter().map(|p| p.k).max().unwrap_or(0);
+        // Resolve text queries against this batch's snapshot. A text
+        // query with no in-vocabulary token keeps the engine's
+        // missing-query semantics: empty matches, batch 0.
         let mut routes = Vec::with_capacity(n);
         let mut queries = Vec::with_capacity(n);
         for pending in batch {
+            let query = match pending.query {
+                PendingQuery::Ready(query) => query,
+                PendingQuery::Text(tokens) => match matcher.artifact().embed_tokens(&tokens) {
+                    Some(vector) => Query::ByVector(vector),
+                    None => {
+                        inner.send_to(
+                            &pending.conn,
+                            &Response {
+                                id: pending.req_id,
+                                body: ResponseBody::Matches {
+                                    matches: Vec::new(),
+                                    batch: 0,
+                                },
+                            },
+                        );
+                        inner.inflight.fetch_sub(1, Ordering::SeqCst);
+                        continue;
+                    }
+                },
+            };
             routes.push((pending.req_id, pending.k, pending.conn));
-            queries.push(pending.query);
+            queries.push(query);
         }
-        let results = inner.matcher.query_batch_with(&mut block, &queries, k_max);
+        if queries.is_empty() {
+            continue;
+        }
+
+        // Score at the batch's largest k and truncate per request: the
+        // engine's total order makes the prefix exactly each request's
+        // own top-k.
+        let k_max = routes.iter().map(|&(_, k, _)| k).max().unwrap_or(0);
+        let scored = queries.len();
+        let results = matcher.query_batch_with(block, &queries, k_max);
         for ((req_id, k, conn), result) in routes.into_iter().zip(results) {
             let body = match result {
                 Ok(mut ranked) => {
                     ranked.truncate(k);
                     ResponseBody::Matches {
                         matches: ranked,
-                        batch: n,
+                        batch: scored,
                     }
                 }
                 Err(e) => {
@@ -450,7 +738,8 @@ fn schedule_loop(inner: &Arc<ServerInner>) {
                     }
                 }
             };
-            conn.send(&Response { id: req_id, body });
+            inner.send_to(&conn, &Response { id: req_id, body });
+            inner.inflight.fetch_sub(1, Ordering::SeqCst);
         }
     }
 }

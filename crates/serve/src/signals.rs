@@ -1,0 +1,78 @@
+//! Minimal `SIGHUP` plumbing for the daemon's hot-swap trigger.
+//!
+//! The conventional way to tell a long-lived Unix daemon "re-read your
+//! inputs" is `SIGHUP`. The build environment is offline (no `libc`
+//! crate), so — exactly like the graph crate's `mmap` layer — this module
+//! declares the one symbol it needs (`signal(2)`) directly: on every
+//! unix target the Rust standard library already links the platform C
+//! runtime, which exports it.
+//!
+//! The handler does the only async-signal-safe thing there is to do:
+//! set a flag. [`install_sighup`] returns that flag; the daemon's
+//! listener thread polls it ([`ServeOptions::reload_signal`]) and
+//! performs the actual artifact reload from normal thread context —
+//! never from the handler.
+//!
+//! [`ServeOptions::reload_signal`]: crate::server::ServeOptions::reload_signal
+
+#![cfg(unix)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// `SIGHUP` has value 1 on every unix this crate compiles on (Linux,
+/// macOS, the BSDs, illumos).
+const SIGHUP: i32 = 1;
+
+type SigHandler = extern "C" fn(i32);
+
+extern "C" {
+    /// `signal(2)`; returns the previous handler, or `SIG_ERR` (-1).
+    fn signal(signum: i32, handler: SigHandler) -> usize;
+}
+
+static HUP_PENDING: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_sighup(_signum: i32) {
+    // Only async-signal-safe work here: a relaxed store.
+    HUP_PENDING.store(true, Ordering::Relaxed);
+}
+
+/// Installs a `SIGHUP` handler (process-wide; idempotent) and returns
+/// the flag it sets. Hand the flag to
+/// [`ServeOptions::reload_signal`](crate::server::ServeOptions::reload_signal);
+/// the daemon swaps the flag back to `false` when it consumes a request.
+///
+/// Returns the flag even if installation fails (`signal` returning
+/// `SIG_ERR` — not observed on supported targets); the flag then simply
+/// never fires.
+pub fn install_sighup() -> &'static AtomicBool {
+    // Safety: registering an async-signal-safe handler for a standard
+    // signal; `on_sighup` touches only an atomic.
+    unsafe {
+        signal(SIGHUP, on_sighup);
+    }
+    &HUP_PENDING
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raised_sighup_sets_the_flag() {
+        let flag = install_sighup();
+        flag.store(false, Ordering::Relaxed);
+        // Raise SIGHUP at ourselves through the C runtime `raise(3)`.
+        extern "C" {
+            fn raise(signum: i32) -> i32;
+        }
+        // Safety: raising a signal we just installed a safe handler for.
+        unsafe {
+            raise(SIGHUP);
+        }
+        // Delivery is synchronous for `raise` (it returns after the
+        // handler ran on this thread).
+        assert!(flag.load(Ordering::Relaxed));
+        flag.store(false, Ordering::Relaxed);
+    }
+}

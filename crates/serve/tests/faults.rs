@@ -1,0 +1,597 @@
+//! Fault-injection suite: the daemon and the publish path under
+//! crashes, torn files, stalled sockets, and overload.
+//!
+//! The invariants under test (docs/SERVING.md "Failure modes and
+//! recovery"):
+//!
+//! * a publisher killed mid-save never tears the published path — it is
+//!   always old-complete or new-complete;
+//! * a torn or bit-flipped artifact fails at *open*, never at query
+//!   time, and a failed reload keeps the old snapshot serving;
+//! * queries straddling a hot swap are each answered bit-identically by
+//!   exactly one snapshot;
+//! * a stalled or half-closed client is evicted without blocking
+//!   healthy ones; flooding past `max_inflight` sheds with the
+//!   retryable `overloaded` error and a retrying client gets through;
+//! * a SIGKILLed daemon's successor reclaims the socket path and serves
+//!   bit-identical answers.
+//!
+//! Crash tests use [`tdmatch_testutil::respawn`]: the test function
+//! runs twice, as the supervising parent and (with a role env var set)
+//! as the child that actually dies.
+
+#![cfg(unix)]
+
+use std::io::{Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tdmatch_core::artifact::MatchArtifact;
+use tdmatch_core::serving::Matcher;
+use tdmatch_serve::batch::BatchOptions;
+use tdmatch_serve::client::{Client, ClientError, RetryPolicy};
+use tdmatch_serve::protocol::{read_frame, write_frame, ErrorCode, Request, RequestBody, Response, ResponseBody};
+use tdmatch_serve::server::{ServeOptions, Server};
+use tdmatch_testutil::{corrupt, respawn, ChaosWriter, Death};
+
+const ROLE_VAR: &str = "TDMATCH_FAULT_ROLE";
+
+/// Version 1 of the artifact: query 0 prefers target 0.
+fn artifact_v1() -> MatchArtifact {
+    MatchArtifact::new(
+        2,
+        vec![
+            ("alpha".into(), vec![1.0, 0.0]),
+            ("beta".into(), vec![0.0, 1.0]),
+        ],
+        vec![
+            Some(vec![1.0, 0.0]),
+            Some(vec![0.0, 1.0]),
+            Some(vec![0.6, 0.8]),
+        ],
+        vec![Some(vec![0.9, 0.1]), Some(vec![0.2, 0.98])],
+    )
+}
+
+/// Version 2: target vectors permuted, so query 0 prefers target 1.
+fn artifact_v2() -> MatchArtifact {
+    MatchArtifact::new(
+        2,
+        vec![
+            ("alpha".into(), vec![1.0, 0.0]),
+            ("beta".into(), vec![0.0, 1.0]),
+        ],
+        vec![
+            Some(vec![0.0, 1.0]),
+            Some(vec![1.0, 0.0]),
+            Some(vec![0.8, 0.6]),
+        ],
+        vec![Some(vec![0.9, 0.1]), Some(vec![0.2, 0.98])],
+    )
+}
+
+/// The reference ranking for query-corpus doc 0 under an artifact.
+fn ranking(artifact: &MatchArtifact) -> Vec<(usize, u32)> {
+    let matcher = Matcher::new(artifact.clone());
+    matcher
+        .query_by_id(0, 3)
+        .expect("doc 0 exists")
+        .into_iter()
+        .map(|(t, s)| (t, s.to_bits()))
+        .collect()
+}
+
+fn bits(ranked: &[(usize, f32)]) -> Vec<(usize, u32)> {
+    ranked.iter().map(|&(t, s)| (t, s.to_bits())).collect()
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tdmatch-faults-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn socket_path(tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "tdmatch-faults-{tag}-{}.sock",
+        std::process::id()
+    ));
+    std::fs::remove_file(&path).ok();
+    path
+}
+
+fn serialized_len(artifact: &MatchArtifact) -> u64 {
+    let mut buf = Vec::new();
+    artifact.write_to(&mut buf).expect("in-memory serialize");
+    buf.len() as u64
+}
+
+// ---------------------------------------------------------------------
+// Crash-safe publish
+// ---------------------------------------------------------------------
+
+/// Parent: publishes v1, then repeatedly spawns a child that starts
+/// republishing v2 and is SIGKILLed (by its own failpoint) at a swept
+/// byte offset. After every death the published path must load cleanly
+/// and rank exactly like v1 (old-complete) — never tear. A child with
+/// an out-of-reach failpoint completes the publish (new-complete).
+#[test]
+fn killed_publisher_never_leaves_a_torn_artifact() {
+    if let Some(_role) = respawn::role(ROLE_VAR) {
+        // Child: republishes v2, dying (SIGKILL) after DIE_AT bytes.
+        let path: PathBuf = std::env::var("TDMATCH_FAULT_PATH").expect("path env").into();
+        let die_at: u64 = std::env::var("TDMATCH_FAULT_DIE_AT")
+            .expect("die_at env")
+            .parse()
+            .expect("die_at number");
+        let replacement = artifact_v2();
+        tdmatch_graph::publish::publish_atomic::<tdmatch_core::artifact::PersistError, _>(
+            &path,
+            |f| {
+                let mut w = ChaosWriter::new(f, die_at, Death::Kill);
+                replacement.write_to(&mut w)
+            },
+        )
+        .ok();
+        return;
+    }
+
+    let dir = scratch_dir("publish");
+    let path = dir.join("model.tdz");
+    artifact_v1().save(&path).expect("seed publish v1");
+    let want_v1 = ranking(&artifact_v1());
+    let len = serialized_len(&artifact_v2());
+    assert!(len > 64, "artifact too small to sweep meaningfully");
+
+    // Deterministic sweep: boundaries plus a seeded scatter.
+    let mut offsets = vec![0, 1, 63, 64, len / 2, len - 1];
+    let mut lcg = 0x2545_f491u64;
+    for _ in 0..4 {
+        lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        offsets.push(lcg % len);
+    }
+
+    for die_at in offsets {
+        let child = respawn::spawn_self(
+            "killed_publisher_never_leaves_a_torn_artifact",
+            ROLE_VAR,
+            "publisher",
+            &[
+                ("TDMATCH_FAULT_PATH", path.to_str().unwrap()),
+                ("TDMATCH_FAULT_DIE_AT", &die_at.to_string()),
+            ],
+        )
+        .expect("spawn publisher child");
+        let out = child.wait_with_output().expect("child exit");
+        assert!(
+            !out.status.success(),
+            "child with failpoint at byte {die_at} should have died"
+        );
+
+        // The published path is still v1, complete and loadable.
+        let loaded = MatchArtifact::load(&path)
+            .unwrap_or_else(|e| panic!("artifact torn after death at byte {die_at}: {e}"));
+        assert_eq!(
+            ranking(&loaded),
+            want_v1,
+            "death at byte {die_at} changed the published rankings"
+        );
+    }
+
+    // No failpoint in reach: the publish completes and flips to v2.
+    let child = respawn::spawn_self(
+        "killed_publisher_never_leaves_a_torn_artifact",
+        ROLE_VAR,
+        "publisher",
+        &[
+            ("TDMATCH_FAULT_PATH", path.to_str().unwrap()),
+            ("TDMATCH_FAULT_DIE_AT", &u64::MAX.to_string()),
+        ],
+    )
+    .expect("spawn completing child");
+    assert!(child.wait_with_output().expect("child exit").status.success());
+    let loaded = MatchArtifact::load(&path).expect("completed publish loads");
+    assert_eq!(ranking(&loaded), ranking(&artifact_v2()));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------
+// Torn/corrupt artifacts fail at open
+// ---------------------------------------------------------------------
+
+#[test]
+fn torn_and_corrupt_artifacts_fail_at_open_not_at_query_time() {
+    let dir = scratch_dir("corrupt");
+    let clean = dir.join("clean.tdz");
+    artifact_v1().save(&clean).expect("save");
+    let len = corrupt::file_len(&clean).expect("len");
+
+    // Truncations: every prefix is a torn file and must be rejected.
+    for cut in [0, 7, 63, len / 3, len / 2, len - 1] {
+        let victim = dir.join(format!("trunc-{cut}.tdz"));
+        std::fs::copy(&clean, &victim).expect("copy");
+        corrupt::truncate_to(&victim, cut).expect("truncate");
+        assert!(
+            MatchArtifact::load(&victim).is_err(),
+            "truncation to {cut} bytes must fail at open"
+        );
+    }
+
+    // Bit flips inside the payload must be caught by the section CRCs.
+    for offset in [8, 32, len / 2, len - 2] {
+        let victim = dir.join(format!("flip-{offset}.tdz"));
+        std::fs::copy(&clean, &victim).expect("copy");
+        corrupt::flip_bits(&victim, offset, 0x40).expect("flip");
+        assert!(
+            MatchArtifact::load(&victim).is_err(),
+            "bit flip at byte {offset} must fail at open"
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------
+// Hot swap
+// ---------------------------------------------------------------------
+
+#[test]
+fn reload_swaps_snapshots_and_failed_reload_keeps_serving() {
+    let dir = scratch_dir("reload");
+    let path = dir.join("model.tdz");
+    artifact_v1().save(&path).expect("publish v1");
+    let socket = socket_path("reload");
+
+    let server = Server::start(
+        Matcher::load(&path).expect("load v1"),
+        ServeOptions::at(&socket)
+            .artifact(&path)
+            .io_timeout(Duration::from_secs(5)),
+    )
+    .expect("daemon start");
+    let mut client = Client::connect(&socket).expect("connect");
+
+    let (r1, _) = client.query_id(0, 3).expect("query v1");
+    assert_eq!(bits(&r1), ranking(&artifact_v1()));
+    assert_eq!(server.generation(), 0);
+
+    // Publish v2 over the same path, swap, and observe the new ranking.
+    artifact_v2().save(&path).expect("publish v2");
+    assert_eq!(client.reload().expect("reload"), 1);
+    let (r2, _) = client.query_id(0, 3).expect("query v2");
+    assert_eq!(bits(&r2), ranking(&artifact_v2()));
+
+    // A bad publish lands at the path (a fresh inode, as any rename
+    // puts there — the serving snapshot's mapped inode is untouched):
+    // reload must fail, the daemon must keep serving v2 bit-identically,
+    // and the failure must be counted.
+    let junk = dir.join("junk.tmp");
+    std::fs::write(&junk, b"definitely not an artifact").expect("write junk");
+    std::fs::rename(&junk, &path).expect("publish junk");
+    match client.reload() {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::ReloadFailed),
+        other => panic!("reload of a torn file must fail, got {other:?}"),
+    }
+    let (r2_again, _) = client.query_id(0, 3).expect("query after failed reload");
+    assert_eq!(bits(&r2_again), bits(&r2), "failed reload changed answers");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.reloads, 1);
+    assert_eq!(stats.reload_failures, 1);
+    assert_eq!(stats.generation, 1);
+
+    // Republish a good file: the daemon recovers on the next reload.
+    artifact_v1().save(&path).expect("republish v1");
+    assert_eq!(client.reload().expect("recovery reload"), 2);
+    let (r3, _) = client.query_id(0, 3).expect("query after recovery");
+    assert_eq!(bits(&r3), ranking(&artifact_v1()));
+
+    client.shutdown().expect("shutdown");
+    server.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn queries_straddling_swaps_see_exactly_one_snapshot_each() {
+    let dir = scratch_dir("straddle");
+    let path = dir.join("model.tdz");
+    artifact_v1().save(&path).expect("publish v1");
+    let socket = socket_path("straddle");
+
+    let server = Server::start(
+        Matcher::load(&path).expect("load"),
+        ServeOptions {
+            batch: BatchOptions {
+                window: Duration::from_micros(200),
+                max_batch: 8,
+            },
+            ..ServeOptions::at(&socket).artifact(&path)
+        },
+    )
+    .expect("daemon start");
+
+    let want_v1 = ranking(&artifact_v1());
+    let want_v2 = ranking(&artifact_v2());
+    assert_ne!(want_v1, want_v2, "versions must be distinguishable");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut workers = Vec::new();
+    for w in 0..3 {
+        let socket = socket.clone();
+        let stop = Arc::clone(&stop);
+        let (want_v1, want_v2) = (want_v1.clone(), want_v2.clone());
+        workers.push(std::thread::spawn(move || {
+            let mut client = Client::connect(&socket).expect("worker connect");
+            let mut seen = (0u64, 0u64);
+            while !stop.load(Ordering::Relaxed) {
+                let (ranked, _) = client.query_id(0, 3).expect("worker query");
+                let got = bits(&ranked);
+                if got == want_v1 {
+                    seen.0 += 1;
+                } else if got == want_v2 {
+                    seen.1 += 1;
+                } else {
+                    panic!("worker {w}: ranking from a mixed/torn snapshot: {got:?}");
+                }
+            }
+            seen
+        }));
+    }
+
+    // Swapper: republish v1/v2 alternately and hot-swap each time.
+    let mut swapper = Client::connect(&socket).expect("swapper connect");
+    let mut generation = 0;
+    for round in 0..20 {
+        if round % 2 == 0 {
+            artifact_v2().save(&path).expect("publish v2");
+        } else {
+            artifact_v1().save(&path).expect("publish v1");
+        }
+        generation = swapper.reload().expect("swap");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(generation, 20);
+
+    stop.store(true, Ordering::Relaxed);
+    let mut totals = (0u64, 0u64);
+    for worker in workers {
+        let seen = worker.join().expect("worker clean exit");
+        totals.0 += seen.0;
+        totals.1 += seen.1;
+    }
+    // Both snapshots actually served during the churn.
+    assert!(totals.0 > 0 && totals.1 > 0, "swaps never landed: {totals:?}");
+
+    swapper.shutdown().expect("shutdown");
+    server.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------
+// Degradation: stalls, half-close, overload
+// ---------------------------------------------------------------------
+
+#[test]
+fn stalled_client_is_evicted_while_healthy_ones_keep_being_served() {
+    let socket = socket_path("stall");
+    let server = Server::start(
+        Matcher::new(artifact_v1()),
+        ServeOptions::at(&socket).io_timeout(Duration::from_millis(100)),
+    )
+    .expect("daemon start");
+
+    // The stalled client claims an 80-byte frame and delivers 4 bytes.
+    let mut stalled = UnixStream::connect(&socket).expect("stalled connect");
+    stalled.write_all(&80u32.to_le_bytes()).expect("length prefix");
+    stalled.write_all(b"{\"op").expect("partial payload");
+
+    // A healthy client keeps getting answers the whole time.
+    let mut healthy = Client::connect(&socket).expect("healthy connect");
+    let deadline = Instant::now() + Duration::from_millis(400);
+    let mut served = 0u32;
+    while Instant::now() < deadline {
+        healthy.query_id(0, 3).expect("healthy query");
+        served += 1;
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(served > 10, "healthy client starved: {served} queries");
+
+    let stats = healthy.stats().expect("stats");
+    assert!(
+        stats.evicted >= 1,
+        "mid-frame stall not evicted (evicted={})",
+        stats.evicted
+    );
+    // The stalled socket was severed by the daemon.
+    let mut probe = [0u8; 1];
+    stalled
+        .set_read_timeout(Some(Duration::from_millis(500)))
+        .expect("probe timeout");
+    assert_eq!(
+        stalled.read(&mut probe).unwrap_or(0),
+        0,
+        "evicted connection should be closed"
+    );
+
+    healthy.shutdown().expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn half_closed_client_still_receives_its_answers() {
+    let socket = socket_path("halfclose");
+    let server = Server::start(
+        Matcher::new(artifact_v1()),
+        ServeOptions::at(&socket).io_timeout(Duration::from_millis(200)),
+    )
+    .expect("daemon start");
+
+    let mut stream = UnixStream::connect(&socket).expect("connect");
+    let request = Request {
+        id: 7,
+        body: RequestBody::QueryId { doc: 0, k: 3 },
+    };
+    write_frame(&mut stream, &request.encode()).expect("send");
+    // Half-close: no more requests will come, but the response side
+    // stays open and must still deliver.
+    stream.shutdown(std::net::Shutdown::Write).expect("half-close");
+    let payload = read_frame(&mut stream)
+        .expect("read response")
+        .expect("response before close");
+    let response = Response::decode(&payload).expect("decode");
+    assert_eq!(response.id, 7);
+    match response.body {
+        ResponseBody::Matches { matches, .. } => {
+            assert_eq!(bits(&matches), ranking(&artifact_v1()));
+        }
+        other => panic!("expected matches, got {other:?}"),
+    }
+
+    drop(stream);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn flooding_past_max_inflight_sheds_retryably_and_backoff_gets_through() {
+    let socket = socket_path("flood");
+    let server = Server::start(
+        Matcher::new(artifact_v1()),
+        ServeOptions {
+            batch: BatchOptions {
+                // A long window parks admitted queries in the queue, so
+                // the flood deterministically overruns the cap.
+                window: Duration::from_millis(80),
+                max_batch: 4,
+            },
+            ..ServeOptions::at(&socket).max_inflight(4)
+        },
+    )
+    .expect("daemon start");
+
+    let mut flood = UnixStream::connect(&socket).expect("flood connect");
+    let total = 12u64;
+    for id in 1..=total {
+        let request = Request {
+            id,
+            body: RequestBody::QueryId { doc: 0, k: 3 },
+        };
+        write_frame(&mut flood, &request.encode()).expect("flood send");
+    }
+
+    let mut matched = 0u64;
+    let mut shed = 0u64;
+    let mut reader = std::io::BufReader::new(flood.try_clone().expect("clone"));
+    for _ in 0..total {
+        let payload = read_frame(&mut reader).expect("read").expect("response");
+        let response = Response::decode(&payload).expect("decode");
+        match response.body {
+            ResponseBody::Matches { matches, .. } => {
+                assert_eq!(bits(&matches), ranking(&artifact_v1()));
+                matched += 1;
+            }
+            ResponseBody::Error { code, .. } => {
+                assert_eq!(code, ErrorCode::Overloaded, "unexpected error class");
+                assert!(code.is_retryable(), "overloaded must be retryable");
+                shed += 1;
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert_eq!(matched + shed, total);
+    assert!(shed >= 1, "flood never overran the inflight cap");
+    assert!(matched >= 4, "admitted queries must still be answered");
+
+    // A retrying client pushes through the same congestion.
+    for id in (total + 1)..=(total + 12) {
+        let request = Request {
+            id,
+            body: RequestBody::QueryId { doc: 0, k: 3 },
+        };
+        write_frame(&mut flood, &request.encode()).expect("refill send");
+    }
+    let mut retrier = Client::connect(&socket).expect("retrier connect");
+    retrier.set_retry_policy(RetryPolicy::with_retries(8));
+    let (ranked, _) = retrier.query_id(0, 3).expect("retry query succeeds");
+    assert_eq!(bits(&ranked), ranking(&artifact_v1()));
+
+    let stats = retrier.stats().expect("stats");
+    assert!(stats.shed >= shed, "shed counter lost events");
+
+    drop(flood);
+    retrier.shutdown().expect("shutdown");
+    server.join();
+}
+
+// ---------------------------------------------------------------------
+// SIGKILLed daemon: socket reclaim + bit-identical successor
+// ---------------------------------------------------------------------
+
+/// Parent: spawns a child daemon, queries it, SIGKILLs it (leaving a
+/// stale socket file behind), then starts a successor on the same path
+/// — which must reclaim the socket and answer bit-identically. While
+/// the child is alive, a second daemon on the same path must be
+/// refused.
+#[test]
+fn sigkilled_daemon_leaves_a_reclaimable_socket_and_identical_answers() {
+    let socket = std::env::var("TDMATCH_FAULT_SOCKET")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| socket_path("sigkill"));
+
+    if let Some(_role) = respawn::role(ROLE_VAR) {
+        // Child: a daemon that serves until killed.
+        let server = Server::start(Matcher::new(artifact_v1()), ServeOptions::at(&socket))
+            .expect("child daemon start");
+        server.join(); // parked until SIGKILL
+        return;
+    }
+
+    let dir = scratch_dir("sigkill");
+    let mut child = respawn::spawn_self(
+        "sigkilled_daemon_leaves_a_reclaimable_socket_and_identical_answers",
+        ROLE_VAR,
+        "daemon",
+        &[("TDMATCH_FAULT_SOCKET", socket.to_str().unwrap())],
+    )
+    .expect("spawn daemon child");
+
+    // Wait for the child's socket, then record its answers.
+    let mut client = None;
+    for _ in 0..200 {
+        match Client::connect(&socket) {
+            Ok(c) => {
+                client = Some(c);
+                break;
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    let mut client = client.expect("child daemon came up");
+    let (before, _) = client.query_id(0, 3).expect("query child");
+
+    // A second daemon on the live path must be refused.
+    let refused = Server::start(Matcher::new(artifact_v1()), ServeOptions::at(&socket));
+    assert!(
+        refused.is_err(),
+        "two daemons must not bind one live socket"
+    );
+
+    // SIGKILL the daemon: no drain, no unlink — the stale socket stays.
+    child.kill().expect("SIGKILL child");
+    child.wait().expect("reap child");
+    assert!(socket.exists(), "SIGKILL should leave the socket file");
+
+    // The successor reclaims the path and answers bit-identically.
+    let successor = Server::start(Matcher::new(artifact_v1()), ServeOptions::at(&socket))
+        .expect("successor must reclaim the stale socket");
+    let mut client = Client::connect(&socket).expect("connect successor");
+    let (after, _) = client.query_id(0, 3).expect("query successor");
+    assert_eq!(bits(&after), bits(&before), "successor answers diverged");
+
+    client.shutdown().expect("shutdown");
+    successor.join();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -57,8 +57,8 @@ fn start(tag: &str, batch: BatchOptions) -> (Server, PathBuf) {
     let server = Server::start(
         Matcher::new(artifact()),
         ServeOptions {
-            socket: socket.clone(),
             batch,
+            ..ServeOptions::at(socket.clone())
         },
     )
     .expect("daemon start");

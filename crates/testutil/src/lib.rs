@@ -1,0 +1,240 @@
+//! # tdmatch-testutil
+//!
+//! Fault-injection helpers for the crash/corruption/overload test
+//! suites (`crates/serve/tests/faults.rs`, the publish crash tests).
+//! Dev-dependency only — nothing here ships in the library crates.
+//!
+//! Three fault families:
+//!
+//! * [`ChaosWriter`] — a `Write` adapter with a byte-budget failpoint:
+//!   after exactly `die_at` bytes it either errors or kills the process
+//!   with `SIGKILL`, turning "publisher dies mid-save at byte N" into a
+//!   deterministic, sweepable event;
+//! * [`corrupt`] — post-hoc artifact damage (bit flips, truncation) at
+//!   chosen offsets, for "the disk/copy tore the file" scenarios;
+//! * [`respawn`] — run one `#[test]` function as a *child process* of
+//!   itself, so a test can SIGKILL a publisher or daemon without taking
+//!   the test runner down with it.
+
+use std::io::{self, Write};
+
+/// Raises `SIGKILL` against the current process: dies immediately, no
+/// destructors, no buffer flushes — the closest userspace gets to a
+/// power cut. (Declared directly because the build is offline and has
+/// no `libc` crate; the C runtime is linked on every unix target.)
+#[cfg(unix)]
+pub fn kill_self() -> ! {
+    extern "C" {
+        fn raise(signum: i32) -> i32;
+    }
+    const SIGKILL: i32 = 9;
+    // Safety: raising an uncatchable signal at ourselves.
+    unsafe {
+        raise(SIGKILL);
+    }
+    // SIGKILL cannot be handled; this line is unreachable in practice.
+    std::process::abort();
+}
+
+/// How a [`ChaosWriter`] fails when its byte budget runs out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Death {
+    /// Return `io::Error` (kind `Other`) from the write call.
+    Error,
+    /// Flush what was written so far, then [`kill_self`]: simulates the
+    /// publisher process dying mid-save.
+    #[cfg(unix)]
+    Kill,
+}
+
+/// A `Write` adapter that dies after exactly `die_at` bytes.
+///
+/// Writes pass through until the budget is exhausted; the write that
+/// crosses the boundary first forwards the in-budget prefix (and
+/// flushes it, so the bytes actually reach the OS) and then fails per
+/// the configured [`Death`]. Sweeping `die_at` over a file's length
+/// reproduces every possible torn-write prefix deterministically.
+#[derive(Debug)]
+pub struct ChaosWriter<W> {
+    inner: W,
+    written: u64,
+    die_at: u64,
+    death: Death,
+}
+
+impl<W: Write> ChaosWriter<W> {
+    /// Fails after exactly `die_at` bytes with the given death mode.
+    pub fn new(inner: W, die_at: u64, death: Death) -> Self {
+        ChaosWriter {
+            inner,
+            written: 0,
+            die_at,
+            death,
+        }
+    }
+
+    /// Bytes successfully forwarded so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    fn die(&mut self) -> io::Error {
+        match self.death {
+            Death::Error => io::Error::other(format!(
+                "chaos failpoint: writer died at byte {}",
+                self.die_at
+            )),
+            #[cfg(unix)]
+            Death::Kill => {
+                let _ = self.inner.flush();
+                kill_self();
+            }
+        }
+    }
+}
+
+impl<W: Write> Write for ChaosWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let budget = self.die_at.saturating_sub(self.written);
+        if budget == 0 && !buf.is_empty() {
+            return Err(self.die());
+        }
+        let take = (buf.len() as u64).min(budget) as usize;
+        let n = self.inner.write(&buf[..take])?;
+        self.written += n as u64;
+        if n == take && (buf.len() as u64) > budget {
+            // This write crosses the boundary: the prefix landed, the
+            // rest never will.
+            return Err(self.die());
+        }
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Post-hoc file damage: what a torn copy, bad disk, or truncated
+/// download leaves behind.
+pub mod corrupt {
+    use std::fs::OpenOptions;
+    use std::io::{self, Read, Seek, SeekFrom, Write};
+    use std::path::Path;
+
+    /// XORs `mask` into the byte at `offset` (must be in-bounds).
+    pub fn flip_bits<P: AsRef<Path>>(path: P, offset: u64, mask: u8) -> io::Result<()> {
+        let mut f = OpenOptions::new().read(true).write(true).open(path)?;
+        f.seek(SeekFrom::Start(offset))?;
+        let mut byte = [0u8; 1];
+        f.read_exact(&mut byte)?;
+        byte[0] ^= mask;
+        f.seek(SeekFrom::Start(offset))?;
+        f.write_all(&byte)?;
+        f.sync_all()
+    }
+
+    /// Truncates the file to `len` bytes (a torn tail).
+    pub fn truncate_to<P: AsRef<Path>>(path: P, len: u64) -> io::Result<()> {
+        let f = OpenOptions::new().write(true).open(path)?;
+        f.set_len(len)?;
+        f.sync_all()
+    }
+
+    /// The file's current length.
+    pub fn file_len<P: AsRef<Path>>(path: P) -> io::Result<u64> {
+        Ok(std::fs::metadata(path)?.len())
+    }
+}
+
+/// Re-running one `#[test]` as a child process of the test binary.
+///
+/// The pattern: a test calls [`respawn::role`] first. In the *parent*
+/// (no role set) it gets `None`, spawns itself with a role via
+/// [`respawn::spawn_self`], and supervises/kills the child. In the
+/// *child* it gets `Some(role)` and takes the faulty branch (e.g. save
+/// an artifact through a [`ChaosWriter`] with
+/// `Death::Kill`).
+pub mod respawn {
+    use std::io;
+    use std::process::{Child, Command, Stdio};
+
+    /// The role this process was spawned with, if any.
+    pub fn role(var: &str) -> Option<String> {
+        std::env::var(var).ok()
+    }
+
+    /// Spawns the current test binary running exactly `test_name`, with
+    /// `var=value` marking the child's role and any `extra_env` set.
+    /// Stdout/stderr are piped (inspect via `wait_with_output`).
+    pub fn spawn_self(
+        test_name: &str,
+        var: &str,
+        value: &str,
+        extra_env: &[(&str, &str)],
+    ) -> io::Result<Child> {
+        let exe = std::env::current_exe()?;
+        let mut cmd = Command::new(exe);
+        cmd.arg("--exact")
+            .arg(test_name)
+            .arg("--nocapture")
+            .arg("--test-threads=1")
+            .env(var, value)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped());
+        for (k, v) in extra_env {
+            cmd.env(k, v);
+        }
+        cmd.spawn()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_writer_forwards_exactly_the_budget_then_errors() {
+        let mut out = Vec::new();
+        {
+            let mut w = ChaosWriter::new(&mut out, 10, Death::Error);
+            assert_eq!(w.write(b"0123").unwrap(), 4);
+            assert_eq!(w.write(b"4567").unwrap(), 4);
+            // This write crosses byte 10: "89" lands, then the failpoint.
+            let err = w.write(b"89ab").unwrap_err();
+            assert!(err.to_string().contains("byte 10"), "{err}");
+            assert_eq!(w.written(), 10);
+            // Every later write fails immediately.
+            assert!(w.write(b"x").is_err());
+        }
+        assert_eq!(out, b"0123456789");
+    }
+
+    #[test]
+    fn chaos_writer_with_zero_budget_dies_on_first_byte() {
+        let mut out = Vec::new();
+        let mut w = ChaosWriter::new(&mut out, 0, Death::Error);
+        assert!(w.write(b"x").is_err());
+        assert_eq!(w.written(), 0);
+        // Empty writes never trip the failpoint.
+        assert_eq!(w.write(b"").unwrap(), 0);
+    }
+
+    #[test]
+    fn corruption_helpers_damage_exactly_what_they_claim() {
+        let dir = std::env::temp_dir().join(format!("tdmatch-testutil-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("victim.bin");
+        std::fs::write(&path, [0u8; 64]).unwrap();
+
+        corrupt::flip_bits(&path, 17, 0x80).unwrap();
+        let data = std::fs::read(&path).unwrap();
+        assert_eq!(data[17], 0x80);
+        assert!(data.iter().enumerate().all(|(i, &b)| (i == 17) == (b != 0)));
+
+        corrupt::truncate_to(&path, 9).unwrap();
+        assert_eq!(corrupt::file_len(&path).unwrap(), 9);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -96,6 +96,16 @@ SERVE OPTIONS:
                        one batched top-k scan
     --batch-max N      max queries per batch (default 8, the engine's
                        query-block width)
+    --io-timeout-ms N  per-connection read/write deadline (default
+                       30000; 0 disables): clients stalled mid-frame or
+                       not draining responses are evicted
+    --max-inflight N   shed queries past N admitted-but-unanswered with
+                       a retryable `overloaded` error (default 1024;
+                       0 = unlimited)
+
+    The daemon hot-swaps its artifact on SIGHUP or a `reload` request:
+    publish a new file over PATH (atomic rename), then signal. A failed
+    reload keeps the old snapshot serving.
 
 QUERY OPTIONS (daemon mode, with --socket):
     --text \"…\"         match one new document (tokenized by the daemon)
@@ -103,7 +113,12 @@ QUERY OPTIONS (daemon mode, with --socket):
     --k N              ranked matches to return (default 5)
     --ping             liveness probe
     --stats            print the daemon's serving counters
+    --reload           ask the daemon to hot-swap its artifact
     --shutdown         ask the daemon to drain and exit
+    --retries N        retry retryable failures (overloaded, daemon
+                       restarting) with capped backoff + jitter
+                       (default 0)
+    --timeout-ms N     client-side socket deadline (default none)
 
 SERVING:
     `match`, `query`, `serve`, and `info` memory-map TDZ1 artifacts
@@ -341,15 +356,32 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
 /// `query --socket`: one request against a running daemon.
 #[cfg(unix)]
 fn cmd_query_socket(args: &[String]) -> Result<(), String> {
-    use tdmatch::serve::client::Client;
+    use std::time::Duration;
+    use tdmatch::serve::client::{Client, RetryPolicy};
 
     let socket = flag_value(args, "--socket")?.expect("checked by caller");
     let k: usize = match flag_value(args, "--k")? {
         Some(s) => parse_num(s, "k")?,
         None => 5,
     };
+    let retries: u32 = match flag_value(args, "--retries")? {
+        Some(s) => parse_num(s, "retries")?,
+        None => 0,
+    };
+    let timeout_ms: u64 = match flag_value(args, "--timeout-ms")? {
+        Some(s) => parse_num(s, "timeout-ms")?,
+        None => 0,
+    };
     let mut client =
         Client::connect(socket).map_err(|e| format!("connecting to {socket}: {e}"))?;
+    if retries > 0 {
+        client.set_retry_policy(RetryPolicy::with_retries(retries));
+    }
+    if timeout_ms > 0 {
+        client
+            .set_io_timeout(Some(Duration::from_millis(timeout_ms)))
+            .map_err(|e| e.to_string())?;
+    }
     if flag_present(args, "--ping") {
         client.ping().map_err(|e| e.to_string())?;
         println!("pong");
@@ -363,7 +395,16 @@ fn cmd_query_socket(args: &[String]) -> Result<(), String> {
         println!("mean batch: {:.2}", s.mean_batch());
         println!("max batch:  {}", s.max_batch);
         println!("errors:     {}", s.errors);
+        println!("shed:       {}", s.shed);
+        println!("evicted:    {}", s.evicted);
+        println!("reloads:    {} ({} failed)", s.reloads, s.reload_failures);
+        println!("generation: {}", s.generation);
         println!("uptime:     {:.1}s", s.uptime_secs);
+        return Ok(());
+    }
+    if flag_present(args, "--reload") {
+        let generation = client.reload().map_err(|e| e.to_string())?;
+        println!("reloaded (generation {generation})");
         return Ok(());
     }
     if flag_present(args, "--shutdown") {
@@ -377,7 +418,9 @@ fn cmd_query_socket(args: &[String]) -> Result<(), String> {
         let doc: usize = parse_num(id, "id")?;
         client.query_id(doc, k).map_err(|e| e.to_string())?
     } else {
-        return Err("daemon query needs --text, --id, --ping, --stats, or --shutdown".into());
+        return Err(
+            "daemon query needs --text, --id, --ping, --stats, --reload, or --shutdown".into(),
+        );
     };
     if ranked.is_empty() {
         return Err("no match (query unknown to the model)".into());
@@ -416,6 +459,14 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if batch_max == 0 {
         return Err("--batch-max must be at least 1".into());
     }
+    let io_timeout_ms: u64 = match flag_value(args, "--io-timeout-ms")? {
+        Some(s) => parse_num(s, "io-timeout-ms")?,
+        None => 30_000,
+    };
+    let max_inflight: usize = match flag_value(args, "--max-inflight")? {
+        Some(s) => parse_num(s, "max-inflight")?,
+        None => 1024,
+    };
 
     let matcher = Matcher::load(path).map_err(|e| format!("loading artifact: {e}"))?;
     let (targets, queries) = (matcher.targets(), matcher.queries());
@@ -427,22 +478,32 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 window: Duration::from_micros(window_us),
                 max_batch: batch_max,
             },
+            artifact: Some(path.into()),
+            io_timeout: Duration::from_millis(io_timeout_ms),
+            max_inflight,
+            reload_signal: Some(tdmatch::serve::signals::install_sighup()),
         },
     )
     .map_err(|e| format!("starting daemon: {e}"))?;
     eprintln!(
         "serving {path} ({targets} targets, {queries} queries) on {socket} \
-         [window {window_us}µs, batch ≤{batch_max}]"
+         [window {window_us}µs, batch ≤{batch_max}, inflight ≤{max_inflight}]"
     );
     eprintln!("stop with: tdmatch query --socket {socket} --shutdown");
+    eprintln!("hot swap:  republish {path}, then `kill -HUP {}`", std::process::id());
     let stats = server.join();
     eprintln!(
-        "daemon stopped: {} requests in {} batches (mean {:.2}, max {}), {} errors",
+        "daemon stopped: {} requests in {} batches (mean {:.2}, max {}), {} errors, \
+         {} shed, {} evicted, {} reloads ({} failed)",
         stats.requests,
         stats.batches,
         stats.mean_batch(),
         stats.max_batch,
         stats.errors,
+        stats.shed,
+        stats.evicted,
+        stats.reloads,
+        stats.reload_failures,
     );
     Ok(())
 }
