@@ -23,7 +23,13 @@
 //! AVEC   term vectors, term-major f32, term count × dim
 //! SMH0/SMD0/SMV0   first-corpus ScoreMatrix (header/rows/bitmap)
 //! SMH1/SMD1/SMV1   second-corpus ScoreMatrix
+//! ANH0/ANS0/ANO0/ANE0   optional HNSW index over the first corpus
 //! ```
+//!
+//! The ANN sections are written only when the artifact carries an index
+//! (see [`MatchArtifact::build_ann`]); artifacts without one are
+//! byte-identical to before the sections existed, and loaders ignore
+//! their absence.
 //!
 //! Loading via [`MatchArtifact::from_storage`] is zero-copy: both
 //! document matrices are views into the container buffer. The legacy v1
@@ -46,6 +52,7 @@ use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::path::Path;
 
+use tdmatch_embed::ann::{HnswIndex, HnswParams};
 use tdmatch_embed::score::ScoreMatrix;
 use tdmatch_graph::container::{pod_bytes, ContainerWriter, SectionTag, Storage};
 use tdmatch_graph::persist::{crc32, put_f32s, put_u32, ByteReader, DecodeError};
@@ -161,6 +168,8 @@ pub struct MatchArtifact {
     term_index: HashMap<String, usize>,
     first: ScoreMatrix,
     second: ScoreMatrix,
+    /// Optional HNSW index over the first (target-side) corpus.
+    ann: Option<HnswIndex>,
 }
 
 impl PartialEq for MatchArtifact {
@@ -169,6 +178,7 @@ impl PartialEq for MatchArtifact {
             && self.terms == other.terms
             && self.first == other.first
             && self.second == other.second
+            && self.ann == other.ann
     }
 }
 
@@ -225,6 +235,7 @@ impl MatchArtifact {
             term_index,
             first,
             second,
+            ann: None,
         }
     }
 
@@ -285,6 +296,53 @@ impl MatchArtifact {
     /// matrices.
     pub fn match_top_k(&self, k: usize) -> Vec<MatchResult> {
         top_k_matches_matrix(&self.second, &self.first, k, None, None)
+    }
+
+    /// Builds (or rebuilds) the HNSW index over the first (target-side)
+    /// corpus. `O(T log T)` distance evaluations — a build-time cost;
+    /// queries afterwards retrieve candidate pools in ~`O(pool log T)`.
+    pub fn build_ann(&mut self, params: &HnswParams) {
+        self.ann = Some(HnswIndex::build(&self.first, params));
+    }
+
+    /// Drops the stored ANN index (subsequent saves omit its sections).
+    pub fn clear_ann(&mut self) {
+        self.ann = None;
+    }
+
+    /// The stored ANN index over the first corpus, when present.
+    pub fn ann(&self) -> Option<&HnswIndex> {
+        self.ann.as_ref()
+    }
+
+    /// The candidate pool for one query row: the ANN index's widened
+    /// pool **plus every invalid target row** — the exact scan offers
+    /// invalid rows too (they score exactly `-1.0`), so appending them
+    /// keeps missing-target semantics identical, and a pool widened to
+    /// the corpus size reproduces the exact scan bit-for-bit.
+    ///
+    /// Returns `None` when no index is stored.
+    pub fn ann_pool(&self, qrow: &[f32], pool: usize) -> Option<Vec<usize>> {
+        let ann = self.ann.as_ref()?;
+        let mut cands = ann.search(&self.first, qrow, pool);
+        cands.extend((0..self.first.rows()).filter(|&t| !self.first.is_valid(t)));
+        Some(cands)
+    }
+
+    /// [`match_top_k`](MatchArtifact::match_top_k) through the ANN
+    /// index: each query retrieves a widened pool of `pool` candidates
+    /// which is then exact-rescored with the engine's own kernels — the
+    /// published ranking keeps the engine's exact total order over the
+    /// pool. Falls back to the exact scan when no index is stored.
+    pub fn match_top_k_ann(&self, k: usize, pool: usize) -> Vec<MatchResult> {
+        if self.ann.is_none() {
+            return self.match_top_k(k);
+        }
+        let cand = |q: usize| {
+            self.ann_pool(self.second.row(q), pool)
+                .expect("index presence checked above")
+        };
+        top_k_matches_matrix(&self.second, &self.first, k, None, Some(&cand))
     }
 
     /// Embeds an *unseen* document as the mean of its known terms' vectors
@@ -352,6 +410,9 @@ impl MatchArtifact {
         cw.add_pod(SEC_TERM_VECTORS, &vecs);
         self.first.write_sections(FIRST_SLOT, &mut cw);
         self.second.write_sections(SECOND_SLOT, &mut cw);
+        if let Some(ann) = &self.ann {
+            ann.write_sections(FIRST_SLOT, &mut cw);
+        }
         cw.write_to(w).map_err(PersistError::from)
     }
 
@@ -430,6 +491,15 @@ impl MatchArtifact {
         if first.dim() != dim || second.dim() != dim {
             return Err(PersistError::Invalid("matrix dim disagrees with header"));
         }
+        let ann = if HnswIndex::present(&container, FIRST_SLOT) {
+            let index = HnswIndex::from_sections(storage, &container, FIRST_SLOT)?;
+            if index.rows() != first.rows() {
+                return Err(PersistError::Invalid("ann index shape disagrees with matrix"));
+            }
+            Some(index)
+        } else {
+            None
+        };
         let (terms, term_index) = sort_and_index(terms);
         Ok(Self {
             dim,
@@ -437,6 +507,7 @@ impl MatchArtifact {
             term_index,
             first,
             second,
+            ann,
         })
     }
 
@@ -799,6 +870,87 @@ mod tests {
         );
         assert_eq!(a.term_count(), 2);
         assert!(a.term_vector("a").is_some());
+    }
+
+    fn sample_with_ann(targets: usize, dim: usize) -> MatchArtifact {
+        let mut state = 0x5EEDu64;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 40) as f32 / (1 << 24) as f32 - 0.5
+        };
+        let first: Vec<Option<Vec<f32>>> = (0..targets)
+            .map(|i| (i % 11 != 7).then(|| (0..dim).map(|_| next()).collect()))
+            .collect();
+        let second: Vec<Option<Vec<f32>>> =
+            (0..4).map(|_| Some((0..dim).map(|_| next()).collect())).collect();
+        let mut a = MatchArtifact::new(dim, Vec::new(), first, second);
+        a.build_ann(&HnswParams::default());
+        a
+    }
+
+    #[test]
+    fn ann_index_roundtrips_bit_identical() {
+        let a = sample_with_ann(120, 8);
+        assert!(a.ann().is_some());
+        let b = roundtrip(&a);
+        assert_eq!(a, b);
+        assert_eq!(b.ann().map(|i| i.layers()), a.ann().map(|i| i.layers()));
+        // An artifact without an index stays index-less through a save.
+        let mut plain = sample();
+        plain.clear_ann();
+        assert!(roundtrip(&plain).ann().is_none());
+    }
+
+    #[test]
+    fn ann_match_rescores_exactly_over_a_wide_pool() {
+        let a = sample_with_ann(120, 8);
+        // Pool as wide as the corpus ⇒ identical to the exact scan,
+        // indices, tie-breaks, and score bits alike.
+        assert_eq!(a.match_top_k(5), a.match_top_k_ann(5, 120));
+        // Without an index the ANN entry point is the exact scan.
+        let mut plain = sample_with_ann(120, 8);
+        plain.clear_ann();
+        assert_eq!(plain.match_top_k(5), plain.match_top_k_ann(5, 16));
+    }
+
+    #[test]
+    fn ann_bit_flip_anywhere_is_detected() {
+        // Same everywhere-flip coverage as the plain artifact, over a
+        // file that carries the four ANN sections.
+        let mut clean = Vec::new();
+        sample_with_ann(40, 4).write_to(&mut clean).unwrap();
+        for pos in 4..clean.len() {
+            let mut buf = clean.clone();
+            buf[pos] ^= 0x01;
+            assert!(
+                MatchArtifact::read_from(&mut buf.as_slice()).is_err(),
+                "bit flip at {pos} loaded silently"
+            );
+        }
+    }
+
+    #[test]
+    fn ann_shape_mismatch_is_rejected() {
+        // An index over a different row count must not pair with the
+        // matrices it did not come from.
+        let a = sample_with_ann(40, 4);
+        let mut cw = ContainerWriter::new();
+        cw.add(
+            SEC_ARTIFACT_HEADER,
+            pod_bytes(&[FORMAT_VERSION as u64, 4, 0]),
+        );
+        cw.add(SEC_TERM_LABELS, Vec::new());
+        cw.add_pod(SEC_TERM_VECTORS, &[] as &[f32]);
+        let small = ScoreMatrix::invalid(3, 4);
+        small.write_sections(FIRST_SLOT, &mut cw);
+        small.write_sections(SECOND_SLOT, &mut cw);
+        let ann = a.ann().unwrap();
+        ann.write_sections(FIRST_SLOT, &mut cw);
+        let bytes = cw.finish();
+        let err = MatchArtifact::from_storage(&Storage::from_bytes(&bytes)).unwrap_err();
+        assert!(matches!(err, PersistError::Invalid(_)), "got {err:?}");
     }
 
     #[test]

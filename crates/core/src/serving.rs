@@ -35,6 +35,25 @@ use tdmatch_embed::score::QueryBlock;
 use crate::artifact::{MatchArtifact, PersistError};
 use crate::matcher::top_k_matches_matrix;
 
+/// How many ANN candidates a batch actually retrieved — the raw
+/// material for the daemon's `ann_queries` / `mean_pool` counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AnnUsage {
+    /// Queries whose candidates came from the ANN index.
+    pub queries: u64,
+    /// Total candidates offered to the exact rescorer across those
+    /// queries (pool hits plus the invalid-row appendix).
+    pub pooled: u64,
+}
+
+impl AnnUsage {
+    /// Accumulates another batch's usage.
+    pub fn add(&mut self, other: AnnUsage) {
+        self.queries += other.queries;
+        self.pooled += other.pooled;
+    }
+}
+
 /// One serving request: which query row to rank against the artifact's
 /// target corpus.
 #[derive(Debug, Clone, PartialEq)]
@@ -119,12 +138,44 @@ pub type Ranked = Vec<(usize, f32)>;
 #[derive(Debug, Clone)]
 pub struct Matcher {
     artifact: MatchArtifact,
+    /// `Some(pool)` ⇒ queries default to ANN retrieval with this pool
+    /// width (when the artifact carries an index); `None` ⇒ exact scan.
+    ann_pool: Option<usize>,
 }
 
 impl Matcher {
-    /// Wraps a loaded (or freshly exported) artifact.
+    /// Wraps a loaded (or freshly exported) artifact. ANN retrieval
+    /// starts **off** — the default path is the exact scan.
     pub fn new(artifact: MatchArtifact) -> Self {
-        Self { artifact }
+        Self {
+            artifact,
+            ann_pool: None,
+        }
+    }
+
+    /// Enables ANN retrieval by default, with `pool` candidates per
+    /// query (builder form of [`set_ann_pool`](Matcher::set_ann_pool)).
+    pub fn with_ann_pool(mut self, pool: usize) -> Self {
+        self.ann_pool = Some(pool);
+        self
+    }
+
+    /// Sets (or clears) the default retrieval mode: `Some(pool)` routes
+    /// queries through the ANN index with that pool width, `None`
+    /// restores the exact scan. Has no effect on artifacts without an
+    /// index — those always scan exactly.
+    pub fn set_ann_pool(&mut self, pool: Option<usize>) {
+        self.ann_pool = pool;
+    }
+
+    /// The configured default pool width, when ANN mode is on.
+    pub fn ann_pool(&self) -> Option<usize> {
+        self.ann_pool
+    }
+
+    /// True when the wrapped artifact carries an ANN index.
+    pub fn ann_ready(&self) -> bool {
+        self.artifact.ann().is_some()
     }
 
     /// Loads an artifact file and wraps it — the daemon's startup path.
@@ -210,6 +261,34 @@ impl Matcher {
         queries: &[Query],
         k: usize,
     ) -> Vec<Result<Ranked, QueryError>> {
+        self.query_batch_with_mode(block, queries, k, self.ann_pool.is_some())
+            .0
+    }
+
+    /// [`query_batch_with`](Matcher::query_batch_with) with the
+    /// retrieval mode chosen per call: `ann = true` routes every query
+    /// in the batch through the ANN index's widened pool (falling back
+    /// to the exact scan when the artifact has no index), `ann = false`
+    /// forces the exact scan regardless of the configured default. The
+    /// daemon's scheduler uses this to honour the protocol's per-request
+    /// `ann` flag.
+    ///
+    /// The returned [`AnnUsage`] reports how many queries actually
+    /// pooled through the index and how many candidates they offered —
+    /// zeros whenever the exact path ran.
+    pub fn query_batch_with_mode(
+        &self,
+        block: &mut QueryBlock,
+        queries: &[Query],
+        k: usize,
+        ann: bool,
+    ) -> (Vec<Result<Ranked, QueryError>>, AnnUsage) {
+        let use_ann = ann && self.ann_ready();
+        let pool = self
+            .ann_pool
+            .unwrap_or(tdmatch_embed::ann::DEFAULT_POOL)
+            .max(1);
+        let mut usage = AnnUsage::default();
         let second = self.artifact.second_matrix();
         let mut out: Vec<Result<Ranked, QueryError>> = Vec::with_capacity(queries.len());
         for chunk in queries.chunks(block.capacity().max(1)) {
@@ -250,8 +329,28 @@ impl Matcher {
                 };
                 errs.push(err);
             }
-            let ranked =
-                top_k_matches_matrix(block.matrix(), self.artifact.first_matrix(), k, None, None);
+            let ranked = if use_ann {
+                let qm = block.matrix();
+                let pooled = std::sync::atomic::AtomicU64::new(0);
+                let ann_queries = std::sync::atomic::AtomicU64::new(0);
+                let cand = |q: usize| {
+                    let c = self
+                        .ann_pool_for(qm.row(q), pool)
+                        .expect("use_ann implies a stored index");
+                    ann_queries.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    pooled.fetch_add(c.len() as u64, std::sync::atomic::Ordering::Relaxed);
+                    c
+                };
+                let ranked =
+                    top_k_matches_matrix(qm, self.artifact.first_matrix(), k, None, Some(&cand));
+                usage.add(AnnUsage {
+                    queries: ann_queries.into_inner(),
+                    pooled: pooled.into_inner(),
+                });
+                ranked
+            } else {
+                top_k_matches_matrix(block.matrix(), self.artifact.first_matrix(), k, None, None)
+            };
             for (result, err) in ranked.into_iter().take(chunk.len()).zip(errs) {
                 out.push(match err {
                     Some(e) => Err(e),
@@ -259,7 +358,13 @@ impl Matcher {
                 });
             }
         }
-        out
+        (out, usage)
+    }
+
+    /// The widened candidate pool for one pre-normalized query row —
+    /// delegates to [`MatchArtifact::ann_pool`].
+    fn ann_pool_for(&self, qrow: &[f32], pool: usize) -> Option<Vec<usize>> {
+        self.artifact.ann_pool(qrow, pool)
     }
 }
 
@@ -320,8 +425,14 @@ impl MatcherCell {
     /// Loads an artifact file and installs it. On error the cell is
     /// **unchanged** — the previous snapshot keeps serving — making this
     /// the safe reload primitive for a live daemon.
+    ///
+    /// The outgoing snapshot's retrieval configuration (the ANN pool
+    /// width, see [`Matcher::set_ann_pool`]) carries over to the fresh
+    /// matcher — a hot swap must not silently flip a daemon out of ANN
+    /// mode.
     pub fn reload_from<P: AsRef<std::path::Path>>(&self, path: P) -> Result<(), PersistError> {
-        let fresh = Matcher::load(path)?;
+        let mut fresh = Matcher::load(path)?;
+        fresh.set_ann_pool(self.get().ann_pool());
         drop(self.replace(fresh));
         Ok(())
     }
@@ -492,6 +603,73 @@ mod tests {
         assert_eq!(cell.get().query_by_id(0, 4).unwrap(), baseline);
         std::fs::remove_file(&good).ok();
         std::fs::remove_file(&bad).ok();
+    }
+
+    #[test]
+    fn ann_mode_with_wide_pool_is_bit_identical_to_exact() {
+        let mut a = artifact();
+        a.build_ann(&tdmatch_embed::ann::HnswParams::default());
+        let exact = Matcher::new(a.clone());
+        // Pool ≥ corpus size ⇒ the widened pool is the whole corpus and
+        // the rescorer reproduces the exact scan bit-for-bit.
+        let ann = Matcher::new(a).with_ann_pool(1_000);
+        let mut batch: Vec<Query> = (0..exact.queries()).map(Query::ById).collect();
+        batch.push(Query::ByVector(vec![0.3, 0.7]));
+        let want = exact.query_batch(&batch, 6);
+        let got = ann.query_batch(&batch, 6);
+        assert_eq!(want.len(), got.len());
+        for (w, g) in want.iter().zip(&got) {
+            let (w, g) = (w.as_ref().unwrap(), g.as_ref().unwrap());
+            assert_eq!(w.len(), g.len());
+            for (a, b) in w.iter().zip(g) {
+                assert_eq!((a.0, a.1.to_bits()), (b.0, b.1.to_bits()));
+            }
+        }
+    }
+
+    #[test]
+    fn per_batch_mode_overrides_the_default_and_reports_usage() {
+        let mut a = artifact();
+        a.build_ann(&tdmatch_embed::ann::HnswParams::default());
+        let m = Matcher::new(a).with_ann_pool(4);
+        let mut block = m.query_block();
+        let batch = [Query::ById(0), Query::ById(4), Query::ById(2)];
+
+        // Forced-exact batches never touch the index.
+        let (_, usage) = m.query_batch_with_mode(&mut block, &batch, 3, false);
+        assert_eq!(usage, AnnUsage::default());
+
+        // ANN batches pool once per *valid* query (id 4 is missing).
+        let (_, usage) = m.query_batch_with_mode(&mut block, &batch, 3, true);
+        assert_eq!(usage.queries, 2);
+        assert!(usage.pooled >= usage.queries);
+
+        // Without an index, a requested-ANN batch falls back to exact.
+        let plain = Matcher::new(artifact()).with_ann_pool(4);
+        assert!(!plain.ann_ready());
+        let (ranked, usage) = plain.query_batch_with_mode(&mut block, &batch, 3, true);
+        assert_eq!(usage, AnnUsage::default());
+        assert_eq!(ranked.len(), 3);
+    }
+
+    #[test]
+    fn reload_preserves_the_ann_pool_configuration() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("tdmatch-cell-annpool-{}.tdz", std::process::id()));
+        let mut a = artifact();
+        a.build_ann(&tdmatch_embed::ann::HnswParams::default());
+        a.save(&path).unwrap();
+
+        let cell = MatcherCell::new(Matcher::load(&path).unwrap().with_ann_pool(128));
+        assert_eq!(cell.get().ann_pool(), Some(128));
+        cell.reload_from(&path).unwrap();
+        assert_eq!(
+            cell.get().ann_pool(),
+            Some(128),
+            "hot swap must not drop ANN mode"
+        );
+        assert!(cell.get().ann_ready());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

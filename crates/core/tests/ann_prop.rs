@@ -1,0 +1,197 @@
+//! Property tests pinning ANN retrieval to the exact engine:
+//!
+//! * an ANN pool widened to the corpus size reproduces the exact scan
+//!   **bit-for-bit** (indices, tie-breaks, score bits), sequentially
+//!   and at any thread count — the widened-pool rerank is a pure
+//!   candidate filter over the same kernels, never a different scorer;
+//! * the ANN-off default path is bit-identical whether or not the
+//!   artifact carries an index (the index is dormant until asked for);
+//! * an indexed artifact round-trips through save → mapped load with
+//!   the index (and every ANN answer) bit-identical.
+
+use proptest::prelude::*;
+
+use tdmatch_core::artifact::MatchArtifact;
+use tdmatch_core::matcher::{top_k_matches_matrix, top_k_matches_matrix_parallel};
+use tdmatch_core::serving::{Matcher, Query};
+use tdmatch_embed::ann::HnswParams;
+
+/// SplitMix64 — deterministic vector material from a proptest seed.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit(state: &mut u64) -> f32 {
+    (splitmix(state) >> 40) as f32 / (1u64 << 23) as f32 - 1.0
+}
+
+/// Optional rows: ~1/5 missing, ~1/7 all-zero, rest random in [-1, 1).
+fn gen_rows(n: usize, dim: usize, state: &mut u64) -> Vec<Option<Vec<f32>>> {
+    (0..n)
+        .map(|_| {
+            let marker = splitmix(state) % 35;
+            if marker % 5 == 4 {
+                None
+            } else if marker % 7 == 3 {
+                Some(vec![0.0; dim])
+            } else {
+                Some((0..dim).map(|_| unit(state)).collect())
+            }
+        })
+        .collect()
+}
+
+fn indexed_artifact(
+    dim: usize,
+    n_targets: usize,
+    n_queries: usize,
+    state: &mut u64,
+) -> MatchArtifact {
+    let first = gen_rows(n_targets, dim, state);
+    let second = gen_rows(n_queries, dim, state);
+    let terms = vec![
+        ("a".to_string(), (0..dim).map(|_| unit(state)).collect()),
+        ("b".to_string(), (0..dim).map(|_| unit(state)).collect()),
+    ];
+    let mut artifact = MatchArtifact::new(dim, terms, first, second);
+    artifact.build_ann(&HnswParams::default());
+    artifact
+}
+
+/// Rankings with scores demoted to bits, so equality is bit-exact.
+fn result_bits(results: &[tdmatch_core::matcher::MatchResult]) -> Vec<(usize, Vec<(usize, u32)>)> {
+    results
+        .iter()
+        .map(|r| {
+            (
+                r.query,
+                r.ranked.iter().map(|&(t, s)| (t, s.to_bits())).collect(),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Pool ≥ corpus ⟹ ANN ≡ exact scan, bit for bit, at any thread
+    /// count.
+    #[test]
+    fn wide_pool_ann_reproduces_the_exact_scan(
+        dim in 1usize..10,
+        n_targets in 0usize..40,
+        n_queries in 0usize..6,
+        k in 0usize..12,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut state = seed ^ 0xA57;
+        let artifact = indexed_artifact(dim, n_targets, n_queries, &mut state);
+
+        let exact = artifact.match_top_k(k);
+        let ann = artifact.match_top_k_ann(k, n_targets.max(1));
+        prop_assert_eq!(result_bits(&exact), result_bits(&ann));
+
+        // The same pool closure through the parallel matrix kernel.
+        let pool = n_targets.max(1);
+        let cand = |q: usize| {
+            artifact
+                .ann_pool(artifact.second_matrix().row(q), pool)
+                .expect("index was built")
+        };
+        let cand_sync: Option<&(dyn Fn(usize) -> Vec<usize> + Sync)> = Some(&cand);
+        let sequential = top_k_matches_matrix(
+            artifact.second_matrix(),
+            artifact.first_matrix(),
+            k,
+            None,
+            Some(&cand),
+        );
+        prop_assert_eq!(result_bits(&exact), result_bits(&sequential));
+        for threads in [1usize, 2, 7] {
+            let par = top_k_matches_matrix_parallel(
+                artifact.second_matrix(),
+                artifact.first_matrix(),
+                k,
+                None,
+                cand_sync,
+                threads,
+            );
+            prop_assert_eq!(
+                result_bits(&exact), result_bits(&par),
+                "threads = {}", threads
+            );
+        }
+    }
+
+    /// With ANN off (the default), a matcher answers bit-identically
+    /// whether or not the artifact carries an index.
+    #[test]
+    fn dormant_index_never_changes_the_default_path(
+        dim in 1usize..10,
+        n_targets in 1usize..30,
+        n_queries in 1usize..5,
+        k in 0usize..10,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut state = seed ^ 0xBEE;
+        let indexed = indexed_artifact(dim, n_targets, n_queries, &mut state);
+        let mut plain = indexed.clone();
+        plain.clear_ann();
+
+        let with_index = Matcher::new(indexed);
+        let without = Matcher::new(plain);
+        prop_assert!(with_index.ann_pool().is_none(), "ANN must default off");
+
+        let queries: Vec<Query> = (0..n_queries + 1).map(Query::ById).collect();
+        let a = with_index.query_batch(&queries, k);
+        let b = without.query_batch(&queries, k);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            match (x, y) {
+                (Ok(rx), Ok(ry)) => {
+                    let bx: Vec<(usize, u32)> =
+                        rx.iter().map(|&(t, s)| (t, s.to_bits())).collect();
+                    let by: Vec<(usize, u32)> =
+                        ry.iter().map(|&(t, s)| (t, s.to_bits())).collect();
+                    prop_assert_eq!(bx, by);
+                }
+                (Err(_), Err(_)) => {}
+                other => prop_assert!(false, "diverged: {:?}", other),
+            }
+        }
+    }
+
+    /// save → mapped load keeps the index and every ANN answer
+    /// bit-identical.
+    #[test]
+    fn indexed_artifact_roundtrips_through_mapped_load(
+        dim in 1usize..8,
+        n_targets in 0usize..30,
+        k in 0usize..8,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut state = seed ^ 0xD15C;
+        let artifact = indexed_artifact(dim, n_targets, 3, &mut state);
+        let dir = std::env::temp_dir().join(format!(
+            "tdmatch-ann-prop-{}-{seed}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        let path = dir.join("indexed.tdz");
+        artifact.save(&path).expect("save");
+        let loaded = MatchArtifact::load(&path).expect("mapped load");
+        prop_assert_eq!(&artifact, &loaded);
+        for pool in [1usize, 7, n_targets.max(1)] {
+            prop_assert_eq!(
+                result_bits(&artifact.match_top_k_ann(k, pool)),
+                result_bits(&loaded.match_top_k_ann(k, pool)),
+                "pool = {}", pool
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,799 @@
+//! Sub-linear candidate retrieval: a persisted HNSW index over
+//! pre-normalized [`ScoreMatrix`] rows.
+//!
+//! Every query in the matching phase today scans all `T` target rows
+//! (`O(T·dim)`). This module builds a Hierarchical Navigable Small World
+//! graph (Malkov & Yashunin) over the *existing* rows — neighbor lists
+//! store row indices, never vector copies — so a query can
+//! ANN-retrieve a widened candidate pool in roughly `O(log T · pool)`
+//! distance evaluations, and the engine then exact-rescores the pool
+//! with the same [`dot_unrolled`]/`TopK` kernels it always used. The
+//! published ranking therefore keeps the engine's exact total order
+//! *over the pool*; widening the pool to the corpus size recovers the
+//! exact scan bit-for-bit (pinned by property tests).
+//!
+//! # Determinism
+//!
+//! Construction is sequential over valid rows in ascending index order,
+//! with layer assignment drawn from a seeded [`SmallRng`]
+//! (`floor(-ln(u)·mL)`, `mL = 1/ln(M)`). All heap orderings break ties
+//! on ascending row index via [`f32::total_cmp`], so the same matrix,
+//! parameters, and seed always produce the same index — and the same
+//! index always produces the same candidate pool for a query.
+//!
+//! # Distance
+//!
+//! Rows are L2-pre-normalized, so cosine distance is `1 − dot(a, b)`
+//! with the engine's own [`dot_unrolled`] kernel. Only *valid* rows are
+//! inserted; invalid (missing) rows never appear in a pool — the
+//! serving layer appends them separately so missing-target semantics
+//! (score exactly `-1.0`) survive ANN retrieval.
+//!
+//! # Persistence
+//!
+//! The index serializes as four `TDZ1` sections per slot (tags
+//! `ANH`/`ANS`/`ANO`/`ANE` + slot byte, mirroring the `SM?` family):
+//! a header, per-layer segment starts into one concatenated neighbor
+//! array, per-layer CSR offsets, and the neighbor array itself. All
+//! arrays load as zero-copy [`FlatBuf`] views, and
+//! [`from_sections`](HnswIndex::from_sections) fully validates the
+//! structure (monotone offsets, in-range neighbors, entry point) so
+//! search over a mapped index is panic-free; the sections' CRCs are
+//! verified on that first access per the container's lazy-CRC contract.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use tdmatch_graph::container::{Container, ContainerWriter, FlatBuf, SectionTag, Storage};
+use tdmatch_graph::DecodeError;
+
+use crate::score::{dot_unrolled, ScoreMatrix};
+
+/// Default widened candidate-pool size for ANN retrieval (~4k): a
+/// recall-first default — recall@20 ≈ 1.0 on every benchmarked tier,
+/// at worst break-even with the exact scan. Narrower pools buy the
+/// speed (≈20× at 256k targets with pool 256); see `BENCH_ann.json`
+/// for the measured recall/speedup curve.
+pub const DEFAULT_POOL: usize = 4096;
+
+/// HNSW construction parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HnswParams {
+    /// Max neighbors per node on layers above 0 (layer 0 keeps `2·m`).
+    pub m: usize,
+    /// Size of the dynamic candidate list during construction.
+    pub ef_construction: usize,
+    /// Seed for the layer-assignment RNG.
+    pub seed: u64,
+}
+
+impl Default for HnswParams {
+    fn default() -> Self {
+        HnswParams {
+            m: 16,
+            ef_construction: 100,
+            seed: 42,
+        }
+    }
+}
+
+/// On-disk header version for the `ANH` section.
+const ANN_VERSION: u64 = 1;
+
+/// A built (or mapped) HNSW index over one [`ScoreMatrix`]'s rows.
+///
+/// Adjacency is flat: one concatenated `neighbors` array, per-layer
+/// CSR `offsets` (length `layers·(rows+1)`, each layer's run starting
+/// at 0), and per-layer `seg` starts (length `layers+1`) into
+/// `neighbors`. Layer 0 holds every inserted node; higher layers thin
+/// out geometrically, with `entry` the sole occupant of the top layer's
+/// greedy-descent start.
+#[derive(Debug, Clone, Default)]
+pub struct HnswIndex {
+    m: u64,
+    ef_construction: u64,
+    seed: u64,
+    /// Row count of the source matrix (valid or not).
+    rows: usize,
+    /// Inserted (valid) rows.
+    count: usize,
+    /// Number of layers (0 for an empty index).
+    layers: usize,
+    /// Entry-point row index for greedy descent.
+    entry: usize,
+    /// Per-layer starts into `neighbors`; `seg[layers]` is its length.
+    seg: FlatBuf<u64>,
+    /// Per-layer CSR offsets, relative to the layer's segment start.
+    offsets: FlatBuf<u32>,
+    /// Concatenated neighbor row indices for every (layer, node).
+    neighbors: FlatBuf<u32>,
+}
+
+impl PartialEq for HnswIndex {
+    fn eq(&self, other: &Self) -> bool {
+        self.m == other.m
+            && self.ef_construction == other.ef_construction
+            && self.seed == other.seed
+            && self.rows == other.rows
+            && self.count == other.count
+            && self.layers == other.layers
+            && self.entry == other.entry
+            && self.seg[..] == other.seg[..]
+            && self.offsets[..] == other.offsets[..]
+            && self.neighbors[..] == other.neighbors[..]
+    }
+}
+
+/// Max-heap entry ordered by distance, ties by ascending row index
+/// (larger index compares greater, so ties evict the larger index
+/// first — any consistent rule works; this one is deterministic).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Cand {
+    dist: f32,
+    node: u32,
+}
+
+impl Eq for Cand {}
+
+impl Ord for Cand {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.dist
+            .total_cmp(&other.dist)
+            .then_with(|| self.node.cmp(&other.node))
+    }
+}
+
+impl PartialOrd for Cand {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// O(1)-reset visited set: generation-stamped, allocated once per
+/// search/build instead of once per layer traversal.
+struct Visited {
+    stamp: Vec<u32>,
+    generation: u32,
+}
+
+impl Visited {
+    fn new(n: usize) -> Self {
+        Visited {
+            stamp: vec![0; n],
+            generation: 0,
+        }
+    }
+
+    fn next_generation(&mut self) {
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            self.stamp.fill(0);
+            self.generation = 1;
+        }
+    }
+
+    /// True when `i` was not yet visited this generation (and marks it).
+    fn insert(&mut self, i: u32) -> bool {
+        let slot = &mut self.stamp[i as usize];
+        if *slot == self.generation {
+            false
+        } else {
+            *slot = self.generation;
+            true
+        }
+    }
+}
+
+/// Cosine distance between a query row and target row `t` (both
+/// pre-normalized): `1 − dot`.
+#[inline]
+fn dist_to(matrix: &ScoreMatrix, qrow: &[f32], t: u32) -> f32 {
+    1.0 - dot_unrolled(qrow, matrix.row(t as usize))
+}
+
+/// Greedy beam search within one layer: starting from `eps`, expands
+/// the closest unexpanded candidate until the `ef` best found can no
+/// longer improve. Returns the best ≤`ef` nodes sorted by ascending
+/// `(distance, index)`.
+fn search_layer<'a, F>(
+    matrix: &ScoreMatrix,
+    qrow: &[f32],
+    eps: &[Cand],
+    ef: usize,
+    visited: &mut Visited,
+    neigh: F,
+) -> Vec<Cand>
+where
+    F: Fn(u32) -> &'a [u32],
+{
+    visited.next_generation();
+    let mut frontier: BinaryHeap<Reverse<Cand>> = BinaryHeap::new();
+    let mut best: BinaryHeap<Cand> = BinaryHeap::new();
+    for &ep in eps {
+        if visited.insert(ep.node) {
+            frontier.push(Reverse(ep));
+            best.push(ep);
+        }
+    }
+    while best.len() > ef {
+        best.pop();
+    }
+    while let Some(Reverse(c)) = frontier.pop() {
+        if best.len() >= ef {
+            if let Some(worst) = best.peek() {
+                if c.dist > worst.dist {
+                    break;
+                }
+            }
+        }
+        for &nb in neigh(c.node) {
+            if !visited.insert(nb) {
+                continue;
+            }
+            let d = dist_to(matrix, qrow, nb);
+            let cand = Cand { dist: d, node: nb };
+            if best.len() < ef || cand < *best.peek().expect("ef > 0") {
+                frontier.push(Reverse(cand));
+                best.push(cand);
+                if best.len() > ef {
+                    best.pop();
+                }
+            }
+        }
+    }
+    let mut out = best.into_vec();
+    out.sort_unstable();
+    out
+}
+
+/// The paper's `SELECT-NEIGHBORS-HEURISTIC`: from candidates sorted by
+/// ascending distance, keep one only when it is closer to the query
+/// point than to every already-selected neighbor (diversity), then
+/// backfill with the closest pruned candidates up to `m_max`.
+fn select_neighbors(matrix: &ScoreMatrix, cands: &[Cand], m_max: usize) -> Vec<u32> {
+    let mut selected: Vec<u32> = Vec::with_capacity(m_max.min(cands.len()));
+    let mut pruned: Vec<u32> = Vec::new();
+    for c in cands {
+        if selected.len() >= m_max {
+            break;
+        }
+        let crow = matrix.row(c.node as usize);
+        let diverse = selected
+            .iter()
+            .all(|&s| 1.0 - dot_unrolled(crow, matrix.row(s as usize)) > c.dist);
+        if diverse {
+            selected.push(c.node);
+        } else {
+            pruned.push(c.node);
+        }
+    }
+    for p in pruned {
+        if selected.len() >= m_max {
+            break;
+        }
+        selected.push(p);
+    }
+    selected
+}
+
+impl HnswIndex {
+    /// Builds the index over `matrix`'s valid rows, sequentially and
+    /// deterministically (see the [module docs](self)). `O(T·log T)`
+    /// distance evaluations; intended for artifact build time, not the
+    /// query path.
+    pub fn build(matrix: &ScoreMatrix, params: &HnswParams) -> Self {
+        let m = params.m.max(2);
+        let efc = params.ef_construction.max(m);
+        let ml = 1.0 / (m as f64).ln();
+        let mut rng = SmallRng::seed_from_u64(params.seed);
+        let rows = matrix.rows();
+
+        // Build-time adjacency: graph[layer][node] — flattened below.
+        let mut graph: Vec<Vec<Vec<u32>>> = Vec::new();
+        let mut visited = Visited::new(rows);
+        let mut entry = 0usize;
+        let mut count = 0usize;
+
+        for i in 0..rows {
+            if !matrix.is_valid(i) {
+                continue;
+            }
+            let u: f64 = rng.random();
+            let level = ((-u.max(f64::MIN_POSITIVE).ln() * ml).floor() as usize).min(31);
+            let node = i as u32;
+            let qrow = matrix.row(i);
+            let top = graph.len();
+
+            if count == 0 {
+                for _ in 0..=level {
+                    graph.push(vec![Vec::new(); rows]);
+                }
+                entry = i;
+                count = 1;
+                continue;
+            }
+
+            let mut eps = vec![Cand {
+                dist: dist_to(matrix, qrow, entry as u32),
+                node: entry as u32,
+            }];
+            // Greedy descent (ef = 1) through layers above the node's.
+            for l in ((level + 1)..top).rev() {
+                let layer = &graph[l];
+                eps = search_layer(matrix, qrow, &eps, 1, &mut visited, |n| {
+                    layer[n as usize].as_slice()
+                });
+            }
+            // Connect on every layer the node occupies.
+            for l in (0..=level.min(top - 1)).rev() {
+                let cands = {
+                    let layer = &graph[l];
+                    search_layer(matrix, qrow, &eps, efc, &mut visited, |n| {
+                        layer[n as usize].as_slice()
+                    })
+                };
+                let m_max = if l == 0 { 2 * m } else { m };
+                let sel = select_neighbors(matrix, &cands, m);
+                for &nb in &sel {
+                    graph[l][nb as usize].push(node);
+                    if graph[l][nb as usize].len() > m_max {
+                        // Re-select the owner's neighbors to respect m_max.
+                        let owner_row = matrix.row(nb as usize);
+                        let mut owned: Vec<Cand> = graph[l][nb as usize]
+                            .iter()
+                            .map(|&x| Cand {
+                                dist: dist_to(matrix, owner_row, x),
+                                node: x,
+                            })
+                            .collect();
+                        owned.sort_unstable();
+                        graph[l][nb as usize] = select_neighbors(matrix, &owned, m_max);
+                    }
+                }
+                graph[l][i] = sel;
+                eps = cands;
+            }
+            if level >= top {
+                for _ in top..=level {
+                    graph.push(vec![Vec::new(); rows]);
+                }
+                entry = i;
+            }
+            count += 1;
+        }
+
+        // Flatten to per-layer CSR over one concatenated neighbor array.
+        let layers = graph.len();
+        let mut seg: Vec<u64> = Vec::with_capacity(layers + 1);
+        let mut offsets: Vec<u32> = Vec::with_capacity(layers * (rows + 1));
+        let mut neighbors: Vec<u32> = Vec::new();
+        seg.push(0);
+        for layer in &graph {
+            let base = neighbors.len();
+            offsets.push(0);
+            for adj in layer {
+                neighbors.extend_from_slice(adj);
+                offsets.push((neighbors.len() - base) as u32);
+            }
+            seg.push(neighbors.len() as u64);
+        }
+
+        HnswIndex {
+            m: m as u64,
+            ef_construction: efc as u64,
+            seed: params.seed,
+            rows,
+            count,
+            layers,
+            entry,
+            seg: seg.into(),
+            offsets: offsets.into(),
+            neighbors: neighbors.into(),
+        }
+    }
+
+    /// Max neighbors per upper-layer node.
+    pub fn m(&self) -> usize {
+        self.m as usize
+    }
+
+    /// Construction-time beam width.
+    pub fn ef_construction(&self) -> usize {
+        self.ef_construction as usize
+    }
+
+    /// Layer-assignment seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Row count of the matrix the index was built over.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of inserted (valid) rows.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Number of layers (0 for an empty index).
+    pub fn layers(&self) -> usize {
+        self.layers
+    }
+
+    /// Total stored neighbor references across all layers.
+    pub fn edges(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// True when the index holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Neighbor list of `node` on `layer`.
+    #[inline]
+    fn neighbors_of(&self, layer: usize, node: usize) -> &[u32] {
+        let base = self.seg[layer] as usize;
+        let row0 = layer * (self.rows + 1) + node;
+        let s = self.offsets[row0] as usize;
+        let e = self.offsets[row0 + 1] as usize;
+        &self.neighbors[base + s..base + e]
+    }
+
+    /// Retrieves a widened candidate pool for `qrow` (length =
+    /// `matrix.dim()`): up to `pool` valid row indices sorted by
+    /// ascending `(cosine distance, index)`. `matrix` must be the
+    /// matrix the index was built over.
+    ///
+    /// When `pool ≥` the inserted-node count the pool is simply every
+    /// valid row — by construction the exact scan's candidate set, so a
+    /// wide-open pool reproduces exact results bit-for-bit.
+    pub fn search(&self, matrix: &ScoreMatrix, qrow: &[f32], pool: usize) -> Vec<usize> {
+        assert_eq!(
+            matrix.rows(),
+            self.rows,
+            "index was built over a different matrix shape"
+        );
+        if self.layers == 0 || pool == 0 {
+            return Vec::new();
+        }
+        if pool >= self.count {
+            return (0..self.rows).filter(|&i| matrix.is_valid(i)).collect();
+        }
+        let mut visited = Visited::new(self.rows);
+        let mut eps = vec![Cand {
+            dist: dist_to(matrix, qrow, self.entry as u32),
+            node: self.entry as u32,
+        }];
+        for l in (1..self.layers).rev() {
+            eps = search_layer(matrix, qrow, &eps, 1, &mut visited, |n| {
+                self.neighbors_of(l, n as usize)
+            });
+        }
+        let found = search_layer(matrix, qrow, &eps, pool, &mut visited, |n| {
+            self.neighbors_of(0, n as usize)
+        });
+        found.into_iter().map(|c| c.node as usize).collect()
+    }
+
+    /// Tag of this index's header section under `slot`.
+    pub fn header_tag(slot: u8) -> SectionTag {
+        [b'A', b'N', b'H', slot]
+    }
+
+    /// Tag of this index's per-layer segment-start section under `slot`.
+    pub fn seg_tag(slot: u8) -> SectionTag {
+        [b'A', b'N', b'S', slot]
+    }
+
+    /// Tag of this index's CSR-offsets section under `slot`.
+    pub fn offsets_tag(slot: u8) -> SectionTag {
+        [b'A', b'N', b'O', slot]
+    }
+
+    /// Tag of this index's neighbor-array section under `slot`.
+    pub fn neighbors_tag(slot: u8) -> SectionTag {
+        [b'A', b'N', b'E', slot]
+    }
+
+    /// True when `container` carries an index under `slot`.
+    pub fn present(container: &Container<'_>, slot: u8) -> bool {
+        container.section(Self::header_tag(slot)).is_some()
+    }
+
+    /// Serializes the index into `TDZ1` sections under `slot`. The
+    /// adjacency arrays are borrowed by the writer — saving streams
+    /// them without a second copy.
+    pub fn write_sections<'a>(&'a self, slot: u8, w: &mut ContainerWriter<'a>) {
+        w.add(
+            Self::header_tag(slot),
+            tdmatch_graph::container::pod_bytes(&[
+                ANN_VERSION,
+                self.m,
+                self.ef_construction,
+                self.seed,
+                self.rows as u64,
+                self.count as u64,
+                self.layers as u64,
+                self.entry as u64,
+            ]),
+        );
+        w.add_pod(Self::seg_tag(slot), &self.seg);
+        w.add_pod(Self::offsets_tag(slot), &self.offsets);
+        w.add_pod(Self::neighbors_tag(slot), &self.neighbors);
+    }
+
+    /// Reassembles an index from container sections under `slot`,
+    /// zero-copy, and validates the whole structure — segment starts,
+    /// per-layer offset monotonicity, neighbor ranges, entry point — so
+    /// [`search`](HnswIndex::search) over a mapped index cannot go out
+    /// of bounds. Section CRCs are verified here, on first access.
+    pub fn from_sections(
+        storage: &Storage,
+        container: &Container<'_>,
+        slot: u8,
+    ) -> Result<Self, DecodeError> {
+        let header = container.require(Self::header_tag(slot))?.as_u64s()?;
+        let &[version, m, ef_construction, seed, rows, count, layers, entry] = header else {
+            return Err(DecodeError::Invalid("ann header shape"));
+        };
+        if version != ANN_VERSION {
+            return Err(DecodeError::Invalid("unsupported ann index version"));
+        }
+        let rows = usize::try_from(rows).map_err(|_| DecodeError::Corrupt)?;
+        let count = usize::try_from(count).map_err(|_| DecodeError::Corrupt)?;
+        let layers = usize::try_from(layers).map_err(|_| DecodeError::Corrupt)?;
+        let entry = usize::try_from(entry).map_err(|_| DecodeError::Corrupt)?;
+        if m < 2 || ef_construction < m || layers > 64 || count > rows {
+            return Err(DecodeError::Invalid("ann header out of range"));
+        }
+        if (layers == 0) != (count == 0) {
+            return Err(DecodeError::Invalid("ann layer/count mismatch"));
+        }
+        if layers > 0 && entry >= rows {
+            return Err(DecodeError::Invalid("ann entry point out of range"));
+        }
+        let seg = FlatBuf::<u64>::from_section(storage, container.require(Self::seg_tag(slot))?)?;
+        let offsets =
+            FlatBuf::<u32>::from_section(storage, container.require(Self::offsets_tag(slot))?)?;
+        let neighbors =
+            FlatBuf::<u32>::from_section(storage, container.require(Self::neighbors_tag(slot))?)?;
+        if seg.len() != layers + 1 || seg[0] != 0 {
+            return Err(DecodeError::Invalid("ann segment table shape"));
+        }
+        if *seg.last().expect("non-empty") != neighbors.len() as u64 {
+            return Err(DecodeError::Invalid("ann segment/neighbor length mismatch"));
+        }
+        let per_layer = rows
+            .checked_add(1)
+            .and_then(|x| x.checked_mul(layers))
+            .ok_or(DecodeError::Invalid("ann offsets shape overflows"))?;
+        if offsets.len() != per_layer {
+            return Err(DecodeError::Invalid("ann offsets length mismatch"));
+        }
+        for l in 0..layers {
+            let lo = seg[l];
+            let hi = seg[l + 1];
+            if lo > hi {
+                return Err(DecodeError::Invalid("ann segment table not monotone"));
+            }
+            let run = &offsets[l * (rows + 1)..(l + 1) * (rows + 1)];
+            if run[0] != 0 || run[rows] as u64 != hi - lo {
+                return Err(DecodeError::Invalid("ann layer offsets bounds"));
+            }
+            if run.windows(2).any(|w| w[0] > w[1]) {
+                return Err(DecodeError::Invalid("ann layer offsets not monotone"));
+            }
+        }
+        if neighbors.iter().any(|&n| n as usize >= rows) {
+            return Err(DecodeError::Invalid("ann neighbor index out of range"));
+        }
+        Ok(HnswIndex {
+            m,
+            ef_construction,
+            seed,
+            rows,
+            count,
+            layers,
+            entry,
+            seg,
+            offsets,
+            neighbors,
+        })
+    }
+
+    /// Converts the adjacency arrays into owned `Vec`s, detaching the
+    /// index from container storage. No-op for built indexes.
+    pub fn into_owned(mut self) -> Self {
+        self.seg.make_mut();
+        self.offsets.make_mut();
+        self.neighbors.make_mut();
+        self
+    }
+
+    /// True when the index still borrows container storage.
+    pub fn is_zero_copy(&self) -> bool {
+        self.seg.is_shared() || self.offsets.is_shared() || self.neighbors.is_shared()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::score::TopK;
+
+    /// Deterministic pseudo-random unit-ish rows (normalized by the
+    /// matrix on insert).
+    fn random_matrix(rows: usize, dim: usize, seed: u64) -> ScoreMatrix {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 40) as f32 / (1 << 24) as f32 - 0.5
+        };
+        let mut m = ScoreMatrix::invalid(rows, dim);
+        for i in 0..rows {
+            if i % 17 == 11 {
+                continue; // leave some rows invalid
+            }
+            let row: Vec<f32> = (0..dim).map(|_| next()).collect();
+            m.set_row(i, &row);
+        }
+        m
+    }
+
+    fn exact_top_k(matrix: &ScoreMatrix, qrow: &[f32], k: usize) -> Vec<(usize, f32)> {
+        let mut top = TopK::new(k);
+        for t in 0..matrix.rows() {
+            let s = if matrix.is_valid(t) {
+                dot_unrolled(qrow, matrix.row(t))
+            } else {
+                -1.0
+            };
+            top.push(t, s);
+        }
+        top.drain_sorted()
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let m = random_matrix(400, 24, 7);
+        let a = HnswIndex::build(&m, &HnswParams::default());
+        let b = HnswIndex::build(&m, &HnswParams::default());
+        assert_eq!(a, b);
+        let c = HnswIndex::build(
+            &m,
+            &HnswParams {
+                seed: 43,
+                ..HnswParams::default()
+            },
+        );
+        assert_ne!(a, c, "a different seed must change layer assignment");
+    }
+
+    #[test]
+    fn empty_and_tiny_matrices() {
+        let empty = ScoreMatrix::invalid(0, 8);
+        let idx = HnswIndex::build(&empty, &HnswParams::default());
+        assert!(idx.is_empty());
+        assert_eq!(idx.search(&empty, &[0.0; 8], 10), Vec::<usize>::new());
+
+        let all_invalid = ScoreMatrix::invalid(5, 8);
+        let idx = HnswIndex::build(&all_invalid, &HnswParams::default());
+        assert!(idx.is_empty());
+        assert_eq!(idx.layers(), 0);
+
+        let mut one = ScoreMatrix::invalid(3, 4);
+        one.set_row(1, &[1.0, 0.0, 0.0, 0.0]);
+        let idx = HnswIndex::build(&one, &HnswParams::default());
+        assert_eq!(idx.count(), 1);
+        assert_eq!(idx.search(&one, &[0.5, 0.5, 0.0, 0.0], 8), vec![1]);
+    }
+
+    #[test]
+    fn wide_open_pool_is_every_valid_row() {
+        let m = random_matrix(300, 16, 3);
+        let idx = HnswIndex::build(&m, &HnswParams::default());
+        let all: Vec<usize> = (0..m.rows()).filter(|&i| m.is_valid(i)).collect();
+        let got = idx.search(&m, m.row(0), m.rows());
+        assert_eq!(got, all);
+    }
+
+    #[test]
+    fn pool_is_unique_valid_and_bounded() {
+        let m = random_matrix(500, 16, 9);
+        let idx = HnswIndex::build(&m, &HnswParams::default());
+        let pool = idx.search(&m, m.row(2), 64);
+        assert!(pool.len() <= 64);
+        assert!(!pool.is_empty());
+        let mut sorted = pool.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), pool.len(), "pool must be duplicate-free");
+        assert!(pool.iter().all(|&t| m.is_valid(t)));
+    }
+
+    #[test]
+    fn recall_is_high_on_a_small_corpus() {
+        let m = random_matrix(1000, 16, 5);
+        let idx = HnswIndex::build(&m, &HnswParams::default());
+        let k = 10;
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for q in (0..m.rows()).step_by(31) {
+            if !m.is_valid(q) {
+                continue;
+            }
+            let qrow = m.row(q);
+            let truth: Vec<usize> = exact_top_k(&m, qrow, k)
+                .into_iter()
+                .filter(|&(_, s)| s > -1.0)
+                .map(|(t, _)| t)
+                .collect();
+            let pool = idx.search(&m, qrow, 200);
+            hit += truth.iter().filter(|t| pool.contains(t)).count();
+            total += truth.len();
+        }
+        assert!(total > 0);
+        let recall = hit as f64 / total as f64;
+        assert!(recall >= 0.9, "recall@{k} = {recall:.3} below 0.9");
+    }
+
+    #[test]
+    fn sections_roundtrip_bit_identical() {
+        let m = random_matrix(300, 12, 11);
+        let idx = HnswIndex::build(&m, &HnswParams::default());
+        let mut w = ContainerWriter::new();
+        idx.write_sections(0, &mut w);
+        let bytes = w.finish();
+        let storage = Storage::from_bytes(&bytes);
+        let container = storage.container().expect("parse");
+        let loaded = HnswIndex::from_sections(&storage, &container, 0).expect("load");
+        assert!(loaded.is_zero_copy());
+        assert_eq!(idx, loaded);
+        // A loaded index searches identically.
+        assert_eq!(idx.search(&m, m.row(1), 50), loaded.search(&m, m.row(1), 50));
+    }
+
+    #[test]
+    fn from_sections_rejects_structural_corruption() {
+        let m = random_matrix(64, 8, 13);
+        let idx = HnswIndex::build(&m, &HnswParams::default());
+
+        // Out-of-range neighbor index.
+        let mut bad = idx.clone();
+        bad.neighbors.make_mut()[0] = bad.rows as u32;
+        let mut w = ContainerWriter::new();
+        bad.write_sections(0, &mut w);
+        let bytes = w.finish();
+        let storage = Storage::from_bytes(&bytes);
+        let container = storage.container().expect("parse");
+        assert!(HnswIndex::from_sections(&storage, &container, 0).is_err());
+
+        // Non-monotone offsets.
+        let mut bad = idx.clone();
+        let o = bad.offsets.make_mut();
+        if o.len() > 2 {
+            o[1] = u32::MAX;
+        }
+        let mut w = ContainerWriter::new();
+        bad.write_sections(0, &mut w);
+        let bytes = w.finish();
+        let storage = Storage::from_bytes(&bytes);
+        let container = storage.container().expect("parse");
+        assert!(HnswIndex::from_sections(&storage, &container, 0).is_err());
+
+        // Missing section.
+        let mut w = ContainerWriter::new();
+        idx.write_sections(0, &mut w);
+        let bytes = w.finish();
+        let storage = Storage::from_bytes(&bytes);
+        let container = storage.container().expect("parse");
+        assert!(HnswIndex::from_sections(&storage, &container, 1).is_err());
+    }
+}

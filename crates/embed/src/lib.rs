@@ -17,7 +17,10 @@
 //! * [`vectors`] — dense embedding stores, cosine similarity, top-k search;
 //! * [`score`] — the flat similarity engine: pre-normalized
 //!   [`ScoreMatrix`] rows, unrolled dot kernels, and bounded top-k batch
-//!   matching (the §IV-B hot path).
+//!   matching (the §IV-B hot path);
+//! * [`ann`] — a persisted, deterministic HNSW index over
+//!   [`ScoreMatrix`] rows for sub-linear candidate retrieval, paired
+//!   with exact widened-pool rescoring.
 //!
 //! # Snapshot lifecycle (the hot path)
 //!
@@ -35,6 +38,7 @@
 //! [`word2vec::train_ids`]) remain as compatibility shims for baselines
 //! and as equivalence oracles in tests.
 
+pub mod ann;
 pub mod corpus;
 pub mod doc2vec;
 pub mod hogwild;
@@ -45,6 +49,7 @@ pub mod vocab;
 pub mod walks;
 pub mod word2vec;
 
+pub use ann::{HnswIndex, HnswParams};
 pub use corpus::FlatCorpus;
 pub use score::{QueryBlock, ScoreMatrix};
 pub use vectors::{cosine, Embeddings};

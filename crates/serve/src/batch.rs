@@ -11,6 +11,13 @@
 //!   in hand (`max_batch` defaults to the engine's [`QUERY_BLOCK`] —
 //!   the number of queries one cache-resident target block is scored
 //!   against);
+//! * the window also closes early when the queue is drained and no
+//!   producer has signalled *intent*
+//!   ([`begin_intent`](BatchQueue::begin_intent) — in the daemon, a
+//!   reader that has consumed the first bytes of a frame but not yet
+//!   enqueued the request). A lone query is answered immediately
+//!   instead of sleeping out the window; the window only ever holds
+//!   for companions that are demonstrably on their way;
 //! * a zero window disables coalescing-by-waiting: the batch is
 //!   whatever is *already* queued (still up to `max_batch` — bursty
 //!   arrivals batch even without waiting);
@@ -51,6 +58,11 @@ impl Default for BatchOptions {
 struct QueueState<T> {
     items: VecDeque<T>,
     open: bool,
+    /// Producers that have announced a request on its way (a frame
+    /// mid-arrival or mid-admission). While nonzero, the coalescing
+    /// window holds for them; at zero with the queue drained, the
+    /// window closes early.
+    pending: usize,
 }
 
 /// A multi-producer, single-consumer coalescing queue.
@@ -75,8 +87,29 @@ impl<T> BatchQueue<T> {
             state: Mutex::new(QueueState {
                 items: VecDeque::new(),
                 open: true,
+                pending: 0,
             }),
             cv: Condvar::new(),
+        }
+    }
+
+    /// Announces that a producer has a request on its way (e.g. a frame
+    /// whose first bytes have arrived). The coalescing window will wait
+    /// for it instead of closing early. Must be balanced by
+    /// [`end_intent`](BatchQueue::end_intent).
+    pub fn begin_intent(&self) {
+        self.state.lock().expect("batch queue poisoned").pending += 1;
+    }
+
+    /// Ends an announced intent: the request was enqueued, answered
+    /// inline, or its connection died.
+    pub fn end_intent(&self) {
+        let mut state = self.state.lock().expect("batch queue poisoned");
+        state.pending = state.pending.saturating_sub(1);
+        let drained = state.pending == 0;
+        drop(state);
+        if drained {
+            self.cv.notify_all();
         }
     }
 
@@ -134,10 +167,17 @@ impl<T> BatchQueue<T> {
                 None => break,
             }
         }
-        // Phase 2: hold the batch open for companions.
+        // Phase 2: hold the batch open for companions — but only while
+        // some are announced. With the queue drained and no producer
+        // mid-request, nothing can join before the cap fires; answering
+        // now saves the rest of the window (the common lone-client case
+        // would otherwise pay the full window as pure latency).
         if !opts.window.is_zero() {
             let deadline = Instant::now() + opts.window;
             while batch.len() < max && state.open {
+                if state.items.is_empty() && state.pending == 0 {
+                    break;
+                }
                 let now = Instant::now();
                 let Some(left) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
                 else {
@@ -194,15 +234,18 @@ mod tests {
     }
 
     #[test]
-    fn window_coalesces_late_arrivals() {
+    fn window_coalesces_announced_late_arrivals() {
         let q = Arc::new(BatchQueue::new());
         q.push(0u32);
+        // A reader mid-frame: its intent holds the window open.
+        q.begin_intent();
         let producer = {
             let q = Arc::clone(&q);
             std::thread::spawn(move || {
                 // Arrives well inside the scheduler's window.
                 std::thread::sleep(Duration::from_millis(20));
                 assert!(q.push(1));
+                q.end_intent();
             })
         };
         let batch = q.next_batch(&opts(Duration::from_secs(5), 2)).unwrap();
@@ -213,9 +256,49 @@ mod tests {
     }
 
     #[test]
-    fn window_expires_without_companions() {
+    fn window_closes_early_when_nothing_is_on_its_way() {
         let q: BatchQueue<u32> = BatchQueue::new();
         q.push(7);
+        let t = Instant::now();
+        // No intent announced: the lone item must not pay the window
+        // as latency (this is the coalescing fix — the old scheduler
+        // slept out the full window here).
+        let batch = q.next_batch(&opts(Duration::from_secs(5), 8)).unwrap();
+        assert_eq!(batch, vec![7]);
+        assert!(t.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn ending_an_intent_without_a_push_releases_the_window() {
+        let q: Arc<BatchQueue<u32>> = Arc::new(BatchQueue::new());
+        q.push(3);
+        q.begin_intent();
+        let releaser = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                // The announced frame turned out to be e.g. a ping,
+                // answered inline — nothing was pushed.
+                std::thread::sleep(Duration::from_millis(20));
+                q.end_intent();
+            })
+        };
+        let t = Instant::now();
+        let batch = q.next_batch(&opts(Duration::from_secs(5), 8)).unwrap();
+        releaser.join().unwrap();
+        assert_eq!(batch, vec![3]);
+        // Released well before the 5 s cap, but not before the intent
+        // ended.
+        assert!(t.elapsed() >= Duration::from_millis(15));
+        assert!(t.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn an_abandoned_intent_only_holds_the_window_to_its_cap() {
+        let q: BatchQueue<u32> = BatchQueue::new();
+        q.push(7);
+        // A client stalled mid-frame never delivers: the window cap
+        // still bounds the wait.
+        q.begin_intent();
         let t = Instant::now();
         let batch = q.next_batch(&opts(Duration::from_millis(30), 8)).unwrap();
         assert_eq!(batch, vec![7]);

@@ -182,6 +182,7 @@ pub struct Client {
     next_id: u64,
     retry: RetryPolicy,
     io_timeout: Option<Duration>,
+    ann: Option<bool>,
     jitter: Jitter,
 }
 
@@ -199,8 +200,17 @@ impl Client {
             next_id: 1,
             retry: RetryPolicy::none(),
             io_timeout: None,
+            ann: None,
             jitter: Jitter::new(),
         })
+    }
+
+    /// Sets the retrieval mode stamped onto subsequent queries:
+    /// `Some(true)` requests ANN candidate retrieval, `Some(false)`
+    /// forces the exact scan, and `None` (the default) defers to the
+    /// daemon's configured mode.
+    pub fn set_ann(&mut self, ann: Option<bool>) {
+        self.ann = ann;
     }
 
     /// Sets the retry policy for subsequent requests.
@@ -289,7 +299,8 @@ impl Client {
     /// ranked `(target, score)` list and the size of the batch the
     /// request was coalesced into.
     pub fn query_id(&mut self, doc: usize, k: usize) -> Result<(Vec<(usize, f32)>, usize), ClientError> {
-        self.expect_matches(RequestBody::QueryId { doc, k })
+        let ann = self.ann;
+        self.expect_matches(RequestBody::QueryId { doc, k, ann })
     }
 
     /// Ranks targets for a free-text query (tokenized server-side).
@@ -298,9 +309,11 @@ impl Client {
         text: &str,
         k: usize,
     ) -> Result<(Vec<(usize, f32)>, usize), ClientError> {
+        let ann = self.ann;
         self.expect_matches(RequestBody::QueryText {
             text: text.to_string(),
             k,
+            ann,
         })
     }
 
@@ -310,7 +323,8 @@ impl Client {
         vector: Vec<f32>,
         k: usize,
     ) -> Result<(Vec<(usize, f32)>, usize), ClientError> {
-        self.expect_matches(RequestBody::QueryVector { vector, k })
+        let ann = self.ann;
+        self.expect_matches(RequestBody::QueryVector { vector, k, ann })
     }
 
     /// Liveness probe.

@@ -117,6 +117,12 @@ impl std::fmt::Display for ErrorCode {
 }
 
 /// What a client asks the daemon to do.
+///
+/// The three query operations carry an optional `ann` flag: `Some(true)`
+/// requests ANN retrieval (widened pool + exact rerank), `Some(false)`
+/// forces the exact scan, and `None` defers to the daemon's configured
+/// default (`tdmatch serve --ann`). Daemons serving an artifact without
+/// an index always scan exactly, whatever the flag says.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RequestBody {
     /// Rank targets for query-corpus document `doc`.
@@ -125,6 +131,8 @@ pub enum RequestBody {
         doc: usize,
         /// How many ranked targets to return.
         k: usize,
+        /// Per-request retrieval mode override (`None` = daemon default).
+        ann: Option<bool>,
     },
     /// Tokenize + embed `text` server-side, then rank targets.
     QueryText {
@@ -132,6 +140,8 @@ pub enum RequestBody {
         text: String,
         /// How many ranked targets to return.
         k: usize,
+        /// Per-request retrieval mode override (`None` = daemon default).
+        ann: Option<bool>,
     },
     /// Rank targets for a raw (un-normalized) embedding vector.
     QueryVector {
@@ -139,6 +149,8 @@ pub enum RequestBody {
         vector: Vec<f32>,
         /// How many ranked targets to return.
         k: usize,
+        /// Per-request retrieval mode override (`None` = daemon default).
+        ann: Option<bool>,
     },
     /// Liveness probe.
     Ping,
@@ -190,6 +202,14 @@ pub struct StatsSnapshot {
     pub reload_failures: u64,
     /// Snapshot generation currently serving (counts successful swaps).
     pub generation: u64,
+    /// Queries whose candidates came from the ANN index.
+    pub ann_queries: u64,
+    /// Queries answered by the exact full scan.
+    pub exact_queries: u64,
+    /// Total candidates offered to the exact rescorer by ANN queries
+    /// (divide by `ann_queries` for the mean pool — see
+    /// [`mean_pool`](StatsSnapshot::mean_pool)).
+    pub pooled: u64,
     /// Seconds since the daemon started.
     pub uptime_secs: f64,
 }
@@ -201,6 +221,16 @@ impl StatsSnapshot {
             0.0
         } else {
             self.batched_requests as f64 / self.batches as f64
+        }
+    }
+
+    /// Mean exact-rescored candidates per ANN query (0 when no query
+    /// has pooled through the index yet).
+    pub fn mean_pool(&self) -> f64 {
+        if self.ann_queries == 0 {
+            0.0
+        } else {
+            self.pooled as f64 / self.ann_queries as f64
         }
     }
 }
@@ -365,11 +395,30 @@ impl FrameReader {
     /// leave the decoder resumable: call `next` again to continue the
     /// same frame.
     pub fn next<R: Read>(&mut self, r: &mut R) -> Result<Option<Vec<u8>>, FrameError> {
+        self.next_with(r, || {})
+    }
+
+    /// Like [`next`](FrameReader::next), but invokes `on_frame_start`
+    /// exactly once per frame, when its first byte is consumed — the
+    /// earliest moment the peer is known to have a request in flight.
+    /// The hook does not re-fire when a `WouldBlock` interruption is
+    /// resumed mid-frame. The server uses it to signal batching intent
+    /// ([`BatchQueue::begin_intent`](crate::batch::BatchQueue::begin_intent))
+    /// before the frame completes, so the coalescing window waits for
+    /// requests that are demonstrably on their way and for nothing else.
+    pub fn next_with<R: Read, F: FnMut()>(
+        &mut self,
+        r: &mut R,
+        mut on_frame_start: F,
+    ) -> Result<Option<Vec<u8>>, FrameError> {
         while self.prefix_got < 4 {
             match r.read(&mut self.prefix[self.prefix_got..]) {
                 Ok(0) if self.prefix_got == 0 => return Ok(None),
                 Ok(0) => return Err(FrameError::Truncated),
                 Ok(n) => {
+                    if self.prefix_got == 0 {
+                        on_frame_start();
+                    }
                     self.prefix_got += n;
                     if self.prefix_got == 4 {
                         let len = u32::from_le_bytes(self.prefix);
@@ -459,28 +508,44 @@ fn field_k(v: &Json, id: u64) -> Result<usize, MalformedMessage> {
     }
 }
 
+fn field_ann(v: &Json, id: u64) -> Result<Option<bool>, MalformedMessage> {
+    match v.get("ann") {
+        None => Ok(None),
+        Some(Json::Bool(b)) => Ok(Some(*b)),
+        Some(_) => Err(malformed(ErrorCode::BadRequest, id, "ann must be a boolean")),
+    }
+}
+
 impl Request {
     /// Encodes to the wire JSON text.
     pub fn encode(&self) -> String {
         let mut members = vec![("id", Json::Num(self.id as f64))];
+        let push_ann = |members: &mut Vec<(&str, Json)>, ann: &Option<bool>| {
+            if let Some(ann) = ann {
+                members.push(("ann", Json::Bool(*ann)));
+            }
+        };
         match &self.body {
-            RequestBody::QueryId { doc, k } => {
+            RequestBody::QueryId { doc, k, ann } => {
                 members.push(("op", Json::Str("query_id".into())));
                 members.push(("doc", Json::Num(*doc as f64)));
                 members.push(("k", Json::Num(*k as f64)));
+                push_ann(&mut members, ann);
             }
-            RequestBody::QueryText { text, k } => {
+            RequestBody::QueryText { text, k, ann } => {
                 members.push(("op", Json::Str("query_text".into())));
                 members.push(("text", Json::Str(text.clone())));
                 members.push(("k", Json::Num(*k as f64)));
+                push_ann(&mut members, ann);
             }
-            RequestBody::QueryVector { vector, k } => {
+            RequestBody::QueryVector { vector, k, ann } => {
                 members.push(("op", Json::Str("query_vector".into())));
                 members.push((
                     "vector",
                     Json::Arr(vector.iter().map(|&x| Json::Num(x as f64)).collect()),
                 ));
                 members.push(("k", Json::Num(*k as f64)));
+                push_ann(&mut members, ann);
             }
             RequestBody::Ping => members.push(("op", Json::Str("ping".into()))),
             RequestBody::Stats => members.push(("op", Json::Str("stats".into()))),
@@ -510,6 +575,7 @@ impl Request {
                     .and_then(Json::as_usize)
                     .ok_or_else(|| malformed(ErrorCode::BadRequest, id, "query_id requires a doc index"))?,
                 k: field_k(&v, id)?,
+                ann: field_ann(&v, id)?,
             },
             "query_text" => RequestBody::QueryText {
                 text: v
@@ -518,6 +584,7 @@ impl Request {
                     .ok_or_else(|| malformed(ErrorCode::BadRequest, id, "query_text requires a text string"))?
                     .to_string(),
                 k: field_k(&v, id)?,
+                ann: field_ann(&v, id)?,
             },
             "query_vector" => {
                 let arr = v
@@ -533,6 +600,7 @@ impl Request {
                 RequestBody::QueryVector {
                     vector,
                     k: field_k(&v, id)?,
+                    ann: field_ann(&v, id)?,
                 }
             }
             "ping" => RequestBody::Ping,
@@ -566,11 +634,18 @@ impl StatsSnapshot {
             ("reloads", Json::Num(self.reloads as f64)),
             ("reload_failures", Json::Num(self.reload_failures as f64)),
             ("generation", Json::Num(self.generation as f64)),
+            ("ann_queries", Json::Num(self.ann_queries as f64)),
+            ("exact_queries", Json::Num(self.exact_queries as f64)),
+            ("pooled", Json::Num(self.pooled as f64)),
+            ("mean_pool", Json::Num(self.mean_pool())),
             ("uptime_secs", Json::Num(self.uptime_secs)),
         ])
     }
 
     fn from_json(v: &Json) -> Option<Self> {
+        // The ANN counters default to zero so snapshots emitted by
+        // pre-ANN daemons still parse.
+        let u64_or_zero = |key: &str| v.get(key).and_then(Json::as_u64).unwrap_or(0);
         Some(StatsSnapshot {
             requests: v.get("requests")?.as_u64()?,
             batched_requests: v.get("batched_requests")?.as_u64()?,
@@ -583,6 +658,9 @@ impl StatsSnapshot {
             reloads: v.get("reloads")?.as_u64()?,
             reload_failures: v.get("reload_failures")?.as_u64()?,
             generation: v.get("generation")?.as_u64()?,
+            ann_queries: u64_or_zero("ann_queries"),
+            exact_queries: u64_or_zero("exact_queries"),
+            pooled: u64_or_zero("pooled"),
             uptime_secs: v.get("uptime_secs")?.as_num()?,
         })
     }
@@ -728,13 +806,18 @@ mod tests {
     fn requests_roundtrip() {
         roundtrip_request(Request {
             id: 7,
-            body: RequestBody::QueryId { doc: 3, k: 20 },
+            body: RequestBody::QueryId {
+                doc: 3,
+                k: 20,
+                ann: None,
+            },
         });
         roundtrip_request(Request {
             id: u64::MAX >> 12,
             body: RequestBody::QueryText {
                 text: "tarantino \"pulp\"\n".into(),
                 k: 1,
+                ann: Some(true),
             },
         });
         roundtrip_request(Request {
@@ -742,6 +825,7 @@ mod tests {
             body: RequestBody::QueryVector {
                 vector: vec![0.25, -1.5, 0.0],
                 k: 5,
+                ann: Some(false),
             },
         });
         for body in [
@@ -792,6 +876,9 @@ mod tests {
                 reloads: 4,
                 reload_failures: 1,
                 generation: 4,
+                ann_queries: 40,
+                exact_queries: 50,
+                pooled: 5120,
                 uptime_secs: 12.5,
             }),
             ResponseBody::Error {
@@ -807,8 +894,39 @@ mod tests {
     #[test]
     fn request_default_k_applies() {
         let r = Request::decode(br#"{"op":"query_id","doc":0}"#).unwrap();
-        assert_eq!(r.body, RequestBody::QueryId { doc: 0, k: DEFAULT_K });
+        assert_eq!(
+            r.body,
+            RequestBody::QueryId {
+                doc: 0,
+                k: DEFAULT_K,
+                ann: None
+            }
+        );
         assert_eq!(r.id, 0);
+    }
+
+    #[test]
+    fn ann_flag_parses_strictly_and_defaults_to_none() {
+        let r = Request::decode(br#"{"op":"query_id","doc":0,"ann":true}"#).unwrap();
+        assert!(matches!(r.body, RequestBody::QueryId { ann: Some(true), .. }));
+        let r = Request::decode(br#"{"op":"query_text","text":"x","ann":false}"#).unwrap();
+        assert!(matches!(r.body, RequestBody::QueryText { ann: Some(false), .. }));
+        let err = Request::decode(br#"{"op":"query_id","doc":0,"ann":1}"#).unwrap_err();
+        assert_eq!(err.code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn pre_ann_stats_payloads_still_parse() {
+        // A snapshot emitted before the ANN counters existed must
+        // decode with the new fields zeroed.
+        let old = br#"{"id":1,"ok":true,"stats":{"requests":5,"batched_requests":5,
+            "batches":2,"coalesced":3,"errors":0,"max_batch":4,"mean_batch":2.5,
+            "shed":0,"evicted":0,"reloads":0,"reload_failures":0,"generation":0,
+            "uptime_secs":1.5}}"#;
+        let r = Response::decode(old).unwrap();
+        let ResponseBody::Stats(s) = r.body else { panic!("wrong shape") };
+        assert_eq!((s.ann_queries, s.exact_queries, s.pooled), (0, 0, 0));
+        assert_eq!(s.mean_pool(), 0.0);
     }
 
     #[test]
@@ -954,6 +1072,36 @@ mod tests {
             Err(FrameError::Oversized { .. })
         ));
         assert!(FrameReader::new().next(&mut &[][..]).unwrap().is_none());
+    }
+
+    #[test]
+    fn frame_start_hook_fires_once_per_frame_even_across_timeouts() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, r#"{"op":"ping"}"#).unwrap();
+        write_frame(&mut wire, r#"{"op":"stats"}"#).unwrap();
+        // The dribbler times out before every read and delivers at most
+        // 3 bytes at a time, so every frame is resumed many times — the
+        // hook must still fire exactly once per frame, at first byte.
+        let mut src = Dribble {
+            chunks: vec![&wire],
+            timeout_first: false,
+        };
+        let mut fr = FrameReader::new();
+        let mut frames = 0;
+        let mut starts = 0;
+        loop {
+            match fr.next_with(&mut src, || starts += 1) {
+                Ok(Some(_)) => {
+                    frames += 1;
+                    assert_eq!(starts, frames, "one start per completed frame");
+                }
+                Ok(None) => break,
+                Err(FrameError::Io(e)) if e.kind() == io::ErrorKind::WouldBlock => {}
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert_eq!(frames, 2);
+        assert_eq!(starts, 2);
     }
 
     #[test]

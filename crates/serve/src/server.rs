@@ -105,6 +105,13 @@ pub struct ServeOptions {
     /// from the [`signals`](crate::signals) SIGHUP handler), the
     /// listener swaps it back and reloads the artifact.
     pub reload_signal: Option<&'static AtomicBool>,
+    /// Default retrieval mode. `Some(pool)` makes queries without an
+    /// explicit per-request `ann` flag use ANN candidate retrieval with
+    /// this pool width (exact rescoring still ranks the pool); `None`
+    /// keeps the exact full scan as the default. Either way a request
+    /// can opt in or out per query, and an artifact without an index
+    /// always scans exactly.
+    pub ann_pool: Option<usize>,
 }
 
 impl ServeOptions {
@@ -118,6 +125,7 @@ impl ServeOptions {
             io_timeout: Duration::from_secs(30),
             max_inflight: 0,
             reload_signal: None,
+            ann_pool: None,
         }
     }
 
@@ -138,6 +146,13 @@ impl ServeOptions {
         self.max_inflight = cap;
         self
     }
+
+    /// Makes ANN retrieval the daemon's default mode with this pool
+    /// width (see [`ServeOptions::ann_pool`]).
+    pub fn ann_pool(mut self, pool: usize) -> Self {
+        self.ann_pool = Some(pool);
+        self
+    }
 }
 
 /// A queued query: either engine-ready, or text tokens the scheduler
@@ -153,6 +168,8 @@ struct Pending {
     req_id: u64,
     query: PendingQuery,
     k: usize,
+    /// Per-request retrieval mode; `None` defers to the daemon default.
+    ann: Option<bool>,
     conn: Arc<Conn>,
 }
 
@@ -203,6 +220,9 @@ struct Counters {
     evicted: AtomicU64,
     reloads: AtomicU64,
     reload_failures: AtomicU64,
+    ann_queries: AtomicU64,
+    exact_queries: AtomicU64,
+    pooled: AtomicU64,
 }
 
 struct ServerInner {
@@ -231,6 +251,9 @@ impl ServerInner {
             reloads: self.counters.reloads.load(Ordering::Relaxed),
             reload_failures: self.counters.reload_failures.load(Ordering::Relaxed),
             generation: self.matcher.generation(),
+            ann_queries: self.counters.ann_queries.load(Ordering::Relaxed),
+            exact_queries: self.counters.exact_queries.load(Ordering::Relaxed),
+            pooled: self.counters.pooled.load(Ordering::Relaxed),
             uptime_secs: self.started.elapsed().as_secs_f64(),
         }
     }
@@ -324,7 +347,10 @@ impl Server {
     /// signature a SIGKILLed daemon leaves behind) is unlinked and
     /// rebound. A path that is not a socket, or one a live daemon still
     /// answers on, fails with `AddrInUse`.
-    pub fn start(matcher: Matcher, options: ServeOptions) -> std::io::Result<Server> {
+    pub fn start(mut matcher: Matcher, options: ServeOptions) -> std::io::Result<Server> {
+        if options.ann_pool.is_some() {
+            matcher.set_ann_pool(options.ann_pool);
+        }
         if options.socket.exists() {
             reclaim_stale_socket(&options.socket)?;
         }
@@ -500,11 +526,28 @@ fn serve_connection(inner: &Arc<ServerInner>, conn: &Arc<Conn>) {
         Err(_) => return,
     };
     let mut frames = FrameReader::new();
+    // True while this connection holds a batching intent: the first
+    // bytes of its next frame have arrived but the request has not yet
+    // been enqueued or answered. The scheduler's coalescing window
+    // waits for announced requests (and only those) instead of always
+    // sleeping out its cap — see `BatchQueue::begin_intent`.
+    let mut intent = false;
     loop {
+        // The previous iteration's request was resolved (enqueued or
+        // answered inline); release its intent before blocking on the
+        // next frame.
+        if std::mem::take(&mut intent) {
+            inner.queue.end_intent();
+        }
         if conn.dead.load(Ordering::Relaxed) {
             break; // evicted on the write side
         }
-        let payload = match frames.next(&mut read_half) {
+        let payload = match frames.next_with(&mut read_half, || {
+            if !intent {
+                intent = true;
+                inner.queue.begin_intent();
+            }
+        }) {
             Ok(Some(payload)) => payload,
             Ok(None) => break, // clean hangup
             Err(FrameError::Io(e))
@@ -558,7 +601,7 @@ fn serve_connection(inner: &Arc<ServerInner>, conn: &Arc<Conn>) {
             }
         };
         let id = request.id;
-        let (query, k) = match request.body {
+        let (query, k, ann) = match request.body {
             RequestBody::Ping => {
                 inner.send_to(
                     conn,
@@ -601,23 +644,40 @@ fn serve_connection(inner: &Arc<ServerInner>, conn: &Arc<Conn>) {
                 inner.begin_shutdown();
                 continue; // the drain will sever this connection
             }
-            RequestBody::QueryId { doc, k } => (PendingQuery::Ready(Query::ById(doc)), k),
-            RequestBody::QueryVector { vector, k } => {
-                (PendingQuery::Ready(Query::ByVector(vector)), k)
+            RequestBody::QueryId { doc, k, ann } => (PendingQuery::Ready(Query::ById(doc)), k, ann),
+            RequestBody::QueryVector { vector, k, ann } => {
+                (PendingQuery::Ready(Query::ByVector(vector)), k, ann)
             }
-            RequestBody::QueryText { text, k } => {
+            RequestBody::QueryText { text, k, ann } => {
                 // Tokenize here (cheap, snapshot-independent); embedding
                 // waits for the scheduler so it uses the same snapshot
                 // that scores the batch.
-                (PendingQuery::Text(inner.preprocessor.base_tokens(&text)), k)
+                (
+                    PendingQuery::Text(inner.preprocessor.base_tokens(&text)),
+                    k,
+                    ann,
+                )
             }
         };
         inner.counters.requests.fetch_add(1, Ordering::Relaxed);
-        enqueue(inner, conn, id, query, k);
+        enqueue(inner, conn, id, query, k, ann);
+    }
+    // Every exit path (hangup, eviction, framing error, drain) may
+    // leave a frame mid-read; release its intent so the scheduler's
+    // window does not wait for a request that will never arrive.
+    if intent {
+        inner.queue.end_intent();
     }
 }
 
-fn enqueue(inner: &Arc<ServerInner>, conn: &Arc<Conn>, req_id: u64, query: PendingQuery, k: usize) {
+fn enqueue(
+    inner: &Arc<ServerInner>,
+    conn: &Arc<Conn>,
+    req_id: u64,
+    query: PendingQuery,
+    k: usize,
+    ann: Option<bool>,
+) {
     // Admission control: count the query inflight, shedding it when the
     // cap is hit. The count drops when its response is written.
     let cap = inner.options.max_inflight;
@@ -639,6 +699,7 @@ fn enqueue(inner: &Arc<ServerInner>, conn: &Arc<Conn>, req_id: u64, query: Pendi
         req_id,
         query,
         k,
+        ann,
         conn: Arc::clone(conn),
     });
     if !accepted {
@@ -681,9 +742,15 @@ fn schedule_loop(inner: &Arc<ServerInner>) {
 
         // Resolve text queries against this batch's snapshot. A text
         // query with no in-vocabulary token keeps the engine's
-        // missing-query semantics: empty matches, batch 0.
-        let mut routes = Vec::with_capacity(n);
-        let mut queries = Vec::with_capacity(n);
+        // missing-query semantics: empty matches, batch 0. Queries are
+        // partitioned by their effective retrieval mode (per-request
+        // flag, falling back to the daemon default): each partition is
+        // one engine call, still served by this batch's snapshot.
+        let default_ann = matcher.ann_pool().is_some();
+        let mut parts = [
+            (false, Vec::new(), Vec::with_capacity(n)),
+            (true, Vec::new(), Vec::new()),
+        ];
         for pending in batch {
             let query = match pending.query {
                 PendingQuery::Ready(query) => query,
@@ -705,41 +772,57 @@ fn schedule_loop(inner: &Arc<ServerInner>) {
                     }
                 },
             };
-            routes.push((pending.req_id, pending.k, pending.conn));
-            queries.push(query);
+            let part = &mut parts[usize::from(pending.ann.unwrap_or(default_ann))];
+            part.1.push((pending.req_id, pending.k, pending.conn));
+            part.2.push(query);
         }
-        if queries.is_empty() {
+        let scored = parts.iter().map(|(_, _, q)| q.len()).sum::<usize>();
+        if scored == 0 {
             continue;
         }
 
-        // Score at the batch's largest k and truncate per request: the
-        // engine's total order makes the prefix exactly each request's
-        // own top-k.
-        let k_max = routes.iter().map(|&(_, k, _)| k).max().unwrap_or(0);
-        let scored = queries.len();
-        let results = matcher.query_batch_with(block, &queries, k_max);
-        for ((req_id, k, conn), result) in routes.into_iter().zip(results) {
-            let body = match result {
-                Ok(mut ranked) => {
-                    ranked.truncate(k);
-                    ResponseBody::Matches {
-                        matches: ranked,
-                        batch: scored,
+        for (ann, routes, queries) in parts {
+            if queries.is_empty() {
+                continue;
+            }
+            // Score at the partition's largest k and truncate per
+            // request: the engine's total order makes the prefix
+            // exactly each request's own top-k.
+            let k_max = routes.iter().map(|&(_, k, _)| k).max().unwrap_or(0);
+            let (results, usage) = matcher.query_batch_with_mode(block, &queries, k_max, ann);
+            let answered = results.iter().filter(|r| r.is_ok()).count() as u64;
+            inner
+                .counters
+                .ann_queries
+                .fetch_add(usage.queries, Ordering::Relaxed);
+            inner
+                .counters
+                .exact_queries
+                .fetch_add(answered.saturating_sub(usage.queries), Ordering::Relaxed);
+            inner.counters.pooled.fetch_add(usage.pooled, Ordering::Relaxed);
+            for ((req_id, k, conn), result) in routes.into_iter().zip(results) {
+                let body = match result {
+                    Ok(mut ranked) => {
+                        ranked.truncate(k);
+                        ResponseBody::Matches {
+                            matches: ranked,
+                            batch: scored,
+                        }
                     }
-                }
-                Err(e) => {
-                    inner.count_error();
-                    ResponseBody::Error {
-                        code: match e {
-                            QueryError::UnknownId { .. } => ErrorCode::UnknownId,
-                            QueryError::DimMismatch { .. } => ErrorCode::BadVector,
-                        },
-                        message: e.to_string(),
+                    Err(e) => {
+                        inner.count_error();
+                        ResponseBody::Error {
+                            code: match e {
+                                QueryError::UnknownId { .. } => ErrorCode::UnknownId,
+                                QueryError::DimMismatch { .. } => ErrorCode::BadVector,
+                            },
+                            message: e.to_string(),
+                        }
                     }
-                }
-            };
-            inner.send_to(&conn, &Response { id: req_id, body });
-            inner.inflight.fetch_sub(1, Ordering::SeqCst);
+                };
+                inner.send_to(&conn, &Response { id: req_id, body });
+                inner.inflight.fetch_sub(1, Ordering::SeqCst);
+            }
         }
     }
 }

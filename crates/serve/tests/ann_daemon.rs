@@ -1,0 +1,124 @@
+//! End-to-end ANN serving: a daemon over an indexed artifact answers
+//! ANN-mode queries bit-identically to the exact scan when the pool
+//! covers the corpus, honors per-request mode overrides, counts
+//! retrieval modes in its stats, and falls back to the exact scan when
+//! the artifact carries no index.
+
+#![cfg(unix)]
+
+use std::path::PathBuf;
+
+use tdmatch_core::artifact::MatchArtifact;
+use tdmatch_core::serving::Matcher;
+use tdmatch_embed::ann::HnswParams;
+use tdmatch_serve::client::Client;
+use tdmatch_serve::server::{ServeOptions, Server};
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state >> 12;
+    *state ^= *state << 25;
+    *state ^= *state >> 27;
+    state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// A synthetic artifact with `targets` first-corpus rows (some missing)
+/// and a persisted HNSW index over them.
+fn indexed_artifact(targets: usize, dim: usize) -> MatchArtifact {
+    let mut state = 0x5eed_1234_u64;
+    let row = |state: &mut u64| -> Vec<f32> {
+        (0..dim)
+            .map(|_| (xorshift(state) >> 40) as f32 / (1u64 << 24) as f32 - 0.5)
+            .collect()
+    };
+    let first: Vec<Option<Vec<f32>>> = (0..targets)
+        .map(|i| (i % 13 != 5).then(|| row(&mut state)))
+        .collect();
+    let second: Vec<Option<Vec<f32>>> = (0..4).map(|_| Some(row(&mut state))).collect();
+    let vocab = vec![
+        ("alpha".to_string(), row(&mut state)),
+        ("beta".to_string(), row(&mut state)),
+    ];
+    let mut artifact = MatchArtifact::new(dim, vocab, first, second);
+    artifact.build_ann(&HnswParams::default());
+    artifact
+}
+
+fn socket_path(tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "tdmatch-ann-{tag}-{}.sock",
+        std::process::id()
+    ));
+    std::fs::remove_file(&path).ok();
+    path
+}
+
+fn bits(ranked: &[(usize, f32)]) -> Vec<(usize, u32)> {
+    ranked.iter().map(|&(t, s)| (t, s.to_bits())).collect()
+}
+
+#[test]
+fn daemon_ann_mode_rescoring_overrides_and_counters() {
+    let artifact = indexed_artifact(200, 8);
+    let reference = Matcher::new(artifact.clone());
+    let exact: Vec<_> = (0..2)
+        .map(|q| reference.query_by_id(q, 5).expect("doc exists"))
+        .collect();
+
+    let socket = socket_path("modes");
+    // ANN is the daemon default; the pool covers the whole corpus, so
+    // every ANN answer must be bit-identical to the exact scan.
+    let server = Server::start(
+        Matcher::new(artifact),
+        ServeOptions::at(&socket).ann_pool(1000),
+    )
+    .expect("daemon starts");
+
+    let mut client = Client::connect(&socket).expect("connect");
+    for (q, want) in exact.iter().enumerate() {
+        let (got, _) = client.query_id(q, 5).expect("ann query");
+        assert_eq!(bits(&got), bits(want), "query {q} under default ANN mode");
+    }
+    // Per-request override: force the exact path on an ANN daemon.
+    client.set_ann(Some(false));
+    let (got, _) = client.query_id(0, 5).expect("exact query");
+    assert_eq!(bits(&got), bits(&exact[0]));
+    // And opt back into ANN explicitly.
+    client.set_ann(Some(true));
+    let (got, _) = client.query_id(1, 5).expect("ann query");
+    assert_eq!(bits(&got), bits(&exact[1]));
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.ann_queries, 3, "two defaulted + one explicit ANN");
+    assert_eq!(stats.exact_queries, 1, "one forced-exact");
+    // Each ANN query pooled every valid row (pool ≥ corpus).
+    assert!(stats.mean_pool() > 100.0, "mean pool {}", stats.mean_pool());
+
+    client.shutdown().expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn ann_request_against_an_unindexed_daemon_scans_exactly() {
+    let mut artifact = indexed_artifact(60, 4);
+    artifact.clear_ann();
+    let reference = Matcher::new(artifact.clone());
+    let want = reference.query_by_id(0, 5).expect("doc exists");
+
+    let socket = socket_path("noindex");
+    let server =
+        Server::start(Matcher::new(artifact), ServeOptions::at(&socket)).expect("daemon starts");
+    let mut client = Client::connect(&socket).expect("connect");
+    // The client asks for ANN but the artifact has no index: the
+    // daemon answers with the exact scan rather than erroring.
+    client.set_ann(Some(true));
+    let (got, _) = client.query_id(0, 5).expect("query");
+    assert_eq!(bits(&got), bits(&want));
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.ann_queries, 0);
+    assert_eq!(stats.exact_queries, 1);
+    assert_eq!(stats.pooled, 0);
+
+    client.shutdown().expect("shutdown");
+    server.join();
+}

@@ -432,7 +432,7 @@ fn half_closed_client_still_receives_its_answers() {
     let mut stream = UnixStream::connect(&socket).expect("connect");
     let request = Request {
         id: 7,
-        body: RequestBody::QueryId { doc: 0, k: 3 },
+        body: RequestBody::QueryId { doc: 0, k: 3, ann: None },
     };
     write_frame(&mut stream, &request.encode()).expect("send");
     // Half-close: no more requests will come, but the response side
@@ -477,7 +477,7 @@ fn flooding_past_max_inflight_sheds_retryably_and_backoff_gets_through() {
     for id in 1..=total {
         let request = Request {
             id,
-            body: RequestBody::QueryId { doc: 0, k: 3 },
+            body: RequestBody::QueryId { doc: 0, k: 3, ann: None },
         };
         write_frame(&mut flood, &request.encode()).expect("flood send");
     }
@@ -509,7 +509,7 @@ fn flooding_past_max_inflight_sheds_retryably_and_backoff_gets_through() {
     for id in (total + 1)..=(total + 12) {
         let request = Request {
             id,
-            body: RequestBody::QueryId { doc: 0, k: 3 },
+            body: RequestBody::QueryId { doc: 0, k: 3, ann: None },
         };
         write_frame(&mut flood, &request.encode()).expect("refill send");
     }

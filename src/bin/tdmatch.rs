@@ -41,6 +41,7 @@ fn main() -> ExitCode {
         "match" => cmd_match(&args[1..]),
         "query" => cmd_query(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
+        "index" => cmd_index(&args[1..]),
         "info" => cmd_info(&args[1..]),
         "help" | "--help" | "-h" => {
             print_usage();
@@ -68,6 +69,7 @@ USAGE:
     tdmatch query --artifact PATH --text \"…\"  match one new document against the artifact
     tdmatch query --socket PATH [op]          send one request to a running daemon
     tdmatch serve --artifact PATH [options]   run the batch-matching daemon
+    tdmatch index --artifact PATH [options]   add (or drop) an ANN index in the artifact
     tdmatch info  --artifact PATH             print artifact statistics
     tdmatch help                              show this message
 
@@ -102,6 +104,10 @@ SERVE OPTIONS:
     --max-inflight N   shed queries past N admitted-but-unanswered with
                        a retryable `overloaded` error (default 1024;
                        0 = unlimited)
+    --ann              make ANN candidate retrieval the default mode
+                       (needs an indexed artifact; see `tdmatch index`)
+    --ann-pool N       ANN candidate pool width (default 4096); the pool
+                       is still rescored exactly
 
     The daemon hot-swaps its artifact on SIGHUP or a `reload` request:
     publish a new file over PATH (atomic rename), then signal. A failed
@@ -119,6 +125,16 @@ QUERY OPTIONS (daemon mode, with --socket):
                        restarting) with capped backoff + jitter
                        (default 0)
     --timeout-ms N     client-side socket deadline (default none)
+    --ann | --exact    override the daemon's retrieval mode for this
+                       query (default: daemon decides)
+
+INDEX OPTIONS:
+    --artifact PATH    artifact to (re)index in place
+    --out PATH         write the indexed artifact here instead
+    --m N              HNSW connectivity (default 16)
+    --ef N             construction beam width (default 100)
+    --seed N           index construction seed (default 42)
+    --drop             remove the ANN index instead of building one
 
 SERVING:
     `match`, `query`, `serve`, and `info` memory-map TDZ1 artifacts
@@ -319,7 +335,21 @@ fn cmd_match(args: &[String]) -> Result<(), String> {
         None => 5,
     };
     let artifact = MatchArtifact::load(path).map_err(|e| e.to_string())?;
-    for result in artifact.match_top_k(k) {
+    let results = if flag_present(args, "--ann") {
+        if artifact.ann().is_none() {
+            return Err(format!(
+                "{path} has no ANN index; build one with `tdmatch index --artifact {path}`"
+            ));
+        }
+        let pool: usize = match flag_value(args, "--pool")? {
+            Some(s) => parse_num(s, "pool")?,
+            None => tdmatch::embed::ann::DEFAULT_POOL,
+        };
+        artifact.match_top_k_ann(k, pool)
+    } else {
+        artifact.match_top_k(k)
+    };
+    for result in results {
         let ranked: Vec<String> = result
             .ranked
             .iter()
@@ -382,6 +412,12 @@ fn cmd_query_socket(args: &[String]) -> Result<(), String> {
             .set_io_timeout(Some(Duration::from_millis(timeout_ms)))
             .map_err(|e| e.to_string())?;
     }
+    match (flag_present(args, "--ann"), flag_present(args, "--exact")) {
+        (true, true) => return Err("--ann and --exact are mutually exclusive".into()),
+        (true, false) => client.set_ann(Some(true)),
+        (false, true) => client.set_ann(Some(false)),
+        (false, false) => {}
+    }
     if flag_present(args, "--ping") {
         client.ping().map_err(|e| e.to_string())?;
         println!("pong");
@@ -399,6 +435,8 @@ fn cmd_query_socket(args: &[String]) -> Result<(), String> {
         println!("evicted:    {}", s.evicted);
         println!("reloads:    {} ({} failed)", s.reloads, s.reload_failures);
         println!("generation: {}", s.generation);
+        println!("ann:        {} queries (mean pool {:.0})", s.ann_queries, s.mean_pool());
+        println!("exact:      {} queries", s.exact_queries);
         println!("uptime:     {:.1}s", s.uptime_secs);
         return Ok(());
     }
@@ -467,8 +505,18 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         Some(s) => parse_num(s, "max-inflight")?,
         None => 1024,
     };
+    let ann_pool: Option<usize> = match flag_value(args, "--ann-pool")? {
+        Some(s) => Some(parse_num(s, "ann-pool")?),
+        None if flag_present(args, "--ann") => Some(tdmatch::embed::ann::DEFAULT_POOL),
+        None => None,
+    };
 
     let matcher = Matcher::load(path).map_err(|e| format!("loading artifact: {e}"))?;
+    if ann_pool.is_some() && !matcher.ann_ready() {
+        return Err(format!(
+            "--ann needs an indexed artifact; build one with `tdmatch index --artifact {path}`"
+        ));
+    }
     let (targets, queries) = (matcher.targets(), matcher.queries());
     let server = Server::start(
         matcher,
@@ -482,12 +530,17 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             io_timeout: Duration::from_millis(io_timeout_ms),
             max_inflight,
             reload_signal: Some(tdmatch::serve::signals::install_sighup()),
+            ann_pool,
         },
     )
     .map_err(|e| format!("starting daemon: {e}"))?;
+    let mode = match ann_pool {
+        Some(pool) => format!("ann pool {pool}"),
+        None => "exact".to_string(),
+    };
     eprintln!(
         "serving {path} ({targets} targets, {queries} queries) on {socket} \
-         [window {window_us}µs, batch ≤{batch_max}, inflight ≤{max_inflight}]"
+         [window {window_us}µs, batch ≤{batch_max}, inflight ≤{max_inflight}, {mode}]"
     );
     eprintln!("stop with: tdmatch query --socket {socket} --shutdown");
     eprintln!("hot swap:  republish {path}, then `kill -HUP {}`", std::process::id());
@@ -511,6 +564,57 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 #[cfg(not(unix))]
 fn cmd_serve(_args: &[String]) -> Result<(), String> {
     Err("the daemon needs Unix-domain sockets (unsupported on this platform)".into())
+}
+
+/// `index`: build (or drop) the persisted HNSW index inside an
+/// artifact, so daemons can serve ANN retrieval without paying the
+/// construction cost at startup.
+fn cmd_index(args: &[String]) -> Result<(), String> {
+    use tdmatch::embed::ann::HnswParams;
+
+    let path = flag_value(args, "--artifact")?.ok_or("index requires --artifact PATH")?;
+    let out = flag_value(args, "--out")?.unwrap_or(path);
+    let mut artifact = MatchArtifact::load(path).map_err(|e| e.to_string())?;
+    if flag_present(args, "--drop") {
+        if artifact.ann().is_none() {
+            return Err(format!("{path} has no ANN index to drop"));
+        }
+        artifact.clear_ann();
+        artifact.save(out).map_err(|e| format!("saving artifact: {e}"))?;
+        eprintln!("ANN index dropped; artifact written to {out}");
+        return Ok(());
+    }
+    let defaults = HnswParams::default();
+    let params = HnswParams {
+        m: match flag_value(args, "--m")? {
+            Some(s) => parse_num(s, "m")?,
+            None => defaults.m,
+        },
+        ef_construction: match flag_value(args, "--ef")? {
+            Some(s) => parse_num(s, "ef")?,
+            None => defaults.ef_construction,
+        },
+        seed: match flag_value(args, "--seed")? {
+            Some(s) => parse_num(s, "seed")?,
+            None => defaults.seed,
+        },
+    };
+    let start = std::time::Instant::now();
+    artifact.build_ann(&params);
+    let index = artifact.ann().expect("index just built");
+    eprintln!(
+        "indexed {} rows in {:.2}s: {} layers, {} edges (m {}, ef {}, seed {})",
+        index.count(),
+        start.elapsed().as_secs_f64(),
+        index.layers(),
+        index.edges(),
+        index.m(),
+        index.ef_construction(),
+        index.seed(),
+    );
+    artifact.save(out).map_err(|e| format!("saving artifact: {e}"))?;
+    eprintln!("artifact written to {out}");
+    Ok(())
 }
 
 fn cmd_info(args: &[String]) -> Result<(), String> {
@@ -544,6 +648,16 @@ fn cmd_info(args: &[String]) -> Result<(), String> {
     println!("bytes:   {bytes}");
     println!("backing: {backing}");
     println!("crc:     {verify}");
+    match artifact.ann() {
+        Some(index) => println!(
+            "ann:     hnsw ({} layers, {} edges, m {}, ef {})",
+            index.layers(),
+            index.edges(),
+            index.m(),
+            index.ef_construction(),
+        ),
+        None => println!("ann:     none (build with `tdmatch index --artifact {path}`)"),
+    }
     println!("serve:   tdmatch serve --artifact {path}   (then: tdmatch query --socket …)");
     Ok(())
 }
