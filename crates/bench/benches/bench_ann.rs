@@ -27,9 +27,13 @@
 
 use std::time::Instant;
 
+use tdmatch_bench::alloc_probe::{AllocProbe, CountingAlloc};
 use tdmatch_core::matcher::{top_k_matches_matrix, MatchResult};
-use tdmatch_embed::ann::{HnswIndex, HnswParams};
+use tdmatch_embed::ann::{HnswIndex, HnswParams, SearchScratch};
 use tdmatch_embed::score::ScoreMatrix;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 fn splitmix(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -160,6 +164,46 @@ fn main() {
             index.ef_construction(),
         );
 
+        // Scratch-reuse probe: `search` allocates a fresh ~rows-sized
+        // visited set per query; `search_with` + one generation-stamped
+        // scratch allocates it once per worker. Count both over one
+        // pass of the query batch at the narrowest pool.
+        let probe_pool = pools.first().copied().unwrap_or(128);
+        let valid_queries: Vec<usize> = (0..qm.rows()).filter(|&q| qm.is_valid(q)).collect();
+        let probe = AllocProbe::start();
+        for &q in &valid_queries {
+            std::hint::black_box(index.search(&tm, qm.row(q), probe_pool));
+        }
+        let (fresh_allocs, fresh_peak) = probe.finish();
+        let mut scratch = SearchScratch::new();
+        // Warm the scratch so the probe sees the steady state a batch
+        // worker reaches after its first query.
+        if let Some(&q) = valid_queries.first() {
+            std::hint::black_box(index.search_with(&tm, qm.row(q), probe_pool, probe_pool, &mut scratch));
+        }
+        let probe = AllocProbe::start();
+        for &q in &valid_queries {
+            std::hint::black_box(index.search_with(
+                &tm,
+                qm.row(q),
+                probe_pool,
+                probe_pool,
+                &mut scratch,
+            ));
+        }
+        let (reused_allocs, reused_peak) = probe.finish();
+        println!(
+            "tier {n_targets} pool {probe_pool}: scratch reuse saves {:.1} allocs/query \
+             ({fresh_allocs} -> {reused_allocs} over {} queries)",
+            (fresh_allocs.saturating_sub(reused_allocs)) as f64
+                / valid_queries.len().max(1) as f64,
+            valid_queries.len(),
+        );
+        assert!(
+            reused_allocs < fresh_allocs,
+            "scratch reuse must cut allocations ({reused_allocs} !< {fresh_allocs})"
+        );
+
         let reps = if n_targets >= 100_000 { 2 } else { 3 };
         let (truth, exact_secs) =
             measure(reps, || top_k_matches_matrix(&qm, &tm, k, None, None));
@@ -211,6 +255,9 @@ fn main() {
                 "      \"index_edges\": {},\n",
                 "      \"exact_secs\": {:.6},\n",
                 "      \"exact_queries_per_sec\": {:.1},\n",
+                "      \"scratch_alloc\": {{\"pool\": {}, \"queries\": {}, ",
+                "\"fresh_allocs\": {}, \"reused_allocs\": {}, ",
+                "\"fresh_peak_bytes\": {}, \"reused_peak_bytes\": {}}},\n",
                 "      \"sweep\": [\n{}\n      ]\n",
                 "    }}"
             ),
@@ -221,6 +268,12 @@ fn main() {
             index.edges(),
             exact_secs,
             n_queries as f64 / exact_secs,
+            probe_pool,
+            valid_queries.len(),
+            fresh_allocs,
+            reused_allocs,
+            fresh_peak,
+            reused_peak,
             sweep_json.join(",\n"),
         ));
     }

@@ -27,7 +27,15 @@
 //!   healthy clients plus one client stalled mid-frame holding its
 //!   connection open. The daemon must evict the stall (50 ms deadline)
 //!   and the healthy clients' p99 must stay within 2× of the
-//!   all-healthy tier — one broken peer cannot poison the fleet.
+//!   all-healthy tier — one broken peer cannot poison the fleet;
+//! * **saturated** — 32 clients hammering a daemon over the
+//!   cache-exceeding 65k-target corpus with wide batches
+//!   (`max_batch 32`), swept across scoring-pool widths (`--workers`
+//!   1/2/4). This is the scale-out tier: with more cores than clients
+//!   need, req/s should grow with the worker count; the recorded
+//!   `cores` field says how much hardware parallelism the run actually
+//!   had (on a single-core host the sweep records the pool's overhead
+//!   instead of its scaling).
 //!
 //! Results land in `BENCH_serve.json` at the repository root. Run with
 //! `cargo bench -p tdmatch-bench --bench bench_serve`;
@@ -51,6 +59,7 @@ const REQUESTS_PER_CLIENT: usize = 150;
 const ENGINE_ROUNDS: usize = 5;
 
 struct DaemonRun {
+    clients: usize,
     wall_secs: f64,
     requests: usize,
     latencies_us: Vec<f64>,
@@ -58,6 +67,8 @@ struct DaemonRun {
     max_batch: u64,
     coalesced: u64,
     evicted: u64,
+    workers: u64,
+    shards: u64,
 }
 
 impl DaemonRun {
@@ -81,12 +92,13 @@ fn json_daemon(run: &DaemonRun) -> String {
     lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let mean = lat.iter().sum::<f64>() / lat.len().max(1) as f64;
     format!(
-        "{{\"clients\": {}, \"requests\": {}, \"wall_secs\": {:.6}, \
+        "{{\"clients\": {}, \"workers\": {}, \"requests\": {}, \"wall_secs\": {:.6}, \
          \"requests_per_sec\": {:.1}, \
          \"latency_us\": {{\"mean\": {:.1}, \"p50\": {:.1}, \"p99\": {:.1}}}, \
          \"mean_batch\": {:.2}, \"max_batch\": {}, \"coalesced_requests\": {}, \
-         \"evicted\": {}}}",
-        CLIENTS,
+         \"shards\": {}, \"evicted\": {}}}",
+        run.clients,
+        run.workers,
         run.requests,
         run.wall_secs,
         run.requests as f64 / run.wall_secs,
@@ -96,16 +108,27 @@ fn json_daemon(run: &DaemonRun) -> String {
         run.mean_batch,
         run.max_batch,
         run.coalesced,
+        run.shards,
         run.evicted,
     )
 }
 
-/// Runs the 8-client lockstep workload against a daemon with the given
-/// batching policy and collects client-side latencies + server counters.
-/// With `stalled_peer`, one extra client stalls mid-frame for the whole
-/// run (and must be evicted by the daemon's 50 ms deadline) while the
-/// healthy clients proceed.
-fn daemon_run(matcher: &Matcher, tag: &str, batch: BatchOptions, k: usize, stalled_peer: bool) -> DaemonRun {
+/// Runs a `clients`-way lockstep workload against a daemon with the
+/// given batching policy and scoring-pool width, collecting client-side
+/// latencies + server counters. With `stalled_peer`, one extra client
+/// stalls mid-frame for the whole run (and must be evicted by the
+/// daemon's 50 ms deadline) while the healthy clients proceed.
+#[allow(clippy::too_many_arguments)]
+fn daemon_run(
+    matcher: &Matcher,
+    tag: &str,
+    batch: BatchOptions,
+    k: usize,
+    clients: usize,
+    per_client: usize,
+    pool_workers: usize,
+    stalled_peer: bool,
+) -> DaemonRun {
     use std::io::Write;
 
     let socket = std::env::temp_dir().join(format!(
@@ -115,7 +138,7 @@ fn daemon_run(matcher: &Matcher, tag: &str, batch: BatchOptions, k: usize, stall
     std::fs::remove_file(&socket).ok();
     let mut options = ServeOptions {
         batch,
-        ..ServeOptions::at(socket.clone())
+        ..ServeOptions::at(socket.clone()).workers(pool_workers)
     };
     if stalled_peer {
         options.io_timeout = Duration::from_millis(50);
@@ -133,14 +156,14 @@ fn daemon_run(matcher: &Matcher, tag: &str, batch: BatchOptions, k: usize, stall
 
     let queries = matcher.queries();
     let wall = Instant::now();
-    let workers: Vec<_> = (0..CLIENTS)
+    let handles: Vec<_> = (0..clients)
         .map(|c| {
             let socket = socket.clone();
             std::thread::spawn(move || {
                 let mut client = Client::connect(&socket).expect("connect");
-                let mut latencies = Vec::with_capacity(REQUESTS_PER_CLIENT);
-                for r in 0..REQUESTS_PER_CLIENT {
-                    let doc = (c * REQUESTS_PER_CLIENT + r) % queries;
+                let mut latencies = Vec::with_capacity(per_client);
+                for r in 0..per_client {
+                    let doc = (c * per_client + r) % queries;
                     let t = Instant::now();
                     let (ranked, _batch) = client.query_id(doc, k).expect("query");
                     latencies.push(t.elapsed().as_secs_f64() * 1e6);
@@ -150,8 +173,8 @@ fn daemon_run(matcher: &Matcher, tag: &str, batch: BatchOptions, k: usize, stall
             })
         })
         .collect();
-    let mut latencies_us = Vec::with_capacity(CLIENTS * REQUESTS_PER_CLIENT);
-    for w in workers {
+    let mut latencies_us = Vec::with_capacity(clients * per_client);
+    for w in handles {
         latencies_us.extend(w.join().expect("client thread"));
     }
     let wall_secs = wall.elapsed().as_secs_f64();
@@ -163,7 +186,8 @@ fn daemon_run(matcher: &Matcher, tag: &str, batch: BatchOptions, k: usize, stall
     let stats = server.stats();
     drop(server);
     std::fs::remove_file(&socket).ok();
-    assert_eq!(stats.requests as usize, CLIENTS * REQUESTS_PER_CLIENT);
+    assert_eq!(stats.requests as usize, clients * per_client);
+    assert_eq!(stats.inflight, 0, "admitted queries left unanswered");
     if stalled_peer {
         assert!(
             stats.evicted >= 1,
@@ -172,13 +196,16 @@ fn daemon_run(matcher: &Matcher, tag: &str, batch: BatchOptions, k: usize, stall
         );
     }
     DaemonRun {
+        clients,
         wall_secs,
-        requests: CLIENTS * REQUESTS_PER_CLIENT,
+        requests: clients * per_client,
         latencies_us,
         mean_batch: stats.mean_batch(),
         max_batch: stats.max_batch,
         coalesced: stats.coalesced,
         evicted: stats.evicted,
+        workers: stats.workers,
+        shards: stats.shards,
     }
 }
 
@@ -311,9 +338,21 @@ fn main() {
             max_batch: 1,
         },
         k,
+        CLIENTS,
+        REQUESTS_PER_CLIENT,
+        1,
         false,
     );
-    let batched_daemon = daemon_run(&matcher, "batched", BatchOptions::default(), k, false);
+    let batched_daemon = daemon_run(
+        &matcher,
+        "batched",
+        BatchOptions::default(),
+        k,
+        CLIENTS,
+        REQUESTS_PER_CLIENT,
+        1,
+        false,
+    );
     let daemon_speedup = serial_daemon.wall_secs / batched_daemon.wall_secs;
     println!(
         "daemon (8 clients): serial {:.3}s ({:.0} req/s, mean batch {:.2}) vs \
@@ -332,7 +371,16 @@ fn main() {
     );
 
     // --- Degraded mode: 8 healthy clients + 1 stalled mid-frame --------
-    let degraded_daemon = daemon_run(&matcher, "degraded", BatchOptions::default(), k, true);
+    let degraded_daemon = daemon_run(
+        &matcher,
+        "degraded",
+        BatchOptions::default(),
+        k,
+        CLIENTS,
+        REQUESTS_PER_CLIENT,
+        1,
+        true,
+    );
     let healthy_p99 = batched_daemon.p99_us();
     let degraded_p99 = degraded_daemon.p99_us();
     let degraded_ratio = degraded_p99 / healthy_p99.max(f64::EPSILON);
@@ -348,6 +396,47 @@ fn main() {
         degraded_ratio <= 2.0,
         "one stalled client poisoned healthy p99 ({degraded_ratio:.2}x > 2x)"
     );
+
+    // --- Saturated scale-out tier: 32 clients on the 65k corpus --------
+    // Wide batches shard across the scoring pool; the sweep records how
+    // req/s responds to pool width on this host's core count.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let sat_clients = 32usize;
+    let sat_per_client = 15usize;
+    let sat_batch = BatchOptions {
+        window: Duration::from_micros(500),
+        max_batch: 32,
+    };
+    let mut saturated = Vec::new();
+    for pool_workers in [1usize, 2, 4] {
+        let run = daemon_run(
+            &large,
+            &format!("saturated-w{pool_workers}"),
+            sat_batch,
+            k,
+            sat_clients,
+            sat_per_client,
+            pool_workers,
+            false,
+        );
+        println!(
+            "daemon (saturated, {sat_clients} clients, {pool_workers} workers): {:.3}s \
+             ({:.0} req/s, mean batch {:.2}, max {}, {} shards, p99 {:.1}µs)",
+            run.wall_secs,
+            run.requests as f64 / run.wall_secs,
+            run.mean_batch,
+            run.max_batch,
+            run.shards,
+            run.p99_us(),
+        );
+        assert!(
+            run.max_batch > 8,
+            "the saturated tier never built a wide batch (max {})",
+            run.max_batch
+        );
+        saturated.push(run);
+    }
+    let saturated_json: Vec<String> = saturated.iter().map(json_daemon).collect();
 
     let json = format!(
         concat!(
@@ -367,7 +456,10 @@ fn main() {
             "  \"daemon_batched\": {},\n",
             "  \"daemon_speedup\": {:.2},\n",
             "  \"daemon_degraded\": {},\n",
-            "  \"degraded_p99_ratio\": {:.2}\n",
+            "  \"degraded_p99_ratio\": {:.2},\n",
+            "  \"cores\": {},\n",
+            "  \"daemon_saturated\": {{\"targets\": {}, \"queries\": {}, \"dim\": {}, ",
+            "\"max_batch\": {}, \"tiers\": [\n    {}\n  ]}}\n",
             "}}\n"
         ),
         targets,
@@ -394,6 +486,12 @@ fn main() {
         daemon_speedup,
         json_daemon(&degraded_daemon),
         degraded_ratio,
+        cores,
+        l_targets,
+        l_queries,
+        l_dim,
+        sat_batch.max_batch,
+        saturated_json.join(",\n    "),
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
     std::fs::write(out, &json).expect("write BENCH_serve.json");

@@ -52,7 +52,7 @@ use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::path::Path;
 
-use tdmatch_embed::ann::{HnswIndex, HnswParams};
+use tdmatch_embed::ann::{HnswIndex, HnswParams, SearchScratch};
 use tdmatch_embed::score::ScoreMatrix;
 use tdmatch_graph::container::{pod_bytes, ContainerWriter, SectionTag, Storage};
 use tdmatch_graph::persist::{crc32, put_f32s, put_u32, ByteReader, DecodeError};
@@ -323,8 +323,24 @@ impl MatchArtifact {
     ///
     /// Returns `None` when no index is stored.
     pub fn ann_pool(&self, qrow: &[f32], pool: usize) -> Option<Vec<usize>> {
+        self.ann_pool_with(qrow, pool, pool, &mut SearchScratch::new())
+    }
+
+    /// [`ann_pool`](MatchArtifact::ann_pool) with an explicit beam
+    /// width (`ef`, clamped up to `pool`) and a caller-owned
+    /// [`SearchScratch`]. Batching callers keep one scratch per worker
+    /// and reuse it across every query of a batch — one visited-set
+    /// allocation per batch instead of one per query, bit-identical
+    /// results either way.
+    pub fn ann_pool_with(
+        &self,
+        qrow: &[f32],
+        pool: usize,
+        ef: usize,
+        scratch: &mut SearchScratch,
+    ) -> Option<Vec<usize>> {
         let ann = self.ann.as_ref()?;
-        let mut cands = ann.search(&self.first, qrow, pool);
+        let mut cands = ann.search_with(&self.first, qrow, pool, ef, scratch);
         cands.extend((0..self.first.rows()).filter(|&t| !self.first.is_valid(t)));
         Some(cands)
     }
@@ -335,11 +351,19 @@ impl MatchArtifact {
     /// published ranking keeps the engine's exact total order over the
     /// pool. Falls back to the exact scan when no index is stored.
     pub fn match_top_k_ann(&self, k: usize, pool: usize) -> Vec<MatchResult> {
+        self.match_top_k_ann_with(k, pool, pool)
+    }
+
+    /// [`match_top_k_ann`](MatchArtifact::match_top_k_ann) with an
+    /// explicit search beam (`ef`, clamped up to `pool`). One
+    /// [`SearchScratch`] is reused across the whole batch.
+    pub fn match_top_k_ann_with(&self, k: usize, pool: usize, ef: usize) -> Vec<MatchResult> {
         if self.ann.is_none() {
             return self.match_top_k(k);
         }
+        let scratch = std::cell::RefCell::new(SearchScratch::new());
         let cand = |q: usize| {
-            self.ann_pool(self.second.row(q), pool)
+            self.ann_pool_with(self.second.row(q), pool, ef, &mut scratch.borrow_mut())
                 .expect("index presence checked above")
         };
         top_k_matches_matrix(&self.second, &self.first, k, None, Some(&cand))

@@ -141,6 +141,9 @@ pub struct Matcher {
     /// `Some(pool)` ⇒ queries default to ANN retrieval with this pool
     /// width (when the artifact carries an index); `None` ⇒ exact scan.
     ann_pool: Option<usize>,
+    /// ANN search beam width (`ef_search`); `None` follows the pool
+    /// width (the historical coupling). Clamped up to the pool at use.
+    ann_ef: Option<usize>,
 }
 
 impl Matcher {
@@ -150,6 +153,7 @@ impl Matcher {
         Self {
             artifact,
             ann_pool: None,
+            ann_ef: None,
         }
     }
 
@@ -157,6 +161,13 @@ impl Matcher {
     /// query (builder form of [`set_ann_pool`](Matcher::set_ann_pool)).
     pub fn with_ann_pool(mut self, pool: usize) -> Self {
         self.ann_pool = Some(pool);
+        self
+    }
+
+    /// Sets the ANN search beam width (builder form of
+    /// [`set_ann_ef`](Matcher::set_ann_ef)).
+    pub fn with_ann_ef(mut self, ef: usize) -> Self {
+        self.ann_ef = Some(ef);
         self
     }
 
@@ -168,9 +179,25 @@ impl Matcher {
         self.ann_pool = pool;
     }
 
+    /// Sets (or clears) the ANN search beam width (`ef_search`) —
+    /// how many nodes the layer-0 graph walk explores per query.
+    /// `None` (the default) keeps the beam at the pool width; wider
+    /// beams buy recall without widening the exact-rescore pool.
+    /// Values below the pool are clamped up to it at search time (a
+    /// beam can't return more nodes than it explored).
+    pub fn set_ann_ef(&mut self, ef: Option<usize>) {
+        self.ann_ef = ef;
+    }
+
     /// The configured default pool width, when ANN mode is on.
     pub fn ann_pool(&self) -> Option<usize> {
         self.ann_pool
+    }
+
+    /// The configured ANN search beam width, when decoupled from the
+    /// pool.
+    pub fn ann_ef(&self) -> Option<usize> {
+        self.ann_ef
     }
 
     /// True when the wrapped artifact carries an ANN index.
@@ -288,6 +315,10 @@ impl Matcher {
             .ann_pool
             .unwrap_or(tdmatch_embed::ann::DEFAULT_POOL)
             .max(1);
+        let ef = self.ann_ef.unwrap_or(pool);
+        // One visited-set scratch reused across every ANN query of the
+        // batch (instead of a ~rows-sized allocation per query).
+        let scratch = std::cell::RefCell::new(tdmatch_embed::ann::SearchScratch::new());
         let mut usage = AnnUsage::default();
         let second = self.artifact.second_matrix();
         let mut out: Vec<Result<Ranked, QueryError>> = Vec::with_capacity(queries.len());
@@ -335,7 +366,8 @@ impl Matcher {
                 let ann_queries = std::sync::atomic::AtomicU64::new(0);
                 let cand = |q: usize| {
                     let c = self
-                        .ann_pool_for(qm.row(q), pool)
+                        .artifact
+                        .ann_pool_with(qm.row(q), pool, ef, &mut scratch.borrow_mut())
                         .expect("use_ann implies a stored index");
                     ann_queries.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     pooled.fetch_add(c.len() as u64, std::sync::atomic::Ordering::Relaxed);
@@ -359,12 +391,6 @@ impl Matcher {
             }
         }
         (out, usage)
-    }
-
-    /// The widened candidate pool for one pre-normalized query row —
-    /// delegates to [`MatchArtifact::ann_pool`].
-    fn ann_pool_for(&self, qrow: &[f32], pool: usize) -> Option<Vec<usize>> {
-        self.artifact.ann_pool(qrow, pool)
     }
 }
 
@@ -427,12 +453,15 @@ impl MatcherCell {
     /// the safe reload primitive for a live daemon.
     ///
     /// The outgoing snapshot's retrieval configuration (the ANN pool
-    /// width, see [`Matcher::set_ann_pool`]) carries over to the fresh
-    /// matcher — a hot swap must not silently flip a daemon out of ANN
-    /// mode.
+    /// width and search beam, see [`Matcher::set_ann_pool`] /
+    /// [`Matcher::set_ann_ef`]) carries over to the fresh matcher — a
+    /// hot swap must not silently flip a daemon out of ANN mode.
     pub fn reload_from<P: AsRef<std::path::Path>>(&self, path: P) -> Result<(), PersistError> {
         let mut fresh = Matcher::load(path)?;
-        fresh.set_ann_pool(self.get().ann_pool());
+        let old = self.get();
+        fresh.set_ann_pool(old.ann_pool());
+        fresh.set_ann_ef(old.ann_ef());
+        drop(old);
         drop(self.replace(fresh));
         Ok(())
     }
@@ -660,16 +689,44 @@ mod tests {
         a.build_ann(&tdmatch_embed::ann::HnswParams::default());
         a.save(&path).unwrap();
 
-        let cell = MatcherCell::new(Matcher::load(&path).unwrap().with_ann_pool(128));
+        let cell = MatcherCell::new(
+            Matcher::load(&path).unwrap().with_ann_pool(128).with_ann_ef(512),
+        );
         assert_eq!(cell.get().ann_pool(), Some(128));
+        assert_eq!(cell.get().ann_ef(), Some(512));
         cell.reload_from(&path).unwrap();
         assert_eq!(
             cell.get().ann_pool(),
             Some(128),
             "hot swap must not drop ANN mode"
         );
+        assert_eq!(
+            cell.get().ann_ef(),
+            Some(512),
+            "hot swap must not drop the search beam"
+        );
         assert!(cell.get().ann_ready());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wide_ef_with_wide_pool_stays_bit_identical_to_exact() {
+        let mut a = artifact();
+        a.build_ann(&tdmatch_embed::ann::HnswParams::default());
+        let exact = Matcher::new(a.clone());
+        // Pool ≥ corpus takes the all-valid-rows shortcut regardless of
+        // ef — the decoupled beam must not break the exactness pin.
+        let ann = Matcher::new(a).with_ann_pool(1_000).with_ann_ef(7);
+        let batch: Vec<Query> = (0..exact.queries()).map(Query::ById).collect();
+        let want = exact.query_batch(&batch, 6);
+        let got = ann.query_batch(&batch, 6);
+        for (w, g) in want.iter().zip(&got) {
+            let (w, g) = (w.as_ref().unwrap(), g.as_ref().unwrap());
+            assert_eq!(w.len(), g.len());
+            for (a, b) in w.iter().zip(g) {
+                assert_eq!((a.0, a.1.to_bits()), (b.0, b.1.to_bits()));
+            }
+        }
     }
 
     #[test]

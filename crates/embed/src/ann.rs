@@ -186,6 +186,35 @@ impl Visited {
     }
 }
 
+/// Reusable search scratch: the generation-stamped visited set one
+/// [`HnswIndex::search_with`] call needs. A search allocates a
+/// ~`rows`-sized stamp array; batching layers keep one `SearchScratch`
+/// per worker and reuse it across every query in a batch, turning N
+/// per-query allocations into one. Reuse never changes results — the
+/// visited set is logically cleared (O(1), by generation bump) at every
+/// layer traversal — and a scratch sized for one matrix transparently
+/// resizes when handed a different one.
+#[derive(Default)]
+pub struct SearchScratch {
+    visited: Option<Visited>,
+}
+
+impl SearchScratch {
+    /// An empty scratch; sized lazily on first use.
+    pub fn new() -> Self {
+        SearchScratch::default()
+    }
+
+    /// The visited set, (re)sized for `rows` rows.
+    fn visited_for(&mut self, rows: usize) -> &mut Visited {
+        match &mut self.visited {
+            Some(v) if v.stamp.len() == rows => {}
+            slot => *slot = Some(Visited::new(rows)),
+        }
+        self.visited.as_mut().expect("just ensured")
+    }
+}
+
 /// Cosine distance between a query row and target row `t` (both
 /// pre-normalized): `1 − dot`.
 #[inline]
@@ -453,6 +482,28 @@ impl HnswIndex {
     /// valid row — by construction the exact scan's candidate set, so a
     /// wide-open pool reproduces exact results bit-for-bit.
     pub fn search(&self, matrix: &ScoreMatrix, qrow: &[f32], pool: usize) -> Vec<usize> {
+        self.search_with(matrix, qrow, pool, pool, &mut SearchScratch::new())
+    }
+
+    /// [`search`](HnswIndex::search) with an explicit layer-0 beam
+    /// width and a caller-owned [`SearchScratch`].
+    ///
+    /// `ef` is the beam the graph walk explores; the best `pool` of
+    /// the explored nodes are returned. `ef` below `pool` is clamped up
+    /// to `pool` (a beam can't return more nodes than it explored), so
+    /// `ef == pool` — the [`search`](HnswIndex::search) default — is
+    /// the floor, and raising `ef` buys recall without widening the
+    /// exact-rescore pool downstream. Reusing one `scratch` across a
+    /// batch of queries skips the per-query visited-set allocation and
+    /// is bit-identical to a fresh scratch per call.
+    pub fn search_with(
+        &self,
+        matrix: &ScoreMatrix,
+        qrow: &[f32],
+        pool: usize,
+        ef: usize,
+        scratch: &mut SearchScratch,
+    ) -> Vec<usize> {
         assert_eq!(
             matrix.rows(),
             self.rows,
@@ -464,20 +515,25 @@ impl HnswIndex {
         if pool >= self.count {
             return (0..self.rows).filter(|&i| matrix.is_valid(i)).collect();
         }
-        let mut visited = Visited::new(self.rows);
+        let beam = ef.max(pool);
+        let visited = scratch.visited_for(self.rows);
         let mut eps = vec![Cand {
             dist: dist_to(matrix, qrow, self.entry as u32),
             node: self.entry as u32,
         }];
         for l in (1..self.layers).rev() {
-            eps = search_layer(matrix, qrow, &eps, 1, &mut visited, |n| {
+            eps = search_layer(matrix, qrow, &eps, 1, visited, |n| {
                 self.neighbors_of(l, n as usize)
             });
         }
-        let found = search_layer(matrix, qrow, &eps, pool, &mut visited, |n| {
+        let found = search_layer(matrix, qrow, &eps, beam, visited, |n| {
             self.neighbors_of(0, n as usize)
         });
-        found.into_iter().map(|c| c.node as usize).collect()
+        found
+            .into_iter()
+            .take(pool)
+            .map(|c| c.node as usize)
+            .collect()
     }
 
     /// Tag of this index's header section under `slot`.
@@ -742,6 +798,65 @@ mod tests {
         assert!(total > 0);
         let recall = hit as f64 / total as f64;
         assert!(recall >= 0.9, "recall@{k} = {recall:.3} below 0.9");
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_scratch_bit_for_bit() {
+        let m = random_matrix(600, 16, 21);
+        let idx = HnswIndex::build(&m, &HnswParams::default());
+        let mut scratch = SearchScratch::new();
+        for q in (0..m.rows()).step_by(29) {
+            if !m.is_valid(q) {
+                continue;
+            }
+            let fresh = idx.search(&m, m.row(q), 48);
+            let reused = idx.search_with(&m, m.row(q), 48, 48, &mut scratch);
+            assert_eq!(fresh, reused, "query {q} diverged under scratch reuse");
+        }
+        // The same scratch survives a differently-shaped matrix.
+        let m2 = random_matrix(150, 16, 22);
+        let idx2 = HnswIndex::build(&m2, &HnswParams::default());
+        assert_eq!(
+            idx2.search(&m2, m2.row(0), 32),
+            idx2.search_with(&m2, m2.row(0), 32, 32, &mut scratch),
+        );
+    }
+
+    #[test]
+    fn wider_ef_keeps_pool_bounded_and_helps_recall() {
+        let m = random_matrix(1000, 16, 5);
+        let idx = HnswIndex::build(&m, &HnswParams::default());
+        let mut scratch = SearchScratch::new();
+        let mut recall_at = |ef: usize| {
+            let (mut hit, mut total) = (0usize, 0usize);
+            for q in (0..m.rows()).step_by(31) {
+                if !m.is_valid(q) {
+                    continue;
+                }
+                let qrow = m.row(q);
+                let truth: Vec<usize> = exact_top_k(&m, qrow, 10)
+                    .into_iter()
+                    .filter(|&(_, s)| s > -1.0)
+                    .map(|(t, _)| t)
+                    .collect();
+                let pool = idx.search_with(&m, qrow, 32, ef, &mut scratch);
+                assert!(pool.len() <= 32, "ef must not widen the pool");
+                hit += truth.iter().filter(|t| pool.contains(t)).count();
+                total += truth.len();
+            }
+            hit as f64 / total.max(1) as f64
+        };
+        let narrow = recall_at(32); // ef == pool: the `search` default
+        let wide = recall_at(256);
+        assert!(
+            wide >= narrow,
+            "widening the beam lost recall: ef 256 {wide:.3} < ef 32 {narrow:.3}"
+        );
+        // An ef below the pool is clamped up to it, not honored.
+        assert_eq!(
+            idx.search_with(&m, m.row(0), 64, 1, &mut scratch),
+            idx.search(&m, m.row(0), 64),
+        );
     }
 
     #[test]

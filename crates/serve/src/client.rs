@@ -1,5 +1,6 @@
 //! Synchronous client for the daemon's socket protocol — used by
-//! `tdmatch query --socket`, the protocol tests, and the bench recorder.
+//! `tdmatch query --socket` (or `--tcp`), the protocol tests, and the
+//! bench recorder.
 //!
 //! The client is resilient by configuration: give it a [`RetryPolicy`]
 //! and it transparently retries *retryable* failures — the daemon's
@@ -15,6 +16,7 @@ use std::os::unix::net::UnixStream;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
+use crate::net;
 use crate::protocol::{
     read_frame, write_frame, ErrorCode, FrameError, Request, RequestBody, Response, ResponseBody,
     StatsSnapshot,
@@ -172,13 +174,29 @@ impl Jitter {
     }
 }
 
+/// Where the daemon is listening: its Unix socket, or (with `--tcp`)
+/// a TCP address. Both speak the identical framed protocol.
+enum Transport {
+    Unix(PathBuf),
+    Tcp(String),
+}
+
+impl Transport {
+    fn open(&self) -> std::io::Result<net::Stream> {
+        match self {
+            Transport::Unix(path) => UnixStream::connect(path).map(net::Stream::Unix),
+            Transport::Tcp(addr) => std::net::TcpStream::connect(addr.as_str()).map(net::Stream::tcp),
+        }
+    }
+}
+
 /// One connection to a running daemon. Requests are synchronous:
 /// [`request`](Client::request) writes a frame and blocks for the
 /// matching response, retrying per the configured [`RetryPolicy`].
 pub struct Client {
-    socket: PathBuf,
-    writer: UnixStream,
-    reader: BufReader<UnixStream>,
+    transport: Transport,
+    writer: net::Stream,
+    reader: BufReader<net::Stream>,
     next_id: u64,
     retry: RetryPolicy,
     io_timeout: Option<Duration>,
@@ -187,14 +205,11 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects to the daemon's socket (no retries; see
-    /// [`set_retry_policy`](Client::set_retry_policy)).
-    pub fn connect<P: AsRef<Path>>(socket: P) -> Result<Self, ClientError> {
-        let socket = socket.as_ref().to_path_buf();
-        let writer = UnixStream::connect(&socket)?;
+    fn open(transport: Transport) -> Result<Self, ClientError> {
+        let writer = transport.open()?;
         let reader = BufReader::new(writer.try_clone()?);
         Ok(Client {
-            socket,
+            transport,
             writer,
             reader,
             next_id: 1,
@@ -203,6 +218,19 @@ impl Client {
             ann: None,
             jitter: Jitter::new(),
         })
+    }
+
+    /// Connects to the daemon's Unix socket (no retries; see
+    /// [`set_retry_policy`](Client::set_retry_policy)).
+    pub fn connect<P: AsRef<Path>>(socket: P) -> Result<Self, ClientError> {
+        Self::open(Transport::Unix(socket.as_ref().to_path_buf()))
+    }
+
+    /// Connects to a daemon's TCP front (`HOST:PORT`). The protocol —
+    /// and every client feature, retries included — is identical to the
+    /// Unix-socket transport.
+    pub fn connect_tcp<S: Into<String>>(addr: S) -> Result<Self, ClientError> {
+        Self::open(Transport::Tcp(addr.into()))
     }
 
     /// Sets the retrieval mode stamped onto subsequent queries:
@@ -230,7 +258,7 @@ impl Client {
 
     /// Re-establishes the connection after a broken stream.
     fn reconnect(&mut self) -> Result<(), ClientError> {
-        let writer = UnixStream::connect(&self.socket)?;
+        let writer = self.transport.open()?;
         if self.io_timeout.is_some() {
             writer.set_read_timeout(self.io_timeout)?;
             writer.set_write_timeout(self.io_timeout)?;

@@ -17,8 +17,10 @@
 //! * [`protocol`] — length-prefixed JSON frames: requests, responses,
 //!   error codes (spec: `docs/SERVING.md`);
 //! * [`batch`] — the coalescing queue (window / max-batch policy);
-//! * [`server`] — the daemon: listener, per-connection readers, the
-//!   scheduler (Unix only);
+//! * [`pool`] — the fixed worker pool that scores batch shards and
+//!   writes responses off the scheduler thread;
+//! * [`server`] — the daemon: listeners (Unix socket, optional TCP),
+//!   per-connection readers, the scheduler (Unix only);
 //! * [`client`] — the synchronous client (`tdmatch query --socket`),
 //!   with capped-backoff retries for retryable errors;
 //! * [`signals`] — `SIGHUP` → hot-swap reload trigger (Unix only).
@@ -63,10 +65,13 @@
 
 pub mod batch;
 pub mod json;
+pub mod pool;
 pub mod protocol;
 
 #[cfg(unix)]
 pub mod client;
+#[cfg(unix)]
+mod net;
 #[cfg(unix)]
 pub mod server;
 #[cfg(unix)]

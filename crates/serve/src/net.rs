@@ -1,0 +1,134 @@
+//! Transport abstraction: one stream type over Unix sockets and TCP.
+//!
+//! The frame codec ([`crate::protocol`]) is already transport-agnostic —
+//! it only needs `Read`/`Write`. What the server and client additionally
+//! rely on is the small POSIX surface both socket families share:
+//! `try_clone`, half-duplex `shutdown`, and the SO_RCVTIMEO/SO_SNDTIMEO
+//! deadlines that drive slow-peer eviction. This enum carries exactly
+//! that surface so the rest of the crate stays oblivious to which
+//! listener accepted the connection.
+//!
+//! TCP streams get `TCP_NODELAY` set at construction: frames are small
+//! (a k=10 response is a few hundred bytes) and the daemon's whole
+//! latency budget is microseconds of coalescing window — Nagle's 40 ms
+//! delayed-ACK interaction would dwarf everything else.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+/// A connected byte stream from either listener family.
+#[derive(Debug)]
+pub(crate) enum Stream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    /// Wraps an accepted/connected TCP stream, setting `TCP_NODELAY`.
+    /// A failure to set the option is not fatal — the stream still
+    /// works, just with Nagle latency.
+    pub(crate) fn tcp(stream: TcpStream) -> Stream {
+        let _ = stream.set_nodelay(true);
+        Stream::Tcp(stream)
+    }
+
+    pub(crate) fn try_clone(&self) -> io::Result<Stream> {
+        match self {
+            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+        }
+    }
+
+    pub(crate) fn shutdown(&self, how: Shutdown) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.shutdown(how),
+            Stream::Tcp(s) => s.shutdown(how),
+        }
+    }
+
+    pub(crate) fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_read_timeout(dur),
+            Stream::Tcp(s) => s.set_read_timeout(dur),
+        }
+    }
+
+    pub(crate) fn set_write_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_write_timeout(dur),
+            Stream::Tcp(s) => s.set_write_timeout(dur),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+impl From<UnixStream> for Stream {
+    fn from(s: UnixStream) -> Stream {
+        Stream::Unix(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn both_families_roundtrip_bytes_and_share_the_timeout_surface() {
+        // Unix pair.
+        let (a, b) = UnixStream::pair().expect("socketpair");
+        let mut tx = Stream::Unix(a);
+        let mut rx = Stream::Unix(b);
+        tx.write_all(b"unix").unwrap();
+        tx.flush().unwrap();
+        let mut buf = [0u8; 4];
+        rx.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"unix");
+
+        // TCP pair through a loopback listener on an ephemeral port.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        let mut tx = Stream::tcp(client);
+        let mut rx = Stream::tcp(server);
+        tx.set_write_timeout(Some(Duration::from_secs(5))).unwrap();
+        rx.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        tx.write_all(b"tcp!").unwrap();
+        tx.flush().unwrap();
+        rx.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"tcp!");
+
+        // Clones share the descriptor; shutdown of the write half is
+        // seen as EOF by the peer.
+        let clone = tx.try_clone().unwrap();
+        clone.shutdown(Shutdown::Write).unwrap();
+        assert_eq!(rx.read(&mut buf).unwrap(), 0, "EOF after shutdown");
+    }
+}

@@ -1,0 +1,180 @@
+//! A small fixed worker pool for shard scoring and response writing.
+//!
+//! The scheduler thread must never run the engine or block on a peer's
+//! socket: it partitions each coalesced batch into query-chunk shards
+//! and submits them here. Workers pull tasks from a shared queue, so a
+//! slow shard (a huge corpus scan, a stalling client eating its
+//! SO_SNDTIMEO) delays only the worker it occupies while the rest of
+//! the pool keeps draining.
+//!
+//! Each worker owns mutable per-worker state (in the daemon: a reusable
+//! [`QueryBlock`](tdmatch_core::serving) and ANN scratch) created once
+//! by a factory closure — the pool is generic so the policy stays
+//! testable without sockets.
+//!
+//! Shutdown is **drain-on-close**: [`close`](WorkerPool::close) stops
+//! new submissions, but workers finish every task already queued before
+//! exiting. The daemon relies on this — an admitted query must be
+//! answered even when shutdown lands mid-batch.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+struct PoolState<T> {
+    tasks: VecDeque<T>,
+    open: bool,
+}
+
+struct PoolShared<T> {
+    state: Mutex<PoolState<T>>,
+    cv: Condvar,
+}
+
+/// A fixed-width pool of worker threads draining a shared task queue.
+pub struct WorkerPool<T: Send + 'static> {
+    shared: Arc<PoolShared<T>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl<T: Send + 'static> WorkerPool<T> {
+    /// Spawns `workers` threads (clamped to ≥ 1). `factory(i)` runs on
+    /// the caller to build worker `i`'s handler; the handler itself is
+    /// `FnMut` so it can own reusable scratch across tasks.
+    pub fn new<F, H>(workers: usize, mut factory: F) -> WorkerPool<T>
+    where
+        F: FnMut(usize) -> H,
+        H: FnMut(T) + Send + 'static,
+    {
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                tasks: VecDeque::new(),
+                open: true,
+            }),
+            cv: Condvar::new(),
+        });
+        let mut handles = Vec::new();
+        for i in 0..workers.max(1) {
+            let shared = Arc::clone(&shared);
+            let mut handler = factory(i);
+            let handle = std::thread::Builder::new()
+                .name(format!("tdmatch-worker-{i}"))
+                .spawn(move || loop {
+                    let task = {
+                        let mut state = shared.state.lock().expect("worker pool poisoned");
+                        loop {
+                            if let Some(task) = state.tasks.pop_front() {
+                                break task;
+                            }
+                            if !state.open {
+                                return;
+                            }
+                            state = shared.cv.wait(state).expect("worker pool poisoned");
+                        }
+                    };
+                    handler(task);
+                })
+                .expect("spawn worker thread");
+            handles.push(handle);
+        }
+        WorkerPool {
+            shared,
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// Queues a task for the next free worker. Once the pool is closed
+    /// the task is handed back so the caller can fail it explicitly
+    /// (the daemon answers its routes with `shutting_down`).
+    pub fn submit(&self, task: T) -> Result<(), T> {
+        let mut state = self.shared.state.lock().expect("worker pool poisoned");
+        if !state.open {
+            return Err(task);
+        }
+        state.tasks.push_back(task);
+        drop(state);
+        self.shared.cv.notify_one();
+        Ok(())
+    }
+
+    /// Stops new submissions; queued tasks still run to completion.
+    pub fn close(&self) {
+        self.shared.state.lock().expect("worker pool poisoned").open = false;
+        self.shared.cv.notify_all();
+    }
+
+    /// Closes the pool and blocks until every queued task has run and
+    /// all workers have exited. Idempotent; callable through an `Arc`.
+    pub fn join(&self) {
+        self.close();
+        let handles = std::mem::take(&mut *self.handles.lock().expect("worker pool poisoned"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn every_submitted_task_runs_exactly_once_across_workers() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let pool = WorkerPool::new(4, |_| {
+            let hits = Arc::clone(&hits);
+            move |n: usize| {
+                hits.fetch_add(n, Ordering::SeqCst);
+            }
+        });
+        for _ in 0..1000 {
+            assert!(pool.submit(1).is_ok());
+        }
+        pool.join();
+        assert_eq!(hits.load(Ordering::SeqCst), 1000);
+        assert_eq!(pool.submit(1), Err(1), "closed pool must hand tasks back");
+    }
+
+    #[test]
+    fn close_drains_queued_tasks_before_workers_exit() {
+        // One deliberately slow worker: close() lands while tasks are
+        // still queued, and join() must still see all of them run.
+        let done = Arc::new(AtomicUsize::new(0));
+        let pool = WorkerPool::new(1, |_| {
+            let done = Arc::clone(&done);
+            move |_task: ()| {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                done.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        for _ in 0..20 {
+            assert!(pool.submit(()).is_ok());
+        }
+        pool.close();
+        pool.join();
+        assert_eq!(done.load(Ordering::SeqCst), 20);
+    }
+
+    #[test]
+    fn per_worker_state_is_built_once_and_reused() {
+        // The factory runs once per worker; handlers mutate their own
+        // state across tasks (the daemon's reusable QueryBlock pattern).
+        let builds = Arc::new(AtomicUsize::new(0));
+        let counted = Arc::new(AtomicUsize::new(0));
+        let pool = WorkerPool::new(2, |_| {
+            builds.fetch_add(1, Ordering::SeqCst);
+            let counted = Arc::clone(&counted);
+            let mut local = 0usize;
+            move |n: usize| {
+                local += n; // private accumulator, no contention
+                counted.fetch_add(local, Ordering::SeqCst);
+            }
+        });
+        for _ in 0..10 {
+            assert!(pool.submit(0).is_ok());
+        }
+        pool.join();
+        assert_eq!(builds.load(Ordering::SeqCst), 2);
+    }
+}

@@ -210,6 +210,19 @@ pub struct StatsSnapshot {
     /// (divide by `ann_queries` for the mean pool — see
     /// [`mean_pool`](StatsSnapshot::mean_pool)).
     pub pooled: u64,
+    /// Scoring-pool width the daemon runs with (configured workers).
+    pub workers: u64,
+    /// Shard scoring calls executed by the pool (one coalesced batch
+    /// fans out into up to `workers` shards per retrieval mode).
+    pub shards: u64,
+    /// Admitted-but-unanswered queries right now (gauge, not a
+    /// counter): queued plus being scored plus awaiting their response
+    /// write. The `max_inflight` admission budget is enforced against
+    /// exactly this number.
+    pub inflight: u64,
+    /// Queries and shard tasks waiting for a thread right now (gauge):
+    /// the batch queue plus the scoring pool's backlog.
+    pub queue_depth: u64,
     /// Seconds since the daemon started.
     pub uptime_secs: f64,
 }
@@ -638,13 +651,18 @@ impl StatsSnapshot {
             ("exact_queries", Json::Num(self.exact_queries as f64)),
             ("pooled", Json::Num(self.pooled as f64)),
             ("mean_pool", Json::Num(self.mean_pool())),
+            ("workers", Json::Num(self.workers as f64)),
+            ("shards", Json::Num(self.shards as f64)),
+            ("inflight", Json::Num(self.inflight as f64)),
+            ("queue_depth", Json::Num(self.queue_depth as f64)),
             ("uptime_secs", Json::Num(self.uptime_secs)),
         ])
     }
 
     fn from_json(v: &Json) -> Option<Self> {
-        // The ANN counters default to zero so snapshots emitted by
-        // pre-ANN daemons still parse.
+        // Counters added after the first release (the ANN trio, then
+        // the scoring-pool quartet) default to zero so snapshots
+        // emitted by older daemons still parse.
         let u64_or_zero = |key: &str| v.get(key).and_then(Json::as_u64).unwrap_or(0);
         Some(StatsSnapshot {
             requests: v.get("requests")?.as_u64()?,
@@ -661,6 +679,10 @@ impl StatsSnapshot {
             ann_queries: u64_or_zero("ann_queries"),
             exact_queries: u64_or_zero("exact_queries"),
             pooled: u64_or_zero("pooled"),
+            workers: u64_or_zero("workers"),
+            shards: u64_or_zero("shards"),
+            inflight: u64_or_zero("inflight"),
+            queue_depth: u64_or_zero("queue_depth"),
             uptime_secs: v.get("uptime_secs")?.as_num()?,
         })
     }
@@ -879,6 +901,10 @@ mod tests {
                 ann_queries: 40,
                 exact_queries: 50,
                 pooled: 5120,
+                workers: 4,
+                shards: 35,
+                inflight: 6,
+                queue_depth: 2,
                 uptime_secs: 12.5,
             }),
             ResponseBody::Error {
@@ -927,6 +953,8 @@ mod tests {
         let ResponseBody::Stats(s) = r.body else { panic!("wrong shape") };
         assert_eq!((s.ann_queries, s.exact_queries, s.pooled), (0, 0, 0));
         assert_eq!(s.mean_pool(), 0.0);
+        // Likewise the scoring-pool counters.
+        assert_eq!((s.workers, s.shards, s.inflight, s.queue_depth), (0, 0, 0, 0));
     }
 
     #[test]

@@ -1,26 +1,42 @@
-//! The `tdmatch serve` daemon: a Unix-domain-socket front end over a
-//! long-lived [`Matcher`].
+//! The `tdmatch serve` daemon: a Unix-domain-socket (optionally TCP)
+//! front end over a long-lived [`Matcher`].
 //!
 //! # Architecture
 //!
 //! ```text
-//! clients ──► listener thread ──► reader thread per connection
-//!                                   │ decode + validate + tokenize
-//!                                   ▼
-//!                             BatchQueue (window / QUERY_BLOCK coalescing)
-//!                                   │
-//!                                   ▼
-//!                          scheduler thread: one Matcher::query_batch_with
-//!                          call per batch ──► responses written back
+//! clients ──► listener threads ──► reader thread per connection
+//!  (unix / --tcp)                    │ decode + validate + tokenize
+//!                                    ▼
+//!                              BatchQueue (window / QUERY_BLOCK coalescing)
+//!                                    │
+//!                                    ▼
+//!                           scheduler thread: snapshot + partition by
+//!                           mode, shard into query chunks
+//!                                    │
+//!                                    ▼
+//!                           WorkerPool (--workers): one
+//!                           Matcher::query_batch_with_mode call per
+//!                           shard ──► responses written by the worker
 //! ```
 //!
 //! Reader threads do the cheap per-request work (framing, JSON,
-//! tokenizing text queries) so the scheduler's only job is riding the
-//! tiled kernel: every batch is **one** scoring call over the
-//! pre-normalized matrices, regardless of how many clients contributed
-//! queries to it. Responses are written back under a per-connection
-//! lock with a write deadline, so one stalled client is evicted rather
-//! than blocking scoring indefinitely.
+//! tokenizing text queries). The scheduler only *plans*: it snapshots
+//! the matcher, partitions the coalesced batch by retrieval mode, and
+//! hands query-chunk shards to a fixed [`WorkerPool`] — it never runs
+//! the engine and never touches a client socket. Workers score their
+//! shard and write its responses themselves, so a slow peer (bounded by
+//! the SO_SNDTIMEO eviction deadline) stalls one worker, not the
+//! scheduler. With `workers = 1` (the default) the daemon behaves like
+//! the previous single-thread scheduler, just pipelined one batch
+//! ahead.
+//!
+//! Sharding is **bit-transparent**: each partition's `k` ceiling is
+//! computed over the whole partition before chunking, every per-query
+//! ranking is independent of its batch neighbours (property-pinned in
+//! the engine), and the wire `batch` field reports the whole coalesced
+//! batch. The only observable difference under `workers > 1` is
+//! response *order* on a connection with several requests in flight —
+//! clients must match responses by `id` (ours does).
 //!
 //! # Snapshot rotation (hot swap)
 //!
@@ -28,12 +44,13 @@
 //! [`MatcherCell`]; a `reload` request (or a `SIGHUP`, when
 //! [`ServeOptions::reload_signal`] is wired up) re-opens
 //! [`ServeOptions::artifact`] and swaps the cell. The scheduler clones
-//! the `Arc` **once per batch**, so every batch — including batches
-//! straddling the swap — is answered entirely by one snapshot, and the
-//! old mapping is unmapped only when the last in-flight batch drops its
-//! handle. A failed reload (torn file, wrong dimension, missing path)
-//! leaves the old snapshot serving and bumps the `reload_failures`
-//! counter; it never crashes the daemon.
+//! the `Arc` **once per batch** and every shard of that batch carries
+//! the same clone, so every batch — including batches straddling the
+//! swap — is answered entirely by one snapshot, and the old mapping is
+//! unmapped only when the last in-flight shard drops its handle. A
+//! failed reload (torn file, wrong dimension, missing path) leaves the
+//! old snapshot serving and bumps the `reload_failures` counter; it
+//! never crashes the daemon.
 //!
 //! # Degradation under faults
 //!
@@ -42,29 +59,33 @@
 //! that stops draining its responses, is evicted (counted in
 //! `evicted`); idle-but-healthy connections are unaffected because a
 //! read timeout *between* frames just keeps waiting. When more than
-//! [`ServeOptions::max_inflight`] queries are admitted-but-unanswered,
-//! new queries are shed with the retryable `overloaded` error (counted
-//! in `shed`) instead of growing the queue without bound.
+//! [`ServeOptions::max_inflight`] queries are admitted-but-unanswered —
+//! the budget spans the coalescing queue, queued shards, and shards
+//! being scored — new queries are shed with the retryable `overloaded`
+//! error (counted in `shed`) instead of growing the queue without
+//! bound.
 //!
 //! # Lifecycle
 //!
-//! [`Server::start`] binds the socket and spawns the threads;
+//! [`Server::start`] binds the socket(s) and spawns the threads;
 //! [`Server::join`] parks the caller until the daemon stops. A stale
 //! socket file left by a SIGKILLed predecessor is unlinked and rebound
 //! (detected by a refused connection); a *live* daemon's socket is
 //! refused with `AddrInUse`. Shutdown — via a `shutdown` request or
-//! [`Server::shutdown`] — is *draining*: the listener stops accepting
-//! and removes the socket file, queued queries are still answered, then
+//! [`Server::shutdown`] — is *draining*: the listeners stop accepting
+//! and the socket file is removed, queued queries are still answered
+//! (the worker pool drains before connections are severed), then
 //! connections are closed. Requests arriving after the drain began get
 //! a `shutting_down` error.
 //!
-//! Requests within one batch may ask for different `k`; the scheduler
-//! scores at the largest and truncates per request, which by the
-//! engine's total order (score desc, index asc) returns exactly each
-//! request's own top-k.
+//! Requests within one batch may ask for different `k`; each mode
+//! partition scores at its largest `k` and truncates per request, which
+//! by the engine's total order (score desc, index asc) returns exactly
+//! each request's own top-k.
 //!
 //! [`MatcherCell`]: tdmatch_core::serving::MatcherCell
 
+use std::net::{SocketAddr, TcpListener};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -73,10 +94,12 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use tdmatch_core::serving::{Matcher, MatcherCell, Query, QueryError};
-use tdmatch_embed::score::QueryBlock;
+use tdmatch_embed::score::{QueryBlock, QUERY_BLOCK};
 use tdmatch_text::Preprocessor;
 
 use crate::batch::{BatchOptions, BatchQueue};
+use crate::net;
+use crate::pool::WorkerPool;
 use crate::protocol::{
     write_frame, ErrorCode, FrameError, FrameReader, Request, RequestBody, Response, ResponseBody,
     StatsSnapshot,
@@ -99,7 +122,8 @@ pub struct ServeOptions {
     /// is evicted. Zero disables the deadlines.
     pub io_timeout: Duration,
     /// Maximum admitted-but-unanswered queries before new ones are shed
-    /// with `overloaded`. Zero means unlimited.
+    /// with `overloaded`. The budget spans the coalescing queue, queued
+    /// shards, and shards being scored. Zero means unlimited.
     pub max_inflight: usize,
     /// External reload trigger: when the flag flips to `true` (e.g.
     /// from the [`signals`](crate::signals) SIGHUP handler), the
@@ -112,11 +136,24 @@ pub struct ServeOptions {
     /// can opt in or out per query, and an artifact without an index
     /// always scans exactly.
     pub ann_pool: Option<usize>,
+    /// ANN beam width (`ef_search`) independent of the rescore pool.
+    /// `None` keeps the bit-identical default `ef = pool`; values below
+    /// the pool width are clamped up to it at query time.
+    pub ann_ef: Option<usize>,
+    /// Scoring-pool width: how many worker threads score batch shards
+    /// and write their responses. Clamped to ≥ 1; the default `1`
+    /// reproduces the single-thread scheduler's behaviour (including
+    /// response ordering) exactly.
+    pub workers: usize,
+    /// Optional TCP listener address (`HOST:PORT`) speaking the same
+    /// length-prefixed protocol as the Unix socket. **No
+    /// authentication** — bind loopback unless the network is trusted.
+    pub tcp: Option<String>,
 }
 
 impl ServeOptions {
     /// Default policy at the given socket path: 30 s I/O deadlines, no
-    /// inflight cap, reload disabled.
+    /// inflight cap, reload disabled, one scoring worker, no TCP.
     pub fn at<P: Into<PathBuf>>(socket: P) -> Self {
         ServeOptions {
             socket: socket.into(),
@@ -126,7 +163,16 @@ impl ServeOptions {
             max_inflight: 0,
             reload_signal: None,
             ann_pool: None,
+            ann_ef: None,
+            workers: 1,
+            tcp: None,
         }
+    }
+
+    /// Sets the request-coalescing policy.
+    pub fn batch(mut self, batch: BatchOptions) -> Self {
+        self.batch = batch;
+        self
     }
 
     /// Sets the artifact path `reload` re-opens.
@@ -153,6 +199,25 @@ impl ServeOptions {
         self.ann_pool = Some(pool);
         self
     }
+
+    /// Sets the ANN beam width independently of the rescore pool (see
+    /// [`ServeOptions::ann_ef`]).
+    pub fn ann_ef(mut self, ef: usize) -> Self {
+        self.ann_ef = Some(ef);
+        self
+    }
+
+    /// Sets the scoring-pool width (clamped to ≥ 1 at start).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Adds a TCP listener at `HOST:PORT` alongside the Unix socket.
+    pub fn tcp<S: Into<String>>(mut self, addr: S) -> Self {
+        self.tcp = Some(addr.into());
+        self
+    }
 }
 
 /// A queued query: either engine-ready, or text tokens the scheduler
@@ -173,10 +238,28 @@ struct Pending {
     conn: Arc<Conn>,
 }
 
+/// One query-chunk shard of a coalesced batch: scored by a pool worker
+/// with **one** engine call, responses written by that worker.
+struct ShardTask {
+    /// The batch's snapshot — every shard of a batch carries the same
+    /// `Arc`, preserving the one-snapshot-per-batch guarantee.
+    matcher: Arc<Matcher>,
+    ann: bool,
+    /// The whole mode-partition's `k` ceiling (not this shard's):
+    /// keeps scoring depth — and therefore the wire bytes — identical
+    /// to the unsharded scheduler.
+    k_max: usize,
+    /// Queries scored in the whole coalesced batch (the wire `batch`
+    /// field), likewise batch-wide, not per-shard.
+    scored: usize,
+    queries: Vec<Query>,
+    routes: Vec<(u64, usize, Arc<Conn>)>,
+}
+
 /// A connection's write half, shared by its reader thread and the
-/// scheduler.
+/// scoring workers.
 struct Conn {
-    stream: Mutex<UnixStream>,
+    stream: Mutex<net::Stream>,
     /// Set once the connection is evicted or hung up; later sends are
     /// skipped instead of re-blocking on a dead peer.
     dead: AtomicBool,
@@ -223,6 +306,7 @@ struct Counters {
     ann_queries: AtomicU64,
     exact_queries: AtomicU64,
     pooled: AtomicU64,
+    shards: AtomicU64,
 }
 
 struct ServerInner {
@@ -231,9 +315,15 @@ struct ServerInner {
     running: AtomicBool,
     counters: Counters,
     inflight: AtomicUsize,
+    /// Shards submitted to the pool but not yet picked up by a worker
+    /// (feeds the `queue_depth` gauge without referencing the pool).
+    shard_queued: AtomicUsize,
     started: Instant,
     conns: Mutex<Vec<Weak<Conn>>>,
     options: ServeOptions,
+    /// The TCP listener's bound address, if one was requested (useful
+    /// with port 0).
+    tcp_addr: Option<SocketAddr>,
     preprocessor: Preprocessor,
 }
 
@@ -254,6 +344,10 @@ impl ServerInner {
             ann_queries: self.counters.ann_queries.load(Ordering::Relaxed),
             exact_queries: self.counters.exact_queries.load(Ordering::Relaxed),
             pooled: self.counters.pooled.load(Ordering::Relaxed),
+            workers: self.options.workers.max(1) as u64,
+            shards: self.counters.shards.load(Ordering::Relaxed),
+            inflight: self.inflight.load(Ordering::SeqCst) as u64,
+            queue_depth: (self.queue.len() + self.shard_queued.load(Ordering::SeqCst)) as u64,
             uptime_secs: self.started.elapsed().as_secs_f64(),
         }
     }
@@ -326,7 +420,9 @@ impl ServerInner {
 /// Dropping the handle shuts the daemon down and waits for its threads.
 pub struct Server {
     inner: Arc<ServerInner>,
+    pool: Arc<WorkerPool<ShardTask>>,
     listener: Option<JoinHandle<()>>,
+    tcp_listener: Option<JoinHandle<()>>,
     scheduler: Option<JoinHandle<()>>,
 }
 
@@ -334,13 +430,16 @@ impl std::fmt::Debug for Server {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Server")
             .field("socket", &self.inner.options.socket)
+            .field("tcp", &self.inner.tcp_addr)
+            .field("workers", &self.inner.options.workers)
             .field("running", &self.inner.running.load(Ordering::SeqCst))
             .finish_non_exhaustive()
     }
 }
 
 impl Server {
-    /// Binds `options.socket` and starts serving `matcher`.
+    /// Binds `options.socket` (and `options.tcp`, when set) and starts
+    /// serving `matcher`.
     ///
     /// If the socket path already exists it is reclaimed only when it
     /// is actually stale: a socket file nobody answers on (the
@@ -351,34 +450,70 @@ impl Server {
         if options.ann_pool.is_some() {
             matcher.set_ann_pool(options.ann_pool);
         }
+        if options.ann_ef.is_some() {
+            matcher.set_ann_ef(options.ann_ef);
+        }
         if options.socket.exists() {
             reclaim_stale_socket(&options.socket)?;
         }
         let listener = UnixListener::bind(&options.socket)?;
         listener.set_nonblocking(true)?;
+        let tcp = match options.tcp.as_deref() {
+            Some(addr) => {
+                let l = TcpListener::bind(addr).inspect_err(|_| {
+                    // The Unix socket is already bound; do not leave its
+                    // file behind on the error path.
+                    let _ = std::fs::remove_file(&options.socket);
+                })?;
+                l.set_nonblocking(true)?;
+                Some(l)
+            }
+            None => None,
+        };
+        let tcp_addr = match tcp.as_ref() {
+            Some(l) => Some(l.local_addr()?),
+            None => None,
+        };
         let inner = Arc::new(ServerInner {
             matcher: MatcherCell::new(matcher),
             queue: BatchQueue::new(),
             running: AtomicBool::new(true),
             counters: Counters::default(),
             inflight: AtomicUsize::new(0),
+            shard_queued: AtomicUsize::new(0),
             started: Instant::now(),
             conns: Mutex::new(Vec::new()),
             options,
+            tcp_addr,
             preprocessor: Preprocessor::default(),
         });
+
+        // The scoring pool: each worker owns a reusable QueryBlock
+        // (recreated only when a reload changes the dimension).
+        let pool = Arc::new(WorkerPool::new(inner.options.workers.max(1), |_| {
+            let inner = Arc::clone(&inner);
+            let mut block: Option<QueryBlock> = None;
+            move |task: ShardTask| run_shard(&inner, &mut block, task)
+        }));
 
         let listener_thread = {
             let inner = Arc::clone(&inner);
             std::thread::spawn(move || listen_loop(&inner, listener))
         };
+        let tcp_thread = tcp.map(|l| {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || tcp_listen_loop(&inner, l))
+        });
         let scheduler_thread = {
             let inner = Arc::clone(&inner);
-            std::thread::spawn(move || schedule_loop(&inner))
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || schedule_loop(&inner, &pool))
         };
         Ok(Server {
             inner,
+            pool,
             listener: Some(listener_thread),
+            tcp_listener: tcp_thread,
             scheduler: Some(scheduler_thread),
         })
     }
@@ -386,6 +521,12 @@ impl Server {
     /// The socket path clients connect to.
     pub fn socket_path(&self) -> &Path {
         &self.inner.options.socket
+    }
+
+    /// The TCP listener's bound address, when one was requested (the
+    /// actual port, even if the options asked for port 0).
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.inner.tcp_addr
     }
 
     /// Current counters.
@@ -413,7 +554,7 @@ impl Server {
     }
 
     /// Parks until the daemon has stopped (a `shutdown` request arrived
-    /// or [`shutdown`](Server::shutdown) was called) and both service
+    /// or [`shutdown`](Server::shutdown) was called) and the service
     /// threads have exited. Returns the final counters.
     pub fn join(mut self) -> StatsSnapshot {
         self.join_threads();
@@ -424,13 +565,21 @@ impl Server {
         if let Some(t) = self.listener.take() {
             let _ = t.join();
         }
+        if let Some(t) = self.tcp_listener.take() {
+            let _ = t.join();
+        }
         if let Some(t) = self.scheduler.take() {
             let _ = t.join();
         }
-        // Sever connections only now: the scheduler has drained (every
-        // accepted query is answered) AND the listener has stopped, so
-        // no connection can register after this sweep — a registration
-        // racing an earlier sweep would leak a blocked reader thread.
+        // The scheduler has exited, so every shard it will ever submit
+        // is in the pool; drain them (answering their queries) before
+        // severing connections.
+        self.pool.join();
+        // Sever connections only now: the pool has drained (every
+        // accepted query is answered) AND the listeners have stopped,
+        // so no connection can register after this sweep — a
+        // registration racing an earlier sweep would leak a blocked
+        // reader thread.
         self.inner.close_connections();
     }
 }
@@ -476,6 +625,29 @@ fn reclaim_stale_socket(path: &Path) -> std::io::Result<()> {
     }
 }
 
+/// Arms the per-connection deadlines, registers the connection, and
+/// spawns its reader thread — identical for both listener families.
+fn spawn_connection(inner: &Arc<ServerInner>, stream: net::Stream) {
+    let deadline = inner.options.io_timeout;
+    if !deadline.is_zero() {
+        // Both halves share the socket, so this arms the read AND
+        // write deadlines for the connection.
+        let _ = stream.set_read_timeout(Some(deadline));
+        let _ = stream.set_write_timeout(Some(deadline));
+    }
+    let conn = Arc::new(Conn {
+        stream: Mutex::new(stream),
+        dead: AtomicBool::new(false),
+    });
+    {
+        let mut conns = inner.conns.lock().expect("connection registry poisoned");
+        conns.retain(|w| w.strong_count() > 0);
+        conns.push(Arc::downgrade(&conn));
+    }
+    let inner = Arc::clone(inner);
+    std::thread::spawn(move || serve_connection(&inner, &conn));
+}
+
 fn listen_loop(inner: &Arc<ServerInner>, listener: UnixListener) {
     while inner.running.load(Ordering::SeqCst) {
         if let Some(flag) = inner.options.reload_signal {
@@ -488,24 +660,7 @@ fn listen_loop(inner: &Arc<ServerInner>, listener: UnixListener) {
                 if stream.set_nonblocking(false).is_err() {
                     continue;
                 }
-                let deadline = inner.options.io_timeout;
-                if !deadline.is_zero() {
-                    // Both halves share the socket, so this arms the
-                    // read AND write deadlines for the connection.
-                    let _ = stream.set_read_timeout(Some(deadline));
-                    let _ = stream.set_write_timeout(Some(deadline));
-                }
-                let conn = Arc::new(Conn {
-                    stream: Mutex::new(stream),
-                    dead: AtomicBool::new(false),
-                });
-                {
-                    let mut conns = inner.conns.lock().expect("connection registry poisoned");
-                    conns.retain(|w| w.strong_count() > 0);
-                    conns.push(Arc::downgrade(&conn));
-                }
-                let inner = Arc::clone(inner);
-                std::thread::spawn(move || serve_connection(&inner, &conn));
+                spawn_connection(inner, net::Stream::Unix(stream));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(1));
@@ -516,6 +671,25 @@ fn listen_loop(inner: &Arc<ServerInner>, listener: UnixListener) {
     // Unbind before the drain finishes so late connectors fail fast.
     drop(listener);
     let _ = std::fs::remove_file(&inner.options.socket);
+}
+
+/// The optional TCP front: same accept handling as the Unix listener
+/// (reload-signal polling stays with the Unix loop, which always runs).
+fn tcp_listen_loop(inner: &Arc<ServerInner>, listener: TcpListener) {
+    while inner.running.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                spawn_connection(inner, net::Stream::tcp(stream));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
 }
 
 /// Reader-side request handling: framing, decoding, validation, and the
@@ -679,7 +853,8 @@ fn enqueue(
     ann: Option<bool>,
 ) {
     // Admission control: count the query inflight, shedding it when the
-    // cap is hit. The count drops when its response is written.
+    // cap is hit. The count spans the coalescing queue, queued shards,
+    // and scoring — it drops as the response is handed to the writer.
     let cap = inner.options.max_inflight;
     let admitted = inner.inflight.fetch_add(1, Ordering::SeqCst);
     if cap > 0 && admitted >= cap {
@@ -712,22 +887,15 @@ fn enqueue(
     }
 }
 
-/// Scheduler: one engine call per coalesced batch, each batch served
-/// entirely by one snapshot.
-fn schedule_loop(inner: &Arc<ServerInner>) {
-    let mut block: Option<QueryBlock> = None;
+/// Scheduler: snapshot, partition by mode, shard, submit — no scoring,
+/// no socket writes. Each batch is served entirely by one snapshot.
+fn schedule_loop(inner: &Arc<ServerInner>, pool: &Arc<WorkerPool<ShardTask>>) {
+    let workers = inner.options.workers.max(1);
     while let Some(batch) = inner.queue.next_batch(&inner.options.batch) {
         // One snapshot per batch: the hot swap can land at any time,
-        // but every query in this batch sees exactly this snapshot.
+        // but every query in this batch sees exactly this snapshot —
+        // every shard below carries a clone of this Arc.
         let matcher = inner.matcher.get();
-        let dim = matcher.dim();
-        if block.as_ref().is_none_or(|b| b.dim() != dim) {
-            block = Some(QueryBlock::with_capacity(
-                inner.options.batch.max_batch.max(1),
-                dim,
-            ));
-        }
-        let block = block.as_mut().expect("query block just ensured");
 
         let n = batch.len();
         inner.counters.batches.fetch_add(1, Ordering::Relaxed);
@@ -745,7 +913,8 @@ fn schedule_loop(inner: &Arc<ServerInner>) {
         // missing-query semantics: empty matches, batch 0. Queries are
         // partitioned by their effective retrieval mode (per-request
         // flag, falling back to the daemon default): each partition is
-        // one engine call, still served by this batch's snapshot.
+        // sharded separately, every shard served by this batch's
+        // snapshot.
         let default_ann = matcher.ann_pool().is_some();
         let mut parts = [
             (false, Vec::new(), Vec::with_capacity(n)),
@@ -757,6 +926,7 @@ fn schedule_loop(inner: &Arc<ServerInner>) {
                 PendingQuery::Text(tokens) => match matcher.artifact().embed_tokens(&tokens) {
                     Some(vector) => Query::ByVector(vector),
                     None => {
+                        inner.inflight.fetch_sub(1, Ordering::SeqCst);
                         inner.send_to(
                             &pending.conn,
                             &Response {
@@ -767,7 +937,6 @@ fn schedule_loop(inner: &Arc<ServerInner>) {
                                 },
                             },
                         );
-                        inner.inflight.fetch_sub(1, Ordering::SeqCst);
                         continue;
                     }
                 },
@@ -785,44 +954,105 @@ fn schedule_loop(inner: &Arc<ServerInner>) {
             if queries.is_empty() {
                 continue;
             }
-            // Score at the partition's largest k and truncate per
-            // request: the engine's total order makes the prefix
-            // exactly each request's own top-k.
+            // The partition's k ceiling is fixed BEFORE sharding so
+            // every shard scores at the same depth the single-thread
+            // scheduler would; truncation per request then yields
+            // byte-identical wire output. Shards stay at least an
+            // engine block wide — narrower chunks would fragment the
+            // tiled kernel for no concurrency gain.
             let k_max = routes.iter().map(|&(_, k, _)| k).max().unwrap_or(0);
-            let (results, usage) = matcher.query_batch_with_mode(block, &queries, k_max, ann);
-            let answered = results.iter().filter(|r| r.is_ok()).count() as u64;
-            inner
-                .counters
-                .ann_queries
-                .fetch_add(usage.queries, Ordering::Relaxed);
-            inner
-                .counters
-                .exact_queries
-                .fetch_add(answered.saturating_sub(usage.queries), Ordering::Relaxed);
-            inner.counters.pooled.fetch_add(usage.pooled, Ordering::Relaxed);
-            for ((req_id, k, conn), result) in routes.into_iter().zip(results) {
-                let body = match result {
-                    Ok(mut ranked) => {
-                        ranked.truncate(k);
-                        ResponseBody::Matches {
-                            matches: ranked,
-                            batch: scored,
-                        }
-                    }
-                    Err(e) => {
-                        inner.count_error();
-                        ResponseBody::Error {
-                            code: match e {
-                                QueryError::UnknownId { .. } => ErrorCode::UnknownId,
-                                QueryError::DimMismatch { .. } => ErrorCode::BadVector,
-                            },
-                            message: e.to_string(),
-                        }
-                    }
+            let width = queries.len().div_ceil(workers).max(QUERY_BLOCK);
+            let mut queries = queries.into_iter();
+            let mut routes = routes.into_iter();
+            loop {
+                let shard_queries: Vec<Query> = queries.by_ref().take(width).collect();
+                if shard_queries.is_empty() {
+                    break;
+                }
+                let shard_routes: Vec<(u64, usize, Arc<Conn>)> =
+                    routes.by_ref().take(shard_queries.len()).collect();
+                let task = ShardTask {
+                    matcher: Arc::clone(&matcher),
+                    ann,
+                    k_max,
+                    scored,
+                    queries: shard_queries,
+                    routes: shard_routes,
                 };
-                inner.send_to(&conn, &Response { id: req_id, body });
-                inner.inflight.fetch_sub(1, Ordering::SeqCst);
+                inner.shard_queued.fetch_add(1, Ordering::SeqCst);
+                if let Err(task) = pool.submit(task) {
+                    // Unreachable in the normal lifecycle (the pool
+                    // closes only after this thread exits); fail the
+                    // shard's queries explicitly rather than dropping
+                    // them with inflight counts stuck.
+                    inner.shard_queued.fetch_sub(1, Ordering::SeqCst);
+                    for (req_id, _, conn) in task.routes {
+                        inner.count_error();
+                        inner.inflight.fetch_sub(1, Ordering::SeqCst);
+                        inner.send_to(
+                            &conn,
+                            &Response::error(req_id, ErrorCode::ShuttingDown, "daemon is draining"),
+                        );
+                    }
+                }
             }
         }
+    }
+}
+
+/// Worker-side shard execution: one engine call, then the shard's
+/// responses are written by this worker — the scheduler never blocks on
+/// a peer's socket.
+fn run_shard(inner: &ServerInner, block: &mut Option<QueryBlock>, task: ShardTask) {
+    inner.shard_queued.fetch_sub(1, Ordering::SeqCst);
+    inner.counters.shards.fetch_add(1, Ordering::Relaxed);
+    let dim = task.matcher.dim();
+    if block.as_ref().is_none_or(|b| b.dim() != dim) {
+        *block = Some(QueryBlock::with_capacity(
+            inner.options.batch.max_batch.max(1),
+            dim,
+        ));
+    }
+    let block = block.as_mut().expect("query block just ensured");
+    let (results, usage) = task
+        .matcher
+        .query_batch_with_mode(block, &task.queries, task.k_max, task.ann);
+    let answered = results.iter().filter(|r| r.is_ok()).count() as u64;
+    inner
+        .counters
+        .ann_queries
+        .fetch_add(usage.queries, Ordering::Relaxed);
+    inner
+        .counters
+        .exact_queries
+        .fetch_add(answered.saturating_sub(usage.queries), Ordering::Relaxed);
+    inner.counters.pooled.fetch_add(usage.pooled, Ordering::Relaxed);
+    for ((req_id, k, conn), result) in task.routes.into_iter().zip(results) {
+        let body = match result {
+            Ok(mut ranked) => {
+                ranked.truncate(k);
+                ResponseBody::Matches {
+                    matches: ranked,
+                    batch: task.scored,
+                }
+            }
+            Err(e) => {
+                inner.count_error();
+                ResponseBody::Error {
+                    code: match e {
+                        QueryError::UnknownId { .. } => ErrorCode::UnknownId,
+                        QueryError::DimMismatch { .. } => ErrorCode::BadVector,
+                    },
+                    message: e.to_string(),
+                }
+            }
+        };
+        // Decrement BEFORE the write so "client holds the response"
+        // implies the budget slot is free: a stats read taken after the
+        // last response lands must see inflight 0, not a stale count.
+        // The slack (a response mid-write no longer holds budget) is
+        // bounded by the pool width.
+        inner.inflight.fetch_sub(1, Ordering::SeqCst);
+        inner.send_to(&conn, &Response { id: req_id, body });
     }
 }

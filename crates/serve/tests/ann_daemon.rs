@@ -97,6 +97,148 @@ fn daemon_ann_mode_rescoring_overrides_and_counters() {
     server.join();
 }
 
+/// Satellite coverage for the sharded scheduler: a batch that
+/// partitions by retrieval mode AND shards across the worker pool must
+/// still answer every request bit-identically to the facade.
+#[test]
+fn mixed_mode_batches_under_a_worker_pool_stay_bit_identical() {
+    use tdmatch_serve::batch::BatchOptions;
+
+    let artifact = indexed_artifact(300, 8);
+    let reference = Matcher::new(artifact.clone());
+    // Pool covers the corpus, so ANN-mode answers are bit-identical to
+    // exact answers — one oracle serves both partitions.
+    let oracle: Vec<Vec<(usize, u32)>> = (0..4)
+        .map(|q| bits(&reference.query_by_id(q, 7).expect("doc exists")))
+        .collect();
+
+    let socket = socket_path("sharded-mixed");
+    let server = Server::start(
+        Matcher::new(artifact),
+        ServeOptions::at(&socket)
+            .ann_pool(1000)
+            .workers(4)
+            .batch(BatchOptions {
+                window: std::time::Duration::from_millis(2),
+                max_batch: 32,
+            }),
+    )
+    .expect("daemon starts");
+
+    // 8 concurrent clients, each alternating the per-request mode so
+    // coalesced batches partition by mode and shard across workers.
+    let handles: Vec<_> = (0..8)
+        .map(|c| {
+            let socket = socket.clone();
+            let oracle = oracle.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&socket).expect("connect");
+                for i in 0..30 {
+                    let q = (c + i) % 4;
+                    client.set_ann(match i % 3 {
+                        0 => None,        // daemon default (ANN)
+                        1 => Some(true),  // explicit ANN
+                        _ => Some(false), // forced exact
+                    });
+                    let (got, _) = client.query_id(q, 7).expect("query");
+                    assert_eq!(bits(&got), oracle[q], "client {c} query {q} iter {i}");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+
+    let mut client = Client::connect(&socket).expect("connect");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.workers, 4);
+    assert_eq!(stats.ann_queries + stats.exact_queries, 240);
+    assert!(stats.exact_queries >= 80, "forced-exact partition scored");
+    assert!(stats.shards >= stats.batches, "every batch ran ≥ 1 shard");
+    assert_eq!(stats.inflight, 0, "all admitted queries answered");
+
+    client.shutdown().expect("shutdown");
+    server.join();
+}
+
+/// The per-snapshot guarantee survives a mid-batch `reload` under the
+/// worker pool: every answer must bit-match one generation's oracle in
+/// full — never a mix of old and new snapshots within one ranking.
+#[test]
+fn mid_batch_reload_answers_from_exactly_one_snapshot() {
+    use tdmatch_serve::batch::BatchOptions;
+
+    let dir = std::env::temp_dir().join(format!("tdmatch-reload-shard-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("artifact.tdm");
+
+    // Generation 0 and its replacement: same dim, different corpora, so
+    // their rankings differ and a mixed answer would match neither.
+    let old = indexed_artifact(200, 8);
+    let new = indexed_artifact(120, 8);
+    let oracle_old = bits(&Matcher::new(old.clone()).query_by_id(0, 6).expect("doc"));
+    let oracle_new = bits(&Matcher::new(new.clone()).query_by_id(0, 6).expect("doc"));
+    assert_ne!(oracle_old, oracle_new, "the two snapshots must disagree");
+
+    old.save(&path).expect("save generation 0");
+    let socket = socket_path("sharded-reload");
+    let server = Server::start(
+        Matcher::new(old),
+        ServeOptions::at(&socket)
+            .artifact(&path)
+            .ann_pool(1000)
+            .workers(4)
+            .batch(BatchOptions {
+                window: std::time::Duration::from_millis(1),
+                max_batch: 32,
+            }),
+    )
+    .expect("daemon starts");
+    new.save(&path).expect("publish generation 1");
+
+    // Queriers race the reloader; each answer must equal one oracle.
+    let queriers: Vec<_> = (0..4)
+        .map(|c| {
+            let socket = socket.clone();
+            let (oracle_old, oracle_new) = (oracle_old.clone(), oracle_new.clone());
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&socket).expect("connect");
+                for i in 0..50 {
+                    let (got, _) = client.query_id(0, 6).expect("query");
+                    let got = bits(&got);
+                    assert!(
+                        got == oracle_old || got == oracle_new,
+                        "client {c} iter {i}: answer mixes snapshots: {got:?}"
+                    );
+                }
+            })
+        })
+        .collect();
+    let reloader = {
+        let socket = socket.clone();
+        std::thread::spawn(move || {
+            let mut client = Client::connect(&socket).expect("connect");
+            for _ in 0..10 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                client.reload().expect("reload");
+            }
+        })
+    };
+    for h in queriers {
+        h.join().expect("querier thread");
+    }
+    reloader.join().expect("reloader thread");
+
+    let mut client = Client::connect(&socket).expect("connect");
+    // After the last reload every answer comes from generation ≥ 1.
+    let (got, _) = client.query_id(0, 6).expect("query");
+    assert_eq!(bits(&got), oracle_new);
+    client.shutdown().expect("shutdown");
+    server.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn ann_request_against_an_unindexed_daemon_scans_exactly() {
     let mut artifact = indexed_artifact(60, 4);

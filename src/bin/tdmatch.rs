@@ -66,8 +66,10 @@ USAGE:
     tdmatch run   --scenario NAME [options]   fit a synthetic scenario, report metrics
     tdmatch resume --graph PATH [options]     re-embed + match from a persisted graph
     tdmatch match --artifact PATH [--k N]     rank matches from a saved artifact
+                  [--ann [--pool N] [--ef-search N]]
     tdmatch query --artifact PATH --text \"…\"  match one new document against the artifact
     tdmatch query --socket PATH [op]          send one request to a running daemon
+    tdmatch query --tcp HOST:PORT [op]        same, over the daemon's TCP front
     tdmatch serve --artifact PATH [options]   run the batch-matching daemon
     tdmatch index --artifact PATH [options]   add (or drop) an ANN index in the artifact
     tdmatch info  --artifact PATH             print artifact statistics
@@ -104,16 +106,26 @@ SERVE OPTIONS:
     --max-inflight N   shed queries past N admitted-but-unanswered with
                        a retryable `overloaded` error (default 1024;
                        0 = unlimited)
+    --workers N        scoring-pool width (default 1): batch shards are
+                       scored, and their responses written, by N worker
+                       threads instead of the scheduler — wire output is
+                       bit-identical at any width
+    --tcp HOST:PORT    additionally listen on TCP with the same framed
+                       protocol (NO authentication — bind loopback
+                       unless the network is trusted)
     --ann              make ANN candidate retrieval the default mode
                        (needs an indexed artifact; see `tdmatch index`)
     --ann-pool N       ANN candidate pool width (default 4096); the pool
                        is still rescored exactly
+    --ef-search N      ANN beam width, decoupled from the pool (default:
+                       the pool width; values below it are clamped up,
+                       keeping ANN-vs-exact bit-identity at wide pools)
 
     The daemon hot-swaps its artifact on SIGHUP or a `reload` request:
     publish a new file over PATH (atomic rename), then signal. A failed
     reload keeps the old snapshot serving.
 
-QUERY OPTIONS (daemon mode, with --socket):
+QUERY OPTIONS (daemon mode, with --socket or --tcp):
     --text \"…\"         match one new document (tokenized by the daemon)
     --id N             match query-corpus document N
     --k N              ranked matches to return (default 5)
@@ -345,7 +357,19 @@ fn cmd_match(args: &[String]) -> Result<(), String> {
             Some(s) => parse_num(s, "pool")?,
             None => tdmatch::embed::ann::DEFAULT_POOL,
         };
-        artifact.match_top_k_ann(k, pool)
+        match flag_value(args, "--ef-search")? {
+            Some(s) => {
+                let ef: usize = parse_num(s, "ef-search")?;
+                if ef < pool {
+                    eprintln!(
+                        "note: --ef-search {ef} is below --pool {pool}; \
+                         the beam is clamped up to the pool width"
+                    );
+                }
+                artifact.match_top_k_ann_with(k, pool, ef)
+            }
+            None => artifact.match_top_k_ann(k, pool),
+        }
     } else {
         artifact.match_top_k(k)
     };
@@ -361,11 +385,12 @@ fn cmd_match(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_query(args: &[String]) -> Result<(), String> {
-    if flag_value(args, "--socket")?.is_some() {
+    if flag_value(args, "--socket")?.is_some() || flag_value(args, "--tcp")?.is_some() {
         return cmd_query_socket(args);
     }
-    let path = flag_value(args, "--artifact")?
-        .ok_or("query requires --artifact PATH (one-shot) or --socket PATH (daemon)")?;
+    let path = flag_value(args, "--artifact")?.ok_or(
+        "query requires --artifact PATH (one-shot) or --socket PATH / --tcp HOST:PORT (daemon)",
+    )?;
     let text = flag_value(args, "--text")?.ok_or("query requires --text \"…\"")?;
     let k: usize = match flag_value(args, "--k")? {
         Some(s) => parse_num(s, "k")?,
@@ -383,13 +408,21 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `query --socket`: one request against a running daemon.
+/// `query --socket` / `query --tcp`: one request against a running
+/// daemon, over either transport.
 #[cfg(unix)]
 fn cmd_query_socket(args: &[String]) -> Result<(), String> {
     use std::time::Duration;
     use tdmatch::serve::client::{Client, RetryPolicy};
 
-    let socket = flag_value(args, "--socket")?.expect("checked by caller");
+    let socket = flag_value(args, "--socket")?;
+    let tcp = flag_value(args, "--tcp")?;
+    let endpoint = match (socket, tcp) {
+        (Some(_), Some(_)) => return Err("--socket and --tcp are mutually exclusive".into()),
+        (Some(s), None) => s,
+        (None, Some(t)) => t,
+        (None, None) => unreachable!("checked by caller"),
+    };
     let k: usize = match flag_value(args, "--k")? {
         Some(s) => parse_num(s, "k")?,
         None => 5,
@@ -402,8 +435,11 @@ fn cmd_query_socket(args: &[String]) -> Result<(), String> {
         Some(s) => parse_num(s, "timeout-ms")?,
         None => 0,
     };
-    let mut client =
-        Client::connect(socket).map_err(|e| format!("connecting to {socket}: {e}"))?;
+    let mut client = if tcp.is_some() {
+        Client::connect_tcp(endpoint).map_err(|e| format!("connecting to {endpoint}: {e}"))?
+    } else {
+        Client::connect(endpoint).map_err(|e| format!("connecting to {endpoint}: {e}"))?
+    };
     if retries > 0 {
         client.set_retry_policy(RetryPolicy::with_retries(retries));
     }
@@ -437,6 +473,8 @@ fn cmd_query_socket(args: &[String]) -> Result<(), String> {
         println!("generation: {}", s.generation);
         println!("ann:        {} queries (mean pool {:.0})", s.ann_queries, s.mean_pool());
         println!("exact:      {} queries", s.exact_queries);
+        println!("workers:    {} ({} shards scored)", s.workers, s.shards);
+        println!("inflight:   {} (queue depth {})", s.inflight, s.queue_depth);
         println!("uptime:     {:.1}s", s.uptime_secs);
         return Ok(());
     }
@@ -505,11 +543,31 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         Some(s) => parse_num(s, "max-inflight")?,
         None => 1024,
     };
+    let workers: usize = match flag_value(args, "--workers")? {
+        Some(s) => parse_num(s, "workers")?,
+        None => 1,
+    };
+    if workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    let tcp = flag_value(args, "--tcp")?.map(str::to_string);
     let ann_pool: Option<usize> = match flag_value(args, "--ann-pool")? {
         Some(s) => Some(parse_num(s, "ann-pool")?),
         None if flag_present(args, "--ann") => Some(tdmatch::embed::ann::DEFAULT_POOL),
         None => None,
     };
+    let ann_ef: Option<usize> = match flag_value(args, "--ef-search")? {
+        Some(s) => Some(parse_num(s, "ef-search")?),
+        None => None,
+    };
+    if let (Some(ef), Some(pool)) = (ann_ef, ann_pool) {
+        if ef < pool {
+            eprintln!(
+                "note: --ef-search {ef} is below --ann-pool {pool}; \
+                 the beam is clamped up to the pool width"
+            );
+        }
+    }
 
     let matcher = Matcher::load(path).map_err(|e| format!("loading artifact: {e}"))?;
     if ann_pool.is_some() && !matcher.ann_ready() {
@@ -531,27 +589,39 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             max_inflight,
             reload_signal: Some(tdmatch::serve::signals::install_sighup()),
             ann_pool,
+            ann_ef,
+            workers,
+            tcp,
         },
     )
     .map_err(|e| format!("starting daemon: {e}"))?;
     let mode = match ann_pool {
-        Some(pool) => format!("ann pool {pool}"),
+        Some(pool) => match ann_ef {
+            Some(ef) => format!("ann pool {pool} ef {ef}"),
+            None => format!("ann pool {pool}"),
+        },
         None => "exact".to_string(),
     };
     eprintln!(
         "serving {path} ({targets} targets, {queries} queries) on {socket} \
-         [window {window_us}µs, batch ≤{batch_max}, inflight ≤{max_inflight}, {mode}]"
+         [window {window_us}µs, batch ≤{batch_max}, inflight ≤{max_inflight}, \
+         {workers} worker{}, {mode}]",
+        if workers == 1 { "" } else { "s" },
     );
+    if let Some(addr) = server.tcp_addr() {
+        eprintln!("tcp front: {addr} (no authentication — keep it loopback or firewalled)");
+    }
     eprintln!("stop with: tdmatch query --socket {socket} --shutdown");
     eprintln!("hot swap:  republish {path}, then `kill -HUP {}`", std::process::id());
     let stats = server.join();
     eprintln!(
-        "daemon stopped: {} requests in {} batches (mean {:.2}, max {}), {} errors, \
-         {} shed, {} evicted, {} reloads ({} failed)",
+        "daemon stopped: {} requests in {} batches (mean {:.2}, max {}) over {} shards, \
+         {} errors, {} shed, {} evicted, {} reloads ({} failed)",
         stats.requests,
         stats.batches,
         stats.mean_batch(),
         stats.max_batch,
+        stats.shards,
         stats.errors,
         stats.shed,
         stats.evicted,
