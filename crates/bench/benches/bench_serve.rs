@@ -436,6 +436,20 @@ fn main() {
         );
         saturated.push(run);
     }
+    // Scale-out gate: with real hardware parallelism, the best sharded
+    // tier must beat the single-worker pool on throughput. On a
+    // single-core host the sweep only measures pool overhead, so the
+    // gate would be noise — skip it there.
+    if cores > 1 {
+        let rps = |run: &DaemonRun| run.requests as f64 / run.wall_secs;
+        let single = rps(&saturated[0]);
+        let best_multi = saturated[1..].iter().map(rps).fold(0.0f64, f64::max);
+        assert!(
+            best_multi >= single * 1.1,
+            "sharded scoring pool does not scale on this {cores}-core host: \
+             1 worker {single:.0} req/s, best multi-worker {best_multi:.0} req/s"
+        );
+    }
     let saturated_json: Vec<String> = saturated.iter().map(json_daemon).collect();
 
     let json = format!(

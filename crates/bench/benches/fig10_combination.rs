@@ -1,22 +1,15 @@
 //! Figure 10 — combining our embeddings with SentenceBERT: averaging the
 //! two methods' cosine scores improves MAP on every scenario.
 
-use tdmatch_bench::{bench_config, evaluate, MethodRun};
+use tdmatch_bench::{bench_config, evaluate, registry, MethodRun};
 use tdmatch_baselines::sbe::encode_corpus;
 use tdmatch_core::pipeline::{FitOptions, TdMatch};
-use tdmatch_datasets::corona::SentenceKind;
-use tdmatch_datasets::{audit, claims, corona, imdb, Scale, Scenario};
+use tdmatch_datasets::{Scale, Scenario};
 use tdmatch_embed::vectors::cosine;
 use tdmatch_text::Preprocessor;
 
 fn main() {
-    let scenarios: Vec<Scenario> = vec![
-        imdb::generate(Scale::Tiny, 42, true),
-        corona::generate(Scale::Tiny, 42, SentenceKind::Generated),
-        audit::generate(Scale::Tiny, 42),
-        claims::politifact(Scale::Tiny, 42),
-        claims::snopes(Scale::Tiny, 42),
-    ];
+    let scenarios: Vec<Scenario> = registry::paper_five(Scale::Tiny, 42);
     println!("\n=== Figure 10 — W-RW vs W-RW & S-BE (MAP@5) ===");
     println!("{:<12} {:>8} {:>12}", "scenario", "W-RW", "W-RW&S-BE");
     for scenario in &scenarios {

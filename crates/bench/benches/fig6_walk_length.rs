@@ -4,9 +4,8 @@
 //! Paper shape: quality climbs steeply up to length ≈ 20, then plateaus
 //! (larger, denser graphs keep benefiting a bit longer).
 
-use tdmatch_bench::{bench_config, evaluate, run_with_config, MethodRun};
-use tdmatch_datasets::corona::SentenceKind;
-use tdmatch_datasets::{audit, claims, corona, imdb, Scale, Scenario};
+use tdmatch_bench::{bench_config, evaluate, registry, run_with_config, MethodRun};
+use tdmatch_datasets::{Scale, Scenario};
 use tdmatch_eval::ranking::RankMetrics;
 
 const LENGTHS: [usize; 6] = [5, 10, 20, 30, 40, 50];
@@ -18,13 +17,7 @@ fn map5(run: &MethodRun, scenario: &Scenario) -> f64 {
 
 fn main() {
     // Sweeps multiply the fit count; use the tiny preset per scenario.
-    let scenarios: Vec<Scenario> = vec![
-        imdb::generate(Scale::Tiny, 42, true),
-        corona::generate(Scale::Tiny, 42, SentenceKind::Generated),
-        audit::generate(Scale::Tiny, 42),
-        claims::politifact(Scale::Tiny, 42),
-        claims::snopes(Scale::Tiny, 42),
-    ];
+    let scenarios: Vec<Scenario> = registry::paper_five(Scale::Tiny, 42);
     println!("\n=== Figure 6 — MAP@5 vs walk length ===");
     print!("{:<12}", "walk_len");
     for l in LENGTHS {

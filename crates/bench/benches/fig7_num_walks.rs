@@ -4,9 +4,8 @@
 //! Paper shape: more walks help with diminishing returns; sparse graphs
 //! (CoronaCheck) saturate earliest.
 
-use tdmatch_bench::{bench_config, evaluate, run_with_config, MethodRun};
-use tdmatch_datasets::corona::SentenceKind;
-use tdmatch_datasets::{audit, claims, corona, imdb, Scale, Scenario};
+use tdmatch_bench::{bench_config, evaluate, registry, run_with_config, MethodRun};
+use tdmatch_datasets::{Scale, Scenario};
 use tdmatch_eval::ranking::RankMetrics;
 
 const WALKS: [usize; 6] = [5, 10, 20, 30, 40, 50];
@@ -17,13 +16,7 @@ fn map5(run: &MethodRun, scenario: &Scenario) -> f64 {
 }
 
 fn main() {
-    let scenarios: Vec<Scenario> = vec![
-        imdb::generate(Scale::Tiny, 42, true),
-        corona::generate(Scale::Tiny, 42, SentenceKind::Generated),
-        audit::generate(Scale::Tiny, 42),
-        claims::politifact(Scale::Tiny, 42),
-        claims::snopes(Scale::Tiny, 42),
-    ];
+    let scenarios: Vec<Scenario> = registry::paper_five(Scale::Tiny, 42);
     println!("\n=== Figure 7 — MAP@5 vs number of walks per node ===");
     print!("{:<12}", "walks");
     for w in WALKS {

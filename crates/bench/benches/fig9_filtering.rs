@@ -5,10 +5,9 @@
 //! Paper shape: both summarizations beat Normal on most scenarios, and
 //! Intersect beats TF-IDF everywhere.
 
-use tdmatch_bench::{bench_config, evaluate, run_with_config};
+use tdmatch_bench::{bench_config, evaluate, registry, run_with_config};
 use tdmatch_core::config::FilterMode;
-use tdmatch_datasets::corona::SentenceKind;
-use tdmatch_datasets::{audit, claims, corona, imdb, Scale, Scenario};
+use tdmatch_datasets::{Scale, Scenario};
 
 const TFIDF_KS: [usize; 4] = [3, 5, 10, 20];
 
@@ -22,13 +21,7 @@ fn map5(scenario: &Scenario, filtering: FilterMode) -> f64 {
 }
 
 fn main() {
-    let scenarios: Vec<Scenario> = vec![
-        audit::generate(Scale::Tiny, 42),
-        claims::politifact(Scale::Tiny, 42),
-        claims::snopes(Scale::Tiny, 42),
-        imdb::generate(Scale::Tiny, 42, true),
-        corona::generate(Scale::Tiny, 42, SentenceKind::Generated),
-    ];
+    let scenarios: Vec<Scenario> = registry::paper_five(Scale::Tiny, 42);
     println!("\n=== Figure 9 — data-node filtering (MAP@5) ===");
     println!(
         "{:<12} {:>8} {:>8} {:>10}",

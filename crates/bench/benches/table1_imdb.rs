@@ -5,66 +5,26 @@
 //! ahead of S-BE and ahead of all supervised methods; NT harder than WT;
 //! EX ≥ plain W-RW.
 
-use tdmatch_bench::{
-    evaluate, print_ranking_header, print_ranking_row, run_wrw, run_wrw_ex, scale_from_env,
-    supervised_options, MethodRun, TABLE_K,
-};
-use tdmatch_datasets::imdb;
+use tdmatch_bench::{ranking_table, registry, scale_from_env, Method};
 
 fn main() {
     let scale = scale_from_env();
-    for with_title in [true, false] {
-        let scenario = imdb::generate(scale, 42, with_title);
-        let variant = if with_title { "WT" } else { "NT" };
-        print_ranking_header(&format!("Table I — IMDb {variant} ({})", scenario.name));
-
-        let sbe: MethodRun = tdmatch_baselines::sbe::run(
-            &scenario.first,
-            &scenario.second,
-            &scenario.pretrained,
-            TABLE_K,
-        )
-        .into();
-        print_ranking_row(&sbe.method.clone(), &evaluate(&sbe, &scenario));
-
-        let (wrw, _) = run_wrw(&scenario, TABLE_K);
-        print_ranking_row(&wrw.method.clone(), &evaluate(&wrw, &scenario));
-
-        let (wrw_ex, _) = run_wrw_ex(&scenario, TABLE_K);
-        print_ranking_row(&wrw_ex.method.clone(), &evaluate(&wrw_ex, &scenario));
-
-        let opts = supervised_options(42);
-        let rank: MethodRun = tdmatch_baselines::rank::run(
-            &scenario.first,
-            &scenario.second,
-            &scenario.ground_truth,
-            &scenario.pretrained,
-            &opts,
-            TABLE_K,
-        )
-        .into();
-        print_ranking_row(&rank.method.clone(), &evaluate(&rank, &scenario));
-
-        let ditto: MethodRun = tdmatch_baselines::supervised::run_ditto(
-            &scenario.first,
-            &scenario.second,
-            &scenario.ground_truth,
-            &scenario.pretrained,
-            &opts,
-            TABLE_K,
-        )
-        .into();
-        print_ranking_row(&ditto.method.clone(), &evaluate(&ditto, &scenario));
-
-        let tapas: MethodRun = tdmatch_baselines::supervised::run_tapas(
-            &scenario.first,
-            &scenario.second,
-            &scenario.ground_truth,
-            &scenario.pretrained,
-            &opts,
-            TABLE_K,
-        )
-        .into();
-        print_ranking_row(&tapas.method.clone(), &evaluate(&tapas, &scenario));
+    let methods = [
+        Method::Sbe,
+        Method::Wrw,
+        Method::WrwEx,
+        Method::Rank,
+        Method::Ditto,
+        Method::Tapas,
+    ];
+    for key in ["imdb-wt", "imdb-nt"] {
+        let scenario = registry::by_key(key).expect("registered").generate(scale, 42);
+        let variant = if key == "imdb-wt" { "WT" } else { "NT" };
+        ranking_table(
+            &format!("Table I — IMDb {variant} ({})", scenario.name),
+            &scenario,
+            &methods,
+            42,
+        );
     }
 }

@@ -5,78 +5,26 @@
 //! Paper shape: W-RW(-EX) on top for both corpora; Usr harder than Gen;
 //! supervised methods well below the unsupervised graph method.
 
-use tdmatch_bench::{
-    evaluate, print_ranking_header, print_ranking_row, run_wrw, run_wrw_ex, scale_from_env,
-    supervised_options, MethodRun, TABLE_K,
-};
-use tdmatch_datasets::corona::{self, SentenceKind};
+use tdmatch_bench::{ranking_table, registry, scale_from_env, Method};
 
 fn main() {
     let scale = scale_from_env();
-    for kind in [SentenceKind::Generated, SentenceKind::User] {
-        let scenario = corona::generate(scale, 42, kind);
-        let variant = match kind {
-            SentenceKind::Generated => "Gen",
-            SentenceKind::User => "Usr",
-        };
-        print_ranking_header(&format!("Table II — CoronaCheck {variant}"));
-
-        let sbe: MethodRun = tdmatch_baselines::sbe::run(
-            &scenario.first,
-            &scenario.second,
-            &scenario.pretrained,
-            TABLE_K,
-        )
-        .into();
-        print_ranking_row(&sbe.method.clone(), &evaluate(&sbe, &scenario));
-
-        let (wrw, _) = run_wrw(&scenario, TABLE_K);
-        print_ranking_row(&wrw.method.clone(), &evaluate(&wrw, &scenario));
-
-        let (wrw_ex, _) = run_wrw_ex(&scenario, TABLE_K);
-        print_ranking_row(&wrw_ex.method.clone(), &evaluate(&wrw_ex, &scenario));
-
-        let opts = supervised_options(42);
-        let supervised_runs: Vec<MethodRun> = vec![
-            tdmatch_baselines::rank::run(
-                &scenario.first,
-                &scenario.second,
-                &scenario.ground_truth,
-                &scenario.pretrained,
-                &opts,
-                TABLE_K,
-            )
-            .into(),
-            tdmatch_baselines::supervised::run_deepmatcher(
-                &scenario.first,
-                &scenario.second,
-                &scenario.ground_truth,
-                &scenario.pretrained,
-                &opts,
-                TABLE_K,
-            )
-            .into(),
-            tdmatch_baselines::supervised::run_ditto(
-                &scenario.first,
-                &scenario.second,
-                &scenario.ground_truth,
-                &scenario.pretrained,
-                &opts,
-                TABLE_K,
-            )
-            .into(),
-            tdmatch_baselines::supervised::run_tapas(
-                &scenario.first,
-                &scenario.second,
-                &scenario.ground_truth,
-                &scenario.pretrained,
-                &opts,
-                TABLE_K,
-            )
-            .into(),
-        ];
-        for run in supervised_runs {
-            print_ranking_row(&run.method.clone(), &evaluate(&run, &scenario));
-        }
+    let methods = [
+        Method::Sbe,
+        Method::Wrw,
+        Method::WrwEx,
+        Method::Rank,
+        Method::DeepMatcher,
+        Method::Ditto,
+        Method::Tapas,
+    ];
+    for (key, variant) in [("corona-gen", "Gen"), ("corona-usr", "Usr")] {
+        let scenario = registry::by_key(key).expect("registered").generate(scale, 42);
+        ranking_table(
+            &format!("Table II — CoronaCheck {variant}"),
+            &scenario,
+            &methods,
+            42,
+        );
     }
 }

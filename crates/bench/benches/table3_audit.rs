@@ -7,57 +7,28 @@
 //! the pre-trained S-BE because the vocabulary is domain specific; L-BE*
 //! is competitive only at K = 1.
 
-use tdmatch_bench::{
-    audit_eval, print_prf_header, print_prf_row, run_wrw, run_wrw_ex, scale_from_env,
-    supervised_options, MethodRun,
-};
-use tdmatch_datasets::audit;
+use tdmatch_bench::{audit_eval, print_prf_header, print_prf_row, registry, scale_from_env, Method};
 
 const KS: [usize; 4] = [1, 3, 5, 10];
 
 fn main() {
-    let scale = scale_from_env();
-    let scenario = audit::generate(scale, 42);
+    let scenario = registry::by_key("audit")
+        .expect("registered")
+        .generate(scale_from_env(), 42);
     print_prf_header("Table III — Audit: exact and node scores");
 
-    let d2vec: MethodRun = tdmatch_baselines::d2vec::run(
-        &scenario.first,
-        &scenario.second,
-        &tdmatch_baselines::d2vec::D2vecOptions::default(),
-        10,
-    )
-    .into();
-    let sbe: MethodRun = tdmatch_baselines::sbe::run(
-        &scenario.first,
-        &scenario.second,
-        &scenario.pretrained,
-        10,
-    )
-    .into();
-    let (wrw, _) = run_wrw(&scenario, 10);
-    let (wrw_ex, _) = run_wrw_ex(&scenario, 10);
-    let opts = supervised_options(42);
-    let rank: MethodRun = tdmatch_baselines::rank::run(
-        &scenario.first,
-        &scenario.second,
-        &scenario.ground_truth,
-        &scenario.pretrained,
-        &opts,
-        10,
-    )
-    .into();
-    let lbe: MethodRun = tdmatch_baselines::supervised::run_lbe(
-        &scenario.first,
-        &scenario.second,
-        &scenario.ground_truth,
-        &scenario.pretrained,
-        &opts,
-        10,
-    )
-    .into();
+    let methods = [
+        Method::D2vec,
+        Method::Sbe,
+        Method::Wrw,
+        Method::WrwEx,
+        Method::Rank,
+        Method::Lbe,
+    ];
+    let runs: Vec<_> = methods.iter().map(|&m| m.run(&scenario, 10, 42)).collect();
 
     for k in KS {
-        for run in [&d2vec, &sbe, &wrw, &wrw_ex, &rank, &lbe] {
+        for run in &runs {
             let (exact, node) = audit_eval(run, &scenario, k);
             print_prf_row(k, &run.method, &exact, &node);
         }

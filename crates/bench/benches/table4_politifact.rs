@@ -5,44 +5,22 @@
 //! sits *below* the supervised RANK* — generic claim language is where
 //! pre-training plus supervision pays off.
 
-use tdmatch_bench::{
-    evaluate, print_ranking_header, print_ranking_row, run_wrw, run_wrw_ex, scale_from_env,
-    supervised_options, MethodRun, TABLE_K,
-};
-use tdmatch_datasets::claims;
+use tdmatch_bench::{ranking_table, registry, scale_from_env, Method};
 
 fn main() {
-    let scenario = claims::politifact(scale_from_env(), 42);
-    print_ranking_header("Table IV — Politifact");
-
-    let sbe: MethodRun = tdmatch_baselines::sbe::run(
-        &scenario.first,
-        &scenario.second,
-        &scenario.pretrained,
-        TABLE_K,
-    )
-    .into();
-    print_ranking_row(&sbe.method.clone(), &evaluate(&sbe, &scenario));
-
-
-    let bm25: MethodRun =
-        tdmatch_baselines::tfidf::run_bm25(&scenario.first, &scenario.second, TABLE_K).into();
-    print_ranking_row(&bm25.method.clone(), &evaluate(&bm25, &scenario));
-
-    let (wrw, _) = run_wrw(&scenario, TABLE_K);
-    print_ranking_row(&wrw.method.clone(), &evaluate(&wrw, &scenario));
-
-    let (wrw_ex, _) = run_wrw_ex(&scenario, TABLE_K);
-    print_ranking_row(&wrw_ex.method.clone(), &evaluate(&wrw_ex, &scenario));
-
-    let rank: MethodRun = tdmatch_baselines::rank::run(
-        &scenario.first,
-        &scenario.second,
-        &scenario.ground_truth,
-        &scenario.pretrained,
-        &supervised_options(42),
-        TABLE_K,
-    )
-    .into();
-    print_ranking_row(&rank.method.clone(), &evaluate(&rank, &scenario));
+    let scenario = registry::by_key("politifact")
+        .expect("registered")
+        .generate(scale_from_env(), 42);
+    ranking_table(
+        "Table IV — Politifact",
+        &scenario,
+        &[
+            Method::Sbe,
+            Method::Bm25,
+            Method::Wrw,
+            Method::WrwEx,
+            Method::Rank,
+        ],
+        42,
+    );
 }

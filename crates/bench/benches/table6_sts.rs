@@ -5,48 +5,19 @@
 //! Paper shape: all methods improve from k=2 to k=3 (higher-similarity
 //! pairs share more tokens); W-RW(-EX) beats S-BE and approaches RANK*.
 
-use tdmatch_bench::{
-    evaluate, print_ranking_header, print_ranking_row, run_wrw, run_wrw_ex, scale_from_env,
-    supervised_options, MethodRun, TABLE_K,
-};
-use tdmatch_datasets::sts;
+use tdmatch_bench::{ranking_table, registry, scale_from_env, Method};
 
 fn main() {
     let scale = scale_from_env();
-    for k in [2u8, 3] {
-        let scenario = sts::generate(scale, 42, k);
-        print_ranking_header(&format!("Table VI — STS k={k}"));
-
-        let sbe: MethodRun = tdmatch_baselines::sbe::run(
-            &scenario.first,
-            &scenario.second,
-            &scenario.pretrained,
-            TABLE_K,
-        )
-        .into();
-        print_ranking_row(&sbe.method.clone(), &evaluate(&sbe, &scenario));
-
-
-        let bm25: MethodRun =
-            tdmatch_baselines::tfidf::run_bm25(&scenario.first, &scenario.second, TABLE_K)
-                .into();
-        print_ranking_row(&bm25.method.clone(), &evaluate(&bm25, &scenario));
-
-        let (wrw, _) = run_wrw(&scenario, TABLE_K);
-        print_ranking_row(&wrw.method.clone(), &evaluate(&wrw, &scenario));
-
-        let (wrw_ex, _) = run_wrw_ex(&scenario, TABLE_K);
-        print_ranking_row(&wrw_ex.method.clone(), &evaluate(&wrw_ex, &scenario));
-
-        let rank: MethodRun = tdmatch_baselines::rank::run(
-            &scenario.first,
-            &scenario.second,
-            &scenario.ground_truth,
-            &scenario.pretrained,
-            &supervised_options(42),
-            TABLE_K,
-        )
-        .into();
-        print_ranking_row(&rank.method.clone(), &evaluate(&rank, &scenario));
+    let methods = [
+        Method::Sbe,
+        Method::Bm25,
+        Method::Wrw,
+        Method::WrwEx,
+        Method::Rank,
+    ];
+    for (key, k) in [("sts2", 2), ("sts3", 3)] {
+        let scenario = registry::by_key(key).expect("registered").generate(scale, 42);
+        ranking_table(&format!("Table VI — STS k={k}"), &scenario, &methods, 42);
     }
 }

@@ -6,78 +6,38 @@
 //! embedding baselines and the fine-tuned transformers; S-BE has no
 //! training at all.
 
-use tdmatch_bench::{run_wrw, scale_from_env, supervised_options, MethodRun, TABLE_K};
-use tdmatch_datasets::{audit, claims, corona, imdb};
-use tdmatch_datasets::corona::SentenceKind;
-use tdmatch_datasets::Scenario;
+use tdmatch_bench::{registry, scale_from_env, Method, TABLE_K};
+use tdmatch_datasets::{Scale, Scenario};
 
 struct Task {
     name: &'static str,
     scenarios: Vec<Scenario>,
 }
 
+const METHODS: [Method; 7] = [
+    Method::W2vec,
+    Method::D2vec,
+    Method::Sbe,
+    Method::Wrw,
+    Method::Rank,
+    Method::Lbe,
+    Method::Ditto,
+];
+
 fn method_times(scenario: &Scenario) -> Vec<(String, f64, f64)> {
-    let opts = supervised_options(42);
-    let mut rows: Vec<(String, f64, f64)> = Vec::new();
+    METHODS
+        .iter()
+        .map(|&m| {
+            let run = m.run(scenario, TABLE_K, 42);
+            (run.method, run.train_secs, run.test_secs)
+        })
+        .collect()
+}
 
-    let w2v = tdmatch_baselines::w2vec::run(
-        &scenario.first,
-        &scenario.second,
-        &tdmatch_baselines::w2vec::W2vecOptions::default(),
-        TABLE_K,
-    );
-    rows.push((w2v.method, w2v.train_secs, w2v.test_secs));
-
-    let d2v = tdmatch_baselines::d2vec::run(
-        &scenario.first,
-        &scenario.second,
-        &tdmatch_baselines::d2vec::D2vecOptions::default(),
-        TABLE_K,
-    );
-    rows.push((d2v.method, d2v.train_secs, d2v.test_secs));
-
-    let sbe = tdmatch_baselines::sbe::run(
-        &scenario.first,
-        &scenario.second,
-        &scenario.pretrained,
-        TABLE_K,
-    );
-    rows.push((sbe.method, sbe.train_secs, sbe.test_secs));
-
-    let (wrw, _): (MethodRun, _) = run_wrw(scenario, TABLE_K);
-    rows.push((wrw.method, wrw.train_secs, wrw.test_secs));
-
-    let rank = tdmatch_baselines::rank::run(
-        &scenario.first,
-        &scenario.second,
-        &scenario.ground_truth,
-        &scenario.pretrained,
-        &opts,
-        TABLE_K,
-    );
-    rows.push((rank.method, rank.train_secs, rank.test_secs));
-
-    let lbe = tdmatch_baselines::supervised::run_lbe(
-        &scenario.first,
-        &scenario.second,
-        &scenario.ground_truth,
-        &scenario.pretrained,
-        &opts,
-        TABLE_K,
-    );
-    rows.push((lbe.method, lbe.train_secs, lbe.test_secs));
-
-    let ditto = tdmatch_baselines::supervised::run_ditto(
-        &scenario.first,
-        &scenario.second,
-        &scenario.ground_truth,
-        &scenario.pretrained,
-        &opts,
-        TABLE_K,
-    );
-    rows.push((ditto.method, ditto.train_secs, ditto.test_secs));
-
-    rows
+fn scenarios(keys: &[&str], scale: Scale) -> Vec<Scenario> {
+    keys.iter()
+        .map(|k| registry::by_key(k).expect("registered").generate(scale, 42))
+        .collect()
 }
 
 fn main() {
@@ -85,18 +45,15 @@ fn main() {
     let tasks = vec![
         Task {
             name: "Text to data",
-            scenarios: vec![
-                imdb::generate(scale, 42, true),
-                corona::generate(scale, 42, SentenceKind::Generated),
-            ],
+            scenarios: scenarios(&["imdb-wt", "corona-gen"], scale),
         },
         Task {
             name: "Structured text",
-            scenarios: vec![audit::generate(scale, 42)],
+            scenarios: scenarios(&["audit"], scale),
         },
         Task {
             name: "Text to text",
-            scenarios: vec![claims::snopes(scale, 42), claims::politifact(scale, 42)],
+            scenarios: scenarios(&["snopes", "politifact"], scale),
         },
     ];
 

@@ -7,10 +7,9 @@
 //! quality loss on scenarios with a relational table, a visible drop on
 //! text-only scenarios; MSP beats SSuM on quality at comparable sizes.
 
-use tdmatch_bench::{evaluate, run_pipeline, scale_from_env, TABLE_K};
+use tdmatch_bench::{evaluate, registry, run_pipeline, scale_from_env, TABLE_K};
 use tdmatch_core::config::Compression;
-use tdmatch_datasets::corona::SentenceKind;
-use tdmatch_datasets::{audit, claims, corona, imdb, Scenario};
+use tdmatch_datasets::Scenario;
 
 fn row(scenario: &Scenario, label: &str, expand: bool, compression: Option<Compression>) {
     let (run, model) = run_pipeline(scenario, TABLE_K, expand, compression);
@@ -24,13 +23,10 @@ fn row(scenario: &Scenario, label: &str, expand: bool, compression: Option<Compr
 
 fn main() {
     let scale = scale_from_env();
-    let scenarios: Vec<Scenario> = vec![
-        imdb::generate(scale, 42, false),
-        corona::generate(scale, 42, SentenceKind::Generated),
-        claims::snopes(scale, 42),
-        claims::politifact(scale, 42),
-        audit::generate(scale, 42),
-    ];
+    let scenarios: Vec<Scenario> = ["imdb-nt", "corona-gen", "snopes", "politifact", "audit"]
+        .iter()
+        .map(|k| registry::by_key(k).expect("registered").generate(scale, 42))
+        .collect();
 
     println!("\n=== Table VIII — compression: size vs matching quality ===");
     println!(

@@ -1,0 +1,61 @@
+//! Re-records the scenario quality goldens (`BENCH_scenarios.json`).
+//!
+//! Runs the six-dataset conformance lifecycle at the tier selected by
+//! `TDMATCH_SCALE` (default `tiny`) and merges the fresh tier into the
+//! committed golden file, leaving other tiers untouched:
+//!
+//! ```text
+//! TDMATCH_SCALE=tiny  cargo run --release -p tdmatch-scenarios --bin scenarios_record
+//! TDMATCH_SCALE=small cargo run --release -p tdmatch-scenarios --bin scenarios_record
+//! ```
+//!
+//! See `docs/SCENARIOS.md` for when re-recording is legitimate.
+
+use tdmatch_scenarios::golden::{GoldenFile, GoldenScenario, GoldenTier, DEFAULT_TOLERANCE};
+use tdmatch_scenarios::registry::{conformance_specs, scale_name};
+use tdmatch_scenarios::LifecycleOptions;
+
+fn main() {
+    let scale = match std::env::var("TDMATCH_SCALE").as_deref() {
+        Ok("small") => tdmatch_datasets::Scale::Small,
+        Ok("paper") => tdmatch_datasets::Scale::Paper,
+        _ => tdmatch_datasets::Scale::Tiny,
+    };
+    let tier_name = scale_name(scale);
+    let path = tdmatch_scenarios::golden::default_path();
+
+    let mut file = match GoldenFile::load(&path) {
+        Ok(existing) => existing,
+        Err(_) => GoldenFile {
+            k: tdmatch_scenarios::TABLE_K,
+            tiers: Vec::new(),
+        },
+    };
+
+    let dir = std::env::temp_dir().join(format!("tdmatch-scenarios-record-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+
+    let mut scenarios = Vec::new();
+    for spec in conformance_specs() {
+        eprintln!("[record] {tier_name}/{} …", spec.key);
+        let report =
+            tdmatch_scenarios::run_lifecycle(spec, &LifecycleOptions::at_tier(scale, dir.clone()));
+        for m in &report.methods {
+            eprintln!(
+                "[record]   {:<8} mrr {:.3}  map@5 {:.3}  recall@20 {:.3}  (fit {:.2}s, {}x{})",
+                m.method, m.mrr, m.map_at_5, m.recall_at_20, report.fit_secs, report.targets,
+                report.queries
+            );
+        }
+        scenarios.push(GoldenScenario::from_report(&report));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    file.upsert_tier(GoldenTier {
+        scale: tier_name.to_string(),
+        tolerance: DEFAULT_TOLERANCE,
+        scenarios,
+    });
+    std::fs::write(&path, file.render()).expect("write golden file");
+    eprintln!("[record] wrote tier `{tier_name}` to {}", path.display());
+}

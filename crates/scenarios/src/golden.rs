@@ -1,0 +1,381 @@
+//! The committed quality goldens (`BENCH_scenarios.json`) and the gate
+//! that holds scenario runs to them.
+//!
+//! The golden file records, per scale tier, the corpus sizes and
+//! ranking metrics every conformance scenario produced when the tier
+//! was last recorded (`cargo run -p tdmatch-scenarios --bin
+//! scenarios_record --release`). The conformance suite re-runs the
+//! lifecycle and [`gate`]s the fresh numbers against the file:
+//! corpus sizes must match **exactly** (they are deterministic — drift
+//! means a generator changed), metrics within the tier's recorded
+//! tolerance (the single-thread fit is deterministic too, but a small
+//! band keeps the gate robust to libm-level float differences across
+//! toolchains).
+//!
+//! See `docs/SCENARIOS.md` for the re-record procedure.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use tdmatch_serve::json::{parse, Json};
+
+use crate::lifecycle::{MethodMetrics, ScenarioReport};
+
+/// One method's recorded metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GoldenMethod {
+    /// Method key (`wrw`, `wrw-ex`).
+    pub method: String,
+    /// Recorded mean reciprocal rank.
+    pub mrr: f64,
+    /// Recorded MAP@5.
+    pub map_at_5: f64,
+    /// Recorded hit rate in the top 20.
+    pub recall_at_20: f64,
+}
+
+/// One scenario's recorded shape and metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GoldenScenario {
+    /// Registry key.
+    pub name: String,
+    /// Target-corpus size at this tier (gated exactly).
+    pub targets: usize,
+    /// Query-corpus size at this tier (gated exactly).
+    pub queries: usize,
+    /// Recorded metrics per method.
+    pub methods: Vec<GoldenMethod>,
+}
+
+/// One scale tier's recorded scenarios.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GoldenTier {
+    /// Tier name (`tiny` | `small` | `paper`).
+    pub scale: String,
+    /// Absolute metric tolerance for this tier's gate.
+    pub tolerance: f64,
+    /// Recorded scenarios, in conformance order.
+    pub scenarios: Vec<GoldenScenario>,
+}
+
+/// The whole golden file.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GoldenFile {
+    /// Ranking depth the metrics were recorded at.
+    pub k: usize,
+    /// Recorded tiers.
+    pub tiers: Vec<GoldenTier>,
+}
+
+/// The default metric tolerance recorded for fresh tiers.
+pub const DEFAULT_TOLERANCE: f64 = 0.05;
+
+/// The committed location of the golden file (repo root).
+pub fn default_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_scenarios.json")
+}
+
+fn num(v: &Json, key: &str, what: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("{what}: missing numeric field `{key}`"))
+}
+
+fn text(v: &Json, key: &str, what: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("{what}: missing string field `{key}`"))
+}
+
+impl GoldenFile {
+    /// Parses the golden file's JSON text.
+    pub fn parse(textual: &str) -> Result<GoldenFile, String> {
+        let root = parse(textual).map_err(|e| format!("golden file is not JSON: {e}"))?;
+        let k = root
+            .get("k")
+            .and_then(Json::as_usize)
+            .ok_or("golden file: missing `k`")?;
+        let mut tiers = Vec::new();
+        for (i, t) in root
+            .get("tiers")
+            .and_then(Json::as_arr)
+            .ok_or("golden file: missing `tiers` array")?
+            .iter()
+            .enumerate()
+        {
+            let what = format!("tier #{i}");
+            let mut scenarios = Vec::new();
+            for s in t
+                .get("scenarios")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("{what}: missing `scenarios` array"))?
+            {
+                let name = text(s, "name", &what)?;
+                let what = format!("{what}/{name}");
+                let mut methods = Vec::new();
+                for m in s
+                    .get("methods")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| format!("{what}: missing `methods` array"))?
+                {
+                    methods.push(GoldenMethod {
+                        method: text(m, "method", &what)?,
+                        mrr: num(m, "mrr", &what)?,
+                        map_at_5: num(m, "map_at_5", &what)?,
+                        recall_at_20: num(m, "recall_at_20", &what)?,
+                    });
+                }
+                scenarios.push(GoldenScenario {
+                    targets: s
+                        .get("targets")
+                        .and_then(Json::as_usize)
+                        .ok_or_else(|| format!("{what}: missing `targets`"))?,
+                    queries: s
+                        .get("queries")
+                        .and_then(Json::as_usize)
+                        .ok_or_else(|| format!("{what}: missing `queries`"))?,
+                    name,
+                    methods,
+                });
+            }
+            tiers.push(GoldenTier {
+                scale: text(t, "scale", &what)?,
+                tolerance: num(t, "tolerance", &what)?,
+                scenarios,
+            });
+        }
+        Ok(GoldenFile { k, tiers })
+    }
+
+    /// Loads and parses the golden file at `path`.
+    pub fn load(path: &Path) -> Result<GoldenFile, String> {
+        let textual = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        GoldenFile::parse(&textual)
+    }
+
+    /// The recorded tier by name, if present.
+    pub fn tier(&self, scale: &str) -> Option<&GoldenTier> {
+        self.tiers.iter().find(|t| t.scale == scale)
+    }
+
+    /// Replaces (or appends) one tier's record — the recorder's merge
+    /// step, so re-recording `tiny` preserves a committed `small` tier.
+    pub fn upsert_tier(&mut self, tier: GoldenTier) {
+        match self.tiers.iter_mut().find(|t| t.scale == tier.scale) {
+            Some(slot) => *slot = tier,
+            None => self.tiers.push(tier),
+        }
+    }
+
+    /// Renders the file in its committed form: stable key order, fixed
+    /// float precision, one scenario per block — diff-friendly, and
+    /// re-parsable by [`GoldenFile::parse`].
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"bench\": \"scenarios\",\n");
+        let _ = writeln!(out, "  \"k\": {},", self.k);
+        out.push_str("  \"tiers\": [");
+        for (i, tier) in self.tiers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n");
+            let _ = writeln!(out, "      \"scale\": \"{}\",", tier.scale);
+            let _ = writeln!(out, "      \"tolerance\": {},", fmt_f64(tier.tolerance));
+            out.push_str("      \"scenarios\": [");
+            for (j, s) in tier.scenarios.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n        {\n");
+                let _ = writeln!(out, "          \"name\": \"{}\",", s.name);
+                let _ = writeln!(out, "          \"targets\": {},", s.targets);
+                let _ = writeln!(out, "          \"queries\": {},", s.queries);
+                out.push_str("          \"methods\": [");
+                for (l, m) in s.methods.iter().enumerate() {
+                    if l > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(
+                        out,
+                        "\n            {{\"method\": \"{}\", \"mrr\": {}, \"map_at_5\": {}, \"recall_at_20\": {}}}",
+                        m.method,
+                        fmt_f64(m.mrr),
+                        fmt_f64(m.map_at_5),
+                        fmt_f64(m.recall_at_20)
+                    );
+                }
+                out.push_str("\n          ]\n        }");
+            }
+            out.push_str("\n      ]\n    }");
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// Fixed-precision float rendering for the committed file (6 decimal
+/// places covers every ranking metric without float-noise churn).
+fn fmt_f64(v: f64) -> String {
+    format!("{v:.6}")
+}
+
+impl GoldenScenario {
+    /// A fresh record from one lifecycle run.
+    pub fn from_report(report: &ScenarioReport) -> GoldenScenario {
+        GoldenScenario {
+            name: report.key.clone(),
+            targets: report.targets,
+            queries: report.queries,
+            methods: report
+                .methods
+                .iter()
+                .map(|m| GoldenMethod {
+                    method: m.method.clone(),
+                    mrr: m.mrr,
+                    map_at_5: m.map_at_5,
+                    recall_at_20: m.recall_at_20,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Gates one lifecycle report against the committed tier: corpus sizes
+/// exactly, every recorded method present with each metric within the
+/// tier's tolerance. Returns every violation (empty ⇒ pass).
+pub fn gate(report: &ScenarioReport, tier: &GoldenTier) -> Vec<String> {
+    let mut violations = Vec::new();
+    let Some(golden) = tier.scenarios.iter().find(|s| s.name == report.key) else {
+        violations.push(format!(
+            "{}: no golden recorded in tier `{}` — re-record BENCH_scenarios.json",
+            report.key, tier.scale
+        ));
+        return violations;
+    };
+    if (report.targets, report.queries) != (golden.targets, golden.queries) {
+        violations.push(format!(
+            "{}: corpus drifted — generated {}x{} (targets x queries), golden {}x{}",
+            report.key, report.targets, report.queries, golden.targets, golden.queries
+        ));
+    }
+    for gm in &golden.methods {
+        let Some(fresh) = report.methods.iter().find(|m| m.method == gm.method) else {
+            violations.push(format!("{}: method `{}` not produced by the run", report.key, gm.method));
+            continue;
+        };
+        for (metric, got, want) in [
+            ("mrr", fresh.mrr, gm.mrr),
+            ("map_at_5", fresh.map_at_5, gm.map_at_5),
+            ("recall_at_20", fresh.recall_at_20, gm.recall_at_20),
+        ] {
+            if (got - want).abs() > tier.tolerance {
+                violations.push(format!(
+                    "{}/{}: {metric} = {got:.6}, golden {want:.6} (tolerance {})",
+                    report.key, gm.method, tier.tolerance
+                ));
+            }
+        }
+    }
+    violations
+}
+
+/// Convenience view of a report's metrics by method key.
+pub fn metrics_of<'r>(report: &'r ScenarioReport, method: &str) -> Option<&'r MethodMetrics> {
+    report.methods.iter().find(|m| m.method == method)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdmatch_datasets::Scale;
+
+    fn sample() -> GoldenFile {
+        GoldenFile {
+            k: 20,
+            tiers: vec![GoldenTier {
+                scale: "tiny".into(),
+                tolerance: 0.05,
+                scenarios: vec![GoldenScenario {
+                    name: "imdb-wt".into(),
+                    targets: 40,
+                    queries: 10,
+                    methods: vec![GoldenMethod {
+                        method: "wrw".into(),
+                        mrr: 0.5,
+                        map_at_5: 0.25,
+                        recall_at_20: 0.9,
+                    }],
+                }],
+            }],
+        }
+    }
+
+    fn report() -> ScenarioReport {
+        ScenarioReport {
+            key: "imdb-wt".into(),
+            scale: Scale::Tiny,
+            targets: 40,
+            queries: 10,
+            fit_secs: 0.1,
+            methods: vec![MethodMetrics {
+                method: "wrw".into(),
+                mrr: 0.52,
+                map_at_5: 0.27,
+                recall_at_20: 0.88,
+            }],
+        }
+    }
+
+    #[test]
+    fn render_then_parse_round_trips() {
+        let file = sample();
+        let parsed = GoldenFile::parse(&file.render()).unwrap();
+        assert_eq!(parsed, file);
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_fails_outside() {
+        let file = sample();
+        let tier = file.tier("tiny").unwrap();
+        assert!(gate(&report(), tier).is_empty());
+
+        let mut drifted = report();
+        drifted.methods[0].mrr = 0.7;
+        let violations = gate(&drifted, tier);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("mrr"), "{violations:?}");
+    }
+
+    #[test]
+    fn gate_flags_corpus_drift_and_missing_scenarios() {
+        let file = sample();
+        let tier = file.tier("tiny").unwrap();
+        let mut drifted = report();
+        drifted.targets = 41;
+        assert!(gate(&drifted, tier)[0].contains("corpus drifted"));
+
+        let mut unknown = report();
+        unknown.key = "snopes".into();
+        assert!(gate(&unknown, tier)[0].contains("no golden recorded"));
+    }
+
+    #[test]
+    fn upsert_replaces_matching_tier_and_appends_new() {
+        let mut file = sample();
+        let mut tiny = file.tiers[0].clone();
+        tiny.tolerance = 0.1;
+        file.upsert_tier(tiny);
+        assert_eq!(file.tiers.len(), 1);
+        assert_eq!(file.tiers[0].tolerance, 0.1);
+
+        file.upsert_tier(GoldenTier {
+            scale: "small".into(),
+            tolerance: 0.05,
+            scenarios: vec![],
+        });
+        assert_eq!(file.tiers.len(), 2);
+    }
+}

@@ -1,0 +1,30 @@
+//! Scenario conformance harness for the td-match stack.
+//!
+//! Three layers, each usable on its own:
+//!
+//! * [`harness`] — the shared experiment plumbing (scaled configs,
+//!   W-RW(-EX) runners, metric evaluation, table printing) the
+//!   `tdmatch-bench` targets build on;
+//! * [`registry`] + [`methods`] — the canonical scenario registry and
+//!   the one dispatcher for every evaluated matching method;
+//! * [`lifecycle`] + [`golden`] — the end-to-end conformance runs
+//!   (generate → fit → index → publish → mapped load → daemon over
+//!   Unix **and** TCP, exact **and** ANN → score) and the committed
+//!   quality goldens (`BENCH_scenarios.json`) they gate against.
+//!
+//! The `cargo test`-able suite lives in `tests/conformance.rs`; the
+//! `scenarios_record` binary re-records the goldens.
+
+pub mod golden;
+pub mod harness;
+pub mod lifecycle;
+pub mod methods;
+pub mod registry;
+
+pub use harness::{
+    audit_eval, bench_config, evaluate, print_prf_header, print_prf_row, print_ranking_header,
+    print_ranking_row, run_pipeline, run_with_config, run_wrw, run_wrw_ex, scale_from_env,
+    scale_presets, supervised_options, MethodRun, TABLE_K,
+};
+pub use lifecycle::{run_lifecycle, LifecycleOptions, MethodMetrics, ScenarioReport};
+pub use methods::{ranking_table, Method};

@@ -1,0 +1,141 @@
+//! One dispatcher for every matching method the paper evaluates.
+//!
+//! The table benches used to repeat the same positional-argument
+//! baseline invocations per scenario; [`Method::run`] centralizes them
+//! so a bench is just a scenario plus a method list, and
+//! [`ranking_table`] prints the standard ranking-table layout for such
+//! a list in one call.
+
+use tdmatch_datasets::Scenario;
+
+use crate::harness::{
+    evaluate, print_ranking_header, print_ranking_row, run_wrw, run_wrw_ex, supervised_options,
+    MethodRun,
+};
+
+/// A matching method from the paper's evaluation sweep. Unsupervised
+/// methods ignore the ground truth; supervised ones (`*`-suffixed in
+/// the tables) train on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// S-BE: pre-trained sentence embeddings, no training.
+    Sbe,
+    /// BM25 lexical ranking.
+    Bm25,
+    /// Doc2Vec trained on the scenario's own text.
+    D2vec,
+    /// Word2Vec trained on the scenario's own text.
+    W2vec,
+    /// W-RW: the paper's graph walk + embedding pipeline, no expansion.
+    Wrw,
+    /// W-RW-EX: the pipeline with knowledge-base expansion.
+    WrwEx,
+    /// RANK*: supervised pairwise re-ranker.
+    Rank,
+    /// DEEP-M*: supervised DeepMatcher-style classifier.
+    DeepMatcher,
+    /// DITTO*: supervised Ditto-style classifier.
+    Ditto,
+    /// TAPAS*: supervised TAPAS-style classifier.
+    Tapas,
+    /// L-BE*: supervised fine-tuned sentence embeddings.
+    Lbe,
+}
+
+impl Method {
+    /// Runs this method on a scenario, ranking the top `k` targets per
+    /// query. `seed` seeds the supervised baselines' training (the
+    /// unsupervised ones are seeded by the scenario's config).
+    pub fn run(self, scenario: &Scenario, k: usize, seed: u64) -> MethodRun {
+        let first = &scenario.first;
+        let second = &scenario.second;
+        match self {
+            Method::Sbe => {
+                tdmatch_baselines::sbe::run(first, second, &scenario.pretrained, k).into()
+            }
+            Method::Bm25 => tdmatch_baselines::tfidf::run_bm25(first, second, k).into(),
+            Method::D2vec => tdmatch_baselines::d2vec::run(
+                first,
+                second,
+                &tdmatch_baselines::d2vec::D2vecOptions::default(),
+                k,
+            )
+            .into(),
+            Method::W2vec => tdmatch_baselines::w2vec::run(
+                first,
+                second,
+                &tdmatch_baselines::w2vec::W2vecOptions::default(),
+                k,
+            )
+            .into(),
+            Method::Wrw => run_wrw(scenario, k).0,
+            Method::WrwEx => run_wrw_ex(scenario, k).0,
+            Method::Rank => tdmatch_baselines::rank::run(
+                first,
+                second,
+                &scenario.ground_truth,
+                &scenario.pretrained,
+                &supervised_options(seed),
+                k,
+            )
+            .into(),
+            Method::DeepMatcher => tdmatch_baselines::supervised::run_deepmatcher(
+                first,
+                second,
+                &scenario.ground_truth,
+                &scenario.pretrained,
+                &supervised_options(seed),
+                k,
+            )
+            .into(),
+            Method::Ditto => tdmatch_baselines::supervised::run_ditto(
+                first,
+                second,
+                &scenario.ground_truth,
+                &scenario.pretrained,
+                &supervised_options(seed),
+                k,
+            )
+            .into(),
+            Method::Tapas => tdmatch_baselines::supervised::run_tapas(
+                first,
+                second,
+                &scenario.ground_truth,
+                &scenario.pretrained,
+                &supervised_options(seed),
+                k,
+            )
+            .into(),
+            Method::Lbe => tdmatch_baselines::supervised::run_lbe(
+                first,
+                second,
+                &scenario.ground_truth,
+                &scenario.pretrained,
+                &supervised_options(seed),
+                k,
+            )
+            .into(),
+        }
+    }
+}
+
+/// Runs each method on the scenario at [`TABLE_K`](crate::TABLE_K)
+/// depth and prints one standard ranking table (header + one metrics
+/// row per method). Returns the runs for callers that also want the
+/// raw rankings.
+pub fn ranking_table(
+    title: &str,
+    scenario: &Scenario,
+    methods: &[Method],
+    seed: u64,
+) -> Vec<MethodRun> {
+    print_ranking_header(title);
+    methods
+        .iter()
+        .map(|&m| {
+            let run = m.run(scenario, crate::harness::TABLE_K, seed);
+            print_ranking_row(&run.method.clone(), &evaluate(&run, scenario));
+            run
+        })
+        .collect()
+}

@@ -1,0 +1,165 @@
+//! The single registry of the paper's evaluation scenarios.
+//!
+//! Every consumer that needs a scenario by name — the CLI's
+//! `--scenario` flag, the table/figure benches, the conformance
+//! lifecycle — resolves it here, so the set of known datasets and
+//! their spellings cannot drift between entry points.
+
+use tdmatch_datasets::corona::SentenceKind;
+use tdmatch_datasets::{audit, claims, corona, imdb, sts, Scale, Scenario};
+
+/// One named, deterministic scenario generator.
+pub struct ScenarioSpec {
+    /// Canonical key (what the CLI's `--scenario` accepts).
+    pub key: &'static str,
+    /// Human-readable description for reports.
+    pub title: &'static str,
+    generate: fn(Scale, u64) -> Scenario,
+}
+
+impl ScenarioSpec {
+    /// Generates the scenario at a scale tier. Same `(scale, seed)` →
+    /// byte-identical corpora and ground truth.
+    pub fn generate(&self, scale: Scale, seed: u64) -> Scenario {
+        (self.generate)(scale, seed)
+    }
+}
+
+/// Every registered scenario, in table order.
+pub const ALL: &[ScenarioSpec] = &[
+    ScenarioSpec {
+        key: "imdb-wt",
+        title: "IMDb reviews to movie tuples (with titles)",
+        generate: |scale, seed| imdb::generate(scale, seed, true),
+    },
+    ScenarioSpec {
+        key: "imdb-nt",
+        title: "IMDb reviews to movie tuples (no titles)",
+        generate: |scale, seed| imdb::generate(scale, seed, false),
+    },
+    ScenarioSpec {
+        key: "corona-gen",
+        title: "CoronaCheck generated claims to statistics",
+        generate: |scale, seed| corona::generate(scale, seed, SentenceKind::Generated),
+    },
+    ScenarioSpec {
+        key: "corona-usr",
+        title: "CoronaCheck user claims to statistics",
+        generate: |scale, seed| corona::generate(scale, seed, SentenceKind::User),
+    },
+    ScenarioSpec {
+        key: "audit",
+        title: "Audit findings to taxonomy paths",
+        generate: audit::generate,
+    },
+    ScenarioSpec {
+        key: "politifact",
+        title: "Politifact documents to verified claims",
+        generate: claims::politifact,
+    },
+    ScenarioSpec {
+        key: "snopes",
+        title: "Snopes documents to verified claims",
+        generate: claims::snopes,
+    },
+    ScenarioSpec {
+        key: "sts2",
+        title: "STS sentence pairs at similarity threshold 2",
+        generate: |scale, seed| sts::generate(scale, seed, 2),
+    },
+    ScenarioSpec {
+        key: "sts3",
+        title: "STS sentence pairs at similarity threshold 3",
+        generate: |scale, seed| sts::generate(scale, seed, 3),
+    },
+];
+
+/// The six-dataset conformance set (one representative variant per
+/// paper dataset: IMDb, CoronaCheck, Audit, Politifact, Snopes, STS)
+/// that the end-to-end lifecycle suite drives through the daemon.
+pub const CONFORMANCE_KEYS: [&str; 6] = [
+    "imdb-wt",
+    "corona-gen",
+    "audit",
+    "politifact",
+    "snopes",
+    "sts2",
+];
+
+/// Looks a scenario up by its canonical key.
+pub fn by_key(key: &str) -> Option<&'static ScenarioSpec> {
+    ALL.iter().find(|s| s.key == key)
+}
+
+/// Every registered key, in table order (for help texts and errors).
+pub fn keys() -> Vec<&'static str> {
+    ALL.iter().map(|s| s.key).collect()
+}
+
+/// The conformance set resolved to specs.
+pub fn conformance_specs() -> Vec<&'static ScenarioSpec> {
+    CONFORMANCE_KEYS
+        .iter()
+        .map(|k| by_key(k).expect("conformance keys are registered"))
+        .collect()
+}
+
+/// The five scenarios the paper's parameter-sweep figures iterate over
+/// (Figs. 6/7/9/10), generated at one scale and seed.
+pub fn paper_five(scale: Scale, seed: u64) -> Vec<Scenario> {
+    ["imdb-wt", "corona-gen", "audit", "politifact", "snopes"]
+        .iter()
+        .map(|k| by_key(k).expect("registered").generate(scale, seed))
+        .collect()
+}
+
+/// The stable tier name recorded in `BENCH_scenarios.json`.
+pub fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Tiny => "tiny",
+        Scale::Small => "small",
+        Scale::Paper => "paper",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_unique_and_resolvable() {
+        let keys = keys();
+        for (i, k) in keys.iter().enumerate() {
+            assert!(!keys[i + 1..].contains(k), "duplicate key {k}");
+            assert_eq!(by_key(k).unwrap().key, *k);
+        }
+        assert!(by_key("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn generated_names_match_registry_keys() {
+        // The Scenario's self-reported name must agree with the
+        // registry spelling (the STS generator spells its threshold
+        // `sts-k2`; the CLI key has always been the shorter `sts2`).
+        for spec in ALL {
+            let s = spec.generate(Scale::Tiny, 1);
+            let want = match spec.key {
+                "sts2" => "sts-k2",
+                "sts3" => "sts-k3",
+                key => key,
+            };
+            assert_eq!(s.name, want, "{} generates a scenario named {}", spec.key, s.name);
+        }
+    }
+
+    #[test]
+    fn paper_five_is_deterministic() {
+        let a = paper_five(Scale::Tiny, 3);
+        let b = paper_five(Scale::Tiny, 3);
+        assert_eq!(a.len(), 5);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.ground_truth, y.ground_truth);
+        }
+    }
+}

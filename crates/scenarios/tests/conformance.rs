@@ -1,0 +1,110 @@
+//! The scenario conformance suite: every paper dataset through the
+//! full production lifecycle, gated against the committed goldens.
+//!
+//! Each test drives one conformance scenario end to end (generate →
+//! fit → HNSW index → atomic publish → mapped load → live daemon over
+//! Unix + TCP with a 2-worker pool, exact and ANN → score), asserting
+//! along the way that every wire answer is bit-identical to the
+//! in-process facade and that corpus-wide ANN matches the exact scan —
+//! then holds the quality metrics to `BENCH_scenarios.json`.
+//!
+//! Runs at the `tiny` tier so the whole suite stays test-speed; the
+//! recorder (and CI's artifact upload) use the same code path.
+
+use tdmatch_datasets::Scale;
+use tdmatch_scenarios::golden::{default_path, gate, GoldenFile};
+use tdmatch_scenarios::registry::{by_key, conformance_specs, scale_name, CONFORMANCE_KEYS};
+use tdmatch_scenarios::{run_lifecycle, LifecycleOptions};
+
+/// Runs one scenario's lifecycle at the tiny tier and gates it.
+fn conform(key: &str) {
+    let spec = by_key(key).unwrap_or_else(|| panic!("{key} is not registered"));
+    let dir = std::env::temp_dir().join(format!("tdmatch-conformance-{key}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let report = run_lifecycle(spec, &LifecycleOptions::at_tier(Scale::Tiny, dir.clone()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // The golden file and its tiny tier are committed; their absence is
+    // a hard failure, not a skip — otherwise the gate silently rots.
+    let goldens = GoldenFile::load(&default_path())
+        .unwrap_or_else(|e| panic!("BENCH_scenarios.json must be committed: {e}"));
+    let tier = goldens
+        .tier(scale_name(Scale::Tiny))
+        .unwrap_or_else(|| panic!("no `tiny` tier recorded in BENCH_scenarios.json"));
+    let violations = gate(&report, tier);
+    assert!(
+        violations.is_empty(),
+        "{key} drifted from its goldens:\n  {}",
+        violations.join("\n  ")
+    );
+}
+
+#[test]
+fn imdb_full_lifecycle_conforms() {
+    conform("imdb-wt");
+}
+
+#[test]
+fn corona_full_lifecycle_conforms() {
+    conform("corona-gen");
+}
+
+#[test]
+fn audit_full_lifecycle_conforms() {
+    conform("audit");
+}
+
+#[test]
+fn politifact_full_lifecycle_conforms() {
+    conform("politifact");
+}
+
+#[test]
+fn snopes_full_lifecycle_conforms() {
+    conform("snopes");
+}
+
+#[test]
+fn sts_full_lifecycle_conforms() {
+    conform("sts2");
+}
+
+#[test]
+fn goldens_cover_the_conformance_set() {
+    let goldens = GoldenFile::load(&default_path())
+        .unwrap_or_else(|e| panic!("BENCH_scenarios.json must be committed: {e}"));
+    assert_eq!(goldens.k, tdmatch_scenarios::TABLE_K);
+    let tier = goldens.tier("tiny").expect("tiny tier recorded");
+    for key in CONFORMANCE_KEYS {
+        let s = tier
+            .scenarios
+            .iter()
+            .find(|s| s.name == key)
+            .unwrap_or_else(|| panic!("tiny tier has no golden for {key}"));
+        assert!(!s.methods.is_empty(), "{key}: golden records no methods");
+        for m in &s.methods {
+            for (name, v) in [
+                ("mrr", m.mrr),
+                ("map_at_5", m.map_at_5),
+                ("recall_at_20", m.recall_at_20),
+            ] {
+                assert!(
+                    (0.0..=1.0).contains(&v),
+                    "{key}/{}: {name} = {v} out of [0, 1]",
+                    m.method
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn conformance_set_is_one_variant_per_paper_dataset() {
+    // Six datasets in the paper's evaluation; each key resolves and the
+    // set has no duplicate dataset family.
+    assert_eq!(CONFORMANCE_KEYS.len(), 6);
+    for key in CONFORMANCE_KEYS {
+        assert!(by_key(key).is_some(), "{key} is not registered");
+    }
+    assert_eq!(conformance_specs().len(), 6);
+}

@@ -595,3 +595,143 @@ fn sigkilled_daemon_leaves_a_reclaimable_socket_and_identical_answers() {
     successor.join();
     std::fs::remove_dir_all(&dir).ok();
 }
+
+// ---------------------------------------------------------------------
+// TCP front: the same degradation invariants over the network transport
+// ---------------------------------------------------------------------
+
+#[test]
+fn tcp_stalled_peer_is_evicted_while_healthy_tcp_clients_keep_being_served() {
+    let socket = socket_path("tcp-stall");
+    let server = Server::start(
+        Matcher::new(artifact_v1()),
+        ServeOptions::at(&socket)
+            .io_timeout(Duration::from_millis(100))
+            .tcp("127.0.0.1:0"),
+    )
+    .expect("daemon start");
+    let addr = server.tcp_addr().expect("tcp front bound").to_string();
+
+    // The stalled peer claims an 80-byte frame over TCP and delivers 4
+    // bytes, then holds the connection open.
+    let mut stalled = std::net::TcpStream::connect(&addr).expect("stalled connect");
+    stalled.write_all(&80u32.to_le_bytes()).expect("length prefix");
+    stalled.write_all(b"{\"op").expect("partial payload");
+
+    // A healthy TCP client keeps getting answers the whole time.
+    let mut healthy = Client::connect_tcp(&addr).expect("healthy connect");
+    let deadline = Instant::now() + Duration::from_millis(400);
+    let mut served = 0u32;
+    while Instant::now() < deadline {
+        let (ranked, _) = healthy.query_id(0, 3).expect("healthy query");
+        assert_eq!(bits(&ranked), ranking(&artifact_v1()));
+        served += 1;
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(served > 10, "healthy TCP client starved: {served} queries");
+
+    let stats = healthy.stats().expect("stats");
+    assert!(
+        stats.evicted >= 1,
+        "mid-frame TCP stall not evicted (evicted={})",
+        stats.evicted
+    );
+    // The stalled connection was severed by the daemon.
+    let mut probe = [0u8; 1];
+    stalled
+        .set_read_timeout(Some(Duration::from_millis(500)))
+        .expect("probe timeout");
+    assert_eq!(
+        stalled.read(&mut probe).unwrap_or(0),
+        0,
+        "evicted TCP connection should be closed"
+    );
+
+    healthy.shutdown().expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn tcp_peer_closing_mid_frame_leaves_the_daemon_serving_both_fronts() {
+    let socket = socket_path("tcp-midframe");
+    let server = Server::start(
+        Matcher::new(artifact_v1()),
+        ServeOptions::at(&socket)
+            .io_timeout(Duration::from_millis(100))
+            .tcp("127.0.0.1:0"),
+    )
+    .expect("daemon start");
+    let addr = server.tcp_addr().expect("tcp front bound").to_string();
+
+    // A peer promises a frame, sends half of it, and slams the
+    // connection shut (RST/EOF mid-frame, the abrupt variant of the
+    // stall above).
+    for _ in 0..3 {
+        let mut rude = std::net::TcpStream::connect(&addr).expect("rude connect");
+        rude.write_all(&64u32.to_le_bytes()).expect("length prefix");
+        rude.write_all(b"{\"op\":\"qu").expect("partial payload");
+        drop(rude); // close with the frame unfinished
+    }
+
+    // Both fronts still answer, bit-identically.
+    let want = ranking(&artifact_v1());
+    let mut tcp = Client::connect_tcp(&addr).expect("tcp connect");
+    let (ranked, _) = tcp.query_id(0, 3).expect("tcp query after rude peers");
+    assert_eq!(bits(&ranked), want, "tcp answers diverged after mid-frame closes");
+    let mut unix = Client::connect(&socket).expect("unix connect");
+    let (ranked, _) = unix.query_id(0, 3).expect("unix query after rude peers");
+    assert_eq!(bits(&ranked), want, "unix answers diverged after mid-frame closes");
+
+    unix.shutdown().expect("shutdown");
+    server.join();
+}
+
+#[test]
+fn tcp_connect_refused_is_retryable_and_a_late_daemon_gets_the_request() {
+    // Reserve a port the daemon will use later: bind an ephemeral
+    // listener, record its address, and drop it without accepting.
+    let probe = std::net::TcpListener::bind("127.0.0.1:0").expect("probe bind");
+    let addr = probe.local_addr().expect("probe addr").to_string();
+    drop(probe);
+
+    // With nothing listening, the connect must fail with a *retryable*
+    // error — the class the client's backoff loop keys on.
+    match Client::connect_tcp(&addr) {
+        Err(e) => assert!(e.is_retryable(), "connect-refused must be retryable: {e}"),
+        Ok(_) => panic!("connect to a dropped listener should fail"),
+    }
+
+    // The daemon arrives late on the reserved address.
+    let socket = socket_path("tcp-late");
+    let daemon_socket = socket.clone();
+    let daemon_addr = addr.clone();
+    let daemon = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(150));
+        Server::start(
+            Matcher::new(artifact_v1()),
+            ServeOptions::at(&daemon_socket).tcp(daemon_addr),
+        )
+        .expect("late daemon start")
+    });
+
+    // A client retrying the connection gets through once it's up; every
+    // failure on the way must stay in the retryable class.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut client = loop {
+        match Client::connect_tcp(&addr) {
+            Ok(c) => break c,
+            Err(e) => {
+                assert!(e.is_retryable(), "non-retryable failure while waiting: {e}");
+                assert!(Instant::now() < deadline, "daemon never came up");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    };
+    client.set_retry_policy(RetryPolicy::with_retries(4));
+    let (ranked, _) = client.query_id(0, 3).expect("query after late start");
+    assert_eq!(bits(&ranked), ranking(&artifact_v1()));
+
+    let server = daemon.join().expect("daemon thread");
+    client.shutdown().expect("shutdown");
+    server.join();
+}

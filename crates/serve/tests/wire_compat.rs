@@ -1,0 +1,197 @@
+//! Wire back-compat: committed golden frames from earlier protocol
+//! revisions must keep parsing byte-for-byte.
+//!
+//! The fixtures under `tests/fixtures/` are complete length-prefixed
+//! frames (u32 LE length, JSON payload, trailing newline) captured at
+//! two protocol watermarks:
+//!
+//! * `query_id_v0.bin` — a `query_id` request from before the per-query
+//!   `ann` flag existed;
+//! * `stats_v0.bin` — a stats response from before the ANN counters
+//!   (`ann_queries`/`exact_queries`/`pooled`/`mean_pool`);
+//! * `stats_v1.bin` — a stats response from before the scoring-pool
+//!   counters (`workers`/`shards`/`inflight`/`queue_depth`).
+//!
+//! Because request fields only ever *extend* the schema (new members are
+//! optional, absent means the old default), the pre-`ann` request is
+//! also today's **canonical** encoding of an `ann: None` query — pinned
+//! here so a future encoder change that would break recorded traffic
+//! fails this suite first. A live daemon must likewise answer the raw
+//! v0 frame bytes, over both transports.
+
+use std::io::Write;
+
+use tdmatch_core::artifact::MatchArtifact;
+use tdmatch_core::serving::Matcher;
+use tdmatch_serve::protocol::{
+    read_frame, write_frame, Request, RequestBody, Response, ResponseBody,
+};
+use tdmatch_serve::server::{ServeOptions, Server};
+
+fn fixture(name: &str) -> Vec<u8> {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read(&path).unwrap_or_else(|e| panic!("fixture {} missing: {e}", path.display()))
+}
+
+/// Decodes the single frame a fixture holds.
+fn decode_fixture_frame(name: &str) -> Vec<u8> {
+    let bytes = fixture(name);
+    let mut r = &bytes[..];
+    let payload = read_frame(&mut r)
+        .expect("fixture frame readable")
+        .expect("fixture holds one frame");
+    assert!(
+        read_frame(&mut r).expect("clean tail").is_none(),
+        "{name}: trailing bytes after the frame"
+    );
+    payload
+}
+
+#[test]
+fn pre_ann_query_request_decodes_and_is_still_the_canonical_encoding() {
+    let payload = decode_fixture_frame("query_id_v0.bin");
+    let request = Request::decode(&payload).expect("v0 request decodes");
+    assert_eq!(
+        request,
+        Request {
+            id: 1,
+            body: RequestBody::QueryId { doc: 0, k: 3, ann: None },
+        }
+    );
+
+    // Absent `ann` is the wire default, so re-encoding the decoded
+    // request must reproduce the fixture byte-for-byte — frame prefix,
+    // sorted keys, trailing newline and all.
+    let mut reframed = Vec::new();
+    write_frame(&mut reframed, &request.encode()).expect("re-frame");
+    assert_eq!(
+        reframed,
+        fixture("query_id_v0.bin"),
+        "the canonical encoding of an ann-less query_id drifted from the recorded wire format"
+    );
+}
+
+#[test]
+fn pre_ann_stats_response_decodes_with_new_counters_zeroed() {
+    let payload = decode_fixture_frame("stats_v0.bin");
+    let response = Response::decode(&payload).expect("v0 stats decodes");
+    assert_eq!(response.id, 2);
+    let ResponseBody::Stats(stats) = response.body else {
+        panic!("expected a stats body, got {:?}", response.body);
+    };
+    // The original counter set survives verbatim…
+    assert_eq!(stats.requests, 5);
+    assert_eq!(stats.batched_requests, 5);
+    assert_eq!(stats.batches, 2);
+    assert_eq!(stats.coalesced, 3);
+    assert_eq!(stats.errors, 1);
+    assert_eq!(stats.max_batch, 4);
+    assert_eq!(stats.shed, 1);
+    assert_eq!(stats.evicted, 0);
+    assert_eq!(stats.reloads, 1);
+    assert_eq!(stats.reload_failures, 0);
+    assert_eq!(stats.generation, 1);
+    assert_eq!(stats.uptime_secs, 12.5);
+    // …and every counter added since defaults to zero.
+    assert_eq!(stats.ann_queries, 0);
+    assert_eq!(stats.exact_queries, 0);
+    assert_eq!(stats.pooled, 0);
+    assert_eq!(stats.workers, 0);
+    assert_eq!(stats.shards, 0);
+    assert_eq!(stats.inflight, 0);
+    assert_eq!(stats.queue_depth, 0);
+}
+
+#[test]
+fn pre_pool_stats_response_decodes_with_pool_counters_zeroed() {
+    let payload = decode_fixture_frame("stats_v1.bin");
+    let response = Response::decode(&payload).expect("v1 stats decodes");
+    assert_eq!(response.id, 3);
+    let ResponseBody::Stats(stats) = response.body else {
+        panic!("expected a stats body, got {:?}", response.body);
+    };
+    // The ANN trio is present in this revision…
+    assert_eq!(stats.ann_queries, 3);
+    assert_eq!(stats.exact_queries, 2);
+    assert_eq!(stats.pooled, 96);
+    assert_eq!(stats.mean_pool(), 32.0);
+    // …while the scoring-pool quartet still defaults.
+    assert_eq!(stats.workers, 0);
+    assert_eq!(stats.shards, 0);
+    assert_eq!(stats.inflight, 0);
+    assert_eq!(stats.queue_depth, 0);
+    // Base counters intact.
+    assert_eq!(stats.requests, 5);
+    assert_eq!(stats.generation, 1);
+}
+
+/// Replays the raw v0 request frame against a live daemon on both
+/// transports: an old client's bytes must still be answered, and the
+/// answer must rank exactly like today's facade.
+#[cfg(unix)]
+#[test]
+fn live_daemon_answers_the_recorded_v0_frame_on_both_transports() {
+    let artifact = MatchArtifact::new(
+        2,
+        vec![
+            ("alpha".into(), vec![1.0, 0.0]),
+            ("beta".into(), vec![0.0, 1.0]),
+        ],
+        vec![
+            Some(vec![1.0, 0.0]),
+            Some(vec![0.0, 1.0]),
+            Some(vec![0.6, 0.8]),
+        ],
+        vec![Some(vec![0.9, 0.1]), Some(vec![0.2, 0.98])],
+    );
+    let want: Vec<(usize, u32)> = Matcher::new(artifact.clone())
+        .query_by_id(0, 3)
+        .expect("doc 0 exists")
+        .into_iter()
+        .map(|(t, s)| (t, s.to_bits()))
+        .collect();
+
+    let socket = std::env::temp_dir().join(format!(
+        "tdmatch-wire-compat-{}.sock",
+        std::process::id()
+    ));
+    std::fs::remove_file(&socket).ok();
+    let server = Server::start(
+        Matcher::new(artifact),
+        ServeOptions::at(&socket).tcp("127.0.0.1:0"),
+    )
+    .expect("daemon start");
+    let addr = server.tcp_addr().expect("tcp front bound").to_string();
+
+    let raw = fixture("query_id_v0.bin");
+    let answers = |mut stream: Box<dyn ReadWrite>| {
+        stream.write_all(&raw).expect("replay recorded frame");
+        let payload = read_frame(&mut stream)
+            .expect("response frame")
+            .expect("one response");
+        let response = Response::decode(&payload).expect("response decodes");
+        assert_eq!(response.id, 1, "correlation id must echo the recorded one");
+        match response.body {
+            ResponseBody::Matches { matches, .. } => matches
+                .into_iter()
+                .map(|(t, s)| (t, s.to_bits()))
+                .collect::<Vec<_>>(),
+            other => panic!("expected matches, got {other:?}"),
+        }
+    };
+
+    let unix = std::os::unix::net::UnixStream::connect(&socket).expect("unix connect");
+    assert_eq!(answers(Box::new(unix)), want, "unix answer to the v0 frame diverged");
+    let tcp = std::net::TcpStream::connect(&addr).expect("tcp connect");
+    assert_eq!(answers(Box::new(tcp)), want, "tcp answer to the v0 frame diverged");
+
+    server.shutdown();
+    server.join();
+}
+
+#[cfg(unix)]
+trait ReadWrite: std::io::Read + std::io::Write {}
+#[cfg(unix)]
+impl<T: std::io::Read + std::io::Write> ReadWrite for T {}

@@ -26,7 +26,7 @@ use std::process::ExitCode;
 use tdmatch::core::artifact::MatchArtifact;
 use tdmatch::core::config::TdConfig;
 use tdmatch::core::pipeline::{FitOptions, TdMatch};
-use tdmatch::datasets::{audit, claims, corona, imdb, sts, Scale, Scenario};
+use tdmatch::datasets::{Scale, Scenario};
 use tdmatch::eval::ranking::mean_metrics;
 
 fn main() -> ExitCode {
@@ -179,18 +179,13 @@ fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
 }
 
 fn build_scenario(name: &str, scale: Scale, seed: u64) -> Result<Scenario, String> {
-    Ok(match name {
-        "imdb-wt" => imdb::generate(scale, seed, true),
-        "imdb-nt" => imdb::generate(scale, seed, false),
-        "corona-gen" => corona::generate(scale, seed, corona::SentenceKind::Generated),
-        "corona-usr" => corona::generate(scale, seed, corona::SentenceKind::User),
-        "audit" => audit::generate(scale, seed),
-        "snopes" => claims::snopes(scale, seed),
-        "politifact" => claims::politifact(scale, seed),
-        "sts2" => sts::generate(scale, seed, 2),
-        "sts3" => sts::generate(scale, seed, 3),
-        other => return Err(format!("unknown scenario `{other}`")),
-    })
+    match tdmatch::scenarios::registry::by_key(name) {
+        Some(spec) => Ok(spec.generate(scale, seed)),
+        None => Err(format!(
+            "unknown scenario `{name}` (known: {})",
+            tdmatch::scenarios::registry::keys().join(", ")
+        )),
+    }
 }
 
 fn cmd_run(args: &[String]) -> Result<(), String> {
@@ -217,11 +212,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     config.seed = seed;
     // Scale the pipeline with the corpora (same presets as the bench
     // harness); explicit flags below override.
-    (config.walks_per_node, config.walk_len, config.dim, config.epochs) = match scale {
-        Scale::Tiny => (10, 10, 48, 3),
-        Scale::Small => (30, 18, 80, 4),
-        Scale::Paper => (100, 30, 300, 5),
-    };
+    (config.walks_per_node, config.walk_len, config.dim, config.epochs) =
+        tdmatch::scenarios::scale_presets(scale);
     let usize_flag = |name: &str, default: usize| -> Result<usize, String> {
         match flag_value(args, name)? {
             Some(v) => parse_num(v, name),

@@ -19,7 +19,9 @@
 //! * [`datasets`] — seeded synthetic versions of the paper's six scenarios;
 //! * [`eval`] — MRR, MAP@k, HasPositive@k, exact/Node P-R-F;
 //! * [`serve`] — the long-lived batch-matching daemon (`tdmatch serve`)
-//!   and its socket protocol/client.
+//!   and its socket protocol/client;
+//! * [`scenarios`] — the scenario registry, method dispatcher, and the
+//!   end-to-end conformance lifecycle gated by `BENCH_scenarios.json`.
 //!
 //! ## Quickstart
 //!
@@ -54,5 +56,6 @@ pub use tdmatch_eval as eval;
 pub use tdmatch_graph as graph;
 pub use tdmatch_kb as kb;
 pub use tdmatch_nn as nn;
+pub use tdmatch_scenarios as scenarios;
 pub use tdmatch_serve as serve;
 pub use tdmatch_text as text;
