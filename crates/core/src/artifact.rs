@@ -57,6 +57,7 @@ use tdmatch_embed::score::ScoreMatrix;
 use tdmatch_graph::container::{pod_bytes, ContainerWriter, SectionTag, Storage};
 use tdmatch_graph::persist::{crc32, put_f32s, put_u32, ByteReader, DecodeError};
 
+use crate::delta::{DeltaBatch, DeltaOp, DeltaSummary};
 use crate::matcher::{top_k_matches_matrix, MatchResult};
 
 /// Current on-disk format version (`TDZ1` container).
@@ -249,6 +250,12 @@ impl MatchArtifact {
         self.terms.len()
     }
 
+    /// The frozen vocabulary's labels, in stored (sorted) order — the
+    /// terms a delta batch can embed against.
+    pub fn term_labels(&self) -> impl Iterator<Item = &str> {
+        self.terms.iter().map(|(label, _)| label.as_str())
+    }
+
     /// `(first corpus size, second corpus size)`.
     pub fn corpus_sizes(&self) -> (usize, usize) {
         (self.first.rows(), self.second.rows())
@@ -408,6 +415,101 @@ impl MatchArtifact {
         }
         let mut results = top_k_matches_matrix(&query, &self.first, k, None, None);
         results.swap_remove(0)
+    }
+
+    /// Applies a corpus delta in place: appends / re-embeds / tombstones
+    /// target-side rows against the **frozen** vocabulary, and keeps a
+    /// carried ANN index in sync through the incremental
+    /// [`HnswIndex::insert`] path — no refit, no index rebuild.
+    ///
+    /// Untouched rows keep their exact bits, and every touched row runs
+    /// the same [`embed_tokens`](MatchArtifact::embed_tokens) →
+    /// normalize path a full re-export would, so the delta-updated
+    /// artifact ranks **bit-identically** to a from-scratch export of
+    /// the final corpus under the same vocabulary
+    /// (`crates/core/tests/delta_prop.rs` pins this). A document with no
+    /// known term gets an invalid row: still addressable, scores exactly
+    /// −1.0 — identical to a fit that could not embed it.
+    ///
+    /// Ops apply in batch order; appends allocate row indices past the
+    /// current corpus, so later ops may address rows appended earlier in
+    /// the same batch. The whole batch is bounds-checked up front — an
+    /// out-of-bounds target returns `PersistError::Invalid` *before any
+    /// mutation*, leaving the artifact untouched.
+    pub fn apply_delta(&mut self, batch: &DeltaBatch) -> Result<DeltaSummary, PersistError> {
+        let old_rows = self.first.rows();
+        let mut rows = old_rows;
+        for op in &batch.ops {
+            match op {
+                DeltaOp::Append { .. } => rows += 1,
+                DeltaOp::Update { target, .. } | DeltaOp::Tombstone { target } => {
+                    if *target >= rows {
+                        return Err(PersistError::Invalid("delta target out of bounds"));
+                    }
+                }
+            }
+        }
+
+        // Pre-delta index membership (= row validity, the invariant the
+        // build and every previous delta maintain), captured before any
+        // row changes: `HnswIndex::insert` wants `removed` to name
+        // *current* members.
+        let members: Vec<bool> = if self.ann.is_some() {
+            (0..old_rows).map(|i| self.first.is_valid(i)).collect()
+        } else {
+            Vec::new()
+        };
+
+        let mut summary = DeltaSummary { rows, ..Default::default() };
+        let mut touched: Vec<usize> = Vec::with_capacity(batch.ops.len());
+        self.first.grow_rows(rows);
+        let mut next = old_rows;
+        for op in &batch.ops {
+            match op {
+                DeltaOp::Append { tokens } => {
+                    if let Some(v) = self.embed_tokens(tokens) {
+                        self.first.set_row(next, &v);
+                    }
+                    touched.push(next);
+                    next += 1;
+                    summary.appended += 1;
+                }
+                DeltaOp::Update { target, tokens } => {
+                    match self.embed_tokens(tokens) {
+                        Some(v) => self.first.set_row(*target, &v),
+                        None => self.first.clear_row(*target),
+                    }
+                    touched.push(*target);
+                    summary.updated += 1;
+                }
+                DeltaOp::Tombstone { target } => {
+                    self.first.clear_row(*target);
+                    touched.push(*target);
+                    summary.tombstoned += 1;
+                }
+            }
+        }
+
+        if let Some(ann) = self.ann.as_mut() {
+            touched.sort_unstable();
+            touched.dedup();
+            // A re-embedded member leaves and re-enters: its stored
+            // adjacency described the old vector.
+            let removed: Vec<usize> = touched
+                .iter()
+                .copied()
+                .filter(|&i| i < old_rows && members[i])
+                .collect();
+            let added: Vec<usize> = touched
+                .iter()
+                .copied()
+                .filter(|&i| self.first.is_valid(i))
+                .collect();
+            summary.ann_removed = removed.len();
+            summary.ann_inserted = added.len();
+            ann.insert(&self.first, &added, &removed);
+        }
+        Ok(summary)
     }
 
     /// Serializes into any writer as a `TDZ1` container (format v2). See
@@ -975,6 +1077,82 @@ mod tests {
         let bytes = cw.finish();
         let err = MatchArtifact::from_storage(&Storage::from_bytes(&bytes)).unwrap_err();
         assert!(matches!(err, PersistError::Invalid(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn apply_delta_bounds_check_rejects_before_mutating() {
+        use crate::delta::DeltaBatch;
+        let mut a = sample();
+        let before = a.clone();
+        // Op 1 is fine, op 2 addresses a row that never exists.
+        let batch = DeltaBatch::new().update(0, ["tarantino"]).tombstone(99);
+        let err = a.apply_delta(&batch).unwrap_err();
+        assert!(matches!(err, PersistError::Invalid(_)));
+        assert_eq!(a, before, "failed delta must leave the artifact untouched");
+        // …but a target appended earlier in the same batch is in bounds.
+        let batch = DeltaBatch::new().append(["willis"]).tombstone(3);
+        a.apply_delta(&batch).unwrap();
+        assert_eq!(a.corpus_sizes().0, 4);
+    }
+
+    #[test]
+    fn apply_delta_mirrors_a_fresh_export_of_the_final_corpus() {
+        use crate::delta::DeltaBatch;
+        let mut a = sample();
+        let batch = DeltaBatch::new()
+            .append(["willis"])               // row 3
+            .update(2, ["tarantino", "willis"])
+            .tombstone(0)
+            .append(["zzz", "unknown"]);      // row 4: embeds to nothing
+        let s = a.apply_delta(&batch).unwrap();
+        assert_eq!((s.appended, s.updated, s.tombstoned, s.rows), (2, 1, 1, 5));
+
+        // Reference: assemble the final corpus from scratch over the
+        // same frozen terms. Rows must agree bit-for-bit.
+        let terms = vec![
+            ("tarantino".to_string(), vec![1.0, 0.0]),
+            ("willis".to_string(), vec![0.5, 0.5]),
+        ];
+        let refit = MatchArtifact::new(
+            2,
+            terms,
+            vec![
+                None,                         // tombstoned
+                None,                         // was None at fit time
+                a.embed_tokens(&["tarantino", "willis"]),
+                a.embed_tokens(&["willis"]),
+                None,                         // unknown-only append
+            ],
+            vec![Some(vec![0.9, 0.1])],
+        );
+        assert_eq!(a, refit);
+        assert_eq!(a.match_top_k(5), refit.match_top_k(5));
+    }
+
+    #[test]
+    fn apply_delta_keeps_a_carried_ann_index_exact_at_wide_pools() {
+        use crate::delta::DeltaBatch;
+        let mut a = sample_with_ann(120, 8);
+        let batch = DeltaBatch::new()
+            .tombstone(3)
+            .update(10, Vec::<String>::new()) // no tokens → row invalidated
+            .append(Vec::<String>::new())     // row 120, invalid
+            .tombstone(120);
+        let s = a.apply_delta(&batch).unwrap();
+        assert_eq!(s.rows, 121);
+        assert!(s.ann_removed >= 2 && s.ann_inserted == 0);
+        let ann = a.ann().unwrap();
+        assert_eq!(ann.rows(), 121, "index must track the grown matrix");
+        // Wide-pool ANN rescoring stays the exact scan, bit-for-bit.
+        assert_eq!(a.match_top_k(6), a.match_top_k_ann(6, 121));
+
+        // The delta-updated artifact still saves and reloads: the
+        // from_storage shape check (index rows == matrix rows) passes.
+        let mut buf = Vec::new();
+        a.write_to(&mut buf).unwrap();
+        let b = MatchArtifact::from_storage(&Storage::from_bytes(&buf)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(b.match_top_k(6), b.match_top_k_ann(6, 121));
     }
 
     #[test]

@@ -41,6 +41,14 @@
 //!    per-row allocation (`BENCH_persist.json` tracks the warm/cold
 //!    ratio). Legacy `TDM1` streams load through the same entry points
 //!    and are upgraded into the flat layout once, at load time.
+//! 5. **Delta ingest** — when the target corpus changes, a
+//!    [`delta::DeltaBatch`] (append / update / tombstone ops) applied
+//!    via [`artifact::MatchArtifact::apply_delta`] re-embeds only the
+//!    touched rows against the frozen vocabulary, maintains the
+//!    persisted HNSW index incrementally, and republishes atomically —
+//!    bit-identical to a full refit of the final corpus
+//!    (`crates/core/tests/delta_prop.rs`), at a fraction of the cost
+//!    (the `ingest` tier of `BENCH_persist.json`).
 //!
 //! Two heavier warm-start paths complement the artifact: a mutable
 //! graph persisted with `tdmatch_graph::persist` resumes the *training*
@@ -56,6 +64,7 @@ pub mod blocking;
 pub mod builder;
 pub mod config;
 pub mod corpus;
+pub mod delta;
 pub mod error;
 pub mod expand;
 pub mod lsh;
@@ -67,6 +76,7 @@ pub mod serving;
 pub use config::{BlockingMode, Compression, EmbedMethod, FilterMode, TdConfig};
 pub use corpus::{Corpus, StructuredText, Table, TaxonomyNode, TextCorpus};
 pub use artifact::{MatchArtifact, PersistError};
+pub use delta::{DeltaBatch, DeltaOp, DeltaSummary};
 pub use error::TdError;
 pub use pipeline::{FitOptions, TdMatch, TdModel};
 pub use serving::Matcher;

@@ -7,7 +7,7 @@ use tdmatch_compress::{msp_compress, ssp_compress, ssum_compress, MspConfig, Ssp
 use tdmatch_embed::corpus::FlatCorpus;
 use tdmatch_embed::walks::generate_walk_corpus;
 use tdmatch_embed::word2vec::train_corpus;
-use tdmatch_graph::{CorpusSide, CsrGraph, Graph};
+use tdmatch_graph::{CorpusSide, CsrGraph, EdgeKind, Graph, MetaKind, NodeKind};
 use tdmatch_kb::{KnowledgeBase, PretrainedModel};
 use tdmatch_text::Preprocessor;
 
@@ -565,6 +565,127 @@ impl TdModel {
         )
     }
 
+    /// Applies a corpus delta to the fitted model in place — the
+    /// live-model counterpart of
+    /// [`MatchArtifact::apply_delta`](crate::artifact::MatchArtifact::apply_delta).
+    ///
+    /// Touched first-corpus rows are re-embedded against the **frozen**
+    /// vocabulary (the mean of their known terms' trained vectors — the
+    /// same aggregation the artifact path runs, so exporting after the
+    /// delta equals exporting first and applying the delta to the
+    /// artifact, bit for bit). Graph membership tracks the delta:
+    /// appended documents gain a metadata node wired by `Contains`
+    /// edges to their known terms (unknown terms are *not* interned —
+    /// the vocabulary stays frozen), tombstoned documents are removed.
+    /// Updates re-embed the row only; the document's existing graph
+    /// edges are left as fitted, since walks and training are not
+    /// re-run on a delta — re-freeze or refit when the graph itself
+    /// must reflect edited content.
+    pub fn apply_delta(
+        &mut self,
+        batch: &crate::delta::DeltaBatch,
+    ) -> Result<crate::delta::DeltaSummary, crate::artifact::PersistError> {
+        use crate::delta::{DeltaOp, DeltaSummary};
+        let old_rows = self.first_norm.rows();
+        let mut rows = old_rows;
+        for op in &batch.ops {
+            match op {
+                DeltaOp::Append { .. } => rows += 1,
+                DeltaOp::Update { target, .. } | DeltaOp::Tombstone { target } => {
+                    if *target >= rows {
+                        return Err(crate::artifact::PersistError::Invalid(
+                            "delta target out of bounds",
+                        ));
+                    }
+                }
+            }
+        }
+
+        // Appended documents mirror the metadata kind of the fitted
+        // first side (tuple / text doc / taxonomy node).
+        let doc_kind = self
+            .graph
+            .meta_node(&doc_label(CorpusSide::First, 0))
+            .map(|n| match self.graph.kind(n) {
+                NodeKind::Meta { kind, .. } => kind,
+                _ => MetaKind::TextDoc,
+            })
+            .unwrap_or(MetaKind::TextDoc);
+
+        let dim = self.config.dim;
+        // The frozen-vocab aggregation, arithmetic-identical to
+        // `MatchArtifact::embed_tokens` over this model's exported term
+        // table: sum known term vectors in token order, scale by 1/hits.
+        let embed = |graph: &Graph, matrix: &[f32], tokens: &[String]| -> Option<Vec<f32>> {
+            let mut sum = vec![0.0f32; dim];
+            let mut hits = 0usize;
+            for tok in tokens {
+                if let Some(n) = graph.data_node(tok) {
+                    let v = &matrix[n.index() * dim..(n.index() + 1) * dim];
+                    for (s, x) in sum.iter_mut().zip(v) {
+                        *s += x;
+                    }
+                    hits += 1;
+                }
+            }
+            if hits == 0 {
+                return None;
+            }
+            let inv = 1.0 / hits as f32;
+            for s in &mut sum {
+                *s *= inv;
+            }
+            Some(sum)
+        };
+
+        let mut summary = DeltaSummary { rows, ..Default::default() };
+        self.first_norm.grow_rows(rows);
+        self.first_vecs.resize(rows, None);
+        let mut next = old_rows;
+        for op in &batch.ops {
+            match op {
+                DeltaOp::Append { tokens } => {
+                    let v = embed(&self.graph, &self.matrix, tokens);
+                    let doc = self.graph.add_meta(
+                        &doc_label(CorpusSide::First, next),
+                        CorpusSide::First,
+                        doc_kind,
+                        next as u32,
+                    );
+                    for tok in tokens {
+                        if let Some(n) = self.graph.data_node(tok) {
+                            self.graph.add_edge_typed(doc, n, EdgeKind::Contains);
+                        }
+                    }
+                    if let Some(v) = &v {
+                        self.first_norm.set_row(next, v);
+                    }
+                    self.first_vecs[next] = v;
+                    next += 1;
+                    summary.appended += 1;
+                }
+                DeltaOp::Update { target, tokens } => {
+                    let v = embed(&self.graph, &self.matrix, tokens);
+                    match &v {
+                        Some(v) => self.first_norm.set_row(*target, v),
+                        None => self.first_norm.clear_row(*target),
+                    }
+                    self.first_vecs[*target] = v;
+                    summary.updated += 1;
+                }
+                DeltaOp::Tombstone { target } => {
+                    if let Some(n) = self.graph.meta_node(&doc_label(CorpusSide::First, *target)) {
+                        self.graph.remove_node(n);
+                    }
+                    self.first_norm.clear_row(*target);
+                    self.first_vecs[*target] = None;
+                    summary.tombstoned += 1;
+                }
+            }
+        }
+        Ok(summary)
+    }
+
     /// Exports the match artifact and writes it straight to `path` —
     /// fit-once / match-many in one call. The saved `TDZ1` container is
     /// what serving processes later memory-map with
@@ -633,6 +754,32 @@ mod tests {
             }
         }
         assert!(correct >= 2, "at least 2/3 top-1 correct, got {correct}");
+    }
+
+    #[test]
+    fn delta_on_model_commutes_with_artifact_export() {
+        let (first, second) = corpora();
+        let mut model = TdMatch::new(TdConfig::for_tests())
+            .fit(&first, &second)
+            .unwrap();
+        let pre = Preprocessor::new(model.config.preprocess.clone());
+        let batch = crate::delta::DeltaBatch::new()
+            .append(pre.terms_of_fields(["Leon", "Besson", "Jean Reno", "Thriller"]))
+            .update(1, pre.terms_of_fields(["Pulp Fiction", "Tarantino", "Travolta", "Crime"]))
+            .tombstone(0);
+
+        // Export-then-delta vs delta-then-export must agree bit for bit.
+        let mut via_artifact = model.artifact();
+        via_artifact.apply_delta(&batch).unwrap();
+        let s = model.apply_delta(&batch).unwrap();
+        assert_eq!((s.appended, s.updated, s.tombstoned, s.rows), (1, 1, 1, 4));
+        assert_eq!(model.artifact(), via_artifact);
+
+        // Graph membership tracked the delta: the appended document has
+        // a metadata node, the tombstoned one is gone.
+        let appended = model.graph.meta_node(&doc_label(CorpusSide::First, 3));
+        assert!(appended.is_some_and(|n| model.graph.degree(n) > 0));
+        assert!(model.graph.meta_node(&doc_label(CorpusSide::First, 0)).is_none());
     }
 
     #[test]

@@ -12,6 +12,7 @@
 use proptest::prelude::*;
 
 use tdmatch_core::artifact::MatchArtifact;
+use tdmatch_core::delta::DeltaBatch;
 use tdmatch_core::matcher::{top_k_matches_matrix, top_k_matches_matrix_parallel};
 use tdmatch_core::serving::{Matcher, Query};
 use tdmatch_embed::ann::HnswParams;
@@ -186,6 +187,95 @@ proptest! {
         let loaded = MatchArtifact::load(&path).expect("mapped load");
         prop_assert_eq!(&artifact, &loaded);
         for pool in [1usize, 7, n_targets.max(1)] {
+            prop_assert_eq!(
+                result_bits(&artifact.match_top_k_ann(k, pool)),
+                result_bits(&loaded.match_top_k_ann(k, pool)),
+                "pool = {}", pool
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A random delta batch against `indexed_artifact`'s two-term
+    /// vocabulary: appends/updates of "a"/"b"/unknown token mixes plus
+    /// tombstones, driving the incremental `HnswIndex::insert` path.
+    #[test]
+    fn incrementally_inserted_index_keeps_wide_pool_exactness(
+        dim in 1usize..8,
+        n_targets in 1usize..30,
+        n_ops in 1usize..15,
+        k in 0usize..8,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut state = seed ^ 0x1A5E;
+        let mut artifact = indexed_artifact(dim, n_targets, 3, &mut state);
+        let mut rows = n_targets;
+        let mut batch = DeltaBatch::new();
+        for _ in 0..n_ops {
+            let tokens: Vec<&str> = match splitmix(&mut state) % 4 {
+                0 => vec!["a"],
+                1 => vec!["b"],
+                2 => vec!["a", "b", "zz"],
+                _ => vec!["zz"], // unknown-only → invalid row
+            };
+            match splitmix(&mut state) % 3 {
+                0 => { batch = batch.append(tokens); rows += 1; }
+                1 => batch = batch.update(splitmix(&mut state) as usize % rows, tokens),
+                _ => batch = batch.tombstone(splitmix(&mut state) as usize % rows),
+            }
+        }
+        artifact.apply_delta(&batch).expect("targets in bounds");
+        prop_assert_eq!(artifact.ann().expect("index kept").rows(), rows);
+
+        // Pool ≥ post-delta corpus ⟹ the inserted index reproduces the
+        // exact scan bit for bit — insertion order, entry repairs, and
+        // tombstone purges never leak into a widened pool.
+        let exact = artifact.match_top_k(k);
+        prop_assert_eq!(
+            result_bits(&exact),
+            result_bits(&artifact.match_top_k_ann(k, rows.max(1)))
+        );
+        // Narrow pools still answer (no panics, no duplicate
+        // candidates) and every ranked target is in range.
+        for r in artifact.match_top_k_ann(k, 3) {
+            let mut seen: Vec<usize> = r.ranked.iter().map(|&(t, _)| t).collect();
+            prop_assert!(seen.iter().all(|&t| t < rows));
+            seen.sort_unstable();
+            seen.dedup();
+            prop_assert_eq!(seen.len(), r.ranked.len(), "duplicate candidate served");
+        }
+    }
+
+    /// save → mapped load round-trips the *post-insert* adjacency: the
+    /// incrementally-updated index passes full section validation and
+    /// answers bit-identically after the round trip.
+    #[test]
+    fn inserted_index_roundtrips_through_mapped_load(
+        dim in 1usize..8,
+        n_targets in 1usize..25,
+        k in 0usize..8,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut state = seed ^ 0x10AD;
+        let mut artifact = indexed_artifact(dim, n_targets, 3, &mut state);
+        let batch = DeltaBatch::new()
+            .append(["a", "b"])
+            .append(["b"])
+            .tombstone(splitmix(&mut state) as usize % n_targets)
+            .update(splitmix(&mut state) as usize % n_targets, ["a"]);
+        artifact.apply_delta(&batch).expect("targets in bounds");
+
+        let dir = std::env::temp_dir().join(format!(
+            "tdmatch-ann-insert-prop-{}-{seed}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        let path = dir.join("inserted.tdz");
+        artifact.save(&path).expect("save");
+        let loaded = MatchArtifact::load(&path).expect("mapped load");
+        prop_assert_eq!(&artifact, &loaded);
+        let rows = n_targets + 2;
+        for pool in [1usize, 7, rows] {
             prop_assert_eq!(
                 result_bits(&artifact.match_top_k_ann(k, pool)),
                 result_bits(&loaded.match_top_k_ann(k, pool)),

@@ -307,6 +307,114 @@ fn select_neighbors(matrix: &ScoreMatrix, cands: &[Cand], m_max: usize) -> Vec<u
     selected
 }
 
+/// Inserts node `i` at `level` into build-time adjacency `graph`
+/// (`graph[layer][node]`, every inner vec `rows` long), updating
+/// `entry`/`count`. The one insertion routine shared by
+/// [`HnswIndex::build`] and [`HnswIndex::insert`], so the incremental
+/// path connects nodes exactly like construction does.
+#[allow(clippy::too_many_arguments)]
+fn insert_node(
+    matrix: &ScoreMatrix,
+    graph: &mut Vec<Vec<Vec<u32>>>,
+    visited: &mut Visited,
+    entry: &mut usize,
+    count: &mut usize,
+    i: usize,
+    level: usize,
+    m: usize,
+    efc: usize,
+    rows: usize,
+) {
+    let node = i as u32;
+    let qrow = matrix.row(i);
+    let top = graph.len();
+
+    if *count == 0 {
+        graph.clear();
+        for _ in 0..=level {
+            graph.push(vec![Vec::new(); rows]);
+        }
+        *entry = i;
+        *count = 1;
+        return;
+    }
+
+    let mut eps = vec![Cand {
+        dist: dist_to(matrix, qrow, *entry as u32),
+        node: *entry as u32,
+    }];
+    // Greedy descent (ef = 1) through layers above the node's.
+    for l in ((level + 1)..top).rev() {
+        let layer = &graph[l];
+        eps = search_layer(matrix, qrow, &eps, 1, visited, |n| {
+            layer[n as usize].as_slice()
+        });
+    }
+    // Connect on every layer the node occupies.
+    for l in (0..=level.min(top - 1)).rev() {
+        let cands = {
+            let layer = &graph[l];
+            search_layer(matrix, qrow, &eps, efc, visited, |n| {
+                layer[n as usize].as_slice()
+            })
+        };
+        let m_max = if l == 0 { 2 * m } else { m };
+        let sel = select_neighbors(matrix, &cands, m);
+        for &nb in &sel {
+            graph[l][nb as usize].push(node);
+            if graph[l][nb as usize].len() > m_max {
+                // Re-select the owner's neighbors to respect m_max.
+                let owner_row = matrix.row(nb as usize);
+                let mut owned: Vec<Cand> = graph[l][nb as usize]
+                    .iter()
+                    .map(|&x| Cand {
+                        dist: dist_to(matrix, owner_row, x),
+                        node: x,
+                    })
+                    .collect();
+                owned.sort_unstable();
+                graph[l][nb as usize] = select_neighbors(matrix, &owned, m_max);
+            }
+        }
+        graph[l][i] = sel;
+        eps = cands;
+    }
+    if level >= top {
+        for _ in top..=level {
+            graph.push(vec![Vec::new(); rows]);
+        }
+        *entry = i;
+    }
+    *count += 1;
+}
+
+/// Flattens build-time adjacency into the persisted per-layer CSR form:
+/// `(seg, offsets, neighbors)`.
+fn flatten(graph: &[Vec<Vec<u32>>], rows: usize) -> (Vec<u64>, Vec<u32>, Vec<u32>) {
+    let layers = graph.len();
+    let mut seg: Vec<u64> = Vec::with_capacity(layers + 1);
+    let mut offsets: Vec<u32> = Vec::with_capacity(layers * (rows + 1));
+    let mut neighbors: Vec<u32> = Vec::new();
+    seg.push(0);
+    for layer in graph {
+        let base = neighbors.len();
+        offsets.push(0);
+        for adj in layer {
+            neighbors.extend_from_slice(adj);
+            offsets.push((neighbors.len() - base) as u32);
+        }
+        seg.push(neighbors.len() as u64);
+    }
+    (seg, offsets, neighbors)
+}
+
+/// Deterministic layer assignment for one insertion draw `u ∈ [0, 1)`:
+/// `floor(-ln(u)·mL)`, capped at 31.
+#[inline]
+fn level_from_draw(u: f64, ml: f64) -> usize {
+    ((-u.max(f64::MIN_POSITIVE).ln() * ml).floor() as usize).min(31)
+}
+
 impl HnswIndex {
     /// Builds the index over `matrix`'s valid rows, sequentially and
     /// deterministically (see the [module docs](self)). `O(T·log T)`
@@ -330,97 +438,171 @@ impl HnswIndex {
                 continue;
             }
             let u: f64 = rng.random();
-            let level = ((-u.max(f64::MIN_POSITIVE).ln() * ml).floor() as usize).min(31);
-            let node = i as u32;
-            let qrow = matrix.row(i);
-            let top = graph.len();
-
-            if count == 0 {
-                for _ in 0..=level {
-                    graph.push(vec![Vec::new(); rows]);
-                }
-                entry = i;
-                count = 1;
-                continue;
-            }
-
-            let mut eps = vec![Cand {
-                dist: dist_to(matrix, qrow, entry as u32),
-                node: entry as u32,
-            }];
-            // Greedy descent (ef = 1) through layers above the node's.
-            for l in ((level + 1)..top).rev() {
-                let layer = &graph[l];
-                eps = search_layer(matrix, qrow, &eps, 1, &mut visited, |n| {
-                    layer[n as usize].as_slice()
-                });
-            }
-            // Connect on every layer the node occupies.
-            for l in (0..=level.min(top - 1)).rev() {
-                let cands = {
-                    let layer = &graph[l];
-                    search_layer(matrix, qrow, &eps, efc, &mut visited, |n| {
-                        layer[n as usize].as_slice()
-                    })
-                };
-                let m_max = if l == 0 { 2 * m } else { m };
-                let sel = select_neighbors(matrix, &cands, m);
-                for &nb in &sel {
-                    graph[l][nb as usize].push(node);
-                    if graph[l][nb as usize].len() > m_max {
-                        // Re-select the owner's neighbors to respect m_max.
-                        let owner_row = matrix.row(nb as usize);
-                        let mut owned: Vec<Cand> = graph[l][nb as usize]
-                            .iter()
-                            .map(|&x| Cand {
-                                dist: dist_to(matrix, owner_row, x),
-                                node: x,
-                            })
-                            .collect();
-                        owned.sort_unstable();
-                        graph[l][nb as usize] = select_neighbors(matrix, &owned, m_max);
-                    }
-                }
-                graph[l][i] = sel;
-                eps = cands;
-            }
-            if level >= top {
-                for _ in top..=level {
-                    graph.push(vec![Vec::new(); rows]);
-                }
-                entry = i;
-            }
-            count += 1;
+            let level = level_from_draw(u, ml);
+            insert_node(
+                matrix, &mut graph, &mut visited, &mut entry, &mut count, i, level, m, efc, rows,
+            );
         }
 
-        // Flatten to per-layer CSR over one concatenated neighbor array.
-        let layers = graph.len();
-        let mut seg: Vec<u64> = Vec::with_capacity(layers + 1);
-        let mut offsets: Vec<u32> = Vec::with_capacity(layers * (rows + 1));
-        let mut neighbors: Vec<u32> = Vec::new();
-        seg.push(0);
-        for layer in &graph {
-            let base = neighbors.len();
-            offsets.push(0);
-            for adj in layer {
-                neighbors.extend_from_slice(adj);
-                offsets.push((neighbors.len() - base) as u32);
-            }
-            seg.push(neighbors.len() as u64);
-        }
-
+        let (seg, offsets, neighbors) = flatten(&graph, rows);
         HnswIndex {
             m: m as u64,
             ef_construction: efc as u64,
             seed: params.seed,
             rows,
             count,
-            layers,
+            layers: graph.len(),
             entry,
             seg: seg.into(),
             offsets: offsets.into(),
             neighbors: neighbors.into(),
         }
+    }
+
+    /// Incrementally applies a delta to the index — the ingest path, so
+    /// a small corpus change survives without the full `O(T·log T)`
+    /// rebuild of [`build`](HnswIndex::build).
+    ///
+    /// `matrix` is the **post-delta** matrix (its row count may have
+    /// grown; never shrunk). `removed` lists nodes to take out of the
+    /// adjacency (tombstoned targets, plus the old positions of updated
+    /// rows); `added` lists valid rows of `matrix` to insert (appended
+    /// targets, plus updated rows re-inserted against their new
+    /// vectors). The caller keeps the lists duplicate-free and
+    /// disjoint from the untouched membership: after the call the index
+    /// covers exactly (old members − `removed`) ∪ `added`.
+    ///
+    /// Removed nodes disappear from every neighbor list, so a narrow
+    /// pool can never surface a tombstoned row (which would duplicate
+    /// the serving layer's separate invalid-row handling). If the entry
+    /// point is removed, a new one is chosen deterministically (the
+    /// deepest remaining node, ties to the smallest index) and empty
+    /// top layers are dropped.
+    ///
+    /// New nodes connect through the **same** insertion routine as
+    /// construction, with layer assignment drawn from a per-node seeded
+    /// RNG (`seed ⊕ hash(row)`), so the result is deterministic and
+    /// independent of how many deltas preceded it. The incremental
+    /// index is *not* bit-identical to a fresh rebuild — HNSW adjacency
+    /// is insertion-order-dependent — but retrieval exactness is
+    /// unaffected: a pool ≥ the inserted-node count still returns every
+    /// valid row (the exact scan's candidate set, property-pinned).
+    pub fn insert(&mut self, matrix: &ScoreMatrix, added: &[usize], removed: &[usize]) {
+        let rows = matrix.rows();
+        assert!(
+            rows >= self.rows,
+            "post-delta matrix cannot have fewer rows than the index"
+        );
+        let m = (self.m as usize).max(2);
+        let efc = (self.ef_construction as usize).max(m);
+        let ml = 1.0 / (m as f64).ln();
+
+        // Re-inflate the flat CSR into build-time adjacency, grown to
+        // the new row count.
+        let mut graph: Vec<Vec<Vec<u32>>> = (0..self.layers)
+            .map(|l| {
+                (0..rows)
+                    .map(|n| {
+                        if n < self.rows {
+                            self.neighbors_of(l, n).to_vec()
+                        } else {
+                            Vec::new()
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut entry = self.entry;
+        let mut count = self.count;
+
+        // Drop removed nodes from the adjacency entirely.
+        let mut dead = vec![false; rows];
+        let mut dead_members = 0usize;
+        for &r in removed {
+            if r < self.rows && !dead[r] {
+                dead[r] = true;
+                dead_members += 1;
+            }
+        }
+        if dead_members > 0 {
+            for layer in &mut graph {
+                for (n, adj) in layer.iter_mut().enumerate() {
+                    if dead[n] {
+                        adj.clear();
+                    } else {
+                        adj.retain(|&x| !dead[x as usize]);
+                    }
+                }
+            }
+            count = count.saturating_sub(dead_members);
+            if count == 0 {
+                graph.clear();
+                entry = 0;
+            } else if dead[entry] {
+                // New entry: the deepest remaining node (highest layer
+                // with any adjacency), ties to the smallest index.
+                let deepest = graph
+                    .iter()
+                    .enumerate()
+                    .rev()
+                    .find_map(|(l, layer)| {
+                        layer
+                            .iter()
+                            .position(|adj| !adj.is_empty())
+                            .map(|n| (l, n))
+                    });
+                match deepest {
+                    Some((l, n)) => {
+                        entry = n;
+                        graph.truncate(l + 1);
+                    }
+                    None => {
+                        // Members remain but no edges (e.g. one lone
+                        // node): membership equals the matrix's valid
+                        // rows minus the pending inserts.
+                        let mut in_added = vec![false; rows];
+                        for &a in added {
+                            if a < rows {
+                                in_added[a] = true;
+                            }
+                        }
+                        entry = (0..rows)
+                            .find(|&n| matrix.is_valid(n) && !dead[n] && !in_added[n])
+                            .unwrap_or(0);
+                        graph.truncate(1);
+                    }
+                }
+            }
+        }
+
+        // Insert the delta rows through the construction routine, each
+        // with an order-independent deterministic layer draw.
+        let mut visited = Visited::new(rows);
+        let mut to_add: Vec<usize> = added
+            .iter()
+            .copied()
+            .filter(|&a| a < rows && matrix.is_valid(a))
+            .collect();
+        to_add.sort_unstable();
+        to_add.dedup();
+        for i in to_add {
+            let mut rng =
+                SmallRng::seed_from_u64(self.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let u: f64 = rng.random();
+            let level = level_from_draw(u, ml);
+            insert_node(
+                matrix, &mut graph, &mut visited, &mut entry, &mut count, i, level, m, efc, rows,
+            );
+        }
+
+        let (seg, offsets, neighbors) = flatten(&graph, rows);
+        self.rows = rows;
+        self.count = count;
+        self.layers = graph.len();
+        self.entry = entry;
+        self.seg = seg.into();
+        self.offsets = offsets.into();
+        self.neighbors = neighbors.into();
     }
 
     /// Max neighbors per upper-layer node.
@@ -857,6 +1039,130 @@ mod tests {
             idx.search_with(&m, m.row(0), 64, 1, &mut scratch),
             idx.search(&m, m.row(0), 64),
         );
+    }
+
+    #[test]
+    fn insert_appends_and_search_covers_them() {
+        let mut m = random_matrix(300, 16, 3);
+        let mut idx = HnswIndex::build(&m, &HnswParams::default());
+        // Append 10 rows and insert them incrementally.
+        m.grow_rows(310);
+        let mut state = 77u64;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 40) as f32 / (1 << 24) as f32 - 0.5
+        };
+        let added: Vec<usize> = (300..310).collect();
+        for &i in &added {
+            let row: Vec<f32> = (0..16).map(|_| next()).collect();
+            m.set_row(i, &row);
+        }
+        idx.insert(&m, &added, &[]);
+        assert_eq!(idx.rows(), 310);
+        assert_eq!(idx.count(), m.valid_rows());
+        // Wide-open pool is still every valid row (exact-scan candidate set).
+        let all: Vec<usize> = (0..m.rows()).filter(|&i| m.is_valid(i)).collect();
+        assert_eq!(idx.search(&m, m.row(0), m.rows()), all);
+        // A narrow pool can reach an inserted node when queried by it.
+        let pool = idx.search(&m, m.row(305), 32);
+        assert!(pool.contains(&305), "inserted node unreachable: {pool:?}");
+    }
+
+    #[test]
+    fn insert_is_deterministic_and_order_independent_per_node() {
+        let mut m = random_matrix(200, 12, 9);
+        let idx0 = HnswIndex::build(&m, &HnswParams::default());
+        m.grow_rows(220);
+        for i in 200..220 {
+            let row: Vec<f32> = (0..12).map(|d| ((i * 31 + d) as f32).sin()).collect();
+            m.set_row(i, &row);
+        }
+        let added: Vec<usize> = (200..220).collect();
+        let mut a = idx0.clone();
+        a.insert(&m, &added, &[]);
+        let mut b = idx0.clone();
+        b.insert(&m, &added, &[]);
+        assert_eq!(a, b, "same delta must produce the same index");
+    }
+
+    #[test]
+    fn insert_removes_tombstones_from_every_neighbor_list() {
+        let m0 = random_matrix(400, 16, 5);
+        let mut idx = HnswIndex::build(&m0, &HnswParams::default());
+        let dead: Vec<usize> = (0..m0.rows()).filter(|&i| m0.is_valid(i)).step_by(7).collect();
+        let mut m = m0.clone();
+        for &d in &dead {
+            m.clear_row(d);
+        }
+        idx.insert(&m, &[], &dead);
+        assert_eq!(idx.count(), m.valid_rows());
+        // No neighbor list anywhere references a removed node.
+        for l in 0..idx.layers() {
+            for n in 0..idx.rows() {
+                for &nb in idx.neighbors_of(l, n) {
+                    assert!(!dead.contains(&(nb as usize)), "layer {l} node {n} -> {nb}");
+                }
+            }
+        }
+        // Narrow pools never surface a tombstoned row.
+        for q in (0..m.rows()).step_by(41) {
+            if !m.is_valid(q) {
+                continue;
+            }
+            let pool = idx.search(&m, m.row(q), 24);
+            assert!(pool.iter().all(|&t| m.is_valid(t)));
+        }
+    }
+
+    #[test]
+    fn insert_survives_entry_removal_and_total_teardown() {
+        let m0 = random_matrix(120, 8, 13);
+        let idx0 = HnswIndex::build(&m0, &HnswParams::default());
+        let entry_node = idx0.entry;
+
+        // Remove the entry point: a new one is chosen and search works.
+        let mut m = m0.clone();
+        m.clear_row(entry_node);
+        let mut idx = idx0.clone();
+        idx.insert(&m, &[], &[entry_node]);
+        assert_eq!(idx.count(), m.valid_rows());
+        assert!(m.is_valid(idx.entry), "repaired entry must be a live row");
+        let pool = idx.search(&m, m.row(idx.entry), 16);
+        assert!(!pool.is_empty() && pool.iter().all(|&t| m.is_valid(t)));
+
+        // Remove everything, then insert one fresh node: a fresh index.
+        let all: Vec<usize> = (0..m0.rows()).filter(|&i| m0.is_valid(i)).collect();
+        let mut empty = ScoreMatrix::invalid(m0.rows(), 8);
+        let mut idx = idx0.clone();
+        idx.insert(&empty, &[], &all);
+        assert!(idx.is_empty());
+        assert_eq!(idx.layers(), 0);
+        empty.set_row(3, &[1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+        idx.insert(&empty, &[3], &[]);
+        assert_eq!(idx.count(), 1);
+        assert_eq!(idx.search(&empty, empty.row(3), 4), vec![3]);
+    }
+
+    #[test]
+    fn inserted_index_roundtrips_through_sections() {
+        let mut m = random_matrix(150, 12, 17);
+        let mut idx = HnswIndex::build(&m, &HnswParams::default());
+        m.grow_rows(160);
+        for i in 150..160 {
+            let row: Vec<f32> = (0..12).map(|d| ((i * 13 + d) as f32).cos()).collect();
+            m.set_row(i, &row);
+        }
+        idx.insert(&m, &(150..160).collect::<Vec<_>>(), &[2, 5]);
+        let mut w = ContainerWriter::new();
+        idx.write_sections(0, &mut w);
+        let bytes = w.finish();
+        let storage = Storage::from_bytes(&bytes);
+        let container = storage.container().expect("parse");
+        let loaded = HnswIndex::from_sections(&storage, &container, 0)
+            .expect("post-insert index must satisfy full structural validation");
+        assert_eq!(idx, loaded);
     }
 
     #[test]

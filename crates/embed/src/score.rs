@@ -199,6 +199,28 @@ impl ScoreMatrix {
         self.valid.make_mut()[i / 64] |= 1 << (i % 64);
     }
 
+    /// Grows the matrix to `new_rows` rows, carrying every existing row
+    /// and validity bit **verbatim** (bit-for-bit — scores against the
+    /// carried rows are unchanged). New rows start invalid (zeroed).
+    /// The delta-ingest append path: a zero-copy matrix detaches from
+    /// its storage first. Panics if `new_rows` shrinks the matrix.
+    pub fn grow_rows(&mut self, new_rows: usize) {
+        assert!(new_rows >= self.rows, "grow_rows cannot shrink the matrix");
+        self.data.make_mut().resize(new_rows * self.dim, 0.0);
+        self.valid.make_mut().resize(new_rows.div_ceil(64), 0);
+        self.rows = new_rows;
+    }
+
+    /// Clears row `i`: zeroes its data and clears its validity bit, so
+    /// the row scores exactly `-1.0` afterwards (the missing-target
+    /// convention). The delta-ingest tombstone path.
+    pub fn clear_row(&mut self, i: usize) {
+        assert!(i < self.rows, "row index out of bounds");
+        let dim = self.dim;
+        self.data.make_mut()[i * dim..(i + 1) * dim].fill(0.0);
+        self.valid.make_mut()[i / 64] &= !(1u64 << (i % 64));
+    }
+
     /// Number of rows (valid or not).
     #[inline]
     pub fn rows(&self) -> usize {
@@ -1027,6 +1049,47 @@ mod tests {
         block.clear();
         assert!(block.is_empty() && !block.is_full());
         assert_eq!(block.matrix().valid_rows(), 0);
+    }
+
+    #[test]
+    fn grow_rows_carries_bits_and_new_rows_start_invalid() {
+        let m0 = ScoreMatrix::from_options(&(0..70).map(|i| v(i as f32, 1.0)).collect::<Vec<_>>());
+        let mut m = m0.clone();
+        m.grow_rows(131); // crosses a bitmap-word boundary
+        assert_eq!((m.rows(), m.dim()), (131, 2));
+        assert_eq!(m.valid_rows(), 70);
+        for i in 0..70 {
+            assert!(m.is_valid(i));
+            for (a, b) in m0.row(i).iter().zip(m.row(i)) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        for i in 70..131 {
+            assert!(!m.is_valid(i));
+            assert_eq!(m.row(i), &[0.0, 0.0]);
+        }
+        // Growing a zero-copy matrix detaches it first.
+        let mut w = ContainerWriter::new();
+        m0.write_sections(0, &mut w);
+        let storage = Storage::from_bytes(&w.finish());
+        let c = storage.container().unwrap();
+        let mut mapped = ScoreMatrix::from_sections(&storage, &c, 0).unwrap();
+        assert!(mapped.is_zero_copy());
+        mapped.grow_rows(71);
+        assert!(!mapped.is_zero_copy());
+        assert_eq!(mapped.valid_rows(), 70);
+    }
+
+    #[test]
+    fn clear_row_tombstones_to_missing_semantics() {
+        let mut tm = ScoreMatrix::from_options(&[v(1.0, 0.0), v(0.0, 1.0)]);
+        tm.clear_row(0);
+        assert!(!tm.is_valid(0) && tm.is_valid(1));
+        assert_eq!(tm.row(0), &[0.0, 0.0]);
+        let qm = ScoreMatrix::from_options(&[v(1.0, 0.0)]);
+        let got = batch_top_k_seq(&qm, &tm, 2, None, None);
+        // The cleared row ranks last at exactly -1.0, like a missing target.
+        assert_eq!(got[0], vec![(1, 0.0), (0, -1.0)]);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! See `docs/SCENARIOS.md` for when re-recording is legitimate.
 
 use tdmatch_scenarios::golden::{GoldenFile, GoldenScenario, GoldenTier, DEFAULT_TOLERANCE};
-use tdmatch_scenarios::registry::{conformance_specs, scale_name};
+use tdmatch_scenarios::registry::{conformance_specs, runs_delta, scale_name};
 use tdmatch_scenarios::LifecycleOptions;
 
 fn main() {
@@ -38,8 +38,11 @@ fn main() {
     let mut scenarios = Vec::new();
     for spec in conformance_specs() {
         eprintln!("[record] {tier_name}/{} …", spec.key);
-        let report =
-            tdmatch_scenarios::run_lifecycle(spec, &LifecycleOptions::at_tier(scale, dir.clone()));
+        let mut opts = LifecycleOptions::at_tier(scale, dir.clone());
+        if runs_delta(spec.key) {
+            opts = opts.with_delta();
+        }
+        let report = tdmatch_scenarios::run_lifecycle(spec, &opts);
         for m in &report.methods {
             eprintln!(
                 "[record]   {:<8} mrr {:.3}  map@5 {:.3}  recall@20 {:.3}  (fit {:.2}s, {}x{})",

@@ -43,6 +43,10 @@ pub struct GoldenScenario {
     pub targets: usize,
     /// Query-corpus size at this tier (gated exactly).
     pub queries: usize,
+    /// Post-delta target-corpus size, recorded when the scenario runs
+    /// the incremental-ingest stage (gated exactly — the delta is
+    /// deterministic). Absent for scenarios without a delta stage.
+    pub delta_targets: Option<usize>,
     /// Recorded metrics per method.
     pub methods: Vec<GoldenMethod>,
 }
@@ -135,6 +139,7 @@ impl GoldenFile {
                         .get("queries")
                         .and_then(Json::as_usize)
                         .ok_or_else(|| format!("{what}: missing `queries`"))?,
+                    delta_targets: s.get("delta_targets").and_then(Json::as_usize),
                     name,
                     methods,
                 });
@@ -193,6 +198,9 @@ impl GoldenFile {
                 let _ = writeln!(out, "          \"name\": \"{}\",", s.name);
                 let _ = writeln!(out, "          \"targets\": {},", s.targets);
                 let _ = writeln!(out, "          \"queries\": {},", s.queries);
+                if let Some(dt) = s.delta_targets {
+                    let _ = writeln!(out, "          \"delta_targets\": {dt},");
+                }
                 out.push_str("          \"methods\": [");
                 for (l, m) in s.methods.iter().enumerate() {
                     if l > 0 {
@@ -229,6 +237,7 @@ impl GoldenScenario {
             name: report.key.clone(),
             targets: report.targets,
             queries: report.queries,
+            delta_targets: report.delta_targets,
             methods: report
                 .methods
                 .iter()
@@ -259,6 +268,12 @@ pub fn gate(report: &ScenarioReport, tier: &GoldenTier) -> Vec<String> {
         violations.push(format!(
             "{}: corpus drifted — generated {}x{} (targets x queries), golden {}x{}",
             report.key, report.targets, report.queries, golden.targets, golden.queries
+        ));
+    }
+    if golden.delta_targets.is_some() && report.delta_targets != golden.delta_targets {
+        violations.push(format!(
+            "{}: delta stage drifted — post-delta targets {:?}, golden {:?}",
+            report.key, report.delta_targets, golden.delta_targets
         ));
     }
     for gm in &golden.methods {
@@ -302,6 +317,7 @@ mod tests {
                     name: "imdb-wt".into(),
                     targets: 40,
                     queries: 10,
+                    delta_targets: Some(41),
                     methods: vec![GoldenMethod {
                         method: "wrw".into(),
                         mrr: 0.5,
@@ -320,6 +336,7 @@ mod tests {
             targets: 40,
             queries: 10,
             fit_secs: 0.1,
+            delta_targets: Some(41),
             methods: vec![MethodMetrics {
                 method: "wrw".into(),
                 mrr: 0.52,
@@ -334,6 +351,33 @@ mod tests {
         let file = sample();
         let parsed = GoldenFile::parse(&file.render()).unwrap();
         assert_eq!(parsed, file);
+
+        // Without a recorded delta stage the field is simply absent.
+        let mut no_delta = sample();
+        no_delta.tiers[0].scenarios[0].delta_targets = None;
+        let rendered = no_delta.render();
+        assert!(!rendered.contains("delta_targets"));
+        assert_eq!(GoldenFile::parse(&rendered).unwrap(), no_delta);
+    }
+
+    #[test]
+    fn gate_holds_the_delta_stage_exactly_when_recorded() {
+        let file = sample();
+        let tier = file.tier("tiny").unwrap();
+
+        // A run that skipped the recorded delta stage is a violation…
+        let mut skipped = report();
+        skipped.delta_targets = None;
+        assert!(gate(&skipped, tier)[0].contains("delta stage drifted"));
+        // …as is a different post-delta shape.
+        let mut drifted = report();
+        drifted.delta_targets = Some(42);
+        assert!(gate(&drifted, tier)[0].contains("delta stage drifted"));
+
+        // A golden without the field never requires the stage.
+        let mut lax = file.clone();
+        lax.tiers[0].scenarios[0].delta_targets = None;
+        assert!(gate(&skipped, lax.tier("tiny").unwrap()).is_empty());
     }
 
     #[test]

@@ -13,7 +13,11 @@
 //! 6. **serve** it from a live daemon — Unix socket *and* TCP front on
 //!    one process, a sharded scoring pool (`workers ≥ 2`), queried in
 //!    both retrieval modes (exact scan and ANN);
-//! 7. **score** the daemon's answers with `tdmatch-eval`'s ranking
+//! 7. **ingest** a delta (when [`LifecycleOptions::delta`] is set):
+//!    append / re-embed / tombstone against the frozen vocabulary,
+//!    republish atomically, hot-reload the daemon, and re-assert every
+//!    wire answer against a fresh post-delta facade;
+//! 8. **score** the daemon's answers with `tdmatch-eval`'s ranking
 //!    metrics.
 //!
 //! Along the way it asserts the stack's two differential invariants:
@@ -31,7 +35,9 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
+use tdmatch_core::artifact::MatchArtifact;
 use tdmatch_core::config::TdConfig;
+use tdmatch_core::delta::DeltaBatch;
 use tdmatch_core::pipeline::{FitOptions, TdMatch};
 use tdmatch_core::serving::Matcher;
 use tdmatch_datasets::{Scale, Scenario};
@@ -56,11 +62,15 @@ pub struct LifecycleOptions {
     pub workers: usize,
     /// Directory the artifact is published into.
     pub dir: PathBuf,
+    /// Run the incremental-ingest stage: apply a delta to the published
+    /// artifact, republish, hot-reload the daemon, and re-assert the
+    /// wire invariants against a post-delta facade.
+    pub delta: bool,
 }
 
 impl LifecycleOptions {
     /// The conformance defaults at a given tier: seed 42, k = 20, a
-    /// 2-worker scoring pool, publishing into `dir`.
+    /// 2-worker scoring pool, publishing into `dir`, no delta stage.
     pub fn at_tier(scale: Scale, dir: PathBuf) -> LifecycleOptions {
         LifecycleOptions {
             scale,
@@ -68,9 +78,20 @@ impl LifecycleOptions {
             k: TABLE_K,
             workers: 2,
             dir,
+            delta: false,
         }
     }
+
+    /// Enables the incremental-ingest stage.
+    pub fn with_delta(mut self) -> LifecycleOptions {
+        self.delta = true;
+        self
+    }
 }
+
+/// Targets the delta stage appends — the post-delta corpus is
+/// `targets + DELTA_APPENDS` rows (tombstones keep their row slots).
+pub const DELTA_APPENDS: usize = 1;
 
 /// Quality metrics for one method on one scenario, as recorded in (and
 /// gated against) `BENCH_scenarios.json`.
@@ -112,6 +133,9 @@ pub struct ScenarioReport {
     pub queries: usize,
     /// Wall seconds for the W-RW fit.
     pub fit_secs: f64,
+    /// Post-delta target-corpus size, when the ingest stage ran
+    /// (gated exactly: the delta is deterministic).
+    pub delta_targets: Option<usize>,
     /// Per-method quality metrics (`wrw` via the daemon, `wrw-ex` in
     /// process).
     pub methods: Vec<MethodMetrics>,
@@ -219,11 +243,15 @@ pub fn run_lifecycle(spec: &ScenarioSpec, opts: &LifecycleOptions) -> ScenarioRe
     }
 
     // Serve: one daemon, Unix socket + TCP front, sharded scoring pool.
+    // The pool is sized for the *post-delta* corpus when the ingest
+    // stage will run — `reload_from` carries the pool across the swap,
+    // and the corpus-wide ANN invariant must keep holding afterwards.
+    let serve_pool = targets + if opts.delta { DELTA_APPENDS } else { 0 };
     let socket = opts.dir.join(format!("{}.sock", spec.key));
     let server = Server::start(
         Matcher::load(&path)
             .unwrap_or_else(|e| panic!("{}: serving load failed: {e}", spec.key))
-            .with_ann_pool(targets),
+            .with_ann_pool(serve_pool),
         ServeOptions::at(&socket)
             .artifact(&path)
             .workers(opts.workers)
@@ -265,6 +293,12 @@ pub fn run_lifecycle(spec: &ScenarioSpec, opts: &LifecycleOptions) -> ScenarioRe
         spec.key
     );
 
+    // Incremental ingest: delta fit → republish → hot reload → the
+    // same wire invariants re-asserted against a post-delta facade.
+    let delta_targets = opts
+        .delta
+        .then(|| delta_stage(spec.key, &path, targets, queries, opts.k, &reference, &mut unix, &mut tcp));
+
     unix.shutdown().unwrap_or_else(|e| panic!("{}: shutdown failed: {e}", spec.key));
     server.join();
 
@@ -289,8 +323,93 @@ pub fn run_lifecycle(spec: &ScenarioSpec, opts: &LifecycleOptions) -> ScenarioRe
         targets,
         queries,
         fit_secs,
+        delta_targets,
         methods: vec![wrw, wrw_ex],
     }
+}
+
+/// The incremental-ingest stage: build a small deterministic delta
+/// against the frozen vocabulary (tombstone the target query 0 ranked
+/// first, re-embed one survivor, append one new target), apply it to
+/// the *published* artifact, republish atomically over the served path,
+/// hot-reload the daemon, and re-assert every wire answer — both
+/// transports, both retrieval modes — against a fresh post-delta
+/// facade. Returns the post-delta target count for the golden gate.
+#[allow(clippy::too_many_arguments)]
+fn delta_stage(
+    key: &str,
+    path: &std::path::Path,
+    targets: usize,
+    queries: usize,
+    k: usize,
+    reference: &[Vec<(usize, u32)>],
+    unix: &mut Client,
+    tcp: &mut Client,
+) -> usize {
+    // The ingest step a production delta producer runs: mapped load,
+    // in-place delta, atomic republish.
+    let mut artifact =
+        MatchArtifact::load(path).unwrap_or_else(|e| panic!("{key}: ingest load failed: {e}"));
+    let vocab: Vec<String> = artifact.term_labels().take(3).map(str::to_string).collect();
+    assert!(!vocab.is_empty(), "{key}: fitted artifact has an empty vocabulary");
+    let dead = reference
+        .first()
+        .and_then(|r| r.first())
+        .map(|&(t, _)| t)
+        .unwrap_or(0);
+    let refreshed = (dead + 1) % targets;
+    let batch = DeltaBatch::new()
+        .append(vocab.clone())
+        .update(refreshed, vocab)
+        .tombstone(dead);
+    let summary = artifact
+        .apply_delta(&batch)
+        .unwrap_or_else(|e| panic!("{key}: delta application failed: {e}"));
+    assert_eq!(summary.rows, targets + DELTA_APPENDS, "{key}: unexpected post-delta shape");
+    artifact
+        .save(path)
+        .unwrap_or_else(|e| panic!("{key}: delta republish failed: {e}"));
+
+    // Hot reload over the live connection; the daemon must land on the
+    // first post-publish generation.
+    let generation = unix
+        .reload()
+        .unwrap_or_else(|e| panic!("{key}: delta reload failed: {e}"));
+    assert_eq!(generation, 1, "{key}: delta reload skipped a generation");
+
+    // The post-delta facade is the new reference — and it must actually
+    // differ from the pre-delta one (the tombstoned target was ranked
+    // first for query 0).
+    let facade =
+        Matcher::load(path).unwrap_or_else(|e| panic!("{key}: post-delta load failed: {e}"));
+    let delta_reference: Vec<Vec<(usize, u32)>> = (0..queries)
+        .map(|q| {
+            bits(&facade
+                .query_by_id(q, k)
+                .unwrap_or_else(|e| panic!("{key}: post-delta facade query {q} failed: {e}")))
+        })
+        .collect();
+    assert_ne!(
+        delta_reference, reference,
+        "{key}: the delta changed nothing the wire could observe"
+    );
+
+    // Wire invariants, round two: both transports, both retrieval
+    // modes, every query — bit-identical to the post-delta facade.
+    unix.set_ann(Some(false));
+    let unix_exact = drain_queries(unix, queries, k, "unix/exact post-delta");
+    assert_eq!(unix_exact, delta_reference, "{key}: post-delta unix exact answers diverged");
+    unix.set_ann(Some(true));
+    let unix_ann = drain_queries(unix, queries, k, "unix/ann post-delta");
+    assert_eq!(unix_ann, delta_reference, "{key}: post-delta unix ANN answers diverged");
+    tcp.set_ann(Some(false));
+    let tcp_exact = drain_queries(tcp, queries, k, "tcp/exact post-delta");
+    assert_eq!(tcp_exact, delta_reference, "{key}: post-delta tcp exact answers diverged");
+    tcp.set_ann(Some(true));
+    let tcp_ann = drain_queries(tcp, queries, k, "tcp/ann post-delta");
+    assert_eq!(tcp_ann, delta_reference, "{key}: post-delta tcp ANN answers diverged");
+
+    summary.rows
 }
 
 /// Fits W-RW-EX (knowledge-base expansion) in process and evaluates it.

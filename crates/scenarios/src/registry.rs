@@ -86,6 +86,18 @@ pub const CONFORMANCE_KEYS: [&str; 6] = [
     "sts2",
 ];
 
+/// The conformance scenarios that additionally run the
+/// incremental-ingest (delta) stage: apply a delta to the published
+/// artifact, republish, hot-reload the daemon, and re-assert the wire
+/// invariants. Two families keep the suite test-speed while covering
+/// both a structured and a free-text dataset.
+pub const DELTA_KEYS: [&str; 2] = ["imdb-wt", "sts2"];
+
+/// Whether a conformance scenario runs the delta stage.
+pub fn runs_delta(key: &str) -> bool {
+    DELTA_KEYS.contains(&key)
+}
+
 /// Looks a scenario up by its canonical key.
 pub fn by_key(key: &str) -> Option<&'static ScenarioSpec> {
     ALL.iter().find(|s| s.key == key)

@@ -13,15 +13,22 @@
 
 use tdmatch_datasets::Scale;
 use tdmatch_scenarios::golden::{default_path, gate, GoldenFile};
-use tdmatch_scenarios::registry::{by_key, conformance_specs, scale_name, CONFORMANCE_KEYS};
+use tdmatch_scenarios::registry::{by_key, conformance_specs, runs_delta, scale_name, CONFORMANCE_KEYS, DELTA_KEYS};
 use tdmatch_scenarios::{run_lifecycle, LifecycleOptions};
 
-/// Runs one scenario's lifecycle at the tiny tier and gates it.
+/// Runs one scenario's lifecycle at the tiny tier and gates it. The
+/// delta-designated scenarios additionally run the incremental-ingest
+/// stage (apply delta → republish → daemon reload → wire answers
+/// re-asserted against the post-delta facade).
 fn conform(key: &str) {
     let spec = by_key(key).unwrap_or_else(|| panic!("{key} is not registered"));
     let dir = std::env::temp_dir().join(format!("tdmatch-conformance-{key}-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("create scratch dir");
-    let report = run_lifecycle(spec, &LifecycleOptions::at_tier(Scale::Tiny, dir.clone()));
+    let mut opts = LifecycleOptions::at_tier(Scale::Tiny, dir.clone());
+    if runs_delta(key) {
+        opts = opts.with_delta();
+    }
+    let report = run_lifecycle(spec, &opts);
     let _ = std::fs::remove_dir_all(&dir);
 
     // The golden file and its tiny tier are committed; their absence is
@@ -95,6 +102,29 @@ fn goldens_cover_the_conformance_set() {
                 );
             }
         }
+    }
+}
+
+#[test]
+fn goldens_record_the_delta_stage_for_the_designated_scenarios() {
+    let goldens = GoldenFile::load(&default_path())
+        .unwrap_or_else(|e| panic!("BENCH_scenarios.json must be committed: {e}"));
+    let tier = goldens.tier("tiny").expect("tiny tier recorded");
+    assert!(DELTA_KEYS.len() >= 2, "the delta stage must cover at least two datasets");
+    for key in DELTA_KEYS {
+        let s = tier
+            .scenarios
+            .iter()
+            .find(|s| s.name == key)
+            .unwrap_or_else(|| panic!("tiny tier has no golden for {key}"));
+        let dt = s
+            .delta_targets
+            .unwrap_or_else(|| panic!("{key}: golden records no delta stage"));
+        assert!(
+            dt > s.targets,
+            "{key}: post-delta targets {dt} must grow past the fitted {}",
+            s.targets
+        );
     }
 }
 

@@ -30,6 +30,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use tdmatch_core::artifact::MatchArtifact;
+use tdmatch_core::delta::DeltaBatch;
 use tdmatch_core::serving::Matcher;
 use tdmatch_serve::batch::BatchOptions;
 use tdmatch_serve::client::{Client, ClientError, RetryPolicy};
@@ -71,6 +72,24 @@ fn artifact_v2() -> MatchArtifact {
         ],
         vec![Some(vec![0.9, 0.1]), Some(vec![0.2, 0.98])],
     )
+}
+
+/// The standing delta for fault tests: append a new "alpha"-flavoured
+/// target (index 3), re-embed target 2 as pure "beta", and tombstone
+/// target 1 — enough churn to change query 0's top-3 visibly.
+fn delta_batch() -> DeltaBatch {
+    DeltaBatch::new()
+        .append(["alpha"])
+        .update(2, ["beta"])
+        .tombstone(1)
+}
+
+/// v1 with the standing delta applied in-process — the reference the
+/// published-and-reloaded snapshot must match bit for bit.
+fn artifact_v1_delta() -> MatchArtifact {
+    let mut artifact = artifact_v1();
+    artifact.apply_delta(&delta_batch()).expect("delta applies");
+    artifact
 }
 
 /// The reference ranking for query-corpus doc 0 under an artifact.
@@ -196,6 +215,200 @@ fn killed_publisher_never_leaves_a_torn_artifact() {
     let loaded = MatchArtifact::load(&path).expect("completed publish loads");
     assert_eq!(ranking(&loaded), ranking(&artifact_v2()));
 
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ---------------------------------------------------------------------
+// Crash-safe delta republish
+// ---------------------------------------------------------------------
+
+/// Parent: serves v1 from the published path, then repeatedly spawns a
+/// child that runs the full ingest step — load the served artifact,
+/// apply the standing delta, republish — and is SIGKILLed at a swept
+/// byte offset inside the republish. After every death the path must
+/// still hold complete pre-delta bytes: a reload succeeds and the
+/// daemon keeps answering pre-delta rankings bit-identically. A child
+/// with an out-of-reach failpoint completes the ingest, and one more
+/// reload makes the appended target visible.
+#[test]
+fn killed_delta_publisher_never_tears_the_served_artifact() {
+    if let Some(_role) = respawn::role(ROLE_VAR) {
+        // Child: the ingest step, dying (SIGKILL) after DIE_AT bytes of
+        // the republish.
+        let path: PathBuf = std::env::var("TDMATCH_FAULT_PATH").expect("path env").into();
+        let die_at: u64 = std::env::var("TDMATCH_FAULT_DIE_AT")
+            .expect("die_at env")
+            .parse()
+            .expect("die_at number");
+        let mut artifact = MatchArtifact::load(&path).expect("child load");
+        artifact.apply_delta(&delta_batch()).expect("child delta");
+        tdmatch_graph::publish::publish_atomic::<tdmatch_core::artifact::PersistError, _>(
+            &path,
+            |f| {
+                let mut w = ChaosWriter::new(f, die_at, Death::Kill);
+                artifact.write_to(&mut w)
+            },
+        )
+        .ok();
+        return;
+    }
+
+    let dir = scratch_dir("delta-publish");
+    let path = dir.join("model.tdz");
+    artifact_v1().save(&path).expect("seed publish v1");
+    let want_v1 = ranking(&artifact_v1());
+    let want_delta = ranking(&artifact_v1_delta());
+    assert_ne!(want_v1, want_delta, "delta must change the rankings");
+    let len = serialized_len(&artifact_v1_delta());
+    assert!(len > 64, "delta artifact too small to sweep meaningfully");
+
+    let socket = socket_path("delta-publish");
+    let server = Server::start(
+        Matcher::load(&path).expect("load v1"),
+        ServeOptions::at(&socket)
+            .artifact(&path)
+            .io_timeout(Duration::from_secs(5)),
+    )
+    .expect("daemon start");
+    let mut client = Client::connect(&socket).expect("connect");
+
+    // Deterministic sweep: boundaries plus a seeded scatter (a
+    // different scatter than the full-publish sweep above).
+    let mut offsets = vec![0, 1, 63, 64, len / 2, len - 1];
+    let mut lcg = 0x5ca1_ab1eu64;
+    for _ in 0..4 {
+        lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        offsets.push(lcg % len);
+    }
+
+    let mut reloads = 0u64;
+    for die_at in offsets {
+        let child = respawn::spawn_self(
+            "killed_delta_publisher_never_tears_the_served_artifact",
+            ROLE_VAR,
+            "delta-publisher",
+            &[
+                ("TDMATCH_FAULT_PATH", path.to_str().unwrap()),
+                ("TDMATCH_FAULT_DIE_AT", &die_at.to_string()),
+            ],
+        )
+        .expect("spawn delta publisher child");
+        let out = child.wait_with_output().expect("child exit");
+        assert!(
+            !out.status.success(),
+            "child with failpoint at byte {die_at} should have died"
+        );
+
+        // The path is old-complete: reloading it must succeed, and the
+        // served rankings must still be pre-delta.
+        reloads += 1;
+        assert_eq!(
+            client.reload().unwrap_or_else(|e| panic!(
+                "reload after death at byte {die_at} failed: {e}"
+            )),
+            reloads
+        );
+        let (ranked, _) = client.query_id(0, 3).expect("query after death");
+        assert_eq!(
+            bits(&ranked),
+            want_v1,
+            "death at byte {die_at} leaked into the served rankings"
+        );
+    }
+
+    // No failpoint in reach: the ingest completes, and the next reload
+    // serves the delta — appended target included.
+    let child = respawn::spawn_self(
+        "killed_delta_publisher_never_tears_the_served_artifact",
+        ROLE_VAR,
+        "delta-publisher",
+        &[
+            ("TDMATCH_FAULT_PATH", path.to_str().unwrap()),
+            ("TDMATCH_FAULT_DIE_AT", &u64::MAX.to_string()),
+        ],
+    )
+    .expect("spawn completing child");
+    assert!(child.wait_with_output().expect("child exit").status.success());
+    reloads += 1;
+    assert_eq!(client.reload().expect("delta reload"), reloads);
+    let (ranked, _) = client.query_id(0, 3).expect("query post-delta");
+    assert_eq!(bits(&ranked), want_delta, "completed ingest must serve the delta");
+    assert!(
+        ranked.iter().any(|&(t, _)| t == 3),
+        "appended target must be ranked after the delta reload"
+    );
+
+    client.shutdown().expect("shutdown");
+    server.join();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Torn delta publishes land at the served path: every reload must fail
+/// with the retriable `ReloadFailed`, the daemon must stay on the old
+/// generation answering bit-identically, and the eventual complete
+/// delta publish must flip it forward — appended target visible.
+#[test]
+fn failed_mid_delta_reload_keeps_the_daemon_on_the_old_generation() {
+    let dir = scratch_dir("delta-reload");
+    let path = dir.join("model.tdz");
+    artifact_v1().save(&path).expect("publish v1");
+    let socket = socket_path("delta-reload");
+
+    let server = Server::start(
+        Matcher::load(&path).expect("load v1"),
+        ServeOptions::at(&socket)
+            .artifact(&path)
+            .io_timeout(Duration::from_secs(5)),
+    )
+    .expect("daemon start");
+    let mut client = Client::connect(&socket).expect("connect");
+
+    let want_v1 = ranking(&artifact_v1());
+    let delta_applied = artifact_v1_delta();
+    let want_delta = ranking(&delta_applied);
+    assert_ne!(want_v1, want_delta, "delta must change the rankings");
+    let mut buf = Vec::new();
+    delta_applied.write_to(&mut buf).expect("serialize delta artifact");
+
+    let mut failures = 0u64;
+    for cut in [1usize, 64, buf.len() / 2, buf.len() - 1] {
+        // A torn delta artifact arrives at the path on a fresh inode,
+        // as any rename-based publish would put there.
+        let torn = dir.join(format!("torn-{cut}.tmp"));
+        std::fs::write(&torn, &buf[..cut]).expect("write torn delta");
+        std::fs::rename(&torn, &path).expect("publish torn delta");
+        match client.reload() {
+            Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::ReloadFailed),
+            other => panic!("reload of a {cut}-byte torn delta must fail, got {other:?}"),
+        }
+        failures += 1;
+
+        let (ranked, _) = client.query_id(0, 3).expect("query after failed reload");
+        assert_eq!(
+            bits(&ranked),
+            want_v1,
+            "torn delta cut at {cut} bytes changed the served answers"
+        );
+        let stats = client.stats().expect("stats");
+        assert_eq!(stats.generation, 0, "failed delta reload must not advance");
+        assert_eq!(stats.reload_failures, failures);
+    }
+
+    // The complete delta artifact lands: the next reload serves it.
+    delta_applied.save(&path).expect("publish delta");
+    assert_eq!(client.reload().expect("delta reload"), 1);
+    let (ranked, _) = client.query_id(0, 3).expect("query post-delta");
+    assert_eq!(bits(&ranked), want_delta);
+    assert!(
+        ranked.iter().any(|&(t, _)| t == 3),
+        "appended target missing after the delta reload"
+    );
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.reloads, 1);
+    assert_eq!(stats.reload_failures, failures);
+
+    client.shutdown().expect("shutdown");
+    server.join();
     std::fs::remove_dir_all(&dir).ok();
 }
 
